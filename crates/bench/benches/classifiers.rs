@@ -1,0 +1,49 @@
+//! Classifier training/prediction throughput over joined data: Naive
+//! Bayes (the paper's main classifier), logistic regression with lazy
+//! L1/L2 (Sec 5.3), and TAN (appendix E).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hamlet_bench::movielens;
+use hamlet_ml::classifier::{Classifier, Model};
+use hamlet_ml::dataset::Dataset;
+use hamlet_ml::logreg::LogisticRegression;
+use hamlet_ml::naive_bayes::NaiveBayes;
+use hamlet_ml::tan::Tan;
+
+fn bench_classifiers(c: &mut Criterion) {
+    let gen = movielens();
+    let table = gen.star.materialize_all().unwrap();
+    let data = Dataset::from_table(&table);
+    let rows: Vec<usize> = (0..data.n_examples()).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+
+    let mut g = c.benchmark_group("classifiers");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+
+    g.bench_function("naive_bayes_fit", |b| {
+        let nb = NaiveBayes::default();
+        b.iter(|| black_box(nb.fit(&data, &rows, &feats)))
+    });
+    g.bench_function("naive_bayes_predict", |b| {
+        let model = NaiveBayes::default().fit(&data, &rows, &feats);
+        b.iter(|| black_box(model.predict(&data, &rows)))
+    });
+    g.bench_function("logreg_l1_fit_2_epochs", |b| {
+        let lr = LogisticRegression::l1(1e-3).with_epochs(2);
+        b.iter(|| black_box(lr.fit(&data, &rows, &feats)))
+    });
+    g.bench_function("logreg_l2_fit_2_epochs", |b| {
+        let lr = LogisticRegression::l2(1e-3).with_epochs(2);
+        b.iter(|| black_box(lr.fit(&data, &rows, &feats)))
+    });
+    g.sample_size(10);
+    g.bench_function("tan_fit", |b| {
+        let tan = Tan::default();
+        b.iter(|| black_box(tan.fit(&data, &rows, &feats)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

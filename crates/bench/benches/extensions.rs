@@ -1,0 +1,114 @@
+//! Benchmarks for the extension surface: the advisor, star
+//! decomposition from a wide table, FD inference, CSV parsing, the
+//! decision tree, and the skew detector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_bench::{movielens, walmart};
+use hamlet_core::advisor::{advise, AdvisorConfig};
+use hamlet_core::skew::diagnose_skew;
+use hamlet_ml::classifier::Classifier;
+use hamlet_ml::dataset::Dataset;
+use hamlet_ml::tree::DecisionTree;
+use hamlet_relational::decompose::{decompose_star, infer_single_fds};
+use hamlet_relational::{read_csv, write_csv, ColumnSpec, FunctionalDependency};
+
+fn bench_advisor(c: &mut Criterion) {
+    let gen = walmart();
+    let mut g = c.benchmark_group("advisor");
+    g.bench_function("advise_with_skew_scan", |b| {
+        b.iter(|| {
+            black_box(advise(
+                &gen.star,
+                gen.star.n_s() / 2,
+                &AdvisorConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("advise_metadata_only", |b| {
+        let config = AdvisorConfig {
+            check_skew: false,
+            ..Default::default()
+        };
+        b.iter(|| black_box(advise(&gen.star, gen.star.n_s() / 2, &config)))
+    });
+    g.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let gen = movielens();
+    let wide = gen.star.materialize_all().unwrap();
+    let fds: Vec<FunctionalDependency> = gen
+        .spec
+        .tables
+        .iter()
+        .map(|at| {
+            let deps: Vec<&str> = at.features.iter().map(|f| f.name).collect();
+            FunctionalDependency::new(&[at.fk], &deps)
+        })
+        .collect();
+    let mut g = c.benchmark_group("decompose");
+    g.sample_size(20);
+    g.bench_function("decompose_star_movielens", |b| {
+        b.iter(|| black_box(decompose_star(&wide, &fds).unwrap()))
+    });
+    g.bench_function("infer_single_fds_movielens", |b| {
+        b.iter(|| black_box(infer_single_fds(&wide, 20)))
+    });
+    g.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let gen = walmart();
+    let entity = gen.star.entity();
+    let text = write_csv(entity, ',');
+    let specs: Vec<(&str, ColumnSpec)> = entity
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| (a.name.as_str(), ColumnSpec::feature(&a.name)))
+        .collect();
+    let mut g = c.benchmark_group("csv");
+    g.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    g.bench_function("write", |b| b.iter(|| black_box(write_csv(entity, ','))));
+    g.bench_function("read", |b| {
+        b.iter(|| black_box(read_csv("Walmart", &text, &specs, ',').unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_tree_and_skew(c: &mut Criterion) {
+    let gen = movielens();
+    let table = gen.star.materialize_all().unwrap();
+    let data = Dataset::from_table(&table);
+    let rows: Vec<usize> = (0..data.n_examples()).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let mut g = c.benchmark_group("tree_and_skew");
+    g.sample_size(10);
+    g.bench_function("decision_tree_fit", |b| {
+        let t = DecisionTree::default();
+        b.iter(|| black_box(t.fit(&data, &rows, &feats)))
+    });
+    g.bench_function("skew_detector", |b| {
+        let fk = data.feature(data.feature_index("UserID").unwrap());
+        b.iter(|| {
+            black_box(diagnose_skew(
+                &fk.codes,
+                fk.domain_size,
+                data.labels(),
+                data.n_classes(),
+                &rows,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_advisor,
+    bench_decompose,
+    bench_csv,
+    bench_tree_and_skew
+);
+criterion_main!(benches);

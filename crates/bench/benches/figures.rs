@@ -1,0 +1,61 @@
+//! One bench per paper figure: times the regeneration of each figure's
+//! rows at micro replication / bench scale. These give a stable runtime
+//! baseline for the whole reproduction harness; the full-fidelity runs
+//! are the `hamlet-experiments` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_bench::{micro_mc, BENCH_SCALE, BENCH_SEED};
+use hamlet_experiments as exp;
+
+fn bench_sim_figures(c: &mut Criterion) {
+    let opts = micro_mc();
+    let mut g = c.benchmark_group("figures_simulation");
+    g.sample_size(10);
+    g.bench_function("fig3", |b| b.iter(|| black_box(exp::fig3::report(&opts))));
+    g.bench_function("fig4", |b| b.iter(|| black_box(exp::fig4::report(&opts))));
+    g.bench_function("fig10", |b| b.iter(|| black_box(exp::fig10::report(&opts))));
+    g.bench_function("fig11", |b| b.iter(|| black_box(exp::fig11::report(&opts))));
+    g.bench_function("fig12", |b| b.iter(|| black_box(exp::fig12::report(&opts))));
+    g.bench_function("fig13", |b| b.iter(|| black_box(exp::fig13::report(&opts))));
+    g.bench_function("tan_appendix", |b| {
+        b.iter(|| black_box(exp::tan_appendix::report(1000, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_analytic_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_analytic");
+    g.bench_function("fig5", |b| b.iter(|| black_box(exp::fig5::report(100_000))));
+    g.bench_function("fig6", |b| b.iter(|| black_box(exp::fig6::report(BENCH_SCALE))));
+    g.bench_function("fig8b", |b| {
+        b.iter(|| black_box(exp::fig8::report_b(BENCH_SCALE, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_endtoend_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_endtoend");
+    g.sample_size(10);
+    g.bench_function("fig7", |b| {
+        b.iter(|| black_box(exp::fig7::report(BENCH_SCALE, BENCH_SEED, false)))
+    });
+    g.bench_function("fig8a", |b| {
+        b.iter(|| black_box(exp::fig8::report_a(BENCH_SCALE, BENCH_SEED)))
+    });
+    g.bench_function("fig8c", |b| {
+        b.iter(|| black_box(exp::fig8::report_c(BENCH_SCALE, BENCH_SEED)))
+    });
+    g.bench_function("fig9", |b| {
+        b.iter(|| black_box(exp::fig9::report(BENCH_SCALE, BENCH_SEED, 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_figures,
+    bench_analytic_figures,
+    bench_endtoend_figures
+);
+criterion_main!(benches);

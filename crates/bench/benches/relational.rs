@@ -1,0 +1,44 @@
+//! Relational substrate throughput: KFK hash joins and plan
+//! materialization (JoinAll vs NoJoins) — the cost JoinOpt saves before
+//! feature selection even starts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hamlet_bench::{movielens, walmart, yelp};
+use hamlet_core::planner::{plan, PlanKind};
+use hamlet_core::rules::TrRule;
+use hamlet_relational::kfk_join;
+
+fn bench_kfk_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kfk_join");
+    for (name, gen) in [
+        ("Walmart", walmart()),
+        ("Yelp", yelp()),
+        ("MovieLens1M", movielens()),
+    ] {
+        let star = &gen.star;
+        g.throughput(Throughput::Elements(star.n_s() as u64));
+        g.bench_with_input(BenchmarkId::new("first_table", name), star, |b, star| {
+            let at = &star.attributes()[0];
+            b.iter(|| black_box(kfk_join(star.entity(), &at.fk, &at.table).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("materialize");
+    let gen = movielens();
+    let star = &gen.star;
+    let n_train = star.n_s() / 2;
+    for kind in [PlanKind::JoinAll, PlanKind::JoinOpt, PlanKind::NoJoins, PlanKind::JoinAllNoFk] {
+        let p = plan(star, kind, &TrRule::default(), n_train);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(p.materialize(star).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kfk_join, bench_materialize);
+criterion_main!(benches);

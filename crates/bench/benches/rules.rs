@@ -1,0 +1,82 @@
+//! Decision-rule cost: the rules must be "fast" (Sec 1's desiderata) —
+//! metadata-only, no data scans. Benches the ROR/TR primitives and the
+//! full 15-table decision sweep (the work JoinOpt adds over JoinAll).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_bench::{BENCH_SCALE, BENCH_SEED};
+use hamlet_core::planner::{join_stats, plan, PlanKind};
+use hamlet_core::ror::{ror_tr_approximation, tuple_ratio, worst_case_ror};
+use hamlet_core::rules::{DecisionRule, RorRule, TrRule};
+use hamlet_core::vc::generalization_bound;
+use hamlet_datagen::realistic::DatasetSpec;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rule_primitives");
+    g.bench_function("worst_case_ror", |b| {
+        b.iter(|| worst_case_ror(black_box(471_071), black_box(11_939), black_box(5), 0.1))
+    });
+    g.bench_function("tuple_ratio", |b| {
+        b.iter(|| tuple_ratio(black_box(471_071), black_box(11_939)))
+    });
+    g.bench_function("ror_tr_approximation", |b| {
+        b.iter(|| ror_tr_approximation(black_box(471_071), black_box(11_939), 0.1))
+    });
+    g.bench_function("generalization_bound", |b| {
+        b.iter(|| generalization_bound(black_box(11_939), black_box(471_071), 0.1))
+    });
+    g.finish();
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    // Pre-generate all seven datasets once; the bench then measures only
+    // the decision work (stat gathering + thresholding).
+    let datasets: Vec<_> = DatasetSpec::all()
+        .iter()
+        .map(|s| s.generate(BENCH_SCALE, BENCH_SEED))
+        .collect();
+    let mut g = c.benchmark_group("rule_decisions");
+    g.bench_function("all_15_tables_tr", |b| {
+        let rule = TrRule::default();
+        b.iter(|| {
+            let mut avoided = 0;
+            for d in &datasets {
+                let n_train = d.star.n_s() / 2;
+                for i in 0..d.star.k() {
+                    let stats = join_stats(&d.star, i, n_train);
+                    avoided += rule.decide(&stats).is_avoid() as usize;
+                }
+            }
+            black_box(avoided)
+        })
+    });
+    g.bench_function("all_15_tables_ror", |b| {
+        let rule = RorRule::default();
+        b.iter(|| {
+            let mut avoided = 0;
+            for d in &datasets {
+                let n_train = d.star.n_s() / 2;
+                for i in 0..d.star.k() {
+                    let stats = join_stats(&d.star, i, n_train);
+                    avoided += rule.decide(&stats).is_avoid() as usize;
+                }
+            }
+            black_box(avoided)
+        })
+    });
+    g.bench_function("join_opt_planning_walmart", |b| {
+        let d = &datasets[0];
+        b.iter(|| {
+            black_box(plan(
+                &d.star,
+                PlanKind::JoinOpt,
+                &TrRule::default(),
+                d.star.n_s() / 2,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 7(B): the feature-selection runtime claim. JoinOpt's input has
+//! fewer candidate features on datasets whose joins are avoidable, so
+//! every selection method runs faster — here measured as wall-clock per
+//! (dataset, plan, method).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hamlet_bench::{movielens, walmart, yelp, BENCH_SEED};
+use hamlet_experiments::{join_opt_plan, prepare_plan, PreparedPlan};
+use hamlet_core::planner::{plan, PlanKind};
+use hamlet_core::rules::TrRule;
+use hamlet_fs::{Method, SelectionContext};
+use hamlet_ml::naive_bayes::NaiveBayes;
+
+fn prepared(kind: PlanKind, gen: &hamlet_datagen::realistic::GeneratedDataset) -> PreparedPlan {
+    let n_train = gen.star.n_s() / 2;
+    let p = match kind {
+        PlanKind::JoinOpt => join_opt_plan(&gen.star, BENCH_SEED),
+        k => plan(&gen.star, k, &TrRule::default(), n_train),
+    };
+    prepare_plan(&gen.star, p, BENCH_SEED)
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let nb = NaiveBayes::default();
+    for (name, gen) in [
+        ("Walmart", walmart()),
+        ("MovieLens1M", movielens()),
+        ("Yelp", yelp()),
+    ] {
+        let join_all = prepared(PlanKind::JoinAll, &gen);
+        let join_opt = prepared(PlanKind::JoinOpt, &gen);
+        let mut g = c.benchmark_group(format!("fig7b_{name}"));
+        g.sample_size(10);
+        for method in [Method::Forward, Method::FilterMi, Method::FilterIgr] {
+            for (plan_name, p) in [("JoinAll", &join_all), ("JoinOpt", &join_opt)] {
+                let candidates: Vec<usize> = (0..p.data.n_features()).collect();
+                g.bench_with_input(
+                    BenchmarkId::new(method.name(), plan_name),
+                    p,
+                    |b, p| {
+                        let ctx = SelectionContext {
+                            data: &p.data,
+                            train: &p.split.train,
+                            validation: &p.split.validation,
+                            classifier: &nb,
+                            metric: p.metric,
+                        };
+                        b.iter(|| black_box(method.run(&ctx, &candidates)))
+                    },
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

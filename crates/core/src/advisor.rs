@@ -1,0 +1,344 @@
+//! The join advisor: the paper's results packaged as the API an analyst
+//! would actually call.
+//!
+//! Sec 5.4: "analysts often join all tables almost by instinct. Our work
+//! shows that this might lead to much poorer performance without much
+//! accuracy gain. ... we think it is possible for such systems to
+//! integrate our decision rules for avoiding joins either as new
+//! optimizations or as 'suggestions' for analysts." [`advise`] produces
+//! those suggestions: per-join statistics, both rules' verdicts with
+//! plain-language explanations, skew diagnostics, and the recommended
+//! plan.
+
+use hamlet_relational::{Role, StarSchema};
+
+use crate::planner::{join_stats, JoinPlan, PlanKind};
+use crate::rules::{Decision, DecisionRule, JoinReason, JoinStats, RorRule, TrRule};
+use crate::skew::{diagnose_skew, SkewReport, MALIGN_RETENTION_FLOOR};
+
+/// Advisor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdvisorConfig {
+    /// TR rule to consult.
+    pub tr: TrRule,
+    /// ROR rule to consult.
+    pub ror: RorRule,
+    /// Whether to run the targeted `H(FK|Y)` skew detector (a data scan
+    /// over the FK and label columns; the rules themselves stay
+    /// metadata-only).
+    pub check_skew: bool,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        Self {
+            tr: TrRule::default(),
+            ror: RorRule::default(),
+            check_skew: true,
+        }
+    }
+}
+
+/// The advisor's verdict for one candidate join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinAdvice {
+    /// Attribute-table name.
+    pub table: String,
+    /// Foreign key in the entity table.
+    pub fk: String,
+    /// The statistics the rules consumed.
+    pub stats: JoinStats,
+    /// TR rule verdict.
+    pub tr_decision: Decision,
+    /// ROR rule verdict.
+    pub ror_decision: Decision,
+    /// Skew diagnostics, when requested.
+    pub skew: Option<SkewReport>,
+    /// Final recommendation: avoid only if *both* rules say avoid and no
+    /// malign skew was detected (belt-and-braces conservatism).
+    pub avoid: bool,
+    /// Plain-language explanation of the recommendation.
+    pub explanation: String,
+}
+
+/// A full advisory report for a star schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisorReport {
+    /// Number of training examples assumed by the rules.
+    pub n_train: usize,
+    /// Per-join advice, in catalog order.
+    pub joins: Vec<JoinAdvice>,
+}
+
+impl AdvisorReport {
+    /// The plan implementing the recommendations.
+    pub fn plan(&self) -> JoinPlan {
+        let joined: Vec<usize> = self
+            .joins
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.avoid)
+            .map(|(i, _)| i)
+            .collect();
+        JoinPlan {
+            kind: PlanKind::JoinOpt,
+            joined,
+            drop_fks: false,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Number of joins recommended for avoidance.
+    pub fn avoided_count(&self) -> usize {
+        self.joins.iter().filter(|j| j.avoid).count()
+    }
+
+    /// Renders the report as a Markdown table (for READMEs, PR
+    /// descriptions, notebooks).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!(
+            "### Join advisory (n_train = {})\n\n| Table | FK | TR | ROR | Verdict | Why |\n|---|---|---|---|---|---|\n",
+            self.n_train
+        );
+        for j in &self.joins {
+            let tr = j.n_train_over_n_r();
+            let ror = match &j.ror_decision {
+                Decision::Avoid { value } => format!("{value:.2}"),
+                Decision::Join(_) => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {} | **{}** | {} |\n",
+                j.table,
+                j.fk,
+                tr,
+                ror,
+                if j.avoid { "avoid" } else { "join" },
+                j.explanation.replace('|', "\\|")
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as readable text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Join advisory (n_train = {}): avoid {} of {} joins\n",
+            self.n_train,
+            self.avoided_count(),
+            self.joins.len()
+        );
+        for j in &self.joins {
+            out.push_str(&format!(
+                "- {} (via {}): {} — {}\n",
+                j.table,
+                j.fk,
+                if j.avoid { "AVOID the join" } else { "PERFORM the join" },
+                j.explanation
+            ));
+        }
+        out
+    }
+}
+
+fn explain(decision: &Decision, rule_name: &str) -> String {
+    match decision {
+        Decision::Avoid { value } => {
+            format!("{rule_name} statistic {value:.2} is on the safe side")
+        }
+        Decision::Join(JoinReason::OpenFkDomain) => {
+            "the foreign key's domain is open, so it cannot represent the foreign features"
+                .to_string()
+        }
+        Decision::Join(JoinReason::SkewGuard { entropy_bits }) => format!(
+            "the target is heavily skewed (H(Y) = {entropy_bits:.2} bits), so conservatism wins"
+        ),
+        Decision::Join(JoinReason::Threshold { value, threshold }) => format!(
+            "{rule_name} statistic {value:.2} crosses its threshold {threshold:.2}: \
+             the foreign key would risk overfitting"
+        ),
+    }
+}
+
+impl JoinAdvice {
+    /// The tuple ratio implied by this advice's stats.
+    pub fn n_train_over_n_r(&self) -> f64 {
+        self.stats.n_train as f64 / self.stats.n_r as f64
+    }
+}
+
+/// Produces advice for every candidate join of `star`, assuming the
+/// model will train on `n_train` examples.
+pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> AdvisorReport {
+    let mut joins = Vec::with_capacity(star.k());
+    for i in 0..star.k() {
+        let at = &star.attributes()[i];
+        let stats = join_stats(star, i, n_train);
+        let tr_decision = config.tr.decide(&stats);
+        let ror_decision = config.ror.decide(&stats);
+
+        let skew = if config.check_skew {
+            star.entity().target_column().map(|y| {
+                let fk_pos = star
+                    .entity()
+                    .schema()
+                    .index_of(&at.fk)
+                    .expect("validated at construction");
+                let fk = star.entity().column(fk_pos);
+                debug_assert!(matches!(
+                    star.entity().schema().attributes()[fk_pos].role,
+                    Role::ForeignKey { .. }
+                ));
+                let rows: Vec<usize> = (0..star.n_s()).collect();
+                diagnose_skew(
+                    fk.codes(),
+                    fk.domain().size(),
+                    y.codes(),
+                    y.domain().size(),
+                    &rows,
+                )
+            })
+        } else {
+            None
+        };
+        let malign = skew
+            .as_ref()
+            .map(|s| s.is_malign(MALIGN_RETENTION_FLOOR))
+            .unwrap_or(false);
+
+        let both_avoid = tr_decision.is_avoid() && ror_decision.is_avoid();
+        let avoid = both_avoid && !malign;
+        let explanation = if avoid {
+            format!(
+                "TR = {:.1} and ROR = {:.2} both say the FK can safely represent the {} foreign feature(s); \
+                 skipping the join shrinks the feature-selection input",
+                config.tr.statistic(&stats),
+                config.ror.statistic(&stats),
+                at.n_features()
+            )
+        } else if both_avoid && malign {
+            let retention = skew.as_ref().map(|s| s.retention).unwrap_or(1.0);
+            format!(
+                "the rules pass, but H(FK|Y) retention {retention:.2} flags malign foreign-key skew — join to be safe"
+            )
+        } else if !tr_decision.is_avoid() {
+            explain(&tr_decision, "TR")
+        } else {
+            explain(&ror_decision, "ROR")
+        };
+
+        joins.push(JoinAdvice {
+            table: at.table.name().to_string(),
+            fk: at.fk.clone(),
+            stats,
+            tr_decision,
+            ror_decision,
+            skew,
+            avoid,
+            explanation,
+        });
+    }
+    AdvisorReport { n_train, joins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_relational::{AttributeTable, Domain, TableBuilder};
+
+    fn star(n_s: usize, n_r: usize, malign: bool) -> StarSchema {
+        let rid = Domain::indexed("fk", n_r).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("fk", rid.clone(), (0..n_r as u32).collect())
+            .feature(
+                "a",
+                Domain::indexed("a", 3).shared(),
+                (0..n_r as u32).map(|i| i % 3).collect(),
+            )
+            .build()
+            .unwrap();
+        let fk: Vec<u32>;
+        let y: Vec<u32>;
+        if malign {
+            // Needle: FK 0 carries half the rows and the only label-0 mass.
+            fk = (0..n_s as u32)
+                .map(|i| if i % 2 == 0 { 0 } else { 1 + (i / 2) % (n_r as u32 - 1) })
+                .collect();
+            y = (0..n_s as u32).map(|i| (i % 2 != 0) as u32).collect();
+        } else {
+            fk = (0..n_s as u32).map(|i| i % n_r as u32).collect();
+            y = (0..n_s as u32).map(|i| (i / n_r as u32) % 2).collect();
+        }
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), y)
+            .foreign_key("fk", "R", rid, fk)
+            .build()
+            .unwrap();
+        StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn advises_avoid_on_safe_join() {
+        let st = star(4000, 20, false);
+        let report = advise(&st, 2000, &AdvisorConfig::default());
+        assert_eq!(report.joins.len(), 1);
+        let j = &report.joins[0];
+        assert!(j.avoid, "{}", j.explanation);
+        assert!(j.tr_decision.is_avoid());
+        assert!(j.ror_decision.is_avoid());
+        assert!(j.explanation.contains("TR ="));
+        assert_eq!(report.avoided_count(), 1);
+        assert!(report.plan().joined.is_empty());
+    }
+
+    #[test]
+    fn advises_join_on_small_tuple_ratio() {
+        let st = star(400, 200, false);
+        let report = advise(&st, 200, &AdvisorConfig::default());
+        let j = &report.joins[0];
+        assert!(!j.avoid);
+        assert!(j.explanation.contains("threshold"), "{}", j.explanation);
+        assert_eq!(report.plan().joined, vec![0]);
+    }
+
+    #[test]
+    fn malign_skew_overrides_passing_rules() {
+        // TR = 2000/20 = 100 passes, but the needle distribution is malign.
+        let st = star(4000, 20, true);
+        let report = advise(&st, 2000, &AdvisorConfig::default());
+        let j = &report.joins[0];
+        assert!(j.tr_decision.is_avoid());
+        assert!(!j.avoid, "malign skew must force the join");
+        assert!(j.explanation.contains("malign"), "{}", j.explanation);
+        // With the detector off, the rules' verdict stands.
+        let lax = AdvisorConfig {
+            check_skew: false,
+            ..Default::default()
+        };
+        assert!(advise(&st, 2000, &lax).joins[0].avoid);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let st = star(4000, 20, false);
+        let md = advise(&st, 2000, &AdvisorConfig::default()).render_markdown();
+        assert!(md.starts_with("### Join advisory"));
+        assert!(md.contains("| R | fk |"));
+        assert!(md.contains("**avoid**"));
+        assert_eq!(md.lines().count(), 5); // header x3 + 1 row + title spacing
+    }
+
+    #[test]
+    fn render_mentions_each_table() {
+        let st = star(4000, 20, false);
+        let text = advise(&st, 2000, &AdvisorConfig::default()).render();
+        assert!(text.contains("R (via fk)"));
+        assert!(text.contains("AVOID"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Hypothesis spaces as partitions — Proposition 3.3, executable.
+//!
+//! Sec 3.2 defines the restriction of the function universe `H_X` to a
+//! feature subset `Z`: the functions constant on rows that agree on `Z`.
+//! Such a restriction is fully described by the **partition** of the
+//! observable feature vectors into `Z`-equivalence classes:
+//! `|H_Z| = |D_Y| ^ (#classes)`, and `H_Z ⊆ H_Z'` iff the `Z'`-partition
+//! **refines** the `Z`-partition.
+//!
+//! Over a fixed attribute table `R` the observable vectors are one per
+//! FK value, so Prop 3.3's `H_X = H_FK ⊇ H_XR` reduces to two partition
+//! facts this module computes and the tests verify on arbitrary
+//! instances:
+//!
+//! * the FK-partition is discrete (every FK value its own class), hence
+//!   it refines everything — `H_X = H_FK`;
+//! * the `X_R`-partition groups FK values sharing an `X_R` row, so the
+//!   FK-partition refines it — `H_XR ⊆ H_FK`, with equality iff all
+//!   `X_R` rows are distinct.
+
+use std::collections::HashMap;
+
+use hamlet_relational::{Role, Table};
+
+/// A partition of an attribute table's rows (equivalently, of the FK
+/// domain values present in `R`): `class_of[row] = class id` with class
+/// ids dense from 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    class_of: Vec<usize>,
+    n_classes: usize,
+}
+
+impl RowPartition {
+    /// Class id per row.
+    pub fn class_of(&self) -> &[usize] {
+        &self.class_of
+    }
+
+    /// Number of equivalence classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// `log2 |H_Z|` for a binary target: one free bit per class.
+    pub fn log2_hypothesis_count(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Whether `self` refines `other`: every class of `self` lies inside
+    /// one class of `other`. (Refinement = the finer partition can
+    /// express every function the coarser one can: `H_other ⊆ H_self`.)
+    pub fn refines(&self, other: &RowPartition) -> bool {
+        assert_eq!(
+            self.class_of.len(),
+            other.class_of.len(),
+            "partitions must cover the same rows"
+        );
+        let mut image: HashMap<usize, usize> = HashMap::new();
+        for (&mine, &theirs) in self.class_of.iter().zip(&other.class_of) {
+            match image.entry(mine) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != theirs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Partitions the rows of `attr` by the joint value of the named
+/// attributes (empty set = one class; the primary key = discrete
+/// partition).
+pub fn partition_by(attr: &Table, attributes: &[&str]) -> RowPartition {
+    let cols: Vec<_> = attributes
+        .iter()
+        .map(|a| attr.column_by_name(a).expect("attribute exists"))
+        .collect();
+    let mut class_ids: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut class_of = Vec::with_capacity(attr.n_rows());
+    for row in 0..attr.n_rows() {
+        let key: Vec<u32> = cols.iter().map(|c| c.get(row)).collect();
+        let next = class_ids.len();
+        let id = *class_ids.entry(key).or_insert(next);
+        class_of.push(id);
+    }
+    RowPartition {
+        class_of,
+        n_classes: class_ids.len(),
+    }
+}
+
+/// The FK partition (discrete: one class per row of `R`).
+pub fn fk_partition(attr: &Table) -> RowPartition {
+    let pk = attr
+        .schema()
+        .primary_key()
+        .expect("attribute table has a primary key");
+    let name = attr.schema().attributes()[pk].name.clone();
+    partition_by(attr, &[&name])
+}
+
+/// The `X_R` partition (grouping FK values with identical foreign
+/// features).
+pub fn xr_partition(attr: &Table) -> RowPartition {
+    let names: Vec<String> = attr
+        .schema()
+        .attributes()
+        .iter()
+        .filter(|a| a.role == Role::Feature)
+        .map(|a| a.name.clone())
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    partition_by(attr, &refs)
+}
+
+/// Proposition 3.3, checked on an instance: returns
+/// `(fk_refines_xr, spaces_equal)` — the first must always be true; the
+/// second holds iff all `X_R` rows are distinct ("all tuples in R have
+/// distinct values of X_R").
+pub fn check_prop_3_3(attr: &Table) -> (bool, bool) {
+    let fk = fk_partition(attr);
+    let xr = xr_partition(attr);
+    let refines = fk.refines(&xr);
+    let equal = refines && fk.n_classes() == xr.n_classes();
+    (refines, equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_relational::{Domain, TableBuilder};
+
+    fn attr_table(xr: &[(u32, u32)]) -> Table {
+        let n = xr.len();
+        TableBuilder::new("R")
+            .primary_key(
+                "rid",
+                Domain::indexed("rid", n).shared(),
+                (0..n as u32).collect(),
+            )
+            .feature(
+                "a",
+                Domain::indexed("a", 4).shared(),
+                xr.iter().map(|&(a, _)| a).collect(),
+            )
+            .feature(
+                "b",
+                Domain::indexed("b", 4).shared(),
+                xr.iter().map(|&(_, b)| b).collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fk_partition_is_discrete() {
+        let r = attr_table(&[(0, 0), (0, 0), (1, 2)]);
+        let p = fk_partition(&r);
+        assert_eq!(p.n_classes(), 3);
+        assert_eq!(p.class_of(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn xr_partition_groups_duplicates() {
+        let r = attr_table(&[(0, 0), (0, 0), (1, 2), (0, 0)]);
+        let p = xr_partition(&r);
+        assert_eq!(p.n_classes(), 2);
+        assert_eq!(p.class_of(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn prop_3_3_holds_with_duplicates() {
+        let r = attr_table(&[(0, 0), (0, 0), (1, 2)]);
+        let (refines, equal) = check_prop_3_3(&r);
+        assert!(refines, "H_XR ⊆ H_FK must always hold");
+        assert!(!equal, "duplicate X_R rows -> strict containment");
+        // The hypothesis-space sizes witness the strictness.
+        assert!(xr_partition(&r).log2_hypothesis_count() < fk_partition(&r).log2_hypothesis_count());
+    }
+
+    #[test]
+    fn prop_3_3_equality_iff_distinct_rows() {
+        let r = attr_table(&[(0, 0), (1, 2), (3, 1)]);
+        let (refines, equal) = check_prop_3_3(&r);
+        assert!(refines);
+        assert!(equal, "distinct X_R rows -> H_XR = H_FK");
+    }
+
+    #[test]
+    fn refinement_is_a_partial_order() {
+        let r = attr_table(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let by_a = partition_by(&r, &["a"]);
+        let by_ab = partition_by(&r, &["a", "b"]);
+        let trivial = partition_by(&r, &[]);
+        // Finer refines coarser…
+        assert!(by_ab.refines(&by_a));
+        assert!(by_a.refines(&trivial));
+        assert!(by_ab.refines(&trivial));
+        // …but not the other way (these are strict here).
+        assert!(!by_a.refines(&by_ab));
+        assert!(!trivial.refines(&by_a));
+        // Reflexivity.
+        assert!(by_a.refines(&by_a));
+    }
+
+    #[test]
+    fn single_feature_restriction_is_coarser_than_joint() {
+        // The "oracle told us to use X_r alone" case of Sec 3.2:
+        // H_{X_r} ⊆ H_{X_R} ⊆ H_FK, witnessed by class counts.
+        let r = attr_table(&[(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)]);
+        let lone = partition_by(&r, &["a"]);
+        let joint = xr_partition(&r);
+        let fk = fk_partition(&r);
+        assert!(joint.refines(&lone));
+        assert!(fk.refines(&joint));
+        assert!(lone.n_classes() <= joint.n_classes());
+        assert!(joint.n_classes() <= fk.n_classes());
+    }
+
+    #[test]
+    #[should_panic(expected = "same rows")]
+    fn mismatched_partitions_panic() {
+        let r1 = attr_table(&[(0, 0)]);
+        let r2 = attr_table(&[(0, 0), (1, 1)]);
+        let _ = fk_partition(&r1).refines(&fk_partition(&r2));
+    }
+}

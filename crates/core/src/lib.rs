@@ -1,0 +1,60 @@
+//! # hamlet-core
+//!
+//! The core contribution of *"To Join or Not to Join? Thinking Twice
+//! about Joins before Feature Selection"* (Kumar, Naughton, Patel, Zhu —
+//! SIGMOD 2016): decide **a priori**, from schema-level metadata alone,
+//! whether a key–foreign-key join can be *avoided safely* before feature
+//! selection — i.e. whether the foreign features `X_R` can be dropped and
+//! the foreign key used as their representative without blowing up test
+//! error.
+//!
+//! * [`vc`] — VC dimensions over nominal features and the Thm 3.2
+//!   generalization bound;
+//! * [`ror`] — the Risk Of Representation: exact (oracle) and the
+//!   computable worst-case upper bound, plus the tuple ratio and its
+//!   relationship to the ROR;
+//! * [`rules`] — the thresholded [`RorRule`] and [`TrRule`] with the
+//!   open-FK-domain and malign-skew guards;
+//! * [`planner`] — JoinAll / JoinOpt / NoJoins / JoinAllNoFK plans over a
+//!   [`hamlet_relational::StarSchema`].
+//!
+//! ```
+//! use hamlet_core::rules::{DecisionRule, JoinStats, TrRule, RorRule};
+//!
+//! // Walmart's Stores table: ~210k training rows, 45 stores.
+//! let stats = JoinStats {
+//!     n_train: 210_785,
+//!     n_r: 45,
+//!     q_r_star: 2,
+//!     fk_closed: true,
+//!     target_entropy_bits: 2.1,
+//! };
+//! assert!(TrRule::default().decide(&stats).is_avoid());
+//! assert!(RorRule::default().decide(&stats).is_avoid());
+//! ```
+
+pub mod advisor;
+pub mod hypothesis;
+pub mod multiclass;
+pub mod planner;
+pub mod ror;
+pub mod skew;
+pub mod rules;
+pub mod tuning;
+pub mod vc;
+
+pub use advisor::{advise, AdvisorConfig, AdvisorReport, JoinAdvice};
+pub use hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition, RowPartition};
+pub use multiclass::{graph_dimension_bound, multiclass_worst_case_ror, natarajan_dimension_bound};
+pub use planner::{explicit_plan, join_stats, plan, JoinPlan, PlanKind, TableDecision};
+pub use ror::{
+    exact_ror, is_safe_to_avoid, ror_tr_approximation, tuple_ratio, worst_case_ror, OracleRor,
+    DEFAULT_DELTA,
+};
+pub use rules::{
+    Decision, DecisionRule, JoinReason, JoinStats, RorRule, TrRule, DEFAULT_RHO, DEFAULT_TAU,
+    RELAXED_RHO, RELAXED_TAU, SKEW_GUARD_ENTROPY_BITS,
+};
+pub use skew::{diagnose_skew, SkewReport, MALIGN_RETENTION_FLOOR};
+pub use tuning::{tune_rules, tune_threshold, SafeSide, TuningPoint};
+pub use vc::{fk_vc_dimension, generalization_bound, linear_vc_dimension, variance_gap_term};

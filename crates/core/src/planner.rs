@@ -1,0 +1,296 @@
+//! Join-avoidance planning over a star schema.
+//!
+//! Turns a [`DecisionRule`] into the end-to-end comparisons of Sec 5:
+//!
+//! * **JoinAll** — "joins all base tables" (the state of the practice);
+//! * **JoinOpt** — "joins only those base tables predicted by the rule to
+//!   be not safe to avoid";
+//! * **NoJoins** — the naive opposite: avoid every join and let the FKs
+//!   represent all foreign features (Fig 8A);
+//! * **JoinAllNoFK** — join everything but drop all foreign keys a
+//!   priori, the "uninterpretable FK" habit Sec 5.2.3 shows to be
+//!   catastrophic.
+
+use hamlet_ml::info::entropy_of_counts;
+use hamlet_relational::{Result, StarSchema, Table};
+
+use crate::rules::{Decision, DecisionRule, JoinStats};
+
+/// The four plans compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Join every attribute table.
+    JoinAll,
+    /// Join only tables the decision rule deems unsafe to avoid.
+    JoinOpt,
+    /// Avoid every join.
+    NoJoins,
+    /// Join every attribute table, then drop all foreign keys.
+    JoinAllNoFk,
+}
+
+impl PlanKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::JoinAll => "JoinAll",
+            PlanKind::JoinOpt => "JoinOpt",
+            PlanKind::NoJoins => "NoJoins",
+            PlanKind::JoinAllNoFk => "JoinAllNoFK",
+        }
+    }
+}
+
+/// The rule's verdict for one attribute table, with its inputs, for
+/// reporting (Fig 8B prints exactly these).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecision {
+    /// Attribute-table name.
+    pub table: String,
+    /// Foreign key in the entity table.
+    pub fk: String,
+    /// The schema-level statistics the rule consumed.
+    pub stats: JoinStats,
+    /// The verdict.
+    pub decision: Decision,
+}
+
+/// A resolved plan: which attribute tables to join and whether to drop
+/// the foreign keys afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// Which plan produced this.
+    pub kind: PlanKind,
+    /// Positions (into `star.attributes()`) of tables to join.
+    pub joined: Vec<usize>,
+    /// Whether to drop all FK columns after joining.
+    pub drop_fks: bool,
+    /// Per-table rule verdicts (populated for `JoinOpt`; empty for the
+    /// fixed plans).
+    pub decisions: Vec<TableDecision>,
+}
+
+impl JoinPlan {
+    /// Positions of the attribute tables *avoided* by this plan.
+    pub fn avoided(&self, star: &StarSchema) -> Vec<usize> {
+        (0..star.k()).filter(|i| !self.joined.contains(i)).collect()
+    }
+
+    /// Materializes the plan into a single table ready for
+    /// `hamlet_ml::Dataset::from_table`.
+    pub fn materialize(&self, star: &StarSchema) -> Result<Table> {
+        let t = star.materialize(&self.joined)?;
+        if self.drop_fks {
+            let fk_names: Vec<String> = star
+                .attributes()
+                .iter()
+                .map(|at| at.fk.clone())
+                .collect();
+            let fk_refs: Vec<&str> = fk_names.iter().map(String::as_str).collect();
+            t.drop_attributes(&fk_refs)
+        } else {
+            Ok(t)
+        }
+    }
+}
+
+/// Gathers the rule inputs for attribute table `i` of `star`.
+///
+/// `n_train` is the number of *training* examples the downstream model
+/// will see (half of `n_S` under the 50/25/25 protocol); the entropy
+/// guard uses the entity table's full target histogram.
+pub fn join_stats(star: &StarSchema, i: usize, n_train: usize) -> JoinStats {
+    let at = &star.attributes()[i];
+    let target_entropy_bits = star
+        .entity()
+        .target_column()
+        .map(|c| entropy_of_counts(&c.histogram()))
+        .unwrap_or(f64::INFINITY);
+    JoinStats {
+        n_train,
+        n_r: at.n_rows(),
+        q_r_star: at.min_feature_domain().unwrap_or(1),
+        fk_closed: star.fk_closed(i),
+        target_entropy_bits,
+    }
+}
+
+/// Builds a plan of the given kind. For [`PlanKind::JoinOpt`] the rule is
+/// consulted per attribute table (independently, as in Sec 4.2
+/// "Multiple Attribute Tables"); the other kinds ignore the rule.
+pub fn plan<R: DecisionRule>(
+    star: &StarSchema,
+    kind: PlanKind,
+    rule: &R,
+    n_train: usize,
+) -> JoinPlan {
+    match kind {
+        PlanKind::JoinAll => JoinPlan {
+            kind,
+            joined: (0..star.k()).collect(),
+            drop_fks: false,
+            decisions: Vec::new(),
+        },
+        PlanKind::NoJoins => JoinPlan {
+            kind,
+            joined: Vec::new(),
+            drop_fks: false,
+            decisions: Vec::new(),
+        },
+        PlanKind::JoinAllNoFk => JoinPlan {
+            kind,
+            joined: (0..star.k()).collect(),
+            drop_fks: true,
+            decisions: Vec::new(),
+        },
+        PlanKind::JoinOpt => {
+            let mut joined = Vec::new();
+            let mut decisions = Vec::new();
+            for i in 0..star.k() {
+                let stats = join_stats(star, i, n_train);
+                let decision = rule.decide(&stats);
+                if !decision.is_avoid() {
+                    joined.push(i);
+                }
+                decisions.push(TableDecision {
+                    table: star.attributes()[i].table.name().to_string(),
+                    fk: star.attributes()[i].fk.clone(),
+                    stats,
+                    decision,
+                });
+            }
+            JoinPlan {
+                kind,
+                joined,
+                drop_fks: false,
+                decisions,
+            }
+        }
+    }
+}
+
+/// Builds a plan that joins exactly the listed attribute tables — used by
+/// the robustness study (Fig 8A), which sweeps the whole plan lattice.
+pub fn explicit_plan(join_set: &[usize]) -> JoinPlan {
+    JoinPlan {
+        kind: PlanKind::JoinOpt,
+        joined: join_set.to_vec(),
+        drop_fks: false,
+        decisions: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::TrRule;
+    use hamlet_relational::{AttributeTable, Domain, StarSchema, TableBuilder};
+
+    /// Star with two attribute tables: R0 tiny (safe to avoid at TR>=20),
+    /// R1 large relative to n_S (not safe).
+    fn star(n_s: usize) -> StarSchema {
+        let n_r0 = 4usize;
+        let n_r1 = n_s / 2; // TR = n_train/n_r1 = 1 -> never safe
+        let rid0 = Domain::indexed("R0ID", n_r0).shared();
+        let rid1 = Domain::indexed("R1ID", n_r1).shared();
+        let r0 = TableBuilder::new("R0")
+            .primary_key("R0ID", rid0.clone(), (0..n_r0 as u32).collect())
+            .feature("a0", Domain::boolean("a0").shared(), (0..n_r0 as u32).map(|i| i % 2).collect())
+            .build()
+            .unwrap();
+        let r1 = TableBuilder::new("R1")
+            .primary_key("R1ID", rid1.clone(), (0..n_r1 as u32).collect())
+            .feature("a1", Domain::indexed("a1", 3).shared(), (0..n_r1 as u32).map(|i| i % 3).collect())
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), (0..n_s as u32).map(|i| i % 2).collect())
+            .feature("xs", Domain::boolean("xs").shared(), (0..n_s as u32).map(|i| (i / 2) % 2).collect())
+            .foreign_key("fk0", "R0", rid0, (0..n_s as u32).map(|i| i % n_r0 as u32).collect())
+            .foreign_key("fk1", "R1", rid1, (0..n_s as u32).map(|i| i % n_r1 as u32).collect())
+            .build()
+            .unwrap();
+        StarSchema::new(
+            s,
+            vec![
+                AttributeTable { fk: "fk0".into(), table: r0 },
+                AttributeTable { fk: "fk1".into(), table: r1 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_all_joins_everything() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::JoinAll, &TrRule::default(), 200);
+        assert_eq!(p.joined, vec![0, 1]);
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("a0").is_some());
+        assert!(t.schema().index_of("a1").is_some());
+        assert!(t.schema().index_of("fk0").is_some());
+    }
+
+    #[test]
+    fn no_joins_keeps_fks_only() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::NoJoins, &TrRule::default(), 200);
+        assert!(p.joined.is_empty());
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("a0").is_none());
+        assert!(t.schema().index_of("fk0").is_some());
+        assert_eq!(p.avoided(&st), vec![0, 1]);
+    }
+
+    #[test]
+    fn join_all_no_fk_drops_fks() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::JoinAllNoFk, &TrRule::default(), 200);
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("fk0").is_none());
+        assert!(t.schema().index_of("fk1").is_none());
+        assert!(t.schema().index_of("a0").is_some());
+        assert!(t.schema().index_of("a1").is_some());
+    }
+
+    #[test]
+    fn join_opt_follows_rule() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::JoinOpt, &TrRule::default(), 200);
+        // R0: TR = 200/4 = 50 >= 20 -> avoided. R1: TR = 1 -> joined.
+        assert_eq!(p.joined, vec![1]);
+        assert_eq!(p.decisions.len(), 2);
+        assert!(p.decisions[0].decision.is_avoid());
+        assert!(!p.decisions[1].decision.is_avoid());
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("a0").is_none());
+        assert!(t.schema().index_of("a1").is_some());
+    }
+
+    #[test]
+    fn join_stats_reads_catalog() {
+        let st = star(400);
+        let s0 = join_stats(&st, 0, 200);
+        assert_eq!(s0.n_r, 4);
+        assert_eq!(s0.q_r_star, 2);
+        assert!(s0.fk_closed);
+        assert!((s0.target_entropy_bits - 1.0).abs() < 1e-9); // balanced y
+    }
+
+    #[test]
+    fn explicit_plan_joins_exact_set() {
+        let st = star(400);
+        let p = explicit_plan(&[1]);
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("a0").is_none());
+        assert!(t.schema().index_of("a1").is_some());
+    }
+
+    #[test]
+    fn plan_kind_names() {
+        assert_eq!(PlanKind::JoinAll.name(), "JoinAll");
+        assert_eq!(PlanKind::JoinOpt.name(), "JoinOpt");
+        assert_eq!(PlanKind::NoJoins.name(), "NoJoins");
+        assert_eq!(PlanKind::JoinAllNoFk.name(), "JoinAllNoFK");
+    }
+}

@@ -1,0 +1,208 @@
+//! The Risk Of Representation (ROR) and the tuple ratio (TR).
+//!
+//! Sec 4.2. The ROR quantifies the *extra* risk, in terms of the
+//! VC-dimension generalization bound (Thm 3.2), of using `FK` as a
+//! representative of the foreign features `X_R` (avoiding the join)
+//! instead of letting feature selection use `X_R`:
+//!
+//! ```text
+//! ROR = [ sqrt(v_Yes ln(2en/v_Yes)) - sqrt(v_No ln(2en/v_No)) ] / (delta sqrt(2n)) + Δbias
+//! ```
+//!
+//! The exact ROR needs an oracle (`U_S`, `U_R`, `Δbias` are unknowable a
+//! priori), so the paper derives the computable **worst-case ROR** by
+//! (1) dropping `Δbias <= 0`, (2) maximizing over `q_S` (at 0), and
+//! (3) maximizing over `q_No` (at `q_R* = min_F |D_F|`):
+//!
+//! ```text
+//! ROR <= [ sqrt(|D_FK| ln(2en/|D_FK|)) - sqrt(q_R* ln(2en/q_R*)) ] / (delta sqrt(2n))
+//! ```
+//!
+//! The **tuple ratio** `TR = n_S / n_R` is a conservative simplification:
+//! when `|D_FK| >> q_R*`, `ROR ≈ sqrt(ln(2e n_S/n_R)) / (delta sqrt(2)) * TR^{-1/2}`.
+
+use crate::vc::variance_gap_term;
+
+/// Failure probability used throughout the paper (footnote 8).
+pub const DEFAULT_DELTA: f64 = 0.1;
+
+/// Inputs for an exact (oracle) ROR computation — available only in
+/// simulations where the true distribution is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleRor {
+    /// VC dimension of the hypothetical best classifier that avoids the
+    /// join (uses `FK` as representative): `q_S + |D_FK|`.
+    pub v_yes: usize,
+    /// VC dimension of the best classifier that performs the join:
+    /// `q_S < v_No <= q_S + q_R`.
+    pub v_no: usize,
+    /// Difference in bias (avoid minus join); `<= 0` by Prop 3.3.
+    pub delta_bias: f64,
+}
+
+/// Exact ROR given oracle knowledge (Sec 4.2 display equation).
+pub fn exact_ror(oracle: OracleRor, n: usize, delta: f64) -> f64 {
+    variance_gap_term(oracle.v_yes, n, delta) - variance_gap_term(oracle.v_no, n, delta)
+        + oracle.delta_bias
+}
+
+/// The computable **worst-case ROR** (Sec 4.2, final inequality).
+///
+/// * `n` — number of training examples;
+/// * `fk_domain` — `|D_FK|` (equals `n_R` under the closed-domain
+///   assumption);
+/// * `q_r_star` — `min_{F in X_R} |D_F|`;
+/// * `delta` — failure probability.
+pub fn worst_case_ror(n: usize, fk_domain: usize, q_r_star: usize, delta: f64) -> f64 {
+    variance_gap_term(fk_domain, n, delta) - variance_gap_term(q_r_star.min(fk_domain), n, delta)
+}
+
+/// The tuple ratio `TR = n_S / n_R` (Sec 4.2).
+pub fn tuple_ratio(n: usize, n_r: usize) -> f64 {
+    assert!(n_r > 0, "attribute table must be non-empty");
+    n as f64 / n_r as f64
+}
+
+/// The paper's closed-form approximation of the worst-case ROR when
+/// `|D_FK| >> q_R*`:
+/// `ROR ≈ (1/sqrt(TR)) * sqrt(ln(2e n/n_r)) / (delta sqrt(2))`.
+pub fn ror_tr_approximation(n: usize, n_r: usize, delta: f64) -> f64 {
+    let tr = tuple_ratio(n, n_r);
+    let log_term = (2.0 * std::f64::consts::E * n as f64 / n_r as f64).ln();
+    (1.0 / tr.sqrt()) * log_term.sqrt() / (delta * 2.0f64.sqrt())
+}
+
+/// Definition 4.3: the join is `(delta, epsilon)`-safe to avoid iff the
+/// ROR with the given `delta` is no larger than `epsilon`.
+pub fn is_safe_to_avoid(ror: f64, epsilon: f64) -> bool {
+    ror <= epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_ror_zero_when_domains_equal() {
+        // q_R* = |D_FK| -> the two gap terms cancel (Fig 5's "low ROR" case).
+        let r = worst_case_ror(10_000, 500, 500, 0.1);
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_ror_grows_with_fk_domain() {
+        let n = 100_000;
+        let r1 = worst_case_ror(n, 100, 2, 0.1);
+        let r2 = worst_case_ror(n, 10_000, 2, 0.1);
+        assert!(r2 > r1);
+    }
+
+    #[test]
+    fn worst_case_ror_shrinks_with_n() {
+        let r1 = worst_case_ror(10_000, 1_000, 2, 0.1);
+        let r2 = worst_case_ror(1_000_000, 1_000, 2, 0.1);
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    fn worst_case_ror_nonnegative() {
+        for &(n, d, q) in &[(1_000usize, 100usize, 2usize), (5_000, 50, 50), (100, 99, 3)] {
+            assert!(worst_case_ror(n, d, q, 0.1) >= -1e-12, "({n},{d},{q})");
+        }
+    }
+
+    #[test]
+    fn exact_ror_below_worst_case() {
+        // Oracle with q_S > 0 and q_No > q_R* must not exceed the worst case.
+        let n = 50_000;
+        let fk = 2_000;
+        let q_s = 10;
+        let q_no = 40; // actual joint distinct values used
+        let oracle = OracleRor {
+            v_yes: q_s + fk,
+            v_no: q_s + q_no,
+            delta_bias: 0.0,
+        };
+        let exact = exact_ror(oracle, n, 0.1);
+        let worst = worst_case_ror(n, fk, 4, 0.1); // q_R* = 4 <= q_no
+        assert!(exact <= worst + 1e-9, "exact {exact} > worst {worst}");
+    }
+
+    #[test]
+    fn negative_delta_bias_reduces_exact_ror() {
+        let oracle0 = OracleRor {
+            v_yes: 1_000,
+            v_no: 10,
+            delta_bias: 0.0,
+        };
+        let oracle_neg = OracleRor {
+            delta_bias: -0.05,
+            ..oracle0
+        };
+        let n = 10_000;
+        assert!(exact_ror(oracle_neg, n, 0.1) < exact_ror(oracle0, n, 0.1));
+    }
+
+    #[test]
+    fn tuple_ratio_basic() {
+        assert_eq!(tuple_ratio(1_000, 50), 20.0);
+        assert_eq!(tuple_ratio(10, 100), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn tuple_ratio_zero_nr_panics() {
+        tuple_ratio(10, 0);
+    }
+
+    #[test]
+    fn tr_approximation_tracks_worst_case() {
+        // When |D_FK| >> q_R*, the approximation should be close to the
+        // worst-case ROR (within the dropped subtractive term).
+        let n = 100_000;
+        let n_r = 2_000;
+        let exact = worst_case_ror(n, n_r, 2, 0.1);
+        let approx = ror_tr_approximation(n, n_r, 0.1);
+        assert!(approx >= exact, "approximation must be conservative");
+        assert!(
+            (approx - exact) / approx < 0.25,
+            "approximation too loose: {approx} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn ror_approximately_linear_in_inverse_sqrt_tr() {
+        // Fig 4(C): correlation between ROR and 1/sqrt(TR) should be very
+        // high across a parameter sweep.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &n in &[500usize, 1_000, 2_000, 4_000, 8_000] {
+            for &n_r in &[10usize, 20, 40, 100, 200] {
+                if n <= n_r {
+                    continue;
+                }
+                xs.push(1.0 / tuple_ratio(n, n_r).sqrt());
+                ys.push(worst_case_ror(n, n_r, 2, 0.1));
+            }
+        }
+        let r = pearson(&xs, &ys);
+        assert!(r > 0.95, "Pearson correlation too low: {r}");
+    }
+
+    #[test]
+    fn safety_definition() {
+        assert!(is_safe_to_avoid(2.4, 2.5));
+        assert!(is_safe_to_avoid(2.5, 2.5));
+        assert!(!is_safe_to_avoid(2.6, 2.5));
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

@@ -1,0 +1,170 @@
+//! Foreign-key skew detection (appendix D).
+//!
+//! The default guard in [`crate::rules`] is the conservative `H(Y)`
+//! check. Appendix D notes a sharper option: "it is possible to detect
+//! malign skews using `H(FK|Y)`". This module implements both signals
+//! over actual columns, so an analyst (or the ablation experiment) can
+//! compare the conservative guard with the targeted detector:
+//!
+//! * **benign** skew — `P(FK)` is skewed but every class spreads over
+//!   many FK values; `H(FK | Y = y)` stays close to `H(FK)` for all `y`;
+//! * **malign** skew — some (typically rare) class concentrates on a
+//!   handful of FK values ("the needle"); for that class
+//!   `H(FK | Y = y)` collapses, so `min_y H(FK|Y=y) / H(FK)` drops.
+
+use hamlet_ml::info::{conditional_entropy, entropy, entropy_of_counts};
+
+/// Skew diagnostics for one foreign key against the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewReport {
+    /// `H(Y)` in bits.
+    pub h_y: f64,
+    /// `H(FK)` in bits.
+    pub h_fk: f64,
+    /// `H(FK | Y)` in bits (averaged over classes).
+    pub h_fk_given_y: f64,
+    /// `min_y H(FK | Y = y) / H(FK)` — the malign-skew signal (low means
+    /// some class sits on very few FK values).
+    pub retention: f64,
+}
+
+/// Default retention floor below which skew is classified malign: the
+/// needle-and-thread distributions of Fig 13(B) fall well under this,
+/// while Zipf skews (benign) and ordinary informative FKs stay above it.
+pub const MALIGN_RETENTION_FLOOR: f64 = 0.5;
+
+/// Computes skew diagnostics for a foreign-key column and a label column
+/// over the given rows.
+pub fn diagnose_skew(
+    fk_codes: &[u32],
+    fk_domain: usize,
+    y_codes: &[u32],
+    n_classes: usize,
+    rows: &[usize],
+) -> SkewReport {
+    let h_y = entropy(y_codes, n_classes, rows);
+    let h_fk = entropy(fk_codes, fk_domain, rows);
+    let h_fk_given_y = conditional_entropy(fk_codes, fk_domain, y_codes, n_classes, rows);
+
+    // Per-class conditional entropy H(FK | Y = y).
+    let mut per_class = vec![vec![0u64; fk_domain]; n_classes];
+    for &r in rows {
+        per_class[y_codes[r] as usize][fk_codes[r] as usize] += 1;
+    }
+    let min_h = per_class
+        .iter()
+        .filter(|counts| counts.iter().any(|&c| c > 0))
+        .map(|counts| entropy_of_counts(counts))
+        .fold(f64::INFINITY, f64::min);
+    let retention = if h_fk > 0.0 && min_h.is_finite() {
+        min_h / h_fk
+    } else {
+        1.0
+    };
+    SkewReport {
+        h_y,
+        h_fk,
+        h_fk_given_y,
+        retention,
+    }
+}
+
+impl SkewReport {
+    /// Whether the skew is malign under the targeted detector.
+    pub fn is_malign(&self, retention_floor: f64) -> bool {
+        self.retention < retention_floor
+    }
+
+    /// Whether the paper's conservative guard would fire
+    /// (`H(Y) < 0.5` bits).
+    pub fn conservative_guard_fires(&self) -> bool {
+        self.h_y < crate::rules::SKEW_GUARD_ENTROPY_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Needle-and-thread: FK 0 carries half the mass and is the only FK
+    /// with label 0; the rest share label 1.
+    fn malign_instance(n: usize, n_fk: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut fk = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % 2 == 0 {
+                fk.push(0);
+                y.push(0);
+            } else {
+                fk.push(1 + ((i / 2) % (n_fk - 1)) as u32);
+                y.push(1);
+            }
+        }
+        (fk, y)
+    }
+
+    /// Zipf-ish benign skew: FK mass is skewed but labels alternate
+    /// independently of FK.
+    fn benign_instance(n: usize, n_fk: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut fk = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            // Roughly geometric FK mass.
+            let mut v = 0;
+            let mut m = i % 16;
+            while m > 0 && v + 1 < n_fk {
+                v += 1;
+                m /= 2;
+            }
+            fk.push(v as u32);
+            y.push((i % 2) as u32);
+        }
+        (fk, y)
+    }
+
+    #[test]
+    fn malign_skew_detected() {
+        let (fk, y) = malign_instance(4000, 41);
+        let rows: Vec<usize> = (0..4000).collect();
+        let r = diagnose_skew(&fk, 41, &y, 2, &rows);
+        assert!(
+            r.is_malign(MALIGN_RETENTION_FLOOR),
+            "retention {} should be malign",
+            r.retention
+        );
+        // The conservative guard does NOT fire here: H(Y) = 1 bit.
+        assert!(!r.conservative_guard_fires());
+    }
+
+    #[test]
+    fn benign_skew_not_flagged() {
+        let (fk, y) = benign_instance(4000, 41);
+        let rows: Vec<usize> = (0..4000).collect();
+        let r = diagnose_skew(&fk, 41, &y, 2, &rows);
+        assert!(
+            !r.is_malign(MALIGN_RETENTION_FLOOR),
+            "retention {} should be benign",
+            r.retention
+        );
+    }
+
+    #[test]
+    fn uniform_fk_has_full_retention() {
+        let fk: Vec<u32> = (0..1000u32).map(|i| i % 10).collect();
+        let y: Vec<u32> = (0..1000u32).map(|i| (i / 10) % 2).collect();
+        let rows: Vec<usize> = (0..1000).collect();
+        let r = diagnose_skew(&fk, 10, &y, 2, &rows);
+        assert!((r.retention - 1.0).abs() < 0.01, "retention {}", r.retention);
+        assert!((r.h_fk - (10f64).log2()).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_fk_degenerate_case() {
+        let fk = vec![0u32; 100];
+        let y: Vec<u32> = (0..100u32).map(|i| i % 2).collect();
+        let rows: Vec<usize> = (0..100).collect();
+        let r = diagnose_skew(&fk, 5, &y, 2, &rows);
+        assert_eq!(r.retention, 1.0); // H(FK)=0 -> defined as benign
+        assert!(!r.is_malign(MALIGN_RETENTION_FLOOR));
+    }
+}

@@ -1,0 +1,164 @@
+//! Threshold tuning from simulation measurements (Sec 4.2, "Tuning the
+//! Thresholds").
+//!
+//! The thresholds `rho` (ROR) and `tau` (TR) "need to be tuned only once
+//! per ML model (more precisely, once per VC dimension expression)": run
+//! the simulation sweep, plot the error increase of avoiding the join
+//! against each statistic, and pick the threshold at the conservative
+//! frontier for the application's error tolerance. This module is that
+//! procedure as an API, so a user bringing a new model class (new VC
+//! expression, new tolerance) can re-tune without re-implementing it.
+
+/// One measurement: a rule statistic and the observed error increase
+/// caused by avoiding the join at that configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningPoint {
+    /// The rule statistic (ROR or TR) at the configuration.
+    pub statistic: f64,
+    /// `NoJoin - UseAll` test error (the asymmetric difference of Fig 4).
+    pub error_increase: f64,
+}
+
+/// Direction of safety for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafeSide {
+    /// Lower statistic = safer (the ROR: avoid iff `stat <= threshold`).
+    Low,
+    /// Higher statistic = safer (the TR: avoid iff `stat >= threshold`).
+    High,
+}
+
+/// Finds the most permissive threshold that keeps every point on its
+/// safe side within `tolerance`:
+///
+/// * [`SafeSide::Low`] — the largest `t` such that all points with
+///   `statistic <= t` have `error_increase <= tolerance`;
+/// * [`SafeSide::High`] — the smallest `t` such that all points with
+///   `statistic >= t` have `error_increase <= tolerance`.
+///
+/// Returns `None` when no threshold admits any point (even the safest
+/// configuration exceeds the tolerance).
+pub fn tune_threshold(points: &[TuningPoint], tolerance: f64, side: SafeSide) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    // Sort unsafe-before-safe within a tied statistic so a tie between a
+    // safe and an unsafe point stops the frontier *before* the tie: the
+    // returned region must be uniformly safe, thresholds inclusive.
+    let mut sorted: Vec<&TuningPoint> = points.iter().collect();
+    let safe = |p: &TuningPoint| p.error_increase <= tolerance;
+    match side {
+        SafeSide::Low => {
+            sorted.sort_by(|a, b| {
+                a.statistic
+                    .partial_cmp(&b.statistic)
+                    .expect("finite")
+                    .then_with(|| safe(a).cmp(&safe(b))) // unsafe first on ties
+            });
+            let mut best = None;
+            for p in sorted {
+                if safe(p) {
+                    best = Some(p.statistic);
+                } else {
+                    break;
+                }
+            }
+            best
+        }
+        SafeSide::High => {
+            sorted.sort_by(|a, b| {
+                b.statistic
+                    .partial_cmp(&a.statistic)
+                    .expect("finite")
+                    .then_with(|| safe(a).cmp(&safe(b)))
+            });
+            let mut best = None;
+            for p in sorted {
+                if safe(p) {
+                    best = Some(p.statistic);
+                } else {
+                    break;
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Tunes both thresholds at once from a sweep where each configuration
+/// carries both statistics. Returns `(rho, tau)`.
+pub fn tune_rules(
+    ror_points: &[TuningPoint],
+    tr_points: &[TuningPoint],
+    tolerance: f64,
+) -> (Option<f64>, Option<f64>) {
+    (
+        tune_threshold(ror_points, tolerance, SafeSide::Low),
+        tune_threshold(tr_points, tolerance, SafeSide::High),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(pairs: &[(f64, f64)]) -> Vec<TuningPoint> {
+        pairs
+            .iter()
+            .map(|&(statistic, error_increase)| TuningPoint {
+                statistic,
+                error_increase,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn low_side_frontier() {
+        let points = pts(&[(1.0, 0.0), (2.0, 0.0005), (3.0, 0.01), (4.0, 0.05)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), Some(2.0));
+        assert_eq!(tune_threshold(&points, 0.02, SafeSide::Low), Some(3.0));
+        assert_eq!(tune_threshold(&points, 0.1, SafeSide::Low), Some(4.0));
+    }
+
+    #[test]
+    fn high_side_frontier() {
+        let points = pts(&[(100.0, 0.0), (50.0, 0.0005), (10.0, 0.01), (5.0, 0.05)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::High), Some(50.0));
+        assert_eq!(tune_threshold(&points, 0.02, SafeSide::High), Some(10.0));
+    }
+
+    #[test]
+    fn no_safe_point_returns_none() {
+        let points = pts(&[(1.0, 0.5), (2.0, 0.6)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), None);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::High), None);
+        assert_eq!(tune_threshold(&[], 0.001, SafeSide::Low), None);
+    }
+
+    #[test]
+    fn frontier_stops_at_first_violation() {
+        // A safe point *beyond* an unsafe one must not extend the
+        // threshold (conservatism: the region must be uniformly safe).
+        let points = pts(&[(1.0, 0.0), (2.0, 0.05), (3.0, 0.0)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), Some(1.0));
+    }
+
+    #[test]
+    fn tied_statistics_with_mixed_safety_stop_before_the_tie() {
+        // A safe and an unsafe point share statistic 2.0: the region
+        // "stat <= threshold" must exclude them both.
+        let points = pts(&[(1.0, 0.0), (2.0, 0.0), (2.0, 0.9)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), Some(1.0));
+        let high = pts(&[(100.0, 0.0), (50.0, 0.0), (50.0, 0.9)]);
+        assert_eq!(tune_threshold(&high, 0.001, SafeSide::High), Some(100.0));
+    }
+
+    #[test]
+    fn tune_both_rules() {
+        let ror = pts(&[(1.0, 0.0), (3.0, 0.01)]);
+        let tr = pts(&[(100.0, 0.0), (5.0, 0.01)]);
+        let (rho, tau) = tune_rules(&ror, &tr, 0.001);
+        assert_eq!(rho, Some(1.0));
+        assert_eq!(tau, Some(100.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! VC dimensions of classifiers over nominal features, and the
+//! generalization bound of Theorem 3.2.
+//!
+//! The paper recodes nominal features to numeric space with the binary
+//! vector representation (`|D_F| - 1` dimensions per feature; Sec 3.2).
+//! With that recoding, "the VC dimension of Naive Bayes (or logistic
+//! regression) on a set X of nominal features is `1 + sum_F (|D_F| - 1)`".
+//! If `FK` alone is used, "the maximum VC dimension for any classifier is
+//! `|D_FK|`".
+
+/// VC dimension of a "linear" classifier (Naive Bayes, logistic
+/// regression) over nominal features with the given domain sizes:
+/// `1 + sum_F (|D_F| - 1)`.
+pub fn linear_vc_dimension(domain_sizes: &[usize]) -> usize {
+    1 + domain_sizes
+        .iter()
+        .map(|&d| d.saturating_sub(1))
+        .sum::<usize>()
+}
+
+/// VC dimension of any classifier that uses the foreign key alone:
+/// `|D_FK|` (one behaviour per FK value).
+pub fn fk_vc_dimension(fk_domain: usize) -> usize {
+    fk_domain
+}
+
+/// The generalization bound of Theorem 3.2 (Shalev-Shwartz & Ben-David,
+/// p. 51): with probability at least `1 - delta`,
+///
+/// ```text
+/// |test error - train error| <= (4 + sqrt(v ln(2en/v))) / (delta sqrt(2n))
+/// ```
+///
+/// Natural logarithm throughout. Requires `n > v`; returns `None`
+/// otherwise (the bound is vacuous there).
+pub fn generalization_bound(v: usize, n: usize, delta: f64) -> Option<f64> {
+    if n <= v || v == 0 || !(0.0..=1.0).contains(&delta) || delta == 0.0 {
+        return None;
+    }
+    let v = v as f64;
+    let n = n as f64;
+    let num = 4.0 + (v * (2.0 * std::f64::consts::E * n / v).ln()).sqrt();
+    Some(num / (delta * (2.0 * n).sqrt()))
+}
+
+/// The variance-gap term `sqrt(v ln(2en/v)) / (delta sqrt(2n))` without
+/// the additive constant — the building block of the ROR (Sec 4.2).
+pub fn variance_gap_term(v: usize, n: usize, delta: f64) -> f64 {
+    if v == 0 {
+        return 0.0;
+    }
+    let v = v as f64;
+    let n = n as f64;
+    (v * (2.0 * std::f64::consts::E * n / v).ln()).sqrt() / (delta * (2.0 * n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_vc_matches_paper_formula() {
+        // Two booleans and one 4-valued feature: 1 + 1 + 1 + 3 = 6.
+        assert_eq!(linear_vc_dimension(&[2, 2, 4]), 6);
+        // Empty feature set: intercept only.
+        assert_eq!(linear_vc_dimension(&[]), 1);
+        // Degenerate single-value feature adds nothing.
+        assert_eq!(linear_vc_dimension(&[1]), 1);
+    }
+
+    #[test]
+    fn fk_vc_is_domain_size() {
+        assert_eq!(fk_vc_dimension(100), 100);
+    }
+
+    #[test]
+    fn fk_dominates_distinct_xr_values() {
+        // |D_FK| >= r implies VC(FK) >= VC(any classifier on X_R in R).
+        let d_fk = 1000;
+        let r = 37; // distinct X_R combinations actually in R
+        assert!(fk_vc_dimension(d_fk) >= r);
+    }
+
+    #[test]
+    fn bound_decreases_with_n() {
+        let b1 = generalization_bound(10, 100, 0.1).unwrap();
+        let b2 = generalization_bound(10, 10_000, 0.1).unwrap();
+        assert!(b2 < b1);
+    }
+
+    #[test]
+    fn bound_increases_with_v() {
+        let b1 = generalization_bound(10, 10_000, 0.1).unwrap();
+        let b2 = generalization_bound(1_000, 10_000, 0.1).unwrap();
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn bound_requires_n_greater_than_v() {
+        assert!(generalization_bound(100, 100, 0.1).is_none());
+        assert!(generalization_bound(100, 99, 0.1).is_none());
+        assert!(generalization_bound(100, 101, 0.1).is_some());
+    }
+
+    #[test]
+    fn bound_rejects_bad_delta() {
+        assert!(generalization_bound(10, 100, 0.0).is_none());
+        assert!(generalization_bound(10, 100, 1.5).is_none());
+    }
+
+    #[test]
+    fn gap_term_monotone_in_v_for_v_below_2en() {
+        let n = 10_000;
+        let mut prev = 0.0;
+        for v in [1usize, 10, 100, 1_000, 5_000] {
+            let g = variance_gap_term(v, n, 0.1);
+            assert!(g > prev, "gap term should grow with v (v={v})");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn gap_term_zero_for_empty_model() {
+        assert_eq!(variance_gap_term(0, 100, 0.1), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_bound() {
+        // v=2, n=200, delta=0.1:
+        // sqrt(2 * ln(2e*200/2)) = sqrt(2 * ln(543.66)) = sqrt(2*6.2984)
+        let v = 2usize;
+        let n = 200usize;
+        let inner: f64 = 2.0 * (2.0 * std::f64::consts::E * 100.0).ln();
+        let expect = (4.0 + inner.sqrt()) / (0.1 * (400.0f64).sqrt());
+        let got = generalization_bound(v, n, 0.1).unwrap();
+        assert!((got - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! Fluent builder for custom synthetic star schemas.
+//!
+//! [`crate::realistic`] ships the paper's seven datasets; this builder
+//! exposes the same generator — planted Gaussian-score concepts over a
+//! configurable star schema — for user-defined scenarios: new tuple
+//! ratios, new signal placements (entity / hidden-FK / visible-foreign),
+//! new class counts. Useful for stress-testing the decision rules on
+//! shapes the paper never measured.
+//!
+//! ```
+//! use hamlet_datagen::builder::SyntheticStarBuilder;
+//!
+//! let generated = SyntheticStarBuilder::new("Custom", 3, 20_000)
+//!     .noise(0.8)
+//!     .entity_feature("device", 6, 0.5)
+//!     .attribute_table("Sellers", "SellerID", 200, |t| {
+//!         t.hidden_weight(0.7)
+//!             .feature("Region", 12)
+//!             .weighted_feature("Tier", 4, 0.3)
+//!     })
+//!     .attribute_table("Sessions", "SessionID", 10_000, |t| {
+//!         t.open_domain().feature("Hour", 24)
+//!     })
+//!     .generate(42);
+//! assert_eq!(generated.star.k(), 2);
+//! ```
+
+use crate::realistic::{AttrTableSpec, DatasetSpec, FeatureSpec, GeneratedDataset};
+
+/// Builder for one attribute table.
+#[derive(Debug, Clone)]
+pub struct AttrTableBuilder {
+    table: &'static str,
+    fk: &'static str,
+    n_rows: usize,
+    features: Vec<FeatureSpec>,
+    closed: bool,
+    hidden_weight: f64,
+    visible_weights: Vec<(usize, f64)>,
+}
+
+impl AttrTableBuilder {
+    fn new(table: &'static str, fk: &'static str, n_rows: usize) -> Self {
+        Self {
+            table,
+            fk,
+            n_rows,
+            features: Vec::new(),
+            closed: true,
+            hidden_weight: 0.0,
+            visible_weights: Vec::new(),
+        }
+    }
+
+    /// Adds a noise feature with the given domain size.
+    pub fn feature(mut self, name: &'static str, domain: usize) -> Self {
+        self.features.push(FeatureSpec { name, domain });
+        self
+    }
+
+    /// Adds a feature that carries concept weight `w`.
+    pub fn weighted_feature(mut self, name: &'static str, domain: usize, w: f64) -> Self {
+        self.visible_weights.push((self.features.len(), w));
+        self.features.push(FeatureSpec { name, domain });
+        self
+    }
+
+    /// Sets the hidden per-row (identity) concept weight.
+    pub fn hidden_weight(mut self, w: f64) -> Self {
+        self.hidden_weight = w;
+        self
+    }
+
+    /// Marks the referencing FK's domain as open (not a join-avoidance
+    /// candidate).
+    pub fn open_domain(mut self) -> Self {
+        self.closed = false;
+        self
+    }
+
+    fn build(self) -> AttrTableSpec {
+        // A table whose signal is hidden-or-absent is avoidable whenever
+        // the FK can be learned; visible signal makes that contingent on
+        // the tuple ratio — the builder records the *structural* truth
+        // (no visible signal => hindsight-safe), which the generator's
+        // tests rely on. Users probing edge cases should assert on
+        // measured errors, not this flag.
+        let safe = self.visible_weights.is_empty();
+        AttrTableSpec {
+            table: self.table,
+            fk: self.fk,
+            n_rows: self.n_rows,
+            features: self.features,
+            closed: self.closed,
+            hidden_weight: self.hidden_weight,
+            visible_weights: self.visible_weights,
+            safe_to_avoid_in_hindsight: safe,
+        }
+    }
+}
+
+/// Builder for a full synthetic star schema.
+#[derive(Debug, Clone)]
+pub struct SyntheticStarBuilder {
+    spec: DatasetSpec,
+}
+
+impl SyntheticStarBuilder {
+    /// Starts a dataset named `name` with `n_classes` target classes and
+    /// `n_s` entity rows (at scale 1.0).
+    pub fn new(name: &'static str, n_classes: usize, n_s: usize) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(n_s > 0, "need at least one row");
+        Self {
+            spec: DatasetSpec {
+                name,
+                n_classes,
+                n_s,
+                target: "Y",
+                entity_features: Vec::new(),
+                entity_weights: Vec::new(),
+                tables: Vec::new(),
+                noise: 1.0,
+            },
+        }
+    }
+
+    /// Sets the Gaussian score-noise standard deviation (default 1.0).
+    pub fn noise(mut self, sd: f64) -> Self {
+        assert!(sd >= 0.0, "noise must be nonnegative");
+        self.spec.noise = sd;
+        self
+    }
+
+    /// Adds an entity feature carrying concept weight `w` (0 for noise).
+    pub fn entity_feature(mut self, name: &'static str, domain: usize, w: f64) -> Self {
+        if w != 0.0 {
+            self.spec
+                .entity_weights
+                .push((self.spec.entity_features.len(), w));
+        }
+        self.spec.entity_features.push(FeatureSpec { name, domain });
+        self
+    }
+
+    /// Adds an attribute table configured by `f`.
+    pub fn attribute_table<F>(
+        mut self,
+        table: &'static str,
+        fk: &'static str,
+        n_rows: usize,
+        f: F,
+    ) -> Self
+    where
+        F: FnOnce(AttrTableBuilder) -> AttrTableBuilder,
+    {
+        let builder = f(AttrTableBuilder::new(table, fk, n_rows));
+        self.spec.tables.push(builder.build());
+        self
+    }
+
+    /// The assembled spec (for inspection or Fig-6-style reporting).
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Generates the dataset at full scale.
+    pub fn generate(&self, seed: u64) -> GeneratedDataset {
+        self.spec.generate(1.0, seed)
+    }
+
+    /// Generates at a reduced scale (joint shrink of `n_S` and `n_Ri`).
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> GeneratedDataset {
+        self.spec.generate(scale, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_core::advisor::{advise, AdvisorConfig};
+
+    fn sample() -> SyntheticStarBuilder {
+        SyntheticStarBuilder::new("Custom", 2, 10_000)
+            .noise(0.8)
+            .entity_feature("x", 4, 0.6)
+            .entity_feature("noise", 8, 0.0)
+            .attribute_table("Safe", "SafeID", 100, |t| {
+                t.hidden_weight(0.5).feature("a", 3)
+            })
+            .attribute_table("Unsafe", "UnsafeID", 4_000, |t| {
+                t.weighted_feature("quality", 9, 0.8)
+            })
+    }
+
+    #[test]
+    fn builder_shapes_spec() {
+        let b = sample();
+        let spec = b.spec();
+        assert_eq!(spec.entity_features.len(), 2);
+        assert_eq!(spec.entity_weights, vec![(0, 0.6)]);
+        assert_eq!(spec.tables.len(), 2);
+        assert!(spec.tables[0].safe_to_avoid_in_hindsight);
+        assert!(!spec.tables[1].safe_to_avoid_in_hindsight);
+        assert!((spec.tables[0].hidden_weight - 0.5).abs() < 1e-12);
+        assert_eq!(spec.tables[1].visible_weights, vec![(0, 0.8)]);
+    }
+
+    #[test]
+    fn generated_star_matches_builder() {
+        let g = sample().generate(7);
+        assert_eq!(g.star.n_s(), 10_000);
+        assert_eq!(g.star.k(), 2);
+        assert_eq!(g.star.attributes()[0].n_rows(), 100);
+        assert_eq!(g.star.attributes()[1].n_rows(), 4_000);
+        assert!(g.star.fk_closed(0));
+    }
+
+    #[test]
+    fn advisor_sees_the_planted_structure() {
+        let g = sample().generate(7);
+        let report = advise(&g.star, 5_000, &AdvisorConfig::default());
+        // Safe: TR = 5000/100 = 50 -> avoid. Unsafe: TR = 1.25 -> join.
+        assert!(report.joins[0].avoid);
+        assert!(!report.joins[1].avoid);
+    }
+
+    #[test]
+    fn open_domain_flag_propagates() {
+        let g = SyntheticStarBuilder::new("T", 2, 1_000)
+            .attribute_table("Sessions", "SessionID", 100, |t| {
+                t.open_domain().feature("h", 24)
+            })
+            .generate(3);
+        assert!(!g.star.fk_closed(0));
+    }
+
+    #[test]
+    fn scaled_generation_preserves_tr() {
+        let b = sample();
+        let full = b.generate(1);
+        let small = b.generate_scaled(0.1, 1);
+        let tr_full = full.star.n_s() as f64 / full.star.attributes()[1].n_rows() as f64;
+        let tr_small = small.star.n_s() as f64 / small.star.attributes()[1].n_rows() as f64;
+        assert!((tr_full - tr_small).abs() / tr_full < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn one_class_rejected() {
+        SyntheticStarBuilder::new("T", 1, 10);
+    }
+}

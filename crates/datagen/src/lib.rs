@@ -1,0 +1,25 @@
+//! # hamlet-datagen
+//!
+//! Synthetic data for the SIGMOD 2016 "To Join or Not to Join?"
+//! reproduction:
+//!
+//! * [`sim`] — the Monte-Carlo simulation worlds of Sec 4.1 and appendix
+//!   D (three true-distribution scenarios over a two-table star schema,
+//!   with exact per-row conditionals for the bias/variance decomposition);
+//! * [`skew`] — foreign-key skew models: uniform, benign Zipf, and the
+//!   malign needle-and-thread distribution (appendix D);
+//! * [`realistic`] — synthetic analogs of the paper's seven real datasets
+//!   with the exact Figure 6 shape statistics and planted ground truth
+//!   (see DESIGN.md §3 for the substitution argument);
+//! * [`stats`] — normal quantile/CDF, Pearson correlation, and friends.
+
+pub mod builder;
+pub mod realistic;
+pub mod sim;
+pub mod skew;
+pub mod stats;
+
+pub use builder::{AttrTableBuilder, SyntheticStarBuilder};
+pub use realistic::{AttrTableSpec, DatasetSpec, FeatureSpec, GeneratedDataset};
+pub use sim::{Scenario, SimSample, SimWorld, SimulationConfig};
+pub use skew::{FkSampler, FkSkew};

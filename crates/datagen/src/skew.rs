@@ -1,0 +1,195 @@
+//! Foreign-key skew models (appendix D).
+//!
+//! The paper's decision rules assume non-skewed FKs; appendix D studies
+//! two skew families: **benign** Zipfian skew and the **malign**
+//! "needle-and-thread" distribution where one FK value carries probability
+//! mass `p` and is associated with one `X_r` (hence one `Y`) value while
+//! the remaining `1 - p` is spread uniformly over FK values associated
+//! with the other value.
+
+use rand::Rng;
+
+/// A distribution over foreign-key codes `0..n`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FkSkew {
+    /// Uniform over all FK values (the paper's default assumption).
+    Uniform,
+    /// Zipfian with the given exponent: `P(k) ∝ 1/(k+1)^s` — the benign
+    /// skew of Fig 13(A), "often used in the database literature".
+    Zipf {
+        /// Skew exponent `s > 0`.
+        exponent: f64,
+    },
+    /// Needle-and-thread (Fig 13(B)): FK value 0 has mass `needle_prob`;
+    /// the rest share `1 - needle_prob` uniformly.
+    NeedleAndThread {
+        /// Probability mass of the needle value.
+        needle_prob: f64,
+    },
+}
+
+/// A sampler for FK codes with a precomputed cumulative table.
+#[derive(Debug, Clone)]
+pub struct FkSampler {
+    cumulative: Vec<f64>,
+}
+
+impl FkSampler {
+    /// Builds a sampler over `n` FK values with the given skew.
+    ///
+    /// # Panics
+    /// Panics on `n == 0`, non-positive Zipf exponent, or a needle
+    /// probability outside `(0, 1)`.
+    pub fn new(skew: &FkSkew, n: usize) -> Self {
+        assert!(n > 0, "need at least one FK value");
+        let probs: Vec<f64> = match skew {
+            FkSkew::Uniform => vec![1.0 / n as f64; n],
+            FkSkew::Zipf { exponent } => {
+                assert!(*exponent > 0.0, "Zipf exponent must be positive");
+                let raw: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(*exponent)).collect();
+                let z: f64 = raw.iter().sum();
+                raw.into_iter().map(|p| p / z).collect()
+            }
+            FkSkew::NeedleAndThread { needle_prob } => {
+                assert!(
+                    *needle_prob > 0.0 && *needle_prob < 1.0,
+                    "needle probability must be in (0, 1)"
+                );
+                if n == 1 {
+                    vec![1.0]
+                } else {
+                    let rest = (1.0 - needle_prob) / (n - 1) as f64;
+                    let mut p = vec![rest; n];
+                    p[0] = *needle_prob;
+                    p
+                }
+            }
+        };
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        // Guard against rounding: the last entry must cover 1.0.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of FK values.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Probability of FK code `k`.
+    pub fn prob(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - lo
+    }
+
+    /// Draws one FK code.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // Binary search for the first cumulative >= u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i as u32,
+            Err(i) => i.min(self.cumulative.len() - 1) as u32,
+        }
+    }
+
+    /// Draws `count` FK codes.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u32> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(samples: &[u32], n: usize) -> Vec<usize> {
+        let mut h = vec![0usize; n];
+        for &s in samples {
+            h[s as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let s = FkSampler::new(&FkSkew::Uniform, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = histogram(&s.sample_many(&mut rng, 100_000), 10);
+        for &c in &h {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "bin count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let s = FkSampler::new(&FkSkew::Zipf { exponent: 2.0 }, 8);
+        for k in 1..8 {
+            assert!(s.prob(k) < s.prob(k - 1));
+        }
+        // P(0) for s=2, n=8: 1 / sum(1/k^2) ~ 1/1.5274.
+        assert!((s.prob(0) - 0.6547).abs() < 0.01);
+    }
+
+    #[test]
+    fn needle_mass_matches() {
+        let s = FkSampler::new(&FkSkew::NeedleAndThread { needle_prob: 0.5 }, 41);
+        assert!((s.prob(0) - 0.5).abs() < 1e-12);
+        assert!((s.prob(1) - 0.5 / 40.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = histogram(&s.sample_many(&mut rng, 50_000), 41);
+        assert!((h[0] as f64 - 25_000.0).abs() < 800.0);
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        for skew in [
+            FkSkew::Uniform,
+            FkSkew::Zipf { exponent: 1.0 },
+            FkSkew::NeedleAndThread { needle_prob: 0.3 },
+        ] {
+            let s = FkSampler::new(&skew, 17);
+            let total: f64 = (0..17).map(|k| s.prob(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{skew:?}");
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let s = FkSampler::new(&FkSkew::Zipf { exponent: 1.5 }, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in s.sample_many(&mut rng, 10_000) {
+            assert!(v < 5);
+        }
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let s = FkSampler::new(&FkSkew::NeedleAndThread { needle_prob: 0.9 }, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FK value")]
+    fn zero_domain_panics() {
+        FkSampler::new(&FkSkew::Uniform, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needle probability")]
+    fn bad_needle_panics() {
+        FkSampler::new(&FkSkew::NeedleAndThread { needle_prob: 1.0 }, 5);
+    }
+}

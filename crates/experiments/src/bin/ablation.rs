@@ -1,0 +1,13 @@
+//! Runs the ablation studies (DESIGN.md §4): exact vs worst-case ROR,
+//! skew guards, and the threshold sweep.
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!(
+        "{}",
+        hamlet_experiments::ablation::report(
+            &opts,
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

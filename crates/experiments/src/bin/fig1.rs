@@ -1,0 +1,10 @@
+//! Quantifies the paper's Figure 1 box diagram over the seven datasets.
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::fig1::report(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

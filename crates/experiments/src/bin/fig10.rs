@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (scenario-1 sweeps over d_R, d_S, p).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig10::report(&opts));
+}

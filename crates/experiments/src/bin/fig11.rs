@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (scenario-2 sweeps).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig11::report(&opts));
+}

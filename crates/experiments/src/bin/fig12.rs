@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (scenario-2 scatter).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig12::report(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (foreign-key skew).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig13::report(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (scenario-1 simulation sweeps).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig3::report(&opts));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (scenario-1 scatter + threshold tuning).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::fig4::report(&opts));
+}

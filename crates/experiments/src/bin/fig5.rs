@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (TR vs ROR conservatism, analytic).
+fn main() {
+    print!("{}", hamlet_experiments::fig5::report(100_000));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (dataset statistics).
+fn main() {
+    print!("{}", hamlet_experiments::fig6::report(hamlet_experiments::dataset_scale()));
+}

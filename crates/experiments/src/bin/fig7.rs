@@ -1,0 +1,13 @@
+//! Regenerates Figure 7 (end-to-end error + runtime). Pass --features to
+//! also print the output feature sets (Sec 5.1 / appendix F).
+fn main() {
+    let show = std::env::args().any(|a| a == "--features");
+    print!(
+        "{}",
+        hamlet_experiments::fig7::report(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED,
+            show
+        )
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8(A) (robustness over the join-plan lattice).
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::fig8::report_a(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

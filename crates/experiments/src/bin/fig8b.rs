@@ -1,0 +1,10 @@
+//! Regenerates Figure 8(B) (threshold sensitivity).
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::fig8::report_b(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8(C) (JoinOpt vs JoinAllNoFK).
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::fig8::report_c(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

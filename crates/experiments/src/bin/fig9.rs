@@ -1,0 +1,11 @@
+//! Regenerates Figure 9 (logistic regression with embedded L1/L2).
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::fig9::report(
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED,
+            8
+        )
+    );
+}

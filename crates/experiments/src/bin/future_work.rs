@@ -1,0 +1,12 @@
+//! Runs the future-work experiment: decision trees under the rules.
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!(
+        "{}",
+        hamlet_experiments::future_work::report(
+            &opts,
+            hamlet_experiments::dataset_scale(),
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

@@ -1,0 +1,10 @@
+//! Validates the joint-shrink scale substitution (DESIGN.md §3).
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::scale_check::report(
+            &[0.02, 0.05, 0.1, 0.2],
+            hamlet_experiments::DEFAULT_SEED
+        )
+    );
+}

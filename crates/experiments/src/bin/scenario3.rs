@@ -1,0 +1,5 @@
+//! Regenerates the third simulation scenario (appendix D, completeness).
+fn main() {
+    let opts = hamlet_experiments::monte_carlo_opts();
+    print!("{}", hamlet_experiments::scenario3::report(&opts));
+}

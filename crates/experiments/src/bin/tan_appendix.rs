@@ -1,0 +1,7 @@
+//! Regenerates the appendix-E TAN comparison.
+fn main() {
+    print!(
+        "{}",
+        hamlet_experiments::tan_appendix::report(4000, hamlet_experiments::DEFAULT_SEED)
+    );
+}

@@ -1,0 +1,152 @@
+//! Figure 1, quantified.
+//!
+//! The paper's Figure 1 is a conceptual nesting of join sets:
+//!
+//! ```text
+//! box A = joins actually safe to avoid
+//! box B = the rest (avoiding blows up the error)
+//! box C = joins the worst-case ROR rule calls safe   (C ⊆ A)
+//! box D = joins the TR rule calls safe               (D ⊆ C, paper's claim)
+//! ```
+//!
+//! This experiment *measures* the boxes over the 15 attribute tables of
+//! the seven datasets (hindsight safety from the planted ground truth)
+//! and checks the nesting: every rule-safe join is actually safe, and
+//! the TR rule is at most as permissive as the ROR rule.
+
+use hamlet_core::planner::join_stats;
+use hamlet_core::rules::{DecisionRule, RorRule, TrRule};
+use hamlet_datagen::realistic::DatasetSpec;
+
+use crate::table::TextTable;
+
+/// Membership of one join in the Figure 1 boxes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxMembership {
+    /// `Dataset.Table` label.
+    pub join: String,
+    /// Box A: actually safe to avoid (planted hindsight truth).
+    pub in_a: bool,
+    /// Box C: the ROR rule says safe.
+    pub in_c: bool,
+    /// Box D: the TR rule says safe.
+    pub in_d: bool,
+}
+
+/// Computes box membership for all 15 joins.
+pub fn memberships(scale: f64, seed: u64) -> Vec<BoxMembership> {
+    let tr = TrRule::default();
+    let ror = RorRule::default();
+    let mut out = Vec::new();
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(scale, seed);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        for (i, at) in spec.tables.iter().enumerate() {
+            let stats = join_stats(&g.star, i, n_train);
+            out.push(BoxMembership {
+                join: format!("{}.{}", spec.name, at.table),
+                in_a: at.safe_to_avoid_in_hindsight,
+                in_c: ror.decide(&stats).is_avoid(),
+                in_d: tr.decide(&stats).is_avoid(),
+            });
+        }
+    }
+    out
+}
+
+/// Checks the paper's nesting over a set of memberships. Returns the
+/// list of violations (empty = the diagram holds).
+pub fn nesting_violations(ms: &[BoxMembership]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for m in ms {
+        if m.in_c && !m.in_a {
+            violations.push(format!("{}: ROR-safe but not actually safe (C ⊄ A)", m.join));
+        }
+        if m.in_d && !m.in_c {
+            violations.push(format!("{}: TR-safe but not ROR-safe (D ⊄ C)", m.join));
+        }
+    }
+    violations
+}
+
+/// Full report.
+pub fn report(scale: f64, seed: u64) -> String {
+    let ms = memberships(scale, seed);
+    let mut t = TextTable::new(["Join", "A (safe)", "C (ROR)", "D (TR)", "box"]);
+    let mark = |b: bool| if b { "x" } else { "" };
+    for m in &ms {
+        let region = match (m.in_a, m.in_c, m.in_d) {
+            (true, true, true) => "D (both rules catch it)",
+            (true, true, false) => "C \\ D (only ROR catches it)",
+            (true, false, _) => "A \\ C (missed opportunity)",
+            (false, false, _) => "B (correctly joined)",
+            (false, true, _) => "VIOLATION",
+        };
+        t.row([
+            m.join.clone(),
+            mark(m.in_a).to_string(),
+            mark(m.in_c).to_string(),
+            mark(m.in_d).to_string(),
+            region.to_string(),
+        ]);
+    }
+    let a = ms.iter().filter(|m| m.in_a).count();
+    let c = ms.iter().filter(|m| m.in_c).count();
+    let d = ms.iter().filter(|m| m.in_d).count();
+    let violations = nesting_violations(&ms);
+    let mut out = format!(
+        "Figure 1, quantified over the 15 attribute tables: |A| = {a}, |C| = {c}, |D| = {d}\n{}",
+        t.render()
+    );
+    if violations.is_empty() {
+        out.push_str("\nNesting D ⊆ C ⊆ A holds: both rules are conservative.\n");
+    } else {
+        out.push_str("\nVIOLATIONS:\n");
+        for v in violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_holds_on_the_seven_datasets() {
+        let ms = memberships(0.05, 7);
+        assert_eq!(ms.len(), 15);
+        assert!(
+            nesting_violations(&ms).is_empty(),
+            "{:?}",
+            nesting_violations(&ms)
+        );
+        // The abstract's tally: 7 joins predicted safe.
+        assert_eq!(ms.iter().filter(|m| m.in_d).count(), 7);
+        // Missed opportunities exist (A strictly contains C).
+        let a = ms.iter().filter(|m| m.in_a).count();
+        let c = ms.iter().filter(|m| m.in_c).count();
+        assert!(a > c, "expected missed opportunities: |A|={a}, |C|={c}");
+    }
+
+    #[test]
+    fn violations_detected_when_planted() {
+        let ms = vec![BoxMembership {
+            join: "X.Y".into(),
+            in_a: false,
+            in_c: true,
+            in_d: true,
+        }];
+        let v = nesting_violations(&ms);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("C ⊄ A"));
+    }
+
+    #[test]
+    fn report_renders_regions() {
+        let s = report(0.05, 7);
+        assert!(s.contains("Nesting D ⊆ C ⊆ A holds"));
+        assert!(s.contains("missed opportunity"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 10: remaining scenario-1 sweeps (appendix D).
+//!
+//! (A) vary `d_R` at `(n_S, d_S, |D_FK|, p) = (1000, 4, 100, 0.1)`;
+//! (B) vary `d_S` at `(n_S, d_R, |D_FK|, p) = (1000, 4, 40, 0.1)`;
+//! (C) vary `p`   at `(n_S, d_S, d_R, |D_FK|) = (1000, 4, 4, 200)`.
+
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::fig3::{render_panel, SweepPoint};
+use crate::runner::{simulate, MonteCarloOpts};
+
+/// Panel (A): vary `d_R`.
+pub fn panel_a(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&d_r| {
+            let cfg = SimulationConfig {
+                scenario: Scenario::LoneForeignFeature,
+                d_s: 4,
+                d_r,
+                n_r: 100,
+                p: 0.1,
+                skew: FkSkew::Uniform,
+            };
+            (d_r, simulate(&cfg, 1000, opts))
+        })
+        .collect()
+}
+
+/// Panel (B): vary `d_S`.
+pub fn panel_b(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [0usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&d_s| {
+            let cfg = SimulationConfig {
+                scenario: Scenario::LoneForeignFeature,
+                d_s,
+                d_r: 4,
+                n_r: 40,
+                p: 0.1,
+                skew: FkSkew::Uniform,
+            };
+            (d_s, simulate(&cfg, 1000, opts))
+        })
+        .collect()
+}
+
+/// Panel (C): vary `p` (values reported in percent for the table key).
+pub fn panel_c(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [5usize, 10, 20, 30, 40]
+        .iter()
+        .map(|&p_pct| {
+            let cfg = SimulationConfig {
+                scenario: Scenario::LoneForeignFeature,
+                d_s: 4,
+                d_r: 4,
+                n_r: 200,
+                p: p_pct as f64 / 100.0,
+                skew: FkSkew::Uniform,
+            };
+            (p_pct, simulate(&cfg, 1000, opts))
+        })
+        .collect()
+}
+
+/// Full Figure 10 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let mut out = String::from("Figure 10: scenario 1, remaining parameter sweeps\n\n");
+    out.push_str("(A) vary d_R; (n_S, d_S, |D_FK|, p) = (1000, 4, 100, 0.1)\n");
+    out.push_str(&render_panel("d_R", &panel_a(opts)));
+    out.push_str("\n(B) vary d_S; (n_S, d_R, |D_FK|, p) = (1000, 4, 40, 0.1)\n");
+    out.push_str(&render_panel("d_S", &panel_b(opts)));
+    out.push_str("\n(C) vary p (%); (n_S, d_S, d_R, |D_FK|) = (1000, 4, 4, 200)\n");
+    out.push_str(&render_panel("p (%)", &panel_c(opts)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_noise_means_higher_error_for_everyone() {
+        let opts = MonteCarloOpts {
+            train_sets: 6,
+            repeats: 2,
+            base_seed: 17,
+        };
+        let pts = panel_c(&opts);
+        let first = &pts[0].1; // p = 0.05
+        let last = &pts[pts.len() - 1].1; // p = 0.40
+        for c in 0..3 {
+            assert!(
+                last[c].test_error > first[c].test_error,
+                "model class {c}: {} -> {}",
+                first[c].test_error,
+                last[c].test_error
+            );
+        }
+    }
+}

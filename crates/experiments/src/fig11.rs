@@ -1,0 +1,94 @@
+//! Figure 11: simulation scenario 2 — all of `X_S` and `X_R` are part of
+//! the true distribution (appendix D).
+//!
+//! (A) vary `n_S` at `(d_S, d_R, |D_FK|) = (4, 4, 40)`;
+//! (B) vary `|D_FK|` at `(n_S, d_S, d_R) = (1000, 4, 4)`;
+//! (C) vary `d_R` at `(n_S, d_S, |D_FK|) = (1000, 4, 100)`;
+//! (D) vary `d_S` at `(n_S, d_R, |D_FK|) = (1000, 4, 40)`.
+
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::fig3::{render_panel, SweepPoint};
+use crate::runner::{simulate, MonteCarloOpts};
+
+fn cfg(d_s: usize, d_r: usize, n_r: usize) -> SimulationConfig {
+    SimulationConfig {
+        scenario: Scenario::AllFeatures,
+        d_s,
+        d_r,
+        n_r,
+        p: 0.1,
+        skew: FkSkew::Uniform,
+    }
+}
+
+/// Panel (A): vary `n_S`.
+pub fn panel_a(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [250usize, 500, 1000, 2000, 4000]
+        .iter()
+        .map(|&n_s| (n_s, simulate(&cfg(4, 4, 40), n_s, opts)))
+        .collect()
+}
+
+/// Panel (B): vary `|D_FK|`.
+pub fn panel_b(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [10usize, 25, 50, 100, 200]
+        .iter()
+        .map(|&n_r| (n_r, simulate(&cfg(4, 4, n_r), 1000, opts)))
+        .collect()
+}
+
+/// Panel (C): vary `d_R`.
+pub fn panel_c(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&d_r| (d_r, simulate(&cfg(4, d_r, 100), 1000, opts)))
+        .collect()
+}
+
+/// Panel (D): vary `d_S`.
+pub fn panel_d(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [0usize, 2, 4, 8]
+        .iter()
+        .map(|&d_s| (d_s, simulate(&cfg(d_s, 4, 40), 1000, opts)))
+        .collect()
+}
+
+/// Full Figure 11 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let mut out =
+        String::from("Figure 11: scenario 2 (all of X_S and X_R in the true distribution)\n\n");
+    out.push_str("(A) vary n_S; (d_S, d_R, |D_FK|) = (4, 4, 40)\n");
+    out.push_str(&render_panel("n_S", &panel_a(opts)));
+    out.push_str("\n(B) vary |D_FK|; (n_S, d_S, d_R) = (1000, 4, 4)\n");
+    out.push_str(&render_panel("|D_FK|", &panel_b(opts)));
+    out.push_str("\n(C) vary d_R; (n_S, d_S, |D_FK|) = (1000, 4, 100)\n");
+    out.push_str(&render_panel("d_R", &panel_c(opts)));
+    out.push_str("\n(D) vary d_S; (n_S, d_R, |D_FK|) = (1000, 4, 40)\n");
+    out.push_str(&render_panel("d_S", &panel_d(opts)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario2_nojoin_still_works_at_large_n() {
+        let opts = MonteCarloOpts {
+            train_sets: 6,
+            repeats: 2,
+            base_seed: 23,
+        };
+        let [use_all, no_join, _] = simulate(&cfg(2, 2, 10), 2000, &opts);
+        // With all features in the concept and a small FK domain, NoJoin
+        // (FK as representative) should track UseAll.
+        assert!(
+            no_join.test_error <= use_all.test_error + 0.08,
+            "UseAll {} vs NoJoin {}",
+            use_all.test_error,
+            no_join.test_error
+        );
+    }
+}

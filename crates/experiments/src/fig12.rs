@@ -1,0 +1,45 @@
+//! Figure 12: scatter plots for scenario 2 (as Figure 4, but with all of
+//! `X_S ∪ X_R` in the true distribution). The paper's observation: "the
+//! trends are largely similar to those in Figure 4 and the same
+//! thresholds for rho and tau work here as well."
+
+use hamlet_datagen::sim::Scenario;
+
+use crate::fig4::TOLERANCE;
+use crate::runner::MonteCarloOpts;
+use crate::scatter::{render, sweep, ScatterPoint};
+
+/// Runs the scenario-2 sweep.
+pub fn points(opts: &MonteCarloOpts) -> Vec<ScatterPoint> {
+    sweep(Scenario::AllFeatures, opts)
+}
+
+/// Full Figure 12 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let pts = points(opts);
+    render(
+        "Figure 12 (scenario 2: all of X_S and X_R in the true distribution)",
+        &pts,
+        TOLERANCE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::ror_invsqrt_tr_correlation;
+
+    #[test]
+    fn correlation_holds_in_scenario2() {
+        let opts = MonteCarloOpts {
+            train_sets: 5,
+            repeats: 1,
+            base_seed: 31,
+        };
+        let pts = points(&opts);
+        assert!(pts.len() >= 8);
+        // The ROR/TR relationship is analytic, so it holds regardless of
+        // the scenario that produced the errors.
+        assert!(ror_invsqrt_tr_correlation(&pts) > 0.9);
+    }
+}

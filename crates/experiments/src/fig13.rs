@@ -1,0 +1,143 @@
+//! Figure 13: effects of foreign-key skew (appendix D), scenario 1.
+//!
+//! (A) **benign** Zipf skew: `P(FK)` is Zipfian but the skew does not
+//! collude with `P(Y)` — NoJoin's error should not blow up;
+//! (B) **malign** needle-and-thread skew: one FK value carries mass `p`
+//! and is tied to one label — NoJoin's error rises, and the gap closes as
+//! `n_S` grows.
+
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::runner::{simulate, MonteCarloOpts, SimEstimate};
+use crate::table::{f4, TextTable};
+
+fn cfg(skew: FkSkew) -> SimulationConfig {
+    SimulationConfig {
+        scenario: Scenario::LoneForeignFeature,
+        d_s: 4,
+        d_r: 4,
+        n_r: 40,
+        p: 0.1,
+        skew,
+    }
+}
+
+/// (A1) vary the Zipf exponent at `n_S = 1000` (exponent 0 = uniform).
+pub fn panel_a1(opts: &MonteCarloOpts) -> Vec<(String, [SimEstimate; 2])> {
+    let mut rows = Vec::new();
+    let uniform = simulate(&cfg(FkSkew::Uniform), 1000, opts);
+    rows.push(("uniform".to_string(), [uniform[0], uniform[1]]));
+    for &e in &[0.5f64, 1.0, 2.0] {
+        let est = simulate(&cfg(FkSkew::Zipf { exponent: e }), 1000, opts);
+        rows.push((format!("zipf({e})"), [est[0], est[1]]));
+    }
+    rows
+}
+
+/// (A2) vary `n_S` with Zipf exponent 2.
+pub fn panel_a2(opts: &MonteCarloOpts) -> Vec<(String, [SimEstimate; 2])> {
+    [250usize, 500, 1000, 2000, 4000]
+        .iter()
+        .map(|&n_s| {
+            let est = simulate(&cfg(FkSkew::Zipf { exponent: 2.0 }), n_s, opts);
+            (n_s.to_string(), [est[0], est[1]])
+        })
+        .collect()
+}
+
+/// (B1) vary the needle probability at `n_S = 1000`.
+pub fn panel_b1(opts: &MonteCarloOpts) -> Vec<(String, [SimEstimate; 2])> {
+    [0.1f64, 0.3, 0.5, 0.7]
+        .iter()
+        .map(|&p| {
+            let est = simulate(&cfg(FkSkew::NeedleAndThread { needle_prob: p }), 1000, opts);
+            (format!("needle({p})"), [est[0], est[1]])
+        })
+        .collect()
+}
+
+/// (B2) vary `n_S` with needle probability 0.5.
+pub fn panel_b2(opts: &MonteCarloOpts) -> Vec<(String, [SimEstimate; 2])> {
+    [250usize, 500, 1000, 2000, 4000]
+        .iter()
+        .map(|&n_s| {
+            let est = simulate(
+                &cfg(FkSkew::NeedleAndThread { needle_prob: 0.5 }),
+                n_s,
+                opts,
+            );
+            (n_s.to_string(), [est[0], est[1]])
+        })
+        .collect()
+}
+
+fn render(varied: &str, rows: &[(String, [SimEstimate; 2])]) -> String {
+    let mut t = TextTable::new([
+        varied,
+        "UseAll err",
+        "NoJoin err",
+        "UseAll netvar",
+        "NoJoin netvar",
+    ]);
+    for (x, est) in rows {
+        t.row([
+            x.clone(),
+            f4(est[0].test_error),
+            f4(est[1].test_error),
+            f4(est[0].net_variance),
+            f4(est[1].net_variance),
+        ]);
+    }
+    t.render()
+}
+
+/// Full Figure 13 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let mut out = String::from(
+        "Figure 13: foreign-key skew, scenario 1; (n_S, n_R, d_S, d_R) = (1000, 40, 4, 4) unless varied\n\n",
+    );
+    out.push_str("(A1) benign Zipf skew: vary exponent\n");
+    out.push_str(&render("skew", &panel_a1(opts)));
+    out.push_str("\n(A2) benign Zipf skew (exponent 2): vary n_S\n");
+    out.push_str(&render("n_S", &panel_a2(opts)));
+    out.push_str("\n(B1) malign needle-and-thread: vary needle probability\n");
+    out.push_str(&render("skew", &panel_b1(opts)));
+    out.push_str("\n(B2) malign needle-and-thread (p = 0.5): vary n_S\n");
+    out.push_str(&render("n_S", &panel_b2(opts)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MonteCarloOpts {
+        MonteCarloOpts {
+            train_sets: 6,
+            repeats: 2,
+            base_seed: 41,
+        }
+    }
+
+    #[test]
+    fn malign_gap_closes_with_n() {
+        let rows = panel_b2(&tiny());
+        let gap = |est: &[SimEstimate; 2]| est[1].test_error - est[0].test_error;
+        let first = gap(&rows[0].1); // n_S = 250
+        let last = gap(&rows[rows.len() - 1].1); // n_S = 4000
+        assert!(
+            last <= first + 0.02,
+            "gap should close with n_S: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn benign_skew_does_not_blow_up_nojoin() {
+        let rows = panel_a1(&tiny());
+        for (label, est) in &rows {
+            let gap = est[1].test_error - est[0].test_error;
+            assert!(gap < 0.25, "{label}: NoJoin gap {gap} too large for benign skew");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 2, quantified: the relationship between hypothesis spaces.
+//!
+//! The paper's Figure 2 draws `H_X = H_FK ⊇ H_XR ⊇ H_Xr` pictorially;
+//! with `core::hypothesis` the containments are computable on any
+//! attribute-table instance. For a binary target, `log2 |H_Z|` equals the
+//! number of `Z`-equivalence classes, so the figure becomes a table of
+//! class counts — and the simulation worlds let us watch the gap between
+//! `H_FK` and `H_XR` open as `|D_FK|` outgrows the number of distinct
+//! `X_R` rows.
+
+use hamlet_core::hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition};
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::table::TextTable;
+
+/// One row of the quantified figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig2Row {
+    /// FK domain size.
+    pub n_r: usize,
+    /// Foreign features.
+    pub d_r: usize,
+    /// `log2 |H_FK|` (= number of FK values = `n_R`).
+    pub log2_h_fk: usize,
+    /// `log2 |H_XR|` (= distinct joint `X_R` rows).
+    pub log2_h_xr: usize,
+    /// `log2 |H_Xr|` for the lone designated feature (= its distinct
+    /// values, at most 2 here).
+    pub log2_h_xr_lone: usize,
+    /// Whether `H_XR = H_FK` on this instance (all `X_R` rows distinct).
+    pub spaces_equal: bool,
+}
+
+/// Computes the figure over simulation worlds.
+pub fn rows(seed: u64) -> Vec<Fig2Row> {
+    let mut out = Vec::new();
+    for &n_r in &[8usize, 32, 128, 512] {
+        for &d_r in &[2usize, 4, 10] {
+            let world = SimulationConfig {
+                scenario: Scenario::LoneForeignFeature,
+                d_s: 1,
+                d_r,
+                n_r,
+                p: 0.1,
+                skew: FkSkew::Uniform,
+            }
+            .build_world(seed);
+            let r = world.r_table();
+            let fk = fk_partition(r);
+            let xr = xr_partition(r);
+            let lone = partition_by(r, &["xr0"]);
+            let (refines, equal) = check_prop_3_3(r);
+            assert!(refines, "Prop 3.3 must hold by construction");
+            out.push(Fig2Row {
+                n_r,
+                d_r,
+                log2_h_fk: fk.log2_hypothesis_count(),
+                log2_h_xr: xr.log2_hypothesis_count(),
+                log2_h_xr_lone: lone.log2_hypothesis_count(),
+                spaces_equal: equal,
+            });
+        }
+    }
+    out
+}
+
+/// Full report.
+pub fn report(seed: u64) -> String {
+    let mut t = TextTable::new([
+        "|D_FK|",
+        "d_R",
+        "log2|H_FK|",
+        "log2|H_XR|",
+        "log2|H_Xr|",
+        "H_XR = H_FK?",
+    ]);
+    for r in rows(seed) {
+        t.row([
+            r.n_r.to_string(),
+            r.d_r.to_string(),
+            r.log2_h_fk.to_string(),
+            r.log2_h_xr.to_string(),
+            r.log2_h_xr_lone.to_string(),
+            if r.spaces_equal { "yes" } else { "no (strict)" }.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 2, quantified: hypothesis-space sizes over boolean X_R worlds\n\
+         (log2|H_Z| = #Z-equivalence classes of the FK domain; H_Xr <= H_XR <= H_FK always)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_holds_everywhere() {
+        for r in rows(11) {
+            assert!(r.log2_h_xr_lone <= r.log2_h_xr, "{r:?}");
+            assert!(r.log2_h_xr <= r.log2_h_fk, "{r:?}");
+            assert_eq!(r.log2_h_fk, r.n_r);
+        }
+    }
+
+    #[test]
+    fn gap_opens_as_fk_outgrows_xr_combinations() {
+        let all = rows(11);
+        // With d_R = 2 there are at most 4 X_R combinations: at
+        // |D_FK| = 512 the gap must be enormous.
+        let big = all
+            .iter()
+            .find(|r| r.n_r == 512 && r.d_r == 2)
+            .expect("row exists");
+        assert!(big.log2_h_xr <= 4);
+        assert_eq!(big.log2_h_fk, 512);
+        assert!(!big.spaces_equal);
+        // With d_R = 10 and |D_FK| = 8, distinct rows are likely: the
+        // spaces can coincide (2^10 patterns >> 8 draws).
+        let small = all
+            .iter()
+            .find(|r| r.n_r == 8 && r.d_r == 10)
+            .expect("row exists");
+        assert!(small.log2_h_xr >= 7, "{small:?}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = report(11);
+        assert!(s.contains("log2|H_FK|"));
+        assert!(s.lines().count() > 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 3: simulation scenario 1 (lone `X_r` carries the signal).
+//!
+//! (A) average test error and net variance vs `n_S` at
+//! `(d_S, d_R, |D_FK|) = (2, 4, 40)`, `p = 0.1`;
+//! (B) the same vs `|D_FK| (= n_R)` at `(n_S, d_S, d_R) = (1000, 4, 4)`.
+//!
+//! The reproduced shape: `UseAll` and `NoFK` sit near the noise floor;
+//! `NoJoin` matches them at large `n_S` but degrades as `n_S` shrinks or
+//! `|D_FK|` grows — and the degradation is driven by net variance.
+
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::runner::{simulate, FeatureSetChoice, MonteCarloOpts, SimEstimate};
+use crate::table::{f4, TextTable};
+
+/// `n_S` sweep of panel (A).
+pub const PANEL_A_NS: [usize; 6] = [250, 500, 1000, 2000, 4000, 8000];
+/// `|D_FK|` sweep of panel (B).
+pub const PANEL_B_DFK: [usize; 6] = [10, 25, 50, 100, 200, 500];
+
+/// One sweep point: the varied value plus estimates for the three model
+/// classes (UseAll, NoJoin, NoFK).
+pub type SweepPoint = (usize, [SimEstimate; 3]);
+
+/// Runs panel (A): vary `n_S`.
+pub fn panel_a(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    let cfg = SimulationConfig {
+        scenario: Scenario::LoneForeignFeature,
+        d_s: 2,
+        d_r: 4,
+        n_r: 40,
+        p: 0.1,
+        skew: FkSkew::Uniform,
+    };
+    PANEL_A_NS
+        .iter()
+        .map(|&n_s| (n_s, simulate(&cfg, n_s, opts)))
+        .collect()
+}
+
+/// Runs panel (B): vary `|D_FK|`.
+pub fn panel_b(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    PANEL_B_DFK
+        .iter()
+        .map(|&n_r| {
+            let cfg = SimulationConfig {
+                scenario: Scenario::LoneForeignFeature,
+                d_s: 4,
+                d_r: 4,
+                n_r,
+                p: 0.1,
+                skew: FkSkew::Uniform,
+            };
+            (n_r, simulate(&cfg, 1000, opts))
+        })
+        .collect()
+}
+
+/// Renders one panel as the paper's two series (test error, net variance)
+/// per model class.
+pub fn render_panel(varied: &str, points: &[SweepPoint]) -> String {
+    let mut t = TextTable::new([
+        varied,
+        "UseAll err",
+        "NoJoin err",
+        "NoFK err",
+        "UseAll netvar",
+        "NoJoin netvar",
+        "NoFK netvar",
+    ]);
+    for (x, est) in points {
+        t.row([
+            x.to_string(),
+            f4(est[0].test_error),
+            f4(est[1].test_error),
+            f4(est[2].test_error),
+            f4(est[0].net_variance),
+            f4(est[1].net_variance),
+            f4(est[2].net_variance),
+        ]);
+    }
+    t.render()
+}
+
+/// Full Figure 3 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: scenario 1 (lone X_r in the true distribution), p = 0.1\n");
+    out.push_str(&format!(
+        "Monte Carlo: {} train sets x {} worlds\n\n",
+        opts.train_sets, opts.repeats
+    ));
+    out.push_str("(A) vary n_S; (d_S, d_R, |D_FK|) = (2, 4, 40)\n");
+    out.push_str(&render_panel("n_S", &panel_a(opts)));
+    out.push_str("\n(B) vary |D_FK| (= n_R); (n_S, d_S, d_R) = (1000, 4, 4)\n");
+    out.push_str(&render_panel("|D_FK|", &panel_b(opts)));
+    let _ = FeatureSetChoice::ALL; // names documented in render header
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MonteCarloOpts {
+        MonteCarloOpts {
+            train_sets: 6,
+            repeats: 2,
+            base_seed: 3,
+        }
+    }
+
+    #[test]
+    fn nojoin_error_decreases_with_n_s() {
+        // The headline trend of Fig 3(A): NoJoin's error at the largest
+        // n_S is no worse than at the smallest.
+        let cfg = SimulationConfig {
+            scenario: Scenario::LoneForeignFeature,
+            d_s: 2,
+            d_r: 4,
+            n_r: 40,
+            p: 0.1,
+            skew: FkSkew::Uniform,
+        };
+        let small = simulate(&cfg, 250, &tiny());
+        let large = simulate(&cfg, 4000, &tiny());
+        assert!(
+            large[1].test_error <= small[1].test_error + 0.02,
+            "NoJoin {} -> {}",
+            small[1].test_error,
+            large[1].test_error
+        );
+    }
+
+    #[test]
+    fn nojoin_error_increases_with_dfk() {
+        // The headline trend of Fig 3(B).
+        let mk = |n_r| SimulationConfig {
+            scenario: Scenario::LoneForeignFeature,
+            d_s: 2,
+            d_r: 2,
+            n_r,
+            p: 0.1,
+            skew: FkSkew::Uniform,
+        };
+        let small = simulate(&mk(10), 600, &tiny());
+        let large = simulate(&mk(300), 600, &tiny());
+        assert!(
+            large[1].test_error > small[1].test_error,
+            "NoJoin {} -> {}",
+            small[1].test_error,
+            large[1].test_error
+        );
+        // ... and it is a variance effect.
+        assert!(large[1].net_variance > small[1].net_variance);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let est = SimEstimate {
+            test_error: 0.1,
+            net_variance: 0.01,
+            bias: 0.0,
+            variance: 0.01,
+        };
+        let s = render_panel("n_S", &[(250, [est; 3]), (500, [est; 3])]);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("NoJoin err"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 4: scatter plots for scenario 1 — ΔTest error vs ROR (A), vs
+//! TR (B), and ROR vs `1/sqrt(TR)` with its Pearson correlation (C) —
+//! plus the threshold-tuning step that yields `rho` and `tau`.
+
+use hamlet_datagen::sim::Scenario;
+
+use crate::runner::MonteCarloOpts;
+use crate::scatter::{render, sweep, ScatterPoint};
+
+/// The error tolerance the paper tunes with ("an absolute increase of
+/// 0.001").
+pub const TOLERANCE: f64 = 0.001;
+
+/// Runs the scenario-1 sweep.
+pub fn points(opts: &MonteCarloOpts) -> Vec<ScatterPoint> {
+    sweep(Scenario::LoneForeignFeature, opts)
+}
+
+/// Full Figure 4 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let pts = points(opts);
+    render(
+        "Figure 4 (scenario 1: lone X_r in the true distribution)",
+        &pts,
+        TOLERANCE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::{suggest_rho, suggest_tau};
+
+    #[test]
+    fn sweep_produces_monotone_risk_relationship() {
+        let opts = MonteCarloOpts {
+            train_sets: 6,
+            repeats: 2,
+            base_seed: 11,
+        };
+        let pts = points(&opts);
+        assert!(pts.len() >= 10, "sweep too small: {}", pts.len());
+        // The low-ROR half must have a lower mean dTest than the high-ROR
+        // half — the monotone trend Fig 4(A) shows.
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.ror.partial_cmp(&b.ror).unwrap());
+        let half = sorted.len() / 2;
+        let lo: f64 =
+            sorted[..half].iter().map(|p| p.d_test).sum::<f64>() / half as f64;
+        let hi: f64 = sorted[half..].iter().map(|p| p.d_test).sum::<f64>()
+            / (sorted.len() - half) as f64;
+        assert!(lo <= hi + 0.005, "low-ROR mean {lo} vs high-ROR mean {hi}");
+        // Threshold suggestions are finite and ordered sanely.
+        let rho = suggest_rho(&pts, TOLERANCE.max(0.01));
+        let tau = suggest_tau(&pts, TOLERANCE.max(0.01));
+        assert!(rho >= 0.0);
+        assert!(tau.is_finite());
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 5: why the TR rule is more conservative than the ROR rule.
+//!
+//! Analytic illustration: at a fixed `n`, the worst-case ROR is **high**
+//! when `q_R* << |D_FK|` and **low** when `q_R* ≈ |D_FK|`; the tuple
+//! ratio is identical in both cases, so the TR rule cannot tell them
+//! apart (it behaves as if `q_R*` were minimal).
+
+use hamlet_core::ror::{tuple_ratio, worst_case_ror, DEFAULT_DELTA};
+
+use crate::table::{f2, f4, TextTable};
+
+/// One row of the illustration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// FK domain size.
+    pub d_fk: usize,
+    /// Tuple ratio (same for both regimes).
+    pub tr: f64,
+    /// ROR when `q_R* = 2` (tiny foreign-feature domain).
+    pub ror_small_qr: f64,
+    /// ROR when `q_R* = |D_FK|` (foreign features as fine as the key).
+    pub ror_equal_qr: f64,
+}
+
+/// Computes the illustration for a fixed `n`.
+pub fn rows(n: usize) -> Vec<Fig5Row> {
+    [10usize, 20, 50, 100, 200, 400]
+        .iter()
+        .filter(|&&d| d * 2 < n)
+        .map(|&d_fk| Fig5Row {
+            d_fk,
+            tr: tuple_ratio(n, d_fk),
+            ror_small_qr: worst_case_ror(n, d_fk, 2, DEFAULT_DELTA),
+            ror_equal_qr: worst_case_ror(n, d_fk, d_fk, DEFAULT_DELTA),
+        })
+        .collect()
+}
+
+/// Full Figure 5 report.
+pub fn report(n: usize) -> String {
+    let mut t = TextTable::new(["|D_FK|", "TR", "ROR (q_R*=2)", "ROR (q_R*=|D_FK|)"]);
+    for r in rows(n) {
+        t.row([
+            r.d_fk.to_string(),
+            f2(r.tr),
+            f4(r.ror_small_qr),
+            f4(r.ror_equal_qr),
+        ]);
+    }
+    format!(
+        "Figure 5: TR cannot distinguish q_R* << |D_FK| (high ROR) from q_R* ~ |D_FK| (low ROR); n = {n}\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_qr_ror_is_zero() {
+        for r in rows(2000) {
+            assert!(r.ror_equal_qr.abs() < 1e-12, "d_fk = {}", r.d_fk);
+        }
+    }
+
+    #[test]
+    fn small_qr_ror_is_positive_and_growing() {
+        let rs = rows(2000);
+        assert!(rs.len() >= 4);
+        for w in rs.windows(2) {
+            assert!(w[1].ror_small_qr > w[0].ror_small_qr);
+            assert!(w[1].tr < w[0].tr);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = report(2000);
+        assert!(s.contains("|D_FK|"));
+        assert!(s.lines().count() > 4);
+    }
+}

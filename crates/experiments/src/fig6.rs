@@ -1,0 +1,71 @@
+//! Figure 6: dataset statistics table.
+//!
+//! Prints the seven synthetic datasets' shape statistics at full scale
+//! (they match the paper's Figure 6 by construction — asserted by a unit
+//! test in `hamlet-datagen`) and at the experiment scale actually
+//! generated.
+
+use hamlet_datagen::realistic::DatasetSpec;
+
+use crate::table::TextTable;
+
+/// Full Figure 6 report at a given generation scale.
+pub fn report(scale: f64) -> String {
+    let mut t = TextTable::new([
+        "Dataset",
+        "#Y",
+        "(n_S, d_S)",
+        "k",
+        "k'",
+        "(n_Ri, d_Ri), i = 1 to k",
+        "scaled n_S",
+        "scaled n_Ri",
+    ]);
+    for spec in DatasetSpec::all() {
+        let pairs: Vec<String> = spec
+            .tables
+            .iter()
+            .map(|at| format!("({}, {})", at.n_rows, at.features.len()))
+            .collect();
+        let scaled: Vec<String> = (0..spec.tables.len())
+            .map(|i| spec.scaled_n_r(i, scale).to_string())
+            .collect();
+        t.row([
+            spec.name.to_string(),
+            spec.n_classes.to_string(),
+            format!("({}, {})", spec.n_s, spec.entity_features.len()),
+            spec.tables.len().to_string(),
+            spec.tables.iter().filter(|x| x.closed).count().to_string(),
+            pairs.join(", "),
+            spec.scaled_n_s(scale).to_string(),
+            scaled.join(", "),
+        ]);
+    }
+    format!(
+        "Figure 6: dataset statistics (synthetic analogs; scale = {scale})\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lists_all_seven() {
+        let s = report(0.1);
+        for name in [
+            "Walmart",
+            "Expedia",
+            "Flights",
+            "Yelp",
+            "MovieLens1M",
+            "LastFM",
+            "BookCrossing",
+        ] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("(2340, 9)"));
+        assert!(s.contains("(50000, 4)"));
+    }
+}

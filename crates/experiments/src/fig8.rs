@@ -1,0 +1,245 @@
+//! Figure 8: drill-down on the real datasets.
+//!
+//! * **(A) robustness** — holdout errors for *every* subset of avoidable
+//!   joins under forward and backward selection, highlighting the plan
+//!   JoinOpt picked;
+//! * **(B) sensitivity** — the TR and ROR values per attribute table
+//!   against the default and relaxed thresholds, plus the hindsight
+//!   ground truth;
+//! * **(C) dropping FKs** — JoinOpt vs JoinAllNoFK.
+
+use hamlet_core::planner::{explicit_plan, join_stats, plan as make_plan, PlanKind};
+use hamlet_core::rules::{
+    DecisionRule, RorRule, TrRule, RELAXED_RHO, RELAXED_TAU,
+};
+use hamlet_datagen::realistic::DatasetSpec;
+use hamlet_fs::Method;
+
+use crate::runner::{prepare_plan, run_method};
+use crate::table::{f2, f4, TextTable};
+
+/// All subsets of `0..k` (k <= 16), smallest first.
+fn subsets(k: usize) -> Vec<Vec<usize>> {
+    assert!(k <= 16, "subset lattice too large");
+    let mut out = Vec::with_capacity(1 << k);
+    for mask in 0..(1u32 << k) {
+        out.push((0..k).filter(|&i| mask & (1 << i) != 0).collect());
+    }
+    out.sort_by_key(Vec::len);
+    out
+}
+
+/// Human-readable plan label: which joins are avoided.
+fn plan_label(spec: &DatasetSpec, joined: &[usize]) -> String {
+    let avoided: Vec<&str> = (0..spec.tables.len())
+        .filter(|i| !joined.contains(i))
+        .map(|i| spec.tables[i].table)
+        .collect();
+    if avoided.is_empty() {
+        "JoinAll".to_string()
+    } else if avoided.len() == spec.tables.len() {
+        "NoJoins".to_string()
+    } else {
+        format!("No{}", avoided.join("+No"))
+    }
+}
+
+/// Panel (A): robustness over the plan lattice for one dataset.
+///
+/// Open-domain FK tables (Expedia's Searches) are always joined, matching
+/// the paper's exclusion of Expedia from this panel when only one closed
+/// FK exists.
+pub fn robustness(spec: &DatasetSpec, scale: f64, seed: u64) -> String {
+    let g = spec.generate(scale, seed);
+    let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+    let open: Vec<usize> = (0..spec.tables.len())
+        .filter(|&i| !spec.tables[i].closed)
+        .collect();
+    let closed: Vec<usize> = (0..spec.tables.len())
+        .filter(|&i| spec.tables[i].closed)
+        .collect();
+
+    let join_opt = make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train);
+
+    let mut t = TextTable::new(["Plan", "FS err", "BS err", "JoinOpt?"]);
+    for subset in subsets(closed.len()) {
+        let mut joined: Vec<usize> = subset.iter().map(|&j| closed[j]).collect();
+        joined.extend(open.iter().copied());
+        joined.sort_unstable();
+        let prepared = prepare_plan(&g.star, explicit_plan(&joined), seed);
+        let fs = run_method(&prepared, Method::Forward);
+        let bs = run_method(&prepared, Method::Backward);
+        let chosen = {
+            let mut a = join_opt.joined.clone();
+            a.sort_unstable();
+            a == joined
+        };
+        t.row([
+            plan_label(spec, &joined),
+            f4(fs.test_error),
+            f4(bs.test_error),
+            if chosen { "<- chosen" } else { "" }.to_string(),
+        ]);
+    }
+    format!("{} (metric: {})\n{}", spec.name, if spec.n_classes <= 2 { "Zero-one" } else { "RMSE" }, t.render())
+}
+
+/// Full panel (A) report. Expedia is skipped, as in the paper (it has
+/// only one closed-domain foreign key, so Fig 7 already covers it).
+pub fn report_a(scale: f64, seed: u64) -> String {
+    let mut out = String::from(
+        "Figure 8(A): robustness — errors for every join-avoidance plan (FS/BS)\n\n",
+    );
+    for spec in DatasetSpec::all() {
+        if spec.name == "Expedia" {
+            continue;
+        }
+        out.push_str(&robustness(&spec, scale, seed));
+        out.push('\n');
+    }
+    out
+}
+
+/// Panel (B): rule statistics per attribute table.
+pub fn report_b(scale: f64, seed: u64) -> String {
+    let tr_rule = TrRule::default();
+    let ror_rule = RorRule::default();
+    let tr_relaxed = TrRule::with_tau(RELAXED_TAU);
+    let ror_relaxed = RorRule::with_rho(RELAXED_RHO);
+
+    let mut t = TextTable::new([
+        "Dataset",
+        "Table",
+        "TR",
+        "1/sqrt(TR)",
+        "ROR",
+        "TR rule",
+        "ROR rule",
+        "relaxed",
+        "hindsight",
+    ]);
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(scale, seed);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        for (i, at) in spec.tables.iter().enumerate() {
+            let stats = join_stats(&g.star, i, n_train);
+            let verdict = |d: hamlet_core::rules::Decision| {
+                if d.is_avoid() {
+                    "avoid"
+                } else {
+                    "join"
+                }
+            };
+            let tr = tr_rule.statistic(&stats);
+            t.row([
+                spec.name.to_string(),
+                at.table.to_string(),
+                f2(tr),
+                f4(1.0 / tr.sqrt()),
+                f4(ror_rule.statistic(&stats)),
+                verdict(tr_rule.decide(&stats)).to_string(),
+                verdict(ror_rule.decide(&stats)).to_string(),
+                format!(
+                    "{}/{}",
+                    verdict(tr_relaxed.decide(&stats)),
+                    verdict(ror_relaxed.decide(&stats))
+                ),
+                if at.safe_to_avoid_in_hindsight {
+                    "okay to avoid"
+                } else {
+                    "NOT okay"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Figure 8(B): sensitivity — rule statistics vs thresholds (tau = {}, rho = {}; relaxed tau = {}, rho = {})\n{}",
+        TrRule::default().tau,
+        RorRule::default().rho,
+        RELAXED_TAU,
+        RELAXED_RHO,
+        t.render()
+    )
+}
+
+/// Panel (C): JoinOpt vs JoinAllNoFK with FS and BS.
+pub fn report_c(scale: f64, seed: u64) -> String {
+    let mut t = TextTable::new([
+        "Dataset",
+        "Metric",
+        "JoinOpt FS",
+        "NoFK FS",
+        "JoinOpt BS",
+        "NoFK BS",
+    ]);
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(scale, seed);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        let opt = prepare_plan(
+            &g.star,
+            make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train),
+            seed,
+        );
+        let nofk = prepare_plan(
+            &g.star,
+            make_plan(&g.star, PlanKind::JoinAllNoFk, &TrRule::default(), n_train),
+            seed,
+        );
+        let opt_fs = run_method(&opt, Method::Forward);
+        let opt_bs = run_method(&opt, Method::Backward);
+        let nofk_fs = run_method(&nofk, Method::Forward);
+        let nofk_bs = run_method(&nofk, Method::Backward);
+        t.row([
+            spec.name.to_string(),
+            opt.metric.name().to_string(),
+            f4(opt_fs.test_error),
+            f4(nofk_fs.test_error),
+            f4(opt_bs.test_error),
+            f4(nofk_bs.test_error),
+        ]);
+    }
+    format!(
+        "Figure 8(C): dropping all foreign keys a priori (JoinAllNoFK) vs JoinOpt\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_enumerate_lattice() {
+        let s = subsets(3);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], Vec::<usize>::new());
+        assert!(s.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn plan_labels() {
+        let spec = DatasetSpec::walmart();
+        assert_eq!(plan_label(&spec, &[0, 1]), "JoinAll");
+        assert_eq!(plan_label(&spec, &[]), "NoJoins");
+        assert_eq!(plan_label(&spec, &[0]), "NoStores");
+        assert_eq!(plan_label(&spec, &[1]), "NoIndicators");
+    }
+
+    #[test]
+    fn report_b_covers_all_14_joins() {
+        let s = report_b(0.002, 3);
+        // 7 datasets x 2-3 tables = 14 rows + header + separator.
+        let rows = s.lines().count() - 3;
+        assert_eq!(rows, 15, "expected 15 attribute tables:\n{s}");
+        assert!(s.contains("okay to avoid"));
+    }
+
+    #[test]
+    fn robustness_marks_chosen_plan() {
+        let spec = DatasetSpec::walmart();
+        let s = robustness(&spec, 0.002, 3);
+        assert!(s.contains("<- chosen"));
+        assert!(s.contains("NoJoins"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 9: logistic regression with embedded L1/L2 feature selection,
+//! JoinAll vs JoinOpt on the seven datasets.
+//!
+//! The regularization strength is tuned on the validation split from a
+//! small grid (the paper uses glmnet's regularization path; a grid is
+//! the equivalent protocol).
+
+use hamlet_core::planner::{plan as make_plan, PlanKind};
+use hamlet_core::rules::TrRule;
+use hamlet_datagen::realistic::DatasetSpec;
+use hamlet_ml::classifier::ErrorMetric;
+use hamlet_ml::model_selection::grid_search_test_error;
+use hamlet_ml::logreg::{LogisticRegression, Penalty};
+
+use crate::runner::{prepare_plan, PreparedPlan};
+use crate::table::{f4, TextTable};
+
+/// The lambda grid searched per penalty.
+pub const LAMBDA_GRID: [f64; 3] = [1e-4, 1e-3, 1e-2];
+
+/// Trains logistic regression with each lambda, keeps the best by
+/// validation error, and returns its holdout test error (delegates to
+/// `hamlet_ml::model_selection::grid_search_test_error`).
+pub fn tuned_error(prepared: &PreparedPlan, l1: bool, epochs: usize, seed: u64) -> f64 {
+    let candidates: Vec<usize> = (0..prepared.data.n_features()).collect();
+    let grid: Vec<LogisticRegression> = LAMBDA_GRID
+        .iter()
+        .map(|&lambda| LogisticRegression {
+            penalty: if l1 {
+                Penalty::L1(lambda)
+            } else {
+                Penalty::L2(lambda)
+            },
+            epochs,
+            learning_rate: 0.5,
+            seed,
+        })
+        .collect();
+    let (_, test_error) = grid_search_test_error(
+        &grid,
+        &prepared.data,
+        &prepared.split.train,
+        &prepared.split.validation,
+        &prepared.split.test,
+        &candidates,
+        prepared.metric,
+    );
+    test_error
+}
+
+/// One dataset row of Figure 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Metric used.
+    pub metric: ErrorMetric,
+    /// L1: JoinAll / JoinOpt test errors.
+    pub l1: (f64, f64),
+    /// L2: JoinAll / JoinOpt test errors.
+    pub l2: (f64, f64),
+}
+
+/// Runs one dataset.
+pub fn run_dataset(spec: &DatasetSpec, scale: f64, seed: u64, epochs: usize) -> Fig9Row {
+    let g = spec.generate(scale, seed);
+    let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+    let all = prepare_plan(
+        &g.star,
+        make_plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
+        seed,
+    );
+    let opt = prepare_plan(
+        &g.star,
+        make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train),
+        seed,
+    );
+    Fig9Row {
+        name: spec.name,
+        metric: all.metric,
+        l1: (
+            tuned_error(&all, true, epochs, seed),
+            tuned_error(&opt, true, epochs, seed),
+        ),
+        l2: (
+            tuned_error(&all, false, epochs, seed),
+            tuned_error(&opt, false, epochs, seed),
+        ),
+    }
+}
+
+/// Full Figure 9 report.
+pub fn report(scale: f64, seed: u64, epochs: usize) -> String {
+    let mut t = TextTable::new([
+        "Dataset",
+        "Error Metric",
+        "L1 JoinAll",
+        "L1 JoinOpt",
+        "L2 JoinAll",
+        "L2 JoinOpt",
+    ]);
+    for spec in DatasetSpec::all() {
+        let r = run_dataset(&spec, scale, seed, epochs);
+        t.row([
+            r.name.to_string(),
+            r.metric.name().to_string(),
+            f4(r.l1.0),
+            f4(r.l1.1),
+            f4(r.l2.0),
+            f4(r.l2.1),
+        ]);
+    }
+    format!(
+        "Figure 9: logistic regression with L1/L2 regularization (lambda grid {:?})\n{}",
+        LAMBDA_GRID,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walmart_l1_join_opt_matches_join_all() {
+        let r = run_dataset(&DatasetSpec::walmart(), 0.004, 3, 4);
+        // JoinOpt should not be wildly worse under L1 (same shape as the
+        // paper's Fig 9 row 1).
+        assert!(
+            r.l1.1 <= r.l1.0 + 0.4,
+            "L1 JoinAll {} vs JoinOpt {}",
+            r.l1.0,
+            r.l1.1
+        );
+        assert!(r.l2.0.is_finite() && r.l2.1.is_finite());
+    }
+}

@@ -1,0 +1,51 @@
+//! # hamlet-experiments
+//!
+//! The reproduction harness: one module (and one binary) per table and
+//! figure of "To Join or Not to Join?" (SIGMOD 2016). Each module's
+//! `report` function regenerates the rows/series the paper presents:
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`fig3`] | Scenario-1 simulation: error/net variance vs `n_S`, `|D_FK|` |
+//! | [`fig4`] | Scenario-1 scatter: ΔTest error vs ROR/TR, threshold tuning |
+//! | [`fig5`] | Why TR is more conservative than ROR (analytic) |
+//! | [`fig6`] | Dataset statistics table |
+//! | [`fig7`] | End-to-end error + feature-selection runtime, JoinAll vs JoinOpt |
+//! | [`fig8`] | Robustness (A), threshold sensitivity (B), dropping FKs (C) |
+//! | [`fig9`] | Logistic regression, embedded L1/L2 |
+//! | [`fig10`] | Scenario-1 sweeps over `d_R`, `d_S`, `p` |
+//! | [`fig11`] | Scenario-2 sweeps |
+//! | [`fig12`] | Scenario-2 scatter |
+//! | [`fig13`] | Foreign-key skew (benign Zipf / malign needle-and-thread) |
+//! | [`tan_appendix`] | Appendix E: TAN on KFK-joined data |
+//! | [`ablation`] | Exact-vs-worst-case ROR, skew guards, threshold sweep |
+//!
+//! Environment knobs: `HAMLET_SCALE` (dataset scale, default 0.1),
+//! `HAMLET_TRAIN_SETS` / `HAMLET_REPEATS` (Monte-Carlo replication).
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod future_work;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod runner;
+pub mod scale_check;
+pub mod scenario3;
+pub mod scatter;
+pub mod table;
+pub mod tan_appendix;
+
+pub use runner::{
+    dataset_scale, join_opt_plan, monte_carlo_opts, prepare_plan, run_method, simulate, simulate_with,
+    FeatureSetChoice, MonteCarloOpts, PlanMethodRun, PreparedPlan, SimEstimate, DEFAULT_SEED,
+};

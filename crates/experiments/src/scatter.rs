@@ -1,0 +1,221 @@
+//! Shared sweep machinery for the scatter figures (Figs 4 and 12):
+//! ΔTest error vs ROR, ΔTest error vs TR, and ROR vs `1/sqrt(TR)`.
+
+use hamlet_core::ror::{tuple_ratio, worst_case_ror, DEFAULT_DELTA};
+use hamlet_core::tuning::{tune_threshold, SafeSide, TuningPoint};
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+use hamlet_datagen::stats::pearson;
+
+use crate::runner::{simulate, MonteCarloOpts};
+use crate::table::{f2, f4, TextTable};
+
+/// One sweep point of a scatter figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// Training examples.
+    pub n_s: usize,
+    /// FK domain size.
+    pub n_r: usize,
+    /// Entity features.
+    pub d_s: usize,
+    /// Foreign features.
+    pub d_r: usize,
+    /// Worst-case ROR at this configuration (all-boolean `X_R`, so
+    /// `q_R* = 2`).
+    pub ror: f64,
+    /// Tuple ratio `n_S / n_R`.
+    pub tr: f64,
+    /// Increase in test error caused by avoiding the join:
+    /// `NoJoin - UseAll` (asymmetric, as in Fig 4).
+    pub d_test: f64,
+}
+
+/// The grid swept by Figs 4 and 12 (a compact version of the paper's
+/// "diverse set of simulation results").
+pub fn sweep(scenario: Scenario, opts: &MonteCarloOpts) -> Vec<ScatterPoint> {
+    let mut points = Vec::new();
+    for &n_s in &[250usize, 1000, 4000] {
+        for &n_r in &[10usize, 40, 160, 640] {
+            if n_r * 2 >= n_s {
+                continue; // keep n > v for the bound to be meaningful
+            }
+            for &d_r in &[2usize, 4] {
+                let d_s = 2;
+                let cfg = SimulationConfig {
+                    scenario,
+                    d_s,
+                    d_r,
+                    n_r,
+                    p: 0.1,
+                    skew: FkSkew::Uniform,
+                };
+                let [use_all, no_join, _no_fk] = simulate(&cfg, n_s, opts);
+                points.push(ScatterPoint {
+                    n_s,
+                    n_r,
+                    d_s,
+                    d_r,
+                    ror: worst_case_ror(n_s, n_r, 2, DEFAULT_DELTA),
+                    tr: tuple_ratio(n_s, n_r),
+                    d_test: no_join.test_error - use_all.test_error,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// The largest ROR threshold such that every sweep point at or below it
+/// kept `ΔTest error <= tolerance` — the paper's Fig 4(A) tuning step
+/// (delegates to [`hamlet_core::tuning`]).
+pub fn suggest_rho(points: &[ScatterPoint], tolerance: f64) -> f64 {
+    let pts: Vec<TuningPoint> = points
+        .iter()
+        .map(|p| TuningPoint {
+            statistic: p.ror,
+            error_increase: p.d_test,
+        })
+        .collect();
+    tune_threshold(&pts, tolerance, SafeSide::Low).unwrap_or(0.0)
+}
+
+/// The smallest TR threshold such that every sweep point at or above it
+/// kept `ΔTest error <= tolerance` — the Fig 4(B) tuning step.
+pub fn suggest_tau(points: &[ScatterPoint], tolerance: f64) -> f64 {
+    let pts: Vec<TuningPoint> = points
+        .iter()
+        .map(|p| TuningPoint {
+            statistic: p.tr,
+            error_increase: p.d_test,
+        })
+        .collect();
+    tune_threshold(&pts, tolerance, SafeSide::High).unwrap_or(f64::INFINITY)
+}
+
+/// Pearson correlation between ROR and `1/sqrt(TR)` over the sweep —
+/// the paper reports ≈ 0.97 (Fig 4(C)).
+pub fn ror_invsqrt_tr_correlation(points: &[ScatterPoint]) -> f64 {
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| 1.0 / p.tr.sqrt()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.ror).collect();
+    pearson(&xs, &ys)
+}
+
+/// Renders the scatter as a table plus the tuning summary.
+pub fn render(figure: &str, points: &[ScatterPoint], tolerance: f64) -> String {
+    let mut t = TextTable::new([
+        "n_S",
+        "|D_FK|",
+        "d_S",
+        "d_R",
+        "TR",
+        "1/sqrt(TR)",
+        "ROR",
+        "dTestErr",
+    ]);
+    for p in points {
+        t.row([
+            p.n_s.to_string(),
+            p.n_r.to_string(),
+            p.d_s.to_string(),
+            p.d_r.to_string(),
+            f2(p.tr),
+            f4(1.0 / p.tr.sqrt()),
+            f4(p.ror),
+            f4(p.d_test),
+        ]);
+    }
+    let mut out = format!("{figure}: dTestErr = NoJoin - UseAll (avoiding the join)\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nPearson(ROR, 1/sqrt(TR)) = {:.4}\n",
+        ror_invsqrt_tr_correlation(points)
+    ));
+    out.push_str(&format!(
+        "suggested rho (tolerance {tolerance}): {:.2}\n",
+        suggest_rho(points, tolerance)
+    ));
+    out.push_str(&format!(
+        "suggested tau (tolerance {tolerance}): {:.1}\n",
+        suggest_tau(points, tolerance)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(ror: f64, tr: f64, d: f64) -> ScatterPoint {
+        ScatterPoint {
+            n_s: 1000,
+            n_r: 10,
+            d_s: 2,
+            d_r: 2,
+            ror,
+            tr,
+            d_test: d,
+        }
+    }
+
+    #[test]
+    fn suggest_rho_finds_frontier() {
+        let pts = vec![
+            pt(1.0, 100.0, 0.0),
+            pt(2.0, 50.0, 0.0005),
+            pt(3.0, 10.0, 0.01),
+            pt(4.0, 5.0, 0.05),
+        ];
+        let rho = suggest_rho(&pts, 0.001);
+        assert_eq!(rho, 2.0);
+        // Looser tolerance pushes the frontier out.
+        assert_eq!(suggest_rho(&pts, 0.02), 3.0);
+    }
+
+    #[test]
+    fn suggest_tau_finds_frontier() {
+        let pts = vec![
+            pt(1.0, 100.0, 0.0),
+            pt(2.0, 50.0, 0.0005),
+            pt(3.0, 10.0, 0.01),
+        ];
+        assert_eq!(suggest_tau(&pts, 0.001), 50.0);
+        assert_eq!(suggest_tau(&pts, 0.02), 10.0);
+    }
+
+    #[test]
+    fn correlation_is_high_on_analytic_points() {
+        let pts: Vec<ScatterPoint> = [
+            (1000usize, 10usize),
+            (1000, 40),
+            (1000, 160),
+            (4000, 40),
+            (4000, 160),
+            (250, 10),
+        ]
+        .iter()
+        .map(|&(n_s, n_r)| ScatterPoint {
+            n_s,
+            n_r,
+            d_s: 2,
+            d_r: 2,
+            ror: hamlet_core::ror::worst_case_ror(n_s, n_r, 2, 0.1),
+            tr: n_s as f64 / n_r as f64,
+            d_test: 0.0,
+        })
+        .collect();
+        assert!(ror_invsqrt_tr_correlation(&pts) > 0.9);
+    }
+
+    #[test]
+    fn render_includes_summary() {
+        let pts = vec![pt(1.0, 100.0, 0.0)];
+        let s = render("Figure 4", &pts, 0.001);
+        assert!(s.contains("Pearson"));
+        assert!(s.contains("suggested rho"));
+        assert!(s.contains("suggested tau"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The third simulation scenario: only `X_S` and `FK` are part of the
+//! true distribution (a hidden per-FK bit; `X_R` is pure noise).
+//!
+//! Appendix D mentions this scenario and skips its plots ("did not
+//! reveal any interesting new insights"); we include it for completeness
+//! and because it isolates the *opposite* danger to Figure 3's: here
+//! avoiding the join costs nothing at any `n_S` — the joined features
+//! can only add noise — while dropping the FK (`NoFK`) destroys the
+//! signal entirely.
+
+use hamlet_datagen::sim::{Scenario, SimulationConfig};
+use hamlet_datagen::skew::FkSkew;
+
+use crate::fig3::{render_panel, SweepPoint};
+use crate::runner::{simulate, MonteCarloOpts};
+
+fn cfg(d_s: usize, d_r: usize, n_r: usize) -> SimulationConfig {
+    SimulationConfig {
+        scenario: Scenario::EntityAndFk,
+        d_s,
+        d_r,
+        n_r,
+        p: 0.1,
+        skew: FkSkew::Uniform,
+    }
+}
+
+/// Vary `n_S` at `(d_S, d_R, |D_FK|) = (2, 4, 40)`.
+pub fn panel_a(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [250usize, 500, 1000, 2000, 4000]
+        .iter()
+        .map(|&n_s| (n_s, simulate(&cfg(2, 4, 40), n_s, opts)))
+        .collect()
+}
+
+/// Vary `|D_FK|` at `(n_S, d_S, d_R) = (1000, 2, 4)`.
+pub fn panel_b(opts: &MonteCarloOpts) -> Vec<SweepPoint> {
+    [10usize, 25, 50, 100, 200]
+        .iter()
+        .map(|&n_r| (n_r, simulate(&cfg(2, 4, n_r), 1000, opts)))
+        .collect()
+}
+
+/// Full scenario-3 report.
+pub fn report(opts: &MonteCarloOpts) -> String {
+    let mut out = String::from(
+        "Scenario 3 (appendix D): only X_S and FK in the true distribution; X_R is noise\n\n",
+    );
+    out.push_str("(A) vary n_S; (d_S, d_R, |D_FK|) = (2, 4, 40)\n");
+    out.push_str(&render_panel("n_S", &panel_a(opts)));
+    out.push_str("\n(B) vary |D_FK|; (n_S, d_S, d_R) = (1000, 2, 4)\n");
+    out.push_str(&render_panel("|D_FK|", &panel_b(opts)));
+    out.push_str(
+        "\nReading: UseAll and NoJoin coincide (X_R never helps); NoFK loses the\n\
+         per-FK signal and sits strictly above both — the Fig 8(C) mechanism in vitro.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofk_is_strictly_worse_in_scenario3() {
+        let opts = MonteCarloOpts {
+            train_sets: 8,
+            repeats: 2,
+            base_seed: 5,
+        };
+        let [use_all, no_join, no_fk] = simulate(&cfg(2, 2, 10), 2000, &opts);
+        // Dropping FK destroys the per-FK half of the signal.
+        assert!(
+            no_fk.test_error > use_all.test_error + 0.02,
+            "NoFK {} vs UseAll {}",
+            no_fk.test_error,
+            use_all.test_error
+        );
+        // Avoiding the join costs nothing.
+        assert!(
+            (no_join.test_error - use_all.test_error).abs() < 0.03,
+            "NoJoin {} vs UseAll {}",
+            no_join.test_error,
+            use_all.test_error
+        );
+    }
+}

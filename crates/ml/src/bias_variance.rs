@@ -1,0 +1,244 @@
+//! Domingos-style bias/variance decomposition for zero-one loss.
+//!
+//! Implements the definitions of Sec 4.1 (after Domingos, ICML 2000):
+//! for a test point `x` with true conditional distribution `P(Y|X=x)` and
+//! a collection of models trained on different training sets `S`,
+//!
+//! * the **optimal prediction** `t = argmax_y P(y|x)`;
+//! * the **noise** `N(x) = 1 - P(t|x)` (irreducible error);
+//! * the **main prediction** `y_m` = mode of the models' predictions;
+//! * the **bias** `B(x) = L(t, y_m)` (0/1);
+//! * the **variance** `V(x) = E_S[L(y_m, y)]` (disagreement with the main
+//!   prediction);
+//! * the **net variance** `(1 - 2 B(x)) V(x)`, which captures that
+//!   variance *helps* on biased points;
+//! * the **expected test error** `E[L] = B + (1-2B)V + cN` (Eq 1).
+//!
+//! For binary targets with no noise the identity `E[L] = B + (1-2B)V` is
+//! exact — a property test in this module (and a proptest in the
+//! integration suite) checks it.
+
+/// Aggregated decomposition over a test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasVarianceReport {
+    /// Average expected zero-one test error over models and label noise.
+    pub avg_test_error: f64,
+    /// Average bias `B(x)`.
+    pub avg_bias: f64,
+    /// Average raw variance `V(x)`.
+    pub avg_variance: f64,
+    /// Average net variance `(1 - 2B(x)) V(x)`.
+    pub avg_net_variance: f64,
+    /// Average noise `N(x)`.
+    pub avg_noise: f64,
+    /// Number of test examples aggregated.
+    pub n_examples: usize,
+    /// Number of models (training sets) aggregated.
+    pub n_models: usize,
+}
+
+/// Decomposes error given the **true** conditional distributions.
+///
+/// * `cond[i][y]` — true `P(Y = y | x_i)` for test example `i`;
+/// * `preds[m][i]` — prediction of model `m` on test example `i`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or `preds` is empty.
+pub fn decompose(cond: &[Vec<f64>], preds: &[Vec<u32>]) -> BiasVarianceReport {
+    assert!(!preds.is_empty(), "need at least one model");
+    let n = cond.len();
+    for p in preds {
+        assert_eq!(p.len(), n, "prediction vector length mismatch");
+    }
+    let m = preds.len();
+    let n_classes = cond.first().map_or(0, Vec::len);
+
+    let mut sum_err = 0.0;
+    let mut sum_bias = 0.0;
+    let mut sum_var = 0.0;
+    let mut sum_net = 0.0;
+    let mut sum_noise = 0.0;
+
+    let mut votes = vec![0usize; n_classes];
+    for i in 0..n {
+        let p = &cond[i];
+        assert_eq!(p.len(), n_classes, "class count mismatch at example {i}");
+
+        // Optimal prediction and noise.
+        let t = argmax(p);
+        let noise = 1.0 - p[t];
+
+        // Main prediction (mode; ties -> lowest class).
+        votes.iter_mut().for_each(|v| *v = 0);
+        for pred in preds {
+            votes[pred[i] as usize] += 1;
+        }
+        let y_m = argmax_usize(&votes);
+
+        // Bias, variance.
+        let bias = if y_m == t { 0.0 } else { 1.0 };
+        let disagree = preds.iter().filter(|pr| pr[i] as usize != y_m).count();
+        let var = disagree as f64 / m as f64;
+
+        // Expected error of each model under the true conditional:
+        // E_Y[L(Y, pred)] = 1 - P(pred | x).
+        let err: f64 = preds
+            .iter()
+            .map(|pr| 1.0 - p[pr[i] as usize])
+            .sum::<f64>()
+            / m as f64;
+
+        sum_err += err;
+        sum_bias += bias;
+        sum_var += var;
+        sum_net += (1.0 - 2.0 * bias) * var;
+        sum_noise += noise;
+    }
+
+    let nf = n.max(1) as f64;
+    BiasVarianceReport {
+        avg_test_error: sum_err / nf,
+        avg_bias: sum_bias / nf,
+        avg_variance: sum_var / nf,
+        avg_net_variance: sum_net / nf,
+        avg_noise: sum_noise / nf,
+        n_examples: n,
+        n_models: m,
+    }
+}
+
+/// Decomposes error when only observed labels are available (real data):
+/// each label is treated as a point-mass conditional distribution, so the
+/// noise term is zero and bias/variance are with respect to the observed
+/// label.
+pub fn decompose_observed(labels: &[u32], n_classes: usize, preds: &[Vec<u32>]) -> BiasVarianceReport {
+    let cond: Vec<Vec<f64>> = labels
+        .iter()
+        .map(|&y| {
+            let mut p = vec![0.0; n_classes];
+            p[y as usize] = 1.0;
+            p
+        })
+        .collect();
+    decompose(&cond, preds)
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax_usize(xs: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn perfect_models_have_zero_everything_but_noise() {
+        // Two noisy test points with P(Y=1|x) = 0.9; all models predict 1.
+        let cond = vec![vec![0.1, 0.9], vec![0.1, 0.9]];
+        let preds = vec![vec![1, 1], vec![1, 1], vec![1, 1]];
+        let r = decompose(&cond, &preds);
+        assert!((r.avg_bias).abs() < EPS);
+        assert!((r.avg_variance).abs() < EPS);
+        assert!((r.avg_noise - 0.1).abs() < EPS);
+        assert!((r.avg_test_error - 0.1).abs() < EPS);
+    }
+
+    #[test]
+    fn pure_bias() {
+        // Noise-free point whose optimal label is 0; all models predict 1.
+        let cond = vec![vec![1.0, 0.0]];
+        let preds = vec![vec![1], vec![1]];
+        let r = decompose(&cond, &preds);
+        assert!((r.avg_bias - 1.0).abs() < EPS);
+        assert!((r.avg_variance).abs() < EPS);
+        assert!((r.avg_test_error - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn pure_variance() {
+        // Noise-free, main prediction correct, half the models deviate.
+        let cond = vec![vec![1.0, 0.0]];
+        let preds = vec![vec![0], vec![0], vec![0], vec![1]];
+        let r = decompose(&cond, &preds);
+        assert!((r.avg_bias).abs() < EPS);
+        assert!((r.avg_variance - 0.25).abs() < EPS);
+        assert!((r.avg_net_variance - 0.25).abs() < EPS);
+        assert!((r.avg_test_error - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn variance_helps_when_biased() {
+        // Main prediction wrong; the one deviating model is right.
+        let cond = vec![vec![1.0, 0.0]];
+        let preds = vec![vec![1], vec![1], vec![1], vec![0]];
+        let r = decompose(&cond, &preds);
+        assert!((r.avg_bias - 1.0).abs() < EPS);
+        assert!((r.avg_variance - 0.25).abs() < EPS);
+        assert!((r.avg_net_variance + 0.25).abs() < EPS); // negative!
+        // Identity: E[L] = B + (1-2B)V = 1 - 0.25.
+        assert!((r.avg_test_error - 0.75).abs() < EPS);
+    }
+
+    #[test]
+    fn binary_noise_free_identity_holds() {
+        // Random-ish configuration, binary, noise-free: the identity is exact.
+        let cond = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let preds = vec![
+            vec![0, 1, 1, 0],
+            vec![0, 0, 1, 1],
+            vec![1, 1, 0, 1],
+            vec![0, 1, 1, 1],
+            vec![0, 1, 0, 1],
+        ];
+        let r = decompose(&cond, &preds);
+        let reconstructed = r.avg_bias + r.avg_net_variance;
+        assert!(
+            (r.avg_test_error - reconstructed).abs() < EPS,
+            "E[L]={} but B+(1-2B)V={}",
+            r.avg_test_error,
+            reconstructed
+        );
+    }
+
+    #[test]
+    fn observed_labels_variant() {
+        let labels = vec![0u32, 1, 0];
+        let preds = vec![vec![0, 1, 1], vec![0, 1, 0]];
+        let r = decompose_observed(&labels, 2, &preds);
+        assert_eq!(r.avg_noise, 0.0);
+        assert_eq!(r.n_examples, 3);
+        assert_eq!(r.n_models, 2);
+        // Example 2: main pred is 0 (tie 1-1 -> lowest), correct; variance 0.5.
+        assert!((r.avg_bias - 0.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_models_panic() {
+        decompose(&[vec![1.0, 0.0]], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_mismatch_panics() {
+        decompose(&[vec![1.0, 0.0]], &[vec![0, 1]]);
+    }
+}

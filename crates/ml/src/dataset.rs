@@ -1,0 +1,243 @@
+//! Flat ML datasets extracted from relational tables.
+//!
+//! A [`Dataset`] is the single-table view every ML toolkit expects: named
+//! nominal feature columns plus a label column. Classifiers and feature
+//! selection operate on *index sets* (row subsets for splits, feature
+//! subsets for selection) so no data is copied during greedy search.
+
+use hamlet_relational::{Role, Table};
+
+/// One nominal feature column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    /// Attribute name (as in the originating table).
+    pub name: String,
+    /// Domain size `|D_F|`.
+    pub domain_size: usize,
+    /// Dense codes, one per example.
+    pub codes: Vec<u32>,
+}
+
+/// A labeled, all-nominal dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    features: Vec<Feature>,
+    labels: Vec<u32>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from parts.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, `n_classes == 0`, or any code is out of
+    /// its declared domain — datasets are expected to come from validated
+    /// tables or generators.
+    pub fn new(features: Vec<Feature>, labels: Vec<u32>, n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        for f in &features {
+            assert_eq!(
+                f.codes.len(),
+                labels.len(),
+                "feature '{}' length mismatch",
+                f.name
+            );
+            assert!(
+                f.codes.iter().all(|&c| (c as usize) < f.domain_size),
+                "feature '{}' has codes outside its domain",
+                f.name
+            );
+        }
+        assert!(
+            labels.iter().all(|&y| (y as usize) < n_classes),
+            "labels outside class domain"
+        );
+        Self {
+            features,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Extracts a dataset from a relational table: every feature and
+    /// foreign-key attribute becomes an ML feature; the target becomes the
+    /// label.
+    ///
+    /// # Panics
+    /// Panics if the table has no target attribute.
+    pub fn from_table(table: &Table) -> Self {
+        let target_idx = table
+            .schema()
+            .target()
+            .expect("table must declare a target attribute");
+        let labels = table.column(target_idx).codes().to_vec();
+        let n_classes = table.column(target_idx).domain().size();
+        let mut features = Vec::new();
+        for (def, col) in table.schema().attributes().iter().zip(table.columns()) {
+            if matches!(def.role, Role::Feature | Role::ForeignKey { .. }) {
+                features.push(Feature {
+                    name: def.name.clone(),
+                    domain_size: col.domain().size(),
+                    codes: col.codes().to_vec(),
+                });
+            }
+        }
+        Self::new(features, labels, n_classes)
+    }
+
+    /// Number of examples.
+    pub fn n_examples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of classes `|D_Y|`.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// All features.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Feature by position.
+    pub fn feature(&self, idx: usize) -> &Feature {
+        &self.features[idx]
+    }
+
+    /// Position of the feature named `name`.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// Labels for all examples.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Sum of `(|D_F|)` over the given feature subset (one-hot width).
+    pub fn one_hot_width(&self, feats: &[usize]) -> usize {
+        feats.iter().map(|&f| self.features[f].domain_size).sum()
+    }
+
+    /// Sum of `(|D_F| - 1)` over the given feature subset: the binary
+    /// vector representation width used in the paper's VC-dimension
+    /// argument (Sec 3.2).
+    pub fn binary_coded_width(&self, feats: &[usize]) -> usize {
+        feats
+            .iter()
+            .map(|&f| self.features[f].domain_size.saturating_sub(1))
+            .sum()
+    }
+
+    /// Names of the features at the given positions.
+    pub fn feature_names(&self, feats: &[usize]) -> Vec<&str> {
+        feats.iter().map(|&f| self.features[f].name.as_str()).collect()
+    }
+
+    /// Empirical class distribution over the given rows.
+    pub fn class_distribution(&self, rows: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &r in rows {
+            counts[self.labels[r] as usize] += 1;
+        }
+        let n = rows.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_relational::{Domain, TableBuilder};
+
+    pub(crate) fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                Feature {
+                    name: "a".into(),
+                    domain_size: 2,
+                    codes: vec![0, 1, 0, 1],
+                },
+                Feature {
+                    name: "b".into(),
+                    domain_size: 3,
+                    codes: vec![2, 1, 0, 2],
+                },
+            ],
+            vec![0, 1, 0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_examples(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.feature_index("b"), Some(1));
+        assert_eq!(d.feature_index("zzz"), None);
+        assert_eq!(d.one_hot_width(&[0, 1]), 5);
+        assert_eq!(d.binary_coded_width(&[0, 1]), 3);
+        assert_eq!(d.feature_names(&[1]), vec!["b"]);
+    }
+
+    #[test]
+    fn class_distribution_counts() {
+        let d = toy();
+        assert_eq!(d.class_distribution(&[0, 1, 2, 3]), vec![0.5, 0.5]);
+        assert_eq!(d.class_distribution(&[0, 2]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn from_table_takes_features_and_fks() {
+        let rid = Domain::indexed("fk", 2).shared();
+        let t = TableBuilder::new("S")
+            .primary_key("sid", Domain::indexed("sid", 3).shared(), vec![0, 1, 2])
+            .target("y", Domain::indexed("y", 3).shared(), vec![0, 2, 1])
+            .feature("x", Domain::boolean("x").shared(), vec![1, 0, 1])
+            .foreign_key("fk", "R", rid, vec![0, 1, 0])
+            .build()
+            .unwrap();
+        let d = Dataset::from_table(&t);
+        assert_eq!(d.n_features(), 2); // x and fk; sid and y excluded
+        assert_eq!(d.feature(0).name, "x");
+        assert_eq!(d.feature(1).name, "fk");
+        assert_eq!(d.labels(), &[0, 2, 1]);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Dataset::new(
+            vec![Feature {
+                name: "a".into(),
+                domain_size: 2,
+                codes: vec![0],
+            }],
+            vec![0, 1],
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its domain")]
+    fn code_out_of_domain_panics() {
+        Dataset::new(
+            vec![Feature {
+                name: "a".into(),
+                domain_size: 2,
+                codes: vec![5],
+            }],
+            vec![0],
+            2,
+        );
+    }
+}

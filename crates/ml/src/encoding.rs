@@ -1,0 +1,220 @@
+//! Numeric recodings of nominal features.
+//!
+//! Sec 3.2: "we recode the features to numeric space using the standard
+//! binary vector representation, i.e., a feature F is converted to a 0/1
+//! vector with `|D_F| - 1` dimensions (the last category is represented
+//! as a zero vector). With this recoding, the VC dimension of Naive Bayes
+//! (or logistic regression) on a set X of nominal features is
+//! `1 + sum_F (|D_F| - 1)`."
+//!
+//! Two encoders are provided:
+//! * [`Encoding::OneHot`] — `|D_F|` indicator dimensions per feature (the
+//!   representation logistic regression trains on internally);
+//! * [`Encoding::BinaryCoded`] — the paper's `|D_F| - 1` representation
+//!   used in the VC-dimension argument.
+//!
+//! Both produce *sparse* rows: a list of active dimensions (all active
+//! values are 1.0), because every nominal feature activates at most one
+//! dimension.
+
+use crate::dataset::Dataset;
+
+/// Which dummy coding to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// One indicator column per category.
+    OneHot,
+    /// `|D_F| - 1` indicator columns; the last category encodes as all
+    /// zeros (the paper's binary vector representation).
+    BinaryCoded,
+}
+
+/// A fitted encoder over a feature subset of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoder {
+    encoding: Encoding,
+    feats: Vec<usize>,
+    /// Starting dimension of each selected feature.
+    offsets: Vec<usize>,
+    /// Per-feature encoded width.
+    widths: Vec<usize>,
+    dim: usize,
+}
+
+impl Encoder {
+    /// Builds an encoder for the given feature positions of `data`.
+    pub fn fit(data: &Dataset, feats: &[usize], encoding: Encoding) -> Self {
+        let mut offsets = Vec::with_capacity(feats.len());
+        let mut widths = Vec::with_capacity(feats.len());
+        let mut dim = 0usize;
+        for &f in feats {
+            let d = data.feature(f).domain_size;
+            let w = match encoding {
+                Encoding::OneHot => d,
+                Encoding::BinaryCoded => d.saturating_sub(1),
+            };
+            offsets.push(dim);
+            widths.push(w);
+            dim += w;
+        }
+        Self {
+            encoding,
+            feats: feats.to_vec(),
+            offsets,
+            widths,
+            dim,
+        }
+    }
+
+    /// Total encoded dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The VC dimension of a linear classifier over this encoding:
+    /// `1 + dim` for the binary-coded representation (Sec 3.2). For
+    /// one-hot the parameter space is larger but the effective dimension
+    /// is the same (the per-feature columns are linearly dependent), so
+    /// this returns `1 + binary_coded_width` in both cases.
+    pub fn linear_vc_dimension(&self, data: &Dataset) -> usize {
+        1 + data.binary_coded_width(&self.feats)
+    }
+
+    /// Encodes one row as the sorted list of active dimensions.
+    pub fn encode_row(&self, data: &Dataset, row: usize) -> Vec<usize> {
+        let mut active = Vec::with_capacity(self.feats.len());
+        for (i, &f) in self.feats.iter().enumerate() {
+            let v = data.feature(f).codes[row] as usize;
+            match self.encoding {
+                Encoding::OneHot => active.push(self.offsets[i] + v),
+                Encoding::BinaryCoded => {
+                    // The last category is the zero vector.
+                    if v < self.widths[i] {
+                        active.push(self.offsets[i] + v);
+                    }
+                }
+            }
+        }
+        active
+    }
+
+    /// Encodes one row densely (0.0/1.0 vector of [`Encoder::dim`]).
+    pub fn encode_row_dense(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for d in self.encode_row(data, row) {
+            out[d] = 1.0;
+        }
+        out
+    }
+
+    /// Maps an encoded dimension back to `(feature position, category)`.
+    pub fn decode_dimension(&self, dim: usize) -> Option<(usize, u32)> {
+        for (i, (&off, &w)) in self.offsets.iter().zip(&self.widths).enumerate() {
+            if dim >= off && dim < off + w {
+                return Some((self.feats[i], (dim - off) as u32));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            vec![
+                Feature {
+                    name: "a".into(),
+                    domain_size: 3,
+                    codes: vec![0, 1, 2],
+                },
+                Feature {
+                    name: "b".into(),
+                    domain_size: 2,
+                    codes: vec![1, 0, 1],
+                },
+            ],
+            vec![0, 1, 0],
+            2,
+        )
+    }
+
+    #[test]
+    fn one_hot_dimensions() {
+        let d = data();
+        let e = Encoder::fit(&d, &[0, 1], Encoding::OneHot);
+        assert_eq!(e.dim(), 5);
+        assert_eq!(e.encode_row(&d, 0), vec![0, 4]); // a=0, b=1
+        assert_eq!(e.encode_row(&d, 2), vec![2, 4]); // a=2, b=1
+    }
+
+    #[test]
+    fn binary_coded_drops_last_category() {
+        let d = data();
+        let e = Encoder::fit(&d, &[0, 1], Encoding::BinaryCoded);
+        assert_eq!(e.dim(), 3); // (3-1) + (2-1)
+        assert_eq!(e.encode_row(&d, 0), vec![0]); // a=0 active; b=1 is last -> zero
+        assert_eq!(e.encode_row(&d, 1), vec![1, 2]); // a=1, b=0
+        assert_eq!(e.encode_row(&d, 2), vec![]); // a=2 last, b=1 last
+    }
+
+    #[test]
+    fn dense_encoding_matches_sparse() {
+        let d = data();
+        for enc in [Encoding::OneHot, Encoding::BinaryCoded] {
+            let e = Encoder::fit(&d, &[0, 1], enc);
+            for row in 0..3 {
+                let dense = e.encode_row_dense(&d, row);
+                let active: Vec<usize> = dense
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v == 1.0)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(active, e.encode_row(&d, row), "{enc:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn vc_dimension_matches_paper_formula() {
+        let d = data();
+        let e = Encoder::fit(&d, &[0, 1], Encoding::BinaryCoded);
+        // 1 + (3-1) + (2-1) = 4.
+        assert_eq!(e.linear_vc_dimension(&d), 4);
+        // The one-hot encoder reports the same effective dimension.
+        let o = Encoder::fit(&d, &[0, 1], Encoding::OneHot);
+        assert_eq!(o.linear_vc_dimension(&d), 4);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let d = data();
+        let e = Encoder::fit(&d, &[0, 1], Encoding::OneHot);
+        assert_eq!(e.decode_dimension(0), Some((0, 0)));
+        assert_eq!(e.decode_dimension(2), Some((0, 2)));
+        assert_eq!(e.decode_dimension(3), Some((1, 0)));
+        assert_eq!(e.decode_dimension(4), Some((1, 1)));
+        assert_eq!(e.decode_dimension(5), None);
+    }
+
+    #[test]
+    fn subset_encoding() {
+        let d = data();
+        let e = Encoder::fit(&d, &[1], Encoding::OneHot);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.encode_row(&d, 0), vec![1]);
+    }
+
+    #[test]
+    fn empty_feature_set() {
+        let d = data();
+        let e = Encoder::fit(&d, &[], Encoding::OneHot);
+        assert_eq!(e.dim(), 0);
+        assert!(e.encode_row(&d, 0).is_empty());
+        assert_eq!(e.linear_vc_dimension(&d), 1); // intercept only
+    }
+}

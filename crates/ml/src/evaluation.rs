@@ -1,0 +1,240 @@
+//! Model evaluation beyond the holdout protocol: k-fold cross-validation
+//! (the alternative wrapper criterion Sec 2.2 mentions) and confusion
+//! matrices with per-class precision/recall.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::classifier::{Classifier, ErrorMetric, Model};
+use crate::dataset::Dataset;
+
+/// Splits `0..n` into `k` folds of near-equal size (shuffled).
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least two folds");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, r) in perm.into_iter().enumerate() {
+        folds[i % k].push(r);
+    }
+    folds
+}
+
+/// k-fold cross-validation error of a learner on a feature subset:
+/// trains on `k-1` folds, scores the held-out fold, averages.
+pub fn cross_validate<C: Classifier>(
+    classifier: &C,
+    data: &Dataset,
+    rows: &[usize],
+    feats: &[usize],
+    k: usize,
+    metric: ErrorMetric,
+    seed: u64,
+) -> f64 {
+    let folds = kfold_indices(rows.len(), k, seed);
+    let mut total = 0.0;
+    for held_out in 0..k {
+        let train: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != held_out)
+            .flat_map(|(_, f)| f.iter().map(|&p| rows[p]))
+            .collect();
+        let test: Vec<usize> = folds[held_out].iter().map(|&p| rows[p]).collect();
+        let model = classifier.fit(data, &train, feats);
+        total += metric.eval(&model, data, &test);
+    }
+    total / k as f64
+}
+
+/// A confusion matrix over `n_classes` classes: `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from a model's predictions on `rows`.
+    pub fn from_model<M: Model>(model: &M, data: &Dataset, rows: &[usize]) -> Self {
+        let n = data.n_classes();
+        let mut counts = vec![0u64; n * n];
+        for &r in rows {
+            let t = data.labels()[r] as usize;
+            let p = model.predict_row(data, r) as usize;
+            counts[t * n + p] += 1;
+        }
+        Self {
+            n_classes: n,
+            counts,
+        }
+    }
+
+    /// Count of examples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.n_classes + p]
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of class `c` (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: u64 = (0..self.n_classes).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (0 when the class never occurs).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: u64 = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.count(c, c) as f64 / actual as f64
+        }
+    }
+
+    /// Macro-averaged F1 score.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in 0..self.n_classes {
+            let p = self.precision(c);
+            let r = self.recall(c);
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        sum / self.n_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+    use crate::naive_bayes::NaiveBayes;
+
+    fn data(n: usize) -> Dataset {
+        let x: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let y = x.clone();
+        Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 3,
+                codes: x,
+            }],
+            y,
+            3,
+        )
+    }
+
+    #[test]
+    fn folds_partition_rows() {
+        let folds = kfold_indices(103, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Near-equal sizes.
+        for f in &folds {
+            assert!(f.len() == 20 || f.len() == 21);
+        }
+    }
+
+    #[test]
+    fn cv_on_learnable_concept_is_near_zero() {
+        let d = data(300);
+        let rows: Vec<usize> = (0..300).collect();
+        let err = cross_validate(
+            &NaiveBayes::default(),
+            &d,
+            &rows,
+            &[0],
+            5,
+            ErrorMetric::ZeroOne,
+            7,
+        );
+        assert!(err < 0.01, "cv error {err}");
+    }
+
+    #[test]
+    fn cv_on_empty_features_is_majority_error() {
+        let d = data(300);
+        let rows: Vec<usize> = (0..300).collect();
+        let err = cross_validate(
+            &NaiveBayes::default(),
+            &d,
+            &rows,
+            &[],
+            3,
+            ErrorMetric::ZeroOne,
+            7,
+        );
+        assert!(err > 0.5, "majority-class error should be ~2/3, got {err}");
+    }
+
+    #[test]
+    fn confusion_matrix_perfect_classifier() {
+        let d = data(90);
+        let rows: Vec<usize> = (0..90).collect();
+        let m = NaiveBayes::default().fit(&d, &rows, &[0]);
+        let cm = ConfusionMatrix::from_model(&m, &d, &rows);
+        assert_eq!(cm.total(), 90);
+        assert_eq!(cm.accuracy(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), 1.0);
+            assert_eq!(cm.recall(c), 1.0);
+        }
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        // Hand-built: model always predicts class 0.
+        struct Zero;
+        impl Model for Zero {
+            fn predict_row(&self, _d: &Dataset, _r: usize) -> u32 {
+                0
+            }
+            fn features(&self) -> &[usize] {
+                &[]
+            }
+        }
+        let d = data(9); // classes 0,1,2 three times each
+        let rows: Vec<usize> = (0..9).collect();
+        let cm = ConfusionMatrix::from_model(&Zero, &d, &rows);
+        assert_eq!(cm.count(0, 0), 3);
+        assert_eq!(cm.count(1, 0), 3);
+        assert_eq!(cm.count(2, 0), 3);
+        assert!((cm.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_rejected() {
+        kfold_indices(10, 1, 0);
+    }
+}

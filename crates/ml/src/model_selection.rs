@@ -1,0 +1,165 @@
+//! Hyper-parameter selection on the validation split.
+//!
+//! The paper tunes per-instance hyper-parameters (filter cutoffs, glmnet
+//! regularization) "using the validation error" (Secs 2.2, 5). This
+//! module is that protocol for any learner family: evaluate a grid of
+//! configurations, keep the validation-best, report its test error.
+
+use crate::classifier::{Classifier, ErrorMetric};
+use crate::dataset::Dataset;
+
+/// The outcome of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult<M> {
+    /// Index of the winning configuration in the grid.
+    pub best_index: usize,
+    /// Validation error of the winner.
+    pub validation_error: f64,
+    /// The winning fitted model.
+    pub model: M,
+}
+
+/// Fits every learner in `grid` on `train`, scores each on `validation`,
+/// and returns the winner (ties: first in grid order — put preferred
+/// configurations first).
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn grid_search<C: Classifier>(
+    grid: &[C],
+    data: &Dataset,
+    train: &[usize],
+    validation: &[usize],
+    feats: &[usize],
+    metric: ErrorMetric,
+) -> GridSearchResult<C::Fitted> {
+    assert!(!grid.is_empty(), "grid must be non-empty");
+    let mut best: Option<GridSearchResult<C::Fitted>> = None;
+    for (i, learner) in grid.iter().enumerate() {
+        let model = learner.fit(data, train, feats);
+        let err = metric.eval(&model, data, validation);
+        let better = best.as_ref().is_none_or(|b| err < b.validation_error);
+        if better {
+            best = Some(GridSearchResult {
+                best_index: i,
+                validation_error: err,
+                model,
+            });
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+/// Convenience: grid-search then score the winner on `test`.
+pub fn grid_search_test_error<C: Classifier>(
+    grid: &[C],
+    data: &Dataset,
+    train: &[usize],
+    validation: &[usize],
+    test: &[usize],
+    feats: &[usize],
+    metric: ErrorMetric,
+) -> (usize, f64) {
+    let result = grid_search(grid, data, train, validation, feats, metric);
+    (result.best_index, metric.eval(&result.model, data, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Model;
+    use crate::dataset::Feature;
+    use crate::naive_bayes::NaiveBayes;
+
+    fn data() -> Dataset {
+        let n = 300u32;
+        let x: Vec<u32> = (0..n).map(|i| i % 2).collect();
+        let y = x.clone();
+        Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 2,
+                codes: x,
+            }],
+            y,
+            2,
+        )
+    }
+
+    #[test]
+    fn picks_validation_best() {
+        let d = data();
+        let rows: Vec<usize> = (0..300).collect();
+        // Absurd over-smoothing hurts; alpha = 1 wins.
+        let grid = vec![NaiveBayes::new(1.0), NaiveBayes::new(10_000.0)];
+        let r = grid_search(
+            &grid,
+            &d,
+            &rows[..150],
+            &rows[150..225],
+            &[0],
+            ErrorMetric::ZeroOne,
+        );
+        assert_eq!(r.best_index, 0);
+        assert_eq!(r.validation_error, 0.0);
+    }
+
+    #[test]
+    fn ties_prefer_first() {
+        let d = data();
+        let rows: Vec<usize> = (0..300).collect();
+        let grid = vec![NaiveBayes::new(1.0), NaiveBayes::new(2.0)];
+        let r = grid_search(
+            &grid,
+            &d,
+            &rows[..150],
+            &rows[150..225],
+            &[0],
+            ErrorMetric::ZeroOne,
+        );
+        assert_eq!(r.best_index, 0);
+    }
+
+    #[test]
+    fn test_error_reported_for_winner() {
+        let d = data();
+        let rows: Vec<usize> = (0..300).collect();
+        let grid = vec![NaiveBayes::new(1.0)];
+        let (idx, err) = grid_search_test_error(
+            &grid,
+            &d,
+            &rows[..150],
+            &rows[150..225],
+            &rows[225..],
+            &[0],
+            ErrorMetric::ZeroOne,
+        );
+        assert_eq!(idx, 0);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn winner_model_is_usable() {
+        let d = data();
+        let rows: Vec<usize> = (0..300).collect();
+        let grid = vec![NaiveBayes::new(1.0)];
+        let r = grid_search(
+            &grid,
+            &d,
+            &rows[..150],
+            &rows[150..225],
+            &[0],
+            ErrorMetric::ZeroOne,
+        );
+        assert_eq!(r.model.predict_row(&d, 0), d.labels()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let d = data();
+        let rows: Vec<usize> = (0..10).collect();
+        let grid: Vec<NaiveBayes> = vec![];
+        grid_search(&grid, &d, &rows, &rows, &[0], ErrorMetric::ZeroOne);
+    }
+}

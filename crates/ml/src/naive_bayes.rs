@@ -1,0 +1,287 @@
+//! Naive Bayes for nominal features.
+//!
+//! The paper's running classifier (Sec 2.1): "Naive Bayes is a popular
+//! classifier ... easy to understand and use; it does not require expensive
+//! iterative optimization". Conditional probabilities use Laplace
+//! smoothing, the "standard practice" the paper adopts to handle RID values
+//! absent from the training FK column (Sec 2.1, footnote 2).
+
+use crate::classifier::{Classifier, Model};
+use crate::dataset::Dataset;
+
+/// Naive Bayes learner configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayes {
+    /// Additive (Laplace) smoothing pseudo-count; 1.0 is the classic
+    /// choice and the default.
+    pub smoothing: f64,
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        Self { smoothing: 1.0 }
+    }
+}
+
+impl NaiveBayes {
+    /// A learner with the given smoothing pseudo-count.
+    pub fn new(smoothing: f64) -> Self {
+        assert!(smoothing > 0.0, "smoothing must be positive");
+        Self { smoothing }
+    }
+}
+
+/// A fitted Naive Bayes model.
+///
+/// Stores log-priors and per-feature log-conditional tables
+/// `log P(F = v | Y = y)` laid out as `[feature][y * |D_F| + v]`.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesModel {
+    feats: Vec<usize>,
+    n_classes: usize,
+    log_prior: Vec<f64>,
+    /// Per selected feature: flattened `n_classes x domain_size` table.
+    log_cond: Vec<Vec<f64>>,
+    /// Domain size per selected feature (parallel to `feats`).
+    domain_sizes: Vec<usize>,
+}
+
+impl Classifier for NaiveBayes {
+    type Fitted = NaiveBayesModel;
+
+    fn fit(&self, data: &Dataset, rows: &[usize], feats: &[usize]) -> NaiveBayesModel {
+        let n_classes = data.n_classes();
+        let alpha = self.smoothing;
+        let labels = data.labels();
+
+        // Class counts -> log priors (smoothed so empty classes don't blow up).
+        let mut class_counts = vec![0u64; n_classes];
+        for &r in rows {
+            class_counts[labels[r] as usize] += 1;
+        }
+        let total = rows.len() as f64 + alpha * n_classes as f64;
+        let log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + alpha) / total).ln())
+            .collect();
+
+        // Conditional tables.
+        let mut log_cond = Vec::with_capacity(feats.len());
+        let mut domain_sizes = Vec::with_capacity(feats.len());
+        for &f in feats {
+            let feature = data.feature(f);
+            let d = feature.domain_size;
+            let mut counts = vec![0u64; n_classes * d];
+            for &r in rows {
+                let y = labels[r] as usize;
+                let v = feature.codes[r] as usize;
+                counts[y * d + v] += 1;
+            }
+            let mut table = vec![0f64; n_classes * d];
+            for y in 0..n_classes {
+                let denom = class_counts[y] as f64 + alpha * d as f64;
+                for v in 0..d {
+                    table[y * d + v] = ((counts[y * d + v] as f64 + alpha) / denom).ln();
+                }
+            }
+            log_cond.push(table);
+            domain_sizes.push(d);
+        }
+
+        NaiveBayesModel {
+            feats: feats.to_vec(),
+            n_classes,
+            log_prior,
+            log_cond,
+            domain_sizes,
+        }
+    }
+}
+
+impl NaiveBayesModel {
+    /// Assembles a model from raw parts — used by
+    /// [`crate::incremental::IncrementalNaiveBayes`], which maintains the
+    /// count tables itself.
+    pub fn from_parts(
+        feats: Vec<usize>,
+        n_classes: usize,
+        log_prior: Vec<f64>,
+        log_cond: Vec<Vec<f64>>,
+        domain_sizes: Vec<usize>,
+    ) -> Self {
+        assert_eq!(log_prior.len(), n_classes);
+        assert_eq!(log_cond.len(), feats.len());
+        assert_eq!(domain_sizes.len(), feats.len());
+        Self {
+            feats,
+            n_classes,
+            log_prior,
+            log_cond,
+            domain_sizes,
+        }
+    }
+
+    /// Unnormalized log-posterior `log P(y) + sum_f log P(x_f | y)` for
+    /// each class on one row.
+    pub fn log_posterior(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut scores = self.log_prior.clone();
+        for (i, &f) in self.feats.iter().enumerate() {
+            let v = data.feature(f).codes[row] as usize;
+            let d = self.domain_sizes[i];
+            let table = &self.log_cond[i];
+            for (y, s) in scores.iter_mut().enumerate() {
+                *s += table[y * d + v];
+            }
+        }
+        scores
+    }
+
+    /// Normalized class probabilities on one row (softmax of the
+    /// log-posterior).
+    pub fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let scores = self.log_posterior(data, row);
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / z).collect()
+    }
+}
+
+impl Model for NaiveBayesModel {
+    fn predict_row(&self, data: &Dataset, row: usize) -> u32 {
+        let scores = self.log_posterior(data, row);
+        // Deterministic tie-break: lowest class wins.
+        let mut best = 0usize;
+        for y in 1..self.n_classes {
+            if scores[y] > scores[best] {
+                best = y;
+            }
+        }
+        best as u32
+    }
+
+    fn features(&self) -> &[usize] {
+        &self.feats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::zero_one_error;
+    use crate::dataset::Feature;
+
+    fn xor_free_data() -> Dataset {
+        // y = x0 (perfectly predictable from feature 0); x1 is noise.
+        Dataset::new(
+            vec![
+                Feature {
+                    name: "x0".into(),
+                    domain_size: 2,
+                    codes: vec![0, 0, 1, 1, 0, 1, 0, 1],
+                },
+                Feature {
+                    name: "noise".into(),
+                    domain_size: 2,
+                    codes: vec![0, 1, 0, 1, 1, 0, 0, 1],
+                },
+            ],
+            vec![0, 0, 1, 1, 0, 1, 0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn learns_deterministic_concept() {
+        let d = xor_free_data();
+        let rows: Vec<usize> = (0..8).collect();
+        let m = NaiveBayes::default().fit(&d, &rows, &[0, 1]);
+        assert_eq!(zero_one_error(&m, &d, &rows), 0.0);
+    }
+
+    #[test]
+    fn empty_feature_set_predicts_majority() {
+        let d = Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 2,
+                codes: vec![0, 1, 0, 1, 0],
+            }],
+            vec![1, 1, 1, 0, 0],
+            2,
+        );
+        let rows: Vec<usize> = (0..5).collect();
+        let m = NaiveBayes::default().fit(&d, &rows, &[]);
+        for r in 0..5 {
+            assert_eq!(m.predict_row(&d, r), 1);
+        }
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // 4 examples, 1 boolean feature, alpha = 1.
+        // y: [0,0,0,1]; x: [0,1,0,1]
+        // P(y=0) = (3+1)/(4+2) = 2/3 ; P(y=1) = (1+1)/6 = 1/3
+        // P(x=1|y=0) = (1+1)/(3+2) = 2/5 ; P(x=1|y=1) = (1+1)/(1+2) = 2/3
+        let d = Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 2,
+                codes: vec![0, 1, 0, 1],
+            }],
+            vec![0, 0, 0, 1],
+            2,
+        );
+        let m = NaiveBayes::default().fit(&d, &[0, 1, 2, 3], &[0]);
+        let p = m.predict_proba(&d, 1); // x = 1
+        let p0 = (2.0 / 3.0) * (2.0 / 5.0);
+        let p1 = (1.0 / 3.0) * (2.0 / 3.0);
+        assert!((p[0] - p0 / (p0 + p1)).abs() < 1e-12);
+        assert!((p[1] - p1 / (p0 + p1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_values() {
+        // Train only sees code 0; predicting a row with code 2 must not
+        // panic or produce NaN.
+        let d = Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 3,
+                codes: vec![0, 0, 2],
+            }],
+            vec![0, 1, 0],
+            2,
+        );
+        let m = NaiveBayes::default().fit(&d, &[0, 1], &[0]);
+        let p = m.predict_proba(&d, 2);
+        assert!(p.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let d = xor_free_data();
+        let rows: Vec<usize> = (0..8).collect();
+        let m = NaiveBayes::default().fit(&d, &rows, &[0, 1]);
+        for r in 0..8 {
+            let p = m.predict_proba(&d, r);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn feature_subset_is_respected() {
+        let d = xor_free_data();
+        let rows: Vec<usize> = (0..8).collect();
+        // Training on the noise feature alone must not reach zero error.
+        let m = NaiveBayes::default().fit(&d, &rows, &[1]);
+        assert!(zero_one_error(&m, &d, &rows) > 0.0);
+        assert_eq!(m.features(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be positive")]
+    fn zero_smoothing_rejected() {
+        let _ = NaiveBayes::new(0.0);
+    }
+}

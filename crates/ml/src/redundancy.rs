@@ -1,0 +1,193 @@
+//! Empirical feature redundancy — Definitions B.2–B.4 and Proposition
+//! 3.1, executable on instances.
+//!
+//! The appendix formalizes *weak relevance* (`P(Y|X) = P(Y|X−{F})` yet
+//! some context `Z` makes `F` matter) and the *Markov blanket*
+//! (`M_F` screens `F` off from everything else), then proves every
+//! foreign feature is redundant with `{FK}` as its blanket. This module
+//! evaluates those conditional-distribution identities on empirical
+//! data, so the proposition can be checked (and demonstrated) on any
+//! joined table. Identities that hold exactly in the population hold
+//! exactly in the sample too when they stem from functional
+//! dependencies — which is precisely Prop 3.1's situation.
+
+use crate::dataset::Dataset;
+
+/// Compares two empirical conditional distributions `P(Y | ctx)` for
+/// equality within `tol`, where each context is the joint value of the
+/// given feature subsets. Returns true iff for every observed context of
+/// the *finer* conditioning set, the two conditionals agree.
+///
+/// Conditioning on `fine` and on `coarse ⊆ fine` yields the identity
+/// `P(Y|fine) = P(Y|coarse)` exactly when the extra features of `fine`
+/// carry no additional information — the quantity Defs B.2–B.4 test.
+fn conditionals_agree(data: &Dataset, rows: &[usize], fine: &[usize], coarse: &[usize], tol: f64) -> bool {
+    // Empirical P(Y | fine-context) and P(Y | coarse-context).
+    let dist = |feats: &[usize]| {
+        let mut counts: std::collections::HashMap<Vec<u32>, Vec<u64>> = Default::default();
+        for &r in rows {
+            let key: Vec<u32> = feats.iter().map(|&f| data.feature(f).codes[r]).collect();
+            let entry = counts
+                .entry(key)
+                .or_insert_with(|| vec![0; data.n_classes()]);
+            entry[data.labels()[r] as usize] += 1;
+        }
+        counts
+    };
+    let fine_dist = dist(fine);
+    let coarse_dist = dist(coarse);
+    let coarse_positions: Vec<usize> = coarse
+        .iter()
+        .map(|c| fine.iter().position(|f| f == c).expect("coarse ⊆ fine"))
+        .collect();
+
+    for (fine_key, fine_counts) in &fine_dist {
+        let coarse_key: Vec<u32> = coarse_positions.iter().map(|&p| fine_key[p]).collect();
+        let coarse_counts = coarse_dist
+            .get(&coarse_key)
+            .expect("every fine context projects to an observed coarse context");
+        let nf: u64 = fine_counts.iter().sum();
+        let nc: u64 = coarse_counts.iter().sum();
+        for y in 0..data.n_classes() {
+            let pf = fine_counts[y] as f64 / nf as f64;
+            let pc = coarse_counts[y] as f64 / nc as f64;
+            if (pf - pc).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Def B.3, empirically: is `blanket` a Markov blanket for feature `f`
+/// among `all` (i.e. given the blanket, adding `f` changes no empirical
+/// conditional of `Y` and the remaining features)?
+///
+/// For FD-induced blankets (`FK -> F`) the identity is exact: fixing the
+/// blanket fixes `f`, so the two conditioning sets partition rows
+/// identically and the conditionals agree to machine precision.
+pub fn is_markov_blanket(
+    data: &Dataset,
+    rows: &[usize],
+    f: usize,
+    blanket: &[usize],
+    tol: f64,
+) -> bool {
+    let mut with_f: Vec<usize> = blanket.to_vec();
+    with_f.push(f);
+    conditionals_agree(data, rows, &with_f, blanket, tol)
+}
+
+/// Def B.2, empirically: `f` is weakly relevant iff dropping it from the
+/// full set changes nothing (`P(Y|X) = P(Y|X−{f})`) but *some* context
+/// exists where it matters — here witnessed by `P(Y|f) != P(Y)`.
+pub fn is_weakly_relevant(data: &Dataset, rows: &[usize], f: usize, all: &[usize], tol: f64) -> bool {
+    let without: Vec<usize> = all.iter().copied().filter(|&x| x != f).collect();
+    let drop_is_free = conditionals_agree(data, rows, all, &without, tol);
+    let matters_alone = !conditionals_agree(data, rows, &[f], &[], tol);
+    drop_is_free && matters_alone
+}
+
+/// Proposition 3.1, empirically: in a joined dataset where `fk`
+/// functionally determines `f`, the feature `f` is *redundant* — weakly
+/// relevant with `{fk}` as a Markov blanket.
+pub fn is_redundant_given_fk(
+    data: &Dataset,
+    rows: &[usize],
+    f: usize,
+    fk: usize,
+    all: &[usize],
+    tol: f64,
+) -> bool {
+    is_weakly_relevant(data, rows, f, all, tol) && is_markov_blanket(data, rows, f, &[fk], tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+
+    /// Joined-table shape: fk determines xr; y depends on xr (hence on
+    /// fk); xs is independent noise.
+    fn joined(n: usize) -> Dataset {
+        let n_fk = 8u32;
+        let fk: Vec<u32> = (0..n as u32).map(|i| i % n_fk).collect();
+        let xr: Vec<u32> = fk.iter().map(|&k| k % 2).collect();
+        let xs: Vec<u32> = (0..n as u32).map(|i| (i / 3) % 2).collect();
+        let y: Vec<u32> = xr.clone();
+        Dataset::new(
+            vec![
+                Feature { name: "xs".into(), domain_size: 2, codes: xs },
+                Feature { name: "fk".into(), domain_size: n_fk as usize, codes: fk },
+                Feature { name: "xr".into(), domain_size: 2, codes: xr },
+            ],
+            y,
+            2,
+        )
+    }
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn fk_is_markov_blanket_for_xr() {
+        let d = joined(240);
+        let rows: Vec<usize> = (0..240).collect();
+        assert!(is_markov_blanket(&d, &rows, 2, &[1], TOL));
+    }
+
+    #[test]
+    fn xs_is_not_a_blanket_for_xr() {
+        let d = joined(240);
+        let rows: Vec<usize> = (0..240).collect();
+        assert!(!is_markov_blanket(&d, &rows, 2, &[0], 0.05));
+    }
+
+    #[test]
+    fn xr_is_weakly_relevant() {
+        let d = joined(240);
+        let rows: Vec<usize> = (0..240).collect();
+        assert!(is_weakly_relevant(&d, &rows, 2, &[0, 1, 2], TOL));
+    }
+
+    #[test]
+    fn prop_3_1_xr_redundant_given_fk() {
+        let d = joined(240);
+        let rows: Vec<usize> = (0..240).collect();
+        assert!(is_redundant_given_fk(&d, &rows, 2, 1, &[0, 1, 2], TOL));
+    }
+
+    #[test]
+    fn informative_nonredundant_feature_rejected() {
+        // y depends on x directly and nothing determines x: dropping x
+        // from the full set changes P(Y|·), so x is NOT weakly relevant
+        // (it is strongly relevant), hence not redundant.
+        let n = 200usize;
+        let x: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+        let z: Vec<u32> = (0..n as u32).map(|i| (i / 2) % 3).collect();
+        let d = Dataset::new(
+            vec![
+                Feature { name: "x".into(), domain_size: 2, codes: x.clone() },
+                Feature { name: "z".into(), domain_size: 3, codes: z },
+            ],
+            x,
+            2,
+        );
+        let rows: Vec<usize> = (0..n).collect();
+        assert!(!is_weakly_relevant(&d, &rows, 0, &[0, 1], 0.05));
+    }
+
+    #[test]
+    fn pure_noise_is_not_weakly_relevant() {
+        // A feature independent of y fails the "matters alone" half.
+        let n = 400usize;
+        let noise: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+        let y: Vec<u32> = (0..n as u32).map(|i| (i / 2) % 2).collect();
+        let d = Dataset::new(
+            vec![Feature { name: "noise".into(), domain_size: 2, codes: noise }],
+            y,
+            2,
+        );
+        let rows: Vec<usize> = (0..n).collect();
+        assert!(!is_weakly_relevant(&d, &rows, 0, &[0], 0.05));
+    }
+}

@@ -1,0 +1,145 @@
+//! Holdout splits.
+//!
+//! The paper uses "the standard holdout validation method with the entity
+//! table split randomly into 50%:25%:25% for training, validation, and
+//! final holdout testing" (Sec 5). Splits are row-index sets over a
+//! [`crate::dataset::Dataset`] (or a relational table), so the data itself
+//! is never copied.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A three-way holdout split of row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldoutSplit {
+    /// Training rows.
+    pub train: Vec<usize>,
+    /// Validation rows, used by wrappers and for tuning filter `k`.
+    pub validation: Vec<usize>,
+    /// Final holdout test rows.
+    pub test: Vec<usize>,
+}
+
+impl HoldoutSplit {
+    /// Splits `0..n` randomly with the given fractions (test gets the
+    /// remainder). Deterministic in `seed`.
+    pub fn new(n: usize, train_frac: f64, validation_frac: f64, seed: u64) -> Self {
+        assert!(train_frac >= 0.0 && validation_frac >= 0.0);
+        assert!(
+            train_frac + validation_frac <= 1.0 + 1e-12,
+            "fractions must not exceed 1"
+        );
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        perm.shuffle(&mut rng);
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = (((n as f64) * validation_frac).round() as usize).min(n - n_train.min(n));
+        let n_train = n_train.min(n);
+        Self {
+            train: perm[..n_train].to_vec(),
+            validation: perm[n_train..n_train + n_val].to_vec(),
+            test: perm[n_train + n_val..].to_vec(),
+        }
+    }
+
+    /// The paper's 50%:25%:25% protocol.
+    pub fn paper_protocol(n: usize, seed: u64) -> Self {
+        Self::new(n, 0.5, 0.25, seed)
+    }
+
+    /// Total number of rows covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+
+    /// Whether the split covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Draws `m` bootstrap-free disjoint training sets by chunking a shuffled
+/// permutation — used by the bias/variance protocol where each Monte-Carlo
+/// run needs an independent training sample.
+pub fn disjoint_train_sets(n: usize, m: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(m > 0);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let chunk = (n / m).max(1);
+    perm.chunks(chunk).take(m).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let s = HoldoutSplit::paper_protocol(101, 7);
+        assert_eq!(s.len(), 101);
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.validation)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_sizes_match_fractions() {
+        let s = HoldoutSplit::paper_protocol(1000, 0);
+        assert_eq!(s.train.len(), 500);
+        assert_eq!(s.validation.len(), 250);
+        assert_eq!(s.test.len(), 250);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = HoldoutSplit::paper_protocol(100, 42);
+        let b = HoldoutSplit::paper_protocol(100, 42);
+        let c = HoldoutSplit::paper_protocol(100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_is_shuffled() {
+        let s = HoldoutSplit::paper_protocol(1000, 1);
+        // The first 500 naturals would only appear if unshuffled.
+        let sorted_prefix: Vec<usize> = (0..500).collect();
+        let mut train = s.train.clone();
+        train.sort_unstable();
+        assert_ne!(train, sorted_prefix);
+    }
+
+    #[test]
+    fn zero_rows_ok() {
+        let s = HoldoutSplit::paper_protocol(0, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn disjoint_sets_are_disjoint() {
+        let sets = disjoint_train_sets(100, 4, 9);
+        assert_eq!(sets.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for s in &sets {
+            assert_eq!(s.len(), 25);
+            for &r in s {
+                assert!(seen.insert(r), "row {r} appears twice");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_small_n() {
+        let sets = disjoint_train_sets(3, 5, 9);
+        assert!(sets.len() <= 5);
+        assert!(!sets.is_empty());
+    }
+}

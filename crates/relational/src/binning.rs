@@ -1,0 +1,298 @@
+//! Discretization of numeric data into nominal domains.
+//!
+//! The paper assumes numeric features "have been discretized to a finite
+//! set of categories, say, using binning" (Sec 2.1, footnote 1) and uses
+//! "a standard unsupervised binning technique (equal-length histograms)"
+//! for the real datasets (Sec 5). This module implements that technique.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::domain::Domain;
+use crate::error::{RelationalError, Result};
+
+/// An equal-width binning of a closed numeric range into `n_bins` buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqualWidthBinner {
+    name: String,
+    lo: f64,
+    hi: f64,
+    n_bins: usize,
+}
+
+impl EqualWidthBinner {
+    /// Builds a binner over `[lo, hi]` with `n_bins` equal-width buckets.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64, n_bins: usize) -> Result<Self> {
+        if n_bins == 0 {
+            return Err(RelationalError::InvalidBinning {
+                reason: "n_bins must be positive".into(),
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(RelationalError::InvalidBinning {
+                reason: format!("invalid range [{lo}, {hi}]"),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            lo,
+            hi,
+            n_bins,
+        })
+    }
+
+    /// Builds a binner whose range is the min/max of `values`.
+    ///
+    /// If all values are equal the range is widened by ±0.5 so the single
+    /// observed value falls in a well-defined bin.
+    pub fn fit(name: impl Into<String>, values: &[f64], n_bins: usize) -> Result<Self> {
+        if values.is_empty() {
+            return Err(RelationalError::InvalidBinning {
+                reason: "cannot fit binner on empty data".into(),
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                return Err(RelationalError::InvalidBinning {
+                    reason: format!("non-finite value {v}"),
+                });
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo == hi {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        Self::new(name, lo, hi, n_bins)
+    }
+
+    /// Number of bins (the resulting domain size).
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Maps one value to its bin code; values outside the fitted range are
+    /// clamped to the first/last bin (standard practice for held-out data).
+    pub fn bin(&self, v: f64) -> u32 {
+        let width = (self.hi - self.lo) / self.n_bins as f64;
+        let raw = ((v - self.lo) / width).floor();
+        raw.clamp(0.0, (self.n_bins - 1) as f64) as u32
+    }
+
+    /// The nominal domain produced by this binner, with interval labels.
+    pub fn domain(&self) -> Domain {
+        let width = (self.hi - self.lo) / self.n_bins as f64;
+        let labels = (0..self.n_bins)
+            .map(|i| {
+                let a = self.lo + width * i as f64;
+                let b = a + width;
+                format!("[{a:.4},{b:.4})")
+            })
+            .collect();
+        Domain::labelled(self.name.clone(), labels)
+    }
+
+    /// Bins a whole numeric vector into a [`Column`].
+    pub fn bin_column(&self, values: &[f64]) -> Column {
+        let domain = Arc::new(self.domain());
+        let codes = values.iter().map(|&v| self.bin(v)).collect();
+        Column::new_unchecked(domain, codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_equal_width() {
+        let b = EqualWidthBinner::new("x", 0.0, 10.0, 5).unwrap();
+        assert_eq!(b.bin(0.0), 0);
+        assert_eq!(b.bin(1.99), 0);
+        assert_eq!(b.bin(2.0), 1);
+        assert_eq!(b.bin(9.99), 4);
+        // The max lands in the last bin, not one past it.
+        assert_eq!(b.bin(10.0), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let b = EqualWidthBinner::new("x", 0.0, 1.0, 4).unwrap();
+        assert_eq!(b.bin(-100.0), 0);
+        assert_eq!(b.bin(100.0), 3);
+    }
+
+    #[test]
+    fn fit_uses_min_max() {
+        let b = EqualWidthBinner::fit("x", &[3.0, 7.0, 5.0], 2).unwrap();
+        assert_eq!(b.bin(3.0), 0);
+        assert_eq!(b.bin(6.9), 1);
+    }
+
+    #[test]
+    fn fit_constant_data() {
+        let b = EqualWidthBinner::fit("x", &[4.2, 4.2], 3).unwrap();
+        // All values land in a valid bin.
+        let code = b.bin(4.2);
+        assert!(code < 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(EqualWidthBinner::new("x", 0.0, 1.0, 0).is_err());
+        assert!(EqualWidthBinner::new("x", 2.0, 1.0, 3).is_err());
+        assert!(EqualWidthBinner::new("x", f64::NAN, 1.0, 3).is_err());
+        assert!(EqualWidthBinner::fit("x", &[], 3).is_err());
+        assert!(EqualWidthBinner::fit("x", &[1.0, f64::INFINITY], 3).is_err());
+    }
+
+    #[test]
+    fn bin_column_produces_valid_codes() {
+        let b = EqualWidthBinner::new("x", 0.0, 1.0, 10).unwrap();
+        let col = b.bin_column(&[0.05, 0.15, 0.95, 0.5]);
+        assert_eq!(col.codes(), &[0, 1, 9, 5]);
+        assert_eq!(col.domain().size(), 10);
+    }
+
+    #[test]
+    fn domain_labels_are_intervals() {
+        let b = EqualWidthBinner::new("x", 0.0, 2.0, 2).unwrap();
+        let d = b.domain();
+        assert!(d.label(0).contains("[0.0000,1.0000)"));
+    }
+}
+
+/// An equal-frequency (quantile) binning: bin edges are chosen so each
+/// bucket receives roughly the same number of fitted values. The paper
+/// uses equal-length histograms (Sec 5); equal-frequency is the standard
+/// alternative and is exposed for ablations on the discretization choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqualFrequencyBinner {
+    name: String,
+    /// Upper edges of bins 0..n-1 (the last bin is unbounded above).
+    edges: Vec<f64>,
+}
+
+impl EqualFrequencyBinner {
+    /// Fits quantile edges on `values`.
+    pub fn fit(name: impl Into<String>, values: &[f64], n_bins: usize) -> Result<Self> {
+        if n_bins == 0 {
+            return Err(RelationalError::InvalidBinning {
+                reason: "n_bins must be positive".into(),
+            });
+        }
+        if values.is_empty() {
+            return Err(RelationalError::InvalidBinning {
+                reason: "cannot fit binner on empty data".into(),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(RelationalError::InvalidBinning {
+                reason: "non-finite value".into(),
+            });
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mut edges = Vec::with_capacity(n_bins - 1);
+        for k in 1..n_bins {
+            let idx = (k * n / n_bins).min(n - 1);
+            edges.push(sorted[idx]);
+        }
+        edges.dedup_by(|a, b| a == b);
+        Ok(Self {
+            name: name.into(),
+            edges,
+        })
+    }
+
+    /// Number of bins (may be fewer than requested when the data has few
+    /// distinct values).
+    pub fn n_bins(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Maps a value to its bin code.
+    pub fn bin(&self, v: f64) -> u32 {
+        self.edges.iter().filter(|&&e| v >= e).count() as u32
+    }
+
+    /// The nominal domain produced by this binner.
+    pub fn domain(&self) -> Domain {
+        let labels = (0..self.n_bins())
+            .map(|i| format!("q{i}"))
+            .collect();
+        Domain::labelled(self.name.clone(), labels)
+    }
+
+    /// Bins a whole numeric vector into a [`Column`].
+    pub fn bin_column(&self, values: &[f64]) -> Column {
+        let domain = Arc::new(self.domain());
+        let codes = values.iter().map(|&v| self.bin(v)).collect();
+        Column::new_unchecked(domain, codes)
+    }
+}
+
+#[cfg(test)]
+mod equal_frequency_tests {
+    use super::*;
+
+    #[test]
+    fn quantile_bins_balance_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = EqualFrequencyBinner::fit("x", &values, 4).unwrap();
+        assert_eq!(b.n_bins(), 4);
+        let mut counts = [0usize; 4];
+        for &v in &values {
+            counts[b.bin(v) as usize] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 25);
+        }
+    }
+
+    #[test]
+    fn skewed_data_still_balances() {
+        // Heavy-tailed data defeats equal-width bins but not quantiles.
+        let values: Vec<f64> = (1..=100).map(|i| (i as f64).powi(3)).collect();
+        let b = EqualFrequencyBinner::fit("x", &values, 5).unwrap();
+        let mut counts = vec![0usize; b.n_bins()];
+        for &v in &values {
+            counts[b.bin(v) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 2, "unbalanced: {counts:?}");
+        // Equal width would dump almost everything into bin 0.
+        let w = EqualWidthBinner::fit("x", &values, 5).unwrap();
+        let first = values.iter().filter(|&&v| w.bin(v) == 0).count();
+        assert!(first > 50);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_merges_edges() {
+        let values = vec![1.0; 50];
+        let b = EqualFrequencyBinner::fit("x", &values, 4).unwrap();
+        assert!(b.n_bins() <= 2);
+        assert!(b.bin(1.0) < b.n_bins() as u32);
+    }
+
+    #[test]
+    fn bin_column_valid() {
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b = EqualFrequencyBinner::fit("x", &values, 4).unwrap();
+        let col = b.bin_column(&values);
+        assert_eq!(col.domain().size(), b.n_bins());
+        col.codes().iter().for_each(|&c| assert!((c as usize) < b.n_bins()));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(EqualFrequencyBinner::fit("x", &[], 3).is_err());
+        assert!(EqualFrequencyBinner::fit("x", &[1.0], 0).is_err());
+        assert!(EqualFrequencyBinner::fit("x", &[f64::NAN], 2).is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! Star-schema catalog: one entity table plus its attribute tables.
+//!
+//! This is the paper's input shape (Sec 2.1): `S(SID, Y, X_S, FK_1..FK_k)`
+//! with `R_i(RID_i, X_Ri)`. The catalog validates referential integrity up
+//! front and exposes *plans*: which attribute tables to join before
+//! learning. The decision rules in `hamlet-core` consume catalog metadata
+//! (row counts, domain sizes) without touching the data.
+
+use crate::error::{RelationalError, Result};
+use crate::join::kfk_join;
+use crate::schema::Role;
+use crate::table::Table;
+
+/// One attribute table hooked to the entity table through a foreign key.
+#[derive(Debug, Clone)]
+pub struct AttributeTable {
+    /// Name of the FK column in the entity table.
+    pub fk: String,
+    /// The attribute table `R_i` itself.
+    pub table: Table,
+}
+
+impl AttributeTable {
+    /// Number of rows `n_Ri` (equals `|D_FKi|` under the closed-domain
+    /// assumption).
+    pub fn n_rows(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Names of the foreign features `X_Ri`.
+    pub fn feature_names(&self) -> Vec<&str> {
+        self.table
+            .schema()
+            .attributes()
+            .iter()
+            .filter(|a| a.role == Role::Feature)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+
+    /// Number of foreign features `d_Ri`.
+    pub fn n_features(&self) -> usize {
+        self.feature_names().len()
+    }
+
+    /// Domain sizes of the foreign features, in column order.
+    pub fn feature_domain_sizes(&self) -> Vec<usize> {
+        self.table
+            .schema()
+            .attributes()
+            .iter()
+            .zip(self.table.columns())
+            .filter(|(a, _)| a.role == Role::Feature)
+            .map(|(_, c)| c.domain().size())
+            .collect()
+    }
+
+    /// `q_R* = min_{F in X_R} |D_F|` — the smallest foreign-feature domain,
+    /// used by the worst-case ROR (Sec 4.2).
+    pub fn min_feature_domain(&self) -> Option<usize> {
+        self.feature_domain_sizes().into_iter().min()
+    }
+}
+
+/// A validated star schema.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    entity: Table,
+    attributes: Vec<AttributeTable>,
+}
+
+impl StarSchema {
+    /// Builds a star schema, checking that:
+    /// * every `(fk, table)` pair matches a FK declared in the entity
+    ///   schema referencing that table name;
+    /// * FK and RID domains agree in size;
+    /// * referential integrity holds (no dangling FK values);
+    /// * each attribute table has a primary key and at least one feature.
+    pub fn new(entity: Table, attributes: Vec<AttributeTable>) -> Result<Self> {
+        if entity.n_rows() == 0 {
+            return Err(RelationalError::EmptyTable {
+                table: entity.name().to_string(),
+            });
+        }
+        for at in &attributes {
+            let fk_pos = entity.schema().index_of(&at.fk).ok_or_else(|| {
+                RelationalError::UnknownAttribute {
+                    table: entity.name().to_string(),
+                    attribute: at.fk.clone(),
+                }
+            })?;
+            match &entity.schema().attributes()[fk_pos].role {
+                Role::ForeignKey { table, .. } => {
+                    if table != at.table.name() {
+                        return Err(RelationalError::UnknownTable {
+                            name: at.table.name().to_string(),
+                        });
+                    }
+                }
+                _ => {
+                    return Err(RelationalError::NotAForeignKey {
+                        table: entity.name().to_string(),
+                        attribute: at.fk.clone(),
+                    })
+                }
+            }
+            let pk = at.table.schema().primary_key().ok_or_else(|| {
+                RelationalError::UnknownAttribute {
+                    table: at.table.name().to_string(),
+                    attribute: "<primary key>".to_string(),
+                }
+            })?;
+            let fk_col = entity.column(fk_pos);
+            let pk_col = at.table.column(pk);
+            if fk_col.domain().size() != pk_col.domain().size() {
+                return Err(RelationalError::ForeignKeyDomainMismatch {
+                    entity: entity.name().to_string(),
+                    fk: at.fk.clone(),
+                    referenced: at.table.schema().attributes()[pk].name.clone(),
+                });
+            }
+            // Referential integrity: every FK code must exist as a RID.
+            let mut present = vec![false; pk_col.domain().size()];
+            for &c in pk_col.codes() {
+                present[c as usize] = true;
+            }
+            if let Some(&bad) = fk_col.codes().iter().find(|&&c| !present[c as usize]) {
+                return Err(RelationalError::DanglingForeignKey {
+                    entity: entity.name().to_string(),
+                    fk: at.fk.clone(),
+                    code: bad,
+                });
+            }
+        }
+        Ok(Self { entity, attributes })
+    }
+
+    /// The entity table `S`.
+    pub fn entity(&self) -> &Table {
+        &self.entity
+    }
+
+    /// The attribute tables `R_1..R_k`.
+    pub fn attributes(&self) -> &[AttributeTable] {
+        &self.attributes
+    }
+
+    /// `k` — number of attribute tables.
+    pub fn k(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `n_S` — number of entity rows (labeled examples).
+    pub fn n_s(&self) -> usize {
+        self.entity.n_rows()
+    }
+
+    /// `d_S` — number of entity-table features (excluding keys and target).
+    pub fn d_s(&self) -> usize {
+        self.entity.schema().features().len()
+    }
+
+    /// Number of target classes `#Y`, or `None` if the schema has no
+    /// target.
+    pub fn n_classes(&self) -> Option<usize> {
+        self.entity.target_column().map(|c| c.domain().size())
+    }
+
+    /// Whether the `i`-th foreign key has a closed domain.
+    pub fn fk_closed(&self, i: usize) -> bool {
+        let fk_pos = self
+            .entity
+            .schema()
+            .index_of(&self.attributes[i].fk)
+            .expect("validated at construction");
+        match &self.entity.schema().attributes()[fk_pos].role {
+            Role::ForeignKey { closed_domain, .. } => *closed_domain,
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    /// `k'` — number of foreign keys with closed domains (Fig 6).
+    pub fn k_closed(&self) -> usize {
+        (0..self.k()).filter(|&i| self.fk_closed(i)).count()
+    }
+
+    /// Materializes the denormalized table, joining exactly the attribute
+    /// tables whose positions are listed in `join_set` (in catalog order).
+    ///
+    /// `join_set` entries out of range are reported as unknown tables.
+    /// All foreign keys stay in the output; use
+    /// [`Table::drop_attributes`] afterwards to model `JoinAllNoFK`.
+    pub fn materialize(&self, join_set: &[usize]) -> Result<Table> {
+        let mut out = self.entity.clone();
+        for &i in join_set {
+            let at = self
+                .attributes
+                .get(i)
+                .ok_or_else(|| RelationalError::UnknownTable {
+                    name: format!("attribute table #{i}"),
+                })?;
+            out = kfk_join(&out, &at.fk, &at.table)?;
+        }
+        Ok(out)
+    }
+
+    /// Materializes the full join `T` of all attribute tables ("JoinAll").
+    pub fn materialize_all(&self) -> Result<Table> {
+        self.materialize(&(0..self.k()).collect::<Vec<_>>())
+    }
+
+    /// The entity table as-is ("NoJoins": FKs act as representatives).
+    pub fn materialize_none(&self) -> Table {
+        self.entity.clone()
+    }
+
+    /// Splits the entity rows into three disjoint row-index sets with the
+    /// given proportions (used for the paper's 50%:25%:25% holdout).
+    /// Deterministic given `perm`, a permutation of `0..n_s()`.
+    pub fn split_rows(&self, perm: &[usize], train: f64, validation: f64) -> SplitIndices {
+        assert_eq!(perm.len(), self.n_s(), "perm must cover all entity rows");
+        let n = perm.len();
+        let n_train = ((n as f64) * train).round() as usize;
+        let n_val = ((n as f64) * validation).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        SplitIndices {
+            train: perm[..n_train].to_vec(),
+            validation: perm[n_train..n_train + n_val].to_vec(),
+            test: perm[n_train + n_val..].to_vec(),
+        }
+    }
+}
+
+/// Row-index sets for a holdout split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    /// Training rows (50% in the paper's protocol).
+    pub train: Vec<usize>,
+    /// Validation rows used by wrappers/filters (25%).
+    pub validation: Vec<usize>,
+    /// Final holdout test rows (25%).
+    pub test: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::table::TableBuilder;
+
+    fn star() -> StarSchema {
+        let rid = Domain::indexed("EmployerID", 2).shared();
+        let r = TableBuilder::new("Employers")
+            .primary_key("EmployerID", rid.clone(), vec![0, 1])
+            .feature("Country", Domain::from_labels("Country", &["NZ", "IN", "US"]).shared(), vec![0, 2])
+            .feature("Revenue", Domain::indexed("Revenue", 8).shared(), vec![7, 1])
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("Customers")
+            .primary_key("CustomerID", Domain::indexed("CustomerID", 6).shared(), vec![0, 1, 2, 3, 4, 5])
+            .target("Churn", Domain::boolean("Churn").shared(), vec![0, 1, 0, 1, 0, 1])
+            .feature("Age", Domain::indexed("Age", 4).shared(), vec![0, 1, 2, 3, 0, 1])
+            .foreign_key("EmployerID", "Employers", rid, vec![0, 1, 0, 1, 0, 1])
+            .build()
+            .unwrap();
+        StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "EmployerID".into(),
+                table: r,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_match_figure6_conventions() {
+        let st = star();
+        assert_eq!(st.n_s(), 6);
+        assert_eq!(st.d_s(), 1);
+        assert_eq!(st.k(), 1);
+        assert_eq!(st.k_closed(), 1);
+        assert_eq!(st.n_classes(), Some(2));
+        assert_eq!(st.attributes()[0].n_rows(), 2);
+        assert_eq!(st.attributes()[0].n_features(), 2);
+        assert_eq!(st.attributes()[0].min_feature_domain(), Some(3));
+    }
+
+    #[test]
+    fn materialize_all_adds_foreign_features() {
+        let st = star();
+        let t = st.materialize_all().unwrap();
+        assert_eq!(t.n_rows(), 6);
+        assert!(t.schema().index_of("Country").is_some());
+        assert!(t.schema().index_of("Revenue").is_some());
+        assert!(t.schema().index_of("EmployerID").is_some());
+    }
+
+    #[test]
+    fn materialize_none_is_entity() {
+        let st = star();
+        let t = st.materialize_none();
+        assert!(t.schema().index_of("Country").is_none());
+        assert_eq!(t.n_rows(), 6);
+    }
+
+    #[test]
+    fn materialize_subset() {
+        let st = star();
+        assert!(st.materialize(&[]).unwrap().schema().index_of("Country").is_none());
+        assert!(st.materialize(&[0]).is_ok());
+        assert!(st.materialize(&[1]).is_err());
+    }
+
+    #[test]
+    fn dangling_fk_rejected_at_construction() {
+        let rid = Domain::indexed("RID", 3).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("RID", rid.clone(), vec![0, 1]) // RID=2 missing
+            .feature("a", Domain::boolean("a").shared(), vec![0, 1])
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), vec![0])
+            .foreign_key("fk", "R", rid, vec![2])
+            .build()
+            .unwrap();
+        let err = StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DanglingForeignKey { code: 2, .. }));
+    }
+
+    #[test]
+    fn wrong_reference_target_rejected() {
+        let rid = Domain::indexed("RID", 1).shared();
+        let r = TableBuilder::new("NotEmployers")
+            .primary_key("RID", rid.clone(), vec![0])
+            .feature("a", Domain::boolean("a").shared(), vec![0])
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), vec![0])
+            .foreign_key("fk", "Employers", rid, vec![0])
+            .build()
+            .unwrap();
+        assert!(StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn split_rows_partitions() {
+        let st = star();
+        let perm: Vec<usize> = (0..6).collect();
+        let sp = st.split_rows(&perm, 0.5, 0.25);
+        assert_eq!(sp.train.len(), 3);
+        assert_eq!(sp.validation.len(), 2); // round(6*0.25) = 2
+        assert_eq!(sp.test.len(), 1);
+        let mut all: Vec<usize> = sp
+            .train
+            .iter()
+            .chain(&sp.validation)
+            .chain(&sp.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, perm);
+    }
+}

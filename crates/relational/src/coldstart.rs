@@ -1,0 +1,242 @@
+//! Cold-start handling for closed-domain foreign keys (Sec 2.1).
+//!
+//! The paper's closed-domain assumption "does not mean new MovieID values
+//! can never occur! ... analysts build models using only the movies seen
+//! so far but revise their feature domains and update ML models
+//! periodically to absorb movies added recently. ... In practice, a
+//! common way to handle it is to have a special 'Others' record in
+//! Employers as a placeholder for new employers seen in between
+//! revisions."
+//!
+//! This module implements exactly that revision mechanism:
+//!
+//! * [`with_others_record`] extends an attribute table with one `Others`
+//!   row (default feature values), widening the key domain by one;
+//! * [`DomainRevision`] maps incoming entity rows whose FK values are
+//!   outside the closed domain onto the `Others` code, so a model trained
+//!   before the revision keeps scoring new data.
+
+use std::sync::Arc;
+
+use crate::catalog::AttributeTable;
+use crate::column::Column;
+use crate::domain::Domain;
+use crate::error::{RelationalError, Result};
+use crate::schema::Role;
+use crate::table::Table;
+
+/// Extends an attribute table with an `Others` placeholder row.
+///
+/// The new row gets the given default code per feature (in schema order);
+/// the primary-key domain grows by one, and the `Others` row takes the
+/// new maximal code. Returns the extended table and the `Others` code.
+pub fn with_others_record(attr: &Table, feature_defaults: &[u32]) -> Result<(Table, u32)> {
+    let pk_idx = attr
+        .schema()
+        .primary_key()
+        .ok_or_else(|| RelationalError::UnknownAttribute {
+            table: attr.name().to_string(),
+            attribute: "<primary key>".to_string(),
+        })?;
+    let n_features = attr.schema().features().len();
+    if feature_defaults.len() != n_features {
+        return Err(RelationalError::ColumnLengthMismatch {
+            table: attr.name().to_string(),
+            column: "<feature defaults>".to_string(),
+            expected: n_features,
+            actual: feature_defaults.len(),
+        });
+    }
+
+    let old_pk = attr.column(pk_idx);
+    let others_code = old_pk.domain().size() as u32;
+    let new_key_domain = Arc::new(Domain::indexed(
+        old_pk.domain().name().to_string(),
+        old_pk.domain().size() + 1,
+    ));
+
+    let mut cols = Vec::with_capacity(attr.columns().len());
+    let mut default_iter = feature_defaults.iter();
+    for (def, col) in attr.schema().attributes().iter().zip(attr.columns()) {
+        let mut codes = col.codes().to_vec();
+        match def.role {
+            Role::PrimaryKey => {
+                codes.push(others_code);
+                cols.push(Column::new_unchecked(new_key_domain.clone(), codes));
+            }
+            Role::Feature => {
+                let d = *default_iter.next().expect("length checked above");
+                if !col.domain().contains(d) {
+                    return Err(RelationalError::CodeOutOfDomain {
+                        table: attr.name().to_string(),
+                        column: def.name.clone(),
+                        code: d,
+                        domain_size: col.domain().size(),
+                    });
+                }
+                codes.push(d);
+                cols.push(Column::new_unchecked(col.domain().clone(), codes));
+            }
+            ref role => {
+                // Attribute tables hold only a key and features; inventing
+                // an Others value for anything else would fabricate data.
+                return Err(RelationalError::NotAForeignKey {
+                    table: attr.name().to_string(),
+                    attribute: format!("{} (unexpected role {role:?})", def.name),
+                });
+            }
+        }
+    }
+
+    let table = Table::new(attr.name().to_string(), attr.schema().clone(), cols)?;
+    Ok((table, others_code))
+}
+
+/// A domain revision for one foreign key: the widened attribute table
+/// plus the remapping for out-of-domain FK values.
+#[derive(Debug, Clone)]
+pub struct DomainRevision {
+    /// The attribute table including the `Others` row.
+    pub attribute: AttributeTable,
+    /// The code out-of-domain FK values map to.
+    pub others_code: u32,
+    /// Size of the *original* (pre-revision) key domain.
+    pub original_domain: usize,
+}
+
+impl DomainRevision {
+    /// Builds a revision from an attribute table and per-feature default
+    /// codes for the `Others` row.
+    pub fn new(attr: &AttributeTable, feature_defaults: &[u32]) -> Result<Self> {
+        let original_domain = attr
+            .table
+            .column(attr.table.schema().primary_key().expect("validated"))
+            .domain()
+            .size();
+        let (table, others_code) = with_others_record(&attr.table, feature_defaults)?;
+        Ok(Self {
+            attribute: AttributeTable {
+                fk: attr.fk.clone(),
+                table,
+            },
+            others_code,
+            original_domain,
+        })
+    }
+
+    /// Remaps raw FK values (which may reference entities unseen at
+    /// revision time) into the widened domain: in-domain values pass
+    /// through, everything else becomes `Others`.
+    pub fn remap_fk(&self, raw: &[u32]) -> Column {
+        let domain = Arc::new(Domain::indexed(
+            self.attribute.fk.clone(),
+            self.original_domain + 1,
+        ));
+        let codes = raw
+            .iter()
+            .map(|&v| {
+                if (v as usize) < self.original_domain {
+                    v
+                } else {
+                    self.others_code
+                }
+            })
+            .collect();
+        Column::new_unchecked(domain, codes)
+    }
+
+    /// Fraction of values in `raw` that fell outside the closed domain —
+    /// a drift signal telling the analyst it is time for the periodic
+    /// model revision the paper describes.
+    pub fn cold_start_rate(&self, raw: &[u32]) -> f64 {
+        if raw.is_empty() {
+            return 0.0;
+        }
+        let cold = raw
+            .iter()
+            .filter(|&&v| (v as usize) >= self.original_domain)
+            .count();
+        cold as f64 / raw.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn employers() -> AttributeTable {
+        let rid = Domain::indexed("EmployerID", 3).shared();
+        AttributeTable {
+            fk: "EmployerID".into(),
+            table: TableBuilder::new("Employers")
+                .primary_key("EmployerID", rid, vec![0, 1, 2])
+                .feature("Country", Domain::indexed("Country", 4).shared(), vec![0, 1, 2])
+                .feature("Revenue", Domain::indexed("Revenue", 8).shared(), vec![7, 3, 1])
+                .build()
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn others_record_widens_domain() {
+        let at = employers();
+        let (t, code) = with_others_record(&at.table, &[0, 0]).unwrap();
+        assert_eq!(code, 3);
+        assert_eq!(t.n_rows(), 4);
+        let pk = t.column(t.schema().primary_key().unwrap());
+        assert_eq!(pk.domain().size(), 4);
+        assert_eq!(pk.get(3), 3);
+        assert_eq!(t.column_by_name("Country").unwrap().get(3), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn wrong_default_count_rejected() {
+        let at = employers();
+        assert!(matches!(
+            with_others_record(&at.table, &[0]),
+            Err(RelationalError::ColumnLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_outside_feature_domain_rejected() {
+        let at = employers();
+        assert!(matches!(
+            with_others_record(&at.table, &[99, 0]),
+            Err(RelationalError::CodeOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn revision_remaps_cold_values() {
+        let rev = DomainRevision::new(&employers(), &[0, 0]).unwrap();
+        // Values 0..3 are in the original domain; 5 and 17 are new employers.
+        let remapped = rev.remap_fk(&[0, 2, 5, 1, 17]);
+        assert_eq!(remapped.codes(), &[0, 2, 3, 1, 3]);
+        assert_eq!(remapped.domain().size(), 4);
+        assert!((rev.cold_start_rate(&[0, 2, 5, 1, 17]) - 0.4).abs() < 1e-12);
+        assert_eq!(rev.cold_start_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn revised_table_joins_with_remapped_fks() {
+        use crate::join::kfk_join;
+        let rev = DomainRevision::new(&employers(), &[1, 2]).unwrap();
+        let fk_col = rev.remap_fk(&[0, 9, 2]);
+        let s = TableBuilder::new("Customers")
+            .target("Churn", Domain::boolean("Churn").shared(), vec![0, 1, 0])
+            .column(
+                crate::schema::AttributeDef::foreign_key("EmployerID", "Employers"),
+                fk_col.domain().clone(),
+                fk_col.codes().to_vec(),
+            )
+            .build()
+            .unwrap();
+        let t = kfk_join(&s, "EmployerID", &rev.attribute.table).unwrap();
+        // The cold row (raw 9 -> Others) picked up the default features.
+        assert_eq!(t.column_by_name("Country").unwrap().get(1), 1);
+        assert_eq!(t.column_by_name("Revenue").unwrap().get(1), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Columnar storage of nominal attributes as dense `u32` codes.
+
+use std::sync::Arc;
+
+use crate::domain::Domain;
+use crate::error::{RelationalError, Result};
+
+/// One column of nominal values, stored as codes into a shared [`Domain`].
+///
+/// This is the only physical storage type in the substrate: the paper's
+/// setting is all-nominal (numeric features are discretized by binning,
+/// Sec 2.1 footnote 1), so a code vector plus a domain is a complete
+/// representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    domain: Arc<Domain>,
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// Builds a column, validating every code against the domain.
+    pub fn new(domain: Arc<Domain>, codes: Vec<u32>) -> Result<Self> {
+        if let Some(&bad) = codes.iter().find(|&&c| !domain.contains(c)) {
+            return Err(RelationalError::CodeOutOfDomain {
+                table: String::new(),
+                column: domain.name().to_string(),
+                code: bad,
+                domain_size: domain.size(),
+            });
+        }
+        Ok(Self { domain, codes })
+    }
+
+    /// Builds a column without validating codes.
+    ///
+    /// Intended for generators that produce codes from the domain by
+    /// construction; invalid codes would be caught later by
+    /// [`crate::table::Table::validate`].
+    pub fn new_unchecked(domain: Arc<Domain>, codes: Vec<u32>) -> Self {
+        Self { domain, codes }
+    }
+
+    /// The column's domain.
+    pub fn domain(&self) -> &Arc<Domain> {
+        &self.domain
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The raw code vector.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Value at `row`.
+    pub fn get(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// Gathers `self[indices[i]]` into a new column (the core primitive of
+    /// the hash join: foreign features are gathered through the FK).
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let codes = indices.iter().map(|&i| self.codes[i as usize]).collect();
+        Column {
+            domain: Arc::clone(&self.domain),
+            codes,
+        }
+    }
+
+    /// Selects the rows whose positions are listed in `rows` (used for
+    /// train/validation/test splits at the relational level).
+    pub fn select(&self, rows: &[usize]) -> Column {
+        let codes = rows.iter().map(|&i| self.codes[i]).collect();
+        Column {
+            domain: Arc::clone(&self.domain),
+            codes,
+        }
+    }
+
+    /// Counts occurrences of each code; the histogram has `domain.size()`
+    /// entries.
+    pub fn histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.domain.size()];
+        for &c in &self.codes {
+            h[c as usize] += 1;
+        }
+        h
+    }
+
+    /// Number of distinct codes actually present.
+    pub fn distinct_count(&self) -> usize {
+        self.histogram().iter().filter(|&&n| n > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(n: usize) -> Arc<Domain> {
+        Domain::indexed("D", n).shared()
+    }
+
+    #[test]
+    fn new_validates_codes() {
+        assert!(Column::new(dom(3), vec![0, 1, 2]).is_ok());
+        let err = Column::new(dom(3), vec![0, 3]).unwrap_err();
+        assert!(matches!(err, RelationalError::CodeOutOfDomain { code: 3, .. }));
+    }
+
+    #[test]
+    fn gather_pulls_through_indices() {
+        let c = Column::new(dom(5), vec![4, 3, 2, 1, 0]).unwrap();
+        let g = c.gather(&[0, 0, 4, 2]);
+        assert_eq!(g.codes(), &[4, 4, 0, 2]);
+        assert_eq!(g.domain().size(), 5);
+    }
+
+    #[test]
+    fn select_subsets_rows() {
+        let c = Column::new(dom(4), vec![0, 1, 2, 3]).unwrap();
+        let s = c.select(&[3, 1]);
+        assert_eq!(s.codes(), &[3, 1]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let c = Column::new(dom(3), vec![0, 2, 2, 2, 1]).unwrap();
+        assert_eq!(c.histogram(), vec![1, 1, 3]);
+        assert_eq!(c.distinct_count(), 3);
+        let c2 = Column::new(dom(3), vec![1, 1]).unwrap();
+        assert_eq!(c2.distinct_count(), 1);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new(dom(2), vec![]).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.histogram(), vec![0, 0]);
+    }
+}

@@ -1,0 +1,382 @@
+//! CSV import/export for nominal tables.
+//!
+//! A downstream user's data arrives as delimited text. This module reads
+//! a CSV into a [`Table`] (building labelled domains from the observed
+//! categories, with optional equal-width binning for numeric columns)
+//! and writes tables back out. The dialect is deliberately small: one
+//! header row, a configurable delimiter, double-quote quoting with `""`
+//! escapes, no embedded newlines.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::binning::EqualWidthBinner;
+use crate::column::Column;
+use crate::domain::Domain;
+use crate::error::{RelationalError, Result};
+use crate::schema::{AttributeDef, Role, Schema};
+use crate::table::Table;
+
+/// How one CSV column should be interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSpec {
+    /// Nominal: the domain is the set of distinct strings observed, in
+    /// first-appearance order.
+    Nominal(AttributeDef),
+    /// Numeric: parsed as `f64` and discretized with an equal-width
+    /// binner of the given bin count (Sec 2.1 footnote 1).
+    Numeric(AttributeDef, usize),
+    /// Skip this CSV column entirely.
+    Skip,
+}
+
+impl ColumnSpec {
+    /// A nominal feature column.
+    pub fn feature(name: &str) -> Self {
+        Self::Nominal(AttributeDef::feature(name))
+    }
+
+    /// A numeric feature column binned into `bins` buckets.
+    pub fn numeric_feature(name: &str, bins: usize) -> Self {
+        Self::Numeric(AttributeDef::feature(name), bins)
+    }
+
+    /// A nominal target column.
+    pub fn target(name: &str) -> Self {
+        Self::Nominal(AttributeDef::target(name))
+    }
+
+    /// A primary-key column.
+    pub fn primary_key(name: &str) -> Self {
+        Self::Nominal(AttributeDef::primary_key(name))
+    }
+
+    /// A closed-domain foreign-key column referencing `table`.
+    pub fn foreign_key(name: &str, table: &str) -> Self {
+        Self::Nominal(AttributeDef::foreign_key(name, table))
+    }
+}
+
+/// Splits one CSV record, honouring double-quote quoting.
+fn split_record(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Quotes one field if it contains the delimiter, a quote, or leading /
+/// trailing whitespace.
+fn quote_field(field: &str, delimiter: char) -> String {
+    let needs_quoting = field.contains(delimiter)
+        || field.contains('"')
+        || field != field.trim();
+    if needs_quoting {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Reads a CSV string into a validated [`Table`].
+///
+/// `specs` are matched to CSV columns by header name; CSV columns without
+/// a spec are an error (be explicit), and spec'd columns missing from the
+/// header are an error too.
+pub fn read_csv(name: &str, text: &str, specs: &[(&str, ColumnSpec)], delimiter: char) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| RelationalError::EmptyTable {
+        table: name.to_string(),
+    })?;
+    let header_fields = split_record(header, delimiter);
+
+    // Map CSV column position -> spec.
+    let spec_of: HashMap<&str, &ColumnSpec> = specs.iter().map(|(n, s)| (*n, s)).collect();
+    let mut col_specs: Vec<&ColumnSpec> = Vec::with_capacity(header_fields.len());
+    for h in &header_fields {
+        let spec = spec_of
+            .get(h.as_str())
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                table: name.to_string(),
+                attribute: h.clone(),
+            })?;
+        col_specs.push(spec);
+    }
+    for (n, _) in specs {
+        if !header_fields.iter().any(|h| h == n) {
+            return Err(RelationalError::UnknownAttribute {
+                table: name.to_string(),
+                attribute: n.to_string(),
+            });
+        }
+    }
+
+    // Collect raw fields per column.
+    let mut raw: Vec<Vec<String>> = vec![Vec::new(); header_fields.len()];
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_record(line, delimiter);
+        if fields.len() != header_fields.len() {
+            return Err(RelationalError::ColumnLengthMismatch {
+                table: name.to_string(),
+                column: format!("<record {}>", lineno + 2),
+                expected: header_fields.len(),
+                actual: fields.len(),
+            });
+        }
+        for (col, f) in raw.iter_mut().zip(fields) {
+            col.push(f);
+        }
+    }
+
+    // Build columns per spec.
+    let mut defs = Vec::new();
+    let mut cols = Vec::new();
+    for (i, spec) in col_specs.iter().enumerate() {
+        match spec {
+            ColumnSpec::Skip => {}
+            ColumnSpec::Nominal(def) => {
+                let mut labels: Vec<String> = Vec::new();
+                let mut code_of: HashMap<&str, u32> = HashMap::new();
+                let mut codes = Vec::with_capacity(raw[i].len());
+                for v in &raw[i] {
+                    let code = match code_of.get(v.as_str()) {
+                        Some(&c) => c,
+                        None => {
+                            let c = labels.len() as u32;
+                            labels.push(v.clone());
+                            // Safe: `labels` owns the string; we only keep
+                            // borrows within this loop's scope via raw[i].
+                            code_of.insert(v.as_str(), c);
+                            c
+                        }
+                    };
+                    codes.push(code);
+                }
+                if labels.is_empty() {
+                    return Err(RelationalError::EmptyTable {
+                        table: name.to_string(),
+                    });
+                }
+                let domain = Domain::labelled(&def.name, labels).shared();
+                defs.push(def.clone());
+                cols.push(Column::new_unchecked(domain, codes));
+            }
+            ColumnSpec::Numeric(def, bins) => {
+                let values: std::result::Result<Vec<f64>, _> =
+                    raw[i].iter().map(|v| v.trim().parse::<f64>()).collect();
+                let values = values.map_err(|_| RelationalError::InvalidBinning {
+                    reason: format!("column '{}' has non-numeric data", def.name),
+                })?;
+                let binner = EqualWidthBinner::fit(&def.name, &values, *bins)?;
+                defs.push(def.clone());
+                cols.push(binner.bin_column(&values));
+            }
+        }
+    }
+
+    let schema = Schema::new(name, defs)?;
+    Table::new(name, schema, cols)
+}
+
+/// Writes a table as CSV (header + one record per row), using each
+/// domain's labels.
+pub fn write_csv(table: &Table, delimiter: char) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote_field(&a.name, delimiter))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(&delimiter.to_string()));
+    for row in 0..table.n_rows() {
+        let fields: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| quote_field(&c.domain().label(c.get(row)), delimiter))
+            .collect();
+        let _ = writeln!(out, "{}", fields.join(&delimiter.to_string()));
+    }
+    out
+}
+
+/// Convenience: which roles a round-tripped column keeps (labels only
+/// survive for [`ColumnSpec::Nominal`]; binned numerics become interval
+/// labels).
+pub fn roles(table: &Table) -> Vec<(&str, &Role)> {
+    table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| (a.name.as_str(), &a.role))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+CustomerID,Churn,Gender,Age,EmployerID
+c1,yes,F,34.5,e1
+c2,no,M,51.0,e2
+c3,no,F,28.2,e1
+c4,yes,M,61.9,e3
+";
+
+    fn specs() -> Vec<(&'static str, ColumnSpec)> {
+        vec![
+            ("CustomerID", ColumnSpec::primary_key("CustomerID")),
+            ("Churn", ColumnSpec::target("Churn")),
+            ("Gender", ColumnSpec::feature("Gender")),
+            ("Age", ColumnSpec::numeric_feature("Age", 4)),
+            ("EmployerID", ColumnSpec::foreign_key("EmployerID", "Employers")),
+        ]
+    }
+
+    #[test]
+    fn reads_nominal_and_numeric() {
+        let t = read_csv("Customers", CSV, &specs(), ',').unwrap();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.schema().len(), 5);
+        let churn = t.column_by_name("Churn").unwrap();
+        assert_eq!(churn.domain().size(), 2);
+        assert_eq!(churn.domain().label(0), "yes");
+        assert_eq!(churn.codes(), &[0, 1, 1, 0]);
+        let age = t.column_by_name("Age").unwrap();
+        assert_eq!(age.domain().size(), 4);
+        assert_eq!(age.get(0), 0); // 34.5 lands in the first bin of [28.2, 61.9]
+        assert!(t.schema().get("EmployerID").unwrap().role.is_foreign_key());
+        assert_eq!(t.schema().target(), Some(1));
+    }
+
+    #[test]
+    fn skip_columns() {
+        let mut s = specs();
+        s[2] = ("Gender", ColumnSpec::Skip);
+        let t = read_csv("Customers", CSV, &s, ',').unwrap();
+        assert!(t.schema().index_of("Gender").is_none());
+        assert_eq!(t.schema().len(), 4);
+    }
+
+    #[test]
+    fn missing_spec_is_error() {
+        let mut s = specs();
+        s.remove(2);
+        assert!(matches!(
+            read_csv("Customers", CSV, &s, ','),
+            Err(RelationalError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_for_absent_column_is_error() {
+        let mut s = specs();
+        s.push(("Ghost", ColumnSpec::feature("Ghost")));
+        assert!(read_csv("Customers", CSV, &s, ',').is_err());
+    }
+
+    #[test]
+    fn ragged_record_is_error() {
+        let bad = "a,b\n1,2\n3\n";
+        let s = vec![("a", ColumnSpec::feature("a")), ("b", ColumnSpec::feature("b"))];
+        assert!(matches!(
+            read_csv("T", bad, &s, ','),
+            Err(RelationalError::ColumnLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let csv = "name,note\nalice,\"hello, world\"\nbob,\"say \"\"hi\"\"\"\n";
+        let s = vec![
+            ("name", ColumnSpec::feature("name")),
+            ("note", ColumnSpec::feature("note")),
+        ];
+        let t = read_csv("T", csv, &s, ',').unwrap();
+        let note = t.column_by_name("note").unwrap();
+        assert_eq!(note.domain().label(0), "hello, world");
+        assert_eq!(note.domain().label(1), "say \"hi\"");
+        // Write back and re-read: identical labels.
+        let text = write_csv(&t, ',');
+        let t2 = read_csv("T", &text, &s, ',').unwrap();
+        assert_eq!(
+            t2.column_by_name("note").unwrap().domain().label(1),
+            "say \"hi\""
+        );
+    }
+
+    #[test]
+    fn write_then_read_preserves_codes_for_nominal() {
+        let t = read_csv("Customers", CSV, &specs(), ',').unwrap();
+        let nominal_only = t.project(&["Churn", "Gender", "EmployerID"]).unwrap();
+        let text = write_csv(&nominal_only, ',');
+        let s = vec![
+            ("Churn", ColumnSpec::target("Churn")),
+            ("Gender", ColumnSpec::feature("Gender")),
+            ("EmployerID", ColumnSpec::foreign_key("EmployerID", "Employers")),
+        ];
+        let t2 = read_csv("Customers", &text, &s, ',').unwrap();
+        assert_eq!(
+            t2.column_by_name("Churn").unwrap().codes(),
+            nominal_only.column_by_name("Churn").unwrap().codes()
+        );
+    }
+
+    #[test]
+    fn alternate_delimiter() {
+        let csv = "a|b\nx|y\n";
+        let s = vec![("a", ColumnSpec::feature("a")), ("b", ColumnSpec::feature("b"))];
+        let t = read_csv("T", csv, &s, '|').unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn empty_csv_is_error() {
+        assert!(matches!(
+            read_csv("T", "", &[], ','),
+            Err(RelationalError::EmptyTable { .. })
+        ));
+    }
+
+    #[test]
+    fn non_numeric_data_in_numeric_column() {
+        let csv = "x\nabc\n";
+        let s = vec![("x", ColumnSpec::numeric_feature("x", 2))];
+        assert!(matches!(
+            read_csv("T", csv, &s, ','),
+            Err(RelationalError::InvalidBinning { .. })
+        ));
+    }
+
+    #[test]
+    fn roles_helper() {
+        let t = read_csv("Customers", CSV, &specs(), ',').unwrap();
+        let rs = roles(&t);
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs[1].0, "Churn");
+        assert_eq!(*rs[1].1, Role::Target);
+    }
+}

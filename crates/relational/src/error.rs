@@ -1,0 +1,157 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relational operations (schema violations, bad joins,
+/// malformed tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A column's length does not match the table's row count.
+    ColumnLengthMismatch {
+        table: String,
+        column: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A code in a column falls outside its domain.
+    CodeOutOfDomain {
+        table: String,
+        column: String,
+        code: u32,
+        domain_size: usize,
+    },
+    /// An attribute name was referenced but does not exist.
+    UnknownAttribute { table: String, attribute: String },
+    /// A table name was referenced but does not exist in the catalog.
+    UnknownTable { name: String },
+    /// Two attributes in one table share a name.
+    DuplicateAttribute { table: String, attribute: String },
+    /// A table declared more than one primary key or target.
+    DuplicateRole { table: String, role: &'static str },
+    /// A primary key column contains duplicate values.
+    PrimaryKeyNotUnique { table: String, attribute: String },
+    /// The foreign key's domain does not match the referenced primary key's
+    /// domain (the paper assumes `dom(FK_i) = {RID_i values in R_i}`).
+    ForeignKeyDomainMismatch {
+        entity: String,
+        fk: String,
+        referenced: String,
+    },
+    /// A foreign key value has no matching primary key row (dangling
+    /// reference; the paper assumes referential integrity and no NULLs).
+    DanglingForeignKey {
+        entity: String,
+        fk: String,
+        code: u32,
+    },
+    /// A join was requested over an attribute that is not a foreign key.
+    NotAForeignKey { table: String, attribute: String },
+    /// Binning was requested with zero bins or over an empty value range.
+    InvalidBinning { reason: String },
+    /// A schema manifest failed to parse or load.
+    Manifest { reason: String },
+    /// A star decomposition request was malformed or does not hold in the
+    /// instance.
+    Decomposition { reason: String },
+    /// The table has no rows where at least one was required.
+    EmptyTable { table: String },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnLengthMismatch {
+                table,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "table '{table}': column '{column}' has {actual} rows, expected {expected}"
+            ),
+            Self::CodeOutOfDomain {
+                table,
+                column,
+                code,
+                domain_size,
+            } => write!(
+                f,
+                "table '{table}': column '{column}' holds code {code} outside domain of size {domain_size}"
+            ),
+            Self::UnknownAttribute { table, attribute } => {
+                write!(f, "table '{table}': unknown attribute '{attribute}'")
+            }
+            Self::UnknownTable { name } => write!(f, "unknown table '{name}'"),
+            Self::DuplicateAttribute { table, attribute } => {
+                write!(f, "table '{table}': duplicate attribute '{attribute}'")
+            }
+            Self::DuplicateRole { table, role } => {
+                write!(f, "table '{table}': more than one {role}")
+            }
+            Self::PrimaryKeyNotUnique { table, attribute } => {
+                write!(f, "table '{table}': primary key '{attribute}' is not unique")
+            }
+            Self::ForeignKeyDomainMismatch {
+                entity,
+                fk,
+                referenced,
+            } => write!(
+                f,
+                "entity '{entity}': foreign key '{fk}' domain differs from referenced key '{referenced}'"
+            ),
+            Self::DanglingForeignKey { entity, fk, code } => write!(
+                f,
+                "entity '{entity}': foreign key '{fk}' value {code} has no referenced row"
+            ),
+            Self::NotAForeignKey { table, attribute } => {
+                write!(f, "table '{table}': attribute '{attribute}' is not a foreign key")
+            }
+            Self::InvalidBinning { reason } => write!(f, "invalid binning: {reason}"),
+            Self::Manifest { reason } => write!(f, "manifest: {reason}"),
+            Self::Decomposition { reason } => write!(f, "decomposition: {reason}"),
+            Self::EmptyTable { table } => write!(f, "table '{table}' is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenient result alias for relational operations.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_table_and_column() {
+        let err = RelationalError::ColumnLengthMismatch {
+            table: "S".into(),
+            column: "age".into(),
+            expected: 10,
+            actual: 9,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("'S'"));
+        assert!(msg.contains("'age'"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn display_dangling_fk() {
+        let err = RelationalError::DanglingForeignKey {
+            entity: "Customers".into(),
+            fk: "EmployerID".into(),
+            code: 42,
+        };
+        assert!(err.to_string().contains("EmployerID"));
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationalError::UnknownTable { name: "R".into() };
+        let b = RelationalError::UnknownTable { name: "R".into() };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Functional dependencies over table instances.
+//!
+//! The join `T <- R ⋈ S` turns the key dependency `RID -> X_R` into the FD
+//! `FK -> X_R` in `T` (Sec 3.1.1, footnote 4). This module checks FDs on
+//! instances and detects acyclicity of FD sets (appendix C, Def C.1), which
+//! is the precondition for the generalized redundancy result (Cor C.1).
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// A functional dependency `determinant -> dependents` between named
+/// attributes of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Left-hand side attribute names.
+    pub determinant: Vec<String>,
+    /// Right-hand side attribute names.
+    pub dependents: Vec<String>,
+}
+
+impl FunctionalDependency {
+    /// Builds an FD from attribute-name slices.
+    pub fn new(determinant: &[&str], dependents: &[&str]) -> Self {
+        Self {
+            determinant: determinant.iter().map(|s| s.to_string()).collect(),
+            dependents: dependents.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Checks whether this FD holds in the given table instance.
+    ///
+    /// Runs in `O(n_rows * (|lhs| + |rhs|))` with a hash map keyed on the
+    /// determinant values.
+    pub fn holds_in(&self, table: &Table) -> Result<bool> {
+        let lhs: Vec<_> = self
+            .determinant
+            .iter()
+            .map(|n| table.column_by_name(n))
+            .collect::<Result<_>>()?;
+        let rhs: Vec<_> = self
+            .dependents
+            .iter()
+            .map(|n| table.column_by_name(n))
+            .collect::<Result<_>>()?;
+        let mut seen: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for row in 0..table.n_rows() {
+            let key: Vec<u32> = lhs.iter().map(|c| c.get(row)).collect();
+            let val: Vec<u32> = rhs.iter().map(|c| c.get(row)).collect();
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != &val {
+                        return Ok(false);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Whether a set of FDs is acyclic per Def C.1: the digraph with an edge
+/// from every determinant attribute to every dependent attribute has no
+/// cycle.
+pub fn is_acyclic(fds: &[FunctionalDependency]) -> bool {
+    // Intern attribute names to indices.
+    let mut idx_of: HashMap<&str, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for fd in fds {
+        for l in &fd.determinant {
+            let li = *idx_of.entry(l.as_str()).or_insert_with(|| {
+                let i = next;
+                next += 1;
+                i
+            });
+            for r in &fd.dependents {
+                let ri = *idx_of.entry(r.as_str()).or_insert_with(|| {
+                    let i = next;
+                    next += 1;
+                    i
+                });
+                edges.push((li, ri));
+            }
+        }
+    }
+    let n = next;
+    let mut adj = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    // Kahn's algorithm: acyclic iff all nodes are drained.
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut drained = 0;
+    while let Some(u) = queue.pop() {
+        drained += 1;
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    drained == n
+}
+
+/// The set of attributes made *redundant* by an acyclic FD set (Cor C.1):
+/// every attribute appearing in some dependent set.
+pub fn redundant_attributes(fds: &[FunctionalDependency]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for fd in fds {
+        for r in &fd.dependents {
+            if !out.contains(r) {
+                out.push(r.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::error::RelationalError;
+    use crate::table::TableBuilder;
+
+    fn joined() -> Table {
+        // fk -> (a, b) holds; fk -> c does not.
+        TableBuilder::new("T")
+            .foreign_key("fk", "R", Domain::indexed("fk", 3).shared(), vec![0, 1, 2, 0, 1])
+            .feature("a", Domain::indexed("a", 2).shared(), vec![0, 1, 1, 0, 1])
+            .feature("b", Domain::indexed("b", 4).shared(), vec![3, 2, 1, 3, 2])
+            .feature("c", Domain::indexed("c", 2).shared(), vec![0, 0, 0, 1, 0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn holds_detects_valid_fd() {
+        let t = joined();
+        assert!(FunctionalDependency::new(&["fk"], &["a", "b"])
+            .holds_in(&t)
+            .unwrap());
+    }
+
+    #[test]
+    fn holds_detects_violation() {
+        let t = joined();
+        assert!(!FunctionalDependency::new(&["fk"], &["c"]).holds_in(&t).unwrap());
+    }
+
+    #[test]
+    fn composite_determinant() {
+        let t = joined();
+        // (fk, c) -> a trivially holds since fk -> a holds.
+        assert!(FunctionalDependency::new(&["fk", "c"], &["a"])
+            .holds_in(&t)
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = joined();
+        assert!(matches!(
+            FunctionalDependency::new(&["nope"], &["a"]).holds_in(&t),
+            Err(RelationalError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn acyclicity() {
+        let acyclic = vec![
+            FunctionalDependency::new(&["fk"], &["a", "b"]),
+            FunctionalDependency::new(&["a"], &["c"]),
+        ];
+        assert!(is_acyclic(&acyclic));
+        let cyclic = vec![
+            FunctionalDependency::new(&["a"], &["b"]),
+            FunctionalDependency::new(&["b"], &["a"]),
+        ];
+        assert!(!is_acyclic(&cyclic));
+        let self_loop = vec![FunctionalDependency::new(&["a"], &["a"])];
+        assert!(!is_acyclic(&self_loop));
+        assert!(is_acyclic(&[]));
+    }
+
+    #[test]
+    fn redundant_set_is_dependents() {
+        let fds = vec![
+            FunctionalDependency::new(&["fk"], &["a", "b"]),
+            FunctionalDependency::new(&["a"], &["c", "b"]),
+        ];
+        let red = redundant_attributes(&fds);
+        assert_eq!(red, vec!["a".to_string(), "b".into(), "c".into()]);
+    }
+}

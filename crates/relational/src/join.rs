@@ -1,0 +1,237 @@
+//! Key–foreign-key equi-joins.
+//!
+//! Implements `T <- pi(R ⋈_{RID=FK} S)` from Sec 2.1: every row of the
+//! entity table `S` is extended with the feature columns of the attribute
+//! table `R` row its foreign key references. Because `RID` is `R`'s primary
+//! key, the join is N:1 and preserves `S`'s row count; the functional
+//! dependency `FK -> X_R` holds in the output by construction.
+
+use crate::error::{RelationalError, Result};
+use crate::schema::{Role, Schema};
+use crate::table::Table;
+
+/// Builds the RID -> row-position index over an attribute table.
+///
+/// The index is dense over the primary-key domain, exploiting the closed
+/// domain assumption: `dom(FK) = {RID values in R}`.
+fn key_index(attr: &Table) -> Result<Vec<Option<u32>>> {
+    let pk_idx = attr
+        .schema()
+        .primary_key()
+        .ok_or_else(|| RelationalError::UnknownAttribute {
+            table: attr.name().to_string(),
+            attribute: "<primary key>".to_string(),
+        })?;
+    let pk = attr.column(pk_idx);
+    let mut index = vec![None; pk.domain().size()];
+    for (row, &code) in pk.codes().iter().enumerate() {
+        index[code as usize] = Some(row as u32);
+    }
+    Ok(index)
+}
+
+/// Joins the entity table with one attribute table through the named
+/// foreign key, appending the attribute table's feature columns.
+///
+/// * The FK column stays in the output (the paper keeps FKs as features).
+/// * The attribute table's primary key is *not* duplicated into the output
+///   (it would equal the FK column).
+/// * Returns an error if a foreign-key value references a missing row
+///   (referential-integrity violation) or the FK/RID domains differ in size.
+pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
+    let fk_pos = entity
+        .schema()
+        .index_of(fk_name)
+        .ok_or_else(|| RelationalError::UnknownAttribute {
+            table: entity.name().to_string(),
+            attribute: fk_name.to_string(),
+        })?;
+    if !entity.schema().attributes()[fk_pos].role.is_foreign_key() {
+        return Err(RelationalError::NotAForeignKey {
+            table: entity.name().to_string(),
+            attribute: fk_name.to_string(),
+        });
+    }
+    let fk_col = entity.column(fk_pos);
+
+    let pk_idx = attr
+        .schema()
+        .primary_key()
+        .ok_or_else(|| RelationalError::UnknownAttribute {
+            table: attr.name().to_string(),
+            attribute: "<primary key>".to_string(),
+        })?;
+    if fk_col.domain().size() != attr.column(pk_idx).domain().size() {
+        return Err(RelationalError::ForeignKeyDomainMismatch {
+            entity: entity.name().to_string(),
+            fk: fk_name.to_string(),
+            referenced: attr.schema().attributes()[pk_idx].name.clone(),
+        });
+    }
+
+    let index = key_index(attr)?;
+
+    // Map each entity row's FK code to a row position in the attribute table.
+    let mut gather = Vec::with_capacity(entity.n_rows());
+    for &code in fk_col.codes() {
+        match index[code as usize] {
+            Some(row) => gather.push(row),
+            None => {
+                return Err(RelationalError::DanglingForeignKey {
+                    entity: entity.name().to_string(),
+                    fk: fk_name.to_string(),
+                    code,
+                })
+            }
+        }
+    }
+
+    let mut defs: Vec<_> = entity.schema().attributes().to_vec();
+    let mut cols: Vec<_> = entity.columns().to_vec();
+    for (def, col) in attr.schema().attributes().iter().zip(attr.columns()) {
+        if def.role != Role::Feature {
+            continue; // skip RID (and any nested keys)
+        }
+        defs.push(def.clone());
+        cols.push(col.gather(&gather));
+    }
+
+    let name = format!("{}_join_{}", entity.name(), attr.name());
+    let schema = Schema::new(&name, defs)?;
+    Table::new(name, schema, cols)
+}
+
+/// Joins the entity table with each of the given `(fk_name, table)` pairs
+/// in order, producing the fully denormalized table
+/// `T(SID, Y, X_S, FK_1..FK_k, X_R1..X_Rk)`.
+pub fn kfk_join_all<'a, I>(entity: &Table, attrs: I) -> Result<Table>
+where
+    I: IntoIterator<Item = (&'a str, &'a Table)>,
+{
+    let mut out = entity.clone();
+    for (fk, attr) in attrs {
+        out = kfk_join(&out, fk, attr)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::table::TableBuilder;
+
+    fn employers() -> Table {
+        let rid = Domain::indexed("EmployerID", 3).shared();
+        let country = Domain::from_labels("Country", &["NZ", "IN"]).shared();
+        let revenue = Domain::indexed("Revenue", 4).shared();
+        TableBuilder::new("Employers")
+            .primary_key("EmployerID", rid, vec![2, 0, 1])
+            .feature("Country", country, vec![1, 0, 1])
+            .feature("Revenue", revenue, vec![3, 1, 0])
+            .build()
+            .unwrap()
+    }
+
+    fn customers(fk_codes: Vec<u32>) -> Table {
+        let n = fk_codes.len();
+        let sid = Domain::indexed("CustomerID", n).shared();
+        let churn = Domain::boolean("Churn").shared();
+        let age = Domain::indexed("Age", 5).shared();
+        TableBuilder::new("Customers")
+            .primary_key("CustomerID", sid, (0..n as u32).collect())
+            .target("Churn", churn, vec![0; n])
+            .feature("Age", age, vec![1; n])
+            .foreign_key("EmployerID", "Employers", Domain::indexed("EmployerID", 3).shared(), fk_codes)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn join_gathers_foreign_features() {
+        let s = customers(vec![0, 1, 2, 0]);
+        let r = employers();
+        let t = kfk_join(&s, "EmployerID", &r).unwrap();
+        assert_eq!(t.n_rows(), 4);
+        // Employers stores RIDs out of order: RID 0 -> row 1, 1 -> row 2, 2 -> row 0.
+        let country = t.column_by_name("Country").unwrap();
+        assert_eq!(country.codes(), &[0, 1, 1, 0]);
+        let revenue = t.column_by_name("Revenue").unwrap();
+        assert_eq!(revenue.codes(), &[1, 0, 3, 1]);
+        // FK survives; RID is not duplicated.
+        assert!(t.schema().index_of("EmployerID").is_some());
+        assert_eq!(
+            t.schema()
+                .attributes()
+                .iter()
+                .filter(|a| a.name == "EmployerID")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn fd_fk_to_xr_holds_in_output() {
+        let s = customers(vec![0, 1, 2, 0, 1, 2, 1]);
+        let t = kfk_join(&s, "EmployerID", &employers()).unwrap();
+        let fk = t.column_by_name("EmployerID").unwrap();
+        let country = t.column_by_name("Country").unwrap();
+        let mut seen: std::collections::HashMap<u32, u32> = Default::default();
+        for i in 0..t.n_rows() {
+            let e = seen.entry(fk.get(i)).or_insert_with(|| country.get(i));
+            assert_eq!(*e, country.get(i), "FD FK -> Country violated");
+        }
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        // Attribute table missing RID=1.
+        let rid = Domain::indexed("EmployerID", 3).shared();
+        let r = TableBuilder::new("Employers")
+            .primary_key("EmployerID", rid, vec![0, 2])
+            .feature("Country", Domain::boolean("Country").shared(), vec![0, 1])
+            .build()
+            .unwrap();
+        let s = customers(vec![0, 1]);
+        let err = kfk_join(&s, "EmployerID", &r).unwrap_err();
+        assert!(matches!(err, RelationalError::DanglingForeignKey { code: 1, .. }));
+    }
+
+    #[test]
+    fn non_fk_attribute_rejected() {
+        let s = customers(vec![0]);
+        let err = kfk_join(&s, "Age", &employers()).unwrap_err();
+        assert!(matches!(err, RelationalError::NotAForeignKey { .. }));
+    }
+
+    #[test]
+    fn domain_size_mismatch_rejected() {
+        let rid = Domain::indexed("EmployerID", 5).shared();
+        let r = TableBuilder::new("Employers")
+            .primary_key("EmployerID", rid, vec![0, 1, 2, 3, 4])
+            .feature("Country", Domain::boolean("Country").shared(), vec![0, 1, 0, 1, 0])
+            .build()
+            .unwrap();
+        let s = customers(vec![0]);
+        let err = kfk_join(&s, "EmployerID", &r).unwrap_err();
+        assert!(matches!(err, RelationalError::ForeignKeyDomainMismatch { .. }));
+    }
+
+    #[test]
+    fn join_all_chains_tables() {
+        let s = customers(vec![0, 1, 2]);
+        let r = employers();
+        let t = kfk_join_all(&s, [("EmployerID", &r)]).unwrap();
+        assert_eq!(t.schema().len(), s.schema().len() + 2);
+    }
+
+    #[test]
+    fn join_preserves_row_count_always() {
+        for n in [1usize, 2, 7, 31] {
+            let fk: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+            let s = customers(fk);
+            let t = kfk_join(&s, "EmployerID", &employers()).unwrap();
+            assert_eq!(t.n_rows(), n);
+        }
+    }
+}

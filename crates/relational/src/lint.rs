@@ -1,0 +1,272 @@
+//! Star-schema lints: data-quality warnings an analyst should see before
+//! trusting any join-avoidance decision.
+//!
+//! The decision rules assume well-formed inputs — closed FK domains with
+//! referenced rows actually used, informative features, an unskewed
+//! target. Each lint flags a way real data quietly violates those
+//! assumptions (and says which downstream conclusion it would distort).
+
+use crate::catalog::StarSchema;
+use crate::schema::Role;
+
+/// One warning about a star schema instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lint {
+    /// A feature column holds a single value — it cannot help any model
+    /// and inflates `d_R` in reports.
+    ConstantColumn {
+        /// Owning table.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A feature's distinct count equals the table's row count — it is a
+    /// de-facto key; treating it as a feature invites memorization (the
+    /// variance risk the ROR prices for FKs, but unpriced here).
+    NearKeyFeature {
+        /// Owning table.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Many attribute-table rows are never referenced by any entity row:
+    /// the closed-domain assumption is loose, and `|D_FK| = n_R`
+    /// overstates the effective FK domain in the ROR.
+    UnreferencedRows {
+        /// Attribute table name.
+        table: String,
+        /// Fraction of rows never referenced.
+        unreferenced_fraction: f64,
+    },
+    /// A single FK value covers a large fraction of entity rows —
+    /// fan-out skew worth a malign-skew check (appendix D).
+    DominantFkValue {
+        /// Foreign key name.
+        fk: String,
+        /// Fraction of entity rows carried by the most common value.
+        top_fraction: f64,
+    },
+    /// The target's entropy is below the conservative guard: the skew
+    /// guard will veto every avoidance.
+    LowTargetEntropy {
+        /// `H(Y)` in bits.
+        entropy_bits: f64,
+    },
+}
+
+/// Thresholds for the heuristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LintConfig {
+    /// Fire `UnreferencedRows` above this fraction.
+    pub unreferenced_floor: f64,
+    /// Fire `DominantFkValue` above this fraction.
+    pub dominant_fk_floor: f64,
+    /// Fire `LowTargetEntropy` below this many bits.
+    pub entropy_floor_bits: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            unreferenced_floor: 0.25,
+            dominant_fk_floor: 0.5,
+            entropy_floor_bits: 0.5,
+        }
+    }
+}
+
+/// Runs all lints over a star schema instance.
+pub fn lint_star(star: &StarSchema, config: &LintConfig) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // Target entropy.
+    if let Some(y) = star.entity().target_column() {
+        let hist = y.histogram();
+        let n: u64 = hist.iter().sum();
+        let mut h = 0.0;
+        for &c in &hist {
+            if c > 0 {
+                let p = c as f64 / n as f64;
+                h -= p * p.log2();
+            }
+        }
+        if h < config.entropy_floor_bits {
+            lints.push(Lint::LowTargetEntropy { entropy_bits: h });
+        }
+    }
+
+    // Per-table column lints (entity + attribute tables).
+    let mut tables: Vec<&crate::table::Table> = vec![star.entity()];
+    tables.extend(star.attributes().iter().map(|at| &at.table));
+    for table in tables {
+        for (def, col) in table.schema().attributes().iter().zip(table.columns()) {
+            if def.role != Role::Feature {
+                continue;
+            }
+            let distinct = col.distinct_count();
+            if distinct <= 1 {
+                lints.push(Lint::ConstantColumn {
+                    table: table.name().to_string(),
+                    column: def.name.clone(),
+                });
+            } else if distinct == table.n_rows() && table.n_rows() > 8 {
+                lints.push(Lint::NearKeyFeature {
+                    table: table.name().to_string(),
+                    column: def.name.clone(),
+                });
+            }
+        }
+    }
+
+    // FK fan-out lints.
+    for at in star.attributes() {
+        let fk = star
+            .entity()
+            .column_by_name(&at.fk)
+            .expect("validated at construction");
+        let hist = fk.histogram();
+        let n: u64 = hist.iter().sum();
+        let referenced = hist.iter().filter(|&&c| c > 0).count();
+        let unreferenced_fraction = 1.0 - referenced as f64 / at.n_rows() as f64;
+        if unreferenced_fraction > config.unreferenced_floor {
+            lints.push(Lint::UnreferencedRows {
+                table: at.table.name().to_string(),
+                unreferenced_fraction,
+            });
+        }
+        if let Some(&top) = hist.iter().max() {
+            let top_fraction = top as f64 / n as f64;
+            if top_fraction > config.dominant_fk_floor {
+                lints.push(Lint::DominantFkValue {
+                    fk: at.fk.clone(),
+                    top_fraction,
+                });
+            }
+        }
+    }
+
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::AttributeTable;
+    use crate::domain::Domain;
+    use crate::table::TableBuilder;
+
+    fn star(fk_codes: Vec<u32>, y_codes: Vec<u32>, n_r: usize, const_col: bool) -> StarSchema {
+        let rid = Domain::indexed("fk", n_r).shared();
+        let a_codes: Vec<u32> = if const_col {
+            vec![0; n_r]
+        } else {
+            (0..n_r as u32).map(|i| i % 2).collect()
+        };
+        let r = TableBuilder::new("R")
+            .primary_key("fk", rid.clone(), (0..n_r as u32).collect())
+            .feature("a", Domain::indexed("a", 2).shared(), a_codes)
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), y_codes)
+            .foreign_key("fk", "R", rid, fk_codes)
+            .build()
+            .unwrap();
+        StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_schema_has_no_lints() {
+        let fk: Vec<u32> = (0..100u32).map(|i| i % 10).collect();
+        let y: Vec<u32> = (0..100u32).map(|i| i % 2).collect();
+        let st = star(fk, y, 10, false);
+        assert!(lint_star(&st, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn constant_column_flagged() {
+        let fk: Vec<u32> = (0..100u32).map(|i| i % 10).collect();
+        let y: Vec<u32> = (0..100u32).map(|i| i % 2).collect();
+        let st = star(fk, y, 10, true);
+        let lints = lint_star(&st, &LintConfig::default());
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::ConstantColumn { column, .. } if column == "a")));
+    }
+
+    #[test]
+    fn unreferenced_rows_flagged() {
+        // 100 rows all referencing fk 0..4; table has 20 rows -> 80% unused.
+        let fk: Vec<u32> = (0..100u32).map(|i| i % 5).collect();
+        let y: Vec<u32> = (0..100u32).map(|i| i % 2).collect();
+        let st = star(fk, y, 20, false);
+        let lints = lint_star(&st, &LintConfig::default());
+        let hit = lints.iter().find_map(|l| match l {
+            Lint::UnreferencedRows {
+                unreferenced_fraction,
+                ..
+            } => Some(*unreferenced_fraction),
+            _ => None,
+        });
+        assert!((hit.expect("lint fires") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_fk_flagged() {
+        let mut fk = vec![0u32; 70];
+        fk.extend((0..30u32).map(|i| 1 + i % 9));
+        let y: Vec<u32> = (0..100u32).map(|i| i % 2).collect();
+        let st = star(fk, y, 10, false);
+        let lints = lint_star(&st, &LintConfig::default());
+        assert!(lints.iter().any(
+            |l| matches!(l, Lint::DominantFkValue { top_fraction, .. } if (*top_fraction - 0.7).abs() < 1e-12)
+        ));
+    }
+
+    #[test]
+    fn low_entropy_target_flagged() {
+        let fk: Vec<u32> = (0..100u32).map(|i| i % 10).collect();
+        let mut y = vec![0u32; 97];
+        y.extend([1, 1, 1]);
+        let st = star(fk, y, 10, false);
+        let lints = lint_star(&st, &LintConfig::default());
+        assert!(lints.iter().any(|l| matches!(l, Lint::LowTargetEntropy { .. })));
+    }
+
+    #[test]
+    fn near_key_feature_flagged() {
+        // Attribute feature with one distinct value per row.
+        let n_r = 16usize;
+        let rid = Domain::indexed("fk", n_r).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("fk", rid.clone(), (0..n_r as u32).collect())
+            .feature("almost_key", Domain::indexed("k", n_r).shared(), (0..n_r as u32).collect())
+            .build()
+            .unwrap();
+        let fk: Vec<u32> = (0..64u32).map(|i| i % n_r as u32).collect();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), (0..64u32).map(|i| i % 2).collect())
+            .foreign_key("fk", "R", rid, fk)
+            .build()
+            .unwrap();
+        let st = StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .unwrap();
+        let lints = lint_star(&st, &LintConfig::default());
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::NearKeyFeature { column, .. } if column == "almost_key")));
+    }
+}

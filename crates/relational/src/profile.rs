@@ -1,0 +1,212 @@
+//! Table and star-schema profiling: the summary statistics an analyst
+//! (or the join advisor) reads before touching any data paths.
+
+use crate::catalog::StarSchema;
+use crate::column::Column;
+use crate::schema::Role;
+use crate::table::Table;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Attribute name.
+    pub name: String,
+    /// Role in the schema.
+    pub role: Role,
+    /// Declared domain size `|D_F|`.
+    pub domain_size: usize,
+    /// Distinct codes actually present.
+    pub distinct: usize,
+    /// Empirical entropy in bits.
+    pub entropy_bits: f64,
+    /// Most frequent code and its frequency (mode).
+    pub mode: (u32, u64),
+}
+
+fn column_profile(name: &str, role: &Role, col: &Column) -> ColumnProfile {
+    let hist = col.histogram();
+    let n: u64 = hist.iter().sum();
+    let mut entropy = 0.0;
+    let mut mode = (0u32, 0u64);
+    for (code, &count) in hist.iter().enumerate() {
+        if count > mode.1 {
+            mode = (code as u32, count);
+        }
+        if count > 0 && n > 0 {
+            let p = count as f64 / n as f64;
+            entropy -= p * p.log2();
+        }
+    }
+    ColumnProfile {
+        name: name.to_string(),
+        role: role.clone(),
+        domain_size: col.domain().size(),
+        distinct: hist.iter().filter(|&&c| c > 0).count(),
+        entropy_bits: entropy,
+        mode,
+    }
+}
+
+/// Summary statistics of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableProfile {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub n_rows: usize,
+    /// Per-column profiles, in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+/// Profiles a table.
+pub fn profile_table(table: &Table) -> TableProfile {
+    let columns = table
+        .schema()
+        .attributes()
+        .iter()
+        .zip(table.columns())
+        .map(|(def, col)| column_profile(&def.name, &def.role, col))
+        .collect();
+    TableProfile {
+        name: table.name().to_string(),
+        n_rows: table.n_rows(),
+        columns,
+    }
+}
+
+/// Summary of a whole star schema, with the quantities the decision
+/// rules consume highlighted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarProfile {
+    /// Entity-table profile.
+    pub entity: TableProfile,
+    /// Per attribute table: `(profile, tuple ratio n_S/n_Ri, q_Ri*)`.
+    pub attributes: Vec<(TableProfile, f64, Option<usize>)>,
+}
+
+/// Profiles a star schema.
+pub fn profile_star(star: &StarSchema) -> StarProfile {
+    let entity = profile_table(star.entity());
+    let attributes = star
+        .attributes()
+        .iter()
+        .map(|at| {
+            (
+                profile_table(&at.table),
+                star.n_s() as f64 / at.n_rows() as f64,
+                at.min_feature_domain(),
+            )
+        })
+        .collect();
+    StarProfile { entity, attributes }
+}
+
+impl StarProfile {
+    /// Renders the profile as readable text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} rows, {} columns\n",
+            self.entity.name,
+            self.entity.n_rows,
+            self.entity.columns.len()
+        );
+        for c in &self.entity.columns {
+            out.push_str(&format!(
+                "  {:<24} |D|={:<7} distinct={:<7} H={:.2} bits\n",
+                c.name, c.domain_size, c.distinct, c.entropy_bits
+            ));
+        }
+        for (p, tr, q) in &self.attributes {
+            out.push_str(&format!(
+                "{}: {} rows (TR = {:.1}, q_R* = {})\n",
+                p.name,
+                p.n_rows,
+                tr,
+                q.map_or("-".to_string(), |v| v.to_string())
+            ));
+            for c in &p.columns {
+                out.push_str(&format!(
+                    "  {:<24} |D|={:<7} distinct={:<7} H={:.2} bits\n",
+                    c.name, c.domain_size, c.distinct, c.entropy_bits
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::AttributeTable;
+    use crate::domain::Domain;
+    use crate::table::TableBuilder;
+
+    fn star() -> StarSchema {
+        let rid = Domain::indexed("fk", 4).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("fk", rid.clone(), vec![0, 1, 2, 3])
+            .feature("a", Domain::indexed("a", 6).shared(), vec![0, 0, 1, 5])
+            .feature("b", Domain::boolean("b").shared(), vec![0, 1, 0, 1])
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), vec![0, 1, 0, 1, 0, 1, 0, 1])
+            .foreign_key("fk", "R", rid, vec![0, 1, 2, 3, 0, 1, 2, 3])
+            .build()
+            .unwrap();
+        StarSchema::new(
+            s,
+            vec![AttributeTable {
+                fk: "fk".into(),
+                table: r,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_profile_statistics() {
+        let st = star();
+        let p = profile_table(st.entity());
+        assert_eq!(p.n_rows, 8);
+        let y = &p.columns[0];
+        assert_eq!(y.name, "y");
+        assert_eq!(y.distinct, 2);
+        assert!((y.entropy_bits - 1.0).abs() < 1e-9);
+        let fk = &p.columns[1];
+        assert_eq!(fk.distinct, 4);
+        assert!((fk.entropy_bits - 2.0).abs() < 1e-9);
+        assert_eq!(fk.mode.1, 2);
+    }
+
+    #[test]
+    fn star_profile_rule_inputs() {
+        let st = star();
+        let p = profile_star(&st);
+        assert_eq!(p.attributes.len(), 1);
+        let (r, tr, q) = &p.attributes[0];
+        assert_eq!(r.n_rows, 4);
+        assert!((tr - 2.0).abs() < 1e-12);
+        assert_eq!(*q, Some(2)); // min(|D_a|=6, |D_b|=2)
+    }
+
+    #[test]
+    fn profile_counts_distinct_below_domain() {
+        let st = star();
+        let p = profile_star(&st);
+        let a = &p.attributes[0].0.columns[1];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.domain_size, 6);
+        assert_eq!(a.distinct, 3); // codes 0, 1, 5
+    }
+
+    #[test]
+    fn render_contains_key_facts() {
+        let st = star();
+        let text = profile_star(&st).render();
+        assert!(text.contains("S: 8 rows"));
+        assert!(text.contains("TR = 2.0"));
+        assert!(text.contains("q_R* = 2"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Relational operators beyond the KFK join: selection, sorting, and
+//! group-by aggregation.
+//!
+//! These power the data-preparation steps around the paper's pipeline —
+//! e.g. restricting a ratings table to active users, or computing the
+//! per-FK row counts that a skew analysis consumes.
+
+use std::cmp::Ordering;
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// A predicate over one attribute's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `attribute == code`.
+    Eq(String, u32),
+    /// `attribute != code`.
+    Ne(String, u32),
+    /// `attribute ∈ codes`.
+    In(String, Vec<u32>),
+    /// `attribute < code` (codes are ordinal for binned numerics).
+    Lt(String, u32),
+    /// `attribute >= code`.
+    Ge(String, u32),
+}
+
+impl Predicate {
+    /// The attribute this predicate tests.
+    pub fn attribute(&self) -> &str {
+        match self {
+            Predicate::Eq(a, _)
+            | Predicate::Ne(a, _)
+            | Predicate::In(a, _)
+            | Predicate::Lt(a, _)
+            | Predicate::Ge(a, _) => a,
+        }
+    }
+
+    fn test(&self, code: u32) -> bool {
+        match self {
+            Predicate::Eq(_, c) => code == *c,
+            Predicate::Ne(_, c) => code != *c,
+            Predicate::In(_, cs) => cs.contains(&code),
+            Predicate::Lt(_, c) => code < *c,
+            Predicate::Ge(_, c) => code >= *c,
+        }
+    }
+}
+
+/// Returns the row positions satisfying **all** predicates (conjunction).
+pub fn select_rows(table: &Table, predicates: &[Predicate]) -> Result<Vec<usize>> {
+    let cols: Vec<_> = predicates
+        .iter()
+        .map(|p| table.column_by_name(p.attribute()))
+        .collect::<Result<_>>()?;
+    Ok((0..table.n_rows())
+        .filter(|&row| {
+            predicates
+                .iter()
+                .zip(&cols)
+                .all(|(p, c)| p.test(c.get(row)))
+        })
+        .collect())
+}
+
+/// Filters a table by a conjunction of predicates.
+pub fn filter(table: &Table, predicates: &[Predicate]) -> Result<Table> {
+    let rows = select_rows(table, predicates)?;
+    Ok(table.select_rows(&rows))
+}
+
+/// Sorts a table by the given attributes (ascending code order,
+/// lexicographic across attributes). Stable.
+pub fn sort_by(table: &Table, attributes: &[&str]) -> Result<Table> {
+    let cols: Vec<_> = attributes
+        .iter()
+        .map(|a| table.column_by_name(a))
+        .collect::<Result<_>>()?;
+    let mut order: Vec<usize> = (0..table.n_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for c in &cols {
+            match c.get(a).cmp(&c.get(b)) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(table.select_rows(&order))
+}
+
+/// One group of a group-by: the key codes and per-aggregate values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Key attribute codes, in the order the keys were given.
+    pub key: Vec<u32>,
+    /// Row count of the group.
+    pub count: u64,
+}
+
+/// Groups rows by the given key attributes and counts each group.
+/// Groups are returned in first-appearance order.
+pub fn group_count(table: &Table, keys: &[&str]) -> Result<Vec<Group>> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|a| table.column_by_name(a))
+        .collect::<Result<_>>()?;
+    let mut index: std::collections::HashMap<Vec<u32>, usize> = Default::default();
+    let mut groups: Vec<Group> = Vec::new();
+    for row in 0..table.n_rows() {
+        let key: Vec<u32> = cols.iter().map(|c| c.get(row)).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].count += 1,
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push(Group { key, count: 1 });
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// Rows-per-key histogram for a single attribute: `out[code] = count`.
+/// The fan-out profile of a foreign key — the quantity FK-skew analyses
+/// start from.
+pub fn fanout(table: &Table, attribute: &str) -> Result<Vec<u64>> {
+    Ok(table.column_by_name(attribute)?.histogram())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        TableBuilder::new("T")
+            .feature("a", Domain::indexed("a", 4).shared(), vec![3, 1, 2, 1, 0, 2])
+            .feature("b", Domain::indexed("b", 2).shared(), vec![0, 1, 0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn predicates_test_codes() {
+        let t = sample();
+        assert_eq!(
+            select_rows(&t, &[Predicate::Eq("a".into(), 1)]).unwrap(),
+            vec![1, 3]
+        );
+        assert_eq!(
+            select_rows(&t, &[Predicate::Ne("b".into(), 1)]).unwrap(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            select_rows(&t, &[Predicate::In("a".into(), vec![0, 3])]).unwrap(),
+            vec![0, 4]
+        );
+        assert_eq!(
+            select_rows(&t, &[Predicate::Lt("a".into(), 2)]).unwrap(),
+            vec![1, 3, 4]
+        );
+        assert_eq!(
+            select_rows(&t, &[Predicate::Ge("a".into(), 2)]).unwrap(),
+            vec![0, 2, 5]
+        );
+    }
+
+    #[test]
+    fn conjunction() {
+        let t = sample();
+        let rows = select_rows(
+            &t,
+            &[Predicate::Ge("a".into(), 1), Predicate::Eq("b".into(), 1)],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn filter_builds_subtable() {
+        let t = sample();
+        let f = filter(&t, &[Predicate::Eq("b".into(), 0)]).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.column_by_name("a").unwrap().codes(), &[3, 2]);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let t = sample();
+        assert!(select_rows(&t, &[Predicate::Eq("zzz".into(), 0)]).is_err());
+        assert!(sort_by(&t, &["zzz"]).is_err());
+        assert!(group_count(&t, &["zzz"]).is_err());
+    }
+
+    #[test]
+    fn sort_orders_lexicographically() {
+        let t = sample();
+        let s = sort_by(&t, &["b", "a"]).unwrap();
+        assert_eq!(s.column_by_name("b").unwrap().codes(), &[0, 0, 1, 1, 1, 1]);
+        assert_eq!(s.column_by_name("a").unwrap().codes(), &[2, 3, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let t = sample();
+        let s = sort_by(&t, &["b"]).unwrap();
+        // Within b=1 the original order 1,3,4,5 is preserved -> a codes 1,1,0,2.
+        assert_eq!(s.column_by_name("a").unwrap().codes(), &[3, 2, 1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn group_count_first_appearance_order() {
+        let t = sample();
+        let groups = group_count(&t, &["b"]).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].key, vec![0]);
+        assert_eq!(groups[0].count, 2);
+        assert_eq!(groups[1].count, 4);
+        let pairs = group_count(&t, &["a", "b"]).unwrap();
+        assert_eq!(pairs.len(), 5); // (3,0),(1,1),(2,0),(0,1),(2,1)
+        let total: u64 = pairs.iter().map(|g| g.count).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn fanout_is_histogram() {
+        let t = sample();
+        assert_eq!(fanout(&t, "a").unwrap(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_filter_result() {
+        let t = sample();
+        let f = filter(&t, &[Predicate::Eq("a".into(), 1), Predicate::Eq("a".into(), 2)]).unwrap();
+        assert_eq!(f.n_rows(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Logical schemas: attribute roles and per-table layouts.
+//!
+//! The paper's schema setting (Sec 2.1): an *entity table*
+//! `S(SID, Y, X_S, FK_1..FK_k)` and *attribute tables* `R_i(RID_i, X_Ri)`.
+//! Roles make those positions explicit so joins and the decision rules can
+//! be driven from metadata alone.
+
+use crate::error::{RelationalError, Result};
+
+/// The role an attribute plays in a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// A primary key (`SID` or `RID_i`). Unique within its table.
+    PrimaryKey,
+    /// A foreign key referencing the primary key of `table`.
+    ///
+    /// `closed_domain` records the paper's "closed with respect to the
+    /// prediction task" assumption (Sec 2.1). Only closed-domain foreign
+    /// keys are candidates for acting as representatives of foreign
+    /// features; an open-domain FK (e.g. Expedia's `SearchID`) is excluded
+    /// from join-avoidance decisions.
+    ForeignKey {
+        /// Name of the referenced attribute table.
+        table: String,
+        /// Whether the FK's domain is closed w.r.t. the prediction task.
+        closed_domain: bool,
+    },
+    /// An ordinary feature (a member of `X_S` or `X_Ri`).
+    Feature,
+    /// The learning target `Y`. At most one per schema, in the entity table.
+    Target,
+}
+
+impl Role {
+    /// Whether this role is `ForeignKey`.
+    pub fn is_foreign_key(&self) -> bool {
+        matches!(self, Role::ForeignKey { .. })
+    }
+
+    /// Whether this attribute may be used as an ML input feature.
+    ///
+    /// Keys are excluded except foreign keys, which the paper treats as
+    /// features in their own right ("it is reasonable to use EmployerID as
+    /// a feature").
+    pub fn is_ml_input(&self) -> bool {
+        matches!(self, Role::Feature | Role::ForeignKey { .. })
+    }
+}
+
+/// A named attribute with a role. The physical domain lives with the
+/// column; the schema is purely logical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute (column) name, unique within its table.
+    pub name: String,
+    /// Role of the attribute.
+    pub role: Role,
+}
+
+impl AttributeDef {
+    /// A feature attribute.
+    pub fn feature(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::Feature,
+        }
+    }
+
+    /// A primary key attribute.
+    pub fn primary_key(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::PrimaryKey,
+        }
+    }
+
+    /// A closed-domain foreign key referencing `table`.
+    pub fn foreign_key(name: impl Into<String>, table: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::ForeignKey {
+                table: table.into(),
+                closed_domain: true,
+            },
+        }
+    }
+
+    /// An open-domain foreign key referencing `table` (not a candidate for
+    /// join avoidance).
+    pub fn open_foreign_key(name: impl Into<String>, table: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::ForeignKey {
+                table: table.into(),
+                closed_domain: false,
+            },
+        }
+    }
+
+    /// The target attribute.
+    pub fn target(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::Target,
+        }
+    }
+}
+
+/// An ordered list of attribute definitions for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate names and duplicate
+    /// primary-key / target roles.
+    pub fn new(table: &str, attributes: Vec<AttributeDef>) -> Result<Self> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationalError::DuplicateAttribute {
+                    table: table.to_string(),
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        let pk_count = attributes
+            .iter()
+            .filter(|a| a.role == Role::PrimaryKey)
+            .count();
+        if pk_count > 1 {
+            return Err(RelationalError::DuplicateRole {
+                table: table.to_string(),
+                role: "primary key",
+            });
+        }
+        let y_count = attributes.iter().filter(|a| a.role == Role::Target).count();
+        if y_count > 1 {
+            return Err(RelationalError::DuplicateRole {
+                table: table.to_string(),
+                role: "target",
+            });
+        }
+        Ok(Self { attributes })
+    }
+
+    /// All attribute definitions, in column order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute named `name`.
+    pub fn get(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Index of the primary key, if any.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.attributes.iter().position(|a| a.role == Role::PrimaryKey)
+    }
+
+    /// Index of the target, if any.
+    pub fn target(&self) -> Option<usize> {
+        self.attributes.iter().position(|a| a.role == Role::Target)
+    }
+
+    /// Indices of all foreign keys, in column order.
+    pub fn foreign_keys(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role.is_foreign_key())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of plain features (excluding keys and target).
+    pub fn features(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == Role::Feature)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Names of all attributes usable as ML inputs (features + FKs).
+    pub fn ml_input_names(&self) -> Vec<String> {
+        self.attributes
+            .iter()
+            .filter(|a| a.role.is_ml_input())
+            .map(|a| a.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> Schema {
+        Schema::new(
+            "Customers",
+            vec![
+                AttributeDef::primary_key("CustomerID"),
+                AttributeDef::target("Churn"),
+                AttributeDef::feature("Gender"),
+                AttributeDef::feature("Age"),
+                AttributeDef::foreign_key("EmployerID", "Employers"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roles_are_located() {
+        let s = customers();
+        assert_eq!(s.primary_key(), Some(0));
+        assert_eq!(s.target(), Some(1));
+        assert_eq!(s.features(), vec![2, 3]);
+        assert_eq!(s.foreign_keys(), vec![4]);
+        assert_eq!(
+            s.ml_input_names(),
+            vec!["Gender".to_string(), "Age".into(), "EmployerID".into()]
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(
+            "T",
+            vec![AttributeDef::feature("a"), AttributeDef::feature("a")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let err = Schema::new(
+            "T",
+            vec![
+                AttributeDef::primary_key("a"),
+                AttributeDef::primary_key("b"),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRole { role: "primary key", .. }));
+    }
+
+    #[test]
+    fn duplicate_target_rejected() {
+        let err = Schema::new(
+            "T",
+            vec![AttributeDef::target("a"), AttributeDef::target("b")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRole { role: "target", .. }));
+    }
+
+    #[test]
+    fn open_fk_is_flagged() {
+        let s = Schema::new(
+            "Listings",
+            vec![AttributeDef::open_foreign_key("SearchID", "Searches")],
+        )
+        .unwrap();
+        match &s.get("SearchID").unwrap().role {
+            Role::ForeignKey { closed_domain, .. } => assert!(!closed_domain),
+            _ => panic!("expected FK"),
+        }
+    }
+
+    #[test]
+    fn fk_is_ml_input_but_pk_is_not() {
+        assert!(Role::ForeignKey {
+            table: "R".into(),
+            closed_domain: true
+        }
+        .is_ml_input());
+        assert!(!Role::PrimaryKey.is_ml_input());
+        assert!(!Role::Target.is_ml_input());
+    }
+}

@@ -1,0 +1,343 @@
+//! Tables: a schema plus parallel columns.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::domain::Domain;
+use crate::error::{RelationalError, Result};
+use crate::schema::{AttributeDef, Schema};
+
+/// A named relational table with columnar storage.
+///
+/// Invariants (enforced by [`Table::new`] / [`Table::validate`]):
+/// * every column has the same length (`n_rows`);
+/// * every code is within its column's domain;
+/// * the primary key column, if any, is unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Builds and validates a table. `columns` are parallel to
+    /// `schema.attributes()`.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        let name = name.into();
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "schema/column arity mismatch in table '{name}'"
+        );
+        let n_rows = columns.first().map_or(0, Column::len);
+        let t = Self {
+            name,
+            schema,
+            columns,
+            n_rows,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Re-checks all invariants.
+    pub fn validate(&self) -> Result<()> {
+        for (def, col) in self.schema.attributes().iter().zip(&self.columns) {
+            if col.len() != self.n_rows {
+                return Err(RelationalError::ColumnLengthMismatch {
+                    table: self.name.clone(),
+                    column: def.name.clone(),
+                    expected: self.n_rows,
+                    actual: col.len(),
+                });
+            }
+            if let Some(&bad) = col.codes().iter().find(|&&c| !col.domain().contains(c)) {
+                return Err(RelationalError::CodeOutOfDomain {
+                    table: self.name.clone(),
+                    column: def.name.clone(),
+                    code: bad,
+                    domain_size: col.domain().size(),
+                });
+            }
+        }
+        if let Some(pk) = self.schema.primary_key() {
+            let col = &self.columns[pk];
+            let mut seen = vec![false; col.domain().size()];
+            for &c in col.codes() {
+                if seen[c as usize] {
+                    return Err(RelationalError::PrimaryKeyNotUnique {
+                        table: self.name.clone(),
+                        attribute: self.schema.attributes()[pk].name.clone(),
+                    });
+                }
+                seen[c as usize] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// All columns, parallel to the schema.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by attribute name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                table: self.name.clone(),
+                attribute: name.to_string(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Projects onto the named attributes (in the given order), keeping
+    /// roles.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut defs = Vec::with_capacity(names.len());
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let idx = self
+                .schema
+                .index_of(n)
+                .ok_or_else(|| RelationalError::UnknownAttribute {
+                    table: self.name.clone(),
+                    attribute: n.to_string(),
+                })?;
+            defs.push(self.schema.attributes()[idx].clone());
+            cols.push(self.columns[idx].clone());
+        }
+        Table::new(self.name.clone(), Schema::new(&self.name, defs)?, cols)
+    }
+
+    /// Drops the named attributes, keeping everything else in order.
+    pub fn drop_attributes(&self, names: &[&str]) -> Result<Table> {
+        for &n in names {
+            if self.schema.index_of(n).is_none() {
+                return Err(RelationalError::UnknownAttribute {
+                    table: self.name.clone(),
+                    attribute: n.to_string(),
+                });
+            }
+        }
+        let keep: Vec<&str> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .filter(|n| !names.contains(n))
+            .collect();
+        self.project(&keep)
+    }
+
+    /// Selects the given row positions into a new table (splits/sampling).
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        let columns = self.columns.iter().map(|c| c.select(rows)).collect();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+
+    /// The target column, if the schema declares one.
+    pub fn target_column(&self) -> Option<&Column> {
+        self.schema.target().map(|i| &self.columns[i])
+    }
+
+    /// Returns one row as a code vector (for tests and debugging).
+    pub fn row(&self, idx: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c.get(idx)).collect()
+    }
+}
+
+/// Fluent builder for constructing tables in generators and tests.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    defs: Vec<AttributeDef>,
+    cols: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for a table named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            defs: Vec::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Adds a column with an explicit role.
+    pub fn column(mut self, def: AttributeDef, domain: Arc<Domain>, codes: Vec<u32>) -> Self {
+        self.defs.push(def);
+        self.cols.push(Column::new_unchecked(domain, codes));
+        self
+    }
+
+    /// Adds a feature column.
+    pub fn feature(self, name: &str, domain: Arc<Domain>, codes: Vec<u32>) -> Self {
+        self.column(AttributeDef::feature(name), domain, codes)
+    }
+
+    /// Adds a primary-key column.
+    pub fn primary_key(self, name: &str, domain: Arc<Domain>, codes: Vec<u32>) -> Self {
+        self.column(AttributeDef::primary_key(name), domain, codes)
+    }
+
+    /// Adds a closed-domain foreign-key column referencing `table`.
+    pub fn foreign_key(
+        self,
+        name: &str,
+        table: &str,
+        domain: Arc<Domain>,
+        codes: Vec<u32>,
+    ) -> Self {
+        self.column(AttributeDef::foreign_key(name, table), domain, codes)
+    }
+
+    /// Adds an open-domain foreign-key column referencing `table`.
+    pub fn open_foreign_key(
+        self,
+        name: &str,
+        table: &str,
+        domain: Arc<Domain>,
+        codes: Vec<u32>,
+    ) -> Self {
+        self.column(AttributeDef::open_foreign_key(name, table), domain, codes)
+    }
+
+    /// Adds the target column.
+    pub fn target(self, name: &str, domain: Arc<Domain>, codes: Vec<u32>) -> Self {
+        self.column(AttributeDef::target(name), domain, codes)
+    }
+
+    /// Validates and builds the table.
+    pub fn build(self) -> Result<Table> {
+        let schema = Schema::new(&self.name, self.defs)?;
+        Table::new(self.name, schema, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(n: usize) -> Arc<Domain> {
+        Domain::indexed("D", n).shared()
+    }
+
+    fn sample() -> Table {
+        TableBuilder::new("S")
+            .primary_key("sid", dom(4), vec![0, 1, 2, 3])
+            .target("y", dom(2), vec![0, 1, 1, 0])
+            .feature("x", dom(3), vec![2, 1, 0, 2])
+            .foreign_key("fk", "R", dom(2), vec![0, 1, 0, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.row(2), vec![2, 1, 0, 0]);
+        assert_eq!(t.column_by_name("x").unwrap().codes(), &[2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let err = TableBuilder::new("T")
+            .feature("a", dom(2), vec![0, 1])
+            .feature("b", dom(2), vec![0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_domain_detected() {
+        let err = TableBuilder::new("T")
+            .feature("a", dom(2), vec![0, 5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::CodeOutOfDomain { code: 5, .. }));
+    }
+
+    #[test]
+    fn duplicate_pk_value_detected() {
+        let err = TableBuilder::new("T")
+            .primary_key("id", dom(3), vec![0, 0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::PrimaryKeyNotUnique { .. }));
+    }
+
+    #[test]
+    fn project_keeps_roles_and_order() {
+        let t = sample();
+        let p = t.project(&["fk", "y"]).unwrap();
+        assert_eq!(p.schema().len(), 2);
+        assert!(p.schema().attributes()[0].role.is_foreign_key());
+        assert_eq!(p.schema().target(), Some(1));
+    }
+
+    #[test]
+    fn project_unknown_fails() {
+        let t = sample();
+        assert!(matches!(
+            t.project(&["nope"]).unwrap_err(),
+            RelationalError::UnknownAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn drop_attributes_removes() {
+        let t = sample();
+        let d = t.drop_attributes(&["x"]).unwrap();
+        assert_eq!(d.schema().len(), 3);
+        assert!(d.schema().index_of("x").is_none());
+        assert!(d.drop_attributes(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let t = sample();
+        let s = t.select_rows(&[3, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0), t.row(3));
+        assert_eq!(s.row(1), t.row(0));
+    }
+
+    #[test]
+    fn target_column_found() {
+        let t = sample();
+        assert_eq!(t.target_column().unwrap().codes(), &[0, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cold start (Sec 2.1): between periodic model revisions, new entities
+//! appear whose FK values are outside the closed domain. The standard
+//! practice the paper cites — an "Others" placeholder record — end to
+//! end: revise the attribute table, remap incoming FKs, keep scoring.
+//!
+//! Run with: `cargo run --release --example cold_start`
+
+use hamlet::datagen::realistic::DatasetSpec;
+use hamlet::ml::classifier::{zero_one_error, Classifier};
+use hamlet::ml::dataset::Dataset;
+use hamlet::ml::naive_bayes::NaiveBayes;
+use hamlet::relational::{kfk_join, AttributeDef, Domain, DomainRevision, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Take MovieLens' Movies table as the closed-domain dimension.
+    let g = DatasetSpec::movielens().generate(0.01, 9);
+    let movies = &g.star.attributes()[0];
+    println!(
+        "Revision time: Movies has {} rows; adding an 'Others' record.",
+        movies.n_rows()
+    );
+    let defaults = vec![0u32; movies.n_features()];
+    let rev = DomainRevision::new(movies, &defaults).expect("revision builds");
+
+    // A month later: 30% of incoming ratings reference movies added
+    // after the revision.
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 5_000usize;
+    let raw: Vec<u32> = (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.3 {
+                movies.n_rows() as u32 + rng.gen_range(0..500)
+            } else {
+                rng.gen_range(0..movies.n_rows() as u32)
+            }
+        })
+        .collect();
+    println!(
+        "Incoming batch: {:.1}% cold-start rate.",
+        100.0 * rev.cold_start_rate(&raw)
+    );
+
+    // Remap, join, train, score — no panics, no dangling keys.
+    let fk = rev.remap_fk(&raw);
+    let y: Vec<u32> = raw.iter().map(|&v| v % 5).collect();
+    let entity = TableBuilder::new("Ratings")
+        .target("Stars", Domain::indexed("Stars", 5).shared(), y)
+        .column(
+            AttributeDef::foreign_key("MovieID", "Movies"),
+            fk.domain().clone(),
+            fk.codes().to_vec(),
+        )
+        .build()
+        .expect("entity builds");
+    let joined = kfk_join(&entity, "MovieID", &rev.attribute.table).expect("join works");
+    let data = Dataset::from_table(&joined);
+    let rows: Vec<usize> = (0..n).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let model = NaiveBayes::default().fit(&data, &rows[..n / 2], &feats);
+    println!(
+        "Model trained across the revision boundary; holdout error {:.4}.",
+        zero_one_error(&model, &data, &rows[n / 2..])
+    );
+    println!(
+        "When the cold-start rate gets high, re-run the advisor: the widened\n\
+         domain changes |D_FK| and therefore the TR/ROR verdicts."
+    );
+}

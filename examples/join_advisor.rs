@@ -1,0 +1,42 @@
+//! The join advisor on all seven datasets: per-join statistics, both
+//! rules' verdicts with plain-language explanations, skew diagnostics,
+//! and the recommended plan — the "suggestions for analysts" integration
+//! Sec 5.4 envisions.
+//!
+//! Run with: `cargo run --release --example join_advisor`
+
+use hamlet::core::advisor::{advise, AdvisorConfig};
+use hamlet::datagen::realistic::DatasetSpec;
+use hamlet::relational::profile_star;
+
+fn main() {
+    let scale = 0.05;
+    let seed = 1;
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(scale, seed);
+        let report = advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default());
+        println!("=== {} ===", spec.name);
+        print!("{}", report.render());
+        let plan = report.plan();
+        println!(
+            "Recommended input: entity table{}\n",
+            if plan.joined.is_empty() {
+                " only (no joins!)".to_string()
+            } else {
+                format!(
+                    " + {}",
+                    plan.joined
+                        .iter()
+                        .map(|&i| spec.tables[i].table)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+    }
+
+    // Deep-dive: profile one schema the way the advisor sees it.
+    let g = DatasetSpec::walmart().generate(0.01, seed);
+    println!("=== Walmart profile (scale 0.01) ===");
+    print!("{}", profile_star(&g.star).render());
+}

@@ -1,0 +1,59 @@
+//! A miniature version of the paper's Monte-Carlo simulation study
+//! (Sec 4.1): measure how avoiding a KFK join affects test error and net
+//! variance as the foreign-key domain grows, using the exact Domingos
+//! bias/variance decomposition.
+//!
+//! Run with: `cargo run --release --example simulation_study [n_s]`
+
+use hamlet::datagen::sim::{Scenario, SimulationConfig};
+use hamlet::datagen::skew::FkSkew;
+use hamlet::experiments::{simulate, FeatureSetChoice, MonteCarloOpts};
+
+fn main() {
+    let n_s: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let opts = MonteCarloOpts {
+        train_sets: 40,
+        repeats: 4,
+        base_seed: 2016,
+    };
+    println!(
+        "Scenario 1 (lone X_r is the true concept), p = 0.1, n_S = {n_s}; {} train sets x {} worlds",
+        opts.train_sets, opts.repeats
+    );
+    println!(
+        "{:>7} | {:>22} | {:>22} | {:>22}",
+        "|D_FK|",
+        "UseAll err (netvar)",
+        "NoJoin err (netvar)",
+        "NoFK err (netvar)"
+    );
+    for n_r in [10usize, 50, 100, 200, 400] {
+        if n_r * 2 >= n_s {
+            continue;
+        }
+        let cfg = SimulationConfig {
+            scenario: Scenario::LoneForeignFeature,
+            d_s: 2,
+            d_r: 4,
+            n_r,
+            p: 0.1,
+            skew: FkSkew::Uniform,
+        };
+        let est = simulate(&cfg, n_s, &opts);
+        print!("{n_r:>7} |");
+        for (i, _) in FeatureSetChoice::ALL.iter().enumerate() {
+            print!(
+                " {:>12.4} ({:.4}) |",
+                est[i].test_error, est[i].net_variance
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nReading: NoJoin (the FK as representative) drifts away from the 0.1 noise floor\n\
+         as |D_FK| grows — a pure variance effect, exactly the paper's Figure 3(B)."
+    );
+}

@@ -1,0 +1,85 @@
+//! The "wide CSV" analyst workflow: you received one denormalized CSV
+//! (someone already joined everything). Recover the normalized structure
+//! and the join-avoidance decision from the data alone:
+//!
+//! 1. load the CSV into a nominal table;
+//! 2. infer single-determinant FDs from the instance;
+//! 3. decompose into a star schema (the appendix-C construction);
+//! 4. ask the decision rules which recovered joins were unnecessary.
+//!
+//! Run with: `cargo run --release --example wide_csv_workflow`
+
+use std::fmt::Write as _;
+
+use hamlet::core::planner::join_stats;
+use hamlet::core::rules::{DecisionRule, TrRule};
+use hamlet::relational::decompose::{decompose_star, infer_single_fds};
+use hamlet::relational::{read_csv, ColumnSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Synthesize the "wide CSV an analyst would receive": ratings with
+    // user attributes inlined (UserID functionally determines them).
+    let n_users = 40;
+    let n_rows = 4000;
+    let mut rng = StdRng::seed_from_u64(11);
+    let ages: Vec<u32> = (0..n_users).map(|_| rng.gen_range(0..5)).collect();
+    let countries: Vec<u32> = (0..n_users).map(|_| rng.gen_range(0..8)).collect();
+    let mut csv = String::from("Stars,UserID,Age,Country,ItemPrice\n");
+    for _ in 0..n_rows {
+        let u = rng.gen_range(0..n_users);
+        let stars = 1 + (ages[u] + rng.gen_range(0..3)) % 5;
+        let _ = writeln!(
+            csv,
+            "{stars},u{u},a{},c{},{:.2}",
+            ages[u],
+            countries[u],
+            5.0 + rng.gen::<f64>() * 95.0
+        );
+    }
+
+    // 1. Load.
+    let specs = vec![
+        ("Stars", ColumnSpec::target("Stars")),
+        ("UserID", ColumnSpec::feature("UserID")),
+        ("Age", ColumnSpec::feature("Age")),
+        ("Country", ColumnSpec::feature("Country")),
+        ("ItemPrice", ColumnSpec::numeric_feature("ItemPrice", 10)),
+    ];
+    let wide = read_csv("Ratings", &csv, &specs, ',').expect("CSV loads");
+    println!("Loaded wide table: {} rows x {} columns", wide.n_rows(), wide.schema().len());
+
+    // 2. Infer FDs from the instance.
+    let fds: Vec<_> = infer_single_fds(&wide, 10)
+        .into_iter()
+        .filter(|fd| fd.determinant == vec!["UserID".to_string()])
+        .collect();
+    for fd in &fds {
+        println!("Inferred FD: {:?} -> {:?}", fd.determinant, fd.dependents);
+    }
+
+    // 3. Decompose (appendix C construction).
+    let star = decompose_star(&wide, &fds).expect("star decomposition");
+    println!(
+        "Recovered star schema: entity ({} features) + {} attribute table(s) of {} rows",
+        star.d_s(),
+        star.k(),
+        star.attributes()[0].n_rows()
+    );
+
+    // 4. Decide.
+    let stats = join_stats(&star, 0, star.n_s() / 2);
+    let rule = TrRule::default();
+    println!(
+        "TR = {:.1} (tau = {}): {:?}",
+        rule.statistic(&stats),
+        rule.tau,
+        rule.decide(&stats)
+    );
+    println!(
+        "=> The user-attribute columns never needed to be in the CSV at all:\n\
+         UserID carries their information, and the tuple ratio says the\n\
+         variance risk of relying on it is negligible."
+    );
+}

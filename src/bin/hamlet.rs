@@ -1,0 +1,13 @@
+//! The `hamlet` CLI. See `hamlet::cli` for subcommands and `hamlet help`
+//! for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hamlet::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

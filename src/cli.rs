@@ -1,0 +1,437 @@
+//! The `hamlet` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `advise --dataset <name> [--scale S] [--relaxed]` — run the join
+//!   advisor on one of the seven built-in synthetic datasets;
+//! * `profile --dataset <name> [--scale S]` — print the star-schema
+//!   profile (row counts, domains, entropies, TR/q_R*);
+//! * `csv-advise <file.csv> --target <col> [--numeric col:bins]...
+//!   [--skip col]... [--min-distinct N]` — load a wide (denormalized)
+//!   CSV, infer functional dependencies, decompose into a star schema,
+//!   and advise which recovered joins were unnecessary;
+//! * `advise-files <schema.manifest>` — load a normalized multi-table
+//!   dataset from CSVs via a manifest and advise on its joins.
+//!
+//! The module is process-free (string in, string out) so the integration
+//! suite can drive it directly; `src/bin/hamlet.rs` is a thin shell.
+
+use std::fmt::Write as _;
+
+use hamlet_core::advisor::{advise, AdvisorConfig};
+use hamlet_core::rules::{RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
+use hamlet_datagen::realistic::DatasetSpec;
+use hamlet_relational::decompose::{decompose_star, infer_single_fds, select_compatible_fds};
+use hamlet_relational::{lint_star, profile_star, read_csv, ColumnSpec, LintConfig, Manifest};
+
+/// CLI error: a user-facing message (exit code 2 in the binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hamlet — join avoidance for feature selection over normalized data
+
+USAGE:
+  hamlet advise --dataset <name> [--scale S] [--relaxed] [--markdown]
+  hamlet profile --dataset <name> [--scale S]
+  hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
+  hamlet advise-files <schema.manifest> [--relaxed]
+  hamlet datasets
+  hamlet help
+
+Built-in datasets: Walmart, Expedia, Flights, Yelp, MovieLens1M, LastFM, BookCrossing.
+";
+
+fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_multi<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == flag {
+            out.push(args[i + 1].as_str());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
+    let name = parse_flag(args, "--dataset")
+        .ok_or_else(|| CliError("missing --dataset <name>".into()))?;
+    let spec = DatasetSpec::by_name(name).ok_or_else(|| {
+        CliError(format!(
+            "unknown dataset '{name}'; run `hamlet datasets` for the list"
+        ))
+    })?;
+    let scale: f64 = parse_flag(args, "--scale")
+        .map(|s| s.parse().map_err(|_| CliError(format!("bad --scale '{s}'"))))
+        .transpose()?
+        .unwrap_or(0.05);
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(CliError(format!("--scale must be in (0, 1], got {scale}")));
+    }
+    Ok((spec, scale))
+}
+
+/// Runs one CLI invocation; `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
+        Some("datasets") => {
+            let mut out = String::new();
+            for spec in DatasetSpec::all() {
+                let _ = writeln!(
+                    out,
+                    "{:<14} #Y={} n_S={} k={} ({} closed FKs)",
+                    spec.name,
+                    spec.n_classes,
+                    spec.n_s,
+                    spec.tables.len(),
+                    spec.tables.iter().filter(|t| t.closed).count()
+                );
+            }
+            Ok(out)
+        }
+        Some("advise") => {
+            let (spec, scale) = dataset_arg(&args[1..])?;
+            let relaxed = args.iter().any(|a| a == "--relaxed");
+            let g = spec.generate(scale, 20_160_626);
+            let config = if relaxed {
+                AdvisorConfig {
+                    tr: TrRule::with_tau(RELAXED_TAU),
+                    ror: RorRule::with_rho(RELAXED_RHO),
+                    check_skew: true,
+                }
+            } else {
+                AdvisorConfig::default()
+            };
+            let report = advise(&g.star, g.star.n_s() / 2, &config);
+            let body = if args.iter().any(|a| a == "--markdown") {
+                report.render_markdown()
+            } else {
+                report.render()
+            };
+            Ok(format!(
+                "{} (scale {scale}{})\n{}",
+                spec.name,
+                if relaxed { ", relaxed thresholds" } else { "" },
+                body
+            ))
+        }
+        Some("profile") => {
+            let (spec, scale) = dataset_arg(&args[1..])?;
+            let g = spec.generate(scale, 20_160_626);
+            Ok(profile_star(&g.star).render())
+        }
+        Some("advise-files") => {
+            let rest = &args[1..];
+            let file = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("missing <schema.manifest>".into()))?;
+            let relaxed = rest.iter().any(|a| a == "--relaxed");
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let manifest =
+                Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
+            let base = std::path::Path::new(file)
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("."));
+            let star = manifest
+                .load(base)
+                .map_err(|e| CliError(e.to_string()))?;
+            let config = if relaxed {
+                AdvisorConfig {
+                    tr: TrRule::with_tau(RELAXED_TAU),
+                    ror: RorRule::with_rho(RELAXED_RHO),
+                    check_skew: true,
+                }
+            } else {
+                AdvisorConfig::default()
+            };
+            let report = advise(&star, star.n_s() / 2, &config);
+            let lints = lint_star(&star, &LintConfig::default());
+            let mut out = format!("{}\n{}", profile_star(&star).render(), report.render());
+            if !lints.is_empty() {
+                out.push_str("\nData-quality warnings:\n");
+                for l in lints {
+                    out.push_str(&format!("  {l:?}\n"));
+                }
+            }
+            Ok(out)
+        }
+        Some("csv-advise") => {
+            let rest = &args[1..];
+            let file = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("missing <file.csv>".into()))?;
+            let target = parse_flag(rest, "--target")
+                .ok_or_else(|| CliError("missing --target <col>".into()))?;
+            let min_distinct: usize = parse_flag(rest, "--min-distinct")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError(format!("bad --min-distinct '{s}'")))
+                })
+                .transpose()?
+                .unwrap_or(20);
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let numerics: Vec<(String, usize)> = parse_multi(rest, "--numeric")
+                .into_iter()
+                .map(|spec| {
+                    let (name, bins) = spec
+                        .split_once(':')
+                        .ok_or_else(|| CliError(format!("--numeric needs col:bins, got '{spec}'")))?;
+                    let bins: usize = bins
+                        .parse()
+                        .map_err(|_| CliError(format!("bad bin count in '{spec}'")))?;
+                    Ok((name.to_string(), bins))
+                })
+                .collect::<Result<_, CliError>>()?;
+            let skips: Vec<&str> = parse_multi(rest, "--skip");
+            csv_advise(&text, target, &numerics, &skips, min_distinct)
+        }
+        Some(other) => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+    }
+}
+
+/// The `csv-advise` pipeline on in-memory CSV text.
+pub fn csv_advise(
+    text: &str,
+    target: &str,
+    numerics: &[(String, usize)],
+    skips: &[&str],
+    min_distinct: usize,
+) -> Result<String, CliError> {
+    // Column specs: header-driven.
+    let header = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| CliError("empty CSV".into()))?;
+    let names: Vec<&str> = header.split(',').map(|h| h.trim_matches('"')).collect();
+    if !names.contains(&target) {
+        return Err(CliError(format!("target column '{target}' not in header")));
+    }
+    let specs: Vec<(&str, ColumnSpec)> = names
+        .iter()
+        .map(|&n| {
+            let spec = if skips.contains(&n) {
+                ColumnSpec::Skip
+            } else if n == target {
+                ColumnSpec::target(n)
+            } else if let Some((_, bins)) = numerics.iter().find(|(c, _)| c == n) {
+                ColumnSpec::numeric_feature(n, *bins)
+            } else {
+                ColumnSpec::feature(n)
+            };
+            (n, spec)
+        })
+        .collect();
+    let wide = read_csv("wide", text, &specs, ',')
+        .map_err(|e| CliError(format!("CSV parse error: {e}")))?;
+
+    let mut out = format!(
+        "Loaded {} rows x {} columns.\n",
+        wide.n_rows(),
+        wide.schema().len()
+    );
+
+    let inferred = infer_single_fds(&wide, min_distinct);
+    let compatible = select_compatible_fds(&inferred);
+    if compatible.is_empty() {
+        out.push_str(
+            "No functional dependencies found: the table appears to be fully normalized already.\n",
+        );
+        return Ok(out);
+    }
+    for fd in &compatible {
+        let _ = writeln!(
+            out,
+            "Inferred FD: {} -> {}",
+            fd.determinant[0],
+            fd.dependents.join(", ")
+        );
+    }
+    let star = decompose_star(&wide, &compatible)
+        .map_err(|e| CliError(format!("decomposition failed: {e}")))?;
+    let report = advise(&star, star.n_s() / 2, &AdvisorConfig::default());
+    out.push('\n');
+    out.push_str(&report.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn datasets_lists_seven() {
+        let out = run(&argv("datasets")).unwrap();
+        assert_eq!(out.lines().count(), 7);
+        assert!(out.contains("MovieLens1M"));
+    }
+
+    #[test]
+    fn advise_on_builtin() {
+        let out = run(&argv("advise --dataset walmart --scale 0.01")).unwrap();
+        assert!(out.contains("AVOID the join"), "{out}");
+        assert!(out.contains("Indicators"));
+    }
+
+    #[test]
+    fn advise_relaxed_flips_flights_airports() {
+        let strict = run(&argv("advise --dataset flights --scale 0.05")).unwrap();
+        let relaxed = run(&argv("advise --dataset flights --scale 0.05 --relaxed")).unwrap();
+        assert!(strict.contains("SrcAirports (via SrcAirportID): PERFORM"));
+        assert!(relaxed.contains("SrcAirports (via SrcAirportID): AVOID"));
+    }
+
+    #[test]
+    fn profile_prints_tr() {
+        let out = run(&argv("profile --dataset yelp --scale 0.01")).unwrap();
+        assert!(out.contains("TR ="), "{out}");
+    }
+
+    #[test]
+    fn bad_args_are_reported() {
+        assert!(run(&argv("advise")).unwrap_err().0.contains("--dataset"));
+        assert!(run(&argv("advise --dataset nope")).unwrap_err().0.contains("unknown dataset"));
+        assert!(run(&argv("advise --dataset yelp --scale 7")).unwrap_err().0.contains("--scale"));
+        assert!(run(&argv("csv-advise")).unwrap_err().0.contains("file.csv"));
+    }
+
+    #[test]
+    fn csv_advise_pipeline() {
+        // userid determines age; 40 users x 100 rows each.
+        let mut csv = String::from("stars,userid,age\n");
+        for i in 0..4000 {
+            let u = i % 40;
+            let _ = writeln!(csv, "{},u{},a{}", (u + i / 40) % 5, u, u % 7);
+        }
+        let out = csv_advise(&csv, "stars", &[], &[], 20).unwrap();
+        assert!(out.contains("Inferred FD: userid -> age"), "{out}");
+        assert!(out.contains("AVOID the join"), "{out}");
+    }
+
+    #[test]
+    fn csv_advise_normalized_input() {
+        let mut csv = String::from("y,a,b\n");
+        for i in 0..100 {
+            let _ = writeln!(csv, "{},{},{}", i % 2, i % 7, (i / 3) % 5);
+        }
+        let out = csv_advise(&csv, "y", &[], &[], 5).unwrap();
+        assert!(out.contains("fully normalized"), "{out}");
+    }
+
+    #[test]
+    fn csv_advise_numeric_and_skip() {
+        let mut csv = String::from("y,u,age,junk\n");
+        for i in 0..2000 {
+            let u = i % 40;
+            let _ = writeln!(csv, "{},u{},{}.5,x{}", i % 2, u, 20 + u % 9, i);
+        }
+        let numerics = vec![("age".to_string(), 8usize)];
+        let out = csv_advise(&csv, "y", &numerics, &["junk"], 20).unwrap();
+        assert!(out.contains("x 3 columns"), "{out}");
+        assert!(out.contains("Inferred FD: u -> age"), "{out}");
+    }
+
+    #[test]
+    fn csv_advise_missing_target() {
+        let csv = "a,b\n1,2\n";
+        assert!(csv_advise(csv, "zzz", &[], &[], 2).unwrap_err().0.contains("target"));
+    }
+}
+
+#[cfg(test)]
+mod manifest_cli_tests {
+    use super::*;
+    use std::fmt::Write;
+
+    #[test]
+    fn advise_files_end_to_end() {
+        let dir = std::env::temp_dir().join("hamlet_cli_manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        // 50 employers x 100 customers each: TR = 50 -> safe to avoid.
+        let mut customers = String::from("Churn,Age,EmployerID\n");
+        for i in 0..5000 {
+            let e = i % 50;
+            let _ = writeln!(customers, "{},{},e{}", (e + i / 50) % 2, 20 + i % 40, e);
+        }
+        let mut employers = String::from("EmployerID,Country\n");
+        for e in 0..50 {
+            let _ = writeln!(employers, "e{},c{}", e, e % 8);
+        }
+        std::fs::write(dir.join("customers.csv"), customers).unwrap();
+        std::fs::write(dir.join("employers.csv"), employers).unwrap();
+        let manifest = "\
+entity customers.csv
+target Churn
+numeric Age 8
+fk EmployerID employers.csv closed
+
+table employers.csv
+key EmployerID
+feature Country
+";
+        let mpath = dir.join("schema.manifest");
+        std::fs::write(&mpath, manifest).unwrap();
+
+        let out = run(&["advise-files".to_string(), mpath.display().to_string()]).unwrap();
+        assert!(out.contains("TR = 50.0"), "{out}");
+        assert!(out.contains("AVOID the join"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn advise_files_missing_manifest() {
+        let err = run(&["advise-files".to_string(), "/no/such/file".to_string()]).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+    }
+}
+
+#[cfg(test)]
+mod markdown_cli_tests {
+    use super::*;
+
+    #[test]
+    fn advise_markdown_flag() {
+        let args: Vec<String> = "advise --dataset walmart --scale 0.01 --markdown"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let out = run(&args).unwrap();
+        assert!(out.contains("| Table | FK |"), "{out}");
+        assert!(out.contains("**avoid**"));
+    }
+}

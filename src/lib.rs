@@ -1,0 +1,52 @@
+//! # hamlet
+//!
+//! A production-quality Rust reproduction of
+//! *"To Join or Not to Join? Thinking Twice about Joins before Feature
+//! Selection"* (Kumar, Naughton, Patel, Zhu — SIGMOD 2016).
+//!
+//! Analysts working over normalized schemas join attribute tables to
+//! gather features before running feature selection. Because a foreign
+//! key functionally determines all the features it brings in, such joins
+//! can often be **avoided safely**: drop the foreign features a priori
+//! and let the key act as their representative. This crate bundles the
+//! full system:
+//!
+//! * [`relational`] — columnar star-schema substrate with KFK joins;
+//! * [`ml`] — Naive Bayes, logistic regression (L1/L2), TAN, metrics,
+//!   bias/variance decomposition, information theory;
+//! * [`fs`] — forward/backward wrappers, MI/IGR filters, embedded L1/L2;
+//! * [`core`] — the paper's contribution: VC dimensions, the worst-case
+//!   ROR, the tuple ratio, the thresholded decision rules, and the
+//!   JoinAll/JoinOpt/NoJoins/JoinAllNoFK planner;
+//! * [`datagen`] — simulation worlds, FK skew, and synthetic analogs of
+//!   the paper's seven datasets;
+//! * [`experiments`] — one module per paper table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hamlet::core::rules::{DecisionRule, JoinStats, TrRule};
+//!
+//! // Should we join Customers with Employers before feature selection?
+//! let stats = JoinStats {
+//!     n_train: 100_000,        // training examples
+//!     n_r: 1_200,              // employers (= |D_FK|)
+//!     q_r_star: 2,             // smallest employer-feature domain
+//!     fk_closed: true,         // EmployerID domain is closed
+//!     target_entropy_bits: 0.97,
+//! };
+//! let decision = TrRule::default().decide(&stats);
+//! assert!(decision.is_avoid()); // TR = 83 >= 20: skip the join
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs and `crates/experiments`
+//! for the per-figure reproduction harness.
+
+pub mod cli;
+
+pub use hamlet_core as core;
+pub use hamlet_datagen as datagen;
+pub use hamlet_experiments as experiments;
+pub use hamlet_fs as fs;
+pub use hamlet_ml as ml;
+pub use hamlet_relational as relational;

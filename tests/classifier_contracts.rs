@@ -1,0 +1,150 @@
+//! Trait-level contracts every classifier must honour, checked uniformly
+//! across Naive Bayes, logistic regression, TAN, and the decision tree:
+//!
+//! * an empty feature subset yields the majority-class predictor;
+//! * predictions are always valid class codes;
+//! * fitting is deterministic given identical inputs;
+//! * the model reports exactly the feature subset it was given;
+//! * training on a strong single-feature concept reaches low error;
+//! * models predict on a *different* dataset with the same layout
+//!   (train/test separation, as the runner relies on).
+
+use hamlet::ml::classifier::{zero_one_error, Classifier, Model};
+use hamlet::ml::dataset::{Dataset, Feature};
+use hamlet::ml::logreg::LogisticRegression;
+use hamlet::ml::naive_bayes::NaiveBayes;
+use hamlet::ml::tan::Tan;
+use hamlet::ml::tree::DecisionTree;
+
+/// y = x0 (3 classes); x1 noise; majority class is 0.
+fn train_data(n: usize) -> Dataset {
+    let x0: Vec<u32> = (0..n as u32).map(|i| if i % 4 == 3 { (i / 4) % 3 } else { 0 }).collect();
+    let x1: Vec<u32> = (0..n as u32).map(|i| (i * 7) % 5).collect();
+    let y = x0.clone();
+    Dataset::new(
+        vec![
+            Feature {
+                name: "x0".into(),
+                domain_size: 3,
+                codes: x0,
+            },
+            Feature {
+                name: "x1".into(),
+                domain_size: 5,
+                codes: x1,
+            },
+        ],
+        y,
+        3,
+    )
+}
+
+/// Same layout, fresh rows.
+fn test_data(n: usize) -> Dataset {
+    let x0: Vec<u32> = (0..n as u32).map(|i| (i + 1) % 3).collect();
+    let x1: Vec<u32> = (0..n as u32).map(|i| (i * 3 + 2) % 5).collect();
+    let y = x0.clone();
+    Dataset::new(
+        vec![
+            Feature {
+                name: "x0".into(),
+                domain_size: 3,
+                codes: x0,
+            },
+            Feature {
+                name: "x1".into(),
+                domain_size: 5,
+                codes: x1,
+            },
+        ],
+        y,
+        3,
+    )
+}
+
+fn check_contracts<C: Classifier>(learner: &C, name: &str) {
+    let n = 240;
+    let train = train_data(n);
+    let test = test_data(60);
+    let rows: Vec<usize> = (0..n).collect();
+    let test_rows: Vec<usize> = (0..60).collect();
+
+    // Empty feature subset -> majority class (0 dominates 3:1).
+    let empty = learner.fit(&train, &rows, &[]);
+    for &r in &test_rows {
+        assert_eq!(empty.predict_row(&test, r), 0, "{name}: empty-subset majority");
+    }
+    assert!(empty.features().is_empty(), "{name}: features() on empty fit");
+
+    // Full fit: valid predictions, reported features, determinism.
+    let m1 = learner.fit(&train, &rows, &[0, 1]);
+    let m2 = learner.fit(&train, &rows, &[0, 1]);
+    assert_eq!(m1.features(), &[0, 1], "{name}: features() echo");
+    for &r in &test_rows {
+        let p1 = m1.predict_row(&test, r);
+        let p2 = m2.predict_row(&test, r);
+        assert!(p1 < 3, "{name}: prediction in class range");
+        assert_eq!(p1, p2, "{name}: deterministic fit");
+    }
+
+    // Learnable concept: error well below the majority baseline on
+    // held-out rows (baseline here: predicting 0 errs 2/3 of the time).
+    let err = zero_one_error(&m1, &test, &test_rows);
+    assert!(err < 0.25, "{name}: test error {err} too high");
+
+    // Subset fit uses only the subset.
+    let sub = learner.fit(&train, &rows, &[1]);
+    assert_eq!(sub.features(), &[1], "{name}: subset features() echo");
+    let sub_err = zero_one_error(&sub, &test, &test_rows);
+    assert!(
+        sub_err > err,
+        "{name}: noise-only subset should be worse ({sub_err} vs {err})"
+    );
+}
+
+#[test]
+fn naive_bayes_contracts() {
+    check_contracts(&NaiveBayes::default(), "NaiveBayes");
+}
+
+#[test]
+fn logistic_regression_contracts() {
+    check_contracts(
+        &LogisticRegression::default().with_epochs(20),
+        "LogisticRegression",
+    );
+}
+
+#[test]
+fn tan_contracts() {
+    check_contracts(&Tan::default(), "TAN");
+}
+
+#[test]
+fn decision_tree_contracts() {
+    check_contracts(&DecisionTree::default(), "DecisionTree");
+}
+
+/// The selection machinery accepts any of the four classifiers.
+#[test]
+fn all_classifiers_drive_feature_selection() {
+    use hamlet::fs::{forward_selection, SelectionContext};
+    use hamlet::ml::classifier::ErrorMetric;
+
+    let d = train_data(240);
+    let rows: Vec<usize> = (0..240).collect();
+    fn run<C: Classifier>(learner: &C, d: &Dataset, rows: &[usize]) -> Vec<usize> {
+        let ctx = SelectionContext {
+            data: d,
+            train: &rows[..120],
+            validation: &rows[120..],
+            classifier: learner,
+            metric: ErrorMetric::Rmse,
+        };
+        forward_selection(&ctx, &[0, 1]).features
+    }
+    assert!(run(&NaiveBayes::default(), &d, &rows).contains(&0));
+    assert!(run(&LogisticRegression::default(), &d, &rows).contains(&0));
+    assert!(run(&Tan::default(), &d, &rows).contains(&0));
+    assert!(run(&DecisionTree::default(), &d, &rows).contains(&0));
+}

@@ -1,0 +1,223 @@
+//! Integration tests for the extension surface: the advisor, CSV round
+//! trips, star decomposition of generated data, cold-start revisions
+//! feeding the ML path, and the FD pre-filter on real-shaped data.
+
+use hamlet::core::advisor::{advise, AdvisorConfig};
+use hamlet::datagen::realistic::DatasetSpec;
+use hamlet::fs::fd_prefilter::prefilter;
+use hamlet::ml::classifier::{zero_one_error, Classifier};
+use hamlet::ml::dataset::Dataset;
+use hamlet::ml::naive_bayes::NaiveBayes;
+use hamlet::relational::decompose::decompose_star;
+use hamlet::relational::{
+    kfk_join, profile_star, read_csv, write_csv, ColumnSpec, DomainRevision,
+    FunctionalDependency,
+};
+
+const SEED: u64 = 77;
+
+/// The advisor reproduces the JoinOpt decisions on all seven datasets
+/// and never recommends avoiding a hindsight-unsafe join.
+#[test]
+fn advisor_matches_planner_and_is_conservative() {
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(0.05, SEED);
+        let report = advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default());
+        assert_eq!(report.joins.len(), spec.tables.len());
+        for (advice, table_spec) in report.joins.iter().zip(&spec.tables) {
+            if advice.avoid {
+                assert!(
+                    table_spec.safe_to_avoid_in_hindsight,
+                    "{} / {}: advisor avoided an unsafe join",
+                    spec.name,
+                    table_spec.table
+                );
+            }
+            // Uniform FK generation: the skew detector must not fire.
+            if let Some(skew) = &advice.skew {
+                assert!(
+                    !skew.is_malign(hamlet::core::MALIGN_RETENTION_FLOOR),
+                    "{} / {}: spurious malign-skew flag (retention {})",
+                    spec.name,
+                    table_spec.table,
+                    skew.retention
+                );
+            }
+        }
+    }
+}
+
+/// Full-join table -> CSV -> parse -> identical codes for every column.
+#[test]
+fn csv_roundtrip_of_joined_dataset() {
+    let g = DatasetSpec::walmart().generate(0.002, SEED);
+    let t = g.star.materialize_all().expect("materializes");
+    let text = write_csv(&t, ',');
+    let specs: Vec<(&str, ColumnSpec)> = t
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| {
+            let spec = match &a.role {
+                hamlet::relational::Role::Target => ColumnSpec::target(&a.name),
+                hamlet::relational::Role::ForeignKey { table, .. } => {
+                    ColumnSpec::foreign_key(&a.name, table)
+                }
+                _ => ColumnSpec::feature(&a.name),
+            };
+            (a.name.as_str(), spec)
+        })
+        .collect();
+    let back = read_csv("Walmart", &text, &specs, ',').expect("parses");
+    assert_eq!(back.n_rows(), t.n_rows());
+    for a in t.schema().attributes() {
+        let orig = t.column_by_name(&a.name).unwrap();
+        let parsed = back.column_by_name(&a.name).unwrap();
+        // Labels are re-interned in first-appearance order, so compare
+        // label sequences rather than raw codes.
+        for row in 0..t.n_rows() {
+            assert_eq!(
+                orig.domain().label(orig.get(row)),
+                parsed.domain().label(parsed.get(row)),
+                "column {} row {row}",
+                a.name
+            );
+        }
+    }
+}
+
+/// Decomposing the denormalized join of a generated star schema recovers
+/// tables with the original row counts, and re-joining is lossless.
+#[test]
+fn decompose_recovers_generated_star() {
+    let spec = DatasetSpec::movielens();
+    let g = spec.generate(0.002, SEED);
+    let t = g.star.materialize_all().expect("materializes");
+    // Declare the FDs the join guarantees.
+    let fds: Vec<FunctionalDependency> = spec
+        .tables
+        .iter()
+        .map(|at| {
+            let deps: Vec<&str> = at.features.iter().map(|f| f.name).collect();
+            FunctionalDependency::new(&[at.fk], &deps)
+        })
+        .collect();
+    let star = decompose_star(&t, &fds).expect("decomposes");
+    assert_eq!(star.k(), 2);
+    for (at, at_spec) in star.attributes().iter().zip(&spec.tables) {
+        // Every FK value present in the data produces one dimension row.
+        assert!(at.n_rows() <= spec.scaled_n_r(0, 0.002).max(spec.scaled_n_r(1, 0.002)));
+        assert_eq!(at.n_features(), at_spec.features.len());
+    }
+    // Lossless rejoin.
+    let rejoined = kfk_join(
+        &kfk_join(
+            star.entity(),
+            &star.attributes()[0].fk,
+            &star.attributes()[0].table,
+        )
+        .unwrap(),
+        &star.attributes()[1].fk,
+        &star.attributes()[1].table,
+    )
+    .unwrap();
+    for a in t.schema().attributes() {
+        assert_eq!(
+            rejoined.column_by_name(&a.name).unwrap().codes(),
+            t.column_by_name(&a.name).unwrap().codes(),
+            "column {}",
+            a.name
+        );
+    }
+}
+
+/// Cold-start pipeline: revise an attribute table with an Others record,
+/// remap out-of-domain FKs, join, train — end to end without panics and
+/// with sane predictions.
+#[test]
+fn cold_start_revision_feeds_training() {
+    let g = DatasetSpec::walmart().generate(0.002, SEED);
+    let at = &g.star.attributes()[0];
+    let defaults = vec![0u32; at.n_features()];
+    let rev = DomainRevision::new(at, &defaults).expect("revision builds");
+
+    // Simulate new entities: half the incoming FK values are unseen.
+    let n = 400usize;
+    let raw: Vec<u32> = (0..n as u32)
+        .map(|i| {
+            if i % 2 == 0 {
+                i % at.n_rows() as u32
+            } else {
+                at.n_rows() as u32 + i // out of domain
+            }
+        })
+        .collect();
+    assert!((rev.cold_start_rate(&raw) - 0.5).abs() < 1e-12);
+    let remapped = rev.remap_fk(&raw);
+
+    use hamlet::relational::{AttributeDef, Domain, TableBuilder};
+    let s = TableBuilder::new("S")
+        .target(
+            "y",
+            Domain::boolean("y").shared(),
+            (0..n as u32).map(|i| i % 2).collect(),
+        )
+        .column(
+            AttributeDef::foreign_key("IndicatorID", "Indicators"),
+            remapped.domain().clone(),
+            remapped.codes().to_vec(),
+        )
+        .build()
+        .expect("entity builds");
+    let joined = kfk_join(&s, "IndicatorID", &rev.attribute.table).expect("joins");
+    let data = Dataset::from_table(&joined);
+    let rows: Vec<usize> = (0..n).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let model = NaiveBayes::default().fit(&data, &rows, &feats);
+    let err = zero_one_error(&model, &data, &rows);
+    assert!(err <= 0.5 + 1e-9, "training error {err} worse than chance");
+}
+
+/// FD pre-filtering the fully joined dataset removes exactly the foreign
+/// features and keeps the entity features and FKs.
+#[test]
+fn fd_prefilter_on_joined_dataset() {
+    let spec = DatasetSpec::lastfm();
+    let g = spec.generate(0.01, SEED);
+    let t = g.star.materialize_all().expect("materializes");
+    let data = Dataset::from_table(&t);
+    let fds: Vec<FunctionalDependency> = spec
+        .tables
+        .iter()
+        .map(|at| {
+            let deps: Vec<&str> = at.features.iter().map(|f| f.name).collect();
+            FunctionalDependency::new(&[at.fk], &deps)
+        })
+        .collect();
+    let candidates: Vec<usize> = (0..data.n_features()).collect();
+    let result = prefilter(&data, &candidates, &fds);
+    let total_foreign: usize = spec.tables.iter().map(|at| at.features.len()).sum();
+    assert_eq!(result.dropped.len(), total_foreign);
+    assert_eq!(result.kept.len(), data.n_features() - total_foreign);
+    for &k in &result.kept {
+        let name = &data.feature(k).name;
+        assert!(
+            name == "ArtistID" || name == "UserID",
+            "unexpected survivor {name}"
+        );
+    }
+}
+
+/// Profiles agree with the catalog metadata the rules use.
+#[test]
+fn profile_matches_catalog_stats() {
+    let g = DatasetSpec::yelp().generate(0.01, SEED);
+    let p = profile_star(&g.star);
+    assert_eq!(p.entity.n_rows, g.star.n_s());
+    assert_eq!(p.attributes.len(), g.star.k());
+    for (i, (tp, tr, q)) in p.attributes.iter().enumerate() {
+        assert_eq!(tp.n_rows, g.star.attributes()[i].n_rows());
+        assert!((tr - g.star.n_s() as f64 / tp.n_rows as f64).abs() < 1e-12);
+        assert_eq!(*q, g.star.attributes()[i].min_feature_domain());
+    }
+}

@@ -1,0 +1,270 @@
+//! Integration tests tying the crates together around the paper's formal
+//! claims: redundancy of foreign features (Prop 3.1), the mutual-
+//! information ordering (Thm 3.1), the IGR inversion (Prop 3.2), the ROR
+//! bounds (Sec 4.2), and the rules' behaviour on all seven datasets.
+
+use hamlet::core::planner::join_stats;
+use hamlet::core::ror::{exact_ror, worst_case_ror, OracleRor};
+use hamlet::core::rules::{DecisionRule, RorRule, TrRule};
+use hamlet::datagen::realistic::DatasetSpec;
+use hamlet::datagen::sim::{Scenario, SimulationConfig};
+use hamlet::datagen::skew::FkSkew;
+use hamlet::ml::info::{information_gain_ratio, mutual_information};
+use hamlet::relational::FunctionalDependency;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 99;
+
+/// Prop 3.1's premise: the join creates the FD `FK -> X_R` in `T`, for
+/// every foreign feature, on every dataset.
+#[test]
+fn join_creates_fk_to_xr_fd_everywhere() {
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(SCALE, SEED);
+        let t = g.star.materialize_all().expect("materializes");
+        for (i, at) in spec.tables.iter().enumerate() {
+            for f in &at.features {
+                let fd = FunctionalDependency::new(&[spec.tables[i].fk], &[f.name]);
+                assert!(
+                    fd.holds_in(&t).expect("attributes exist"),
+                    "{}: FD {} -> {} violated",
+                    spec.name,
+                    at.fk,
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+/// Thm 3.1: `I(F;Y) <= I(FK;Y)` for every foreign feature `F`, measured
+/// on the joined instance.
+#[test]
+fn mutual_information_of_fk_dominates_foreign_features() {
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(SCALE, SEED);
+        let t = g.star.materialize_all().expect("materializes");
+        let y = t.target_column().expect("target exists");
+        let rows: Vec<usize> = (0..t.n_rows()).collect();
+        for at in &spec.tables {
+            let fk = t.column_by_name(at.fk).expect("fk exists");
+            let i_fk = mutual_information(
+                fk.codes(),
+                fk.domain().size(),
+                y.codes(),
+                y.domain().size(),
+                &rows,
+            );
+            for f in &at.features {
+                let col = t.column_by_name(f.name).expect("feature exists");
+                let i_f = mutual_information(
+                    col.codes(),
+                    col.domain().size(),
+                    y.codes(),
+                    y.domain().size(),
+                    &rows,
+                );
+                assert!(
+                    i_f <= i_fk + 1e-9,
+                    "{}: I({};Y)={i_f} > I({};Y)={i_fk}",
+                    spec.name,
+                    f.name,
+                    at.fk
+                );
+            }
+        }
+    }
+}
+
+/// Prop 3.2: IGR *can* invert the ordering — a foreign feature can have
+/// higher IGR than the FK. Our Yelp analog (strong BusinessStars signal,
+/// huge BusinessID domain) exhibits exactly this.
+#[test]
+fn igr_can_prefer_foreign_feature_over_fk() {
+    let g = DatasetSpec::yelp().generate(0.02, SEED);
+    let t = g.star.materialize_all().expect("materializes");
+    let y = t.target_column().expect("target");
+    let rows: Vec<usize> = (0..t.n_rows()).collect();
+    let fk = t.column_by_name("BusinessID").expect("fk");
+    let stars = t.column_by_name("BusinessStars").expect("feature");
+    let igr_fk = information_gain_ratio(
+        fk.codes(),
+        fk.domain().size(),
+        y.codes(),
+        y.domain().size(),
+        &rows,
+    );
+    let igr_stars = information_gain_ratio(
+        stars.codes(),
+        stars.domain().size(),
+        y.codes(),
+        y.domain().size(),
+        &rows,
+    );
+    assert!(
+        igr_stars > igr_fk,
+        "expected IGR(BusinessStars)={igr_stars} > IGR(BusinessID)={igr_fk}"
+    );
+}
+
+/// The worst-case ROR really is an upper bound on every oracle ROR with
+/// consistent inputs.
+#[test]
+fn worst_case_ror_bounds_oracle_rors() {
+    let n = 50_000;
+    let fk_domain = 2_000;
+    let q_r_star = 3;
+    let worst = worst_case_ror(n, fk_domain, q_r_star, 0.1);
+    for q_s in [0usize, 5, 50] {
+        for q_no in [q_r_star, 10, 100, fk_domain] {
+            let oracle = OracleRor {
+                v_yes: q_s + fk_domain,
+                v_no: q_s + q_no,
+                delta_bias: -0.01, // Prop 3.3: avoiding cannot increase bias
+            };
+            let exact = exact_ror(oracle, n, 0.1);
+            assert!(
+                exact <= worst + 1e-9,
+                "oracle ROR {exact} exceeds worst case {worst} (q_s={q_s}, q_no={q_no})"
+            );
+        }
+    }
+}
+
+/// Sec 5.2.2's headline: the TR rule and the ROR rule give identical
+/// verdicts on every attribute table of every dataset.
+#[test]
+fn tr_and_ror_rules_agree_on_all_fifteen_tables() {
+    let tr = TrRule::default();
+    let ror = RorRule::default();
+    let mut checked = 0;
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(0.05, SEED);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        for i in 0..spec.tables.len() {
+            let stats = join_stats(&g.star, i, n_train);
+            assert_eq!(
+                tr.decide(&stats).is_avoid(),
+                ror.decide(&stats).is_avoid(),
+                "{} / {}: rules disagree (TR={}, ROR={})",
+                spec.name,
+                spec.tables[i].table,
+                tr.statistic(&stats),
+                ror.statistic(&stats)
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 15);
+}
+
+/// Conservatism (Fig 1): whenever a rule says "avoid", the planted
+/// ground truth must agree that avoiding is safe. (The converse may fail
+/// — those are the missed opportunities.)
+#[test]
+fn rules_are_conservative_wrt_planted_ground_truth() {
+    let tr = TrRule::default();
+    let mut avoided = 0;
+    let mut missed = 0;
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(0.05, SEED);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        for (i, at) in spec.tables.iter().enumerate() {
+            let stats = join_stats(&g.star, i, n_train);
+            let decision = tr.decide(&stats);
+            if decision.is_avoid() {
+                assert!(
+                    at.safe_to_avoid_in_hindsight,
+                    "{} / {}: rule avoided an unsafe join",
+                    spec.name,
+                    at.table
+                );
+                avoided += 1;
+            } else if at.safe_to_avoid_in_hindsight {
+                missed += 1;
+            }
+        }
+    }
+    // The paper's tallies: 7 avoided safely, some missed opportunities.
+    assert_eq!(avoided, 7, "expected exactly 7 joins predicted safe");
+    assert!(missed >= 3, "expected at least 3 missed opportunities, got {missed}");
+}
+
+/// The simulation's conditional distributions are exact: empirical label
+/// frequencies converge to them.
+#[test]
+fn simulation_conditionals_are_exact() {
+    let cfg = SimulationConfig {
+        scenario: Scenario::AllFeatures,
+        d_s: 2,
+        d_r: 2,
+        n_r: 8,
+        p: 0.2,
+        skew: FkSkew::Uniform,
+    };
+    let world = cfg.build_world(5);
+    let sample = world.sample(60_000, 6);
+    let ent = sample.star.entity();
+    let y = ent.target_column().unwrap();
+    // Group rows by conditional and compare frequencies.
+    let mut by_cond: std::collections::HashMap<u64, (usize, usize)> = Default::default();
+    for (i, cond) in sample.cond.iter().enumerate() {
+        let key = (cond[1] * 1e6) as u64;
+        let e = by_cond.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += (y.get(i) == 1) as usize;
+    }
+    for (key, (n, ones)) in by_cond {
+        if n < 2_000 {
+            continue;
+        }
+        let expected = key as f64 / 1e6;
+        let observed = ones as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "P(Y=1)={expected} but observed {observed} over {n} rows"
+        );
+    }
+}
+
+/// Prop 3.1 executable: on every dataset's joined table, a sampled
+/// foreign feature is empirically redundant given its FK (weakly
+/// relevant with {FK} as a Markov blanket).
+#[test]
+fn foreign_features_are_empirically_redundant() {
+    use hamlet::ml::dataset::Dataset;
+    use hamlet::ml::redundancy::is_markov_blanket;
+    for spec in [DatasetSpec::walmart(), DatasetSpec::lastfm()] {
+        let g = spec.generate(0.005, SEED);
+        let t = g.star.materialize_all().expect("materializes");
+        let data = Dataset::from_table(&t);
+        let rows: Vec<usize> = (0..data.n_examples()).collect();
+        for at in &spec.tables {
+            let fk = data.feature_index(at.fk).expect("fk present");
+            let f = data
+                .feature_index(at.features[0].name)
+                .expect("foreign feature present");
+            assert!(
+                is_markov_blanket(&data, &rows, f, &[fk], 1e-9),
+                "{}: {{{}}} should blanket {}",
+                spec.name,
+                at.fk,
+                at.features[0].name
+            );
+        }
+    }
+}
+
+/// Prop 3.3 executable: on every dataset's attribute tables, the FK
+/// partition refines the X_R partition (H_XR ⊆ H_FK).
+#[test]
+fn hypothesis_space_nesting_holds_on_all_attribute_tables() {
+    use hamlet::core::hypothesis::check_prop_3_3;
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(0.01, SEED);
+        for at in g.star.attributes() {
+            let (refines, _) = check_prop_3_3(&at.table);
+            assert!(refines, "{} / {}", spec.name, at.table.name());
+        }
+    }
+}

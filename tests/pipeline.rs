@@ -1,0 +1,155 @@
+//! End-to-end pipeline integration tests: generate a normalized dataset,
+//! plan, select features, train, and score — across plans and methods.
+
+use hamlet::core::planner::{explicit_plan, plan, PlanKind};
+use hamlet::core::rules::TrRule;
+use hamlet::datagen::realistic::DatasetSpec;
+use hamlet::experiments::{join_opt_plan, prepare_plan, run_method};
+use hamlet::fs::Method;
+use hamlet::ml::classifier::ErrorMetric;
+
+const SEED: u64 = 4242;
+
+/// JoinOpt's error tracks JoinAll's on every dataset and method — the
+/// paper's headline end-to-end claim (Fig 7): "JoinOpt had either
+/// identical or almost the same error as JoinAll".
+#[test]
+fn join_opt_never_blows_up_vs_join_all() {
+    // 5% scale: below that, holdout estimates on the smallest dataset
+    // (Flights, n_S ~ 1.3k) are too noisy for a meaningful comparison.
+    let scale = 0.05;
+    for spec in DatasetSpec::all() {
+        let g = spec.generate(scale, SEED);
+        let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+        let all = prepare_plan(
+            &g.star,
+            plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
+            SEED,
+        );
+        let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED);
+        // Tolerance: the paper's notion of "significant" at full scale is
+        // 0.001; at 2% scale the estimates are noisier, so allow a modest
+        // band relative to the metric.
+        let tol = match all.metric {
+            ErrorMetric::ZeroOne => 0.05,
+            ErrorMetric::Rmse => 0.12,
+        };
+        for method in [Method::Forward, Method::FilterMi] {
+            let a = run_method(&all, method);
+            let o = run_method(&opt, method);
+            assert!(
+                o.test_error <= a.test_error + tol,
+                "{} / {}: JoinOpt {:.4} vs JoinAll {:.4}",
+                spec.name,
+                method.name(),
+                o.test_error,
+                a.test_error
+            );
+        }
+    }
+}
+
+/// Avoiding Yelp's joins (against the rule's advice) must blow up the
+/// error — the planted unsafe case behaves like the paper's Fig 8(A).
+#[test]
+fn avoiding_unsafe_yelp_joins_blows_up_error() {
+    let g = DatasetSpec::yelp().generate(0.02, SEED);
+    let join_all = prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED);
+    let no_joins = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+    let a = run_method(&join_all, Method::Forward);
+    let n = run_method(&no_joins, Method::Forward);
+    assert!(
+        n.test_error > a.test_error + 0.1,
+        "expected a clear blow-up: NoJoins {:.4} vs JoinAll {:.4}",
+        n.test_error,
+        a.test_error
+    );
+}
+
+/// Avoiding Walmart's joins (as the rule advises) keeps the error flat.
+#[test]
+fn avoiding_safe_walmart_joins_keeps_error_flat() {
+    let g = DatasetSpec::walmart().generate(0.02, SEED);
+    let join_all = prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED);
+    let no_joins = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+    let a = run_method(&join_all, Method::Forward);
+    let n = run_method(&no_joins, Method::Forward);
+    assert!(
+        (n.test_error - a.test_error).abs() < 0.05,
+        "NoJoins {:.4} vs JoinAll {:.4}",
+        n.test_error,
+        a.test_error
+    );
+}
+
+/// JoinOpt shrinks the candidate set whenever it avoids joins, and the
+/// runtime accounting (model fits) shrinks accordingly.
+#[test]
+fn join_opt_reduces_search_work_on_safe_datasets() {
+    let g = DatasetSpec::movielens().generate(0.01, SEED);
+    let n_train = (g.star.n_s() as f64 * 0.5).round() as usize;
+    let all = prepare_plan(
+        &g.star,
+        plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
+        SEED,
+    );
+    let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED);
+    assert!(opt.data.n_features() < all.data.n_features());
+    let a = run_method(&all, Method::Backward);
+    let o = run_method(&opt, Method::Backward);
+    assert!(
+        o.selection.model_fits < a.selection.model_fits,
+        "JoinOpt fits {} !< JoinAll fits {}",
+        o.selection.model_fits,
+        a.selection.model_fits
+    );
+}
+
+/// The open-domain FK (Expedia's SearchID) is always joined by JoinOpt.
+#[test]
+fn open_fk_table_is_always_joined() {
+    let g = DatasetSpec::expedia().generate(0.01, SEED);
+    let jp = join_opt_plan(&g.star, SEED);
+    assert!(
+        jp.joined.contains(&1),
+        "Searches (open FK) must be joined; got {:?}",
+        jp.joined
+    );
+    assert!(
+        !jp.joined.contains(&0),
+        "Hotels should be avoided; got {:?}",
+        jp.joined
+    );
+}
+
+/// Metrics follow the paper's convention per dataset.
+#[test]
+fn metric_convention_matches_paper() {
+    for spec in DatasetSpec::all() {
+        let expected = if spec.n_classes <= 2 {
+            ErrorMetric::ZeroOne
+        } else {
+            ErrorMetric::Rmse
+        };
+        let g = spec.generate(0.005, SEED);
+        let prepared = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+        assert_eq!(prepared.metric, expected, "{}", spec.name);
+    }
+}
+
+/// All four methods run on all plans of a 3-table dataset without
+/// panicking and produce non-empty, in-range selections.
+#[test]
+fn all_methods_on_flights_lattice() {
+    let g = DatasetSpec::flights().generate(0.01, SEED);
+    for joined in [vec![], vec![0], vec![0, 1, 2]] {
+        let prepared = prepare_plan(&g.star, explicit_plan(&joined), SEED);
+        for method in Method::ALL {
+            let r = run_method(&prepared, method);
+            assert!(r.test_error.is_finite());
+            for &f in &r.selection.features {
+                assert!(f < prepared.data.n_features());
+            }
+        }
+    }
+}

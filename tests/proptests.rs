@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! machinery depends on.
+
+use proptest::prelude::*;
+
+use hamlet::core::ror::{ror_tr_approximation, tuple_ratio, worst_case_ror};
+use hamlet::ml::bias_variance::decompose;
+use hamlet::ml::classifier::{Classifier, Model};
+use hamlet::ml::dataset::{Dataset, Feature};
+use hamlet::ml::info::{entropy, mutual_information};
+use hamlet::ml::naive_bayes::NaiveBayes;
+use hamlet::ml::split::HoldoutSplit;
+use hamlet::relational::{
+    kfk_join, Domain, EqualWidthBinner, FunctionalDependency, TableBuilder,
+};
+
+/// Strategy: a random KFK instance — an attribute table of `n_r` rows
+/// with one foreign feature, plus `n_s` entity rows with FKs and labels.
+fn kfk_instance() -> impl Strategy<Value = (usize, Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (2usize..12).prop_flat_map(|n_r| {
+        (
+            Just(n_r),
+            proptest::collection::vec(0..4u32, n_r),             // X_R values per RID
+            proptest::collection::vec(0..n_r as u32, 10..120),   // FK codes
+        )
+            .prop_flat_map(|(n_r, xr, fks)| {
+                let n_s = fks.len();
+                (
+                    Just(n_r),
+                    Just(xr),
+                    Just(fks),
+                    proptest::collection::vec(0..2u32, n_s), // labels
+                )
+            })
+    })
+}
+
+proptest! {
+    /// The KFK join preserves the entity row count and creates the FD
+    /// FK -> X_R (Prop 3.1's premise), for arbitrary instances.
+    #[test]
+    fn join_preserves_rows_and_creates_fd((n_r, xr, fks, ys) in kfk_instance()) {
+        let rid = Domain::indexed("fk", n_r).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("rid", rid.clone(), (0..n_r as u32).collect())
+            .feature("xr", Domain::indexed("xr", 4).shared(), xr)
+            .build().unwrap();
+        let n_s = fks.len();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), ys)
+            .foreign_key("fk", "R", rid, fks)
+            .build().unwrap();
+        let t = kfk_join(&s, "fk", &r).unwrap();
+        prop_assert_eq!(t.n_rows(), n_s);
+        let fd = FunctionalDependency::new(&["fk"], &["xr"]);
+        prop_assert!(fd.holds_in(&t).unwrap());
+    }
+
+    /// Theorem 3.1 on arbitrary instances: I(F;Y) <= I(FK;Y) whenever F
+    /// is a function of FK.
+    #[test]
+    fn mi_data_processing_inequality((n_r, xr, fks, ys) in kfk_instance()) {
+        let n_s = fks.len();
+        let rows: Vec<usize> = (0..n_s).collect();
+        let f_codes: Vec<u32> = fks.iter().map(|&k| xr[k as usize]).collect();
+        let i_fk = mutual_information(&fks, n_r, &ys, 2, &rows);
+        let i_f = mutual_information(&f_codes, 4, &ys, 2, &rows);
+        prop_assert!(i_f <= i_fk + 1e-9, "I(F;Y)={} > I(FK;Y)={}", i_f, i_fk);
+    }
+
+    /// Entropy bounds: 0 <= H(X) <= log2(|D_X|).
+    #[test]
+    fn entropy_bounds(codes in proptest::collection::vec(0..8u32, 1..200)) {
+        let rows: Vec<usize> = (0..codes.len()).collect();
+        let h = entropy(&codes, 8, &rows);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 3.0 + 1e-9);
+    }
+
+    /// The worst-case ROR is nonnegative, monotone in |D_FK|, and below
+    /// its TR approximation (which drops a nonnegative term).
+    #[test]
+    fn ror_properties(n in 200usize..100_000, d1 in 2usize..50, d2 in 50usize..150) {
+        prop_assume!(d2 * 2 < n);
+        let r1 = worst_case_ror(n, d1, 2, 0.1);
+        let r2 = worst_case_ror(n, d2, 2, 0.1);
+        prop_assert!(r1 >= -1e-12);
+        prop_assert!(r2 >= r1 - 1e-12, "ROR not monotone: {} vs {}", r1, r2);
+        let approx = ror_tr_approximation(n, d2, 0.1);
+        prop_assert!(approx >= r2 - 1e-9, "approximation {} below ROR {}", approx, r2);
+        prop_assert!((tuple_ratio(n, d2) - n as f64 / d2 as f64).abs() < 1e-12);
+    }
+
+    /// Domingos identity for binary, noise-free targets:
+    /// E[L] = B + (1-2B)V exactly.
+    #[test]
+    fn bias_variance_identity(
+        truths in proptest::collection::vec(0..2u32, 1..30),
+        model_bits in proptest::collection::vec(proptest::collection::vec(0..2u32, 1..30), 1..8)
+    ) {
+        let n = truths.len();
+        let cond: Vec<Vec<f64>> = truths.iter().map(|&t| {
+            let mut p = vec![0.0, 0.0];
+            p[t as usize] = 1.0;
+            p
+        }).collect();
+        let preds: Vec<Vec<u32>> = model_bits.iter()
+            .map(|bits| (0..n).map(|i| bits[i % bits.len()]).collect())
+            .collect();
+        let r = decompose(&cond, &preds);
+        let reconstructed = r.avg_bias + r.avg_net_variance;
+        prop_assert!((r.avg_test_error - reconstructed).abs() < 1e-9,
+            "E[L]={} vs B+(1-2B)V={}", r.avg_test_error, reconstructed);
+    }
+
+    /// Naive Bayes predictions are invariant to the order in which the
+    /// feature subset is listed.
+    #[test]
+    fn nb_invariant_to_feature_order(
+        x0 in proptest::collection::vec(0..3u32, 20..60),
+        seed in 0u64..1000
+    ) {
+        let n = x0.len();
+        let x1: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_mul(7).wrapping_add(seed as u32)) % 4).collect();
+        let y: Vec<u32> = (0..n).map(|i| x0[i] % 2).collect();
+        let data = Dataset::new(vec![
+            Feature { name: "a".into(), domain_size: 3, codes: x0 },
+            Feature { name: "b".into(), domain_size: 4, codes: x1 },
+        ], y, 2);
+        let rows: Vec<usize> = (0..n).collect();
+        let nb = NaiveBayes::default();
+        let m1 = nb.fit(&data, &rows, &[0, 1]);
+        let m2 = nb.fit(&data, &rows, &[1, 0]);
+        for r in 0..n {
+            prop_assert_eq!(m1.predict_row(&data, r), m2.predict_row(&data, r));
+        }
+    }
+
+    /// Holdout splits partition the rows for any n and seed.
+    #[test]
+    fn holdout_partitions(n in 0usize..500, seed in 0u64..100) {
+        let s = HoldoutSplit::paper_protocol(n, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.validation).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Binning always yields codes inside the domain, for any finite data.
+    #[test]
+    fn binning_stays_in_domain(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        n_bins in 1usize..32
+    ) {
+        let binner = EqualWidthBinner::fit("x", &values, n_bins).unwrap();
+        for &v in &values {
+            prop_assert!((binner.bin(v) as usize) < n_bins);
+        }
+        // Out-of-range values clamp rather than escape the domain.
+        prop_assert!((binner.bin(1e9) as usize) < n_bins);
+        prop_assert!((binner.bin(-1e9) as usize) < n_bins);
+    }
+}

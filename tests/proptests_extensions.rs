@@ -1,0 +1,215 @@
+//! Property-based tests for the extension surface: CSV round trips,
+//! quantile binning, decision trees, encoders, cold-start remapping, and
+//! threshold tuning.
+
+use proptest::prelude::*;
+
+use hamlet::core::tuning::{tune_threshold, SafeSide, TuningPoint};
+use hamlet::ml::classifier::{Classifier, Model};
+use hamlet::ml::dataset::{Dataset, Feature};
+use hamlet::ml::encoding::{Encoder, Encoding};
+use hamlet::ml::tree::DecisionTree;
+use hamlet::relational::{read_csv, write_csv, ColumnSpec, EqualFrequencyBinner};
+
+/// Strategy: nonempty CSV-safe label strings.
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 _.,\"-]{1,12}").expect("valid regex")
+}
+
+proptest! {
+    /// CSV write -> read preserves row count and label sequences for
+    /// arbitrary (quotable) nominal values.
+    #[test]
+    fn csv_roundtrip_property(
+        values in proptest::collection::vec((label(), label()), 1..40)
+    ) {
+        use hamlet::relational::{Domain, TableBuilder};
+        // Intern the labels of each column into domains.
+        let mut a_labels: Vec<String> = Vec::new();
+        let mut b_labels: Vec<String> = Vec::new();
+        let mut a_codes = Vec::new();
+        let mut b_codes = Vec::new();
+        for (a, b) in &values {
+            let ac = a_labels.iter().position(|x| x == a).unwrap_or_else(|| {
+                a_labels.push(a.clone());
+                a_labels.len() - 1
+            });
+            let bc = b_labels.iter().position(|x| x == b).unwrap_or_else(|| {
+                b_labels.push(b.clone());
+                b_labels.len() - 1
+            });
+            a_codes.push(ac as u32);
+            b_codes.push(bc as u32);
+        }
+        let t = TableBuilder::new("T")
+            .feature("a", Domain::labelled("a", a_labels).shared(), a_codes)
+            .feature("b", Domain::labelled("b", b_labels).shared(), b_codes)
+            .build()
+            .unwrap();
+        let text = write_csv(&t, ',');
+        let specs = vec![("a", ColumnSpec::feature("a")), ("b", ColumnSpec::feature("b"))];
+        let back = read_csv("T", &text, &specs, ',').unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for row in 0..t.n_rows() {
+            for col in ["a", "b"] {
+                let orig = t.column_by_name(col).unwrap();
+                let parsed = back.column_by_name(col).unwrap();
+                prop_assert_eq!(
+                    orig.domain().label(orig.get(row)),
+                    parsed.domain().label(parsed.get(row))
+                );
+            }
+        }
+    }
+
+    /// Equal-frequency bins are within one of balanced for distinct data,
+    /// and every value maps into a valid bin.
+    #[test]
+    fn quantile_bins_balanced(
+        mut values in proptest::collection::vec(-1e5f64..1e5, 8..200),
+        n_bins in 2usize..9
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        prop_assume!(values.len() >= n_bins * 2);
+        let b = EqualFrequencyBinner::fit("x", &values, n_bins).unwrap();
+        let mut counts = vec![0usize; b.n_bins()];
+        for &v in &values {
+            let code = b.bin(v) as usize;
+            prop_assert!(code < b.n_bins());
+            counts[code] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
+        // Distinct data: bucket sizes within a factor of ~2 plus slack.
+        prop_assert!(max <= 2 * min + 2, "counts {:?}", counts);
+    }
+
+    /// Decision-tree predictions are always valid classes, and training
+    /// error never exceeds the majority baseline.
+    #[test]
+    fn tree_predicts_valid_classes(
+        codes in proptest::collection::vec(0..5u32, 20..120),
+        seed in 0u64..50
+    ) {
+        let n = codes.len();
+        let labels: Vec<u32> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c + (i as u32 + seed as u32) % 2) % 3)
+            .collect();
+        let d = Dataset::new(
+            vec![Feature { name: "x".into(), domain_size: 5, codes }],
+            labels.clone(),
+            3,
+        );
+        let rows: Vec<usize> = (0..n).collect();
+        let m = DecisionTree::default().fit(&d, &rows, &[0]);
+        // Valid predictions.
+        for &r in &rows {
+            prop_assert!(m.predict_row(&d, r) < 3);
+        }
+        // No worse than majority class on training data.
+        let mut counts = [0usize; 3];
+        for &y in &labels {
+            counts[y as usize] += 1;
+        }
+        let majority_correct = *counts.iter().max().unwrap();
+        let tree_correct = rows
+            .iter()
+            .filter(|&&r| m.predict_row(&d, r) == labels[r])
+            .count();
+        prop_assert!(tree_correct >= majority_correct);
+    }
+
+    /// Encoders: each row activates at most one dimension per feature,
+    /// all active dimensions decode back to the right feature, and the
+    /// one-hot encoding activates exactly one per feature.
+    #[test]
+    fn encoder_properties(
+        codes_a in proptest::collection::vec(0..4u32, 5..50),
+        enc_one_hot in proptest::bool::ANY
+    ) {
+        let n = codes_a.len();
+        let codes_b: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let d = Dataset::new(
+            vec![
+                Feature { name: "a".into(), domain_size: 4, codes: codes_a },
+                Feature { name: "b".into(), domain_size: 3, codes: codes_b },
+            ],
+            vec![0; n],
+            2,
+        );
+        let encoding = if enc_one_hot { Encoding::OneHot } else { Encoding::BinaryCoded };
+        let e = Encoder::fit(&d, &[0, 1], encoding);
+        for row in 0..n {
+            let active = e.encode_row(&d, row);
+            if enc_one_hot {
+                prop_assert_eq!(active.len(), 2);
+            } else {
+                prop_assert!(active.len() <= 2);
+            }
+            let mut feats_seen = Vec::new();
+            for dim in active {
+                let (f, v) = e.decode_dimension(dim).expect("active dim decodes");
+                prop_assert!(!feats_seen.contains(&f), "two dims for one feature");
+                feats_seen.push(f);
+                prop_assert_eq!(d.feature(f).codes[row], v);
+            }
+        }
+    }
+
+    /// Cold-start remapping: in-domain values are identities; everything
+    /// else maps to the Others code.
+    #[test]
+    fn coldstart_remap_property(
+        raw in proptest::collection::vec(0..50u32, 1..100)
+    ) {
+        use hamlet::relational::{AttributeTable, Domain, DomainRevision, TableBuilder};
+        let n_r = 10usize;
+        let at = AttributeTable {
+            fk: "fk".into(),
+            table: TableBuilder::new("R")
+                .primary_key("fk", Domain::indexed("fk", n_r).shared(), (0..n_r as u32).collect())
+                .feature("a", Domain::boolean("a").shared(), (0..n_r as u32).map(|i| i % 2).collect())
+                .build()
+                .unwrap(),
+        };
+        let rev = DomainRevision::new(&at, &[0]).unwrap();
+        let remapped = rev.remap_fk(&raw);
+        for (orig, &code) in raw.iter().zip(remapped.codes()) {
+            if (*orig as usize) < n_r {
+                prop_assert_eq!(code, *orig);
+            } else {
+                prop_assert_eq!(code, n_r as u32);
+            }
+        }
+        let expected_rate = raw.iter().filter(|&&v| v as usize >= n_r).count() as f64
+            / raw.len() as f64;
+        prop_assert!((rev.cold_start_rate(&raw) - expected_rate).abs() < 1e-12);
+    }
+
+    /// Tuning: the returned threshold always admits a uniformly safe
+    /// region, and loosening the tolerance never shrinks it.
+    #[test]
+    fn tuning_monotone_in_tolerance(
+        stats in proptest::collection::vec((0.0f64..10.0, 0.0f64..0.2), 1..40)
+    ) {
+        let points: Vec<TuningPoint> = stats
+            .iter()
+            .map(|&(statistic, error_increase)| TuningPoint { statistic, error_increase })
+            .collect();
+        let tight = tune_threshold(&points, 0.001, SafeSide::Low);
+        let loose = tune_threshold(&points, 0.05, SafeSide::Low);
+        if let (Some(t), Some(l)) = (tight, loose) {
+            prop_assert!(l >= t, "loose {l} < tight {t}");
+        }
+        if let Some(t) = tight {
+            for p in &points {
+                if p.statistic <= t {
+                    prop_assert!(p.error_increase <= 0.001);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the relational operators: query algebra,
+//! manifests, lints, and profiles over randomly generated tables.
+
+use proptest::prelude::*;
+
+use hamlet::relational::{
+    fanout, filter, group_count, lint_star, profile_table, select_rows, sort_by, AttributeTable,
+    Domain, LintConfig, Predicate, StarSchema, Table, TableBuilder,
+};
+
+/// Strategy: a random two-column feature table.
+fn random_table() -> impl Strategy<Value = Table> {
+    (
+        proptest::collection::vec(0..6u32, 1..80),
+        proptest::collection::vec(0..4u32, 1..80),
+    )
+        .prop_map(|(a, b)| {
+            let n = a.len().min(b.len());
+            TableBuilder::new("T")
+                .feature("a", Domain::indexed("a", 6).shared(), a[..n].to_vec())
+                .feature("b", Domain::indexed("b", 4).shared(), b[..n].to_vec())
+                .build()
+                .expect("generated table valid")
+        })
+}
+
+proptest! {
+    /// Selection returns exactly the rows satisfying the predicate, in
+    /// order; filter + fanout agree with manual counting.
+    #[test]
+    fn selection_is_sound_and_complete(t in random_table(), code in 0..6u32) {
+        let rows = select_rows(&t, &[Predicate::Eq("a".into(), code)]).unwrap();
+        let col = t.column_by_name("a").unwrap();
+        // Sound: every returned row matches.
+        for &r in &rows {
+            prop_assert_eq!(col.get(r), code);
+        }
+        // Complete: count matches the histogram.
+        let hist = fanout(&t, "a").unwrap();
+        prop_assert_eq!(rows.len() as u64, hist[code as usize]);
+        // In ascending order.
+        prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        // Filter preserves schema and shrinks rows.
+        let f = filter(&t, &[Predicate::Eq("a".into(), code)]).unwrap();
+        prop_assert_eq!(f.n_rows(), rows.len());
+        prop_assert_eq!(f.schema().len(), t.schema().len());
+    }
+
+    /// Sorting is a permutation and is ordered on the sort keys.
+    #[test]
+    fn sort_is_an_ordered_permutation(t in random_table()) {
+        let s = sort_by(&t, &["a", "b"]).unwrap();
+        prop_assert_eq!(s.n_rows(), t.n_rows());
+        let a = s.column_by_name("a").unwrap();
+        let b = s.column_by_name("b").unwrap();
+        for i in 1..s.n_rows() {
+            let prev = (a.get(i - 1), b.get(i - 1));
+            let cur = (a.get(i), b.get(i));
+            prop_assert!(prev <= cur, "row {i}: {prev:?} > {cur:?}");
+        }
+        // Multiset preserved: histograms match.
+        prop_assert_eq!(fanout(&s, "a").unwrap(), fanout(&t, "a").unwrap());
+        prop_assert_eq!(fanout(&s, "b").unwrap(), fanout(&t, "b").unwrap());
+    }
+
+    /// Group counts partition the rows: totals add up, group count
+    /// equals distinct key count.
+    #[test]
+    fn group_count_partitions(t in random_table()) {
+        let groups = group_count(&t, &["a", "b"]).unwrap();
+        let total: u64 = groups.iter().map(|g| g.count).sum();
+        prop_assert_eq!(total as usize, t.n_rows());
+        // Keys are unique.
+        let mut keys: Vec<&Vec<u32>> = groups.iter().map(|g| &g.key).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+
+    /// Profiles report consistent distinct counts and entropies within
+    /// bounds, for any table.
+    #[test]
+    fn profiles_are_consistent(t in random_table()) {
+        let p = profile_table(&t);
+        prop_assert_eq!(p.n_rows, t.n_rows());
+        for (c, col) in p.columns.iter().zip(t.columns()) {
+            prop_assert_eq!(c.distinct, col.distinct_count());
+            prop_assert!(c.entropy_bits >= -1e-12);
+            prop_assert!(c.entropy_bits <= (c.domain_size as f64).log2() + 1e-9);
+            prop_assert!(c.mode.1 as usize <= t.n_rows());
+        }
+    }
+
+    /// Lints never fire spuriously on balanced, fully-referenced stars —
+    /// and the dominant-FK lint fires exactly when a value crosses the
+    /// configured floor.
+    #[test]
+    fn lints_fire_exactly_on_dominance(dominant_share in 0u32..100) {
+        let n = 200usize;
+        let n_r = 8usize;
+        let dominant_rows = (n as u32 * dominant_share / 100) as usize;
+        let mut fk: Vec<u32> = vec![0; dominant_rows];
+        fk.extend((0..(n - dominant_rows) as u32).map(|i| i % n_r as u32));
+        let y: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+        let rid = Domain::indexed("fk", n_r).shared();
+        let r = TableBuilder::new("R")
+            .primary_key("fk", rid.clone(), (0..n_r as u32).collect())
+            .feature("x", Domain::indexed("x", 3).shared(), (0..n_r as u32).map(|i| i % 3).collect())
+            .build()
+            .unwrap();
+        let s = TableBuilder::new("S")
+            .target("y", Domain::boolean("y").shared(), y)
+            .foreign_key("fk", "R", rid, fk.clone())
+            .build()
+            .unwrap();
+        let star = StarSchema::new(s, vec![AttributeTable { fk: "fk".into(), table: r }]).unwrap();
+        let lints = lint_star(&star, &LintConfig::default());
+        let mut hist = vec![0u64; n_r];
+        for &v in &fk {
+            hist[v as usize] += 1;
+        }
+        let top = *hist.iter().max().unwrap() as f64 / n as f64;
+        let fired = lints
+            .iter()
+            .any(|l| matches!(l, hamlet::relational::Lint::DominantFkValue { .. }));
+        prop_assert_eq!(fired, top > 0.5, "top fraction {} (lints: {:?})", top, lints);
+    }
+}
