@@ -27,7 +27,9 @@ fn bench_sim_figures(c: &mut Criterion) {
 fn bench_analytic_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures_analytic");
     g.bench_function("fig5", |b| b.iter(|| black_box(exp::fig5::report(100_000))));
-    g.bench_function("fig6", |b| b.iter(|| black_box(exp::fig6::report(BENCH_SCALE))));
+    g.bench_function("fig6", |b| {
+        b.iter(|| black_box(exp::fig6::report(BENCH_SCALE)))
+    });
     g.bench_function("fig8b", |b| {
         b.iter(|| black_box(exp::fig8::report_b(BENCH_SCALE, BENCH_SEED)))
     });

@@ -31,7 +31,12 @@ fn bench_materialize(c: &mut Criterion) {
     let gen = movielens();
     let star = &gen.star;
     let n_train = star.n_s() / 2;
-    for kind in [PlanKind::JoinAll, PlanKind::JoinOpt, PlanKind::NoJoins, PlanKind::JoinAllNoFk] {
+    for kind in [
+        PlanKind::JoinAll,
+        PlanKind::JoinOpt,
+        PlanKind::NoJoins,
+        PlanKind::JoinAllNoFk,
+    ] {
         let p = plan(star, kind, &TrRule::default(), n_train);
         g.bench_function(kind.name(), |b| {
             b.iter(|| black_box(p.materialize(star).unwrap()))

@@ -6,9 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hamlet_bench::{movielens, walmart, yelp, BENCH_SEED};
-use hamlet_experiments::{join_opt_plan, prepare_plan, PreparedPlan};
 use hamlet_core::planner::{plan, PlanKind};
 use hamlet_core::rules::TrRule;
+use hamlet_experiments::{join_opt_plan, prepare_plan, PreparedPlan};
 use hamlet_fs::{Method, SelectionContext};
 use hamlet_ml::naive_bayes::NaiveBayes;
 
@@ -35,20 +35,16 @@ fn bench_selection(c: &mut Criterion) {
         for method in [Method::Forward, Method::FilterMi, Method::FilterIgr] {
             for (plan_name, p) in [("JoinAll", &join_all), ("JoinOpt", &join_opt)] {
                 let candidates: Vec<usize> = (0..p.data.n_features()).collect();
-                g.bench_with_input(
-                    BenchmarkId::new(method.name(), plan_name),
-                    p,
-                    |b, p| {
-                        let ctx = SelectionContext {
-                            data: &p.data,
-                            train: &p.split.train,
-                            validation: &p.split.validation,
-                            classifier: &nb,
-                            metric: p.metric,
-                        };
-                        b.iter(|| black_box(method.run(&ctx, &candidates)))
-                    },
-                );
+                g.bench_with_input(BenchmarkId::new(method.name(), plan_name), p, |b, p| {
+                    let ctx = SelectionContext {
+                        data: &p.data,
+                        train: &p.split.train,
+                        validation: &p.split.validation,
+                        classifier: &nb,
+                        metric: p.metric,
+                    };
+                    b.iter(|| black_box(method.run(&ctx, &candidates)))
+                });
             }
         }
         g.finish();

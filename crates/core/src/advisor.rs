@@ -12,7 +12,7 @@
 
 use hamlet_relational::{Role, StarSchema};
 
-use crate::planner::{join_stats, JoinPlan, PlanKind};
+use crate::planner::{join_stats, ExecStrategy, JoinPlan, PlanKind};
 use crate::rules::{Decision, DecisionRule, JoinReason, JoinStats, RorRule, TrRule};
 use crate::skew::{diagnose_skew, SkewReport, MALIGN_RETENTION_FLOOR};
 
@@ -27,6 +27,18 @@ pub struct AdvisorConfig {
     /// over the FK and label columns; the rules themselves stay
     /// metadata-only).
     pub check_skew: bool,
+    /// Whether joins that are *not* safe to avoid should be recommended
+    /// for factorized execution ([`ExecStrategy::Factorize`]) rather
+    /// than materialization.
+    ///
+    /// Factorize gives exactly JoinAll's accuracy (the trainer sees the
+    /// same codes, resolved through the FK instead of copied) at close
+    /// to NoJoins' memory: the `n_S × d_R` wide-table cells per join are
+    /// never allocated. Prefer it whenever the downstream trainer can
+    /// consume a `hamlet_ml::CodeSource` — i.e. all trainers in this
+    /// workspace. Materialize only remains useful for tooling that
+    /// needs an actual flat table (CSV export, third-party libraries).
+    pub recommend_factorize: bool,
 }
 
 impl Default for AdvisorConfig {
@@ -35,6 +47,7 @@ impl Default for AdvisorConfig {
             tr: TrRule::default(),
             ror: RorRule::default(),
             check_skew: true,
+            recommend_factorize: false,
         }
     }
 }
@@ -57,6 +70,13 @@ pub struct JoinAdvice {
     /// Final recommendation: avoid only if *both* rules say avoid and no
     /// malign skew was detected (belt-and-braces conservatism).
     pub avoid: bool,
+    /// How the join should execute: `AvoidJoin` when `avoid` is set,
+    /// otherwise `Factorize` or `Materialize` per
+    /// [`AdvisorConfig::recommend_factorize`].
+    pub strategy: ExecStrategy,
+    /// Wide-table cells (`n_S × d_R`) that skipping materialization
+    /// saves — the memory argument for `Factorize` (and `AvoidJoin`).
+    pub cells_saved: u64,
     /// Plain-language explanation of the recommendation.
     pub explanation: String,
 }
@@ -71,18 +91,21 @@ pub struct AdvisorReport {
 }
 
 impl AdvisorReport {
-    /// The plan implementing the recommendations.
+    /// The plan implementing the recommendations, including how each
+    /// retained join executes.
     pub fn plan(&self) -> JoinPlan {
-        let joined: Vec<usize> = self
-            .joins
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| !j.avoid)
-            .map(|(i, _)| i)
-            .collect();
+        let mut joined = Vec::new();
+        let mut strategies = Vec::new();
+        for (i, j) in self.joins.iter().enumerate() {
+            if !j.avoid {
+                joined.push(i);
+                strategies.push(j.strategy);
+            }
+        }
         JoinPlan {
             kind: PlanKind::JoinOpt,
             joined,
+            strategies,
             drop_fks: false,
             decisions: Vec::new(),
         }
@@ -112,7 +135,11 @@ impl AdvisorReport {
                 j.fk,
                 tr,
                 ror,
-                if j.avoid { "avoid" } else { "join" },
+                match j.strategy {
+                    ExecStrategy::AvoidJoin => "avoid",
+                    ExecStrategy::Factorize => "factorize",
+                    ExecStrategy::Materialize => "join",
+                },
                 j.explanation.replace('|', "\\|")
             ));
         }
@@ -132,7 +159,11 @@ impl AdvisorReport {
                 "- {} (via {}): {} — {}\n",
                 j.table,
                 j.fk,
-                if j.avoid { "AVOID the join" } else { "PERFORM the join" },
+                match j.strategy {
+                    ExecStrategy::AvoidJoin => "AVOID the join",
+                    ExecStrategy::Factorize => "FACTORIZE the join",
+                    ExecStrategy::Materialize => "PERFORM the join",
+                },
                 j.explanation
             ));
         }
@@ -168,6 +199,24 @@ impl JoinAdvice {
 
 /// Produces advice for every candidate join of `star`, assuming the
 /// model will train on `n_train` examples.
+///
+/// Each verdict now carries an [`ExecStrategy`]. The lattice of options
+/// for one candidate join, best to worst along each axis:
+///
+/// * **AvoidJoin** (the paper's contribution) wins outright when the
+///   rules say the FK can represent `X_R`: smallest feature-selection
+///   input, no join cost, no accuracy risk.
+/// * **Factorize** beats **Materialize** (JoinAll's execution) whenever
+///   the join must be kept and the trainer consumes a
+///   [`hamlet_ml::CodeSource`]: the model is identical, but the
+///   `n_S × d_R` wide-table cells are never allocated — decisive at
+///   high tuple ratio `n_S/n_R`, where the wide table repeats each `R`
+///   row many times. It beats **NoJoins** on accuracy for unsafe joins
+///   by definition: NoJoins drops `X_R` precisely when the rules say
+///   that risks overfitting the raw FK.
+/// * **Materialize** remains only for consumers that need a physical
+///   flat table (CSV export, external tools) — or when repeated row
+///   scans must be cache-linear and memory is free.
 pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> AdvisorReport {
     let mut joins = Vec::with_capacity(star.k());
     for i in 0..star.k() {
@@ -207,7 +256,15 @@ pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> Advi
 
         let both_avoid = tr_decision.is_avoid() && ror_decision.is_avoid();
         let avoid = both_avoid && !malign;
-        let explanation = if avoid {
+        let cells_saved = star.n_s() as u64 * at.n_features() as u64;
+        let strategy = if avoid {
+            ExecStrategy::AvoidJoin
+        } else if config.recommend_factorize {
+            ExecStrategy::Factorize
+        } else {
+            ExecStrategy::Materialize
+        };
+        let mut explanation = if avoid {
             format!(
                 "TR = {:.1} and ROR = {:.2} both say the FK can safely represent the {} foreign feature(s); \
                  skipping the join shrinks the feature-selection input",
@@ -225,6 +282,15 @@ pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> Advi
         } else {
             explain(&ror_decision, "ROR")
         };
+        if strategy == ExecStrategy::Factorize {
+            explanation.push_str(&format!(
+                "; execute it factorized — train through the foreign key instead of \
+                 copying the wide table, saving about {cells_saved} cells \
+                 (n_S = {} × d_R = {})",
+                star.n_s(),
+                at.n_features()
+            ));
+        }
 
         joins.push(JoinAdvice {
             table: at.table.name().to_string(),
@@ -234,6 +300,8 @@ pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> Advi
             ror_decision,
             skew,
             avoid,
+            strategy,
+            cells_saved,
             explanation,
         });
     }
@@ -261,7 +329,13 @@ mod tests {
         if malign {
             // Needle: FK 0 carries half the rows and the only label-0 mass.
             fk = (0..n_s as u32)
-                .map(|i| if i % 2 == 0 { 0 } else { 1 + (i / 2) % (n_r as u32 - 1) })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        0
+                    } else {
+                        1 + (i / 2) % (n_r as u32 - 1)
+                    }
+                })
                 .collect();
             y = (0..n_s as u32).map(|i| (i % 2 != 0) as u32).collect();
         } else {
@@ -322,6 +396,44 @@ mod tests {
             ..Default::default()
         };
         assert!(advise(&st, 2000, &lax).joins[0].avoid);
+    }
+
+    #[test]
+    fn recommend_factorize_targets_unsafe_joins_only() {
+        // 400 rows, n_r = 200: TR = 1 -> the join must be kept.
+        let st = star(400, 200, false);
+        let config = AdvisorConfig {
+            recommend_factorize: true,
+            ..Default::default()
+        };
+        let report = advise(&st, 200, &config);
+        let j = &report.joins[0];
+        assert!(!j.avoid);
+        assert_eq!(j.strategy, ExecStrategy::Factorize);
+        assert_eq!(j.cells_saved, 400); // n_S = 400, d_R = 1
+        assert!(j.explanation.contains("factorized"), "{}", j.explanation);
+        assert!(j.explanation.contains("400 cells"), "{}", j.explanation);
+        let plan = report.plan();
+        assert_eq!(plan.factorized_set(), vec![0]);
+        assert!(plan.materialized_set().is_empty());
+        // A safe-to-avoid join stays avoided; factorization never
+        // overrides the logical verdict.
+        let safe = advise(&star(4000, 20, false), 2000, &config);
+        assert!(safe.joins[0].avoid);
+        assert_eq!(safe.joins[0].strategy, ExecStrategy::AvoidJoin);
+        assert!(safe.plan().joined.is_empty());
+    }
+
+    #[test]
+    fn factorize_renders_in_reports() {
+        let st = star(400, 200, false);
+        let config = AdvisorConfig {
+            recommend_factorize: true,
+            ..Default::default()
+        };
+        let report = advise(&st, 200, &config);
+        assert!(report.render().contains("FACTORIZE the join"));
+        assert!(report.render_markdown().contains("**factorize**"));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use hamlet_relational::{Role, Table};
+use hamlet_relational::{Result, Role, Table};
 
 /// A partition of an attribute table's rows (equivalently, of the FK
 /// domain values present in `R`): `class_of[row] = class id` with class
@@ -75,12 +75,19 @@ impl RowPartition {
 
 /// Partitions the rows of `attr` by the joint value of the named
 /// attributes (empty set = one class; the primary key = discrete
-/// partition).
+/// partition). Panics on an unknown attribute name; use
+/// [`try_partition_by`] when the names come from user input.
 pub fn partition_by(attr: &Table, attributes: &[&str]) -> RowPartition {
+    try_partition_by(attr, attributes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`partition_by`]: reports an unknown attribute name as a
+/// typed [`RelationalError::UnknownAttribute`] instead of panicking.
+pub fn try_partition_by(attr: &Table, attributes: &[&str]) -> Result<RowPartition> {
     let cols: Vec<_> = attributes
         .iter()
-        .map(|a| attr.column_by_name(a).expect("attribute exists"))
-        .collect();
+        .map(|a| attr.column_by_name(a))
+        .collect::<Result<_>>()?;
     let mut class_ids: HashMap<Vec<u32>, usize> = HashMap::new();
     let mut class_of = Vec::with_capacity(attr.n_rows());
     for row in 0..attr.n_rows() {
@@ -89,10 +96,10 @@ pub fn partition_by(attr: &Table, attributes: &[&str]) -> RowPartition {
         let id = *class_ids.entry(key).or_insert(next);
         class_of.push(id);
     }
-    RowPartition {
+    Ok(RowPartition {
         class_of,
         n_classes: class_ids.len(),
-    }
+    })
 }
 
 /// The FK partition (discrete: one class per row of `R`).
@@ -134,7 +141,7 @@ pub fn check_prop_3_3(attr: &Table) -> (bool, bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hamlet_relational::{Domain, TableBuilder};
+    use hamlet_relational::{Domain, RelationalError, TableBuilder};
 
     fn attr_table(xr: &[(u32, u32)]) -> Table {
         let n = xr.len();
@@ -181,7 +188,9 @@ mod tests {
         assert!(refines, "H_XR ⊆ H_FK must always hold");
         assert!(!equal, "duplicate X_R rows -> strict containment");
         // The hypothesis-space sizes witness the strictness.
-        assert!(xr_partition(&r).log2_hypothesis_count() < fk_partition(&r).log2_hypothesis_count());
+        assert!(
+            xr_partition(&r).log2_hypothesis_count() < fk_partition(&r).log2_hypothesis_count()
+        );
     }
 
     #[test]
@@ -221,6 +230,24 @@ mod tests {
         assert!(fk.refines(&joint));
         assert!(lone.n_classes() <= joint.n_classes());
         assert!(joint.n_classes() <= fk.n_classes());
+    }
+
+    #[test]
+    fn unknown_attribute_is_a_typed_error() {
+        let r = attr_table(&[(0, 0)]);
+        let err = try_partition_by(&r, &["nope"]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::UnknownAttribute { ref table, ref attribute }
+                if table == "R" && attribute == "nope"
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute 'nope'")]
+    fn partition_by_panics_with_context() {
+        let r = attr_table(&[(0, 0)]);
+        let _ = partition_by(&r, &["nope"]);
     }
 
     #[test]

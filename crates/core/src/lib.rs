@@ -38,15 +38,19 @@ pub mod hypothesis;
 pub mod multiclass;
 pub mod planner;
 pub mod ror;
-pub mod skew;
 pub mod rules;
+pub mod skew;
 pub mod tuning;
 pub mod vc;
 
 pub use advisor::{advise, AdvisorConfig, AdvisorReport, JoinAdvice};
-pub use hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition, RowPartition};
+pub use hypothesis::{
+    check_prop_3_3, fk_partition, partition_by, try_partition_by, xr_partition, RowPartition,
+};
 pub use multiclass::{graph_dimension_bound, multiclass_worst_case_ror, natarajan_dimension_bound};
-pub use planner::{explicit_plan, join_stats, plan, JoinPlan, PlanKind, TableDecision};
+pub use planner::{
+    explicit_plan, join_stats, plan, ExecStrategy, JoinPlan, PlanKind, TableDecision,
+};
 pub use ror::{
     exact_ror, is_safe_to_avoid, ror_tr_approximation, tuple_ratio, worst_case_ror, OracleRor,
     DEFAULT_DELTA,

@@ -85,10 +85,7 @@ mod tests {
         let binary = worst_case_ror(n, 2_000, 5, 0.1);
         for k in [3usize, 5, 7] {
             let adj = multiclass_worst_case_ror(n, 2_000, 5, k, 0.1);
-            assert!(
-                adj >= binary,
-                "k={k}: adjusted {adj} below binary {binary}"
-            );
+            assert!(adj >= binary, "k={k}: adjusted {adj} below binary {binary}");
         }
         assert_eq!(multiclass_worst_case_ror(n, 2_000, 5, 2, 0.1), binary);
     }

@@ -41,6 +41,39 @@ impl PlanKind {
     }
 }
 
+/// How one candidate join is *executed*, orthogonal to whether its
+/// features enter the model.
+///
+/// The paper's axis is logical (does `X_R` reach feature selection at
+/// all?); this axis is physical. A join that is not safe to avoid can
+/// still skip materialization: because the KFK join is a pure fan-out
+/// (`FK` functionally determines every `X_R`), a trainer can resolve
+/// `X_R[row] = R.X_R[R.index(S.FK[row])]` on the fly, touching
+/// `O(n_S + n_R)` memory instead of the `O(n_S × d_R)` copy the
+/// materialized wide table costs (see `hamlet_factorized`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Physically build the wide table (`kfk_join`), then train on it.
+    Materialize,
+    /// Keep the star schema; train through FK indirection with zero
+    /// join materialization.
+    Factorize,
+    /// Do not execute the join at all — the FK column represents the
+    /// foreign features (the paper's "avoid" verdict).
+    AvoidJoin,
+}
+
+impl ExecStrategy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecStrategy::Materialize => "materialize",
+            ExecStrategy::Factorize => "factorize",
+            ExecStrategy::AvoidJoin => "avoid",
+        }
+    }
+}
+
 /// The rule's verdict for one attribute table, with its inputs, for
 /// reporting (Fig 8B prints exactly these).
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +96,10 @@ pub struct JoinPlan {
     pub kind: PlanKind,
     /// Positions (into `star.attributes()`) of tables to join.
     pub joined: Vec<usize>,
+    /// How each retained join executes, parallel to `joined`. Entries
+    /// are [`ExecStrategy::Materialize`] or [`ExecStrategy::Factorize`];
+    /// avoided tables simply do not appear.
+    pub strategies: Vec<ExecStrategy>,
     /// Whether to drop all FK columns after joining.
     pub drop_fks: bool,
     /// Per-table rule verdicts (populated for `JoinOpt`; empty for the
@@ -76,16 +113,61 @@ impl JoinPlan {
         (0..star.k()).filter(|i| !self.joined.contains(i)).collect()
     }
 
+    /// How attribute table `i` executes under this plan:
+    /// [`ExecStrategy::AvoidJoin`] when it is not retained, otherwise
+    /// its entry in `strategies`.
+    pub fn strategy_for(&self, i: usize) -> ExecStrategy {
+        match self.joined.iter().position(|&j| j == i) {
+            Some(p) => self.strategies[p],
+            None => ExecStrategy::AvoidJoin,
+        }
+    }
+
+    /// Returns the plan with every retained join switched to
+    /// `strategy`. Panics on [`ExecStrategy::AvoidJoin`]: which joins
+    /// to avoid is the *logical* decision this plan already encodes.
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        assert!(
+            strategy != ExecStrategy::AvoidJoin,
+            "use the decision rules to choose avoided joins, not with_strategy"
+        );
+        for s in &mut self.strategies {
+            *s = strategy;
+        }
+        self
+    }
+
+    /// Positions of retained joins executed by materialization.
+    pub fn materialized_set(&self) -> Vec<usize> {
+        self.joined
+            .iter()
+            .zip(&self.strategies)
+            .filter(|&(_, &s)| s == ExecStrategy::Materialize)
+            .map(|(&i, _)| i)
+            .collect()
+    }
+
+    /// Positions of retained joins executed factorized (resolved
+    /// through `hamlet_factorized::FactorizedView`, never joined).
+    pub fn factorized_set(&self) -> Vec<usize> {
+        self.joined
+            .iter()
+            .zip(&self.strategies)
+            .filter(|&(_, &s)| s == ExecStrategy::Factorize)
+            .map(|(&i, _)| i)
+            .collect()
+    }
+
     /// Materializes the plan into a single table ready for
     /// `hamlet_ml::Dataset::from_table`.
+    ///
+    /// Only joins marked [`ExecStrategy::Materialize`] are physically
+    /// executed; `Factorize` joins are left to the factorized trainer,
+    /// which reads them through the star schema directly.
     pub fn materialize(&self, star: &StarSchema) -> Result<Table> {
-        let t = star.materialize(&self.joined)?;
+        let t = star.materialize(&self.materialized_set())?;
         if self.drop_fks {
-            let fk_names: Vec<String> = star
-                .attributes()
-                .iter()
-                .map(|at| at.fk.clone())
-                .collect();
+            let fk_names: Vec<String> = star.attributes().iter().map(|at| at.fk.clone()).collect();
             let fk_refs: Vec<&str> = fk_names.iter().map(String::as_str).collect();
             t.drop_attributes(&fk_refs)
         } else {
@@ -128,18 +210,21 @@ pub fn plan<R: DecisionRule>(
         PlanKind::JoinAll => JoinPlan {
             kind,
             joined: (0..star.k()).collect(),
+            strategies: vec![ExecStrategy::Materialize; star.k()],
             drop_fks: false,
             decisions: Vec::new(),
         },
         PlanKind::NoJoins => JoinPlan {
             kind,
             joined: Vec::new(),
+            strategies: Vec::new(),
             drop_fks: false,
             decisions: Vec::new(),
         },
         PlanKind::JoinAllNoFk => JoinPlan {
             kind,
             joined: (0..star.k()).collect(),
+            strategies: vec![ExecStrategy::Materialize; star.k()],
             drop_fks: true,
             decisions: Vec::new(),
         },
@@ -159,9 +244,11 @@ pub fn plan<R: DecisionRule>(
                     decision,
                 });
             }
+            let strategies = vec![ExecStrategy::Materialize; joined.len()];
             JoinPlan {
                 kind,
                 joined,
+                strategies,
                 drop_fks: false,
                 decisions,
             }
@@ -175,6 +262,7 @@ pub fn explicit_plan(join_set: &[usize]) -> JoinPlan {
     JoinPlan {
         kind: PlanKind::JoinOpt,
         joined: join_set.to_vec(),
+        strategies: vec![ExecStrategy::Materialize; join_set.len()],
         drop_fks: false,
         decisions: Vec::new(),
     }
@@ -195,26 +283,58 @@ mod tests {
         let rid1 = Domain::indexed("R1ID", n_r1).shared();
         let r0 = TableBuilder::new("R0")
             .primary_key("R0ID", rid0.clone(), (0..n_r0 as u32).collect())
-            .feature("a0", Domain::boolean("a0").shared(), (0..n_r0 as u32).map(|i| i % 2).collect())
+            .feature(
+                "a0",
+                Domain::boolean("a0").shared(),
+                (0..n_r0 as u32).map(|i| i % 2).collect(),
+            )
             .build()
             .unwrap();
         let r1 = TableBuilder::new("R1")
             .primary_key("R1ID", rid1.clone(), (0..n_r1 as u32).collect())
-            .feature("a1", Domain::indexed("a1", 3).shared(), (0..n_r1 as u32).map(|i| i % 3).collect())
+            .feature(
+                "a1",
+                Domain::indexed("a1", 3).shared(),
+                (0..n_r1 as u32).map(|i| i % 3).collect(),
+            )
             .build()
             .unwrap();
         let s = TableBuilder::new("S")
-            .target("y", Domain::boolean("y").shared(), (0..n_s as u32).map(|i| i % 2).collect())
-            .feature("xs", Domain::boolean("xs").shared(), (0..n_s as u32).map(|i| (i / 2) % 2).collect())
-            .foreign_key("fk0", "R0", rid0, (0..n_s as u32).map(|i| i % n_r0 as u32).collect())
-            .foreign_key("fk1", "R1", rid1, (0..n_s as u32).map(|i| i % n_r1 as u32).collect())
+            .target(
+                "y",
+                Domain::boolean("y").shared(),
+                (0..n_s as u32).map(|i| i % 2).collect(),
+            )
+            .feature(
+                "xs",
+                Domain::boolean("xs").shared(),
+                (0..n_s as u32).map(|i| (i / 2) % 2).collect(),
+            )
+            .foreign_key(
+                "fk0",
+                "R0",
+                rid0,
+                (0..n_s as u32).map(|i| i % n_r0 as u32).collect(),
+            )
+            .foreign_key(
+                "fk1",
+                "R1",
+                rid1,
+                (0..n_s as u32).map(|i| i % n_r1 as u32).collect(),
+            )
             .build()
             .unwrap();
         StarSchema::new(
             s,
             vec![
-                AttributeTable { fk: "fk0".into(), table: r0 },
-                AttributeTable { fk: "fk1".into(), table: r1 },
+                AttributeTable {
+                    fk: "fk0".into(),
+                    table: r0,
+                },
+                AttributeTable {
+                    fk: "fk1".into(),
+                    table: r1,
+                },
             ],
         )
         .unwrap()
@@ -284,6 +404,45 @@ mod tests {
         let t = p.materialize(&st).unwrap();
         assert!(t.schema().index_of("a0").is_none());
         assert!(t.schema().index_of("a1").is_some());
+    }
+
+    #[test]
+    fn plans_default_to_materialize() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::JoinAll, &TrRule::default(), 200);
+        assert_eq!(p.strategies, vec![ExecStrategy::Materialize; 2]);
+        assert_eq!(p.materialized_set(), vec![0, 1]);
+        assert!(p.factorized_set().is_empty());
+        assert_eq!(p.strategy_for(0), ExecStrategy::Materialize);
+    }
+
+    #[test]
+    fn with_strategy_switches_retained_joins() {
+        let st = star(400);
+        let p = plan(&st, PlanKind::JoinOpt, &TrRule::default(), 200)
+            .with_strategy(ExecStrategy::Factorize);
+        // R0 avoided, R1 retained -> factorized.
+        assert_eq!(p.strategy_for(0), ExecStrategy::AvoidJoin);
+        assert_eq!(p.strategy_for(1), ExecStrategy::Factorize);
+        assert_eq!(p.factorized_set(), vec![1]);
+        // Factorize joins are *not* materialized: the wide table only
+        // carries the entity columns and FKs.
+        let t = p.materialize(&st).unwrap();
+        assert!(t.schema().index_of("a1").is_none());
+        assert!(t.schema().index_of("fk1").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "avoided joins")]
+    fn with_strategy_rejects_avoid() {
+        let _ = explicit_plan(&[0]).with_strategy(ExecStrategy::AvoidJoin);
+    }
+
+    #[test]
+    fn exec_strategy_names() {
+        assert_eq!(ExecStrategy::Materialize.name(), "materialize");
+        assert_eq!(ExecStrategy::Factorize.name(), "factorize");
+        assert_eq!(ExecStrategy::AvoidJoin.name(), "avoid");
     }
 
     #[test]

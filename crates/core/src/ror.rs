@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn worst_case_ror_nonnegative() {
-        for &(n, d, q) in &[(1_000usize, 100usize, 2usize), (5_000, 50, 50), (100, 99, 3)] {
+        for &(n, d, q) in &[
+            (1_000usize, 100usize, 2usize),
+            (5_000, 50, 50),
+            (100, 99, 3),
+        ] {
             assert!(worst_case_ror(n, d, q, 0.1) >= -1e-12, "({n},{d},{q})");
         }
     }

@@ -154,7 +154,11 @@ mod tests {
         let y: Vec<u32> = (0..1000u32).map(|i| (i / 10) % 2).collect();
         let rows: Vec<usize> = (0..1000).collect();
         let r = diagnose_skew(&fk, 10, &y, 2, &rows);
-        assert!((r.retention - 1.0).abs() < 0.01, "retention {}", r.retention);
+        assert!(
+            (r.retention - 1.0).abs() < 0.01,
+            "retention {}",
+            r.retention
+        );
         assert!((r.h_fk - (10f64).log2()).abs() < 0.01);
     }
 

@@ -35,9 +35,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hamlet_relational::{
-    AttributeDef, AttributeTable, Domain, StarSchema, TableBuilder,
-};
+use hamlet_relational::{AttributeDef, AttributeTable, Domain, StarSchema, TableBuilder};
 
 use crate::stats::normal_quantile;
 
@@ -168,10 +166,7 @@ impl DatasetSpec {
                     table: "Stores",
                     fk: "StoreID",
                     n_rows: 45,
-                    features: vec![
-                        FeatureSpec::new("Type", 4),
-                        FeatureSpec::new("Size", 10),
-                    ],
+                    features: vec![FeatureSpec::new("Type", 4), FeatureSpec::new("Size", 10)],
                     closed: true,
                     hidden_weight: 0.8,
                     visible_weights: vec![],
@@ -498,10 +493,7 @@ impl DatasetSpec {
                     table: "Users",
                     fk: "UserID",
                     n_rows: 49_972,
-                    features: vec![
-                        FeatureSpec::new("Age", 10),
-                        FeatureSpec::new("Country", 60),
-                    ],
+                    features: vec![FeatureSpec::new("Age", 10), FeatureSpec::new("Country", 60)],
                     closed: true,
                     hidden_weight: 0.25,
                     visible_weights: vec![(0, 0.8), (1, 0.5)],
@@ -571,23 +563,18 @@ impl DatasetSpec {
         for (ti, t) in self.tables.iter().enumerate() {
             let n_r = self.scaled_n_r(ti, scale);
             let rid_domain = Domain::indexed(t.fk, n_r).shared();
-            let mut builder = TableBuilder::new(t.table).primary_key(
-                t.fk,
-                rid_domain,
-                (0..n_r as u32).collect(),
-            );
+            let mut builder =
+                TableBuilder::new(t.table).primary_key(t.fk, rid_domain, (0..n_r as u32).collect());
             let mut table_visible = vec![Vec::new(); t.features.len()];
             for (fi, f) in t.features.iter().enumerate() {
                 let codes: Vec<u32> = (0..n_r)
                     .map(|_| rng.gen_range(0..f.domain as u32))
                     .collect();
                 if t.visible_weights.iter().any(|&(i, _)| i == fi) {
-                    table_visible[fi] = codes
-                        .iter()
-                        .map(|&c| unit_value(c, f.domain))
-                        .collect();
+                    table_visible[fi] = codes.iter().map(|&c| unit_value(c, f.domain)).collect();
                 }
-                builder = builder.feature(f.name, Domain::indexed(f.name, f.domain).shared(), codes);
+                builder =
+                    builder.feature(f.name, Domain::indexed(f.name, f.domain).shared(), codes);
             }
             hidden.push((0..n_r).map(|_| standard_normal(&mut rng)).collect());
             visible_vals.push(table_visible);
@@ -623,8 +610,7 @@ impl DatasetSpec {
         for row in 0..n_s {
             let mut score = self.noise * standard_normal(&mut rng);
             for &(fi, w) in &self.entity_weights {
-                score +=
-                    w * unit_value(entity_codes[fi][row], self.entity_features[fi].domain);
+                score += w * unit_value(entity_codes[fi][row], self.entity_features[fi].domain);
             }
             for (ti, t) in self.tables.iter().enumerate() {
                 let rid = fk_codes[ti][row] as usize;
@@ -663,8 +649,7 @@ impl DatasetSpec {
             );
         }
         let entity = builder.build().expect("generated entity table is valid");
-        let star =
-            StarSchema::new(entity, attr_tables).expect("generated star schema is valid");
+        let star = StarSchema::new(entity, attr_tables).expect("generated star schema is valid");
 
         GeneratedDataset {
             star,
@@ -731,10 +716,26 @@ mod tests {
     #[test]
     fn figure6_shape_statistics_match() {
         // (#Y, n_S, d_S, k, k', [(n_Ri, d_Ri)])
-        type Row = (&'static str, usize, usize, usize, usize, usize, Vec<(usize, usize)>);
+        type Row = (
+            &'static str,
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            Vec<(usize, usize)>,
+        );
         let expected: Vec<Row> = vec![
             ("Walmart", 7, 421_570, 1, 2, 2, vec![(2_340, 9), (45, 2)]),
-            ("Expedia", 2, 942_142, 6, 2, 1, vec![(11_939, 8), (37_021, 14)]),
+            (
+                "Expedia",
+                2,
+                942_142,
+                6,
+                2,
+                1,
+                vec![(11_939, 8), (37_021, 14)],
+            ),
             (
                 "Flights",
                 2,

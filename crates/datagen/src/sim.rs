@@ -299,7 +299,11 @@ mod tests {
             let c = w.conditional(fk, &[0, 0]);
             let xr0 = w.r_table().column_by_name("xr0").unwrap();
             // RIDs are stored in order 0..n_r in the generated table.
-            let expected = if xr0.codes()[fk as usize] == 1 { 0.1 } else { 0.9 };
+            let expected = if xr0.codes()[fk as usize] == 1 {
+                0.1
+            } else {
+                0.9
+            };
             assert!((c - expected).abs() < 1e-12);
         }
     }
@@ -329,7 +333,10 @@ mod tests {
         // Two rids with the same latent bit must give identical conditionals.
         let g0 = w.g[0];
         if let Some(other) = (1..10).find(|&r| w.g[r] == g0) {
-            assert_eq!(w.conditional(0, &[1, 0]), w.conditional(other as u32, &[1, 0]));
+            assert_eq!(
+                w.conditional(0, &[1, 0]),
+                w.conditional(other as u32, &[1, 0])
+            );
         }
     }
 

@@ -46,7 +46,9 @@ impl FkSampler {
             FkSkew::Uniform => vec![1.0 / n as f64; n],
             FkSkew::Zipf { exponent } => {
                 assert!(*exponent > 0.0, "Zipf exponent must be positive");
-                let raw: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(*exponent)).collect();
+                let raw: Vec<f64> = (0..n)
+                    .map(|k| 1.0 / ((k + 1) as f64).powf(*exponent))
+                    .collect();
                 let z: f64 = raw.iter().sum();
                 raw.into_iter().map(|p| p / z).collect()
             }

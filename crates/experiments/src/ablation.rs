@@ -142,8 +142,18 @@ pub fn skew_guard_report(opts: &MonteCarloOpts) -> String {
             label,
             f2(report.h_y),
             f2(report.retention),
-            if report.conservative_guard_fires() { "fires" } else { "-" }.to_string(),
-            if report.is_malign(MALIGN_RETENTION_FLOOR) { "malign" } else { "benign" }.to_string(),
+            if report.conservative_guard_fires() {
+                "fires"
+            } else {
+                "-"
+            }
+            .to_string(),
+            if report.is_malign(MALIGN_RETENTION_FLOOR) {
+                "malign"
+            } else {
+                "benign"
+            }
+            .to_string(),
             f4(harm),
         ]);
     }

@@ -11,17 +11,35 @@ fn main() {
         ("Figure 4", hamlet_experiments::fig4::report(&opts)),
         ("Figure 5", hamlet_experiments::fig5::report(100_000)),
         ("Figure 6", hamlet_experiments::fig6::report(scale)),
-        ("Figure 7", hamlet_experiments::fig7::report(scale, seed, false)),
-        ("Figure 8(A)", hamlet_experiments::fig8::report_a(scale, seed)),
-        ("Figure 8(B)", hamlet_experiments::fig8::report_b(scale, seed)),
-        ("Figure 8(C)", hamlet_experiments::fig8::report_c(scale, seed)),
+        (
+            "Figure 7",
+            hamlet_experiments::fig7::report(scale, seed, false),
+        ),
+        (
+            "Figure 8(A)",
+            hamlet_experiments::fig8::report_a(scale, seed),
+        ),
+        (
+            "Figure 8(B)",
+            hamlet_experiments::fig8::report_b(scale, seed),
+        ),
+        (
+            "Figure 8(C)",
+            hamlet_experiments::fig8::report_c(scale, seed),
+        ),
         ("Figure 9", hamlet_experiments::fig9::report(scale, seed, 8)),
         ("Figure 10", hamlet_experiments::fig10::report(&opts)),
         ("Figure 11", hamlet_experiments::fig11::report(&opts)),
         ("Figure 12", hamlet_experiments::fig12::report(&opts)),
         ("Figure 13", hamlet_experiments::fig13::report(&opts)),
-        ("Appendix E", hamlet_experiments::tan_appendix::report(4000, seed)),
-        ("Ablations", hamlet_experiments::ablation::report(&opts, scale, seed)),
+        (
+            "Appendix E",
+            hamlet_experiments::tan_appendix::report(4000, seed),
+        ),
+        (
+            "Ablations",
+            hamlet_experiments::ablation::report(&opts, scale, seed),
+        ),
     ];
     for (name, body) in sections {
         println!("==================== {name} ====================");

@@ -1,4 +1,7 @@
 //! Quantifies the paper's Figure 2 (hypothesis-space relationships).
 fn main() {
-    print!("{}", hamlet_experiments::fig2::report(hamlet_experiments::DEFAULT_SEED));
+    print!(
+        "{}",
+        hamlet_experiments::fig2::report(hamlet_experiments::DEFAULT_SEED)
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 6 (dataset statistics).
 fn main() {
-    print!("{}", hamlet_experiments::fig6::report(hamlet_experiments::dataset_scale()));
+    print!(
+        "{}",
+        hamlet_experiments::fig6::report(hamlet_experiments::dataset_scale())
+    );
 }

@@ -60,7 +60,10 @@ pub fn nesting_violations(ms: &[BoxMembership]) -> Vec<String> {
     let mut violations = Vec::new();
     for m in ms {
         if m.in_c && !m.in_a {
-            violations.push(format!("{}: ROR-safe but not actually safe (C ⊄ A)", m.join));
+            violations.push(format!(
+                "{}: ROR-safe but not actually safe (C ⊄ A)",
+                m.join
+            ));
         }
         if m.in_d && !m.in_c {
             violations.push(format!("{}: TR-safe but not ROR-safe (D ⊄ C)", m.join));

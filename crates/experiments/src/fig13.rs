@@ -137,7 +137,10 @@ mod tests {
         let rows = panel_a1(&tiny());
         for (label, est) in &rows {
             let gap = est[1].test_error - est[0].test_error;
-            assert!(gap < 0.25, "{label}: NoJoin gap {gap} too large for benign skew");
+            assert!(
+                gap < 0.25,
+                "{label}: NoJoin gap {gap} too large for benign skew"
+            );
         }
     }
 }

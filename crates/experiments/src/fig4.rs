@@ -45,10 +45,9 @@ mod tests {
         let mut sorted = pts.clone();
         sorted.sort_by(|a, b| a.ror.partial_cmp(&b.ror).unwrap());
         let half = sorted.len() / 2;
-        let lo: f64 =
-            sorted[..half].iter().map(|p| p.d_test).sum::<f64>() / half as f64;
-        let hi: f64 = sorted[half..].iter().map(|p| p.d_test).sum::<f64>()
-            / (sorted.len() - half) as f64;
+        let lo: f64 = sorted[..half].iter().map(|p| p.d_test).sum::<f64>() / half as f64;
+        let hi: f64 =
+            sorted[half..].iter().map(|p| p.d_test).sum::<f64>() / (sorted.len() - half) as f64;
         assert!(lo <= hi + 0.005, "low-ROR mean {lo} vs high-ROR mean {hi}");
         // Threshold suggestions are finite and ordered sanely.
         let rho = suggest_rho(&pts, TOLERANCE.max(0.01));

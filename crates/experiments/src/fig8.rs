@@ -9,9 +9,7 @@
 //! * **(C) dropping FKs** — JoinOpt vs JoinAllNoFK.
 
 use hamlet_core::planner::{explicit_plan, join_stats, plan as make_plan, PlanKind};
-use hamlet_core::rules::{
-    DecisionRule, RorRule, TrRule, RELAXED_RHO, RELAXED_TAU,
-};
+use hamlet_core::rules::{DecisionRule, RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
 use hamlet_datagen::realistic::DatasetSpec;
 use hamlet_fs::Method;
 
@@ -81,15 +79,23 @@ pub fn robustness(spec: &DatasetSpec, scale: f64, seed: u64) -> String {
             if chosen { "<- chosen" } else { "" }.to_string(),
         ]);
     }
-    format!("{} (metric: {})\n{}", spec.name, if spec.n_classes <= 2 { "Zero-one" } else { "RMSE" }, t.render())
+    format!(
+        "{} (metric: {})\n{}",
+        spec.name,
+        if spec.n_classes <= 2 {
+            "Zero-one"
+        } else {
+            "RMSE"
+        },
+        t.render()
+    )
 }
 
 /// Full panel (A) report. Expedia is skipped, as in the paper (it has
 /// only one closed-domain foreign key, so Fig 7 already covers it).
 pub fn report_a(scale: f64, seed: u64) -> String {
-    let mut out = String::from(
-        "Figure 8(A): robustness — errors for every join-avoidance plan (FS/BS)\n\n",
-    );
+    let mut out =
+        String::from("Figure 8(A): robustness — errors for every join-avoidance plan (FS/BS)\n\n");
     for spec in DatasetSpec::all() {
         if spec.name == "Expedia" {
             continue;

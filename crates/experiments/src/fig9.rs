@@ -9,8 +9,8 @@ use hamlet_core::planner::{plan as make_plan, PlanKind};
 use hamlet_core::rules::TrRule;
 use hamlet_datagen::realistic::DatasetSpec;
 use hamlet_ml::classifier::ErrorMetric;
-use hamlet_ml::model_selection::grid_search_test_error;
 use hamlet_ml::logreg::{LogisticRegression, Penalty};
+use hamlet_ml::model_selection::grid_search_test_error;
 
 use crate::runner::{prepare_plan, PreparedPlan};
 use crate::table::{f4, TextTable};

@@ -24,28 +24,30 @@
 //! `HAMLET_TRAIN_SETS` / `HAMLET_REPEATS` (Monte-Carlo replication).
 
 pub mod ablation;
+pub mod factorized;
 pub mod fig1;
-pub mod fig2;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig2;
 pub mod fig3;
-pub mod future_work;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod future_work;
 pub mod runner;
 pub mod scale_check;
-pub mod scenario3;
 pub mod scatter;
+pub mod scenario3;
 pub mod table;
 pub mod tan_appendix;
 
 pub use runner::{
-    dataset_scale, join_opt_plan, monte_carlo_opts, prepare_plan, run_method, simulate, simulate_with,
-    FeatureSetChoice, MonteCarloOpts, PlanMethodRun, PreparedPlan, SimEstimate, DEFAULT_SEED,
+    dataset_scale, join_opt_plan, monte_carlo_opts, prepare_plan, run_method, simulate,
+    simulate_with, FeatureSetChoice, MonteCarloOpts, PlanMethodRun, PreparedPlan, SimEstimate,
+    DEFAULT_SEED,
 };

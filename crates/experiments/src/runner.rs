@@ -132,11 +132,7 @@ impl SimEstimate {
 /// examples and `train_sets` training sets of `n_s` examples; fit Naive
 /// Bayes per feature-set choice per training set; decompose against the
 /// exact conditionals.
-pub fn simulate(
-    cfg: &SimulationConfig,
-    n_s: usize,
-    opts: &MonteCarloOpts,
-) -> [SimEstimate; 3] {
+pub fn simulate(cfg: &SimulationConfig, n_s: usize, opts: &MonteCarloOpts) -> [SimEstimate; 3] {
     simulate_with(&NaiveBayes::default(), cfg, n_s, opts)
 }
 
@@ -389,7 +385,11 @@ mod tests {
         };
         let [use_all, no_join, no_fk] = simulate(&cfg, 500, &tiny_opts());
         // UseAll and NoFK see x_r directly: error near the noise floor 0.1.
-        assert!(use_all.test_error < 0.2, "UseAll error {}", use_all.test_error);
+        assert!(
+            use_all.test_error < 0.2,
+            "UseAll error {}",
+            use_all.test_error
+        );
         assert!(no_fk.test_error < 0.2, "NoFK error {}", no_fk.test_error);
         // NoJoin must still be a sane classifier.
         assert!(no_join.test_error < 0.5);

@@ -34,7 +34,6 @@ impl TextTable {
         self.rows.is_empty()
     }
 
-
     /// Renders the table as CSV (for plotting tools); cells containing
     /// commas or quotes are quoted.
     pub fn to_csv(&self) -> String {
@@ -144,7 +143,6 @@ mod tests {
         assert_eq!(f4(f64::NAN), "-");
         assert_eq!(f2(12.345), "12.35");
     }
-
 
     #[test]
     fn csv_rendering() {

@@ -1,0 +1,66 @@
+//! Executing a planner [`JoinPlan`] factorized.
+//!
+//! The planner decides *which* joins to keep ([`hamlet_core::plan`],
+//! [`hamlet_core::advise`]); an [`ExecStrategy`](hamlet_core::planner::ExecStrategy) on the plan says *how*
+//! each kept join runs. This module interprets the `Factorize` entries:
+//! it builds the [`FactorizedView`] over exactly the plan's factorized
+//! join set, so training proceeds with zero join materialization — no
+//! `kfk_join` call anywhere on this path.
+
+use hamlet_core::planner::JoinPlan;
+use hamlet_relational::{Result, StarSchema};
+
+use crate::view::FactorizedView;
+
+/// Builds the view executing `plan`'s [`ExecStrategy::Factorize`](hamlet_core::planner::ExecStrategy::Factorize) joins
+/// over `star`.
+///
+/// The view exposes the entity's features and FKs plus the foreign
+/// features of every factorized join, resolved through FK indirection.
+/// Joins the plan avoids are simply absent (their FKs represent them,
+/// as in the paper); joins marked [`ExecStrategy::Materialize`](hamlet_core::planner::ExecStrategy::Materialize) are
+/// *also* absent here — they belong to the wide table that
+/// [`JoinPlan::materialize`] builds, and mixing the two executions in
+/// one training pass is not supported.
+///
+/// Returns an error if the entity table declares no target.
+pub fn view_for_plan<'a>(star: &'a StarSchema, plan: &JoinPlan) -> Result<FactorizedView<'a>> {
+    FactorizedView::with_join_set(star, &plan.factorized_set())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::tests::two_table_star;
+    use hamlet_core::planner::{explicit_plan, ExecStrategy, PlanKind};
+    use hamlet_core::rules::TrRule;
+    use hamlet_ml::CodeSource;
+
+    #[test]
+    fn view_covers_factorized_joins_only() {
+        let star = two_table_star();
+        let plan = explicit_plan(&[0, 1]).with_strategy(ExecStrategy::Factorize);
+        let view = view_for_plan(&star, &plan).unwrap();
+        assert_eq!(view.join_set(), &[0, 1]);
+        // Entity features + FKs + one foreign feature per table.
+        assert!(view.feature_index("a1").is_some());
+        assert!(view.feature_index("b1").is_some());
+
+        let partial = explicit_plan(&[0, 1]);
+        let view = view_for_plan(&star, &partial).unwrap();
+        // All-materialize plan: nothing to factorize.
+        assert!(view.join_set().is_empty());
+        assert!(view.feature_index("a1").is_none());
+        assert!(view.feature_index("fk_a").is_some());
+    }
+
+    #[test]
+    fn planned_view_matches_plan_kinds() {
+        let star = two_table_star();
+        let plan = hamlet_core::plan(&star, PlanKind::JoinAll, &TrRule::default(), 3)
+            .with_strategy(ExecStrategy::Factorize);
+        let view = view_for_plan(&star, &plan).unwrap();
+        assert_eq!(view.n_features(), 3 + 3); // xs, fk_a, fk_b + a1, a2, b1
+        assert_eq!(view.n_examples(), star.n_s());
+    }
+}

@@ -1,0 +1,17 @@
+//! Factorized learning over a [`hamlet_relational::catalog::StarSchema`].
+//!
+//! Trains classifiers with JoinAll semantics while never materializing
+//! the KFK joins: logical columns of joined attribute tables are resolved
+//! through FK indirection at access time ([`view::FactorizedView`]), and
+//! naive Bayes sufficient statistics are pushed down to per-table counts
+//! ([`naive_bayes`]).
+
+pub mod execute;
+pub mod logreg;
+pub mod naive_bayes;
+pub mod view;
+
+pub use execute::view_for_plan;
+pub use logreg::fit_factorized_logreg;
+pub use naive_bayes::fit_factorized_nb;
+pub use view::FactorizedView;

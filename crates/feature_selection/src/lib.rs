@@ -553,7 +553,11 @@ pub mod fd_prefilter {
     /// # Panics
     /// Panics if `fds` is cyclic — redundancy of dependents is only
     /// guaranteed for acyclic sets (Def C.1).
-    pub fn prefilter(data: &Dataset, candidates: &[usize], fds: &[FunctionalDependency]) -> PrefilterResult {
+    pub fn prefilter(
+        data: &Dataset,
+        candidates: &[usize],
+        fds: &[FunctionalDependency],
+    ) -> PrefilterResult {
         assert!(is_acyclic(fds), "FD set must be acyclic (Def C.1)");
         let redundant = redundant_attributes(fds);
         let mut kept = Vec::new();
@@ -585,9 +589,21 @@ mod fd_prefilter_tests {
         let y: Vec<u32> = xr.iter().map(|&v| u32::from(v == 0)).collect();
         Dataset::new(
             vec![
-                Feature { name: "fk".into(), domain_size: 12, codes: fk },
-                Feature { name: "xr".into(), domain_size: 3, codes: xr },
-                Feature { name: "noise".into(), domain_size: 2, codes: (0..n).map(|i| (i / 2) % 2).collect() },
+                Feature {
+                    name: "fk".into(),
+                    domain_size: 12,
+                    codes: fk,
+                },
+                Feature {
+                    name: "xr".into(),
+                    domain_size: 3,
+                    codes: xr,
+                },
+                Feature {
+                    name: "noise".into(),
+                    domain_size: 2,
+                    codes: (0..n).map(|i| (i / 2) % 2).collect(),
+                },
             ],
             y,
             2,
@@ -707,9 +723,21 @@ mod exhaustive_tests {
         let y: Vec<u32> = x0.iter().zip(&x1).map(|(&a, &b)| a ^ b).collect();
         Dataset::new(
             vec![
-                Feature { name: "x0".into(), domain_size: 2, codes: x0 },
-                Feature { name: "x1".into(), domain_size: 2, codes: x1 },
-                Feature { name: "pair".into(), domain_size: 4, codes: inter },
+                Feature {
+                    name: "x0".into(),
+                    domain_size: 2,
+                    codes: x0,
+                },
+                Feature {
+                    name: "x1".into(),
+                    domain_size: 2,
+                    codes: x1,
+                },
+                Feature {
+                    name: "pair".into(),
+                    domain_size: 4,
+                    codes: inter,
+                },
             ],
             y,
             2,
@@ -730,7 +758,11 @@ mod exhaustive_tests {
         };
         let ex = exhaustive_selection(&ctx, &[0, 1, 2]);
         assert_eq!(ex.validation_error, 0.0);
-        assert!(ex.features.contains(&2), "pair feature solves it: {:?}", ex.features);
+        assert!(
+            ex.features.contains(&2),
+            "pair feature solves it: {:?}",
+            ex.features
+        );
         assert_eq!(ex.model_fits, 8);
         // Exhaustive is never worse than the greedy wrappers.
         let fwd = forward_selection(&ctx, &[0, 1, 2]);
@@ -795,8 +827,16 @@ mod trace_tests {
         let y: Vec<u32> = x0.clone();
         let d = Dataset::new(
             vec![
-                Feature { name: "x0".into(), domain_size: 2, codes: x0 },
-                Feature { name: "x1".into(), domain_size: 2, codes: x1 },
+                Feature {
+                    name: "x0".into(),
+                    domain_size: 2,
+                    codes: x0,
+                },
+                Feature {
+                    name: "x1".into(),
+                    domain_size: 2,
+                    codes: x1,
+                },
             ],
             y,
             2,
@@ -817,10 +857,7 @@ mod trace_tests {
             assert!(w[1].validation_error <= w[0].validation_error + 1e-12);
         }
         // The last trace error equals the reported validation error.
-        assert_eq!(
-            r.trace.last().unwrap().validation_error,
-            r.validation_error
-        );
+        assert_eq!(r.trace.last().unwrap().validation_error, r.validation_error);
     }
 
     #[test]
@@ -830,8 +867,16 @@ mod trace_tests {
         let noise: Vec<u32> = (0..n).map(|i| (i * 13) % 7).collect();
         let d = Dataset::new(
             vec![
-                Feature { name: "s".into(), domain_size: 2, codes: signal.clone() },
-                Feature { name: "noise".into(), domain_size: 7, codes: noise },
+                Feature {
+                    name: "s".into(),
+                    domain_size: 2,
+                    codes: signal.clone(),
+                },
+                Feature {
+                    name: "noise".into(),
+                    domain_size: 7,
+                    codes: noise,
+                },
             ],
             signal,
             2,
@@ -847,7 +892,10 @@ mod trace_tests {
         };
         let r = backward_selection(&ctx, &[0, 1]);
         for step in &r.trace {
-            assert!(!r.features.contains(&step.feature), "removed feature still selected");
+            assert!(
+                !r.features.contains(&step.feature),
+                "removed feature still selected"
+            );
         }
     }
 }

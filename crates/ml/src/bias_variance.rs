@@ -82,11 +82,7 @@ pub fn decompose(cond: &[Vec<f64>], preds: &[Vec<u32>]) -> BiasVarianceReport {
 
         // Expected error of each model under the true conditional:
         // E_Y[L(Y, pred)] = 1 - P(pred | x).
-        let err: f64 = preds
-            .iter()
-            .map(|pr| 1.0 - p[pr[i] as usize])
-            .sum::<f64>()
-            / m as f64;
+        let err: f64 = preds.iter().map(|pr| 1.0 - p[pr[i] as usize]).sum::<f64>() / m as f64;
 
         sum_err += err;
         sum_bias += bias;
@@ -111,7 +107,11 @@ pub fn decompose(cond: &[Vec<f64>], preds: &[Vec<u32>]) -> BiasVarianceReport {
 /// each label is treated as a point-mass conditional distribution, so the
 /// noise term is zero and bias/variance are with respect to the observed
 /// label.
-pub fn decompose_observed(labels: &[u32], n_classes: usize, preds: &[Vec<u32>]) -> BiasVarianceReport {
+pub fn decompose_observed(
+    labels: &[u32],
+    n_classes: usize,
+    preds: &[Vec<u32>],
+) -> BiasVarianceReport {
     let cond: Vec<Vec<f64>> = labels
         .iter()
         .map(|&y| {
@@ -193,14 +193,19 @@ mod tests {
         assert!((r.avg_bias - 1.0).abs() < EPS);
         assert!((r.avg_variance - 0.25).abs() < EPS);
         assert!((r.avg_net_variance + 0.25).abs() < EPS); // negative!
-        // Identity: E[L] = B + (1-2B)V = 1 - 0.25.
+                                                          // Identity: E[L] = B + (1-2B)V = 1 - 0.25.
         assert!((r.avg_test_error - 0.75).abs() < EPS);
     }
 
     #[test]
     fn binary_noise_free_identity_holds() {
         // Random-ish configuration, binary, noise-free: the identity is exact.
-        let cond = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let cond = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
         let preds = vec![
             vec![0, 1, 1, 0],
             vec![0, 0, 1, 1],

@@ -6,15 +6,20 @@
 //! (as greedy feature selection does thousands of times) copies nothing.
 
 use crate::dataset::Dataset;
+use crate::source::CodeSource;
 
 /// A fitted model that predicts a class for any row of a dataset with the
 /// same feature layout it was trained on.
+///
+/// Prediction is generic over [`CodeSource`], so a model fitted on a
+/// materialized [`Dataset`] can score rows of a factorized view with the
+/// same logical layout (and vice versa).
 pub trait Model {
     /// Predicts the class of one row.
-    fn predict_row(&self, data: &Dataset, row: usize) -> u32;
+    fn predict_row<S: CodeSource>(&self, data: &S, row: usize) -> u32;
 
     /// Predicts the classes of many rows.
-    fn predict(&self, data: &Dataset, rows: &[usize]) -> Vec<u32> {
+    fn predict<S: CodeSource>(&self, data: &S, rows: &[usize]) -> Vec<u32> {
         rows.iter().map(|&r| self.predict_row(data, r)).collect()
     }
 
@@ -34,14 +39,13 @@ pub trait Classifier {
 }
 
 /// Zero-one error of `model` on `rows` (fraction misclassified).
-pub fn zero_one_error<M: Model>(model: &M, data: &Dataset, rows: &[usize]) -> f64 {
+pub fn zero_one_error<M: Model, S: CodeSource>(model: &M, data: &S, rows: &[usize]) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    let labels = data.labels();
     let wrong = rows
         .iter()
-        .filter(|&&r| model.predict_row(data, r) != labels[r])
+        .filter(|&&r| model.predict_row(data, r) != data.label(r))
         .count();
     wrong as f64 / rows.len() as f64
 }
@@ -49,15 +53,14 @@ pub fn zero_one_error<M: Model>(model: &M, data: &Dataset, rows: &[usize]) -> f6
 /// Root-mean-squared error of `model` on `rows`, treating class codes as
 /// ordinal values — the paper's metric for multi-class ordinal targets
 /// (star ratings, sales levels).
-pub fn rmse<M: Model>(model: &M, data: &Dataset, rows: &[usize]) -> f64 {
+pub fn rmse<M: Model, S: CodeSource>(model: &M, data: &S, rows: &[usize]) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    let labels = data.labels();
     let sq_sum: f64 = rows
         .iter()
         .map(|&r| {
-            let d = model.predict_row(data, r) as f64 - labels[r] as f64;
+            let d = model.predict_row(data, r) as f64 - data.label(r) as f64;
             d * d
         })
         .sum();
@@ -85,7 +88,7 @@ impl ErrorMetric {
     }
 
     /// Evaluates the metric.
-    pub fn eval<M: Model>(self, model: &M, data: &Dataset, rows: &[usize]) -> f64 {
+    pub fn eval<M: Model, S: CodeSource>(self, model: &M, data: &S, rows: &[usize]) -> f64 {
         match self {
             Self::ZeroOne => zero_one_error(model, data, rows),
             Self::Rmse => rmse(model, data, rows),
@@ -109,7 +112,7 @@ mod tests {
     /// A constant-prediction stub for metric tests.
     struct Const(u32);
     impl Model for Const {
-        fn predict_row(&self, _d: &Dataset, _r: usize) -> u32 {
+        fn predict_row<S: CodeSource>(&self, _d: &S, _r: usize) -> u32 {
             self.0
         }
         fn features(&self) -> &[usize] {

@@ -5,7 +5,7 @@
 //! selection operate on *index sets* (row subsets for splits, feature
 //! subsets for selection) so no data is copied during greedy search.
 
-use hamlet_relational::{Role, Table};
+use hamlet_relational::{RelationalError, Role, Table};
 
 /// One nominal feature column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,12 +64,23 @@ impl Dataset {
     /// label.
     ///
     /// # Panics
-    /// Panics if the table has no target attribute.
+    /// Panics if the table has no target attribute. Fallible callers
+    /// should use [`Dataset::try_from_table`].
     pub fn from_table(table: &Table) -> Self {
+        Self::try_from_table(table).expect("table must declare a target attribute")
+    }
+
+    /// Fallible variant of [`Dataset::from_table`]: returns
+    /// [`RelationalError::MissingRole`] instead of panicking when the
+    /// table declares no target attribute.
+    pub fn try_from_table(table: &Table) -> hamlet_relational::Result<Self> {
         let target_idx = table
             .schema()
             .target()
-            .expect("table must declare a target attribute");
+            .ok_or_else(|| RelationalError::MissingRole {
+                table: table.name().to_string(),
+                role: "target",
+            })?;
         let labels = table.column(target_idx).codes().to_vec();
         let n_classes = table.column(target_idx).domain().size();
         let mut features = Vec::new();
@@ -82,7 +93,7 @@ impl Dataset {
                 });
             }
         }
-        Self::new(features, labels, n_classes)
+        Ok(Self::new(features, labels, n_classes))
     }
 
     /// Number of examples.
@@ -137,7 +148,10 @@ impl Dataset {
 
     /// Names of the features at the given positions.
     pub fn feature_names(&self, feats: &[usize]) -> Vec<&str> {
-        feats.iter().map(|&f| self.features[f].name.as_str()).collect()
+        feats
+            .iter()
+            .map(|&f| self.features[f].name.as_str())
+            .collect()
     }
 
     /// Empirical class distribution over the given rows.

@@ -212,7 +212,7 @@ mod tests {
         // Hand-built: model always predicts class 0.
         struct Zero;
         impl Model for Zero {
-            fn predict_row(&self, _d: &Dataset, _r: usize) -> u32 {
+            fn predict_row<S: crate::source::CodeSource>(&self, _d: &S, _r: usize) -> u32 {
                 0
             }
             fn features(&self) -> &[usize] {

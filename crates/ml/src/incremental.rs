@@ -32,10 +32,7 @@ impl IncrementalNaiveBayes {
     /// dataset layout (names/domains fixed at construction).
     pub fn new(learner: &NaiveBayes, data: &Dataset, feats: &[usize]) -> Self {
         let n_classes = data.n_classes();
-        let domain_sizes: Vec<usize> = feats
-            .iter()
-            .map(|&f| data.feature(f).domain_size)
-            .collect();
+        let domain_sizes: Vec<usize> = feats.iter().map(|&f| data.feature(f).domain_size).collect();
         let cond_counts = domain_sizes
             .iter()
             .map(|&d| vec![0u64; n_classes * d])

@@ -148,8 +148,7 @@ pub fn conditional_entropy(
     b_size: usize,
     rows: &[usize],
 ) -> f64 {
-    entropy(a_codes, a_size, rows)
-        - mutual_information(a_codes, a_size, b_codes, b_size, rows)
+    entropy(a_codes, a_size, rows) - mutual_information(a_codes, a_size, b_codes, b_size, rows)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod logreg;
 pub mod model_selection;
 pub mod naive_bayes;
 pub mod redundancy;
+pub mod source;
 pub mod split;
 pub mod tan;
 pub mod tree;
@@ -44,6 +45,7 @@ pub use logreg::{LogisticRegression, LogisticRegressionModel, Penalty};
 pub use model_selection::{grid_search, grid_search_test_error, GridSearchResult};
 pub use naive_bayes::{NaiveBayes, NaiveBayesModel};
 pub use redundancy::{is_markov_blanket, is_redundant_given_fk, is_weakly_relevant};
+pub use source::CodeSource;
 pub use split::{disjoint_train_sets, HoldoutSplit};
 pub use tan::{Tan, TanModel};
 pub use tree::{DecisionTree, DecisionTreeModel};

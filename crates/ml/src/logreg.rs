@@ -18,6 +18,7 @@ use rand::SeedableRng;
 
 use crate::classifier::{Classifier, Model};
 use crate::dataset::Dataset;
+use crate::source::CodeSource;
 
 /// Regularization penalty.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,12 +104,28 @@ impl Classifier for LogisticRegression {
     type Fitted = LogisticRegressionModel;
 
     fn fit(&self, data: &Dataset, rows: &[usize], feats: &[usize]) -> LogisticRegressionModel {
+        self.fit_source(data, rows, feats)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits over any [`CodeSource`] — the flat [`Dataset`] of a
+    /// materialized join or a factorized view resolving codes through FK
+    /// indirection. The SGD loop is identical either way, so two sources
+    /// presenting the same codes yield bitwise-identical weights for the
+    /// same seed and epochs.
+    pub fn fit_source<S: CodeSource>(
+        &self,
+        data: &S,
+        rows: &[usize],
+        feats: &[usize],
+    ) -> LogisticRegressionModel {
         let n_classes = data.n_classes();
         let mut offsets = Vec::with_capacity(feats.len());
         let mut dim = 0usize;
         for &f in feats {
             offsets.push(dim);
-            dim += data.feature(f).domain_size;
+            dim += data.feature_domain_size(f);
         }
 
         let mut weights = vec![0f64; n_classes * dim];
@@ -121,7 +138,6 @@ impl Classifier for LogisticRegression {
         // that should have been applied up to step t.
         let mut order: Vec<usize> = rows.to_vec();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let labels = data.labels();
 
         let mut step: u64 = 0;
         let mut scores = vec![0f64; n_classes];
@@ -134,9 +150,10 @@ impl Classifier for LogisticRegression {
                 // scores = b + sum_f W[., off_f + v_f]
                 scores.copy_from_slice(&bias);
                 for (i, &f) in feats.iter().enumerate() {
-                    let col = offsets[i] + data.feature(f).codes[r] as usize;
+                    let col = offsets[i] + data.code(f, r) as usize;
                     // Lazily regularize the active coordinates first.
-                    #[allow(clippy::needless_range_loop)] // y indexes weights and scores in lockstep
+                    #[allow(clippy::needless_range_loop)]
+                    // y indexes weights and scores in lockstep
                     for y in 0..n_classes {
                         let w_idx = y * dim + col;
                         let elapsed = step - last_touch[w_idx];
@@ -149,7 +166,7 @@ impl Classifier for LogisticRegression {
                     }
                 }
                 softmax_in_place(&mut scores);
-                let y_true = labels[r] as usize;
+                let y_true = data.label(r) as usize;
                 #[allow(clippy::needless_range_loop)] // y indexes three arrays in lockstep
                 for y in 0..n_classes {
                     let g = scores[y] - if y == y_true { 1.0 } else { 0.0 };
@@ -158,7 +175,7 @@ impl Classifier for LogisticRegression {
                     }
                     bias[y] -= lr * g;
                     for (i, &f) in feats.iter().enumerate() {
-                        let col = offsets[i] + data.feature(f).codes[r] as usize;
+                        let col = offsets[i] + data.code(f, r) as usize;
                         weights[y * dim + col] -= lr * g;
                     }
                 }
@@ -218,10 +235,10 @@ fn softmax_in_place(scores: &mut [f64]) {
 
 impl LogisticRegressionModel {
     /// Class scores (pre-softmax) for one row.
-    pub fn decision_scores(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    pub fn decision_scores<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let mut scores = self.bias.clone();
         for (i, &f) in self.feats.iter().enumerate() {
-            let col = self.offsets[i] + data.feature(f).codes[row] as usize;
+            let col = self.offsets[i] + data.code(f, row) as usize;
             for (y, s) in scores.iter_mut().enumerate() {
                 *s += self.weights[y * self.dim + col];
             }
@@ -230,17 +247,27 @@ impl LogisticRegressionModel {
     }
 
     /// Class probabilities for one row.
-    pub fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    pub fn predict_proba<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let mut s = self.decision_scores(data, row);
         softmax_in_place(&mut s);
         s
     }
 
+    /// Raw weight matrix, laid out `[class][one-hot column]` flattened.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Per-class intercepts.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
     /// L2 norm of the weight block belonging to the `i`-th *selected*
     /// feature (position into [`Model::features`]).
-    pub fn feature_weight_norm(&self, data: &Dataset, i: usize) -> f64 {
+    pub fn feature_weight_norm<S: CodeSource>(&self, data: &S, i: usize) -> f64 {
         let f = self.feats[i];
-        let d = data.feature(f).domain_size;
+        let d = data.feature_domain_size(f);
         let off = self.offsets[i];
         let mut sq = 0.0;
         for y in 0..self.n_classes {
@@ -260,7 +287,7 @@ impl LogisticRegressionModel {
     /// Features whose entire weight block was driven (essentially) to
     /// zero by regularization — the embedded method's notion of a
     /// *dropped* feature. Returns positions into the dataset.
-    pub fn surviving_features(&self, data: &Dataset, tol: f64) -> Vec<usize> {
+    pub fn surviving_features<S: CodeSource>(&self, data: &S, tol: f64) -> Vec<usize> {
         self.feats
             .iter()
             .enumerate()
@@ -271,7 +298,7 @@ impl LogisticRegressionModel {
 }
 
 impl Model for LogisticRegressionModel {
-    fn predict_row(&self, data: &Dataset, row: usize) -> u32 {
+    fn predict_row<S: CodeSource>(&self, data: &S, row: usize) -> u32 {
         let scores = self.decision_scores(data, row);
         let mut best = 0usize;
         for y in 1..self.n_classes {
@@ -346,7 +373,9 @@ mod tests {
     fn l1_zeroes_noise_feature() {
         let d = deterministic_data(400);
         let rows: Vec<usize> = (0..400).collect();
-        let m = LogisticRegression::l1(0.02).with_epochs(20).fit(&d, &rows, &[0, 1]);
+        let m = LogisticRegression::l1(0.02)
+            .with_epochs(20)
+            .fit(&d, &rows, &[0, 1]);
         // Truncated-gradient L1 leaves O(lr * lambda) residuals rather than
         // exact zeros; the practical drop threshold reflects that.
         let surviving = m.surviving_features(&d, 0.01);
@@ -388,8 +417,12 @@ mod tests {
     fn deterministic_given_seed() {
         let d = deterministic_data(100);
         let rows: Vec<usize> = (0..100).collect();
-        let m1 = LogisticRegression::default().with_seed(5).fit(&d, &rows, &[0, 1]);
-        let m2 = LogisticRegression::default().with_seed(5).fit(&d, &rows, &[0, 1]);
+        let m1 = LogisticRegression::default()
+            .with_seed(5)
+            .fit(&d, &rows, &[0, 1]);
+        let m2 = LogisticRegression::default()
+            .with_seed(5)
+            .fit(&d, &rows, &[0, 1]);
         assert_eq!(m1.weights, m2.weights);
     }
 

@@ -8,6 +8,7 @@
 
 use crate::classifier::{Classifier, Model};
 use crate::dataset::Dataset;
+use crate::source::CodeSource;
 
 /// Naive Bayes learner configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +36,7 @@ impl NaiveBayes {
 ///
 /// Stores log-priors and per-feature log-conditional tables
 /// `log P(F = v | Y = y)` laid out as `[feature][y * |D_F| + v]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveBayesModel {
     feats: Vec<usize>,
     n_classes: usize,
@@ -123,10 +124,10 @@ impl NaiveBayesModel {
 
     /// Unnormalized log-posterior `log P(y) + sum_f log P(x_f | y)` for
     /// each class on one row.
-    pub fn log_posterior(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    pub fn log_posterior<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let mut scores = self.log_prior.clone();
         for (i, &f) in self.feats.iter().enumerate() {
-            let v = data.feature(f).codes[row] as usize;
+            let v = data.code(f, row) as usize;
             let d = self.domain_sizes[i];
             let table = &self.log_cond[i];
             for (y, s) in scores.iter_mut().enumerate() {
@@ -136,9 +137,20 @@ impl NaiveBayesModel {
         scores
     }
 
+    /// Log-priors `log P(y)` per class.
+    pub fn log_prior(&self) -> &[f64] {
+        &self.log_prior
+    }
+
+    /// Log-conditional table of the `i`-th selected feature, flattened
+    /// `[y * |D_F| + v]`.
+    pub fn log_cond(&self, i: usize) -> &[f64] {
+        &self.log_cond[i]
+    }
+
     /// Normalized class probabilities on one row (softmax of the
     /// log-posterior).
-    pub fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    pub fn predict_proba<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let scores = self.log_posterior(data, row);
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
@@ -148,7 +160,7 @@ impl NaiveBayesModel {
 }
 
 impl Model for NaiveBayesModel {
-    fn predict_row(&self, data: &Dataset, row: usize) -> u32 {
+    fn predict_row<S: CodeSource>(&self, data: &S, row: usize) -> u32 {
         let scores = self.log_posterior(data, row);
         // Deterministic tie-break: lowest class wins.
         let mut best = 0usize;

@@ -21,7 +21,13 @@ use crate::dataset::Dataset;
 /// Conditioning on `fine` and on `coarse ⊆ fine` yields the identity
 /// `P(Y|fine) = P(Y|coarse)` exactly when the extra features of `fine`
 /// carry no additional information — the quantity Defs B.2–B.4 test.
-fn conditionals_agree(data: &Dataset, rows: &[usize], fine: &[usize], coarse: &[usize], tol: f64) -> bool {
+fn conditionals_agree(
+    data: &Dataset,
+    rows: &[usize],
+    fine: &[usize],
+    coarse: &[usize],
+    tol: f64,
+) -> bool {
     // Empirical P(Y | fine-context) and P(Y | coarse-context).
     let dist = |feats: &[usize]| {
         let mut counts: std::collections::HashMap<Vec<u32>, Vec<u64>> = Default::default();
@@ -81,7 +87,13 @@ pub fn is_markov_blanket(
 /// Def B.2, empirically: `f` is weakly relevant iff dropping it from the
 /// full set changes nothing (`P(Y|X) = P(Y|X−{f})`) but *some* context
 /// exists where it matters — here witnessed by `P(Y|f) != P(Y)`.
-pub fn is_weakly_relevant(data: &Dataset, rows: &[usize], f: usize, all: &[usize], tol: f64) -> bool {
+pub fn is_weakly_relevant(
+    data: &Dataset,
+    rows: &[usize],
+    f: usize,
+    all: &[usize],
+    tol: f64,
+) -> bool {
     let without: Vec<usize> = all.iter().copied().filter(|&x| x != f).collect();
     let drop_is_free = conditionals_agree(data, rows, all, &without, tol);
     let matters_alone = !conditionals_agree(data, rows, &[f], &[], tol);
@@ -117,9 +129,21 @@ mod tests {
         let y: Vec<u32> = xr.clone();
         Dataset::new(
             vec![
-                Feature { name: "xs".into(), domain_size: 2, codes: xs },
-                Feature { name: "fk".into(), domain_size: n_fk as usize, codes: fk },
-                Feature { name: "xr".into(), domain_size: 2, codes: xr },
+                Feature {
+                    name: "xs".into(),
+                    domain_size: 2,
+                    codes: xs,
+                },
+                Feature {
+                    name: "fk".into(),
+                    domain_size: n_fk as usize,
+                    codes: fk,
+                },
+                Feature {
+                    name: "xr".into(),
+                    domain_size: 2,
+                    codes: xr,
+                },
             ],
             y,
             2,
@@ -166,8 +190,16 @@ mod tests {
         let z: Vec<u32> = (0..n as u32).map(|i| (i / 2) % 3).collect();
         let d = Dataset::new(
             vec![
-                Feature { name: "x".into(), domain_size: 2, codes: x.clone() },
-                Feature { name: "z".into(), domain_size: 3, codes: z },
+                Feature {
+                    name: "x".into(),
+                    domain_size: 2,
+                    codes: x.clone(),
+                },
+                Feature {
+                    name: "z".into(),
+                    domain_size: 3,
+                    codes: z,
+                },
             ],
             x,
             2,
@@ -183,7 +215,11 @@ mod tests {
         let noise: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
         let y: Vec<u32> = (0..n as u32).map(|i| (i / 2) % 2).collect();
         let d = Dataset::new(
-            vec![Feature { name: "noise".into(), domain_size: 2, codes: noise }],
+            vec![Feature {
+                name: "noise".into(),
+                domain_size: 2,
+                codes: noise,
+            }],
             y,
             2,
         );

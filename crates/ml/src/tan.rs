@@ -16,6 +16,7 @@
 use crate::classifier::{Classifier, Model};
 use crate::dataset::Dataset;
 use crate::info::conditional_mutual_information;
+use crate::source::CodeSource;
 
 /// TAN learner configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,10 +220,10 @@ impl TanModel {
     }
 
     /// Unnormalized log-posterior per class on one row.
-    pub fn log_posterior(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    pub fn log_posterior<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let mut scores = self.log_prior.clone();
         for (i, &f) in self.feats.iter().enumerate() {
-            let v = data.feature(f).codes[row] as usize;
+            let v = data.code(f, row) as usize;
             let d = self.domain_sizes[i];
             match self.parents[i] {
                 None => {
@@ -232,7 +233,7 @@ impl TanModel {
                     }
                 }
                 Some(p) => {
-                    let pv = data.feature(self.feats[p]).codes[row] as usize;
+                    let pv = data.code(self.feats[p], row) as usize;
                     let dp = self.domain_sizes[p];
                     let table = &self.log_cond[i];
                     for (y, s) in scores.iter_mut().enumerate() {
@@ -246,7 +247,7 @@ impl TanModel {
 }
 
 impl Model for TanModel {
-    fn predict_row(&self, data: &Dataset, row: usize) -> u32 {
+    fn predict_row<S: CodeSource>(&self, data: &S, row: usize) -> u32 {
         let scores = self.log_posterior(data, row);
         let mut best = 0usize;
         for y in 1..self.n_classes {

@@ -15,6 +15,7 @@
 use crate::classifier::{Classifier, Model};
 use crate::dataset::Dataset;
 use crate::info::entropy_of_counts;
+use crate::source::CodeSource;
 
 /// Decision-tree learner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +185,11 @@ impl DecisionTreeModel {
             match &nodes[i] {
                 Node::Leaf { .. } => 0,
                 Node::Split { children, .. } => {
-                    1 + children.iter().map(|&c| depth_of(nodes, c)).max().unwrap_or(0)
+                    1 + children
+                        .iter()
+                        .map(|&c| depth_of(nodes, c))
+                        .max()
+                        .unwrap_or(0)
                 }
             }
         }
@@ -193,7 +198,7 @@ impl DecisionTreeModel {
 }
 
 impl Model for DecisionTreeModel {
-    fn predict_row(&self, data: &Dataset, row: usize) -> u32 {
+    fn predict_row<S: CodeSource>(&self, data: &S, row: usize) -> u32 {
         let mut i = self.root;
         loop {
             match &self.nodes[i] {
@@ -203,7 +208,7 @@ impl Model for DecisionTreeModel {
                     children,
                     majority,
                 } => {
-                    let v = data.feature(*feature).codes[row] as usize;
+                    let v = data.code(*feature, row) as usize;
                     match children.get(v) {
                         Some(&c) => i = c,
                         None => return *majority,

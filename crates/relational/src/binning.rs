@@ -222,9 +222,7 @@ impl EqualFrequencyBinner {
 
     /// The nominal domain produced by this binner.
     pub fn domain(&self) -> Domain {
-        let labels = (0..self.n_bins())
-            .map(|i| format!("q{i}"))
-            .collect();
+        let labels = (0..self.n_bins()).map(|i| format!("q{i}")).collect();
         Domain::labelled(self.name.clone(), labels)
     }
 
@@ -286,7 +284,9 @@ mod equal_frequency_tests {
         let b = EqualFrequencyBinner::fit("x", &values, 4).unwrap();
         let col = b.bin_column(&values);
         assert_eq!(col.domain().size(), b.n_bins());
-        col.codes().iter().for_each(|&c| assert!((c as usize) < b.n_bins()));
+        col.codes()
+            .iter()
+            .for_each(|&c| assert!((c as usize) < b.n_bins()));
     }
 
     #[test]

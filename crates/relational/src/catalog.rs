@@ -253,14 +253,34 @@ mod tests {
         let rid = Domain::indexed("EmployerID", 2).shared();
         let r = TableBuilder::new("Employers")
             .primary_key("EmployerID", rid.clone(), vec![0, 1])
-            .feature("Country", Domain::from_labels("Country", &["NZ", "IN", "US"]).shared(), vec![0, 2])
-            .feature("Revenue", Domain::indexed("Revenue", 8).shared(), vec![7, 1])
+            .feature(
+                "Country",
+                Domain::from_labels("Country", &["NZ", "IN", "US"]).shared(),
+                vec![0, 2],
+            )
+            .feature(
+                "Revenue",
+                Domain::indexed("Revenue", 8).shared(),
+                vec![7, 1],
+            )
             .build()
             .unwrap();
         let s = TableBuilder::new("Customers")
-            .primary_key("CustomerID", Domain::indexed("CustomerID", 6).shared(), vec![0, 1, 2, 3, 4, 5])
-            .target("Churn", Domain::boolean("Churn").shared(), vec![0, 1, 0, 1, 0, 1])
-            .feature("Age", Domain::indexed("Age", 4).shared(), vec![0, 1, 2, 3, 0, 1])
+            .primary_key(
+                "CustomerID",
+                Domain::indexed("CustomerID", 6).shared(),
+                vec![0, 1, 2, 3, 4, 5],
+            )
+            .target(
+                "Churn",
+                Domain::boolean("Churn").shared(),
+                vec![0, 1, 0, 1, 0, 1],
+            )
+            .feature(
+                "Age",
+                Domain::indexed("Age", 4).shared(),
+                vec![0, 1, 2, 3, 0, 1],
+            )
             .foreign_key("EmployerID", "Employers", rid, vec![0, 1, 0, 1, 0, 1])
             .build()
             .unwrap();
@@ -308,7 +328,12 @@ mod tests {
     #[test]
     fn materialize_subset() {
         let st = star();
-        assert!(st.materialize(&[]).unwrap().schema().index_of("Country").is_none());
+        assert!(st
+            .materialize(&[])
+            .unwrap()
+            .schema()
+            .index_of("Country")
+            .is_none());
         assert!(st.materialize(&[0]).is_ok());
         assert!(st.materialize(&[1]).is_err());
     }
@@ -334,7 +359,10 @@ mod tests {
             }],
         )
         .unwrap_err();
-        assert!(matches!(err, RelationalError::DanglingForeignKey { code: 2, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::DanglingForeignKey { code: 2, .. }
+        ));
     }
 
     #[test]

@@ -171,8 +171,16 @@ mod tests {
             fk: "EmployerID".into(),
             table: TableBuilder::new("Employers")
                 .primary_key("EmployerID", rid, vec![0, 1, 2])
-                .feature("Country", Domain::indexed("Country", 4).shared(), vec![0, 1, 2])
-                .feature("Revenue", Domain::indexed("Revenue", 8).shared(), vec![7, 3, 1])
+                .feature(
+                    "Country",
+                    Domain::indexed("Country", 4).shared(),
+                    vec![0, 1, 2],
+                )
+                .feature(
+                    "Revenue",
+                    Domain::indexed("Revenue", 8).shared(),
+                    vec![7, 3, 1],
+                )
                 .build()
                 .unwrap(),
         }

@@ -113,7 +113,10 @@ mod tests {
     fn new_validates_codes() {
         assert!(Column::new(dom(3), vec![0, 1, 2]).is_ok());
         let err = Column::new(dom(3), vec![0, 3]).unwrap_err();
-        assert!(matches!(err, RelationalError::CodeOutOfDomain { code: 3, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::CodeOutOfDomain { code: 3, .. }
+        ));
     }
 
     #[test]

@@ -90,9 +90,7 @@ fn split_record(line: &str, delimiter: char) -> Vec<String> {
 /// Quotes one field if it contains the delimiter, a quote, or leading /
 /// trailing whitespace.
 fn quote_field(field: &str, delimiter: char) -> String {
-    let needs_quoting = field.contains(delimiter)
-        || field.contains('"')
-        || field != field.trim();
+    let needs_quoting = field.contains(delimiter) || field.contains('"') || field != field.trim();
     if needs_quoting {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
@@ -105,7 +103,12 @@ fn quote_field(field: &str, delimiter: char) -> String {
 /// `specs` are matched to CSV columns by header name; CSV columns without
 /// a spec are an error (be explicit), and spec'd columns missing from the
 /// header are an error too.
-pub fn read_csv(name: &str, text: &str, specs: &[(&str, ColumnSpec)], delimiter: char) -> Result<Table> {
+pub fn read_csv(
+    name: &str,
+    text: &str,
+    specs: &[(&str, ColumnSpec)],
+    delimiter: char,
+) -> Result<Table> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or_else(|| RelationalError::EmptyTable {
         table: name.to_string(),
@@ -252,7 +255,10 @@ c4,yes,M,61.9,e3
             ("Churn", ColumnSpec::target("Churn")),
             ("Gender", ColumnSpec::feature("Gender")),
             ("Age", ColumnSpec::numeric_feature("Age", 4)),
-            ("EmployerID", ColumnSpec::foreign_key("EmployerID", "Employers")),
+            (
+                "EmployerID",
+                ColumnSpec::foreign_key("EmployerID", "Employers"),
+            ),
         ]
     }
 
@@ -301,7 +307,10 @@ c4,yes,M,61.9,e3
     #[test]
     fn ragged_record_is_error() {
         let bad = "a,b\n1,2\n3\n";
-        let s = vec![("a", ColumnSpec::feature("a")), ("b", ColumnSpec::feature("b"))];
+        let s = vec![
+            ("a", ColumnSpec::feature("a")),
+            ("b", ColumnSpec::feature("b")),
+        ];
         assert!(matches!(
             read_csv("T", bad, &s, ','),
             Err(RelationalError::ColumnLengthMismatch { .. })
@@ -336,7 +345,10 @@ c4,yes,M,61.9,e3
         let s = vec![
             ("Churn", ColumnSpec::target("Churn")),
             ("Gender", ColumnSpec::feature("Gender")),
-            ("EmployerID", ColumnSpec::foreign_key("EmployerID", "Employers")),
+            (
+                "EmployerID",
+                ColumnSpec::foreign_key("EmployerID", "Employers"),
+            ),
         ];
         let t2 = read_csv("Customers", &text, &s, ',').unwrap();
         assert_eq!(
@@ -348,7 +360,10 @@ c4,yes,M,61.9,e3
     #[test]
     fn alternate_delimiter() {
         let csv = "a|b\nx|y\n";
-        let s = vec![("a", ColumnSpec::feature("a")), ("b", ColumnSpec::feature("b"))];
+        let s = vec![
+            ("a", ColumnSpec::feature("a")),
+            ("b", ColumnSpec::feature("b")),
+        ];
         let t = read_csv("T", csv, &s, '|').unwrap();
         assert_eq!(t.n_rows(), 1);
     }

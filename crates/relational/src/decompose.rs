@@ -221,10 +221,8 @@ pub fn infer_single_fds(table: &Table, min_distinct: usize) -> Vec<FunctionalDep
 /// two keys can each determine a shared column — and [`decompose_star`]
 /// rejects such sets; this picks the subset to keep.
 pub fn select_compatible_fds(fds: &[FunctionalDependency]) -> Vec<FunctionalDependency> {
-    let mut candidates: Vec<&FunctionalDependency> = fds
-        .iter()
-        .filter(|fd| fd.determinant.len() == 1)
-        .collect();
+    let mut candidates: Vec<&FunctionalDependency> =
+        fds.iter().filter(|fd| fd.determinant.len() == 1).collect();
     candidates.sort_by(|a, b| {
         b.dependents
             .len()
@@ -243,9 +241,7 @@ pub fn select_compatible_fds(fds: &[FunctionalDependency]) -> Vec<FunctionalDepe
             .dependents
             .iter()
             .filter(|d| {
-                !taken_dependents.contains(d)
-                    && !taken_determinants.contains(d)
-                    && *d != det
+                !taken_dependents.contains(d) && !taken_determinants.contains(d) && *d != det
             })
             .cloned()
             .collect();
@@ -275,10 +271,22 @@ mod tests {
         let emp = Domain::indexed("emp", 3).shared();
         TableBuilder::new("T")
             .target("y", Domain::boolean("y").shared(), vec![0, 1, 0, 1, 1, 0])
-            .feature("age", Domain::indexed("age", 4).shared(), vec![0, 1, 2, 3, 0, 1])
+            .feature(
+                "age",
+                Domain::indexed("age", 4).shared(),
+                vec![0, 1, 2, 3, 0, 1],
+            )
             .feature("emp", emp, vec![0, 1, 2, 0, 1, 2])
-            .feature("country", Domain::indexed("country", 2).shared(), vec![0, 1, 1, 0, 1, 1])
-            .feature("revenue", Domain::indexed("revenue", 5).shared(), vec![4, 2, 0, 4, 2, 0])
+            .feature(
+                "country",
+                Domain::indexed("country", 2).shared(),
+                vec![0, 1, 1, 0, 1, 1],
+            )
+            .feature(
+                "revenue",
+                Domain::indexed("revenue", 5).shared(),
+                vec![4, 2, 0, 4, 2, 0],
+            )
             .build()
             .unwrap()
     }
@@ -291,7 +299,7 @@ mod tests {
         assert_eq!(star.k(), 1);
         assert_eq!(star.attributes()[0].n_rows(), 3);
         assert_eq!(star.d_s(), 1); // age stays; emp became a FK
-        // Re-joining recovers the original columns.
+                                   // Re-joining recovers the original columns.
         let rejoined = kfk_join(star.entity(), "emp", &star.attributes()[0].table).unwrap();
         for name in ["y", "age", "emp", "country", "revenue"] {
             assert_eq!(
@@ -378,7 +386,10 @@ mod tests {
         assert_eq!(fds.len(), 1);
         let star = decompose_star(&t, &fds).unwrap();
         assert!(star.fk_closed(0));
-        assert_eq!(star.attributes()[0].feature_names(), vec!["country", "revenue"]);
+        assert_eq!(
+            star.attributes()[0].feature_names(),
+            vec!["country", "revenue"]
+        );
     }
 }
 
@@ -455,8 +466,16 @@ mod select_tests {
         let t = TableBuilder::new("T")
             .target("y", Domain::boolean("y").shared(), vec![0, 1, 0, 1, 1, 0])
             .feature("emp", emp, vec![0, 1, 2, 0, 1, 2])
-            .feature("country", Domain::indexed("country", 2).shared(), vec![0, 1, 1, 0, 1, 1])
-            .feature("revenue", Domain::indexed("revenue", 5).shared(), vec![4, 2, 0, 4, 2, 0])
+            .feature(
+                "country",
+                Domain::indexed("country", 2).shared(),
+                vec![0, 1, 1, 0, 1, 1],
+            )
+            .feature(
+                "revenue",
+                Domain::indexed("revenue", 5).shared(),
+                vec![4, 2, 0, 4, 2, 0],
+            )
             .build()
             .unwrap();
         let inferred = infer_single_fds(&t, 2);

@@ -38,7 +38,10 @@ impl Domain {
     /// Panics if `labels` is empty: the paper's setting has no empty domains
     /// (every feature takes at least one value).
     pub fn labelled(name: impl Into<String>, labels: Vec<String>) -> Self {
-        assert!(!labels.is_empty(), "a domain must have at least one category");
+        assert!(
+            !labels.is_empty(),
+            "a domain must have at least one category"
+        );
         Self {
             name: name.into(),
             kind: DomainKind::Labelled(labels),

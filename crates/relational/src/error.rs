@@ -28,6 +28,8 @@ pub enum RelationalError {
     DuplicateAttribute { table: String, attribute: String },
     /// A table declared more than one primary key or target.
     DuplicateRole { table: String, role: &'static str },
+    /// A table is missing a role (e.g. target) an operation requires.
+    MissingRole { table: String, role: &'static str },
     /// A primary key column contains duplicate values.
     PrimaryKeyNotUnique { table: String, attribute: String },
     /// The foreign key's domain does not match the referenced primary key's
@@ -87,6 +89,9 @@ impl fmt::Display for RelationalError {
             }
             Self::DuplicateRole { table, role } => {
                 write!(f, "table '{table}': more than one {role}")
+            }
+            Self::MissingRole { table, role } => {
+                write!(f, "table '{table}': no {role} attribute declared")
             }
             Self::PrimaryKeyNotUnique { table, attribute } => {
                 write!(f, "table '{table}': primary key '{attribute}' is not unique")

@@ -134,7 +134,12 @@ mod tests {
     fn joined() -> Table {
         // fk -> (a, b) holds; fk -> c does not.
         TableBuilder::new("T")
-            .foreign_key("fk", "R", Domain::indexed("fk", 3).shared(), vec![0, 1, 2, 0, 1])
+            .foreign_key(
+                "fk",
+                "R",
+                Domain::indexed("fk", 3).shared(),
+                vec![0, 1, 2, 0, 1],
+            )
             .feature("a", Domain::indexed("a", 2).shared(), vec![0, 1, 1, 0, 1])
             .feature("b", Domain::indexed("b", 4).shared(), vec![3, 2, 1, 3, 2])
             .feature("c", Domain::indexed("c", 2).shared(), vec![0, 0, 0, 1, 0])
@@ -153,7 +158,9 @@ mod tests {
     #[test]
     fn holds_detects_violation() {
         let t = joined();
-        assert!(!FunctionalDependency::new(&["fk"], &["c"]).holds_in(&t).unwrap());
+        assert!(!FunctionalDependency::new(&["fk"], &["c"])
+            .holds_in(&t)
+            .unwrap());
     }
 
     #[test]

@@ -39,13 +39,14 @@ fn key_index(attr: &Table) -> Result<Vec<Option<u32>>> {
 /// * Returns an error if a foreign-key value references a missing row
 ///   (referential-integrity violation) or the FK/RID domains differ in size.
 pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
-    let fk_pos = entity
-        .schema()
-        .index_of(fk_name)
-        .ok_or_else(|| RelationalError::UnknownAttribute {
-            table: entity.name().to_string(),
-            attribute: fk_name.to_string(),
-        })?;
+    let fk_pos =
+        entity
+            .schema()
+            .index_of(fk_name)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                table: entity.name().to_string(),
+                attribute: fk_name.to_string(),
+            })?;
     if !entity.schema().attributes()[fk_pos].role.is_foreign_key() {
         return Err(RelationalError::NotAForeignKey {
             table: entity.name().to_string(),
@@ -142,7 +143,12 @@ mod tests {
             .primary_key("CustomerID", sid, (0..n as u32).collect())
             .target("Churn", churn, vec![0; n])
             .feature("Age", age, vec![1; n])
-            .foreign_key("EmployerID", "Employers", Domain::indexed("EmployerID", 3).shared(), fk_codes)
+            .foreign_key(
+                "EmployerID",
+                "Employers",
+                Domain::indexed("EmployerID", 3).shared(),
+                fk_codes,
+            )
             .build()
             .unwrap()
     }
@@ -194,7 +200,10 @@ mod tests {
             .unwrap();
         let s = customers(vec![0, 1]);
         let err = kfk_join(&s, "EmployerID", &r).unwrap_err();
-        assert!(matches!(err, RelationalError::DanglingForeignKey { code: 1, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::DanglingForeignKey { code: 1, .. }
+        ));
     }
 
     #[test]
@@ -209,12 +218,19 @@ mod tests {
         let rid = Domain::indexed("EmployerID", 5).shared();
         let r = TableBuilder::new("Employers")
             .primary_key("EmployerID", rid, vec![0, 1, 2, 3, 4])
-            .feature("Country", Domain::boolean("Country").shared(), vec![0, 1, 0, 1, 0])
+            .feature(
+                "Country",
+                Domain::boolean("Country").shared(),
+                vec![0, 1, 0, 1, 0],
+            )
             .build()
             .unwrap();
         let s = customers(vec![0]);
         let err = kfk_join(&s, "EmployerID", &r).unwrap_err();
-        assert!(matches!(err, RelationalError::ForeignKeyDomainMismatch { .. }));
+        assert!(matches!(
+            err,
+            RelationalError::ForeignKeyDomainMismatch { .. }
+        ));
     }
 
     #[test]

@@ -44,8 +44,8 @@
 pub mod binning;
 pub mod catalog;
 pub mod coldstart;
-pub mod csv;
 pub mod column;
+pub mod csv;
 pub mod decompose;
 pub mod domain;
 pub mod error;

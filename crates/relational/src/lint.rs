@@ -237,7 +237,9 @@ mod tests {
         y.extend([1, 1, 1]);
         let st = star(fk, y, 10, false);
         let lints = lint_star(&st, &LintConfig::default());
-        assert!(lints.iter().any(|l| matches!(l, Lint::LowTargetEntropy { .. })));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::LowTargetEntropy { .. })));
     }
 
     #[test]
@@ -247,12 +249,20 @@ mod tests {
         let rid = Domain::indexed("fk", n_r).shared();
         let r = TableBuilder::new("R")
             .primary_key("fk", rid.clone(), (0..n_r as u32).collect())
-            .feature("almost_key", Domain::indexed("k", n_r).shared(), (0..n_r as u32).collect())
+            .feature(
+                "almost_key",
+                Domain::indexed("k", n_r).shared(),
+                (0..n_r as u32).collect(),
+            )
             .build()
             .unwrap();
         let fk: Vec<u32> = (0..64u32).map(|i| i % n_r as u32).collect();
         let s = TableBuilder::new("S")
-            .target("y", Domain::boolean("y").shared(), (0..64u32).map(|i| i % 2).collect())
+            .target(
+                "y",
+                Domain::boolean("y").shared(),
+                (0..64u32).map(|i| i % 2).collect(),
+            )
             .foreign_key("fk", "R", rid, fk)
             .build()
             .unwrap();

@@ -105,7 +105,10 @@ impl Manifest {
                         .ok_or_else(|| parse_error(line_no, "directive before any section"))?;
                     let need = |n: usize| -> Result<()> {
                         if args.len() < n {
-                            Err(parse_error(line_no, format!("'{keyword}' needs {n} argument(s)")))
+                            Err(parse_error(
+                                line_no,
+                                format!("'{keyword}' needs {n} argument(s)"),
+                            ))
                         } else {
                             Ok(())
                         }
@@ -252,10 +255,9 @@ impl Manifest {
                     cols.push(col.clone());
                 }
                 Some((file, closed)) => {
-                    let (attr_table, key_col) =
-                        attr_tables.get(&file).ok_or_else(|| {
-                            RelationalError::UnknownTable { name: file.clone() }
-                        })?;
+                    let (attr_table, key_col) = attr_tables
+                        .get(&file)
+                        .ok_or_else(|| RelationalError::UnknownTable { name: file.clone() })?;
                     let key = attr_table.column_by_name(key_col)?;
                     // Map entity FK labels -> key codes via a one-shot
                     // index (code_of is a linear scan; per-row use would
@@ -296,11 +298,7 @@ impl Manifest {
                 }
             }
         }
-        let entity = Table::new(
-            entity_name.clone(),
-            Schema::new(&entity_name, defs)?,
-            cols,
-        )?;
+        let entity = Table::new(entity_name.clone(), Schema::new(&entity_name, defs)?, cols)?;
         StarSchema::new(entity, attributes)
     }
 
@@ -315,9 +313,7 @@ impl Manifest {
 /// `Nominal(primary_key)` only if the spec said so — it did, so this
 /// simply validates and returns a clone).
 fn promote_key(table: &Table, key_col: &str) -> Result<Table> {
-    if table.schema().primary_key()
-        != table.schema().index_of(key_col)
-    {
+    if table.schema().primary_key() != table.schema().index_of(key_col) {
         return Err(RelationalError::UnknownAttribute {
             table: table.name().to_string(),
             attribute: key_col.to_string(),
@@ -347,10 +343,7 @@ fn section_specs(
 }
 
 fn to_spec_refs(specs: &[(String, ColumnSpec)]) -> Vec<(&str, ColumnSpec)> {
-    specs
-        .iter()
-        .map(|(n, s)| (n.as_str(), s.clone()))
-        .collect()
+    specs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect()
 }
 
 #[cfg(test)]
@@ -455,11 +448,20 @@ numeric  Revenue 2
         let err = Manifest::parse(bad).unwrap_err();
         assert!(err.to_string().contains("line 1"));
         let bad2 = "entity a.csv\nnumeric x notanumber\n";
-        assert!(Manifest::parse(bad2).unwrap_err().to_string().contains("line 2"));
+        assert!(Manifest::parse(bad2)
+            .unwrap_err()
+            .to_string()
+            .contains("line 2"));
         let bad3 = "entity a.csv\nfk c b.csv sideways\n";
-        assert!(Manifest::parse(bad3).unwrap_err().to_string().contains("closed"));
+        assert!(Manifest::parse(bad3)
+            .unwrap_err()
+            .to_string()
+            .contains("closed"));
         let bad4 = "entity a.csv\nwhatever x\n";
-        assert!(Manifest::parse(bad4).unwrap_err().to_string().contains("unknown keyword"));
+        assert!(Manifest::parse(bad4)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown keyword"));
     }
 
     #[test]

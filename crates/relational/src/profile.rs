@@ -151,7 +151,11 @@ mod tests {
             .build()
             .unwrap();
         let s = TableBuilder::new("S")
-            .target("y", Domain::boolean("y").shared(), vec![0, 1, 0, 1, 0, 1, 0, 1])
+            .target(
+                "y",
+                Domain::boolean("y").shared(),
+                vec![0, 1, 0, 1, 0, 1, 0, 1],
+            )
             .foreign_key("fk", "R", rid, vec![0, 1, 2, 3, 0, 1, 2, 3])
             .build()
             .unwrap();

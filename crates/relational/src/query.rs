@@ -136,8 +136,16 @@ mod tests {
 
     fn sample() -> Table {
         TableBuilder::new("T")
-            .feature("a", Domain::indexed("a", 4).shared(), vec![3, 1, 2, 1, 0, 2])
-            .feature("b", Domain::indexed("b", 2).shared(), vec![0, 1, 0, 1, 1, 1])
+            .feature(
+                "a",
+                Domain::indexed("a", 4).shared(),
+                vec![3, 1, 2, 1, 0, 2],
+            )
+            .feature(
+                "b",
+                Domain::indexed("b", 2).shared(),
+                vec![0, 1, 0, 1, 1, 1],
+            )
             .build()
             .unwrap()
     }
@@ -233,7 +241,11 @@ mod tests {
     #[test]
     fn empty_filter_result() {
         let t = sample();
-        let f = filter(&t, &[Predicate::Eq("a".into(), 1), Predicate::Eq("a".into(), 2)]).unwrap();
+        let f = filter(
+            &t,
+            &[Predicate::Eq("a".into(), 1), Predicate::Eq("a".into(), 2)],
+        )
+        .unwrap();
         assert_eq!(f.n_rows(), 0);
     }
 }

@@ -171,7 +171,9 @@ impl Schema {
 
     /// Index of the primary key, if any.
     pub fn primary_key(&self) -> Option<usize> {
-        self.attributes.iter().position(|a| a.role == Role::PrimaryKey)
+        self.attributes
+            .iter()
+            .position(|a| a.role == Role::PrimaryKey)
     }
 
     /// Index of the target, if any.
@@ -260,7 +262,13 @@ mod tests {
             ],
         )
         .unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateRole { role: "primary key", .. }));
+        assert!(matches!(
+            err,
+            RelationalError::DuplicateRole {
+                role: "primary key",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -270,7 +278,10 @@ mod tests {
             vec![AttributeDef::target("a"), AttributeDef::target("b")],
         )
         .unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateRole { role: "target", .. }));
+        assert!(matches!(
+            err,
+            RelationalError::DuplicateRole { role: "target", .. }
+        ));
     }
 
     #[test]

@@ -287,7 +287,10 @@ mod tests {
             .feature("a", dom(2), vec![0, 5])
             .build()
             .unwrap_err();
-        assert!(matches!(err, RelationalError::CodeOutOfDomain { code: 5, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::CodeOutOfDomain { code: 5, .. }
+        ));
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() {
     let raw: Vec<u32> = (0..n)
         .map(|_| {
             if rng.gen::<f64>() < 0.3 {
-                movies.n_rows() as u32 + rng.gen_range(0..500)
+                movies.n_rows() as u32 + rng.gen_range(0..500u32)
             } else {
                 rng.gen_range(0..movies.n_rows() as u32)
             }

@@ -26,7 +26,11 @@ fn main() {
     let rule = TrRule::default();
     let join_all = plan(&g.star, PlanKind::JoinAll, &rule, n_train);
     let join_opt = plan(&g.star, PlanKind::JoinOpt, &rule, n_train);
-    println!("JoinOpt avoided {} of {} joins:", join_opt.avoided(&g.star).len(), g.star.k());
+    println!(
+        "JoinOpt avoided {} of {} joins:",
+        join_opt.avoided(&g.star).len(),
+        g.star.k()
+    );
     for d in &join_opt.decisions {
         println!("  {} (fk {}): {:?}", d.table, d.fk, d.decision);
     }

@@ -114,13 +114,22 @@ fn main() {
         let feats: Vec<usize> = (0..data.n_features()).collect();
         let model = nb.fit(&data, &split.train, &feats);
         let err = zero_one_error(&model, &data, &split.test);
-        println!("  {:8} -> {} features, test error {:.4}", kind.name(), feats.len(), err);
+        println!(
+            "  {:8} -> {} features, test error {:.4}",
+            kind.name(),
+            feats.len(),
+            err
+        );
         errors.push(err);
     }
     let diff = (errors[1] - errors[0]).abs();
     println!(
         "  |NoJoins - JoinAll| = {:.4} -> avoiding the join was {}",
         diff,
-        if diff < 0.01 { "SAFE, as predicted" } else { "risky" }
+        if diff < 0.01 {
+            "SAFE, as predicted"
+        } else {
+            "risky"
+        }
     );
 }

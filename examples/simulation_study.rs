@@ -25,10 +25,7 @@ fn main() {
     );
     println!(
         "{:>7} | {:>22} | {:>22} | {:>22}",
-        "|D_FK|",
-        "UseAll err (netvar)",
-        "NoJoin err (netvar)",
-        "NoFK err (netvar)"
+        "|D_FK|", "UseAll err (netvar)", "NoJoin err (netvar)", "NoFK err (netvar)"
     );
     for n_r in [10usize, 50, 100, 200, 400] {
         if n_r * 2 >= n_s {

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     // Synthesize the "wide CSV an analyst would receive": ratings with
     // user attributes inlined (UserID functionally determines them).
-    let n_users = 40;
+    let n_users = 40usize;
     let n_rows = 4000;
     let mut rng = StdRng::seed_from_u64(11);
     let ages: Vec<u32> = (0..n_users).map(|_| rng.gen_range(0..5)).collect();
@@ -29,7 +29,7 @@ fn main() {
     let mut csv = String::from("Stars,UserID,Age,Country,ItemPrice\n");
     for _ in 0..n_rows {
         let u = rng.gen_range(0..n_users);
-        let stars = 1 + (ages[u] + rng.gen_range(0..3)) % 5;
+        let stars = 1 + (ages[u] + rng.gen_range(0..3u32)) % 5;
         let _ = writeln!(
             csv,
             "{stars},u{u},a{},c{},{:.2}",
@@ -48,7 +48,11 @@ fn main() {
         ("ItemPrice", ColumnSpec::numeric_feature("ItemPrice", 10)),
     ];
     let wide = read_csv("Ratings", &csv, &specs, ',').expect("CSV loads");
-    println!("Loaded wide table: {} rows x {} columns", wide.n_rows(), wide.schema().len());
+    println!(
+        "Loaded wide table: {} rows x {} columns",
+        wide.n_rows(),
+        wide.schema().len()
+    );
 
     // 2. Infer FDs from the instance.
     let fds: Vec<_> = infer_single_fds(&wide, 10)

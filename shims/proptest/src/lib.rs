@@ -1,0 +1,665 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be downloaded. This shim implements the API subset the
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`Just`],
+//! `collection::vec`, `bool::ANY`, a small `string::string_regex`
+//! (character-class + repetition patterns only), and the
+//! `proptest!`/`prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and per-test deterministic seed instead of a minimized
+//! input), and value streams differ. Case count defaults to 64 and can be
+//! overridden with `PROPTEST_CASES`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Case execution: deterministic per-test RNG plus pass/reject/fail
+    //! bookkeeping.
+
+    use super::*;
+
+    /// The generator handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Deterministic generator for one named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+
+        pub(crate) fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case violated a `prop_assume!` precondition; draw another.
+        Reject(String),
+        /// The case falsified the property.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A falsified-property error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// A rejected-precondition marker.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Result type every generated test body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Number of cases to run per property (env `PROPTEST_CASES`, default
+    /// 64).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drives one property: draws inputs and runs the body until
+    /// `case_count()` cases pass, panicking on the first failure.
+    pub fn run_cases<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let cases = case_count();
+        let mut rng = TestRng::for_test(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < cases {
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= cases.saturating_mul(16).max(256),
+                        "property '{name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property '{name}' falsified at case {passed} \
+                     (deterministic; rerun reproduces it): {msg}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `f` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 10000 consecutive draws",
+                self.whence
+            );
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open
+    /// range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The unconditioned boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from a small regex dialect.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Unsupported-pattern error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex item: a set of candidate chars plus a repetition range.
+    #[derive(Debug, Clone)]
+    struct Item {
+        chars: Vec<char>,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Generates strings matching a charclass/literal + `{m,n}` pattern.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        items: Vec<Item>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for item in &self.items {
+                let n = rng.rng().gen_range(item.min..=item.max);
+                for _ in 0..n {
+                    out.push(item.chars[rng.rng().gen_range(0..item.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles a tiny regex dialect: sequences of literal characters or
+    /// `[...]` classes (with ranges), each optionally followed by
+    /// `{m}`/`{m,n}`, `*`, `+`, or `?`. Anchors, groups, and alternation
+    /// are not supported.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut items = Vec::new();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .ok_or_else(|| Error(format!("unterminated class in '{pattern}'")))?;
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let esc = chars.next().ok_or_else(|| {
+                                    Error(format!("trailing escape in '{pattern}'"))
+                                })?;
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                if (lo as u32) > (hi as u32) {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                for u in (lo as u32 + 1)..=(hi as u32) {
+                                    set.push(char::from_u32(u).unwrap());
+                                }
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error(format!("empty class in '{pattern}'")));
+                    }
+                    set
+                }
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("trailing escape in '{pattern}'")))?;
+                    vec![esc]
+                }
+                '(' | ')' | '|' | '^' | '$' | '.' => {
+                    return Err(Error(format!(
+                        "construct '{c}' unsupported in shim regex '{pattern}'"
+                    )))
+                }
+                literal => vec![literal],
+            };
+            // Optional repetition suffix.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| Error(format!("bad repetition '{{{spec}}}'")))
+                    };
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (parse(lo.trim())?, parse(hi.trim())?),
+                        None => {
+                            let n = parse(spec.trim())?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(format!("bad repetition bounds {min} > {max}")));
+            }
+            items.push(Item {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexStrategy { items })
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The canonical `any::<bool>()`-style entry point (bool only; the
+    /// workspace uses ranges and `collection::vec` for everything else).
+    pub fn any_bool() -> crate::bool::Any {
+        crate::bool::ANY
+    }
+}
+
+/// Declares property tests. Each function body runs for
+/// [`test_runner::case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        __proptest_rng,
+                    );)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-1.0f64..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = TestRng::for_test("vecs");
+        let s = crate::collection::vec((0u32..4, 0u32..2), 3..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 4 && b < 2));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependencies() {
+        let mut rng = TestRng::for_test("flat");
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..9, n)));
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn string_regex_charclass() {
+        let mut rng = TestRng::for_test("re");
+        let s = crate::string::string_regex("[A-Za-z0-9 _.,\"-]{1,12}").unwrap();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..=12).contains(&v.chars().count()), "{v:?}");
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.,\"-".contains(c)));
+        }
+        assert!(crate::string::string_regex("(a|b)").is_err());
+        let lit = crate::string::string_regex("ab{2}c?").unwrap();
+        let v = lit.generate(&mut rng);
+        assert!(v.starts_with("abb"), "{v:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(v in crate::collection::vec(0u32..10, 1..20), flip in crate::bool::ANY) {
+            prop_assume!(!v.is_empty());
+            let max = *v.iter().max().unwrap();
+            prop_assert!(max < 10, "max {} out of range", max);
+            prop_assert_eq!(v.len(), v.len());
+            if flip {
+                prop_assert_ne!(max + 1, max);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+}

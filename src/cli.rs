@@ -3,7 +3,13 @@
 //! Subcommands:
 //!
 //! * `advise --dataset <name> [--scale S] [--relaxed]` — run the join
-//!   advisor on one of the seven built-in synthetic datasets;
+//!   advisor on one of the seven built-in synthetic datasets
+//!   (`--strategy factorize` recommends factorized execution for joins
+//!   that must be kept);
+//! * `train --dataset <name> [--scale S] [--model nb|logreg]
+//!   [--strategy factorize|materialize]` — train a classifier over the
+//!   star schema; the factorize path never materializes a join and
+//!   reports parity against the materialized reference;
 //! * `profile --dataset <name> [--scale S]` — print the star-schema
 //!   profile (row counts, domains, entropies, TR/q_R*);
 //! * `csv-advise <file.csv> --target <col> [--numeric col:bins]...
@@ -17,12 +23,17 @@
 //! suite can drive it directly; `src/bin/hamlet.rs` is a thin shell.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use hamlet_core::advisor::{advise, AdvisorConfig};
 use hamlet_core::rules::{RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
 use hamlet_datagen::realistic::DatasetSpec;
+use hamlet_factorized::{fit_factorized_logreg, fit_factorized_nb, FactorizedView};
+use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes};
 use hamlet_relational::decompose::{decompose_star, infer_single_fds, select_compatible_fds};
-use hamlet_relational::{lint_star, profile_star, read_csv, ColumnSpec, LintConfig, Manifest};
+use hamlet_relational::{
+    lint_star, profile_star, read_csv, ColumnSpec, LintConfig, Manifest, StarSchema,
+};
 
 /// CLI error: a user-facing message (exit code 2 in the binary).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +52,8 @@ pub const USAGE: &str = "\
 hamlet — join avoidance for feature selection over normalized data
 
 USAGE:
-  hamlet advise --dataset <name> [--scale S] [--relaxed] [--markdown]
+  hamlet advise --dataset <name> [--scale S] [--relaxed] [--markdown] [--strategy factorize|materialize]
+  hamlet train --dataset <name> [--scale S] [--model nb|logreg] [--strategy factorize|materialize]
   hamlet profile --dataset <name> [--scale S]
   hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
   hamlet advise-files <schema.manifest> [--relaxed]
@@ -73,21 +85,37 @@ fn parse_multi<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
 }
 
 fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
-    let name = parse_flag(args, "--dataset")
-        .ok_or_else(|| CliError("missing --dataset <name>".into()))?;
+    let name =
+        parse_flag(args, "--dataset").ok_or_else(|| CliError("missing --dataset <name>".into()))?;
     let spec = DatasetSpec::by_name(name).ok_or_else(|| {
         CliError(format!(
             "unknown dataset '{name}'; run `hamlet datasets` for the list"
         ))
     })?;
     let scale: f64 = parse_flag(args, "--scale")
-        .map(|s| s.parse().map_err(|_| CliError(format!("bad --scale '{s}'"))))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError(format!("bad --scale '{s}'")))
+        })
         .transpose()?
         .unwrap_or(0.05);
     if !(scale > 0.0 && scale <= 1.0) {
         return Err(CliError(format!("--scale must be in (0, 1], got {scale}")));
     }
     Ok((spec, scale))
+}
+
+/// Parses `--strategy factorize|materialize` into "factorize?" —
+/// `None` when the flag is absent.
+fn strategy_arg(args: &[String]) -> Result<Option<bool>, CliError> {
+    match parse_flag(args, "--strategy") {
+        None => Ok(None),
+        Some("factorize") => Ok(Some(true)),
+        Some("materialize") => Ok(Some(false)),
+        Some(other) => Err(CliError(format!(
+            "--strategy must be 'factorize' or 'materialize', got '{other}'"
+        ))),
+    }
 }
 
 /// Runs one CLI invocation; `args` excludes the program name.
@@ -112,16 +140,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("advise") => {
             let (spec, scale) = dataset_arg(&args[1..])?;
             let relaxed = args.iter().any(|a| a == "--relaxed");
+            let recommend_factorize = strategy_arg(&args[1..])?.unwrap_or(false);
             let g = spec.generate(scale, 20_160_626);
-            let config = if relaxed {
+            let mut config = if relaxed {
                 AdvisorConfig {
                     tr: TrRule::with_tau(RELAXED_TAU),
                     ror: RorRule::with_rho(RELAXED_RHO),
-                    check_skew: true,
+                    ..Default::default()
                 }
             } else {
                 AdvisorConfig::default()
             };
+            config.recommend_factorize = recommend_factorize;
             let report = advise(&g.star, g.star.n_s() / 2, &config);
             let body = if args.iter().any(|a| a == "--markdown") {
                 report.render_markdown()
@@ -133,6 +163,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 spec.name,
                 if relaxed { ", relaxed thresholds" } else { "" },
                 body
+            ))
+        }
+        Some("train") => {
+            let rest = &args[1..];
+            let (spec, scale) = dataset_arg(rest)?;
+            let model = parse_flag(rest, "--model").unwrap_or("nb");
+            if !matches!(model, "nb" | "logreg") {
+                return Err(CliError(format!(
+                    "--model must be 'nb' or 'logreg', got '{model}'"
+                )));
+            }
+            let factorize = strategy_arg(rest)?.unwrap_or(true);
+            let g = spec.generate(scale, 20_160_626);
+            let body = train_star(&g.star, model, factorize)?;
+            Ok(format!(
+                "{} (scale {scale}), model {model}\n{body}",
+                spec.name
             ))
         }
         Some("profile") => {
@@ -149,19 +196,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let relaxed = rest.iter().any(|a| a == "--relaxed");
             let text = std::fs::read_to_string(file)
                 .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
-            let manifest =
-                Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
+            let manifest = Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
             let base = std::path::Path::new(file)
                 .parent()
                 .unwrap_or_else(|| std::path::Path::new("."));
-            let star = manifest
-                .load(base)
-                .map_err(|e| CliError(e.to_string()))?;
+            let star = manifest.load(base).map_err(|e| CliError(e.to_string()))?;
             let config = if relaxed {
                 AdvisorConfig {
                     tr: TrRule::with_tau(RELAXED_TAU),
                     ror: RorRule::with_rho(RELAXED_RHO),
-                    check_skew: true,
+                    ..Default::default()
                 }
             } else {
                 AdvisorConfig::default()
@@ -197,9 +241,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let numerics: Vec<(String, usize)> = parse_multi(rest, "--numeric")
                 .into_iter()
                 .map(|spec| {
-                    let (name, bins) = spec
-                        .split_once(':')
-                        .ok_or_else(|| CliError(format!("--numeric needs col:bins, got '{spec}'")))?;
+                    let (name, bins) = spec.split_once(':').ok_or_else(|| {
+                        CliError(format!("--numeric needs col:bins, got '{spec}'"))
+                    })?;
                     let bins: usize = bins
                         .parse()
                         .map_err(|_| CliError(format!("bad bin count in '{spec}'")))?;
@@ -211,6 +255,87 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some(other) => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
+}
+
+/// The `train` pipeline: fits the requested classifier over `star`
+/// under the 50/25/25 holdout protocol.
+///
+/// With `factorize`, training reads every joined column through FK
+/// indirection (no `kfk_join` runs) and the output includes a parity
+/// check against the materialized reference — the models must be
+/// *identical*, not merely close, because both paths execute the same
+/// float operations on the same codes.
+pub fn train_star(star: &StarSchema, model: &str, factorize: bool) -> Result<String, CliError> {
+    let err = |e: hamlet_relational::RelationalError| CliError(e.to_string());
+    let perm: Vec<usize> = (0..star.n_s()).collect();
+    let split = star.split_rows(&perm, 0.5, 0.25);
+
+    // Materialized path: the subject under --strategy materialize, the
+    // parity reference under --strategy factorize.
+    let t0 = Instant::now();
+    let wide = star.materialize_all().map_err(err)?;
+    let data = Dataset::from_table(&wide);
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let (mat_err, mat_elapsed, nb_mat, lr_mat);
+    match model {
+        "nb" => {
+            let m = NaiveBayes::default().fit(&data, &split.train, &feats);
+            mat_elapsed = t0.elapsed();
+            mat_err = zero_one_error(&m, &data, &split.test);
+            nb_mat = Some(m);
+            lr_mat = None;
+        }
+        _ => {
+            let m = LogisticRegression::default().fit(&data, &split.train, &feats);
+            mat_elapsed = t0.elapsed();
+            mat_err = zero_one_error(&m, &data, &split.test);
+            nb_mat = None;
+            lr_mat = Some(m);
+        }
+    }
+    if !factorize {
+        return Ok(format!(
+            "materialize: trained in {:.1} ms, holdout error {mat_err:.4}\n",
+            mat_elapsed.as_secs_f64() * 1e3
+        ));
+    }
+
+    let t1 = Instant::now();
+    let view = FactorizedView::new(star).map_err(err)?;
+    let (fac_err, fac_elapsed, parity);
+    match model {
+        "nb" => {
+            let m = fit_factorized_nb(&view, &NaiveBayes::default(), &split.train, &feats)
+                .map_err(err)?;
+            fac_elapsed = t1.elapsed();
+            fac_err = zero_one_error(&m, &view, &split.test);
+            parity = nb_mat.as_ref() == Some(&m);
+        }
+        _ => {
+            let m =
+                fit_factorized_logreg(&view, &LogisticRegression::default(), &split.train, &feats);
+            fac_elapsed = t1.elapsed();
+            fac_err = zero_one_error(&m, &view, &split.test);
+            parity = lr_mat
+                .as_ref()
+                .map(|r| r.weights() == m.weights() && r.bias() == m.bias())
+                .unwrap_or(false);
+        }
+    }
+    Ok(format!(
+        "factorize: trained in {:.1} ms, holdout error {fac_err:.4}\n\
+         materialized reference: trained in {:.1} ms, holdout error {mat_err:.4}\n\
+         parity: {}\n\
+         wide-table cells never allocated: {}\n",
+        fac_elapsed.as_secs_f64() * 1e3,
+        mat_elapsed.as_secs_f64() * 1e3,
+        if parity {
+            "exact (identical model)"
+        } else {
+            "MISMATCH"
+        },
+        view.cells_avoided()
+    ))
 }
 
 /// The `csv-advise` pipeline on in-memory CSV text.
@@ -325,9 +450,61 @@ mod tests {
     #[test]
     fn bad_args_are_reported() {
         assert!(run(&argv("advise")).unwrap_err().0.contains("--dataset"));
-        assert!(run(&argv("advise --dataset nope")).unwrap_err().0.contains("unknown dataset"));
-        assert!(run(&argv("advise --dataset yelp --scale 7")).unwrap_err().0.contains("--scale"));
+        assert!(run(&argv("advise --dataset nope"))
+            .unwrap_err()
+            .0
+            .contains("unknown dataset"));
+        assert!(run(&argv("advise --dataset yelp --scale 7"))
+            .unwrap_err()
+            .0
+            .contains("--scale"));
         assert!(run(&argv("csv-advise")).unwrap_err().0.contains("file.csv"));
+        assert!(run(&argv("train")).unwrap_err().0.contains("--dataset"));
+        assert!(run(&argv("train --dataset yelp --model svm"))
+            .unwrap_err()
+            .0
+            .contains("--model"));
+        assert!(run(&argv("train --dataset yelp --strategy teleport"))
+            .unwrap_err()
+            .0
+            .contains("--strategy"));
+    }
+
+    #[test]
+    fn advise_strategy_factorize() {
+        let out = run(&argv(
+            "advise --dataset flights --scale 0.05 --strategy factorize",
+        ))
+        .unwrap();
+        assert!(out.contains("FACTORIZE the join"), "{out}");
+        assert!(out.contains("cells"), "{out}");
+    }
+
+    #[test]
+    fn train_nb_factorized_parity() {
+        let out = run(&argv("train --dataset walmart --scale 0.01 --model nb")).unwrap();
+        assert!(out.contains("parity: exact (identical model)"), "{out}");
+        assert!(out.contains("wide-table cells never allocated"), "{out}");
+    }
+
+    #[test]
+    fn train_logreg_factorized_parity() {
+        let out = run(&argv(
+            "train --dataset walmart --scale 0.01 --model logreg --strategy factorize",
+        ))
+        .unwrap();
+        assert!(out.contains("model logreg"), "{out}");
+        assert!(out.contains("parity: exact (identical model)"), "{out}");
+    }
+
+    #[test]
+    fn train_materialize_only() {
+        let out = run(&argv(
+            "train --dataset walmart --scale 0.01 --strategy materialize",
+        ))
+        .unwrap();
+        assert!(out.contains("materialize: trained in"), "{out}");
+        assert!(!out.contains("parity"), "{out}");
     }
 
     #[test]
@@ -369,7 +546,10 @@ mod tests {
     #[test]
     fn csv_advise_missing_target() {
         let csv = "a,b\n1,2\n";
-        assert!(csv_advise(csv, "zzz", &[], &[], 2).unwrap_err().0.contains("target"));
+        assert!(csv_advise(csv, "zzz", &[], &[], 2)
+            .unwrap_err()
+            .0
+            .contains("target"));
     }
 }
 

@@ -18,6 +18,9 @@
 //! * [`core`] — the paper's contribution: VC dimensions, the worst-case
 //!   ROR, the tuple ratio, the thresholded decision rules, and the
 //!   JoinAll/JoinOpt/NoJoins/JoinAllNoFK planner;
+//! * [`factorized`] — factorized learning: JoinAll accuracy at
+//!   NoJoins-like memory, training through FK indirection with zero
+//!   join materialization;
 //! * [`datagen`] — simulation worlds, FK skew, and synthetic analogs of
 //!   the paper's seven datasets;
 //! * [`experiments`] — one module per paper table/figure.
@@ -47,6 +50,7 @@ pub mod cli;
 pub use hamlet_core as core;
 pub use hamlet_datagen as datagen;
 pub use hamlet_experiments as experiments;
+pub use hamlet_factorized as factorized;
 pub use hamlet_fs as fs;
 pub use hamlet_ml as ml;
 pub use hamlet_relational as relational;

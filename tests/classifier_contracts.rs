@@ -18,7 +18,9 @@ use hamlet::ml::tree::DecisionTree;
 
 /// y = x0 (3 classes); x1 noise; majority class is 0.
 fn train_data(n: usize) -> Dataset {
-    let x0: Vec<u32> = (0..n as u32).map(|i| if i % 4 == 3 { (i / 4) % 3 } else { 0 }).collect();
+    let x0: Vec<u32> = (0..n as u32)
+        .map(|i| if i % 4 == 3 { (i / 4) % 3 } else { 0 })
+        .collect();
     let x1: Vec<u32> = (0..n as u32).map(|i| (i * 7) % 5).collect();
     let y = x0.clone();
     Dataset::new(
@@ -72,9 +74,16 @@ fn check_contracts<C: Classifier>(learner: &C, name: &str) {
     // Empty feature subset -> majority class (0 dominates 3:1).
     let empty = learner.fit(&train, &rows, &[]);
     for &r in &test_rows {
-        assert_eq!(empty.predict_row(&test, r), 0, "{name}: empty-subset majority");
+        assert_eq!(
+            empty.predict_row(&test, r),
+            0,
+            "{name}: empty-subset majority"
+        );
     }
-    assert!(empty.features().is_empty(), "{name}: features() on empty fit");
+    assert!(
+        empty.features().is_empty(),
+        "{name}: features() on empty fit"
+    );
 
     // Full fit: valid predictions, reported features, determinism.
     let m1 = learner.fit(&train, &rows, &[0, 1]);

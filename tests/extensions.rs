@@ -10,8 +10,7 @@ use hamlet::ml::dataset::Dataset;
 use hamlet::ml::naive_bayes::NaiveBayes;
 use hamlet::relational::decompose::decompose_star;
 use hamlet::relational::{
-    kfk_join, profile_star, read_csv, write_csv, ColumnSpec, DomainRevision,
-    FunctionalDependency,
+    kfk_join, profile_star, read_csv, write_csv, ColumnSpec, DomainRevision, FunctionalDependency,
 };
 
 const SEED: u64 = 77;
@@ -29,8 +28,7 @@ fn advisor_matches_planner_and_is_conservative() {
                 assert!(
                     table_spec.safe_to_avoid_in_hindsight,
                     "{} / {}: advisor avoided an unsafe join",
-                    spec.name,
-                    table_spec.table
+                    spec.name, table_spec.table
                 );
             }
             // Uniform FK generation: the skew detector must not fire.

@@ -176,8 +176,7 @@ fn rules_are_conservative_wrt_planted_ground_truth() {
                 assert!(
                     at.safe_to_avoid_in_hindsight,
                     "{} / {}: rule avoided an unsafe join",
-                    spec.name,
-                    at.table
+                    spec.name, at.table
                 );
                 avoided += 1;
             } else if at.safe_to_avoid_in_hindsight {
@@ -187,7 +186,10 @@ fn rules_are_conservative_wrt_planted_ground_truth() {
     }
     // The paper's tallies: 7 avoided safely, some missed opportunities.
     assert_eq!(avoided, 7, "expected exactly 7 joins predicted safe");
-    assert!(missed >= 3, "expected at least 3 missed opportunities, got {missed}");
+    assert!(
+        missed >= 3,
+        "expected at least 3 missed opportunities, got {missed}"
+    );
 }
 
 /// The simulation's conditional distributions are exact: empirical label

@@ -10,9 +10,7 @@ use hamlet::ml::dataset::{Dataset, Feature};
 use hamlet::ml::info::{entropy, mutual_information};
 use hamlet::ml::naive_bayes::NaiveBayes;
 use hamlet::ml::split::HoldoutSplit;
-use hamlet::relational::{
-    kfk_join, Domain, EqualWidthBinner, FunctionalDependency, TableBuilder,
-};
+use hamlet::relational::{kfk_join, Domain, EqualWidthBinner, FunctionalDependency, TableBuilder};
 
 /// Strategy: a random KFK instance — an attribute table of `n_r` rows
 /// with one foreign feature, plus `n_s` entity rows with FKs and labels.
@@ -20,8 +18,8 @@ fn kfk_instance() -> impl Strategy<Value = (usize, Vec<u32>, Vec<u32>, Vec<u32>)
     (2usize..12).prop_flat_map(|n_r| {
         (
             Just(n_r),
-            proptest::collection::vec(0..4u32, n_r),             // X_R values per RID
-            proptest::collection::vec(0..n_r as u32, 10..120),   // FK codes
+            proptest::collection::vec(0..4u32, n_r), // X_R values per RID
+            proptest::collection::vec(0..n_r as u32, 10..120), // FK codes
         )
             .prop_flat_map(|(n_r, xr, fks)| {
                 let n_s = fks.len();
