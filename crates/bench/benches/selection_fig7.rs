@@ -18,7 +18,7 @@ fn prepared(kind: PlanKind, gen: &hamlet_datagen::realistic::GeneratedDataset) -
         PlanKind::JoinOpt => join_opt_plan(&gen.star, BENCH_SEED),
         k => plan(&gen.star, k, &TrRule::default(), n_train),
     };
-    prepare_plan(&gen.star, p, BENCH_SEED)
+    prepare_plan(&gen.star, p, BENCH_SEED).expect("synthetic star materializes")
 }
 
 fn bench_selection(c: &mut Criterion) {

@@ -75,15 +75,10 @@ impl RowPartition {
 
 /// Partitions the rows of `attr` by the joint value of the named
 /// attributes (empty set = one class; the primary key = discrete
-/// partition). Panics on an unknown attribute name; use
-/// [`try_partition_by`] when the names come from user input.
-pub fn partition_by(attr: &Table, attributes: &[&str]) -> RowPartition {
-    try_partition_by(attr, attributes).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Fallible [`partition_by`]: reports an unknown attribute name as a
-/// typed [`RelationalError::UnknownAttribute`] instead of panicking.
-pub fn try_partition_by(attr: &Table, attributes: &[&str]) -> Result<RowPartition> {
+/// partition). An unknown attribute name is a typed
+/// [`RelationalError::UnknownAttribute`](hamlet_relational::RelationalError::UnknownAttribute)
+/// — user schemas reach this path, so it must not panic.
+pub fn partition_by(attr: &Table, attributes: &[&str]) -> Result<RowPartition> {
     let cols: Vec<_> = attributes
         .iter()
         .map(|a| attr.column_by_name(a))
@@ -102,19 +97,23 @@ pub fn try_partition_by(attr: &Table, attributes: &[&str]) -> Result<RowPartitio
     })
 }
 
-/// The FK partition (discrete: one class per row of `R`).
-pub fn fk_partition(attr: &Table) -> RowPartition {
-    let pk = attr
-        .schema()
-        .primary_key()
-        .expect("attribute table has a primary key");
+/// The FK partition (discrete: one class per row of `R`). A table
+/// without a primary key is a typed
+/// [`RelationalError::MissingRole`](hamlet_relational::RelationalError::MissingRole).
+pub fn fk_partition(attr: &Table) -> Result<RowPartition> {
+    let pk = attr.schema().primary_key().ok_or_else(|| {
+        hamlet_relational::RelationalError::MissingRole {
+            table: attr.name().to_string(),
+            role: "primary key",
+        }
+    })?;
     let name = attr.schema().attributes()[pk].name.clone();
     partition_by(attr, &[&name])
 }
 
 /// The `X_R` partition (grouping FK values with identical foreign
 /// features).
-pub fn xr_partition(attr: &Table) -> RowPartition {
+pub fn xr_partition(attr: &Table) -> Result<RowPartition> {
     let names: Vec<String> = attr
         .schema()
         .attributes()
@@ -130,12 +129,12 @@ pub fn xr_partition(attr: &Table) -> RowPartition {
 /// `(fk_refines_xr, spaces_equal)` — the first must always be true; the
 /// second holds iff all `X_R` rows are distinct ("all tuples in R have
 /// distinct values of X_R").
-pub fn check_prop_3_3(attr: &Table) -> (bool, bool) {
-    let fk = fk_partition(attr);
-    let xr = xr_partition(attr);
+pub fn check_prop_3_3(attr: &Table) -> Result<(bool, bool)> {
+    let fk = fk_partition(attr)?;
+    let xr = xr_partition(attr)?;
     let refines = fk.refines(&xr);
     let equal = refines && fk.n_classes() == xr.n_classes();
-    (refines, equal)
+    Ok((refines, equal))
 }
 
 #[cfg(test)]
@@ -168,7 +167,7 @@ mod tests {
     #[test]
     fn fk_partition_is_discrete() {
         let r = attr_table(&[(0, 0), (0, 0), (1, 2)]);
-        let p = fk_partition(&r);
+        let p = fk_partition(&r).unwrap();
         assert_eq!(p.n_classes(), 3);
         assert_eq!(p.class_of(), &[0, 1, 2]);
     }
@@ -176,7 +175,7 @@ mod tests {
     #[test]
     fn xr_partition_groups_duplicates() {
         let r = attr_table(&[(0, 0), (0, 0), (1, 2), (0, 0)]);
-        let p = xr_partition(&r);
+        let p = xr_partition(&r).unwrap();
         assert_eq!(p.n_classes(), 2);
         assert_eq!(p.class_of(), &[0, 0, 1, 0]);
     }
@@ -184,19 +183,20 @@ mod tests {
     #[test]
     fn prop_3_3_holds_with_duplicates() {
         let r = attr_table(&[(0, 0), (0, 0), (1, 2)]);
-        let (refines, equal) = check_prop_3_3(&r);
+        let (refines, equal) = check_prop_3_3(&r).unwrap();
         assert!(refines, "H_XR ⊆ H_FK must always hold");
         assert!(!equal, "duplicate X_R rows -> strict containment");
         // The hypothesis-space sizes witness the strictness.
         assert!(
-            xr_partition(&r).log2_hypothesis_count() < fk_partition(&r).log2_hypothesis_count()
+            xr_partition(&r).unwrap().log2_hypothesis_count()
+                < fk_partition(&r).unwrap().log2_hypothesis_count()
         );
     }
 
     #[test]
     fn prop_3_3_equality_iff_distinct_rows() {
         let r = attr_table(&[(0, 0), (1, 2), (3, 1)]);
-        let (refines, equal) = check_prop_3_3(&r);
+        let (refines, equal) = check_prop_3_3(&r).unwrap();
         assert!(refines);
         assert!(equal, "distinct X_R rows -> H_XR = H_FK");
     }
@@ -204,9 +204,9 @@ mod tests {
     #[test]
     fn refinement_is_a_partial_order() {
         let r = attr_table(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
-        let by_a = partition_by(&r, &["a"]);
-        let by_ab = partition_by(&r, &["a", "b"]);
-        let trivial = partition_by(&r, &[]);
+        let by_a = partition_by(&r, &["a"]).unwrap();
+        let by_ab = partition_by(&r, &["a", "b"]).unwrap();
+        let trivial = partition_by(&r, &[]).unwrap();
         // Finer refines coarser…
         assert!(by_ab.refines(&by_a));
         assert!(by_a.refines(&trivial));
@@ -223,9 +223,9 @@ mod tests {
         // The "oracle told us to use X_r alone" case of Sec 3.2:
         // H_{X_r} ⊆ H_{X_R} ⊆ H_FK, witnessed by class counts.
         let r = attr_table(&[(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)]);
-        let lone = partition_by(&r, &["a"]);
-        let joint = xr_partition(&r);
-        let fk = fk_partition(&r);
+        let lone = partition_by(&r, &["a"]).unwrap();
+        let joint = xr_partition(&r).unwrap();
+        let fk = fk_partition(&r).unwrap();
         assert!(joint.refines(&lone));
         assert!(fk.refines(&joint));
         assert!(lone.n_classes() <= joint.n_classes());
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn unknown_attribute_is_a_typed_error() {
         let r = attr_table(&[(0, 0)]);
-        let err = try_partition_by(&r, &["nope"]).unwrap_err();
+        let err = partition_by(&r, &["nope"]).unwrap_err();
         assert!(matches!(
             err,
             RelationalError::UnknownAttribute { ref table, ref attribute }
@@ -244,10 +244,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown attribute 'nope'")]
-    fn partition_by_panics_with_context() {
-        let r = attr_table(&[(0, 0)]);
-        let _ = partition_by(&r, &["nope"]);
+    fn missing_primary_key_is_a_typed_error_not_a_panic() {
+        // A user-supplied "attribute table" with no primary key used to
+        // abort the process via `.expect`; it is now a typed error.
+        let r = TableBuilder::new("NoPk")
+            .feature("a", Domain::indexed("a", 2).shared(), vec![0, 1])
+            .build()
+            .unwrap();
+        let err = fk_partition(&r).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::MissingRole { ref table, role: "primary key" } if table == "NoPk"
+        ));
+        assert!(check_prop_3_3(&r).is_err());
     }
 
     #[test]
@@ -255,6 +264,8 @@ mod tests {
     fn mismatched_partitions_panic() {
         let r1 = attr_table(&[(0, 0)]);
         let r2 = attr_table(&[(0, 0), (1, 1)]);
-        let _ = fk_partition(&r1).refines(&fk_partition(&r2));
+        let _ = fk_partition(&r1)
+            .unwrap()
+            .refines(&fk_partition(&r2).unwrap());
     }
 }

@@ -44,9 +44,7 @@ pub mod tuning;
 pub mod vc;
 
 pub use advisor::{advise, AdvisorConfig, AdvisorReport, JoinAdvice};
-pub use hypothesis::{
-    check_prop_3_3, fk_partition, partition_by, try_partition_by, xr_partition, RowPartition,
-};
+pub use hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition, RowPartition};
 pub use multiclass::{graph_dimension_bound, multiclass_worst_case_ror, natarajan_dimension_bound};
 pub use planner::{
     explicit_plan, join_stats, plan, ExecStrategy, JoinPlan, PlanKind, TableDecision,

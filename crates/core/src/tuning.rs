@@ -39,20 +39,26 @@ pub enum SafeSide {
 /// Returns `None` when no threshold admits any point (even the safest
 /// configuration exceeds the tolerance).
 pub fn tune_threshold(points: &[TuningPoint], tolerance: f64, side: SafeSide) -> Option<f64> {
-    if points.is_empty() {
+    // Simulation sweeps can carry NaN statistics (e.g. a degenerate
+    // configuration whose ROR divides by zero). A NaN statistic cannot
+    // anchor a threshold, so such points are dropped up front; a NaN
+    // *error_increase* is kept and counts as unsafe (`NaN <= tolerance`
+    // is false), which conservatively stops the frontier.
+    let mut sorted: Vec<&TuningPoint> = points.iter().filter(|p| !p.statistic.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
     // Sort unsafe-before-safe within a tied statistic so a tie between a
     // safe and an unsafe point stops the frontier *before* the tie: the
     // returned region must be uniformly safe, thresholds inclusive.
-    let mut sorted: Vec<&TuningPoint> = points.iter().collect();
     let safe = |p: &TuningPoint| p.error_increase <= tolerance;
     match side {
         SafeSide::Low => {
             sorted.sort_by(|a, b| {
                 a.statistic
                     .partial_cmp(&b.statistic)
-                    .expect("finite")
+                    // Total after the NaN filter; Equal is unreachable.
+                    .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| safe(a).cmp(&safe(b))) // unsafe first on ties
             });
             let mut best = None;
@@ -69,7 +75,7 @@ pub fn tune_threshold(points: &[TuningPoint], tolerance: f64, side: SafeSide) ->
             sorted.sort_by(|a, b| {
                 b.statistic
                     .partial_cmp(&a.statistic)
-                    .expect("finite")
+                    .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| safe(a).cmp(&safe(b)))
             });
             let mut best = None;
@@ -151,6 +157,22 @@ mod tests {
         assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), Some(1.0));
         let high = pts(&[(100.0, 0.0), (50.0, 0.0), (50.0, 0.9)]);
         assert_eq!(tune_threshold(&high, 0.001, SafeSide::High), Some(100.0));
+    }
+
+    #[test]
+    fn nan_points_do_not_panic_and_do_not_anchor() {
+        // Regression: a NaN statistic used to abort via `.expect("finite")`.
+        let points = pts(&[(1.0, 0.0), (f64::NAN, 0.0), (2.0, 0.0005), (3.0, 0.05)]);
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::Low), Some(2.0));
+        // Descending from 3.0 hits an unsafe point first: no threshold.
+        assert_eq!(tune_threshold(&points, 0.001, SafeSide::High), None);
+        // A NaN error increase is conservatively unsafe, not a panic.
+        let nan_err = pts(&[(1.0, 0.0), (2.0, f64::NAN), (3.0, 0.0)]);
+        assert_eq!(tune_threshold(&nan_err, 0.001, SafeSide::Low), Some(1.0));
+        // All-NaN statistics: nothing to anchor a threshold on.
+        let all_nan = pts(&[(f64::NAN, 0.0), (f64::NAN, 0.0)]);
+        assert_eq!(tune_threshold(&all_nan, 0.001, SafeSide::Low), None);
+        assert_eq!(tune_threshold(&all_nan, 0.001, SafeSide::High), None);
     }
 
     #[test]

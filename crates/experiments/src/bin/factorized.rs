@@ -10,10 +10,15 @@ use hamlet_experiments::factorized::{compare, report, CountingAlloc};
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() {
-    let n_s = std::env::var("HAMLET_FANOUT_ROWS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000);
+    hamlet_obs::alloc::install_meter(&ALLOC);
+    let n_s =
+        match hamlet_obs::env::var_where("HAMLET_FANOUT_ROWS", "a positive integer", |&n| n > 0) {
+            Ok(n) => n.unwrap_or(40_000),
+            Err(e) => {
+                eprintln!("error: {e} (unset the variable to use the default)");
+                std::process::exit(2);
+            }
+        };
     let rows = compare(n_s, 8, hamlet_experiments::DEFAULT_SEED, Some(&ALLOC));
     print!("{}", report(&rows));
     for r in &rows {

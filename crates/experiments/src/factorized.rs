@@ -9,8 +9,6 @@
 //! repeats each `R` row many times, so factorized execution should win
 //! both wall-clock and peak allocation; at ratio 1 the gap narrows.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use hamlet_core::planner::{plan, ExecStrategy, PlanKind};
@@ -27,63 +25,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::table::TextTable;
 
-/// A `System`-wrapping allocator that tracks current and peak live
-/// bytes. Install as `#[global_allocator]` in a binary to give
-/// [`compare`] real peak-allocation numbers; without it the byte
-/// columns read 0.
-pub struct CountingAlloc {
-    current: AtomicUsize,
-    peak: AtomicUsize,
-}
-
-impl CountingAlloc {
-    /// A fresh counter (const so it can back a static).
-    pub const fn new() -> Self {
-        Self {
-            current: AtomicUsize::new(0),
-            peak: AtomicUsize::new(0),
-        }
-    }
-
-    /// Live bytes right now.
-    pub fn current(&self) -> usize {
-        self.current.load(Ordering::Relaxed)
-    }
-
-    /// Forgets any peak above the current watermark.
-    pub fn reset_peak(&self) {
-        self.peak.store(self.current(), Ordering::Relaxed);
-    }
-
-    /// Peak live bytes since the last [`reset_peak`](Self::reset_peak).
-    pub fn peak(&self) -> usize {
-        self.peak.load(Ordering::Relaxed)
-    }
-}
-
-impl Default for CountingAlloc {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-// SAFETY: delegates all allocation to `System`; the bookkeeping uses
-// only relaxed atomics and never allocates.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            let now = self.current.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            self.peak.fetch_max(now, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        self.current.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-}
+/// The counting allocator now lives in `hamlet-obs` so every binary
+/// (the CLI included) can install it; re-exported here for the
+/// `factorized` binary and older callers.
+pub use hamlet_obs::CountingAlloc;
 
 /// One (tuple ratio × strategy comparison) measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -304,21 +249,5 @@ mod tests {
         assert_eq!(star.n_s(), 1_000);
         assert_eq!(star.attributes()[0].n_rows(), 100);
         assert_eq!(star.attributes()[0].n_features(), 3);
-    }
-
-    #[test]
-    fn counting_alloc_tracks_peak() {
-        // Not installed as the global allocator here; drive it directly.
-        let a = CountingAlloc::new();
-        unsafe {
-            let layout = Layout::from_size_align(1024, 8).unwrap();
-            let p = a.alloc(layout);
-            assert!(a.current() >= 1024);
-            assert!(a.peak() >= 1024);
-            a.dealloc(p, layout);
-        }
-        assert_eq!(a.current(), 0);
-        a.reset_peak();
-        assert_eq!(a.peak(), 0);
     }
 }

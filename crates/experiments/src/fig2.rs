@@ -47,10 +47,10 @@ pub fn rows(seed: u64) -> Vec<Fig2Row> {
             }
             .build_world(seed);
             let r = world.r_table();
-            let fk = fk_partition(r);
-            let xr = xr_partition(r);
-            let lone = partition_by(r, &["xr0"]);
-            let (refines, equal) = check_prop_3_3(r);
+            let fk = fk_partition(r).expect("simulation R has a primary key");
+            let xr = xr_partition(r).expect("simulation R features are known");
+            let lone = partition_by(r, &["xr0"]).expect("simulation R has xr0");
+            let (refines, equal) = check_prop_3_3(r).expect("simulation R is well-formed");
             assert!(refines, "Prop 3.3 must hold by construction");
             out.push(Fig2Row {
                 n_r,

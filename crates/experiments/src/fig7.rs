@@ -36,8 +36,8 @@ pub fn run_dataset(spec: &DatasetSpec, scale: f64, seed: u64) -> DatasetResults 
     let join_all_tables = 1 + all_plan.joined.len();
     let join_opt_tables = 1 + opt_plan.joined.len();
 
-    let prepared_all = prepare_plan(&g.star, all_plan, seed);
-    let prepared_opt = prepare_plan(&g.star, opt_plan, seed);
+    let prepared_all = prepare_plan(&g.star, all_plan, seed).expect("synthetic star materializes");
+    let prepared_opt = prepare_plan(&g.star, opt_plan, seed).expect("synthetic star materializes");
 
     let runs = Method::ALL
         .iter()

@@ -64,7 +64,8 @@ pub fn robustness(spec: &DatasetSpec, scale: f64, seed: u64) -> String {
         let mut joined: Vec<usize> = subset.iter().map(|&j| closed[j]).collect();
         joined.extend(open.iter().copied());
         joined.sort_unstable();
-        let prepared = prepare_plan(&g.star, explicit_plan(&joined), seed);
+        let prepared = prepare_plan(&g.star, explicit_plan(&joined), seed)
+            .expect("synthetic star materializes");
         let fs = run_method(&prepared, Method::Forward);
         let bs = run_method(&prepared, Method::Backward);
         let chosen = {
@@ -186,12 +187,14 @@ pub fn report_c(scale: f64, seed: u64) -> String {
             &g.star,
             make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train),
             seed,
-        );
+        )
+        .expect("synthetic star materializes");
         let nofk = prepare_plan(
             &g.star,
             make_plan(&g.star, PlanKind::JoinAllNoFk, &TrRule::default(), n_train),
             seed,
-        );
+        )
+        .expect("synthetic star materializes");
         let opt_fs = run_method(&opt, Method::Forward);
         let opt_bs = run_method(&opt, Method::Backward);
         let nofk_fs = run_method(&nofk, Method::Forward);

@@ -69,12 +69,14 @@ pub fn run_dataset(spec: &DatasetSpec, scale: f64, seed: u64, epochs: usize) -> 
         &g.star,
         make_plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
         seed,
-    );
+    )
+    .expect("synthetic star materializes");
     let opt = prepare_plan(
         &g.star,
         make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train),
         seed,
-    );
+    )
+    .expect("synthetic star materializes");
     Fig9Row {
         name: spec.name,
         metric: all.metric,

@@ -60,12 +60,14 @@ pub fn end_to_end(scale: f64, seed: u64) -> Vec<(String, &'static str, f64, f64)
             &g.star,
             make_plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
             seed,
-        );
+        )
+        .expect("synthetic star materializes");
         let opt = prepare_plan(
             &g.star,
             make_plan(&g.star, PlanKind::JoinOpt, &TrRule::default(), n_train),
             seed,
-        );
+        )
+        .expect("synthetic star materializes");
         let t = tree();
         let feats_all: Vec<usize> = (0..all.data.n_features()).collect();
         let feats_opt: Vec<usize> = (0..opt.data.n_features()).collect();

@@ -12,37 +12,54 @@ use hamlet_ml::classifier::{Classifier, ErrorMetric, Model};
 use hamlet_ml::dataset::Dataset;
 use hamlet_ml::naive_bayes::NaiveBayes;
 use hamlet_ml::split::HoldoutSplit;
-use hamlet_relational::StarSchema;
+use hamlet_obs::env::{var_where, EnvError};
+use hamlet_relational::{RelationalError, StarSchema};
 
 /// Default experiment seed.
 pub const DEFAULT_SEED: u64 = 20_160_626; // SIGMOD'16 opening day
 
 /// Scale factor for the realistic datasets, read from `HAMLET_SCALE`
 /// (default 0.1). `n_S` and all `n_Ri` shrink jointly, preserving tuple
-/// ratios; see DESIGN.md §3.
+/// ratios; see DESIGN.md §3. An invalid value is a typed error — it
+/// used to silently fall back to 0.1, so `HAMLET_SCALE=1.5` quietly ran
+/// a tiny experiment.
+pub fn try_dataset_scale() -> Result<f64, EnvError> {
+    Ok(var_where("HAMLET_SCALE", "a float in (0, 1]", |&s: &f64| {
+        s > 0.0 && s <= 1.0
+    })?
+    .unwrap_or(0.1))
+}
+
+/// [`try_dataset_scale`] for the figure binaries: an invalid value
+/// prints an actionable error and exits(2) instead of running the wrong
+/// experiment.
 pub fn dataset_scale() -> f64 {
-    std::env::var("HAMLET_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&s| s > 0.0 && s <= 1.0)
-        .unwrap_or(0.1)
+    try_dataset_scale().unwrap_or_else(exit_on_env_error)
 }
 
 /// Monte-Carlo replication counts, read from `HAMLET_TRAIN_SETS` /
 /// `HAMLET_REPEATS` (defaults 100 and 8; the paper uses 100 x 100).
-pub fn monte_carlo_opts() -> MonteCarloOpts {
-    let env = |k: &str, d: usize| {
-        std::env::var(k)
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(d)
+/// Invalid values are typed errors, not silent defaults.
+pub fn try_monte_carlo_opts() -> Result<MonteCarloOpts, EnvError> {
+    let env = |k: &str, d: usize| -> Result<usize, EnvError> {
+        Ok(var_where(k, "a positive integer", |&v: &usize| v > 0)?.unwrap_or(d))
     };
-    MonteCarloOpts {
-        train_sets: env("HAMLET_TRAIN_SETS", 100),
-        repeats: env("HAMLET_REPEATS", 8),
+    Ok(MonteCarloOpts {
+        train_sets: env("HAMLET_TRAIN_SETS", 100)?,
+        repeats: env("HAMLET_REPEATS", 8)?,
         base_seed: DEFAULT_SEED,
-    }
+    })
+}
+
+/// [`try_monte_carlo_opts`] for the figure binaries: an invalid value
+/// prints an actionable error and exits(2).
+pub fn monte_carlo_opts() -> MonteCarloOpts {
+    try_monte_carlo_opts().unwrap_or_else(exit_on_env_error)
+}
+
+fn exit_on_env_error<T>(e: EnvError) -> T {
+    eprintln!("error: {e} (unset the variable to use the default)");
+    std::process::exit(2);
 }
 
 /// Replication configuration for simulation estimates.
@@ -148,6 +165,7 @@ pub fn simulate_with<C: Classifier + Sync>(
     let mut reports: [Vec<BiasVarianceReport>; 3] = Default::default();
 
     for rep in 0..opts.repeats {
+        let _world_span = hamlet_obs::span!("experiments.world", rep = rep);
         let world_seed = opts
             .base_seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64 + 1));
@@ -203,21 +221,25 @@ pub fn simulate_with<C: Classifier + Sync>(
 
 /// Runs `job(0..n)` across scoped threads (up to `HAMLET_THREADS`,
 /// default `available_parallelism`), returning results in index order.
-/// Falls back to sequential execution for tiny workloads.
+/// Falls back to sequential execution for tiny workloads. An invalid
+/// `HAMLET_THREADS` cannot abort mid-experiment from here, so it is
+/// reported loudly (stderr + run journal) and the default is used.
 fn run_indexed_parallel<T, F>(n: usize, job: &F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::env::var("HAMLET_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&t: &usize| t > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+    let default_threads = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let threads = var_where("HAMLET_THREADS", "a positive integer", |&t: &usize| t > 0)
+        .unwrap_or_else(|e| {
+            hamlet_obs::record_warning(format!("{e}; using available parallelism"));
+            None
         })
+        .unwrap_or_else(default_threads)
         .min(n.max(1));
     if threads <= 1 || n <= 1 {
         return (0..n).map(job).collect();
@@ -281,23 +303,32 @@ pub struct PreparedPlan {
     pub split: HoldoutSplit,
 }
 
-/// Materializes a plan over a star schema and prepares the shared split.
-pub fn prepare_plan(star: &StarSchema, plan: JoinPlan, seed: u64) -> PreparedPlan {
-    let table = plan.materialize(star).expect("plan must materialize");
+/// Materializes a plan over a star schema and prepares the shared
+/// split. Materialization failures (e.g. a dangling foreign key in a
+/// user-supplied star) propagate as the relational error instead of
+/// aborting the process.
+pub fn prepare_plan(
+    star: &StarSchema,
+    plan: JoinPlan,
+    seed: u64,
+) -> Result<PreparedPlan, RelationalError> {
+    let _span = hamlet_obs::span!("experiments.prepare_plan", plan = plan.kind.name());
+    let table = plan.materialize(star)?;
     let data = Dataset::from_table(&table);
     let metric = ErrorMetric::for_classes(data.n_classes());
     let split = HoldoutSplit::paper_protocol(data.n_examples(), seed);
-    PreparedPlan {
+    Ok(PreparedPlan {
         plan,
         data,
         metric,
         split,
-    }
+    })
 }
 
 /// Runs one feature-selection method on a prepared plan with Naive Bayes
 /// and scores the selected subset on the holdout test rows.
 pub fn run_method(prepared: &PreparedPlan, method: Method) -> PlanMethodRun {
+    let _span = hamlet_obs::span!("experiments.run_method", method = method.name());
     let nb = NaiveBayes::default();
     let candidates: Vec<usize> = (0..prepared.data.n_features()).collect();
     let ctx = SelectionContext {
@@ -401,7 +432,7 @@ mod tests {
     fn prepared_plan_and_method_run() {
         let g = DatasetSpec::walmart().generate(0.002, 3);
         let jp = join_opt_plan(&g.star, 3);
-        let prepared = prepare_plan(&g.star, jp, 3);
+        let prepared = prepare_plan(&g.star, jp, 3).expect("synthetic star materializes");
         let run = run_method(&prepared, Method::FilterMi);
         assert!(run.test_error.is_finite());
         assert!(!run.selected_names.is_empty());
@@ -428,5 +459,55 @@ mod tests {
         // the default path yields a sane value.
         let s = dataset_scale();
         assert!(s > 0.0 && s <= 1.0);
+        let mc = try_monte_carlo_opts().unwrap();
+        assert!(mc.train_sets > 0 && mc.repeats > 0);
+    }
+
+    #[test]
+    fn invalid_scale_is_an_error_not_a_silent_default() {
+        // Regression: HAMLET_SCALE=1.5 used to silently run at 0.1.
+        // Serialized in one test (set/check/unset) because other tests
+        // read the same variable; `dataset_scale` itself is not called
+        // here since it exits the process on the error path.
+        std::env::set_var("HAMLET_SCALE", "1.5");
+        let e = try_dataset_scale().unwrap_err();
+        assert_eq!(e.key, "HAMLET_SCALE");
+        assert_eq!(e.value, "1.5");
+        assert!(e.to_string().contains("(0, 1]"), "{e}");
+        std::env::set_var("HAMLET_SCALE", "not-a-number");
+        assert!(try_dataset_scale().is_err());
+        std::env::remove_var("HAMLET_SCALE");
+        assert_eq!(try_dataset_scale(), Ok(0.1));
+    }
+
+    #[test]
+    fn invalid_replication_counts_are_errors() {
+        std::env::set_var("HAMLET_TRAIN_SETS", "0");
+        let e = try_monte_carlo_opts().unwrap_err();
+        assert_eq!(e.key, "HAMLET_TRAIN_SETS");
+        std::env::remove_var("HAMLET_TRAIN_SETS");
+        std::env::set_var("HAMLET_REPEATS", "-3");
+        assert!(try_monte_carlo_opts().is_err());
+        std::env::remove_var("HAMLET_REPEATS");
+    }
+
+    #[test]
+    fn prepare_plan_propagates_relational_errors() {
+        // Regression: a plan that cannot materialize used to abort the
+        // process via `.expect("plan must materialize")`. (A dangling FK
+        // itself is rejected at `StarSchema::new`, so the reachable
+        // failure here is a plan referencing a nonexistent table.)
+        let g = DatasetSpec::walmart().generate(0.002, 3);
+        let mut jp = join_opt_plan(&g.star, 3);
+        jp.joined = vec![99];
+        jp.strategies = vec![hamlet_core::planner::ExecStrategy::Materialize];
+        let err = match prepare_plan(&g.star, jp, 3) {
+            Err(e) => e,
+            Ok(_) => panic!("a plan over table #99 must not materialize"),
+        };
+        assert!(
+            matches!(err, RelationalError::UnknownTable { .. }),
+            "{err:?}"
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! [`hamlet_relational::query::group_count`]) and then mapped through `R`
 //! with one `O(n_R)` pass per foreign feature. Because the resulting
 //! integer count tables are exactly those the materialized
-//! [`hamlet_ml::NaiveBayes::fit`] accumulates row by row, the smoothed
+//! `NaiveBayes::fit` ([`hamlet_ml::Classifier`]) accumulates row by row, the smoothed
 //! log-probability arithmetic is identical and the assembled
 //! [`NaiveBayesModel`] is **exactly equal** to the materialized one — not
 //! merely close.
@@ -35,6 +35,8 @@ pub fn fit_factorized_nb(
     rows: &[usize],
     feats: &[usize],
 ) -> Result<NaiveBayesModel> {
+    let _span = hamlet_obs::span!("factorized.nb_fit", rows = rows.len(), feats = feats.len());
+    hamlet_obs::counter_add!("hamlet_nb_fits_total", 1);
     let n_classes = view.n_classes();
     let alpha = nb.smoothing;
 

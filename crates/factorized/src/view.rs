@@ -84,6 +84,11 @@ impl<'a> FactorizedView<'a> {
     /// and foreign key is always present (FKs act as representatives for
     /// the unjoined tables, exactly as in the materialized subset join).
     pub fn with_join_set(star: &'a StarSchema, join_set: &[usize]) -> Result<Self> {
+        let _span = hamlet_obs::span!(
+            "factorized.build_view",
+            rows = star.n_s(),
+            joins = join_set.len()
+        );
         let entity = star.entity();
         let target_idx = entity
             .schema()
@@ -156,7 +161,7 @@ impl<'a> FactorizedView<'a> {
             }
         }
 
-        Ok(Self {
+        let view = Self {
             star,
             join_set: join_set.to_vec(),
             labels,
@@ -165,7 +170,9 @@ impl<'a> FactorizedView<'a> {
             base,
             joined,
             fk_indices,
-        })
+        };
+        hamlet_obs::counter_add!("hamlet_wide_cells_avoided_total", view.cells_avoided());
+        Ok(view)
     }
 
     /// The underlying star schema.

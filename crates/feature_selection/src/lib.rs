@@ -42,6 +42,7 @@ impl<'a, C: Classifier> SelectionContext<'a, C> {
     /// Trains on the training rows with `feats` and returns the
     /// validation error.
     pub fn evaluate(&self, feats: &[usize]) -> f64 {
+        hamlet_obs::counter_add!("hamlet_fs_evaluations_total", 1);
         let model = self.classifier.fit(self.data, self.train, feats);
         self.metric.eval(&model, self.data, self.validation)
     }
@@ -333,6 +334,11 @@ impl Method {
         ctx: &SelectionContext<'_, C>,
         candidates: &[usize],
     ) -> SelectionResult {
+        let _span = hamlet_obs::span!(
+            "fs.method",
+            name = self.name(),
+            candidates = candidates.len()
+        );
         match self {
             Method::Forward => forward_selection(ctx, candidates),
             Method::Backward => backward_selection(ctx, candidates),

@@ -120,6 +120,8 @@ impl LogisticRegression {
         rows: &[usize],
         feats: &[usize],
     ) -> LogisticRegressionModel {
+        let _span = hamlet_obs::span!("ml.logreg_fit", rows = rows.len(), feats = feats.len());
+        hamlet_obs::counter_add!("hamlet_logreg_fits_total", 1);
         let n_classes = data.n_classes();
         let mut offsets = Vec::with_capacity(feats.len());
         let mut dim = 0usize;

@@ -51,6 +51,8 @@ impl Classifier for NaiveBayes {
     type Fitted = NaiveBayesModel;
 
     fn fit(&self, data: &Dataset, rows: &[usize], feats: &[usize]) -> NaiveBayesModel {
+        let _span = hamlet_obs::span!("ml.nb_fit", rows = rows.len(), feats = feats.len());
+        hamlet_obs::counter_add!("hamlet_nb_fits_total", 1);
         let n_classes = data.n_classes();
         let alpha = self.smoothing;
         let labels = data.labels();

@@ -1,0 +1,118 @@
+//! A counting global allocator and its process-wide registration.
+//!
+//! [`CountingAlloc`] wraps [`System`] and tracks current and peak live
+//! bytes with relaxed atomics (moved here from
+//! `hamlet-experiments::factorized` so every binary — the CLI included
+//! — can report real peak-allocation numbers). A binary installs it
+//! with `#[global_allocator]` and then calls [`install_meter`] so
+//! library code (the CLI's `--metrics` rendering, the run journal) can
+//! read the peak without knowing which binary it runs in.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A `System`-wrapping allocator that tracks current and peak live
+/// bytes. Install as `#[global_allocator]` in a binary to make peak
+/// numbers real; without it they read 0.
+pub struct CountingAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (const so it can back a static).
+    pub const fn new() -> Self {
+        Self {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Live bytes right now.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Forgets any peak above the current watermark.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.current(), Ordering::Relaxed);
+    }
+
+    /// Peak live bytes since the last [`reset_peak`](Self::reset_peak).
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates all allocation to `System`; the bookkeeping uses
+// only relaxed atomics and never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let now = self.current.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.current.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+static METER: OnceLock<&'static CountingAlloc> = OnceLock::new();
+
+/// Registers the binary's installed allocator for process-wide peak
+/// queries. Later calls are ignored (first installation wins).
+pub fn install_meter(meter: &'static CountingAlloc) {
+    let _ = METER.set(meter);
+}
+
+/// Peak live bytes from the installed allocator, or `None` when the
+/// running binary did not install one.
+pub fn peak_bytes() -> Option<usize> {
+    METER.get().map(|m| m.peak())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_alloc_tracks_peak() {
+        // Not installed as the global allocator here; drive it directly.
+        let a = CountingAlloc::new();
+        unsafe {
+            let layout = Layout::from_size_align(1024, 8).unwrap();
+            let p = a.alloc(layout);
+            assert!(a.current() >= 1024);
+            assert!(a.peak() >= 1024);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.current(), 0);
+        a.reset_peak();
+        assert_eq!(a.peak(), 0);
+    }
+
+    #[test]
+    fn meter_absent_reads_none_then_sticks() {
+        // This test binary never installs a global meter before this
+        // point; install a static one and observe it.
+        static A: CountingAlloc = CountingAlloc::new();
+        install_meter(&A);
+        assert_eq!(peak_bytes(), Some(A.peak()));
+        // Second installation is a no-op.
+        static B: CountingAlloc = CountingAlloc::new();
+        install_meter(&B);
+        assert!(std::ptr::eq(*METER.get().unwrap(), &A));
+    }
+}

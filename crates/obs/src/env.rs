@@ -1,0 +1,118 @@
+//! Strict environment-variable parsing.
+//!
+//! The experiment knobs (`HAMLET_SCALE`, `HAMLET_TRAIN_SETS`, …) used
+//! to fall back to defaults on *any* invalid value, which silently
+//! turned `HAMLET_SCALE=1.5` into a 0.1-scale run. These helpers make
+//! the failure loud and typed: an unset variable is `Ok(None)`, a set
+//! but unparsable (or non-UTF-8, or out-of-range) variable is a
+//! [`EnvError`] naming the variable, the offending value, and what
+//! would have been accepted.
+
+use std::fmt;
+
+/// An invalid environment-variable value (never raised for unset vars).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable name.
+    pub key: String,
+    /// The offending value (lossy for non-UTF-8).
+    pub value: String,
+    /// What a valid value looks like.
+    pub expected: String,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}='{}': expected {}",
+            self.key, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Reads and parses `key`, accepting only values where `accept` holds.
+///
+/// * unset -> `Ok(None)`
+/// * parses and `accept` -> `Ok(Some(v))`
+/// * anything else (non-UTF-8, unparsable, rejected) -> `Err`
+pub fn var_where<T: std::str::FromStr>(
+    key: &str,
+    expected: &str,
+    accept: impl Fn(&T) -> bool,
+) -> Result<Option<T>, EnvError> {
+    let err = |value: String| EnvError {
+        key: key.to_string(),
+        value,
+        expected: expected.to_string(),
+    };
+    match std::env::var(key) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(err(raw.to_string_lossy().into_owned())),
+        Ok(s) => match s.trim().parse::<T>() {
+            Ok(v) if accept(&v) => Ok(Some(v)),
+            _ => Err(err(s)),
+        },
+    }
+}
+
+/// [`var_where`] with no range restriction.
+pub fn var<T: std::str::FromStr>(key: &str, expected: &str) -> Result<Option<T>, EnvError> {
+    var_where(key, expected, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test mutates its own distinct variable, so parallel test
+    // threads cannot race on a key.
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(var::<f64>("HAMLET_OBS_TEST_UNSET", "a float"), Ok(None));
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        std::env::set_var("HAMLET_OBS_TEST_OK", " 0.25 ");
+        assert_eq!(
+            var_where("HAMLET_OBS_TEST_OK", "a float in (0, 1]", |&v: &f64| v
+                > 0.0
+                && v <= 1.0),
+            Ok(Some(0.25))
+        );
+    }
+
+    #[test]
+    fn unparsable_value_is_a_typed_error() {
+        std::env::set_var("HAMLET_OBS_TEST_BAD", "abc");
+        let e = var::<usize>("HAMLET_OBS_TEST_BAD", "a positive integer").unwrap_err();
+        assert_eq!(e.key, "HAMLET_OBS_TEST_BAD");
+        assert_eq!(e.value, "abc");
+        let msg = e.to_string();
+        assert!(msg.contains("HAMLET_OBS_TEST_BAD"), "{msg}");
+        assert!(msg.contains("positive integer"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_value_is_rejected() {
+        std::env::set_var("HAMLET_OBS_TEST_RANGE", "1.5");
+        let e = var_where("HAMLET_OBS_TEST_RANGE", "a float in (0, 1]", |&v: &f64| {
+            v > 0.0 && v <= 1.0
+        })
+        .unwrap_err();
+        assert_eq!(e.value, "1.5");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_value_is_rejected_not_defaulted() {
+        use std::os::unix::ffi::OsStrExt;
+        let raw = std::ffi::OsStr::from_bytes(&[0x66, 0x6f, 0x80]);
+        std::env::set_var("HAMLET_OBS_TEST_UTF8", raw);
+        let e = var::<f64>("HAMLET_OBS_TEST_UTF8", "a float").unwrap_err();
+        assert!(e.value.contains("fo"), "{e:?}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # hamlet-obs
+//!
+//! Zero-dependency structured observability for the hamlet workspace
+//! (offline-safe, like the `shims/` precedent): the measurement
+//! substrate behind the paper's runtime claims (Sec 5.1, Fig 7) and
+//! every future performance PR.
+//!
+//! Three layers, all usable independently:
+//!
+//! * **Spans** ([`span!`], [`mod@span`]) — hierarchical RAII wall-clock
+//!   timing with thread-local buffering, off by default (one relaxed
+//!   atomic load when disabled);
+//! * **Metrics** ([`counter_add!`], [`histogram_observe!`],
+//!   [`metrics`]) — always-on monotonic counters, gauges, and
+//!   log2-bucketed histograms with a Prometheus-style
+//!   [`render_metrics`] exposition;
+//! * **Run journal** ([`journal`]) — one JSONL record per experiment or
+//!   CLI invocation (config, version, span rollups, final metrics)
+//!   under `results/journal/`.
+//!
+//! Naming conventions (enforced by review, rendered sorted):
+//!
+//! * spans: `crate.operation`, e.g. `relational.kfk_join`,
+//!   `factorized.build_view`, `fs.method`, `cli.train`;
+//! * counters: `hamlet_<noun>_total`, e.g. `hamlet_rows_joined_total`;
+//! * gauges: `hamlet_<noun>_<unit>`, e.g. `hamlet_peak_alloc_bytes`;
+//! * histograms: `hamlet_<noun>`, e.g. `hamlet_join_rows`.
+
+pub mod alloc;
+pub mod env;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use alloc::CountingAlloc;
+pub use env::EnvError;
+pub use journal::{record_warning, RunJournal};
+pub use metrics::render_metrics;
+pub use span::{drain_spans, render_span_tree, rollup, set_tracing, tracing_enabled, SpanGuard};

@@ -1,0 +1,338 @@
+//! Typed process-wide metrics with Prometheus-style text exposition.
+//!
+//! Three instrument kinds, all backed by relaxed atomics so hot paths
+//! pay one `fetch_add` per event:
+//!
+//! * [`Counter`] — monotonic event count (`_total` names);
+//! * [`Gauge`] — a point-in-time value (set, or ratcheted with
+//!   [`Gauge::set_max`]);
+//! * [`Histogram`] — log2-bucketed distribution of `u64` observations
+//!   (bucket `i` counts values `< 2^i`), rendered with cumulative
+//!   `le=` buckets plus `_sum`/`_count` like a Prometheus histogram.
+//!
+//! Instruments live in a global registry keyed by name. Call sites use
+//! the [`counter_add!`](crate::counter_add!) /
+//! [`histogram_observe!`](crate::histogram_observe!) macros, which
+//! cache the registry lookup in a local `OnceLock` so steady-state cost
+//! is a single atomic increment. Counting is always on — rendering is
+//! what the `--metrics` flag gates — because the counts themselves are
+//! the cheap part.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Ratchets the gauge up to `v` if larger (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: covers `u64` fully (last bucket is `+Inf`).
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` observations.
+pub struct Histogram {
+    /// `buckets[i]` counts observations with `value < 2^i` and
+    /// `value >= 2^(i-1)` (bucket 0: value 0).
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize; // 0 for value 0
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, Instrument)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, Instrument)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register<T>(
+    name: &'static str,
+    make: impl FnOnce() -> T,
+    wrap: impl Fn(&'static T) -> Instrument,
+    unwrap: impl Fn(&Instrument) -> Option<&'static T>,
+) -> &'static T {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    if let Some((_, inst)) = reg.iter().find(|(n, _)| *n == name) {
+        return unwrap(inst)
+            .unwrap_or_else(|| panic!("metric '{name}' registered with another type"));
+    }
+    let leaked: &'static T = Box::leak(Box::new(make()));
+    reg.push((name, wrap(leaked)));
+    leaked
+}
+
+/// The process-wide counter named `name` (created on first use).
+pub fn counter(name: &'static str) -> &'static Counter {
+    register(name, Counter::default, Instrument::Counter, |i| match i {
+        Instrument::Counter(c) => Some(c),
+        _ => None,
+    })
+}
+
+/// The process-wide gauge named `name` (created on first use).
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    register(name, Gauge::default, Instrument::Gauge, |i| match i {
+        Instrument::Gauge(g) => Some(g),
+        _ => None,
+    })
+}
+
+/// The process-wide histogram named `name` (created on first use).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    register(name, Histogram::new, Instrument::Histogram, |i| match i {
+        Instrument::Histogram(h) => Some(h),
+        _ => None,
+    })
+}
+
+/// Increments a counter, caching the registry lookup at the call site.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $n:expr) => {{
+        static CACHED: std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::metrics::counter($name))
+            .add($n as u64);
+    }};
+}
+
+/// Records a histogram observation, caching the registry lookup.
+#[macro_export]
+macro_rules! histogram_observe {
+    ($name:expr, $v:expr) => {{
+        static CACHED: std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::metrics::histogram($name))
+            .observe($v as u64);
+    }};
+}
+
+/// A flat snapshot of one metric, for the run journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: &'static str,
+    /// Counter/gauge value, or histogram sum.
+    pub value: u64,
+    /// Histogram observation count (0 for counters/gauges).
+    pub count: u64,
+}
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry().lock().expect("metrics registry lock");
+    let mut out: Vec<MetricSnapshot> = reg
+        .iter()
+        .map(|(name, inst)| match inst {
+            Instrument::Counter(c) => MetricSnapshot {
+                name,
+                kind: "counter",
+                value: c.get(),
+                count: 0,
+            },
+            Instrument::Gauge(g) => MetricSnapshot {
+                name,
+                kind: "gauge",
+                value: g.get(),
+                count: 0,
+            },
+            Instrument::Histogram(h) => MetricSnapshot {
+                name,
+                kind: "histogram",
+                value: h.sum(),
+                count: h.count(),
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    out
+}
+
+/// Renders every registered metric in Prometheus text exposition
+/// format, sorted by name (deterministic — golden-testable).
+pub fn render_metrics() -> String {
+    use std::fmt::Write as _;
+    let reg = registry().lock().expect("metrics registry lock");
+    let mut entries: Vec<(&'static str, &(&'static str, Instrument))> =
+        reg.iter().map(|e| (e.0, e)).collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (name, (_, inst)) in entries {
+        match inst {
+            Instrument::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Instrument::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Instrument::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (i, b) in h.buckets.iter().enumerate().take(BUCKETS - 1) {
+                    let n = b.load(Ordering::Relaxed);
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    // Bucket i holds values < 2^i.
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", 1u128 << i);
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        counter("test_events_total").add(3);
+        counter("test_events_total").add(2);
+        assert_eq!(counter("test_events_total").get(), 5);
+
+        gauge("test_peak_bytes").set_max(10);
+        gauge("test_peak_bytes").set_max(7);
+        assert_eq!(gauge("test_peak_bytes").get(), 10);
+
+        let h = histogram("test_rows");
+        h.observe(0);
+        h.observe(1);
+        h.observe(3);
+        h.observe(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1004);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped_and_sorted() {
+        counter("test_render_a_total").add(1);
+        histogram("test_render_b").observe(5);
+        gauge("test_render_c").set(9);
+        let text = render_metrics();
+        let a = text.find("# TYPE test_render_a_total counter").unwrap();
+        let b = text.find("# TYPE test_render_b histogram").unwrap();
+        let c = text.find("# TYPE test_render_c gauge").unwrap();
+        assert!(a < b && b < c, "{text}");
+        assert!(text.contains("test_render_a_total 1"));
+        // 5 falls in bucket le=8 (values < 2^3).
+        assert!(text.contains("test_render_b_bucket{le=\"8\"} 1"), "{text}");
+        assert!(text.contains("test_render_b_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("test_render_b_sum 5"));
+        assert!(text.contains("test_render_b_count 1"));
+        assert!(text.contains("test_render_c 9"));
+    }
+
+    #[test]
+    fn macros_cache_and_count() {
+        for _ in 0..4 {
+            crate::counter_add!("test_macro_total", 2);
+        }
+        assert_eq!(counter("test_macro_total").get(), 8);
+        crate::histogram_observe!("test_macro_hist", 42);
+        assert_eq!(histogram("test_macro_hist").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_reports_kinds() {
+        counter("test_snap_total").add(1);
+        histogram("test_snap_hist").observe(3);
+        let snap = snapshot();
+        let c = snap.iter().find(|m| m.name == "test_snap_total").unwrap();
+        assert_eq!((c.kind, c.value), ("counter", 1));
+        let h = snap.iter().find(|m| m.name == "test_snap_hist").unwrap();
+        assert_eq!((h.kind, h.value, h.count), ("histogram", 3, 1));
+    }
+}

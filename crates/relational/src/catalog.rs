@@ -191,6 +191,11 @@ impl StarSchema {
     /// All foreign keys stay in the output; use
     /// [`Table::drop_attributes`] afterwards to model `JoinAllNoFK`.
     pub fn materialize(&self, join_set: &[usize]) -> Result<Table> {
+        let _span = hamlet_obs::span!(
+            "relational.materialize",
+            entity = self.entity.name(),
+            joins = join_set.len()
+        );
         let mut out = self.entity.clone();
         for &i in join_set {
             let at = self

@@ -39,6 +39,11 @@ fn key_index(attr: &Table) -> Result<Vec<Option<u32>>> {
 /// * Returns an error if a foreign-key value references a missing row
 ///   (referential-integrity violation) or the FK/RID domains differ in size.
 pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
+    let _span = hamlet_obs::span!(
+        "relational.kfk_join",
+        attr = attr.name(),
+        rows = entity.n_rows()
+    );
     let fk_pos =
         entity
             .schema()
@@ -97,6 +102,8 @@ pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
         cols.push(col.gather(&gather));
     }
 
+    hamlet_obs::counter_add!("hamlet_rows_joined_total", entity.n_rows());
+    hamlet_obs::histogram_observe!("hamlet_join_rows", entity.n_rows());
     let name = format!("{}_join_{}", entity.name(), attr.name());
     let schema = Schema::new(&name, defs)?;
     Table::new(name, schema, cols)

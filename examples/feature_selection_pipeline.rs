@@ -35,8 +35,8 @@ fn main() {
         println!("  {} (fk {}): {:?}", d.table, d.fk, d.decision);
     }
 
-    let prepared_all = prepare_plan(&g.star, join_all, seed);
-    let prepared_opt = prepare_plan(&g.star, join_opt, seed);
+    let prepared_all = prepare_plan(&g.star, join_all, seed).expect("synthetic star materializes");
+    let prepared_opt = prepare_plan(&g.star, join_opt, seed).expect("synthetic star materializes");
     println!(
         "\n{:<20} {:>12} {:>12} {:>9} {:>8}  selected (JoinOpt)",
         "Method", "JoinAll err", "JoinOpt err", "speedup", "fits"

@@ -2,8 +2,8 @@
 //!
 //! The build environment has no network access, so the real `proptest`
 //! cannot be downloaded. This shim implements the API subset the
-//! workspace's property tests use: the [`Strategy`] trait with
-//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`Just`],
+//! workspace's property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`strategy::Just`],
 //! `collection::vec`, `bool::ANY`, a small `string::string_regex`
 //! (character-class + repetition patterns only), and the
 //! `proptest!`/`prop_assert*`/`prop_assume!` macros.
@@ -275,7 +275,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact size or a half-open
+    /// Length specification for [`vec()`]: an exact size or a half-open
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -307,7 +307,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

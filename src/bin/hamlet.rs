@@ -1,7 +1,16 @@
 //! The `hamlet` CLI. See `hamlet::cli` for subcommands and `hamlet help`
 //! for usage.
 
+use hamlet_obs::CountingAlloc;
+
+// Counting allocator so `--metrics` reports a real
+// `hamlet_peak_alloc_bytes`; costs two relaxed atomic ops per
+// (de)allocation.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
 fn main() {
+    hamlet_obs::alloc::install_meter(&ALLOC);
     let args: Vec<String> = std::env::args().skip(1).collect();
     match hamlet::cli::run(&args) {
         Ok(out) => print!("{out}"),

@@ -30,6 +30,7 @@ use hamlet_core::rules::{RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
 use hamlet_datagen::realistic::DatasetSpec;
 use hamlet_factorized::{fit_factorized_logreg, fit_factorized_nb, FactorizedView};
 use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes};
+use hamlet_obs::RunJournal;
 use hamlet_relational::decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 use hamlet_relational::{
     lint_star, profile_star, read_csv, ColumnSpec, LintConfig, Manifest, StarSchema,
@@ -60,14 +61,39 @@ USAGE:
   hamlet datasets
   hamlet help
 
+Observability (any subcommand):
+  --trace    print the span tree (hierarchical wall-clock timings)
+  --metrics  print Prometheus-style metrics (rows joined, fits, cells avoided, peak bytes)
+Either flag also appends a JSONL entry to the run journal
+(results/journal/runs.jsonl; override the directory with HAMLET_JOURNAL_DIR).
+
 Built-in datasets: Walmart, Expedia, Flights, Yelp, MovieLens1M, LastFM, BookCrossing.
 ";
 
-fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Finds `flag`'s value. Strict where the old version was silently
+/// forgiving: a flag that is last on the line, followed by another
+/// `--flag`, or given twice is an error, not `None` (which used to make
+/// `train --scale` quietly run at the default scale).
+fn parse_flag<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+    let mut found: Option<&'a str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] != flag {
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .map(String::as_str)
+            .filter(|v| !v.starts_with("--"))
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))?;
+        if found.is_some() {
+            return Err(CliError(format!("{flag} given more than once")));
+        }
+        found = Some(value);
+        i += 2;
+    }
+    Ok(found)
 }
 
 fn parse_multi<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
@@ -85,14 +111,14 @@ fn parse_multi<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
 }
 
 fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
-    let name =
-        parse_flag(args, "--dataset").ok_or_else(|| CliError("missing --dataset <name>".into()))?;
+    let name = parse_flag(args, "--dataset")?
+        .ok_or_else(|| CliError("missing --dataset <name>".into()))?;
     let spec = DatasetSpec::by_name(name).ok_or_else(|| {
         CliError(format!(
             "unknown dataset '{name}'; run `hamlet datasets` for the list"
         ))
     })?;
-    let scale: f64 = parse_flag(args, "--scale")
+    let scale: f64 = parse_flag(args, "--scale")?
         .map(|s| {
             s.parse()
                 .map_err(|_| CliError(format!("bad --scale '{s}'")))
@@ -108,7 +134,7 @@ fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
 /// Parses `--strategy factorize|materialize` into "factorize?" —
 /// `None` when the flag is absent.
 fn strategy_arg(args: &[String]) -> Result<Option<bool>, CliError> {
-    match parse_flag(args, "--strategy") {
+    match parse_flag(args, "--strategy")? {
         None => Ok(None),
         Some("factorize") => Ok(Some(true)),
         Some("materialize") => Ok(Some(false)),
@@ -119,7 +145,62 @@ fn strategy_arg(args: &[String]) -> Result<Option<bool>, CliError> {
 }
 
 /// Runs one CLI invocation; `args` excludes the program name.
+///
+/// `--trace` and `--metrics` work on every subcommand: they append the
+/// span tree / Prometheus metrics to the output, and either one also
+/// appends a JSONL entry to the run journal (see [`RunJournal::dir`]).
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    if !(trace || metrics) {
+        return dispatch(args);
+    }
+
+    if trace {
+        hamlet_obs::set_tracing(true);
+    }
+    let result = dispatch(args);
+    hamlet_obs::set_tracing(false);
+    let spans = hamlet_obs::drain_spans();
+
+    let mut obs = String::new();
+    if trace {
+        obs.push_str(&hamlet_obs::render_span_tree(&spans));
+        obs.push('\n');
+    }
+    if metrics {
+        // Reads 0 when the running binary did not install the counting
+        // allocator (e.g. the test harness); `hamlet` itself does.
+        let peak = hamlet_obs::alloc::peak_bytes().unwrap_or(0);
+        hamlet_obs::metrics::gauge("hamlet_peak_alloc_bytes").set_max(peak as u64);
+        obs.push_str(&hamlet_obs::render_metrics());
+        obs.push('\n');
+    }
+
+    let outcome = match &result {
+        Ok(_) => "ok".to_string(),
+        Err(e) => format!("error: {e}"),
+    };
+    let entry = RunJournal::capture(
+        format!("hamlet {}", args.join(" ")),
+        outcome,
+        hamlet_obs::rollup(&spans),
+    );
+    match entry.append_to(&RunJournal::dir()) {
+        Ok(path) => {
+            let _ = writeln!(obs, "journal: {}", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write run journal: {e}"),
+    }
+
+    result.map(|body| format!("{body}\n{obs}"))
+}
+
+fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let _span = hamlet_obs::span!(
+        "cli.dispatch",
+        cmd = args.first().map(String::as_str).unwrap_or("help")
+    );
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some("datasets") => {
@@ -168,7 +249,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("train") => {
             let rest = &args[1..];
             let (spec, scale) = dataset_arg(rest)?;
-            let model = parse_flag(rest, "--model").unwrap_or("nb");
+            let model = parse_flag(rest, "--model")?.unwrap_or("nb");
             if !matches!(model, "nb" | "logreg") {
                 return Err(CliError(format!(
                     "--model must be 'nb' or 'logreg', got '{model}'"
@@ -227,9 +308,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .iter()
                 .find(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError("missing <file.csv>".into()))?;
-            let target = parse_flag(rest, "--target")
+            let target = parse_flag(rest, "--target")?
                 .ok_or_else(|| CliError("missing --target <col>".into()))?;
-            let min_distinct: usize = parse_flag(rest, "--min-distinct")
+            let min_distinct: usize = parse_flag(rest, "--min-distinct")?
                 .map(|s| {
                     s.parse()
                         .map_err(|_| CliError(format!("bad --min-distinct '{s}'")))
@@ -468,6 +549,79 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--strategy"));
+    }
+
+    #[test]
+    fn flag_without_value_is_an_error() {
+        // Regression: `--scale` as the last token used to parse as
+        // "flag absent" and silently run at the default scale.
+        assert!(run(&argv("advise --dataset walmart --scale"))
+            .unwrap_err()
+            .0
+            .contains("--scale requires a value"));
+        assert!(run(&argv("advise --scale --relaxed --dataset walmart"))
+            .unwrap_err()
+            .0
+            .contains("--scale requires a value"));
+        assert!(run(&argv("advise --dataset walmart --dataset yelp"))
+            .unwrap_err()
+            .0
+            .contains("more than once"));
+    }
+
+    #[test]
+    fn trace_and_metrics_produce_observability_output_and_a_journal() {
+        use hamlet_obs::json::Json;
+        let dir = std::env::temp_dir().join("hamlet_cli_journal_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("HAMLET_JOURNAL_DIR", &dir);
+        let out = run(&argv(
+            "train --dataset walmart --scale 0.01 --trace --metrics",
+        ))
+        .unwrap();
+        std::env::remove_var("HAMLET_JOURNAL_DIR");
+
+        // Span tree with the instrumented hot paths.
+        assert!(out.contains("span tree"), "{out}");
+        assert!(out.contains("relational.materialize"), "{out}");
+        assert!(out.contains("factorized.build_view"), "{out}");
+        assert!(out.contains("ml.nb_fit"), "{out}");
+        // Prometheus metrics, including the paper-facing ones.
+        assert!(
+            out.contains("# TYPE hamlet_rows_joined_total counter"),
+            "{out}"
+        );
+        assert!(out.contains("hamlet_wide_cells_avoided_total"), "{out}");
+        assert!(out.contains("hamlet_nb_fits_total"), "{out}");
+        // Journal written and parseable.
+        assert!(out.contains("journal: "), "{out}");
+        let text = std::fs::read_to_string(dir.join("runs.jsonl")).unwrap();
+        let line = text.lines().last().unwrap();
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("ok"));
+        assert!(v
+            .get("command")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("train --dataset walmart"));
+        assert!(v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .is_some_and(|s| !s.is_empty()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_without_trace_records_no_spans() {
+        let dir = std::env::temp_dir().join("hamlet_cli_metrics_only_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("HAMLET_JOURNAL_DIR", &dir);
+        let out = run(&argv("profile --dataset walmart --scale 0.01 --metrics")).unwrap();
+        std::env::remove_var("HAMLET_JOURNAL_DIR");
+        assert!(!out.contains("span tree"), "{out}");
+        assert!(out.contains("# TYPE"), "{out}");
+        assert!(dir.join("runs.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -109,7 +109,8 @@ fn splits_and_selection_are_reproducible() {
     use hamlet::fs::Method;
     let g = DatasetSpec::walmart().generate(0.005, 4);
     let one = || {
-        let prepared = prepare_plan(&g.star, join_opt_plan(&g.star, 4), 4);
+        let prepared = prepare_plan(&g.star, join_opt_plan(&g.star, 4), 4)
+            .expect("synthetic star materializes");
         let r = run_method(&prepared, Method::Forward);
         (r.selection.features.clone(), r.test_error.to_bits())
     };

@@ -1,0 +1,94 @@
+//! Source-scan guard for the bugfix sweep: the library paths that used
+//! to abort the process (`panic!`, `.expect`, `.unwrap`) now return
+//! typed errors, and this test keeps them that way. It scans non-test
+//! source text, so a reintroduced panic fails CI even if no runtime
+//! test happens to hit it.
+
+use std::fs;
+use std::path::Path;
+
+/// Source up to the `#[cfg(test)]` module.
+fn non_test(src: &str) -> &str {
+    src.split("#[cfg(test)]").next().unwrap_or(src)
+}
+
+/// The body of `fn name` (brace-balanced), panicking if absent so a
+/// rename breaks this guard loudly rather than silently scanning
+/// nothing.
+fn function_body<'a>(src: &'a str, name: &str) -> &'a str {
+    let needle = format!("fn {name}");
+    let at = src
+        .find(&needle)
+        .unwrap_or_else(|| panic!("function `{name}` not found — update tests/no_panic_paths.rs"));
+    let open = at + src[at..].find('{').expect("function has a body");
+    let mut depth = 0usize;
+    for (i, c) in src[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &src[open..open + i + 1];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced braces after `{name}`");
+}
+
+fn assert_no_aborts(what: &str, src: &str) {
+    // `.unwrap_or`/`.unwrap_or_else` are fine (they don't abort);
+    // `.unwrap()`, `.unwrap_err()`, `.expect(`, `panic!(` are not.
+    for pat in [".unwrap()", ".unwrap_err()", ".expect(", "panic!("] {
+        assert!(
+            !src.contains(pat),
+            "{what} contains `{pat}` — these paths must return typed errors, not abort \
+             (see the observability/bugfix sweep)"
+        );
+    }
+}
+
+fn read(rel: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
+}
+
+#[test]
+fn hypothesis_module_has_no_aborting_calls() {
+    let src = read("crates/core/src/hypothesis.rs");
+    assert_no_aborts("crates/core/src/hypothesis.rs", non_test(&src));
+}
+
+#[test]
+fn tuning_module_has_no_aborting_calls() {
+    let src = read("crates/core/src/tuning.rs");
+    assert_no_aborts("crates/core/src/tuning.rs", non_test(&src));
+}
+
+#[test]
+fn runner_named_paths_have_no_aborting_calls() {
+    let src = read("crates/experiments/src/runner.rs");
+    let src = non_test(&src);
+    for f in [
+        "try_dataset_scale",
+        "try_monte_carlo_opts",
+        "prepare_plan",
+        "run_method",
+        "join_opt_plan",
+    ] {
+        assert_no_aborts(
+            &format!("crates/experiments/src/runner.rs::{f}"),
+            function_body(src, f),
+        );
+    }
+}
+
+#[test]
+fn cli_arg_parsing_has_no_aborting_calls() {
+    let src = read("src/cli.rs");
+    let src = non_test(&src);
+    for f in ["parse_flag", "parse_multi", "dataset_arg", "strategy_arg"] {
+        assert_no_aborts(&format!("src/cli.rs::{f}"), function_body(src, f));
+    }
+}

@@ -25,8 +25,10 @@ fn join_opt_never_blows_up_vs_join_all() {
             &g.star,
             plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
             SEED,
-        );
-        let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED);
+        )
+        .expect("synthetic star materializes");
+        let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED)
+            .expect("synthetic star materializes");
         // Tolerance: the paper's notion of "significant" at full scale is
         // 0.001; at 2% scale the estimates are noisier, so allow a modest
         // band relative to the metric.
@@ -54,8 +56,10 @@ fn join_opt_never_blows_up_vs_join_all() {
 #[test]
 fn avoiding_unsafe_yelp_joins_blows_up_error() {
     let g = DatasetSpec::yelp().generate(0.02, SEED);
-    let join_all = prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED);
-    let no_joins = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+    let join_all =
+        prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED).expect("synthetic star materializes");
+    let no_joins =
+        prepare_plan(&g.star, explicit_plan(&[]), SEED).expect("synthetic star materializes");
     let a = run_method(&join_all, Method::Forward);
     let n = run_method(&no_joins, Method::Forward);
     assert!(
@@ -70,8 +74,10 @@ fn avoiding_unsafe_yelp_joins_blows_up_error() {
 #[test]
 fn avoiding_safe_walmart_joins_keeps_error_flat() {
     let g = DatasetSpec::walmart().generate(0.02, SEED);
-    let join_all = prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED);
-    let no_joins = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+    let join_all =
+        prepare_plan(&g.star, explicit_plan(&[0, 1]), SEED).expect("synthetic star materializes");
+    let no_joins =
+        prepare_plan(&g.star, explicit_plan(&[]), SEED).expect("synthetic star materializes");
     let a = run_method(&join_all, Method::Forward);
     let n = run_method(&no_joins, Method::Forward);
     assert!(
@@ -92,8 +98,10 @@ fn join_opt_reduces_search_work_on_safe_datasets() {
         &g.star,
         plan(&g.star, PlanKind::JoinAll, &TrRule::default(), n_train),
         SEED,
-    );
-    let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED);
+    )
+    .expect("synthetic star materializes");
+    let opt = prepare_plan(&g.star, join_opt_plan(&g.star, SEED), SEED)
+        .expect("synthetic star materializes");
     assert!(opt.data.n_features() < all.data.n_features());
     let a = run_method(&all, Method::Backward);
     let o = run_method(&opt, Method::Backward);
@@ -132,7 +140,8 @@ fn metric_convention_matches_paper() {
             ErrorMetric::Rmse
         };
         let g = spec.generate(0.005, SEED);
-        let prepared = prepare_plan(&g.star, explicit_plan(&[]), SEED);
+        let prepared =
+            prepare_plan(&g.star, explicit_plan(&[]), SEED).expect("synthetic star materializes");
         assert_eq!(prepared.metric, expected, "{}", spec.name);
     }
 }
@@ -143,7 +152,8 @@ fn metric_convention_matches_paper() {
 fn all_methods_on_flights_lattice() {
     let g = DatasetSpec::flights().generate(0.01, SEED);
     for joined in [vec![], vec![0], vec![0, 1, 2]] {
-        let prepared = prepare_plan(&g.star, explicit_plan(&joined), SEED);
+        let prepared = prepare_plan(&g.star, explicit_plan(&joined), SEED)
+            .expect("synthetic star materializes");
         for method in Method::ALL {
             let r = run_method(&prepared, method);
             assert!(r.test_error.is_finite());
