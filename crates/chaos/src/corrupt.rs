@@ -1,0 +1,411 @@
+//! Seeded corruption of a clean CSV corpus.
+//!
+//! The injectors mutate raw CSV text — they know nothing about the
+//! relational layer — but a [`FileProfile`] tells them which columns
+//! are numeric, the primary key, or foreign keys, so every fault kind
+//! lands where it hurts:
+//!
+//! * [`FaultKind::RowWidth`] — a data line gains or loses a field;
+//! * [`FaultKind::BadQuoting`] — a stray `"` opens an unterminated
+//!   quoted region, swallowing delimiters to end of line;
+//! * [`FaultKind::BadNumeric`] — a numeric field becomes unparseable;
+//! * [`FaultKind::DuplicatePk`] — a row's primary-key value is copied
+//!   from another row;
+//! * [`FaultKind::DanglingFk`] — a foreign-key field is replaced with
+//!   a label no key table contains;
+//! * [`FaultKind::TruncateFile`] — the file is cut mid-line, as if a
+//!   copy was interrupted.
+//!
+//! Corruption is deterministic given [`ChaosPlan::seed`], and every
+//! fault is returned as an [`InjectedFault`], so a test can corrupt a
+//! corpus, load it leniently, and check the quarantine report accounts
+//! for exactly the damaged rows.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A corpus: file name → CSV text. `BTreeMap` so iteration (and thus
+/// fault placement) is deterministic.
+pub type Corpus = BTreeMap<String, String>;
+
+/// The kinds of damage the corruptor can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A data line with too many or too few fields.
+    RowWidth,
+    /// An unterminated quote that swallows delimiters to end of line.
+    BadQuoting,
+    /// An unparseable value in a numeric column.
+    BadNumeric,
+    /// A primary-key value duplicated from another row.
+    DuplicatePk,
+    /// A foreign-key value referencing no key-table row.
+    DanglingFk,
+    /// The file cut off mid-line.
+    TruncateFile,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::RowWidth,
+        FaultKind::BadQuoting,
+        FaultKind::BadNumeric,
+        FaultKind::DuplicatePk,
+        FaultKind::DanglingFk,
+        FaultKind::TruncateFile,
+    ];
+}
+
+/// Which columns of one file are fair game for targeted faults.
+#[derive(Debug, Clone, Default)]
+pub struct FileProfile {
+    /// 0-based indices of numeric columns ([`FaultKind::BadNumeric`]).
+    pub numeric_cols: Vec<usize>,
+    /// 0-based index of the primary-key column, if any
+    /// ([`FaultKind::DuplicatePk`]).
+    pub pk_col: Option<usize>,
+    /// 0-based indices of foreign-key columns ([`FaultKind::DanglingFk`]).
+    pub fk_cols: Vec<usize>,
+}
+
+/// A corruption campaign over a corpus.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// RNG seed; equal seeds corrupt identically.
+    pub seed: u64,
+    /// How many faults to attempt per file.
+    pub faults_per_file: usize,
+    /// Fault kinds to draw from (kinds inapplicable to a file — e.g.
+    /// [`FaultKind::DanglingFk`] with no `fk_cols` — are skipped).
+    pub kinds: Vec<FaultKind>,
+    /// Per-file column roles; files without a profile only receive
+    /// structural faults (row width, quoting, truncation).
+    pub profiles: BTreeMap<String, FileProfile>,
+}
+
+impl ChaosPlan {
+    /// A plan injecting every fault kind `faults_per_file` times per
+    /// file.
+    pub fn all_kinds(seed: u64, faults_per_file: usize) -> Self {
+        Self {
+            seed,
+            faults_per_file,
+            kinds: FaultKind::ALL.to_vec(),
+            profiles: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the column profile for one file.
+    pub fn with_profile(mut self, file: impl Into<String>, profile: FileProfile) -> Self {
+        self.profiles.insert(file.into(), profile);
+        self
+    }
+}
+
+/// One fault that was actually injected.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// File the fault landed in.
+    pub file: String,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// 0-based *data-row* index (header excluded). For
+    /// [`FaultKind::TruncateFile`], the first row affected.
+    pub row: usize,
+    /// Human-readable description of the mutation.
+    pub detail: String,
+}
+
+/// Corrupts a corpus according to the plan. Returns the dirty corpus
+/// and the faults injected, in deterministic order.
+///
+/// A fault may be skipped when inapplicable (no data rows, no numeric
+/// column, a one-row table for [`FaultKind::DuplicatePk`]); the report
+/// holds what actually happened, not what was attempted.
+pub fn corrupt_corpus(corpus: &Corpus, plan: &ChaosPlan) -> (Corpus, Vec<InjectedFault>) {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut dirty = Corpus::new();
+    let mut faults = Vec::new();
+    for (file, text) in corpus {
+        let profile = plan.profiles.get(file).cloned().unwrap_or_default();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut truncate_at: Option<usize> = None; // byte offset, applied last
+        for _ in 0..plan.faults_per_file {
+            if plan.kinds.is_empty() || lines.len() < 2 {
+                break;
+            }
+            let kind = plan.kinds[rng.gen_range(0..plan.kinds.len())];
+            // Rows already structurally damaged stay eligible: real dirt
+            // compounds. Row 0 is the header and is left intact so every
+            // fault is a *data* fault.
+            let row = rng.gen_range(1..lines.len());
+            let injected = match kind {
+                FaultKind::RowWidth => inject_row_width(&mut lines[row], &mut rng),
+                FaultKind::BadQuoting => inject_bad_quoting(&mut lines[row], &mut rng),
+                FaultKind::BadNumeric => {
+                    inject_field(&mut lines[row], &profile.numeric_cols, &mut rng, |r| {
+                        format!("n/a#{}", r.gen_range(0..100u32))
+                    })
+                }
+                FaultKind::DuplicatePk => inject_duplicate_pk(&mut lines, row, &profile, &mut rng),
+                FaultKind::DanglingFk => {
+                    inject_field(&mut lines[row], &profile.fk_cols, &mut rng, |r| {
+                        format!("chaos_unseen_{}", r.gen_range(0..1_000_000u32))
+                    })
+                }
+                FaultKind::TruncateFile => {
+                    // Defer: truncation invalidates line indices.
+                    if truncate_at.is_none() {
+                        let joined_len: usize = lines.iter().map(|l| l.len() + 1).sum::<usize>();
+                        // Cut somewhere inside the chosen line.
+                        let prefix: usize = lines[..row].iter().map(|l| l.len() + 1).sum::<usize>();
+                        let cut = prefix + rng.gen_range(1..lines[row].len().max(2));
+                        truncate_at = Some(cut.min(joined_len.saturating_sub(1)));
+                        Some(format!("cut at byte {cut}"))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(detail) = injected {
+                faults.push(InjectedFault {
+                    file: file.clone(),
+                    kind,
+                    row: row - 1,
+                    detail,
+                });
+            }
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        if let Some(cut) = truncate_at {
+            out.truncate(cut.min(out.len()));
+        }
+        dirty.insert(file.clone(), out);
+    }
+    (dirty, faults)
+}
+
+/// Splits one line on unquoted commas (the corruptor's own dialect is
+/// the ingest dialect: `,`-delimited, double-quote quoting).
+fn split_fields(line: &str) -> Vec<String> {
+    let mut fields = vec![String::new()];
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                fields.last_mut().expect("non-empty").push(c);
+            }
+            ',' if !in_quotes => fields.push(String::new()),
+            _ => fields.last_mut().expect("non-empty").push(c),
+        }
+    }
+    fields
+}
+
+fn inject_row_width(line: &mut String, rng: &mut StdRng) -> Option<String> {
+    let mut fields = split_fields(line);
+    let detail = if fields.len() > 1 && rng.gen::<bool>() {
+        let drop = rng.gen_range(0..fields.len());
+        fields.remove(drop);
+        format!("dropped field {drop}")
+    } else {
+        let dup = rng.gen_range(0..fields.len());
+        let v = fields[dup].clone();
+        fields.insert(dup, v);
+        format!("duplicated field {dup}")
+    };
+    *line = fields.join(",");
+    Some(detail)
+}
+
+fn inject_bad_quoting(line: &mut String, rng: &mut StdRng) -> Option<String> {
+    let fields = split_fields(line);
+    if fields.len() < 2 {
+        return None;
+    }
+    // A lone quote opening mid-field swallows every delimiter to EOL.
+    let at = rng.gen_range(0..fields.len() - 1);
+    let mut out: Vec<String> = fields;
+    out[at] = format!("\"{}", out[at]);
+    *line = out.join(",");
+    Some(format!("unterminated quote in field {at}"))
+}
+
+/// Replaces one field drawn from `cols` with `make(rng)`.
+fn inject_field(
+    line: &mut String,
+    cols: &[usize],
+    rng: &mut StdRng,
+    make: impl Fn(&mut StdRng) -> String,
+) -> Option<String> {
+    if cols.is_empty() {
+        return None;
+    }
+    let col = cols[rng.gen_range(0..cols.len())];
+    let mut fields = split_fields(line);
+    if col >= fields.len() {
+        return None;
+    }
+    let value = make(rng);
+    let detail = format!("field {col}: '{}' -> '{}'", fields[col], value);
+    fields[col] = value;
+    *line = fields.join(",");
+    Some(detail)
+}
+
+fn inject_duplicate_pk(
+    lines: &mut [String],
+    row: usize,
+    profile: &FileProfile,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let pk = profile.pk_col?;
+    if lines.len() < 3 {
+        return None; // need two distinct data rows
+    }
+    let mut other = rng.gen_range(1..lines.len());
+    if other == row {
+        other = if other + 1 < lines.len() {
+            other + 1
+        } else {
+            1
+        };
+    }
+    let donor = split_fields(&lines[other]);
+    let value = donor.get(pk)?.clone();
+    let mut fields = split_fields(&lines[row]);
+    if pk >= fields.len() {
+        return None;
+    }
+    let detail = format!("pk field {pk}: '{}' -> '{}'", fields[pk], value);
+    fields[pk] = value;
+    lines[row] = fields.join(",");
+    Some(detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Corpus {
+        let mut c = Corpus::new();
+        let mut customers = String::from("Churn,Age,EmployerID\n");
+        for i in 0..40 {
+            customers.push_str(&format!("{},{},e{}\n", i % 2, 20 + i % 30, i % 5));
+        }
+        let mut employers = String::from("EmployerID,Country,Revenue\n");
+        for e in 0..5 {
+            employers.push_str(&format!("e{},c{},{}\n", e, e % 3, 10 * e));
+        }
+        c.insert("customers.csv".into(), customers);
+        c.insert("employers.csv".into(), employers);
+        c
+    }
+
+    fn plan(seed: u64, n: usize) -> ChaosPlan {
+        ChaosPlan::all_kinds(seed, n)
+            .with_profile(
+                "customers.csv",
+                FileProfile {
+                    numeric_cols: vec![1],
+                    pk_col: None,
+                    fk_cols: vec![2],
+                },
+            )
+            .with_profile(
+                "employers.csv",
+                FileProfile {
+                    numeric_cols: vec![2],
+                    pk_col: Some(0),
+                    fk_cols: vec![],
+                },
+            )
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let c = clean();
+        let (d1, f1) = corrupt_corpus(&c, &plan(7, 10));
+        let (d2, f2) = corrupt_corpus(&c, &plan(7, 10));
+        assert_eq!(d1, d2);
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!((a.kind, a.row, &a.detail), (b.kind, b.row, &b.detail));
+        }
+        let (d3, _) = corrupt_corpus(&c, &plan(8, 10));
+        assert_ne!(d1, d3, "different seeds corrupt differently");
+    }
+
+    #[test]
+    fn faults_actually_damage_the_text() {
+        let c = clean();
+        let (dirty, faults) = corrupt_corpus(&c, &plan(3, 12));
+        assert!(!faults.is_empty());
+        assert_ne!(dirty, c);
+        // The header row is never touched.
+        for (file, text) in &dirty {
+            assert_eq!(
+                text.lines().next(),
+                c[file].lines().next(),
+                "{file} header must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kind_can_fire() {
+        let c = clean();
+        let mut seen: Vec<FaultKind> = Vec::new();
+        for seed in 0..40 {
+            let (_, faults) = corrupt_corpus(&c, &plan(seed, 8));
+            for f in faults {
+                if !seen.contains(&f.kind) {
+                    seen.push(f.kind);
+                }
+            }
+        }
+        for kind in FaultKind::ALL {
+            assert!(seen.contains(&kind), "{kind:?} never fired in 40 seeds");
+        }
+    }
+
+    #[test]
+    fn truncation_shortens_the_file() {
+        let c = clean();
+        let p = ChaosPlan {
+            seed: 1,
+            faults_per_file: 4,
+            kinds: vec![FaultKind::TruncateFile],
+            profiles: BTreeMap::new(),
+        };
+        let (dirty, faults) = corrupt_corpus(&c, &p);
+        assert!(faults.iter().all(|f| f.kind == FaultKind::TruncateFile));
+        // At most one truncation per file is recorded.
+        for file in c.keys() {
+            assert!(faults.iter().filter(|f| &f.file == file).count() <= 1);
+            assert!(dirty[file].len() < c[file].len());
+        }
+    }
+
+    #[test]
+    fn unprofiled_corpus_gets_structural_faults_only() {
+        let c = clean();
+        let p = ChaosPlan::all_kinds(5, 20);
+        let (_, faults) = corrupt_corpus(&c, &p);
+        for f in &faults {
+            assert!(
+                matches!(
+                    f.kind,
+                    FaultKind::RowWidth | FaultKind::BadQuoting | FaultKind::TruncateFile
+                ),
+                "column-targeted fault {:?} without a profile",
+                f.kind
+            );
+        }
+    }
+}

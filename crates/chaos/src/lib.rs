@@ -1,0 +1,28 @@
+//! # hamlet-chaos
+//!
+//! Deterministic fault injection for the hamlet workspace, in two
+//! layers:
+//!
+//! * **Failpoints** ([`failpoint`], [`fail_at!`]) — named sites in
+//!   manifest loading, journal/result writes, and the Monte-Carlo
+//!   runner where an IO error, a panic, or a hard process exit can be
+//!   forced at a chosen hit count via the `HAMLET_FAILPOINTS`
+//!   environment variable (e.g.
+//!   `HAMLET_FAILPOINTS="obs.atomic_write=io;runner.cell=exit@5"`).
+//!   With the variable unset a site costs one relaxed atomic load.
+//! * **Corpus corruption** ([`corrupt`]) — seeded injectors that turn a
+//!   clean star-schema CSV corpus into a dirty one: row-width errors,
+//!   bad quoting, unparseable numerics, duplicate primary keys,
+//!   dangling foreign keys, truncated files. Every injected fault is
+//!   reported, so tests can assert the ingest layer quarantines
+//!   exactly what was corrupted.
+//!
+//! This crate sits below `hamlet-obs` in the dependency graph (the
+//! observability layer injects IO failures into its own atomic-write
+//! helper), so it depends on nothing but the `rand` shim.
+
+pub mod corrupt;
+pub mod failpoint;
+
+pub use corrupt::{corrupt_corpus, ChaosPlan, Corpus, FaultKind, FileProfile, InjectedFault};
+pub use failpoint::{clear_failpoints, set_failpoints, FailMode, FailpointError};

@@ -1,0 +1,233 @@
+//! Checkpoint/resume for Monte-Carlo simulation cells.
+//!
+//! A full paper-protocol run (`HAMLET_TRAIN_SETS=100`,
+//! `HAMLET_REPEATS=100`) takes long enough that a crash — OOM-kill,
+//! preemption, an injected failpoint — throwing away hours of fits is a
+//! real operational hazard. This module persists each completed
+//! `(repeat, train-set)` cell of [`crate::runner::simulate_with`] as one
+//! atomically-written JSON file; a rerun with the same configuration
+//! loads finished cells instead of recomputing them and lands on
+//! bit-for-bit identical estimates (cells hold the exact `u32`
+//! predictions, and the downstream bias/variance arithmetic is
+//! deterministic).
+//!
+//! Layout: `<root>/<config-key>/rep<r>_t<t>.json`, where `<config-key>`
+//! is an FNV-1a hash of everything that determines the predictions
+//! (classifier type, simulation config, `n_s`, replication counts, base
+//! seed). Changing any of those starts a fresh checkpoint set instead of
+//! silently resuming with stale cells.
+//!
+//! Setting [`CHECKPOINT_DIR_VAR`] makes every `simulate_with` caller —
+//! including the fig binaries — checkpoint transparently. The `exit` /
+//! `panic` modes of the `runner.cell` failpoint simulate crashes at cell
+//! granularity; an `io`-mode failure degrades to running without the
+//! checkpoint (loudly: warning + counter), never to aborting the
+//! experiment.
+
+use std::path::{Path, PathBuf};
+
+use hamlet_obs::json::{obj, Json};
+
+/// Environment variable enabling transparent checkpointing: the root
+/// directory for checkpoint sets.
+pub const CHECKPOINT_DIR_VAR: &str = "HAMLET_CHECKPOINT_DIR";
+
+/// Default checkpoint root used by CLI `--resume` when the variable is
+/// unset.
+pub const DEFAULT_CHECKPOINT_DIR: &str = "results/checkpoints";
+
+/// FNV-1a (64-bit) of the configuration fingerprint, hex-encoded.
+pub fn config_key(fingerprint: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fingerprint.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// A per-configuration checkpoint directory storing one file per
+/// completed Monte-Carlo cell.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (lazily — directories are created on first write) the
+    /// checkpoint set for `key` under `root`.
+    pub fn open(root: &Path, key: &str) -> Self {
+        Self {
+            dir: root.join(key),
+        }
+    }
+
+    /// Opens the store for `key` when [`CHECKPOINT_DIR_VAR`] is set;
+    /// `None` disables checkpointing.
+    pub fn from_env(key: &str) -> Option<Self> {
+        std::env::var_os(CHECKPOINT_DIR_VAR).map(|root| Self::open(Path::new(&root), key))
+    }
+
+    /// The directory holding this configuration's cells.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, rep: usize, t: usize) -> PathBuf {
+        self.dir.join(format!("rep{rep}_t{t}.json"))
+    }
+
+    /// Loads one completed cell: the three per-choice prediction vectors
+    /// (UseAll, NoJoin, NoFK). Returns `None` when the cell is absent;
+    /// an unreadable or corrupt cell (e.g. torn by a crash that bypassed
+    /// the atomic writer) is reported loudly and recomputed.
+    pub fn load_cell(&self, rep: usize, t: usize) -> Option<[Vec<u32>; 3]> {
+        let path = self.cell_path(rep, t);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                hamlet_obs::record_warning(format!(
+                    "checkpoint cell {} unreadable ({e}); recomputing",
+                    path.display()
+                ));
+                return None;
+            }
+        };
+        match parse_cell(&text) {
+            Some(preds) => {
+                hamlet_obs::counter_add!("hamlet_checkpoint_cells_reused_total", 1);
+                Some(preds)
+            }
+            None => {
+                hamlet_obs::record_warning(format!(
+                    "checkpoint cell {} is corrupt; recomputing",
+                    path.display()
+                ));
+                None
+            }
+        }
+    }
+
+    /// Persists one completed cell atomically (tmp + fsync + rename).
+    /// Carries the `runner.cell` failpoint so chaos runs can crash the
+    /// experiment at an exact cell boundary.
+    pub fn store_cell(&self, rep: usize, t: usize, preds: &[Vec<u32>; 3]) -> std::io::Result<()> {
+        hamlet_chaos::fail_at!("runner.cell")?;
+        let entry = obj(vec![
+            ("rep", Json::Num(rep as f64)),
+            ("t", Json::Num(t as f64)),
+            (
+                "preds",
+                Json::Arr(
+                    preds
+                        .iter()
+                        .map(|p| Json::Arr(p.iter().map(|&v| Json::Num(f64::from(v))).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        hamlet_obs::atomic_write(&self.cell_path(rep, t), entry.to_string().as_bytes())?;
+        hamlet_obs::counter_add!("hamlet_checkpoint_cells_written_total", 1);
+        Ok(())
+    }
+}
+
+/// Parses a cell file back into the three prediction vectors; `None` on
+/// any shape mismatch.
+fn parse_cell(text: &str) -> Option<[Vec<u32>; 3]> {
+    let v = Json::parse(text).ok()?;
+    let arrs = v.get("preds")?.as_arr()?;
+    if arrs.len() != 3 {
+        return None;
+    }
+    let mut out: [Vec<u32>; 3] = Default::default();
+    for (slot, arr) in out.iter_mut().zip(arrs) {
+        for n in arr.as_arr()? {
+            let f = n.as_f64()?;
+            if f.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&f) {
+                return None;
+            }
+            slot.push(f as u32);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_chaos::failpoint;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("hamlet_checkpoint_test")
+            .join(name)
+    }
+
+    fn sample_preds() -> [Vec<u32>; 3] {
+        [vec![0, 1, 1, 0], vec![1, 1, 0, 0], vec![0, 0, 0, 1]]
+    }
+
+    #[test]
+    fn config_key_is_stable_and_sensitive() {
+        let a = config_key("NaiveBayes|cfg|1000|100|8|7");
+        assert_eq!(a, config_key("NaiveBayes|cfg|1000|100|8|7"));
+        assert_ne!(a, config_key("NaiveBayes|cfg|1000|100|8|8"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let root = scratch("roundtrip");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root, "k1");
+        assert!(store.load_cell(0, 0).is_none());
+        store.store_cell(0, 0, &sample_preds()).unwrap();
+        assert_eq!(store.load_cell(0, 0), Some(sample_preds()));
+        // Different cell coordinates stay independent.
+        assert!(store.load_cell(0, 1).is_none());
+        assert!(store.load_cell(1, 0).is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_cell_is_recomputed_not_trusted() {
+        let root = scratch("corrupt");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root, "k1");
+        store.store_cell(2, 3, &sample_preds()).unwrap();
+        // Simulate a torn write from a crash that bypassed the atomic
+        // writer: truncate the file mid-token.
+        let path = store.dir().join("rep2_t3.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(store.load_cell(2, 3).is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn parse_cell_rejects_bad_shapes() {
+        assert!(parse_cell("{}").is_none());
+        assert!(parse_cell("{\"preds\":[[1],[2]]}").is_none()); // 2 arms
+        assert!(parse_cell("{\"preds\":[[1.5],[0],[0]]}").is_none()); // non-int
+        assert!(parse_cell("{\"preds\":[[-1],[0],[0]]}").is_none()); // negative
+        assert!(parse_cell("{\"preds\":[[],[],[]]}").is_some());
+    }
+
+    #[test]
+    fn failpoint_blocks_cell_writes() {
+        let _g = failpoint::serial();
+        let root = scratch("failpoint");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root, "k1");
+        failpoint::set_failpoints("runner.cell=io@1").unwrap();
+        let err = store.store_cell(0, 0, &sample_preds()).unwrap_err();
+        assert!(err.to_string().contains("runner.cell"), "{err}");
+        // Second write goes through (the @1 site is one-shot).
+        store.store_cell(0, 0, &sample_preds()).unwrap();
+        failpoint::clear_failpoints();
+        assert_eq!(store.load_cell(0, 0), Some(sample_preds()));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -21,9 +21,12 @@
 //! | [`ablation`] | Exact-vs-worst-case ROR, skew guards, threshold sweep |
 //!
 //! Environment knobs: `HAMLET_SCALE` (dataset scale, default 0.1),
-//! `HAMLET_TRAIN_SETS` / `HAMLET_REPEATS` (Monte-Carlo replication).
+//! `HAMLET_TRAIN_SETS` / `HAMLET_REPEATS` (Monte-Carlo replication),
+//! `HAMLET_CHECKPOINT_DIR` (persist completed simulation cells for
+//! crash/resume — see [`checkpoint`]).
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod factorized;
 pub mod fig1;
 pub mod fig10;
@@ -46,6 +49,7 @@ pub mod scenario3;
 pub mod table;
 pub mod tan_appendix;
 
+pub use checkpoint::{config_key, CheckpointStore, CHECKPOINT_DIR_VAR, DEFAULT_CHECKPOINT_DIR};
 pub use runner::{
     dataset_scale, join_opt_plan, monte_carlo_opts, prepare_plan, run_method, simulate,
     simulate_with, FeatureSetChoice, MonteCarloOpts, PlanMethodRun, PreparedPlan, SimEstimate,

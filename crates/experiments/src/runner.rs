@@ -164,6 +164,19 @@ pub fn simulate_with<C: Classifier + Sync>(
 ) -> [SimEstimate; 3] {
     let mut reports: [Vec<BiasVarianceReport>; 3] = Default::default();
 
+    // With HAMLET_CHECKPOINT_DIR set, completed (repeat, train-set)
+    // cells are persisted and a rerun resumes from them. The key hashes
+    // everything that determines a cell's predictions, so a changed
+    // configuration gets a fresh checkpoint set rather than stale cells.
+    let store =
+        crate::checkpoint::CheckpointStore::from_env(&crate::checkpoint::config_key(&format!(
+            "{}|{cfg:?}|{n_s}|{}|{}|{}",
+            std::any::type_name::<C>(),
+            opts.train_sets,
+            opts.repeats,
+            opts.base_seed
+        )));
+
     for rep in 0..opts.repeats {
         let _world_span = hamlet_obs::span!("experiments.world", rep = rep);
         let world_seed = opts
@@ -183,6 +196,9 @@ pub fn simulate_with<C: Classifier + Sync>(
         // training sets are i.i.d., so they parallelize embarrassingly
         // across scoped threads (result order stays deterministic).
         let one_train_set = |t: usize| -> [Vec<u32>; 3] {
+            if let Some(preds) = store.as_ref().and_then(|s| s.load_cell(rep, t)) {
+                return preds;
+            }
             let sample = world.sample(n_s, world_seed.wrapping_add(1000 + t as u64));
             let table = sample
                 .star
@@ -195,6 +211,17 @@ pub fn simulate_with<C: Classifier + Sync>(
                 let feats = choice.features(&data);
                 let model = nb.fit(&data, &rows, &feats);
                 out[c] = model.predict(&test_data, &test_rows);
+            }
+            // A failed cell write degrades to running without the
+            // checkpoint — this repeat's result is still correct, it
+            // just cannot be resumed from.
+            if let Some(s) = &store {
+                if let Err(e) = s.store_cell(rep, t, &out) {
+                    hamlet_obs::counter_add!("hamlet_checkpoint_write_failures_total", 1);
+                    hamlet_obs::record_warning(format!(
+                        "checkpoint cell (rep {rep}, train set {t}) not persisted: {e}"
+                    ));
+                }
             }
             out
         };
@@ -489,6 +516,45 @@ mod tests {
         std::env::set_var("HAMLET_REPEATS", "-3");
         assert!(try_monte_carlo_opts().is_err());
         std::env::remove_var("HAMLET_REPEATS");
+    }
+
+    #[test]
+    fn checkpointed_simulate_survives_crash_and_resumes_bit_for_bit() {
+        // Serialized via the failpoint guard: both the process-global
+        // failpoint registry and HAMLET_CHECKPOINT_DIR are shared state.
+        let _g = hamlet_chaos::failpoint::serial();
+        let cfg = SimulationConfig {
+            scenario: Scenario::LoneForeignFeature,
+            d_s: 2,
+            d_r: 2,
+            n_r: 10,
+            p: 0.1,
+            skew: FkSkew::Uniform,
+        };
+        let opts = tiny_opts();
+        let baseline = simulate(&cfg, 100, &opts);
+
+        let root = std::env::temp_dir().join("hamlet_runner_resume_test");
+        let _ = std::fs::remove_dir_all(&root);
+        std::env::set_var(crate::checkpoint::CHECKPOINT_DIR_VAR, &root);
+
+        // Crash the run at the fifth completed cell (of 16).
+        hamlet_chaos::failpoint::set_failpoints("runner.cell=panic@5").unwrap();
+        let crashed = std::panic::catch_unwind(|| simulate(&cfg, 100, &opts));
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(crashed.is_err(), "the armed failpoint must crash the run");
+
+        // Resume: finished cells load from disk, the rest recompute.
+        let resumed = simulate(&cfg, 100, &opts);
+        std::env::remove_var(crate::checkpoint::CHECKPOINT_DIR_VAR);
+        assert_eq!(resumed, baseline, "resume must be bit-for-bit identical");
+
+        // A cold second pass over a complete checkpoint set also agrees.
+        std::env::set_var(crate::checkpoint::CHECKPOINT_DIR_VAR, &root);
+        let replayed = simulate(&cfg, 100, &opts);
+        std::env::remove_var(crate::checkpoint::CHECKPOINT_DIR_VAR);
+        assert_eq!(replayed, baseline);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

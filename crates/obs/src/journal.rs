@@ -237,16 +237,12 @@ impl RunJournal {
     }
 
     /// Appends this entry as one line to `dir/runs.jsonl`, creating the
-    /// directory if needed. Returns the file path written.
+    /// directory if needed. Returns the file path written. The append is
+    /// atomic ([`crate::fsio::atomic_append`]): a crash or injected IO
+    /// failure mid-write never leaves a torn line behind.
     pub fn append_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join("runs.jsonl");
-        use std::io::Write as _;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
-        writeln!(f, "{}", self.to_json())?;
+        crate::fsio::atomic_append(&path, &format!("{}\n", self.to_json()))?;
         Ok(path)
     }
 }

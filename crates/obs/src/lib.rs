@@ -28,6 +28,7 @@
 
 pub mod alloc;
 pub mod env;
+pub mod fsio;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -35,6 +36,7 @@ pub mod span;
 
 pub use alloc::CountingAlloc;
 pub use env::EnvError;
+pub use fsio::{atomic_append, atomic_write};
 pub use journal::{record_warning, RunJournal};
 pub use metrics::render_metrics;
 pub use span::{drain_spans, render_span_tree, rollup, set_tracing, tracing_enabled, SpanGuard};

@@ -124,11 +124,18 @@ impl StarSchema {
             for &c in pk_col.codes() {
                 present[c as usize] = true;
             }
-            if let Some(&bad) = fk_col.codes().iter().find(|&&c| !present[c as usize]) {
+            if let Some((row, &bad)) = fk_col
+                .codes()
+                .iter()
+                .enumerate()
+                .find(|(_, &c)| !present[c as usize])
+            {
                 return Err(RelationalError::DanglingForeignKey {
                     entity: entity.name().to_string(),
                     fk: at.fk.clone(),
                     code: bad,
+                    label: fk_col.domain().label(bad).into_owned(),
+                    row,
                 });
             }
         }

@@ -50,10 +50,23 @@ pub fn with_others_record(attr: &Table, feature_defaults: &[u32]) -> Result<(Tab
 
     let old_pk = attr.column(pk_idx);
     let others_code = old_pk.domain().size() as u32;
-    let new_key_domain = Arc::new(Domain::indexed(
-        old_pk.domain().name().to_string(),
-        old_pk.domain().size() + 1,
-    ));
+    // Labelled key domains keep their labels, gaining an explicit
+    // `Others` category; indexed domains just widen. If a table already
+    // has a literal `Others` key (so the label would collide), fall
+    // back to an indexed widen rather than minting a duplicate label.
+    let labelled = old_pk.domain().is_labelled() && old_pk.domain().code_of("Others").is_none();
+    let new_key_domain = if labelled {
+        let mut labels: Vec<String> = (0..others_code)
+            .map(|c| old_pk.domain().label(c).into_owned())
+            .collect();
+        labels.push("Others".to_string());
+        Arc::new(Domain::labelled(old_pk.domain().name().to_string(), labels))
+    } else {
+        Arc::new(Domain::indexed(
+            old_pk.domain().name().to_string(),
+            old_pk.domain().size() + 1,
+        ))
+    };
 
     let mut cols = Vec::with_capacity(attr.columns().len());
     let mut default_iter = feature_defaults.iter();

@@ -7,7 +7,7 @@
 //! header row, a configurable delimiter, double-quote quoting with `""`
 //! escapes, no embedded newlines.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use crate::binning::EqualWidthBinner;
@@ -98,6 +98,66 @@ fn quote_field(field: &str, delimiter: char) -> String {
     }
 }
 
+/// What to do with a data row that fails validation (wrong field count,
+/// unparseable numeric, duplicate primary key).
+///
+/// The paper's setting assumes clean closed-domain data; real exports are
+/// dirtier. `Abort` keeps the strict semantics (first bad row is a typed
+/// error); `Quarantine` degrades gracefully by setting bad rows aside, up
+/// to a per-table budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirtyPolicy {
+    /// Fail on the first bad row (strict; the default).
+    #[default]
+    Abort,
+    /// Set bad rows aside and keep loading, up to `max_bad_rows`; one row
+    /// past the budget the load fails with
+    /// [`RelationalError::DirtyBudgetExceeded`].
+    Quarantine { max_bad_rows: usize },
+}
+
+impl DirtyPolicy {
+    /// Parses a CLI value: `abort`, `quarantine` (unlimited budget), or
+    /// `quarantine:N` (budget of `N` bad rows per table).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "abort" => Some(Self::Abort),
+            "quarantine" => Some(Self::Quarantine {
+                max_bad_rows: usize::MAX,
+            }),
+            _ => s
+                .strip_prefix("quarantine:")?
+                .parse()
+                .ok()
+                .map(|n| Self::Quarantine { max_bad_rows: n }),
+        }
+    }
+}
+
+/// One data row set aside by [`read_csv_lenient`], with enough context to
+/// find it in the source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 0-based data-row index (header excluded, blank lines skipped).
+    pub row: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+    /// The raw line as it appeared in the input.
+    pub raw: String,
+}
+
+/// Result of a lenient CSV load: the table built from clean rows plus the
+/// quarantine report. `quarantined.len() + table.n_rows() == total_rows`.
+#[derive(Debug, Clone)]
+pub struct CsvLoad {
+    /// Table built from the rows that passed validation.
+    pub table: Table,
+    /// Rows set aside, in input order.
+    pub quarantined: Vec<QuarantinedRow>,
+    /// Data rows seen in the input (clean + quarantined).
+    pub total_rows: usize,
+}
+
 /// Reads a CSV string into a validated [`Table`].
 ///
 /// `specs` are matched to CSV columns by header name; CSV columns without
@@ -109,6 +169,24 @@ pub fn read_csv(
     specs: &[(&str, ColumnSpec)],
     delimiter: char,
 ) -> Result<Table> {
+    read_csv_lenient(name, text, specs, delimiter, DirtyPolicy::Abort).map(|load| load.table)
+}
+
+/// Reads a CSV string, applying `policy` to rows that fail validation.
+///
+/// Row-level faults — wrong field count (including rows mangled by an
+/// unterminated quote), unparseable numeric fields, duplicate primary-key
+/// values — are either fatal ([`DirtyPolicy::Abort`], preserving
+/// [`read_csv`]'s error types) or quarantined up to the policy's budget.
+/// File-level faults (missing header, unknown columns, empty table) are
+/// always fatal: there is no sensible degraded interpretation.
+pub fn read_csv_lenient(
+    name: &str,
+    text: &str,
+    specs: &[(&str, ColumnSpec)],
+    delimiter: char,
+    policy: DirtyPolicy,
+) -> Result<CsvLoad> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or_else(|| RelationalError::EmptyTable {
         table: name.to_string(),
@@ -136,21 +214,101 @@ pub fn read_csv(
         }
     }
 
-    // Collect raw fields per column.
+    // Positions that need per-row validation beyond the field count.
+    let numeric_cols: Vec<(usize, &str)> = col_specs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            ColumnSpec::Numeric(def, _) => Some((i, def.name.as_str())),
+            _ => None,
+        })
+        .collect();
+    let pk_col: Option<(usize, &str)> = col_specs.iter().enumerate().find_map(|(i, s)| match s {
+        ColumnSpec::Nominal(def) if matches!(def.role, Role::PrimaryKey) => {
+            Some((i, def.name.as_str()))
+        }
+        _ => None,
+    });
+
+    // Stream rows, validating each; clean rows feed the column builders,
+    // bad rows hit the policy.
     let mut raw: Vec<Vec<String>> = vec![Vec::new(); header_fields.len()];
+    let mut quarantined: Vec<QuarantinedRow> = Vec::new();
+    let mut seen_pks: HashSet<String> = HashSet::new();
+    let mut total_rows = 0usize;
     for (lineno, line) in lines.enumerate() {
+        total_rows += 1;
         let fields = split_record(line, delimiter);
-        if fields.len() != header_fields.len() {
-            return Err(RelationalError::ColumnLengthMismatch {
-                table: name.to_string(),
-                column: format!("<record {}>", lineno + 2),
-                expected: header_fields.len(),
-                actual: fields.len(),
-            });
+        let fault: Option<(String, RelationalError)> = if fields.len() != header_fields.len() {
+            Some((
+                format!(
+                    "expected {} fields, found {}",
+                    header_fields.len(),
+                    fields.len()
+                ),
+                RelationalError::ColumnLengthMismatch {
+                    table: name.to_string(),
+                    column: format!("<record {}>", lineno + 2),
+                    expected: header_fields.len(),
+                    actual: fields.len(),
+                },
+            ))
+        } else if let Some((i, col)) = numeric_cols
+            .iter()
+            .find(|(i, _)| fields[*i].trim().parse::<f64>().is_err())
+        {
+            Some((
+                format!(
+                    "column '{}': unparseable numeric value '{}'",
+                    col, fields[*i]
+                ),
+                RelationalError::InvalidBinning {
+                    reason: format!("column '{col}' has non-numeric data"),
+                },
+            ))
+        } else if let Some((i, col)) = pk_col.filter(|(i, _)| seen_pks.contains(&fields[*i])) {
+            Some((
+                format!("duplicate primary key '{}' in column '{}'", fields[i], col),
+                RelationalError::PrimaryKeyNotUnique {
+                    table: name.to_string(),
+                    attribute: col.to_string(),
+                },
+            ))
+        } else {
+            None
+        };
+        match fault {
+            None => {
+                if let Some((i, _)) = pk_col {
+                    seen_pks.insert(fields[i].clone());
+                }
+                for (col, f) in raw.iter_mut().zip(fields) {
+                    col.push(f);
+                }
+            }
+            Some((reason, err)) => match policy {
+                DirtyPolicy::Abort => return Err(err),
+                DirtyPolicy::Quarantine { max_bad_rows } => {
+                    if quarantined.len() >= max_bad_rows {
+                        return Err(RelationalError::DirtyBudgetExceeded {
+                            table: name.to_string(),
+                            quarantined: quarantined.len() + 1,
+                            budget: max_bad_rows,
+                            last_row: lineno,
+                            last_reason: reason,
+                        });
+                    }
+                    quarantined.push(QuarantinedRow {
+                        row: lineno,
+                        reason,
+                        raw: line.to_string(),
+                    });
+                }
+            },
         }
-        for (col, f) in raw.iter_mut().zip(fields) {
-            col.push(f);
-        }
+    }
+    if !quarantined.is_empty() {
+        hamlet_obs::counter_add!("hamlet_dirty_rows_quarantined_total", quarantined.len());
     }
 
     // Build columns per spec.
@@ -200,7 +358,12 @@ pub fn read_csv(
     }
 
     let schema = Schema::new(name, defs)?;
-    Table::new(name, schema, cols)
+    let table = Table::new(name, schema, cols)?;
+    Ok(CsvLoad {
+        table,
+        quarantined,
+        total_rows,
+    })
 }
 
 /// Writes a table as CSV (header + one record per row), using each
@@ -384,6 +547,124 @@ c4,yes,M,61.9,e3
             read_csv("T", csv, &s, ','),
             Err(RelationalError::InvalidBinning { .. })
         ));
+    }
+
+    const DIRTY: &str = "\
+CustomerID,Churn,Gender,Age,EmployerID
+c1,yes,F,34.5,e1
+c2,no,M,fifty-one,e2
+c3,no,F
+c1,yes,M,61.9,e3
+c4,no,M,44.0,e2
+";
+
+    #[test]
+    fn quarantine_sets_bad_rows_aside() {
+        let load = read_csv_lenient(
+            "Customers",
+            DIRTY,
+            &specs(),
+            ',',
+            DirtyPolicy::Quarantine { max_bad_rows: 5 },
+        )
+        .unwrap();
+        assert_eq!(load.total_rows, 5);
+        assert_eq!(load.table.n_rows(), 2);
+        assert_eq!(load.quarantined.len(), 3);
+        assert_eq!(
+            load.table.n_rows() + load.quarantined.len(),
+            load.total_rows
+        );
+        // Row 1: bad numeric. Row 2: ragged. Row 3: duplicate PK.
+        assert_eq!(load.quarantined[0].row, 1);
+        assert!(load.quarantined[0].reason.contains("fifty-one"));
+        assert_eq!(load.quarantined[1].row, 2);
+        assert!(load.quarantined[1].reason.contains("expected 5 fields"));
+        assert_eq!(load.quarantined[2].row, 3);
+        assert!(load.quarantined[2].reason.contains("duplicate primary key"));
+        assert_eq!(load.quarantined[2].raw, "c1,yes,M,61.9,e3");
+        // The surviving table is the clean subset.
+        let pk = load.table.column_by_name("CustomerID").unwrap();
+        assert_eq!(pk.domain().label(0), "c1");
+        assert_eq!(pk.domain().label(1), "c4");
+    }
+
+    #[test]
+    fn quarantine_budget_exceeded_is_typed() {
+        let err = read_csv_lenient(
+            "Customers",
+            DIRTY,
+            &specs(),
+            ',',
+            DirtyPolicy::Quarantine { max_bad_rows: 2 },
+        )
+        .unwrap_err();
+        match err {
+            RelationalError::DirtyBudgetExceeded {
+                quarantined,
+                budget,
+                last_row,
+                ..
+            } => {
+                assert_eq!(quarantined, 3);
+                assert_eq!(budget, 2);
+                assert_eq!(last_row, 3);
+            }
+            other => panic!("expected DirtyBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_policy_matches_strict_reader() {
+        // First fault in DIRTY is the unparseable numeric on row 1.
+        assert!(matches!(
+            read_csv("Customers", DIRTY, &specs(), ','),
+            Err(RelationalError::InvalidBinning { .. })
+        ));
+        let dup = "a,b\nx,1\nx,2\n";
+        let s = vec![
+            ("a", ColumnSpec::primary_key("a")),
+            ("b", ColumnSpec::feature("b")),
+        ];
+        assert!(matches!(
+            read_csv("T", dup, &s, ','),
+            Err(RelationalError::PrimaryKeyNotUnique { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_quarantines_as_ragged() {
+        let csv = "a,b\n\"oops,1\nx,2\n";
+        let s = vec![
+            ("a", ColumnSpec::feature("a")),
+            ("b", ColumnSpec::feature("b")),
+        ];
+        let load = read_csv_lenient(
+            "T",
+            csv,
+            &s,
+            ',',
+            DirtyPolicy::Quarantine { max_bad_rows: 9 },
+        )
+        .unwrap();
+        assert_eq!(load.table.n_rows(), 1);
+        assert_eq!(load.quarantined.len(), 1);
+        assert_eq!(load.quarantined[0].raw, "\"oops,1");
+    }
+
+    #[test]
+    fn dirty_policy_parse() {
+        assert_eq!(DirtyPolicy::parse("abort"), Some(DirtyPolicy::Abort));
+        assert!(matches!(
+            DirtyPolicy::parse("quarantine"),
+            Some(DirtyPolicy::Quarantine { .. })
+        ));
+        assert_eq!(
+            DirtyPolicy::parse("quarantine:12"),
+            Some(DirtyPolicy::Quarantine { max_bad_rows: 12 })
+        );
+        assert_eq!(DirtyPolicy::parse("lenient"), None);
+        assert_eq!(DirtyPolicy::parse("quarantine:x"), None);
     }
 
     #[test]

@@ -89,6 +89,12 @@ impl Domain {
         (code as usize) < self.size()
     }
 
+    /// Whether this domain carries explicit labels (as opposed to an
+    /// anonymous indexed domain that synthesizes them).
+    pub fn is_labelled(&self) -> bool {
+        matches!(self.kind, DomainKind::Labelled(_))
+    }
+
     /// Human-readable label for `code`.
     ///
     /// Indexed domains synthesize `"<name>#<code>"`.

@@ -45,6 +45,10 @@ pub enum RelationalError {
         entity: String,
         fk: String,
         code: u32,
+        /// The FK value's human-readable label (what the analyst typed).
+        label: String,
+        /// 0-based entity row holding the dangling value.
+        row: usize,
     },
     /// A join was requested over an attribute that is not a foreign key.
     NotAForeignKey { table: String, attribute: String },
@@ -57,6 +61,18 @@ pub enum RelationalError {
     Decomposition { reason: String },
     /// The table has no rows where at least one was required.
     EmptyTable { table: String },
+    /// Lenient ingest quarantined more rows than the error budget
+    /// allows; the table is too dirty to degrade gracefully.
+    DirtyBudgetExceeded {
+        table: String,
+        /// Rows quarantined before giving up.
+        quarantined: usize,
+        /// The per-table budget that was exceeded.
+        budget: usize,
+        /// 0-based data row that broke the budget, with its reason.
+        last_row: usize,
+        last_reason: String,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -104,9 +120,15 @@ impl fmt::Display for RelationalError {
                 f,
                 "entity '{entity}': foreign key '{fk}' domain differs from referenced key '{referenced}'"
             ),
-            Self::DanglingForeignKey { entity, fk, code } => write!(
+            Self::DanglingForeignKey {
+                entity,
+                fk,
+                code,
+                label,
+                row,
+            } => write!(
                 f,
-                "entity '{entity}': foreign key '{fk}' value {code} has no referenced row"
+                "entity '{entity}' row {row}: foreign key '{fk}' value '{label}' (code {code}) has no referenced row"
             ),
             Self::NotAForeignKey { table, attribute } => {
                 write!(f, "table '{table}': attribute '{attribute}' is not a foreign key")
@@ -115,6 +137,17 @@ impl fmt::Display for RelationalError {
             Self::Manifest { reason } => write!(f, "manifest: {reason}"),
             Self::Decomposition { reason } => write!(f, "decomposition: {reason}"),
             Self::EmptyTable { table } => write!(f, "table '{table}' is empty"),
+            Self::DirtyBudgetExceeded {
+                table,
+                quarantined,
+                budget,
+                last_row,
+                last_reason,
+            } => write!(
+                f,
+                "table '{table}': quarantined {quarantined} rows, exceeding the error budget of {budget} \
+                 (row {last_row}: {last_reason})"
+            ),
         }
     }
 }
@@ -143,14 +176,35 @@ mod tests {
     }
 
     #[test]
-    fn display_dangling_fk() {
+    fn display_dangling_fk_is_actionable() {
         let err = RelationalError::DanglingForeignKey {
             entity: "Customers".into(),
             fk: "EmployerID".into(),
             code: 42,
+            label: "e42".into(),
+            row: 17,
         };
-        assert!(err.to_string().contains("EmployerID"));
-        assert!(err.to_string().contains("42"));
+        let msg = err.to_string();
+        assert!(msg.contains("EmployerID"));
+        assert!(msg.contains("42"));
+        // The label and row make the error actionable: the analyst can
+        // grep their CSV for 'e42' / jump to the row.
+        assert!(msg.contains("'e42'"), "{msg}");
+        assert!(msg.contains("row 17"), "{msg}");
+    }
+
+    #[test]
+    fn display_dirty_budget() {
+        let err = RelationalError::DirtyBudgetExceeded {
+            table: "Customers".into(),
+            quarantined: 6,
+            budget: 5,
+            last_row: 99,
+            last_reason: "expected 3 fields, found 2".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("budget of 5"), "{msg}");
+        assert!(msg.contains("row 99"), "{msg}");
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! table `R` row its foreign key references. Because `RID` is `R`'s primary
 //! key, the join is N:1 and preserves `S`'s row count; the functional
 //! dependency `FK -> X_R` holds in the output by construction.
+//!
+//! The paper assumes referential integrity; real data violates it. A
+//! [`FkPolicy`] decides what a dangling FK value does: abort with a
+//! typed error (the default, and the paper's idealized setting), drop
+//! the offending entity rows, or map them onto the paper's `Others`
+//! placeholder record (Sec 2.1's revision mechanism, reusing
+//! [`crate::coldstart::with_others_record`]). Every degradation is
+//! counted in `hamlet-obs` metrics and so lands in the run journal.
 
+use crate::coldstart::with_others_record;
 use crate::error::{RelationalError, Result};
-use crate::schema::{Role, Schema};
+use crate::schema::{AttributeDef, Role, Schema};
 use crate::table::Table;
 
 /// Builds the RID -> row-position index over an attribute table.
@@ -30,6 +39,53 @@ fn key_index(attr: &Table) -> Result<Vec<Option<u32>>> {
     Ok(index)
 }
 
+/// What to do when a foreign-key value references no attribute-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FkPolicy {
+    /// Typed error naming the label and entity row (the paper's
+    /// idealized referential-integrity assumption).
+    #[default]
+    Abort,
+    /// Drop the offending entity rows (losing labeled examples).
+    DropRow,
+    /// Map the offending rows to the paper's `Others` placeholder
+    /// record, widening the attribute table by one row (Sec 2.1).
+    MapToOthers,
+}
+
+impl FkPolicy {
+    /// Parses a CLI-facing policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "abort" => Some(Self::Abort),
+            "drop" => Some(Self::DropRow),
+            "others" => Some(Self::MapToOthers),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Abort => "abort",
+            Self::DropRow => "drop",
+            Self::MapToOthers => "others",
+        }
+    }
+}
+
+/// A join that may have degraded: the output table plus which entity
+/// rows (0-based, pre-join indices) were sacrificed or remapped.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// The joined table.
+    pub table: Table,
+    /// Entity rows dropped under [`FkPolicy::DropRow`].
+    pub dropped_rows: Vec<usize>,
+    /// Entity rows remapped to `Others` under [`FkPolicy::MapToOthers`].
+    pub others_rows: Vec<usize>,
+}
+
 /// Joins the entity table with one attribute table through the named
 /// foreign key, appending the attribute table's feature columns.
 ///
@@ -39,6 +95,16 @@ fn key_index(attr: &Table) -> Result<Vec<Option<u32>>> {
 /// * Returns an error if a foreign-key value references a missing row
 ///   (referential-integrity violation) or the FK/RID domains differ in size.
 pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
+    kfk_join_policy(entity, fk_name, attr, FkPolicy::Abort).map(|o| o.table)
+}
+
+/// [`kfk_join`] with an explicit dangling-FK policy; see [`FkPolicy`].
+pub fn kfk_join_policy(
+    entity: &Table,
+    fk_name: &str,
+    attr: &Table,
+    policy: FkPolicy,
+) -> Result<JoinOutcome> {
     let _span = hamlet_obs::span!(
         "relational.kfk_join",
         attr = attr.name(),
@@ -77,33 +143,136 @@ pub fn kfk_join(entity: &Table, fk_name: &str, attr: &Table) -> Result<Table> {
 
     let index = key_index(attr)?;
 
-    // Map each entity row's FK code to a row position in the attribute table.
-    let mut gather = Vec::with_capacity(entity.n_rows());
-    for &code in fk_col.codes() {
-        match index[code as usize] {
-            Some(row) => gather.push(row),
-            None => {
-                return Err(RelationalError::DanglingForeignKey {
-                    entity: entity.name().to_string(),
-                    fk: fk_name.to_string(),
-                    code,
-                })
+    // Entity rows whose FK code references no attribute row.
+    let dangling: Vec<usize> = fk_col
+        .codes()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &code)| index[code as usize].is_none())
+        .map(|(row, _)| row)
+        .collect();
+
+    match (&dangling[..], policy) {
+        ([], _) => {
+            let gather: Vec<u32> = fk_col
+                .codes()
+                .iter()
+                .map(|&code| index[code as usize].expect("no dangling codes in this branch"))
+                .collect();
+            let table = assemble(entity, attr, None, &gather, entity.n_rows())?;
+            Ok(JoinOutcome {
+                table,
+                dropped_rows: Vec::new(),
+                others_rows: Vec::new(),
+            })
+        }
+        ([first, ..], FkPolicy::Abort) => {
+            let code = fk_col.get(*first);
+            Err(RelationalError::DanglingForeignKey {
+                entity: entity.name().to_string(),
+                fk: fk_name.to_string(),
+                code,
+                label: fk_col.domain().label(code).into_owned(),
+                row: *first,
+            })
+        }
+        (_, FkPolicy::DropRow) => {
+            let keep: Vec<usize> = (0..entity.n_rows())
+                .filter(|&r| index[fk_col.get(r) as usize].is_some())
+                .collect();
+            if keep.is_empty() {
+                return Err(RelationalError::EmptyTable {
+                    table: entity.name().to_string(),
+                });
             }
+            let gather: Vec<u32> = keep
+                .iter()
+                .map(|&r| index[fk_col.get(r) as usize].expect("kept rows resolve"))
+                .collect();
+            hamlet_obs::counter_add!("hamlet_fk_rows_dropped_total", dangling.len());
+            let survivors = entity.select_rows(&keep);
+            let table = assemble(&survivors, attr, None, &gather, keep.len())?;
+            Ok(JoinOutcome {
+                table,
+                dropped_rows: dangling,
+                others_rows: Vec::new(),
+            })
+        }
+        (_, FkPolicy::MapToOthers) => {
+            // Widen the attribute table with the paper's `Others`
+            // placeholder (default feature code 0 per column) and send
+            // every dangling entity row to it.
+            let defaults = vec![0u32; attr.schema().features().len()];
+            let (widened, others_code) = with_others_record(attr, &defaults)?;
+            let others_row = (widened.n_rows() - 1) as u32;
+            let widened_index = key_index(&widened)?;
+            let gather: Vec<u32> = fk_col
+                .codes()
+                .iter()
+                .map(|&code| widened_index[code as usize].unwrap_or(others_row))
+                .collect();
+            // The FK column itself is recoded onto the widened key
+            // domain so the FD `FK -> X_R` still holds at `Others`.
+            let widened_key = widened.column(
+                widened
+                    .schema()
+                    .primary_key()
+                    .expect("widened keeps its key"),
+            );
+            let recoded: Vec<u32> = fk_col
+                .codes()
+                .iter()
+                .map(|&code| {
+                    if index[code as usize].is_some() {
+                        code
+                    } else {
+                        others_code
+                    }
+                })
+                .collect();
+            let fk_replacement =
+                crate::column::Column::new_unchecked(widened_key.domain().clone(), recoded);
+            hamlet_obs::counter_add!("hamlet_fk_rows_to_others_total", dangling.len());
+            let table = assemble(
+                entity,
+                &widened,
+                Some((fk_pos, fk_replacement)),
+                &gather,
+                entity.n_rows(),
+            )?;
+            Ok(JoinOutcome {
+                table,
+                dropped_rows: Vec::new(),
+                others_rows: dangling,
+            })
         }
     }
+}
 
-    let mut defs: Vec<_> = entity.schema().attributes().to_vec();
+/// Builds the output table: entity columns (with at most one replaced)
+/// plus the attribute table's features gathered through `gather`.
+fn assemble(
+    entity: &Table,
+    attr: &Table,
+    replace: Option<(usize, crate::column::Column)>,
+    gather: &[u32],
+    rows: usize,
+) -> Result<Table> {
+    let defs: Vec<AttributeDef> = entity.schema().attributes().to_vec();
     let mut cols: Vec<_> = entity.columns().to_vec();
+    if let Some((pos, col)) = replace {
+        cols[pos] = col;
+    }
+    let mut defs = defs;
     for (def, col) in attr.schema().attributes().iter().zip(attr.columns()) {
         if def.role != Role::Feature {
             continue; // skip RID (and any nested keys)
         }
         defs.push(def.clone());
-        cols.push(col.gather(&gather));
+        cols.push(col.gather(gather));
     }
-
-    hamlet_obs::counter_add!("hamlet_rows_joined_total", entity.n_rows());
-    hamlet_obs::histogram_observe!("hamlet_join_rows", entity.n_rows());
+    hamlet_obs::counter_add!("hamlet_rows_joined_total", rows);
+    hamlet_obs::histogram_observe!("hamlet_join_rows", rows);
     let name = format!("{}_join_{}", entity.name(), attr.name());
     let schema = Schema::new(&name, defs)?;
     Table::new(name, schema, cols)

@@ -62,14 +62,16 @@ pub use binning::{EqualFrequencyBinner, EqualWidthBinner};
 pub use catalog::{AttributeTable, SplitIndices, StarSchema};
 pub use coldstart::{with_others_record, DomainRevision};
 pub use column::Column;
-pub use csv::{read_csv, write_csv, ColumnSpec};
+pub use csv::{
+    read_csv, read_csv_lenient, write_csv, ColumnSpec, CsvLoad, DirtyPolicy, QuarantinedRow,
+};
 pub use decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 pub use domain::Domain;
 pub use error::{RelationalError, Result};
 pub use fd::{is_acyclic, redundant_attributes, FunctionalDependency};
-pub use join::{kfk_join, kfk_join_all};
+pub use join::{kfk_join, kfk_join_all, kfk_join_policy, FkPolicy, JoinOutcome};
 pub use lint::{lint_star, Lint, LintConfig};
-pub use manifest::Manifest;
+pub use manifest::{LoadPolicy, Manifest, StarLoad, TableQuarantine};
 pub use profile::{profile_star, profile_table, ColumnProfile, StarProfile, TableProfile};
 pub use query::{fanout, filter, group_count, select_rows, sort_by, Group, Predicate};
 pub use schema::{AttributeDef, Role, Schema};

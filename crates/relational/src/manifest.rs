@@ -30,15 +30,64 @@
 //! the FK column's string values must be a subset of the key column's,
 //! and both are recoded onto the key's domain.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 
 use crate::catalog::{AttributeTable, StarSchema};
+use crate::coldstart::with_others_record;
 use crate::column::Column;
-use crate::csv::{read_csv, ColumnSpec};
+use crate::csv::{read_csv_lenient, ColumnSpec, DirtyPolicy, QuarantinedRow};
 use crate::error::{RelationalError, Result};
+use crate::join::FkPolicy;
 use crate::schema::{AttributeDef, Schema};
 use crate::table::Table;
+
+/// Degradation policy for a manifest load: what to do with dirty CSV rows
+/// and with entity rows whose foreign keys reference no attribute row.
+///
+/// The default (`Abort`/`Abort`) reproduces the strict behaviour of
+/// [`Manifest::load`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadPolicy {
+    /// Row-level CSV faults (ragged rows, bad numerics, duplicate keys).
+    pub on_dirty: DirtyPolicy,
+    /// Entity rows whose FK label has no row in the referenced table.
+    pub on_dangling_fk: FkPolicy,
+}
+
+/// Quarantine report for one table loaded leniently.
+#[derive(Debug, Clone)]
+pub struct TableQuarantine {
+    /// Table name (file stem).
+    pub table: String,
+    /// Rows set aside, in input order.
+    pub rows: Vec<QuarantinedRow>,
+    /// Data rows seen in the file (clean + quarantined).
+    pub total_rows: usize,
+}
+
+/// Result of a policy-driven manifest load: the star schema plus a full
+/// account of every degradation that was applied.
+#[derive(Debug, Clone)]
+pub struct StarLoad {
+    /// The loaded star schema.
+    pub star: StarSchema,
+    /// Per-table quarantine reports (empty under [`DirtyPolicy::Abort`]).
+    pub quarantine: Vec<TableQuarantine>,
+    /// Entity rows (0-based, post-quarantine) dropped for dangling FKs.
+    pub dropped_rows: Vec<usize>,
+    /// Entity rows (0-based, post-quarantine) remapped to `Others`.
+    pub others_rows: Vec<usize>,
+}
+
+impl StarLoad {
+    /// Whether any degradation (quarantine, drop, remap) was applied.
+    pub fn degraded(&self) -> bool {
+        !self.dropped_rows.is_empty()
+            || !self.others_rows.is_empty()
+            || self.quarantine.iter().any(|q| !q.rows.is_empty())
+    }
+}
 
 /// One column directive inside a manifest section.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,17 +223,44 @@ impl Manifest {
 
     /// Loads the star schema, resolving file names relative to `base`
     /// through `read_file` (injected so tests can run without a
-    /// filesystem).
-    pub fn load_with<F>(&self, base: &Path, mut read_file: F) -> Result<StarSchema>
+    /// filesystem). Strict: any dirty row or dangling FK is an error.
+    pub fn load_with<F>(&self, base: &Path, read_file: F) -> Result<StarSchema>
+    where
+        F: FnMut(&Path) -> std::io::Result<String>,
+    {
+        self.load_with_policy(base, read_file, &LoadPolicy::default())
+            .map(|load| load.star)
+    }
+
+    /// Loads the star schema under a degradation policy, returning the
+    /// schema together with a report of everything that was set aside,
+    /// dropped, or remapped.
+    ///
+    /// With [`FkPolicy::DropRow`], entity rows whose FK label (in *any*
+    /// FK column) has no referenced row are removed. With
+    /// [`FkPolicy::MapToOthers`], the referenced attribute table is
+    /// widened with an `Others` placeholder record (feature defaults =
+    /// code 0, see [`with_others_record`]) and dangling rows map onto it.
+    /// Row indices in the report are 0-based data rows *after* dirty-row
+    /// quarantine.
+    pub fn load_with_policy<F>(
+        &self,
+        base: &Path,
+        mut read_file: F,
+        policy: &LoadPolicy,
+    ) -> Result<StarLoad>
     where
         F: FnMut(&Path) -> std::io::Result<String>,
     {
         let mut read = |file: &str| -> Result<String> {
             let path: PathBuf = base.join(file);
-            read_file(&path).map_err(|e| RelationalError::Manifest {
-                reason: format!("cannot read {}: {e}", path.display()),
-            })
+            hamlet_chaos::fail_at!("manifest.read")
+                .and_then(|()| read_file(&path))
+                .map_err(|e| RelationalError::Manifest {
+                    reason: format!("cannot read {}: {e}", path.display()),
+                })
         };
+        let mut quarantine: Vec<TableQuarantine> = Vec::new();
 
         // Load attribute tables first (keyed by file name) as raw nominal
         // tables; keys stay labelled domains for FK matching.
@@ -192,14 +268,20 @@ impl Manifest {
         for section in self.sections.iter().filter(|s| !s.is_entity) {
             let text = read(&section.file)?;
             let specs = section_specs(section, None)?;
-            let name = section
-                .file
-                .rsplit('/')
-                .next()
-                .unwrap_or(&section.file)
-                .trim_end_matches(".csv")
-                .to_string();
-            let table = read_csv(&name, &text, &to_spec_refs(&specs), ',')?;
+            let name = file_stem(&section.file);
+            let load = read_csv_lenient(&name, &text, &to_spec_refs(&specs), ',', policy.on_dirty)?;
+            if !load.quarantined.is_empty() {
+                hamlet_obs::record_warning(format!(
+                    "table '{name}': quarantined {} of {} rows during lenient load",
+                    load.quarantined.len(),
+                    load.total_rows
+                ));
+            }
+            quarantine.push(TableQuarantine {
+                table: name,
+                rows: load.quarantined,
+                total_rows: load.total_rows,
+            });
             let key = section
                 .directives
                 .iter()
@@ -210,31 +292,47 @@ impl Manifest {
                 .ok_or_else(|| RelationalError::Manifest {
                     reason: format!("table section '{}' has no key directive", section.file),
                 })?;
-            attr_tables.insert(section.file.clone(), (table, key));
+            attr_tables.insert(section.file.clone(), (load.table, key));
         }
 
         // Load the entity; FK columns come in as plain nominal features
         // first, then get recoded onto the referenced key domains.
-        let entity_section = self
-            .sections
-            .iter()
-            .find(|s| s.is_entity)
-            .expect("validated in parse");
+        let entity_section = self.sections.iter().find(|s| s.is_entity).ok_or_else(|| {
+            RelationalError::Manifest {
+                reason: "manifest has no entity section".to_string(),
+            }
+        })?;
         let text = read(&entity_section.file)?;
         let specs = section_specs(entity_section, Some(&attr_tables))?;
-        let entity_name = entity_section
-            .file
-            .rsplit('/')
-            .next()
-            .unwrap_or(&entity_section.file)
-            .trim_end_matches(".csv")
-            .to_string();
-        let raw_entity = read_csv(&entity_name, &text, &to_spec_refs(&specs), ',')?;
+        let entity_name = file_stem(&entity_section.file);
+        let entity_load = read_csv_lenient(
+            &entity_name,
+            &text,
+            &to_spec_refs(&specs),
+            ',',
+            policy.on_dirty,
+        )?;
+        if !entity_load.quarantined.is_empty() {
+            hamlet_obs::record_warning(format!(
+                "entity '{entity_name}': quarantined {} of {} rows during lenient load",
+                entity_load.quarantined.len(),
+                entity_load.total_rows
+            ));
+        }
+        quarantine.push(TableQuarantine {
+            table: entity_name.clone(),
+            rows: entity_load.quarantined,
+            total_rows: entity_load.total_rows,
+        });
+        let raw_entity = entity_load.table;
 
-        // Recode FK columns by label onto the referenced key domains.
+        // Recode FK columns by label onto the referenced key domains,
+        // applying the dangling-FK policy per column.
         let mut defs: Vec<AttributeDef> = Vec::new();
         let mut cols: Vec<Column> = Vec::new();
         let mut attributes: Vec<AttributeTable> = Vec::new();
+        let mut drop_set: BTreeSet<usize> = BTreeSet::new();
+        let mut others_rows: Vec<usize> = Vec::new();
         for (def, col) in raw_entity
             .schema()
             .attributes()
@@ -268,10 +366,48 @@ impl Manifest {
                         .map(|&c| (key.domain().label(c).into_owned(), c))
                         .collect();
                     let mut recoded = Vec::with_capacity(col.len());
+                    let mut dangling: Vec<(usize, String)> = Vec::new();
                     for row in 0..col.len() {
                         let lbl = col.domain().label(col.get(row)).into_owned();
-                        let code = key_code_of.get(&lbl).copied().ok_or_else(|| {
-                            RelationalError::Manifest {
+                        match key_code_of.get(&lbl).copied() {
+                            Some(code) => recoded.push(code),
+                            None => {
+                                // Placeholder; resolved below per policy.
+                                recoded.push(0);
+                                dangling.push((row, lbl));
+                            }
+                        }
+                    }
+                    let attr_def = if closed {
+                        AttributeDef::foreign_key(&def.name, attr_table.name())
+                    } else {
+                        AttributeDef::open_foreign_key(&def.name, attr_table.name())
+                    };
+                    let promoted = promote_key(attr_table, key_col)?;
+                    match (&dangling[..], &policy.on_dangling_fk) {
+                        ([], _) | (_, FkPolicy::DropRow) => {
+                            if let [(row, _), ..] = dangling[..] {
+                                hamlet_obs::counter_add!(
+                                    "hamlet_fk_rows_dropped_total",
+                                    dangling.len()
+                                );
+                                hamlet_obs::record_warning(format!(
+                                    "entity '{entity_name}': dropping {} row(s) with dangling \
+                                     '{}' references (first at row {row})",
+                                    dangling.len(),
+                                    def.name
+                                ));
+                                drop_set.extend(dangling.iter().map(|(r, _)| *r));
+                            }
+                            defs.push(attr_def);
+                            cols.push(Column::new_unchecked(key.domain().clone(), recoded));
+                            attributes.push(AttributeTable {
+                                fk: def.name.clone(),
+                                table: promoted,
+                            });
+                        }
+                        ([(row, lbl), ..], FkPolicy::Abort) => {
+                            return Err(RelationalError::Manifest {
                                 reason: format!(
                                     "entity '{}' row {}: foreign key '{}' value '{}' has no row in '{}'",
                                     entity_name,
@@ -280,32 +416,86 @@ impl Manifest {
                                     lbl,
                                     attr_table.name()
                                 ),
+                            });
+                        }
+                        (_, FkPolicy::MapToOthers) => {
+                            let n_features = promoted.schema().features().len();
+                            let (widened, others_code) =
+                                with_others_record(&promoted, &vec![0; n_features])?;
+                            for &(row, _) in &dangling {
+                                recoded[row] = others_code;
                             }
-                        })?;
-                        recoded.push(code);
+                            hamlet_obs::counter_add!(
+                                "hamlet_fk_rows_to_others_total",
+                                dangling.len()
+                            );
+                            hamlet_obs::record_warning(format!(
+                                "entity '{entity_name}': remapped {} dangling '{}' reference(s) \
+                                 to the Others record",
+                                dangling.len(),
+                                def.name
+                            ));
+                            others_rows.extend(dangling.iter().map(|(r, _)| *r));
+                            let pk_idx = widened.schema().primary_key().ok_or_else(|| {
+                                RelationalError::MissingRole {
+                                    table: widened.name().to_string(),
+                                    role: "primary key",
+                                }
+                            })?;
+                            defs.push(attr_def);
+                            cols.push(Column::new_unchecked(
+                                widened.column(pk_idx).domain().clone(),
+                                recoded,
+                            ));
+                            attributes.push(AttributeTable {
+                                fk: def.name.clone(),
+                                table: widened,
+                            });
+                        }
                     }
-                    let attr_def = if closed {
-                        AttributeDef::foreign_key(&def.name, attr_table.name())
-                    } else {
-                        AttributeDef::open_foreign_key(&def.name, attr_table.name())
-                    };
-                    defs.push(attr_def);
-                    cols.push(Column::new_unchecked(key.domain().clone(), recoded));
-                    attributes.push(AttributeTable {
-                        fk: def.name.clone(),
-                        table: promote_key(attr_table, key_col)?,
-                    });
                 }
             }
         }
-        let entity = Table::new(entity_name.clone(), Schema::new(&entity_name, defs)?, cols)?;
-        StarSchema::new(entity, attributes)
+        let mut entity = Table::new(entity_name.clone(), Schema::new(&entity_name, defs)?, cols)?;
+        let dropped_rows: Vec<usize> = drop_set.into_iter().collect();
+        if !dropped_rows.is_empty() {
+            let keep: Vec<usize> = (0..entity.n_rows())
+                .filter(|r| !dropped_rows.contains(r))
+                .collect();
+            if keep.is_empty() {
+                return Err(RelationalError::EmptyTable {
+                    table: entity_name.clone(),
+                });
+            }
+            entity = entity.select_rows(&keep);
+        }
+        let star = StarSchema::new(entity, attributes)?;
+        Ok(StarLoad {
+            star,
+            quarantine,
+            dropped_rows,
+            others_rows,
+        })
     }
 
     /// Loads from the real filesystem, resolving relative to `base`.
     pub fn load(&self, base: &Path) -> Result<StarSchema> {
         self.load_with(base, |p: &Path| std::fs::read_to_string(p))
     }
+
+    /// Loads from the real filesystem under a degradation policy.
+    pub fn load_policy(&self, base: &Path, policy: &LoadPolicy) -> Result<StarLoad> {
+        self.load_with_policy(base, |p: &Path| std::fs::read_to_string(p), policy)
+    }
+}
+
+/// File stem of a manifest file reference (`dir/x.csv` -> `x`).
+fn file_stem(file: &str) -> String {
+    file.rsplit('/')
+        .next()
+        .unwrap_or(file)
+        .trim_end_matches(".csv")
+        .to_string()
 }
 
 /// Re-roles the named column as the table's primary key (CSV import
@@ -479,6 +669,136 @@ numeric  Revenue 2
             })
             .unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+
+    fn dirty_files() -> HashMap<PathBuf, String> {
+        let mut m = files();
+        // Row 1 references an employer that does not exist; row 2 is
+        // ragged; the rest are clean.
+        m.insert(
+            PathBuf::from("/data/customers.csv"),
+            "Churn,Gender,Age,EmployerID\nyes,F,30,e2\nno,M,40,e99\nno,F\nyes,M,25,e1\n"
+                .to_string(),
+        );
+        m
+    }
+
+    fn load_dirty(policy: &LoadPolicy) -> Result<StarLoad> {
+        let manifest = Manifest::parse(MANIFEST).unwrap();
+        let files = dirty_files();
+        manifest.load_with_policy(
+            Path::new("/data"),
+            |p| {
+                files
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+            },
+            policy,
+        )
+    }
+
+    #[test]
+    fn policy_drop_row_removes_dangling_entities() {
+        let load = load_dirty(&LoadPolicy {
+            on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
+            on_dangling_fk: FkPolicy::DropRow,
+        })
+        .unwrap();
+        assert!(load.degraded());
+        // The ragged row was quarantined, then the e99 row dropped.
+        assert_eq!(load.star.n_s(), 2);
+        assert_eq!(load.dropped_rows, vec![1]);
+        let entity_q = load
+            .quarantine
+            .iter()
+            .find(|q| q.table == "customers")
+            .unwrap();
+        assert_eq!(entity_q.rows.len(), 1);
+        assert_eq!(entity_q.total_rows, 4);
+        // Survivors still join cleanly.
+        load.star.materialize_all().unwrap();
+    }
+
+    #[test]
+    fn policy_map_to_others_widens_attribute_table() {
+        let load = load_dirty(&LoadPolicy {
+            on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
+            on_dangling_fk: FkPolicy::MapToOthers,
+        })
+        .unwrap();
+        // No entity rows lost: the e99 row maps onto the Others record.
+        assert_eq!(load.star.n_s(), 3);
+        assert_eq!(load.others_rows, vec![1]);
+        assert!(load.dropped_rows.is_empty());
+        let attr = &load.star.attributes()[0].table;
+        assert_eq!(attr.n_rows(), 3); // e1, e2, Others
+        let key = attr.column_by_name("EmployerID").unwrap();
+        assert_eq!(key.domain().label(2), "Others");
+        // The remapped row joins to the Others record's default features.
+        let t = load.star.materialize_all().unwrap();
+        let country = t.column_by_name("Country").unwrap();
+        assert_eq!(country.domain().label(country.get(1)), "NZ"); // default code 0
+    }
+
+    #[test]
+    fn policy_abort_is_default_strict_behaviour() {
+        let err = load_dirty(&LoadPolicy::default()).unwrap_err();
+        // First fault hit under Abort is the ragged customers row.
+        assert!(matches!(err, RelationalError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn quarantining_attr_key_row_cascades_to_fk_policy() {
+        // Corrupt the employers table so e2's row is ragged: it gets
+        // quarantined, and every customer referencing e2 now dangles.
+        let manifest = Manifest::parse(MANIFEST).unwrap();
+        let mut files = files();
+        files.insert(
+            PathBuf::from("/data/employers.csv"),
+            "EmployerID,Country,Revenue\ne1,NZ,10\ne2,IN\n".to_string(),
+        );
+        let read = |p: &Path| {
+            files
+                .get(p)
+                .cloned()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+        };
+        let load = manifest
+            .load_with_policy(
+                Path::new("/data"),
+                read,
+                &LoadPolicy {
+                    on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
+                    on_dangling_fk: FkPolicy::DropRow,
+                },
+            )
+            .unwrap();
+        // Two customers referenced e2; both were dropped.
+        assert_eq!(load.star.n_s(), 2);
+        assert_eq!(load.dropped_rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn failpoint_fails_manifest_reads() {
+        use hamlet_chaos::failpoint;
+        let _guard = failpoint::serial();
+        failpoint::set_failpoints("manifest.read=io").unwrap();
+        let manifest = Manifest::parse(MANIFEST).unwrap();
+        let files = files();
+        let err = manifest
+            .load_with(Path::new("/data"), |p| {
+                files
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+            })
+            .unwrap_err();
+        failpoint::clear_failpoints();
+        assert!(
+            err.to_string().contains("injected IO failure"),
+            "expected injected failure, got: {err}"
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   CSV, infer functional dependencies, decompose into a star schema,
 //!   and advise which recovered joins were unnecessary;
 //! * `advise-files <schema.manifest>` — load a normalized multi-table
-//!   dataset from CSVs via a manifest and advise on its joins.
+//!   dataset from CSVs via a manifest and advise on its joins;
+//! * `simulate --scenario <name> [...]` — run one point of the paper's
+//!   Monte-Carlo simulation; `--resume` checkpoints completed cells
+//!   under `results/checkpoints/` so a crashed run picks up where it
+//!   left off (bit-for-bit).
 //!
 //! The module is process-free (string in, string out) so the integration
 //! suite can drive it directly; `src/bin/hamlet.rs` is a thin shell.
@@ -33,7 +37,8 @@ use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBa
 use hamlet_obs::RunJournal;
 use hamlet_relational::decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 use hamlet_relational::{
-    lint_star, profile_star, read_csv, ColumnSpec, LintConfig, Manifest, StarSchema,
+    lint_star, profile_star, read_csv, ColumnSpec, DirtyPolicy, FkPolicy, LintConfig, LoadPolicy,
+    Manifest, StarLoad, StarSchema,
 };
 
 /// CLI error: a user-facing message (exit code 2 in the binary).
@@ -57,9 +62,25 @@ USAGE:
   hamlet train --dataset <name> [--scale S] [--model nb|logreg] [--strategy factorize|materialize]
   hamlet profile --dataset <name> [--scale S]
   hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
-  hamlet advise-files <schema.manifest> [--relaxed]
+  hamlet advise-files <schema.manifest> [--relaxed] [--on-dirty P] [--on-dangling-fk P]
+  hamlet simulate [--scenario lone|all|entity-fk] [--n-s N] [--n-r N]
+                  [--train-sets T] [--repeats R] [--seed S] [--resume] [--out FILE]
   hamlet datasets
   hamlet help
+
+Dirty-data policies (advise-files):
+  --on-dirty abort|quarantine[:N]   bad CSV rows: fail fast (default) or set
+                                    aside up to N rows per table
+  --on-dangling-fk abort|drop|others  entity rows whose FK matches no row:
+                                    fail fast (default), drop them, or map
+                                    them to an injected Others record
+
+Checkpointing (simulate):
+  --resume   persist each completed (repeat, train-set) cell atomically under
+             results/checkpoints/ (or HAMLET_CHECKPOINT_DIR) and reuse cells
+             from an earlier run of the same configuration; a rerun after a
+             crash resumes bit-for-bit
+  --out FILE write the report to FILE via the atomic writer (tmp+fsync+rename)
 
 Observability (any subcommand):
   --trace    print the span tree (hierarchical wall-clock timings)
@@ -131,6 +152,71 @@ fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
     Ok((spec, scale))
 }
 
+/// Parses the degradation-policy flags shared by file-loading
+/// subcommands: `--on-dirty abort|quarantine[:N]` and
+/// `--on-dangling-fk abort|drop|others`. Both default to strict abort.
+fn load_policy_args(args: &[String]) -> Result<LoadPolicy, CliError> {
+    let on_dirty = match parse_flag(args, "--on-dirty")? {
+        None => DirtyPolicy::Abort,
+        Some(v) => DirtyPolicy::parse(v).ok_or_else(|| {
+            CliError(format!(
+                "--on-dirty must be 'abort', 'quarantine', or 'quarantine:N', got '{v}'"
+            ))
+        })?,
+    };
+    let on_dangling_fk = match parse_flag(args, "--on-dangling-fk")? {
+        None => FkPolicy::Abort,
+        Some(v) => FkPolicy::parse(v).ok_or_else(|| {
+            CliError(format!(
+                "--on-dangling-fk must be 'abort', 'drop', or 'others', got '{v}'"
+            ))
+        })?,
+    };
+    Ok(LoadPolicy {
+        on_dirty,
+        on_dangling_fk,
+    })
+}
+
+/// Renders the degradation report of a policy-driven load ("" when the
+/// load was clean).
+fn render_degradations(load: &StarLoad) -> String {
+    if !load.degraded() {
+        return String::new();
+    }
+    let mut out = String::from("\nDegradations applied during load:\n");
+    for q in load.quarantine.iter().filter(|q| !q.rows.is_empty()) {
+        let _ = writeln!(
+            out,
+            "  table '{}': quarantined {} of {} rows",
+            q.table,
+            q.rows.len(),
+            q.total_rows
+        );
+        for r in q.rows.iter().take(5) {
+            let _ = writeln!(out, "    row {}: {}", r.row, r.reason);
+        }
+        if q.rows.len() > 5 {
+            let _ = writeln!(out, "    ... and {} more", q.rows.len() - 5);
+        }
+    }
+    if !load.dropped_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  entity: dropped {} row(s) with dangling foreign keys",
+            load.dropped_rows.len()
+        );
+    }
+    if !load.others_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  entity: remapped {} row(s) to the Others record",
+            load.others_rows.len()
+        );
+    }
+    out
+}
+
 /// Parses `--strategy factorize|materialize` into "factorize?" —
 /// `None` when the flag is absent.
 fn strategy_arg(args: &[String]) -> Result<Option<bool>, CliError> {
@@ -173,10 +259,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         // allocator (e.g. the test harness); `hamlet` itself does.
         let peak = hamlet_obs::alloc::peak_bytes().unwrap_or(0);
         hamlet_obs::metrics::gauge("hamlet_peak_alloc_bytes").set_max(peak as u64);
-        obs.push_str(&hamlet_obs::render_metrics());
-        obs.push('\n');
     }
 
+    // The journal is appended before metrics render so a write failure
+    // shows up as hamlet_journal_write_failures_total in this very
+    // invocation's --metrics output, not just on stderr.
     let outcome = match &result {
         Ok(_) => "ok".to_string(),
         Err(e) => format!("error: {e}"),
@@ -186,11 +273,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         outcome,
         hamlet_obs::rollup(&spans),
     );
-    match entry.append_to(&RunJournal::dir()) {
-        Ok(path) => {
-            let _ = writeln!(obs, "journal: {}", path.display());
+    let journal_line = match entry.append_to(&RunJournal::dir()) {
+        Ok(path) => Some(format!("journal: {}", path.display())),
+        Err(e) => {
+            hamlet_obs::counter_add!("hamlet_journal_write_failures_total", 1);
+            eprintln!("warning: could not write run journal: {e}");
+            None
         }
-        Err(e) => eprintln!("warning: could not write run journal: {e}"),
+    };
+
+    if metrics {
+        obs.push_str(&hamlet_obs::render_metrics());
+        obs.push('\n');
+    }
+    if let Some(line) = journal_line {
+        let _ = writeln!(obs, "{line}");
     }
 
     result.map(|body| format!("{body}\n{obs}"))
@@ -275,13 +372,18 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .find(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError("missing <schema.manifest>".into()))?;
             let relaxed = rest.iter().any(|a| a == "--relaxed");
+            let policy = load_policy_args(rest)?;
             let text = std::fs::read_to_string(file)
                 .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
             let manifest = Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
             let base = std::path::Path::new(file)
                 .parent()
                 .unwrap_or_else(|| std::path::Path::new("."));
-            let star = manifest.load(base).map_err(|e| CliError(e.to_string()))?;
+            let load = manifest
+                .load_policy(base, &policy)
+                .map_err(|e| CliError(e.to_string()))?;
+            let degradations = render_degradations(&load);
+            let star = load.star;
             let config = if relaxed {
                 AdvisorConfig {
                     tr: TrRule::with_tau(RELAXED_TAU),
@@ -300,8 +402,10 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                     out.push_str(&format!("  {l:?}\n"));
                 }
             }
+            out.push_str(&degradations);
             Ok(out)
         }
+        Some("simulate") => simulate_cmd(&args[1..]),
         Some("csv-advise") => {
             let rest = &args[1..];
             let file = rest
@@ -336,6 +440,104 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         }
         Some(other) => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
+}
+
+/// Parses an optional numeric flag with a default.
+fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
+    match parse_flag(args, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError(format!("bad {flag} '{v}'"))),
+    }
+}
+
+/// The `simulate` pipeline: one point of the paper's Monte-Carlo
+/// simulation (Sec 4.1), with optional cell-level checkpointing.
+fn simulate_cmd(rest: &[String]) -> Result<String, CliError> {
+    use hamlet_datagen::sim::{Scenario, SimulationConfig};
+    use hamlet_datagen::skew::FkSkew;
+    use hamlet_experiments::{
+        monte_carlo_opts, simulate, FeatureSetChoice, MonteCarloOpts, CHECKPOINT_DIR_VAR,
+        DEFAULT_CHECKPOINT_DIR,
+    };
+
+    let scenario = match parse_flag(rest, "--scenario")?.unwrap_or("lone") {
+        "lone" => Scenario::LoneForeignFeature,
+        "all" => Scenario::AllFeatures,
+        "entity-fk" => Scenario::EntityAndFk,
+        other => {
+            return Err(CliError(format!(
+                "--scenario must be 'lone', 'all', or 'entity-fk', got '{other}'"
+            )))
+        }
+    };
+    let n_s: usize = num_flag(rest, "--n-s", 1000)?;
+    let n_r: usize = num_flag(rest, "--n-r", 40)?;
+    if n_s == 0 || n_r == 0 {
+        return Err(CliError("--n-s and --n-r must be positive".into()));
+    }
+    // Fig 3(A)'s fixed shape for everything not worth a flag.
+    let cfg = SimulationConfig {
+        scenario,
+        d_s: 2,
+        d_r: 4,
+        n_r,
+        p: 0.1,
+        skew: FkSkew::Uniform,
+    };
+    let env = monte_carlo_opts();
+    let opts = MonteCarloOpts {
+        train_sets: num_flag(rest, "--train-sets", env.train_sets)?,
+        repeats: num_flag(rest, "--repeats", env.repeats)?,
+        base_seed: num_flag(rest, "--seed", env.base_seed)?,
+    };
+    if opts.train_sets == 0 || opts.repeats == 0 {
+        return Err(CliError(
+            "--train-sets and --repeats must be positive".into(),
+        ));
+    }
+
+    let mut out = String::new();
+    if rest.iter().any(|a| a == "--resume") {
+        // Checkpointing is env-transparent in the runner; --resume just
+        // supplies the default root when the variable is unset.
+        if std::env::var_os(CHECKPOINT_DIR_VAR).is_none() {
+            std::env::set_var(CHECKPOINT_DIR_VAR, DEFAULT_CHECKPOINT_DIR);
+        }
+        let _ = writeln!(
+            out,
+            "checkpoints: {}",
+            std::env::var(CHECKPOINT_DIR_VAR).unwrap_or_default()
+        );
+    }
+
+    let est = simulate(&cfg, n_s, &opts);
+    let _ = writeln!(
+        out,
+        "scenario {scenario:?}, n_S = {n_s}, |D_FK| = {n_r}, {} train sets x {} worlds, seed {}",
+        opts.train_sets, opts.repeats, opts.base_seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "choice", "test err", "net var", "bias", "variance"
+    );
+    for (c, choice) in FeatureSetChoice::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            choice.name(),
+            est[c].test_error,
+            est[c].net_variance,
+            est[c].bias,
+            est[c].variance
+        );
+    }
+    if let Some(path) = parse_flag(rest, "--out")? {
+        hamlet_obs::atomic_write(std::path::Path::new(path), out.as_bytes())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
 }
 
 /// The `train` pipeline: fits the requested classifier over `star`
@@ -751,6 +953,188 @@ feature Country
     fn advise_files_missing_manifest() {
         let err = run(&["advise-files".to_string(), "/no/such/file".to_string()]).unwrap_err();
         assert!(err.0.contains("cannot read"));
+    }
+
+    /// Writes a small dirty corpus (one ragged customer row, one
+    /// dangling FK) and returns the manifest path.
+    fn write_dirty_corpus(dir: &std::path::Path) -> std::path::PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut customers = String::from("Churn,Age,EmployerID\n");
+        for i in 0..3000 {
+            let e = i % 30;
+            let _ = writeln!(customers, "{},{},e{}", (e + i / 30) % 2, 20 + i % 40, e);
+        }
+        customers.push_str("1,33\n"); // ragged
+        customers.push_str("0,44,e999\n"); // dangling FK
+        let mut employers = String::from("EmployerID,Country\n");
+        for e in 0..30 {
+            let _ = writeln!(employers, "e{},c{}", e, e % 8);
+        }
+        std::fs::write(dir.join("customers.csv"), customers).unwrap();
+        std::fs::write(dir.join("employers.csv"), employers).unwrap();
+        let manifest = "\
+entity customers.csv
+target Churn
+numeric Age 8
+fk EmployerID employers.csv closed
+
+table employers.csv
+key EmployerID
+feature Country
+";
+        let mpath = dir.join("schema.manifest");
+        std::fs::write(&mpath, manifest).unwrap();
+        mpath
+    }
+
+    #[test]
+    fn advise_files_dirty_data_aborts_by_default() {
+        let dir = std::env::temp_dir().join("hamlet_cli_dirty_abort");
+        let mpath = write_dirty_corpus(&dir);
+        let err = run(&["advise-files".to_string(), mpath.display().to_string()]).unwrap_err();
+        assert!(err.0.contains("expected 3"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn advise_files_degradation_policies() {
+        let dir = std::env::temp_dir().join("hamlet_cli_dirty_degrade");
+        let mpath = write_dirty_corpus(&dir);
+        let out = run(&[
+            "advise-files".to_string(),
+            mpath.display().to_string(),
+            "--on-dirty".to_string(),
+            "quarantine".to_string(),
+            "--on-dangling-fk".to_string(),
+            "drop".to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("Degradations applied during load:"), "{out}");
+        assert!(out.contains("quarantined 1 of 3002 rows"), "{out}");
+        assert!(out.contains("dropped 1 row(s)"), "{out}");
+
+        // `others` keeps the row by widening the attribute table.
+        let out = run(&[
+            "advise-files".to_string(),
+            mpath.display().to_string(),
+            "--on-dirty".to_string(),
+            "quarantine:5".to_string(),
+            "--on-dangling-fk".to_string(),
+            "others".to_string(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("remapped 1 row(s) to the Others record"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_policy_values_are_reported() {
+        let dir = std::env::temp_dir().join("hamlet_cli_dirty_badflag");
+        let mpath = write_dirty_corpus(&dir);
+        let err = run(&[
+            "advise-files".to_string(),
+            mpath.display().to_string(),
+            "--on-dirty".to_string(),
+            "maybe".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("--on-dirty"), "{}", err.0);
+        let err = run(&[
+            "advise-files".to_string(),
+            mpath.display().to_string(),
+            "--on-dangling-fk".to_string(),
+            "ignore".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("--on-dangling-fk"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod simulate_cli_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    const TINY: &str = "--n-s 120 --n-r 10 --train-sets 4 --repeats 2 --seed 11";
+
+    #[test]
+    fn simulate_prints_three_choices() {
+        let out = run(&argv(&format!("simulate {TINY}"))).unwrap();
+        assert!(out.contains("UseAll"), "{out}");
+        assert!(out.contains("NoJoin"), "{out}");
+        assert!(out.contains("NoFK"), "{out}");
+        assert!(out.contains("4 train sets x 2 worlds"), "{out}");
+    }
+
+    #[test]
+    fn simulate_resume_reproduces_the_uncheckpointed_run() {
+        // Serialized with other checkpoint/failpoint users: both the
+        // checkpoint env var and failpoint registry are process-global.
+        let _g = hamlet_chaos::failpoint::serial();
+        let baseline = run(&argv(&format!("simulate {TINY}"))).unwrap();
+
+        let dir = std::env::temp_dir().join("hamlet_cli_simulate_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("HAMLET_CHECKPOINT_DIR", &dir);
+        let first = run(&argv(&format!("simulate {TINY} --resume"))).unwrap();
+        let second = run(&argv(&format!("simulate {TINY} --resume"))).unwrap();
+        std::env::remove_var("HAMLET_CHECKPOINT_DIR");
+
+        // Identical modulo the checkpoint banner; cells were written.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("checkpoints:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&first), strip(&baseline));
+        assert_eq!(first, second);
+        assert!(dir.exists(), "checkpoint cells were persisted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_out_writes_report_atomically() {
+        let dir = std::env::temp_dir().join("hamlet_cli_simulate_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sim.txt");
+        let out = run(&[
+            argv(&format!("simulate {TINY} --out")),
+            vec![path.display().to_string()],
+        ]
+        .concat())
+        .unwrap();
+        assert!(out.contains("wrote "), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("UseAll"), "{written}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_bad_args_are_reported() {
+        assert!(run(&argv("simulate --scenario warp"))
+            .unwrap_err()
+            .0
+            .contains("--scenario"));
+        assert!(run(&argv("simulate --n-s zero"))
+            .unwrap_err()
+            .0
+            .contains("--n-s"));
+        assert!(run(&argv("simulate --n-s 0"))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(run(&argv("simulate --train-sets 0 --n-s 100"))
+            .unwrap_err()
+            .0
+            .contains("positive"));
     }
 }
 

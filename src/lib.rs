@@ -23,7 +23,10 @@
 //!   join materialization;
 //! * [`datagen`] — simulation worlds, FK skew, and synthetic analogs of
 //!   the paper's seven datasets;
-//! * [`experiments`] — one module per paper table/figure.
+//! * [`experiments`] — one module per paper table/figure, with
+//!   cell-level checkpoint/resume for the Monte-Carlo runs;
+//! * [`chaos`] — fault injection: seeded corpus corruption and named
+//!   failpoints (`HAMLET_FAILPOINTS`) for resilience testing.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub mod cli;
 
+pub use hamlet_chaos as chaos;
 pub use hamlet_core as core;
 pub use hamlet_datagen as datagen;
 pub use hamlet_experiments as experiments;

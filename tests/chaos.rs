@@ -1,0 +1,312 @@
+//! Chaos-harness integration tests: seeded corpus corruption against the
+//! lenient ingest policies, and process-level crash/resume through the
+//! `hamlet` binary.
+//!
+//! The contract under test, from the resilience sweep: a corrupted
+//! corpus either loads with every damaged row accounted for
+//! (`quarantined + dropped + loaded == total`) or fails with a typed
+//! error naming the offending row — it never panics — and a
+//! checkpointed Monte-Carlo run killed mid-flight resumes to
+//! byte-identical output.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use proptest::prelude::*;
+
+use hamlet::chaos::corrupt::{corrupt_corpus, ChaosPlan, Corpus, FaultKind, FileProfile};
+use hamlet::chaos::failpoint;
+use hamlet::relational::{DirtyPolicy, FkPolicy, LoadPolicy, Manifest, RelationalError};
+
+const MANIFEST: &str = "\
+entity customers.csv
+target Churn
+numeric Age 8
+fk EmployerID employers.csv closed
+
+table employers.csv
+key EmployerID
+feature Country
+";
+
+/// A clean two-table star corpus: 60 customers over 6 employers.
+fn clean_corpus() -> Corpus {
+    let mut corpus = Corpus::new();
+    let mut customers = String::from("Churn,Age,EmployerID\n");
+    for i in 0..60 {
+        customers.push_str(&format!("{},{},e{}\n", i % 2, 20 + i % 30, i % 6));
+    }
+    let mut employers = String::from("EmployerID,Country\n");
+    for e in 0..6 {
+        employers.push_str(&format!("e{},c{}\n", e, e % 3));
+    }
+    corpus.insert("customers.csv".into(), customers);
+    corpus.insert("employers.csv".into(), employers);
+    corpus
+}
+
+fn chaos_plan(seed: u64, faults_per_file: usize, kinds: Vec<FaultKind>) -> ChaosPlan {
+    ChaosPlan {
+        seed,
+        faults_per_file,
+        kinds,
+        profiles: BTreeMap::new(),
+    }
+    .with_profile(
+        "customers.csv",
+        FileProfile {
+            numeric_cols: vec![1],
+            pk_col: None,
+            fk_cols: vec![2],
+        },
+    )
+    .with_profile(
+        "employers.csv",
+        FileProfile {
+            numeric_cols: vec![],
+            pk_col: Some(0),
+            fk_cols: vec![],
+        },
+    )
+}
+
+/// Writes a corpus plus the manifest into a scratch dir and returns it.
+fn write_corpus(name: &str, corpus: &Corpus) -> PathBuf {
+    let dir = std::env::temp_dir().join("hamlet_chaos_it").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (file, text) in corpus {
+        std::fs::write(dir.join(file), text).unwrap();
+    }
+    std::fs::write(dir.join("schema.manifest"), MANIFEST).unwrap();
+    dir
+}
+
+fn load_with(
+    dir: &Path,
+    policy: &LoadPolicy,
+) -> Result<hamlet::relational::StarLoad, RelationalError> {
+    let text = std::fs::read_to_string(dir.join("schema.manifest")).unwrap();
+    let manifest = Manifest::parse(&text).unwrap();
+    manifest.load_policy(dir, policy)
+}
+
+/// Data rows in the dirty text (anything after the header line).
+fn data_rows(corpus: &Corpus, file: &str) -> usize {
+    // Mirrors the lenient reader's record enumeration (blank lines are
+    // not records).
+    corpus[file]
+        .lines()
+        .skip(1)
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+proptest! {
+    /// Lenient load of an arbitrarily corrupted corpus: either every
+    /// damaged row is accounted for, or the load fails with a typed
+    /// error. A panic fails this test — that is the property.
+    #[test]
+    fn corrupted_corpus_loads_with_exact_accounting_or_typed_error(
+        seed in 0u64..150,
+        faults in 1usize..7,
+    ) {
+        let (dirty, injected) = corrupt_corpus(&clean_corpus(), &chaos_plan(seed, faults, FaultKind::ALL.to_vec()));
+        let dir = write_corpus(&format!("prop_{seed}_{faults}"), &dirty);
+        let policy = LoadPolicy {
+            on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 1000 },
+            on_dangling_fk: FkPolicy::DropRow,
+        };
+        match load_with(&dir, &policy) {
+            Ok(load) => {
+                // Entity accounting: loaded + quarantined + dropped
+                // covers every data row of the dirty file.
+                let quarantined_entity = load
+                    .quarantine
+                    .iter()
+                    .find(|q| q.table == "customers")
+                    .map(|q| q.rows.len())
+                    .unwrap_or(0);
+                prop_assert_eq!(
+                    load.star.n_s() + quarantined_entity + load.dropped_rows.len(),
+                    data_rows(&dirty, "customers.csv"),
+                    "entity rows must be loaded, quarantined, or dropped; faults: {:?}",
+                    injected
+                );
+                // Attribute accounting: DropRow never widens tables.
+                let quarantined_attr = load
+                    .quarantine
+                    .iter()
+                    .find(|q| q.table == "employers")
+                    .map(|q| q.rows.len())
+                    .unwrap_or(0);
+                prop_assert_eq!(
+                    load.star.attributes()[0].n_rows() + quarantined_attr,
+                    data_rows(&dirty, "employers.csv")
+                );
+            }
+            Err(e) => {
+                // Typed and renderable; common causes: every employer
+                // row quarantined (EmptyTable), or the whole entity
+                // dropped.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty(), "{:?}", e);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Strict (default) load of the same corrupted corpora: a typed
+    /// error, never a panic or a silent success over damaged data.
+    #[test]
+    fn corrupted_corpus_strict_load_fails_typed(seed in 0u64..150) {
+        let (dirty, injected) = corrupt_corpus(&clean_corpus(), &chaos_plan(seed, 4, FaultKind::ALL.to_vec()));
+        let dir = write_corpus(&format!("strict_{seed}"), &dirty);
+        match load_with(&dir, &LoadPolicy::default()) {
+            // A fault can land harmlessly (e.g. a duplicated empty
+            // field inside a quoted region); success must then mean a
+            // fully consistent star.
+            Ok(load) => prop_assert!(!load.degraded()),
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "{:?} (faults {:?})", e, injected),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn quarantine_budget_overflow_names_the_last_row() {
+    // Force structural damage on every data row region with a zero
+    // budget: the typed error must name the row that broke the budget.
+    let (dirty, _) = corrupt_corpus(
+        &clean_corpus(),
+        &chaos_plan(9, 3, vec![FaultKind::RowWidth]),
+    );
+    let dir = write_corpus("budget", &dirty);
+    let policy = LoadPolicy {
+        on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 0 },
+        on_dangling_fk: FkPolicy::Abort,
+    };
+    let err = load_with(&dir, &policy).unwrap_err();
+    match &err {
+        RelationalError::DirtyBudgetExceeded {
+            budget,
+            quarantined,
+            ..
+        } => {
+            assert_eq!(*budget, 0);
+            assert!(*quarantined > 0);
+        }
+        other => panic!("expected DirtyBudgetExceeded, got {other:?}"),
+    }
+    assert!(err.to_string().contains("row"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_cli_run_survives_a_kill_and_resumes_byte_identical() {
+    // End-to-end through the real binary: a simulated crash (exit-mode
+    // failpoint, code 42) mid-run, then a resume that must reproduce
+    // the uninterrupted run exactly.
+    let exe = env!("CARGO_BIN_EXE_hamlet");
+    let args = [
+        "simulate",
+        "--n-s",
+        "150",
+        "--n-r",
+        "12",
+        "--train-sets",
+        "4",
+        "--repeats",
+        "2",
+        "--seed",
+        "23",
+    ];
+    let ckpt = std::env::temp_dir()
+        .join("hamlet_chaos_it")
+        .join("cli_resume");
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    let baseline = Command::new(exe).args(args).output().unwrap();
+    assert!(
+        baseline.status.success(),
+        "{}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+
+    let crashed = Command::new(exe)
+        .args(args)
+        .arg("--resume")
+        .env("HAMLET_CHECKPOINT_DIR", &ckpt)
+        .env("HAMLET_FAILPOINTS", "runner.cell=exit@3")
+        .output()
+        .unwrap();
+    assert_eq!(
+        crashed.status.code(),
+        Some(failpoint::EXIT_CODE),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&crashed.stdout),
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+    assert!(ckpt.exists(), "the crashed run persisted completed cells");
+
+    let resumed = Command::new(exe)
+        .args(args)
+        .arg("--resume")
+        .env("HAMLET_CHECKPOINT_DIR", &ckpt)
+        .output()
+        .unwrap();
+    assert!(resumed.status.success());
+
+    let strip = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("checkpoints:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&resumed.stdout),
+        strip(&baseline.stdout),
+        "resume must be byte-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&ckpt).ok();
+}
+
+#[test]
+fn invalid_failpoint_spec_is_a_startup_error() {
+    // The spec is parsed at the first failpoint hit (`manifest.read`
+    // here); a typo must abort with an actionable message, not silently
+    // run fault-free.
+    let exe = env!("CARGO_BIN_EXE_hamlet");
+    let dir = write_corpus("badspec", &clean_corpus());
+    let out = Command::new(exe)
+        .arg("advise-files")
+        .arg(dir.join("schema.manifest"))
+        .env("HAMLET_FAILPOINTS", "manifest.read=teleport")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("HAMLET_FAILPOINTS"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_failpoint_on_manifest_read_is_a_clean_error() {
+    let exe = env!("CARGO_BIN_EXE_hamlet");
+    let dir = write_corpus("io_fp", &clean_corpus());
+    let out = Command::new(exe)
+        .arg("advise-files")
+        .arg(dir.join("schema.manifest"))
+        .env("HAMLET_FAILPOINTS", "manifest.read=io")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "CLI usage-error exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected IO failure"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

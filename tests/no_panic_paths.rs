@@ -88,7 +88,62 @@ fn runner_named_paths_have_no_aborting_calls() {
 fn cli_arg_parsing_has_no_aborting_calls() {
     let src = read("src/cli.rs");
     let src = non_test(&src);
-    for f in ["parse_flag", "parse_multi", "dataset_arg", "strategy_arg"] {
+    for f in [
+        "parse_flag",
+        "parse_multi",
+        "dataset_arg",
+        "strategy_arg",
+        "load_policy_args",
+        "num_flag",
+        "simulate_cmd",
+    ] {
         assert_no_aborts(&format!("src/cli.rs::{f}"), function_body(src, f));
     }
+}
+
+#[test]
+fn lenient_csv_reader_has_no_aborting_calls() {
+    // The whole ingest module: dirty data must surface as quarantine
+    // entries or typed errors, never as a panic.
+    let src = read("crates/relational/src/csv.rs");
+    assert_no_aborts("crates/relational/src/csv.rs", non_test(&src));
+}
+
+#[test]
+fn manifest_policy_load_has_no_aborting_calls() {
+    let src = read("crates/relational/src/manifest.rs");
+    let src = non_test(&src);
+    for f in ["load_with_policy", "load_policy", "file_stem"] {
+        assert_no_aborts(
+            &format!("crates/relational/src/manifest.rs::{f}"),
+            function_body(src, f),
+        );
+    }
+}
+
+#[test]
+fn atomic_write_helper_has_no_aborting_calls() {
+    let src = read("crates/obs/src/fsio.rs");
+    assert_no_aborts("crates/obs/src/fsio.rs", non_test(&src));
+}
+
+#[test]
+fn checkpoint_store_has_no_aborting_calls() {
+    // A corrupt or unwritable checkpoint degrades (recompute / warn),
+    // it never aborts an experiment.
+    let src = read("crates/experiments/src/checkpoint.rs");
+    assert_no_aborts("crates/experiments/src/checkpoint.rs", non_test(&src));
+}
+
+#[test]
+fn failpoint_spec_parsing_has_no_aborting_calls() {
+    // `hit()` panics BY DESIGN when a panic-mode failpoint fires, so
+    // only the spec parser is held to the no-abort rule: a bad spec
+    // must produce a typed FailpointError.
+    let src = read("crates/chaos/src/failpoint.rs");
+    let src = non_test(&src);
+    assert_no_aborts(
+        "crates/chaos/src/failpoint.rs::parse_spec",
+        function_body(src, "parse_spec"),
+    );
 }
