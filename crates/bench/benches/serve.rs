@@ -1,0 +1,127 @@
+//! Serving-path latency: single-row and batch-1k scoring through the
+//! artifact `Scorer` for Naive Bayes and logistic regression on the
+//! bench-scale Walmart star (both joins avoided, so the served schema is
+//! the entity table's own features plus the two revised FKs).
+//!
+//! Besides the criterion groups, a release run self-times the same four
+//! shapes with `Instant` and emits `BENCH_serve.json` at the repo root
+//! so CI and the docs can quote served-prediction latency without
+//! parsing criterion output. Emission is skipped under `--test` (the
+//! shim runs bench bodies once, which would record nonsense timings).
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_bench::walmart;
+use hamlet_core::advisor::AdvisorConfig;
+use hamlet_obs::atomic_write;
+use hamlet_serve::{build_artifact, ModelKind, Scorer};
+
+/// Build a scorer for one family over the bench Walmart star.
+fn scorer_for(kind: ModelKind) -> Scorer {
+    let g = walmart();
+    let built = build_artifact(&g.star, kind, &AdvisorConfig::default(), "Walmart")
+        .unwrap_or_else(|e| panic!("bench artifact build failed: {e}"));
+    Scorer::new(built.artifact)
+}
+
+/// Deterministic in-domain rows drawn from the artifact's own schema.
+fn rows_for(scorer: &Scorer, n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|r| {
+            scorer
+                .artifact()
+                .features
+                .iter()
+                .enumerate()
+                .map(|(f, def)| ((r * 31 + f * 7) % def.domain_size) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+    for kind in [ModelKind::NaiveBayes, ModelKind::LogisticRegression] {
+        let scorer = scorer_for(kind);
+        let one = rows_for(&scorer, 1);
+        let batch = rows_for(&scorer, 1000);
+
+        g.bench_function(format!("single_row_{}", kind.name()), |b| {
+            b.iter(|| {
+                let preds = scorer.predict_codes(black_box(&one)).unwrap();
+                black_box(preds)
+            })
+        });
+        g.bench_function(format!("batch_1k_{}", kind.name()), |b| {
+            b.iter(|| {
+                let preds = scorer.predict_codes(black_box(&batch)).unwrap();
+                black_box(preds)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Median-of-runs wall-clock for `predict_codes` over `rows`, in
+/// microseconds.
+fn time_micros(scorer: &Scorer, rows: &[Vec<u32>], reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let preds = scorer.predict_codes(rows).unwrap();
+            black_box(preds);
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Emit BENCH_serve.json at the repo root (hand-rolled JSON, matching
+/// the other BENCH_*.json emitters).
+fn emit_summary() {
+    let mut entries = Vec::new();
+    for kind in [ModelKind::NaiveBayes, ModelKind::LogisticRegression] {
+        let scorer = scorer_for(kind);
+        let one = rows_for(&scorer, 1);
+        let batch = rows_for(&scorer, 1000);
+        // Warm up caches before timing.
+        let _ = scorer.predict_codes(&batch);
+        let single_us = time_micros(&scorer, &one, 200);
+        let batch_us = time_micros(&scorer, &batch, 30);
+        entries.push(format!(
+            "  {{\"family\": \"{}\", \"n_features\": {}, \"single_row_us\": {:.3}, \
+             \"batch_1k_us\": {:.1}, \"batch_rows_per_sec\": {:.0}}}",
+            kind.name(),
+            scorer.artifact().features.len(),
+            single_us,
+            batch_us,
+            1000.0 / (batch_us / 1e6),
+        ));
+    }
+    let doc = format!(
+        "{{\n\"bench\": \"serve\",\n\"dataset\": \"Walmart (bench scale)\",\n\
+         \"results\": [\n{}\n]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = atomic_write(Path::new(path), doc.as_bytes()) {
+        eprintln!("BENCH_serve.json not written: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench_serve_and_emit(c: &mut Criterion) {
+    bench_serve(c);
+    if !std::env::args().any(|a| a == "--test") {
+        emit_summary();
+    }
+}
+
+criterion_group!(benches, bench_serve_and_emit);
+criterion_main!(benches);

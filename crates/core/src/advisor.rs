@@ -197,6 +197,40 @@ impl JoinAdvice {
     }
 }
 
+/// A typed advisor failure.
+///
+/// [`StarSchema`] construction validates that every attribute table's
+/// foreign key names a real FK column of the entity table, so a valid
+/// catalog never produces these; the advisor still propagates a typed
+/// error instead of asserting so that a catalog mutated or deserialized
+/// through some future path degrades loudly but safely (the workspace
+/// no-panic contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvisorError {
+    /// An attribute table's declared FK column was not found in the
+    /// entity table's schema.
+    UnknownForeignKey {
+        /// The attribute table whose join was being advised.
+        table: String,
+        /// The missing FK column name.
+        fk: String,
+    },
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::UnknownForeignKey { table, fk } => write!(
+                f,
+                "attribute table '{table}' declares foreign key '{fk}', \
+                 but the entity table has no such column"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
 /// Produces advice for every candidate join of `star`, assuming the
 /// model will train on `n_train` examples.
 ///
@@ -217,7 +251,11 @@ impl JoinAdvice {
 /// * **Materialize** remains only for consumers that need a physical
 ///   flat table (CSV export, external tools) — or when repeated row
 ///   scans must be cache-linear and memory is free.
-pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> AdvisorReport {
+pub fn advise(
+    star: &StarSchema,
+    n_train: usize,
+    config: &AdvisorConfig,
+) -> Result<AdvisorReport, AdvisorError> {
     let mut joins = Vec::with_capacity(star.k());
     for i in 0..star.k() {
         let at = &star.attributes()[i];
@@ -226,17 +264,18 @@ pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> Advi
         let ror_decision = config.ror.decide(&stats);
 
         let skew = if config.check_skew {
+            let fk_pos = star.entity().schema().index_of(&at.fk).ok_or_else(|| {
+                AdvisorError::UnknownForeignKey {
+                    table: at.table.name().to_string(),
+                    fk: at.fk.clone(),
+                }
+            })?;
+            debug_assert!(matches!(
+                star.entity().schema().attributes()[fk_pos].role,
+                Role::ForeignKey { .. }
+            ));
             star.entity().target_column().map(|y| {
-                let fk_pos = star
-                    .entity()
-                    .schema()
-                    .index_of(&at.fk)
-                    .expect("validated at construction");
                 let fk = star.entity().column(fk_pos);
-                debug_assert!(matches!(
-                    star.entity().schema().attributes()[fk_pos].role,
-                    Role::ForeignKey { .. }
-                ));
                 let rows: Vec<usize> = (0..star.n_s()).collect();
                 diagnose_skew(
                     fk.codes(),
@@ -305,7 +344,7 @@ pub fn advise(star: &StarSchema, n_train: usize, config: &AdvisorConfig) -> Advi
             explanation,
         });
     }
-    AdvisorReport { n_train, joins }
+    Ok(AdvisorReport { n_train, joins })
 }
 
 #[cfg(test)]
@@ -360,7 +399,7 @@ mod tests {
     #[test]
     fn advises_avoid_on_safe_join() {
         let st = star(4000, 20, false);
-        let report = advise(&st, 2000, &AdvisorConfig::default());
+        let report = advise(&st, 2000, &AdvisorConfig::default()).unwrap();
         assert_eq!(report.joins.len(), 1);
         let j = &report.joins[0];
         assert!(j.avoid, "{}", j.explanation);
@@ -374,7 +413,7 @@ mod tests {
     #[test]
     fn advises_join_on_small_tuple_ratio() {
         let st = star(400, 200, false);
-        let report = advise(&st, 200, &AdvisorConfig::default());
+        let report = advise(&st, 200, &AdvisorConfig::default()).unwrap();
         let j = &report.joins[0];
         assert!(!j.avoid);
         assert!(j.explanation.contains("threshold"), "{}", j.explanation);
@@ -385,7 +424,7 @@ mod tests {
     fn malign_skew_overrides_passing_rules() {
         // TR = 2000/20 = 100 passes, but the needle distribution is malign.
         let st = star(4000, 20, true);
-        let report = advise(&st, 2000, &AdvisorConfig::default());
+        let report = advise(&st, 2000, &AdvisorConfig::default()).unwrap();
         let j = &report.joins[0];
         assert!(j.tr_decision.is_avoid());
         assert!(!j.avoid, "malign skew must force the join");
@@ -395,7 +434,7 @@ mod tests {
             check_skew: false,
             ..Default::default()
         };
-        assert!(advise(&st, 2000, &lax).joins[0].avoid);
+        assert!(advise(&st, 2000, &lax).unwrap().joins[0].avoid);
     }
 
     #[test]
@@ -406,7 +445,7 @@ mod tests {
             recommend_factorize: true,
             ..Default::default()
         };
-        let report = advise(&st, 200, &config);
+        let report = advise(&st, 200, &config).unwrap();
         let j = &report.joins[0];
         assert!(!j.avoid);
         assert_eq!(j.strategy, ExecStrategy::Factorize);
@@ -418,7 +457,7 @@ mod tests {
         assert!(plan.materialized_set().is_empty());
         // A safe-to-avoid join stays avoided; factorization never
         // overrides the logical verdict.
-        let safe = advise(&star(4000, 20, false), 2000, &config);
+        let safe = advise(&star(4000, 20, false), 2000, &config).unwrap();
         assert!(safe.joins[0].avoid);
         assert_eq!(safe.joins[0].strategy, ExecStrategy::AvoidJoin);
         assert!(safe.plan().joined.is_empty());
@@ -431,7 +470,7 @@ mod tests {
             recommend_factorize: true,
             ..Default::default()
         };
-        let report = advise(&st, 200, &config);
+        let report = advise(&st, 200, &config).unwrap();
         assert!(report.render().contains("FACTORIZE the join"));
         assert!(report.render_markdown().contains("**factorize**"));
     }
@@ -439,7 +478,9 @@ mod tests {
     #[test]
     fn markdown_rendering() {
         let st = star(4000, 20, false);
-        let md = advise(&st, 2000, &AdvisorConfig::default()).render_markdown();
+        let md = advise(&st, 2000, &AdvisorConfig::default())
+            .unwrap()
+            .render_markdown();
         assert!(md.starts_with("### Join advisory"));
         assert!(md.contains("| R | fk |"));
         assert!(md.contains("**avoid**"));
@@ -449,7 +490,9 @@ mod tests {
     #[test]
     fn render_mentions_each_table() {
         let st = star(4000, 20, false);
-        let text = advise(&st, 2000, &AdvisorConfig::default()).render();
+        let text = advise(&st, 2000, &AdvisorConfig::default())
+            .unwrap()
+            .render();
         assert!(text.contains("R (via fk)"));
         assert!(text.contains("AVOID"));
     }

@@ -43,7 +43,7 @@ pub mod skew;
 pub mod tuning;
 pub mod vc;
 
-pub use advisor::{advise, AdvisorConfig, AdvisorReport, JoinAdvice};
+pub use advisor::{advise, AdvisorConfig, AdvisorError, AdvisorReport, JoinAdvice};
 pub use hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition, RowPartition};
 pub use multiclass::{graph_dimension_bound, multiclass_worst_case_ror, natarajan_dimension_bound};
 pub use planner::{

@@ -72,6 +72,17 @@ impl ExecStrategy {
             ExecStrategy::AvoidJoin => "avoid",
         }
     }
+
+    /// Inverse of [`ExecStrategy::name`] — used when advisor decisions
+    /// round-trip through serialized model artifacts.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "materialize" => Some(ExecStrategy::Materialize),
+            "factorize" => Some(ExecStrategy::Factorize),
+            "avoid" => Some(ExecStrategy::AvoidJoin),
+            _ => None,
+        }
+    }
 }
 
 /// The rule's verdict for one attribute table, with its inputs, for

@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn advisor_sees_the_planted_structure() {
         let g = sample().generate(7);
-        let report = advise(&g.star, 5_000, &AdvisorConfig::default());
+        let report = advise(&g.star, 5_000, &AdvisorConfig::default()).unwrap();
         // Safe: TR = 5000/100 = 50 -> avoid. Unsafe: TR = 1.25 -> join.
         assert!(report.joins[0].avoid);
         assert!(!report.joins[1].avoid);

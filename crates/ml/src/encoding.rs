@@ -29,6 +29,41 @@ pub enum Encoding {
     BinaryCoded,
 }
 
+/// A category code outside the domain the encoder was fitted on.
+///
+/// The encoder's policy for categories unseen at fit time is **strict**:
+/// encoding a code `>= |D_F|` (as recorded when the encoder was fitted) is
+/// a typed error, never a silent remap. There is deliberately no reserved
+/// "unknown" dimension — a linear model has no trained weight for such a
+/// column, so scoring it would silently borrow the next feature's weights
+/// (the pre-fix behavior). Callers that expect open-domain values at
+/// prediction time (foreign keys under cold start) must remap them to the
+/// `Others` bucket *before* encoding, exactly as
+/// `hamlet_relational::coldstart` does at train time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Position of the offending feature in the dataset.
+    pub feature: usize,
+    /// The out-of-domain category code.
+    pub code: u32,
+    /// The domain size recorded at fit time.
+    pub domain_size: usize,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "category code {} of feature {} was unseen at fit time \
+             (fitted domain size {}); remap open-domain values to the \
+             Others bucket before encoding",
+            self.code, self.feature, self.domain_size
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// A fitted encoder over a feature subset of a dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Encoder {
@@ -38,6 +73,9 @@ pub struct Encoder {
     offsets: Vec<usize>,
     /// Per-feature encoded width.
     widths: Vec<usize>,
+    /// Per-feature domain size at fit time (valid codes are `< domains[i]`;
+    /// this differs from `widths` under [`Encoding::BinaryCoded`]).
+    domains: Vec<usize>,
     dim: usize,
 }
 
@@ -46,6 +84,7 @@ impl Encoder {
     pub fn fit(data: &Dataset, feats: &[usize], encoding: Encoding) -> Self {
         let mut offsets = Vec::with_capacity(feats.len());
         let mut widths = Vec::with_capacity(feats.len());
+        let mut domains = Vec::with_capacity(feats.len());
         let mut dim = 0usize;
         for &f in feats {
             let d = data.feature(f).domain_size;
@@ -55,6 +94,7 @@ impl Encoder {
             };
             offsets.push(dim);
             widths.push(w);
+            domains.push(d);
             dim += w;
         }
         Self {
@@ -62,6 +102,7 @@ impl Encoder {
             feats: feats.to_vec(),
             offsets,
             widths,
+            domains,
             dim,
         }
     }
@@ -81,10 +122,21 @@ impl Encoder {
     }
 
     /// Encodes one row as the sorted list of active dimensions.
-    pub fn encode_row(&self, data: &Dataset, row: usize) -> Vec<usize> {
+    ///
+    /// Codes unseen at fit time are a typed [`EncodeError`] (see its docs
+    /// for the policy rationale).
+    pub fn encode_row(&self, data: &Dataset, row: usize) -> Result<Vec<usize>, EncodeError> {
         let mut active = Vec::with_capacity(self.feats.len());
         for (i, &f) in self.feats.iter().enumerate() {
-            let v = data.feature(f).codes[row] as usize;
+            let code = data.feature(f).codes[row];
+            let v = code as usize;
+            if v >= self.domains[i] {
+                return Err(EncodeError {
+                    feature: f,
+                    code,
+                    domain_size: self.domains[i],
+                });
+            }
             match self.encoding {
                 Encoding::OneHot => active.push(self.offsets[i] + v),
                 Encoding::BinaryCoded => {
@@ -95,16 +147,18 @@ impl Encoder {
                 }
             }
         }
-        active
+        Ok(active)
     }
 
     /// Encodes one row densely (0.0/1.0 vector of [`Encoder::dim`]).
-    pub fn encode_row_dense(&self, data: &Dataset, row: usize) -> Vec<f64> {
+    ///
+    /// Same unseen-category policy as [`Encoder::encode_row`].
+    pub fn encode_row_dense(&self, data: &Dataset, row: usize) -> Result<Vec<f64>, EncodeError> {
         let mut out = vec![0.0; self.dim];
-        for d in self.encode_row(data, row) {
+        for d in self.encode_row(data, row)? {
             out[d] = 1.0;
         }
-        out
+        Ok(out)
     }
 
     /// Maps an encoded dimension back to `(feature position, category)`.
@@ -147,8 +201,8 @@ mod tests {
         let d = data();
         let e = Encoder::fit(&d, &[0, 1], Encoding::OneHot);
         assert_eq!(e.dim(), 5);
-        assert_eq!(e.encode_row(&d, 0), vec![0, 4]); // a=0, b=1
-        assert_eq!(e.encode_row(&d, 2), vec![2, 4]); // a=2, b=1
+        assert_eq!(e.encode_row(&d, 0).unwrap(), vec![0, 4]); // a=0, b=1
+        assert_eq!(e.encode_row(&d, 2).unwrap(), vec![2, 4]); // a=2, b=1
     }
 
     #[test]
@@ -156,9 +210,9 @@ mod tests {
         let d = data();
         let e = Encoder::fit(&d, &[0, 1], Encoding::BinaryCoded);
         assert_eq!(e.dim(), 3); // (3-1) + (2-1)
-        assert_eq!(e.encode_row(&d, 0), vec![0]); // a=0 active; b=1 is last -> zero
-        assert_eq!(e.encode_row(&d, 1), vec![1, 2]); // a=1, b=0
-        assert_eq!(e.encode_row(&d, 2), vec![]); // a=2 last, b=1 last
+        assert_eq!(e.encode_row(&d, 0).unwrap(), vec![0]); // a=0 active; b=1 is last -> zero
+        assert_eq!(e.encode_row(&d, 1).unwrap(), vec![1, 2]); // a=1, b=0
+        assert_eq!(e.encode_row(&d, 2).unwrap(), Vec::<usize>::new()); // a=2 last, b=1 last
     }
 
     #[test]
@@ -167,14 +221,14 @@ mod tests {
         for enc in [Encoding::OneHot, Encoding::BinaryCoded] {
             let e = Encoder::fit(&d, &[0, 1], enc);
             for row in 0..3 {
-                let dense = e.encode_row_dense(&d, row);
+                let dense = e.encode_row_dense(&d, row).unwrap();
                 let active: Vec<usize> = dense
                     .iter()
                     .enumerate()
                     .filter(|(_, &v)| v == 1.0)
                     .map(|(i, _)| i)
                     .collect();
-                assert_eq!(active, e.encode_row(&d, row), "{enc:?} row {row}");
+                assert_eq!(active, e.encode_row(&d, row).unwrap(), "{enc:?} row {row}");
             }
         }
     }
@@ -206,7 +260,72 @@ mod tests {
         let d = data();
         let e = Encoder::fit(&d, &[1], Encoding::OneHot);
         assert_eq!(e.dim(), 2);
-        assert_eq!(e.encode_row(&d, 0), vec![1]);
+        assert_eq!(e.encode_row(&d, 0).unwrap(), vec![1]);
+    }
+
+    /// A dataset with the same shape as [`data`] but wider domains, so the
+    /// row codes can exceed the domains an encoder fitted on [`data`] saw.
+    fn wider_data() -> Dataset {
+        Dataset::new(
+            vec![
+                Feature {
+                    name: "a".into(),
+                    domain_size: 5,
+                    codes: vec![0, 3, 4],
+                },
+                Feature {
+                    name: "b".into(),
+                    domain_size: 4,
+                    codes: vec![1, 0, 2],
+                },
+            ],
+            vec![0, 1, 0],
+            2,
+        )
+    }
+
+    #[test]
+    fn unseen_category_is_a_typed_error() {
+        let fit_on = data();
+        let wide = wider_data();
+        for enc in [Encoding::OneHot, Encoding::BinaryCoded] {
+            let e = Encoder::fit(&fit_on, &[0, 1], enc);
+            // Row 0 of the wide data is within the fitted domains.
+            assert!(e.encode_row(&wide, 0).is_ok(), "{enc:?}");
+            // Row 1: a=3 >= |D_a|=3 at fit time.
+            let err = e.encode_row(&wide, 1).unwrap_err();
+            assert_eq!(
+                err,
+                EncodeError {
+                    feature: 0,
+                    code: 3,
+                    domain_size: 3,
+                },
+                "{enc:?}"
+            );
+            assert!(err.to_string().contains("unseen at fit time"), "{err}");
+            // Dense encoding applies the same policy.
+            assert!(e.encode_row_dense(&wide, 1).is_err(), "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn unseen_category_never_borrows_the_next_features_dimensions() {
+        // Regression guard for the pre-policy bug: a=3 one-hot encoded as
+        // offset(a) + 3 = 3, which is dimension 0 of feature b.
+        let e = Encoder::fit(&data(), &[0, 1], Encoding::OneHot);
+        let wide = wider_data();
+        // If this returned Ok, dim 3 would alias b=0. It must not.
+        assert!(e.encode_row(&wide, 1).is_err());
+    }
+
+    #[test]
+    fn binary_coded_last_category_is_not_an_error() {
+        // BinaryCoded's width is |D|-1 but the last category is still a
+        // *seen* category (the zero vector) — only codes >= |D| error.
+        let d = data();
+        let e = Encoder::fit(&d, &[0, 1], Encoding::BinaryCoded);
+        assert_eq!(e.encode_row(&d, 2).unwrap(), Vec::<usize>::new());
     }
 
     #[test]
@@ -214,7 +333,7 @@ mod tests {
         let d = data();
         let e = Encoder::fit(&d, &[], Encoding::OneHot);
         assert_eq!(e.dim(), 0);
-        assert!(e.encode_row(&d, 0).is_empty());
+        assert!(e.encode_row(&d, 0).unwrap().is_empty());
         assert_eq!(e.linear_vc_dimension(&d), 1); // intercept only
     }
 }

@@ -38,7 +38,7 @@ pub mod tree;
 pub use bias_variance::{decompose, decompose_observed, BiasVarianceReport};
 pub use classifier::{rmse, zero_one_error, Classifier, ErrorMetric, Model};
 pub use dataset::{Dataset, Feature};
-pub use encoding::{Encoder, Encoding};
+pub use encoding::{EncodeError, Encoder, Encoding};
 pub use evaluation::{cross_validate, kfold_indices, ConfusionMatrix};
 pub use incremental::{fit_incremental, IncrementalNaiveBayes};
 pub use logreg::{LogisticRegression, LogisticRegressionModel, Penalty};

@@ -86,7 +86,7 @@ impl LogisticRegression {
 }
 
 /// A fitted multinomial logistic-regression model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegressionModel {
     feats: Vec<usize>,
     /// One-hot offset of each selected feature (parallel to `feats`).
@@ -236,6 +236,46 @@ fn softmax_in_place(scores: &mut [f64]) {
 }
 
 impl LogisticRegressionModel {
+    /// Assembles a model from raw parts — the import half of model
+    /// serialization (`hamlet-serve` artifacts). Callers must pre-validate
+    /// shapes; mismatched lengths are a programming error.
+    pub fn from_parts(
+        feats: Vec<usize>,
+        offsets: Vec<usize>,
+        n_classes: usize,
+        dim: usize,
+        weights: Vec<f64>,
+        bias: Vec<f64>,
+    ) -> Self {
+        assert_eq!(offsets.len(), feats.len());
+        assert_eq!(weights.len(), n_classes * dim);
+        assert_eq!(bias.len(), n_classes);
+        Self {
+            feats,
+            offsets,
+            n_classes,
+            dim,
+            weights,
+            bias,
+        }
+    }
+
+    /// One-hot offset of each selected feature (parallel to
+    /// [`Model::features`]).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Number of classes the model was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total one-hot width of the weight matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Class scores (pre-softmax) for one row.
     pub fn decision_scores<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         let mut scores = self.bias.clone();

@@ -144,6 +144,16 @@ impl NaiveBayesModel {
         &self.log_prior
     }
 
+    /// Number of classes the model was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Domain size per selected feature (parallel to [`Model::features`]).
+    pub fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
     /// Log-conditional table of the `i`-th selected feature, flattened
     /// `[y * |D_F| + v]`.
     pub fn log_cond(&self, i: usize) -> &[f64] {

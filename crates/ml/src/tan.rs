@@ -40,7 +40,7 @@ impl Default for Tan {
 }
 
 /// A fitted TAN model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TanModel {
     feats: Vec<usize>,
     n_classes: usize,
@@ -213,10 +213,57 @@ fn maximum_spanning_forest_parents(w: &[f64], m: usize) -> Vec<Option<usize>> {
 }
 
 impl TanModel {
+    /// Assembles a model from raw parts — the import half of model
+    /// serialization (`hamlet-serve` artifacts). Callers must pre-validate
+    /// shapes; mismatched lengths are a programming error.
+    pub fn from_parts(
+        feats: Vec<usize>,
+        n_classes: usize,
+        log_prior: Vec<f64>,
+        parents: Vec<Option<usize>>,
+        log_cond: Vec<Vec<f64>>,
+        domain_sizes: Vec<usize>,
+    ) -> Self {
+        assert_eq!(log_prior.len(), n_classes);
+        assert_eq!(parents.len(), feats.len());
+        assert_eq!(log_cond.len(), feats.len());
+        assert_eq!(domain_sizes.len(), feats.len());
+        Self {
+            feats,
+            n_classes,
+            log_prior,
+            parents,
+            log_cond,
+            domain_sizes,
+        }
+    }
+
     /// The dependency-tree parent (position into [`Model::features`]) of
     /// each selected feature.
     pub fn parents(&self) -> &[Option<usize>] {
         &self.parents
+    }
+
+    /// Number of classes the model was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Log-priors `log P(y)` per class.
+    pub fn log_prior(&self) -> &[f64] {
+        &self.log_prior
+    }
+
+    /// Flattened log CPT of the `i`-th selected feature. With a parent the
+    /// layout is `[(y * |D_parent| + pv) * |D_F| + v]`; without,
+    /// `[y * |D_F| + v]`.
+    pub fn log_cond(&self, i: usize) -> &[f64] {
+        &self.log_cond[i]
+    }
+
+    /// Domain size per selected feature (parallel to [`Model::features`]).
+    pub fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
     }
 
     /// Unnormalized log-posterior per class on one row.

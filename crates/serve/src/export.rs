@@ -1,0 +1,392 @@
+//! Building a [`ModelArtifact`] from a star schema.
+//!
+//! This is the bridge between training and serving: it runs the join
+//! advisor over the star, applies the cold-start `Others` revision to
+//! every foreign key (so the deployed model has a trained bucket for
+//! unseen entities), materializes only the joins the advisor kept, fits
+//! the requested classifier family under the paper's 50/25/25 protocol,
+//! and packages the result — model parameters, feature vocabulary,
+//! cold-start mapping, and the advisor's decisions with their TR/ROR
+//! evidence — into one artifact.
+
+use hamlet_core::advisor::{advise, AdvisorConfig, AdvisorError};
+use hamlet_core::rules::Decision;
+use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes, Tan};
+use hamlet_relational::{DomainRevision, Role, StarSchema, Table};
+
+use crate::artifact::{FeatureSchema, FkColdStart, JoinDecision, ModelArtifact, ServableModel};
+
+/// The classifier family to fit, named as on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Naive Bayes (`nb`).
+    NaiveBayes,
+    /// Multinomial logistic regression (`logreg`).
+    LogisticRegression,
+    /// Tree-augmented Naive Bayes (`tan`).
+    Tan,
+}
+
+impl ModelKind {
+    /// CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::NaiveBayes => "nb",
+            ModelKind::LogisticRegression => "logreg",
+            ModelKind::Tan => "tan",
+        }
+    }
+
+    /// Inverse of [`ModelKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nb" => Some(ModelKind::NaiveBayes),
+            "logreg" => Some(ModelKind::LogisticRegression),
+            "tan" => Some(ModelKind::Tan),
+            _ => None,
+        }
+    }
+}
+
+/// A typed export failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The advisor rejected the star schema.
+    Advisor(AdvisorError),
+    /// A relational step (revision, join, dataset extraction) failed.
+    Relational(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Advisor(e) => write!(f, "advisor: {e}"),
+            BuildError::Relational(e) => write!(f, "building the serving view: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<AdvisorError> for BuildError {
+    fn from(e: AdvisorError) -> Self {
+        BuildError::Advisor(e)
+    }
+}
+
+/// An artifact plus the training facts worth reporting.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The packaged model.
+    pub artifact: ModelArtifact,
+    /// Training rows used (50% of the entity table).
+    pub n_train: usize,
+    /// Zero-one error on the 25% holdout test split.
+    pub holdout_error: f64,
+}
+
+fn rel(e: impl std::fmt::Display) -> BuildError {
+    BuildError::Relational(e.to_string())
+}
+
+/// Extracts the ROR/TR evidence value a [`Decision`] carries, if any.
+fn evidence(d: &Decision) -> Option<f64> {
+    match d {
+        Decision::Avoid { value } => Some(*value),
+        Decision::Join(hamlet_core::rules::JoinReason::Threshold { value, .. }) => Some(*value),
+        Decision::Join(_) => None,
+    }
+}
+
+/// Runs the advisor, widens every FK domain with the `Others` record,
+/// fits `kind` on the advisor-approved view, and packages everything a
+/// server needs into a [`ModelArtifact`].
+///
+/// Deterministic: same star + config + kind gives a bit-identical
+/// artifact (fits use the families' fixed seeds, and the split is the
+/// identity permutation — generator output is already shuffled).
+pub fn build_artifact(
+    star: &StarSchema,
+    kind: ModelKind,
+    config: &AdvisorConfig,
+    dataset_name: &str,
+) -> Result<BuiltModel, BuildError> {
+    let _span = hamlet_obs::span!("serve.build_artifact", kind = kind.name());
+    let n_train = star.n_s() / 2;
+    let report = advise(star, n_train, config)?;
+
+    // Cold-start revision of every FK: append the Others record to each
+    // attribute table and remap entity FKs into the widened domain. The
+    // Others row uses code-0 feature defaults, matching the coldstart
+    // module's convention for synthetic stars.
+    let mut revisions = Vec::with_capacity(star.attributes().len());
+    for at in star.attributes() {
+        revisions.push(DomainRevision::new(at, &vec![0u32; at.n_features()]).map_err(rel)?);
+    }
+    let entity = star.entity();
+    let mut cols = entity.columns().to_vec();
+    for rev in &revisions {
+        let pos = entity
+            .schema()
+            .index_of(&rev.attribute.fk)
+            .ok_or_else(|| rel(format!("entity has no FK column '{}'", rev.attribute.fk)))?;
+        cols[pos] = rev.remap_fk(entity.column(pos).codes());
+    }
+    let entity =
+        Table::new(entity.name().to_string(), entity.schema().clone(), cols).map_err(rel)?;
+    let star = StarSchema::new(
+        entity,
+        revisions.iter().map(|r| r.attribute.clone()).collect(),
+    )
+    .map_err(rel)?;
+
+    // Materialize only the joins the advisor kept; avoided FKs stay as
+    // representatives (the paper's central move).
+    let joined: Vec<usize> = report
+        .joins
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| !j.avoid)
+        .map(|(i, _)| i)
+        .collect();
+    let wide = star.materialize(&joined).map_err(rel)?;
+    let data = Dataset::try_from_table(&wide).map_err(rel)?;
+
+    // 50/25/25 holdout over the (already shuffled) generator order.
+    let perm: Vec<usize> = (0..star.n_s()).collect();
+    let split = star.split_rows(&perm, 0.5, 0.25);
+    let all_feats: Vec<usize> = (0..data.n_features()).collect();
+    let model = match kind {
+        ModelKind::NaiveBayes => {
+            ServableModel::NaiveBayes(NaiveBayes::default().fit(&data, &split.train, &all_feats))
+        }
+        ModelKind::LogisticRegression => ServableModel::LogisticRegression(
+            LogisticRegression::default().fit(&data, &split.train, &all_feats),
+        ),
+        ModelKind::Tan => ServableModel::Tan(Tan::default().fit(&data, &split.train, &all_feats)),
+    };
+    let holdout_error = zero_one_error(&model, &data, &split.test);
+
+    // Feature schema in Dataset order (Feature | ForeignKey columns of
+    // the wide table, in schema order — exactly how try_from_table
+    // numbers them).
+    let mut features = Vec::new();
+    for (def, col) in wide.schema().attributes().iter().zip(wide.columns()) {
+        if !matches!(def.role, Role::Feature | Role::ForeignKey { .. }) {
+            continue;
+        }
+        let dom = col.domain();
+        let labels = dom.is_labelled().then(|| {
+            (0..dom.size() as u32)
+                .map(|c| dom.label(c).into_owned())
+                .collect()
+        });
+        let fk = revisions
+            .iter()
+            .find(|r| r.attribute.fk == def.name)
+            .map(|r| FkColdStart {
+                table: r.attribute.table.name().to_string(),
+                original_domain: r.original_domain,
+                others_code: r.others_code,
+            });
+        features.push(FeatureSchema {
+            name: def.name.clone(),
+            domain_size: dom.size(),
+            labels,
+            fk,
+        });
+    }
+
+    let class_labels = wide.target_column().and_then(|y| {
+        let dom = y.domain();
+        dom.is_labelled().then(|| {
+            (0..dom.size() as u32)
+                .map(|c| dom.label(c).into_owned())
+                .collect()
+        })
+    });
+
+    let decisions = report
+        .joins
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JoinDecision {
+            table: j.table.clone(),
+            fk: j.fk.clone(),
+            strategy: j.strategy,
+            tuple_ratio: if j.stats.n_r == 0 {
+                0.0
+            } else {
+                j.stats.n_train as f64 / j.stats.n_r as f64
+            },
+            ror: evidence(&j.ror_decision),
+            avoid: j.avoid,
+            foreign_features: star.attributes()[i]
+                .feature_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })
+        .collect();
+
+    Ok(BuiltModel {
+        artifact: ModelArtifact {
+            dataset: dataset_name.to_string(),
+            n_classes: data.n_classes(),
+            class_labels,
+            features,
+            decisions,
+            model,
+        },
+        n_train: split.train.len(),
+        holdout_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact;
+    use crate::score::Scorer;
+    use hamlet_ml::Model;
+    use hamlet_obs::json::Json;
+    use hamlet_relational::{AttributeTable, Domain, TableBuilder};
+
+    /// A small star rigged so the lone join is safe to avoid: large
+    /// entity, tiny closed-domain attribute table.
+    fn avoidable_star() -> StarSchema {
+        let n_r = 4usize;
+        let n_s = 400usize;
+        let attr = AttributeTable {
+            fk: "store".into(),
+            table: TableBuilder::new("stores")
+                .primary_key(
+                    "store",
+                    Domain::indexed("store", n_r).shared(),
+                    (0..n_r as u32).collect(),
+                )
+                .feature(
+                    "region",
+                    Domain::labelled("region", vec!["n".into(), "s".into()]).shared(),
+                    (0..n_r as u32).map(|i| i % 2).collect(),
+                )
+                .build()
+                .unwrap(),
+        };
+        let fk_codes: Vec<u32> = (0..n_s as u32).map(|i| (i * 7 + 3) % n_r as u32).collect();
+        let x_codes: Vec<u32> = (0..n_s as u32).map(|i| (i * 5 + 1) % 3).collect();
+        let y_codes: Vec<u32> = fk_codes
+            .iter()
+            .zip(&x_codes)
+            .map(|(&fkc, &x)| (fkc + x) % 2)
+            .collect();
+        let entity = TableBuilder::new("sales")
+            .foreign_key(
+                "store",
+                "stores",
+                Domain::indexed("store", n_r).shared(),
+                fk_codes,
+            )
+            .feature("x", Domain::indexed("x", 3).shared(), x_codes)
+            .target("y", Domain::boolean("y").shared(), y_codes)
+            .build()
+            .unwrap();
+        StarSchema::new(entity, vec![attr]).unwrap()
+    }
+
+    #[test]
+    fn avoidable_star_exports_an_avoid_artifact() {
+        let star = avoidable_star();
+        let built = build_artifact(
+            &star,
+            ModelKind::NaiveBayes,
+            &AdvisorConfig::default(),
+            "toy",
+        )
+        .unwrap();
+        let a = &built.artifact;
+        assert_eq!(a.decisions.len(), 1);
+        assert!(a.decisions[0].avoid, "{:?}", a.decisions[0]);
+        assert_eq!(a.decisions[0].foreign_features, vec!["region".to_string()]);
+        // The FK feature carries the cold-start mapping: original domain
+        // 4, Others at 4, widened domain 5.
+        let fk = a.features.iter().find(|f| f.name == "store").unwrap();
+        let cs = fk.fk.as_ref().unwrap();
+        assert_eq!((cs.original_domain, cs.others_code), (4, 4));
+        assert_eq!(fk.domain_size, 5);
+        // The avoided join's foreign feature is NOT in the input schema.
+        assert!(a.features.iter().all(|f| f.name != "region"));
+        assert!(built.holdout_error <= 0.5);
+    }
+
+    #[test]
+    fn all_families_round_trip_and_score_like_the_in_memory_model() {
+        let star = avoidable_star();
+        for kind in [
+            ModelKind::NaiveBayes,
+            ModelKind::LogisticRegression,
+            ModelKind::Tan,
+        ] {
+            let built = build_artifact(&star, kind, &AdvisorConfig::default(), "toy").unwrap();
+            let text = artifact::to_json_string(&built.artifact);
+            let reloaded = artifact::from_json_str(&text).unwrap();
+            assert_eq!(built.artifact, reloaded, "{}", kind.name());
+
+            // Serving the reloaded artifact must reproduce in-memory
+            // prediction bit for bit on every entity row.
+            let scorer = Scorer::new(reloaded);
+            let wide = star.materialize(&[]).unwrap();
+            let data = Dataset::try_from_table(&wide).unwrap();
+            let rows: Vec<Vec<u32>> = (0..40)
+                .map(|r| {
+                    (0..data.n_features())
+                        .map(|f| data.feature(f).codes[r])
+                        .collect()
+                })
+                .collect();
+            let preds = scorer.predict_codes(&rows).unwrap();
+            for (r, p) in preds.iter().enumerate() {
+                assert_eq!(
+                    p.class,
+                    built.artifact.model.predict_row(&data, r),
+                    "{} row {r}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            ModelKind::NaiveBayes,
+            ModelKind::LogisticRegression,
+            ModelKind::Tan,
+        ] {
+            assert_eq!(ModelKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::from_name("svm"), None);
+    }
+
+    #[test]
+    fn artifact_json_carries_the_decision_evidence() {
+        let star = avoidable_star();
+        let built = build_artifact(
+            &star,
+            ModelKind::NaiveBayes,
+            &AdvisorConfig::default(),
+            "toy",
+        )
+        .unwrap();
+        let doc = Json::parse(&artifact::to_json_string(&built.artifact)).unwrap();
+        let d = &doc
+            .get("payload")
+            .unwrap()
+            .get("decisions")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        assert_eq!(d.get("strategy").and_then(Json::as_str), Some("avoid"));
+        assert!(d.get("tuple_ratio").and_then(Json::as_f64).unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for
+//! the inference server, with hard caps so a hostile client cannot make
+//! the server allocate unboundedly.
+//!
+//! One request per connection (`Connection: close`): the server is a
+//! scoring endpoint, not a general web server, and single-shot
+//! connections keep the worker-pool accounting trivial.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum request body bytes (a ~1k-row batch is well under this).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Failpoint armed while writing responses
+/// (`HAMLET_FAILPOINTS=serve.response_write=io`).
+pub const WRITE_FAILPOINT: &str = "serve.response_write";
+
+/// A parsed request: method, path, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, uppercase as received.
+    pub method: String,
+    /// Request path (query strings are not used by this server).
+    pub path: String,
+    /// Raw body bytes (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. The connection handler maps these
+/// onto 400/413 responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The socket failed or closed mid-request.
+    Io(String),
+    /// The request line or headers are malformed.
+    Malformed(String),
+    /// Head or body exceeded its cap.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "socket error: {e}"),
+            ReadError::Malformed(e) => write!(f, "malformed request: {e}"),
+            ReadError::TooLarge(what) => write!(f, "{what} exceeds the server limit"),
+        }
+    }
+}
+
+impl ReadError {
+    /// The HTTP status the handler should answer with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ReadError::Io(_) => (400, "Bad Request"),
+            ReadError::Malformed(_) => (400, "Bad Request"),
+            ReadError::TooLarge(_) => (413, "Payload Too Large"),
+        }
+    }
+}
+
+/// Reads one request from the stream: head until `\r\n\r\n`, then a
+/// `Content-Length` body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge("request head"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ReadError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ReadError::Malformed(
+                "connection closed before the end of headers".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line has no path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed(format!("bad Content-Length '{value}'")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge("request body"));
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ReadError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ReadError::Malformed(
+                "connection closed before the end of the body".into(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response and flushes. Carries the `serve.response_write`
+/// failpoint so the chaos harness can sever the write path.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    hamlet_chaos::fail_at!(WRITE_FAILPOINT)?;
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw bytes pushed over a loopback
+    /// socket pair.
+    fn read_from_bytes(bytes: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        // Shut down the write half so a truncated request reads EOF
+        // instead of blocking.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read_from_bytes(
+            b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n[[0,1]]",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"[[0,1]]");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = read_from_bytes(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_name_case_is_ignored() {
+        let req = read_from_bytes(b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn truncated_requests_are_typed_errors() {
+        assert!(matches!(
+            read_from_bytes(b"POST /predict HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_from_bytes(b"GET /healthz HTTP"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let head = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match read_from_bytes(head.as_bytes()) {
+            Err(e @ ReadError::TooLarge(_)) => assert_eq!(e.status().0, 413),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        assert!(matches!(
+            read_from_bytes(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,658 @@
+//! The scoring engine: turns JSON prediction requests into class
+//! predictions against a loaded [`ModelArtifact`].
+//!
+//! Two invariants from training time are enforced here:
+//!
+//! 1. **Cold-start routing.** A foreign-key value the model never saw
+//!    (code `>= original_domain`, or an unknown label) is routed to the
+//!    trained `Others` bucket — the exact remapping
+//!    `hamlet_relational::coldstart::DomainRevision` applied when the
+//!    model was fitted. Unseen categories of *non*-FK features are a
+//!    typed error instead: there is no trained bucket for them (the
+//!    same policy as `hamlet_ml::EncodeError`).
+//! 2. **Avoid-join refusal.** When the advisor decided `AvoidJoin` for
+//!    a table, the artifact's model consumed the FK itself and none of
+//!    that table's foreign features. A request that carries one of
+//!    those features is semantically wrong — the caller joined
+//!    something the model promised not to need — and is rejected with
+//!    [`ScoreError::AvoidedFeature`] rather than silently ignored.
+
+use std::collections::HashMap;
+
+use hamlet_core::ExecStrategy;
+use hamlet_ml::{CodeSource, Model};
+use hamlet_obs::json::{obj, Json};
+
+use crate::artifact::ModelArtifact;
+
+/// A typed scoring failure. [`ScoreError::http_status`] maps each
+/// variant onto the HTTP plane: 400 for malformed requests, 422 for
+/// well-formed requests the model must refuse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreError {
+    /// The request body is not an object, array of rows, or
+    /// `{"rows": [...]}`.
+    NotAnObject,
+    /// A value has the wrong JSON type for its feature.
+    BadValue {
+        /// Feature name (or positional index rendered as a name).
+        feature: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A named feature is not part of the model's input schema.
+    UnknownFeature {
+        /// The offending name.
+        name: String,
+    },
+    /// The feature belongs to a table whose join the advisor avoided.
+    AvoidedFeature {
+        /// The offending feature name.
+        name: String,
+        /// The avoided attribute table it would have come from.
+        table: String,
+    },
+    /// A required feature is missing from a named row.
+    MissingFeature {
+        /// The missing feature's name.
+        name: String,
+    },
+    /// A category value was unseen at fit time on a non-FK feature.
+    UnknownCategory {
+        /// Feature name.
+        feature: String,
+        /// The unseen value, rendered.
+        value: String,
+        /// Trained domain size.
+        domain_size: usize,
+    },
+    /// A positional row has the wrong number of values.
+    WrongArity {
+        /// Values supplied.
+        got: usize,
+        /// Features the model expects.
+        expected: usize,
+    },
+}
+
+impl ScoreError {
+    /// HTTP status this error maps to: 400 when the request shape is
+    /// malformed, 422 when the request is well-formed JSON the model
+    /// semantically refuses.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ScoreError::NotAnObject
+            | ScoreError::BadValue { .. }
+            | ScoreError::WrongArity { .. } => 400,
+            ScoreError::UnknownFeature { .. }
+            | ScoreError::AvoidedFeature { .. }
+            | ScoreError::MissingFeature { .. }
+            | ScoreError::UnknownCategory { .. } => 422,
+        }
+    }
+
+    /// Stable snake-case kind tag for error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScoreError::NotAnObject => "not_an_object",
+            ScoreError::BadValue { .. } => "bad_value",
+            ScoreError::UnknownFeature { .. } => "unknown_feature",
+            ScoreError::AvoidedFeature { .. } => "avoided_feature",
+            ScoreError::MissingFeature { .. } => "missing_feature",
+            ScoreError::UnknownCategory { .. } => "unknown_category",
+            ScoreError::WrongArity { .. } => "wrong_arity",
+        }
+    }
+
+    /// Renders the `{"error": {"kind", "message"}}` response body.
+    pub fn to_json(&self) -> Json {
+        obj(vec![(
+            "error",
+            obj(vec![
+                ("kind", Json::Str(self.kind().into())),
+                ("message", Json::Str(self.to_string())),
+            ]),
+        )])
+    }
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::NotAnObject => write!(
+                f,
+                "request body must be a row object, an array of rows, or {{\"rows\": [...]}}"
+            ),
+            ScoreError::BadValue { feature, message } => {
+                write!(f, "feature '{feature}': {message}")
+            }
+            ScoreError::UnknownFeature { name } => {
+                write!(f, "'{name}' is not a feature of this model")
+            }
+            ScoreError::AvoidedFeature { name, table } => write!(
+                f,
+                "'{name}' belongs to attribute table '{table}', whose join the \
+                 advisor avoided — this model predicts from the foreign key alone; \
+                 drop the joined feature and send the key"
+            ),
+            ScoreError::MissingFeature { name } => {
+                write!(f, "row is missing required feature '{name}'")
+            }
+            ScoreError::UnknownCategory {
+                feature,
+                value,
+                domain_size,
+            } => write!(
+                f,
+                "feature '{feature}': value {value} was unseen at fit time \
+                 (trained domain size {domain_size}); only foreign keys have an \
+                 Others bucket for unseen values"
+            ),
+            ScoreError::WrongArity { got, expected } => write!(
+                f,
+                "positional row has {got} values but the model expects {expected} features"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// One prediction: the class code, its label when the target is
+/// labelled, and the per-class scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class code.
+    pub class: u32,
+    /// Class label, when the training target had a label vocabulary.
+    pub label: Option<String>,
+    /// Per-class scores (log-posterior for NB/TAN, decision scores for
+    /// logistic regression).
+    pub scores: Vec<f64>,
+}
+
+impl Prediction {
+    /// Renders one prediction object.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("class", Json::Num(self.class as f64)),
+            (
+                "label",
+                match &self.label {
+                    Some(l) => Json::Str(l.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "scores",
+                Json::Arr(self.scores.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Column-major batch of coded rows implementing [`CodeSource`], so the
+/// fitted models score requests through the same trait they were
+/// trained against.
+struct RowBatch<'a> {
+    artifact: &'a ModelArtifact,
+    /// `codes[feature][row]`.
+    codes: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl CodeSource for RowBatch<'_> {
+    fn n_examples(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_classes(&self) -> usize {
+        self.artifact.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.artifact.features.len()
+    }
+
+    fn feature_domain_size(&self, f: usize) -> usize {
+        self.artifact.features[f].domain_size
+    }
+
+    fn feature_name(&self, f: usize) -> &str {
+        &self.artifact.features[f].name
+    }
+
+    fn code(&self, f: usize, row: usize) -> u32 {
+        self.codes[f][row]
+    }
+
+    fn label(&self, _row: usize) -> u32 {
+        // Requests carry no target; nothing in prediction reads this.
+        0
+    }
+}
+
+/// A loaded artifact plus the lookup structures scoring needs.
+pub struct Scorer {
+    artifact: ModelArtifact,
+    /// Feature name -> position.
+    by_name: HashMap<String, usize>,
+    /// Per feature: label -> code, for labelled domains.
+    label_codes: Vec<Option<HashMap<String, u32>>>,
+    /// Foreign feature name -> avoided table, for avoid-join refusal.
+    avoided_of: HashMap<String, String>,
+}
+
+impl Scorer {
+    /// Builds the scoring indexes over a validated artifact.
+    pub fn new(artifact: ModelArtifact) -> Self {
+        let by_name = artifact
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        let label_codes = artifact
+            .features
+            .iter()
+            .map(|f| {
+                f.labels.as_ref().map(|ls| {
+                    ls.iter()
+                        .enumerate()
+                        .map(|(c, l)| (l.clone(), c as u32))
+                        .collect()
+                })
+            })
+            .collect();
+        let avoided_of = artifact
+            .decisions
+            .iter()
+            .filter(|d| d.avoid && d.strategy == ExecStrategy::AvoidJoin)
+            .flat_map(|d| {
+                d.foreign_features
+                    .iter()
+                    .map(move |f| (f.clone(), d.table.clone()))
+            })
+            .collect();
+        Scorer {
+            artifact,
+            by_name,
+            label_codes,
+            avoided_of,
+        }
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Resolves one JSON value to the trained code of feature `f`,
+    /// applying cold-start `Others` routing for FKs.
+    fn code_for(&self, f: usize, value: &Json) -> Result<u32, ScoreError> {
+        let fs = &self.artifact.features[f];
+        match value {
+            Json::Num(n) => {
+                if !n.is_finite() || *n < 0.0 || n.fract() != 0.0 || *n > u32::MAX as f64 {
+                    return Err(ScoreError::BadValue {
+                        feature: fs.name.clone(),
+                        message: format!("expected a non-negative integer code, got {n}"),
+                    });
+                }
+                let code = *n as u32;
+                match &fs.fk {
+                    Some(fk) => {
+                        // Cold start: anything outside the original FK
+                        // domain is an unseen entity -> Others.
+                        if (code as usize) >= fk.original_domain {
+                            Ok(fk.others_code)
+                        } else {
+                            Ok(code)
+                        }
+                    }
+                    None => {
+                        if (code as usize) < fs.domain_size {
+                            Ok(code)
+                        } else {
+                            Err(ScoreError::UnknownCategory {
+                                feature: fs.name.clone(),
+                                value: code.to_string(),
+                                domain_size: fs.domain_size,
+                            })
+                        }
+                    }
+                }
+            }
+            Json::Str(s) => match &self.label_codes[f] {
+                Some(codes) => match codes.get(s) {
+                    Some(&c) => Ok(c),
+                    None => match &fs.fk {
+                        Some(fk) => Ok(fk.others_code),
+                        None => Err(ScoreError::UnknownCategory {
+                            feature: fs.name.clone(),
+                            value: format!("'{s}'"),
+                            domain_size: fs.domain_size,
+                        }),
+                    },
+                },
+                None => Err(ScoreError::BadValue {
+                    feature: fs.name.clone(),
+                    message: format!(
+                        "'{s}' is a string but this feature has no label vocabulary; \
+                         send an integer code"
+                    ),
+                }),
+            },
+            other => Err(ScoreError::BadValue {
+                feature: fs.name.clone(),
+                message: format!("expected a number or string, got {other}"),
+            }),
+        }
+    }
+
+    /// Decodes one row (named object or positional array) into
+    /// per-feature codes appended to `codes`.
+    fn push_row(&self, row: &Json, codes: &mut [Vec<u32>]) -> Result<(), ScoreError> {
+        let d = self.artifact.features.len();
+        match row {
+            Json::Obj(members) => {
+                for (name, _) in members {
+                    if !self.by_name.contains_key(name) {
+                        // Refuse foreign features of avoided joins with a
+                        // specific error before the generic unknown one.
+                        if let Some(table) = self.avoided_of.get(name) {
+                            return Err(ScoreError::AvoidedFeature {
+                                name: name.clone(),
+                                table: table.clone(),
+                            });
+                        }
+                        return Err(ScoreError::UnknownFeature { name: name.clone() });
+                    }
+                }
+                for (f, column) in codes.iter_mut().enumerate() {
+                    let name = &self.artifact.features[f].name;
+                    let value = row
+                        .get(name)
+                        .ok_or_else(|| ScoreError::MissingFeature { name: name.clone() })?;
+                    column.push(self.code_for(f, value)?);
+                }
+                Ok(())
+            }
+            Json::Arr(values) => {
+                if values.len() != d {
+                    return Err(ScoreError::WrongArity {
+                        got: values.len(),
+                        expected: d,
+                    });
+                }
+                for (f, value) in values.iter().enumerate() {
+                    codes[f].push(self.code_for(f, value)?);
+                }
+                Ok(())
+            }
+            _ => Err(ScoreError::NotAnObject),
+        }
+    }
+
+    /// Scores a request body: `{"rows": [...]}`, a bare array of rows,
+    /// or a single row object. Errors identify the first offending row
+    /// or feature; on error nothing is predicted (all-or-nothing).
+    pub fn predict_body(&self, body: &Json) -> Result<Vec<Prediction>, ScoreError> {
+        let rows: Vec<&Json> = match body {
+            Json::Obj(_) => match body.get("rows") {
+                Some(Json::Arr(rows)) => rows.iter().collect(),
+                Some(_) => {
+                    return Err(ScoreError::BadValue {
+                        feature: "rows".into(),
+                        message: "expected an array of rows".into(),
+                    })
+                }
+                // A single named row.
+                None => vec![body],
+            },
+            Json::Arr(rows) => rows.iter().collect(),
+            _ => return Err(ScoreError::NotAnObject),
+        };
+        let mut codes = vec![Vec::with_capacity(rows.len()); self.artifact.features.len()];
+        for row in &rows {
+            self.push_row(row, &mut codes)?;
+        }
+        let batch = RowBatch {
+            artifact: &self.artifact,
+            codes,
+            n_rows: rows.len(),
+        };
+        Ok((0..batch.n_rows)
+            .map(|r| {
+                let class = self.artifact.model.predict_row(&batch, r);
+                Prediction {
+                    class,
+                    label: self
+                        .artifact
+                        .class_labels
+                        .as_ref()
+                        .and_then(|ls| ls.get(class as usize).cloned()),
+                    scores: self.artifact.model.scores(&batch, r),
+                }
+            })
+            .collect())
+    }
+
+    /// Scores pre-coded rows (`rows[i][f]` in schema order), routing
+    /// unseen FK codes through `Others`. This is the path the offline
+    /// `hamlet predict` command and the benchmarks use.
+    pub fn predict_codes(&self, rows: &[Vec<u32>]) -> Result<Vec<Prediction>, ScoreError> {
+        let body = Json::Arr(
+            rows.iter()
+                .map(|r| Json::Arr(r.iter().map(|&c| Json::Num(c as f64)).collect()))
+                .collect(),
+        );
+        self.predict_body(&body)
+    }
+
+    /// Renders the response body `{"predictions": [...]}`.
+    pub fn render_predictions(preds: &[Prediction]) -> Json {
+        obj(vec![(
+            "predictions",
+            Json::Arr(preds.iter().map(Prediction::to_json).collect()),
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{FeatureSchema, FkColdStart, JoinDecision, ModelArtifact, ServableModel};
+    use hamlet_ml::NaiveBayesModel;
+
+    /// 2 classes; feature 0 "color" labelled {red,blue}; feature 1 "fk"
+    /// with original domain 2 + Others at code 2. The NB tables are
+    /// rigged so class = (color == blue), with the FK mildly informative.
+    fn scorer() -> Scorer {
+        let model = NaiveBayesModel::from_parts(
+            vec![0, 1],
+            2,
+            vec![(0.5f64).ln(), (0.5f64).ln()],
+            vec![
+                vec![0.9f64.ln(), 0.1f64.ln(), 0.1f64.ln(), 0.9f64.ln()],
+                vec![
+                    0.5f64.ln(),
+                    0.3f64.ln(),
+                    0.2f64.ln(),
+                    0.2f64.ln(),
+                    0.3f64.ln(),
+                    0.5f64.ln(),
+                ],
+            ],
+            vec![2, 3],
+        );
+        Scorer::new(ModelArtifact {
+            dataset: "unit".into(),
+            n_classes: 2,
+            class_labels: Some(vec!["no".into(), "yes".into()]),
+            features: vec![
+                FeatureSchema {
+                    name: "color".into(),
+                    domain_size: 2,
+                    labels: Some(vec!["red".into(), "blue".into()]),
+                    fk: None,
+                },
+                FeatureSchema {
+                    name: "fk".into(),
+                    domain_size: 3,
+                    labels: None,
+                    fk: Some(FkColdStart {
+                        table: "R".into(),
+                        original_domain: 2,
+                        others_code: 2,
+                    }),
+                },
+            ],
+            decisions: vec![JoinDecision {
+                table: "R".into(),
+                fk: "fk".into(),
+                strategy: hamlet_core::ExecStrategy::AvoidJoin,
+                tuple_ratio: 40.0,
+                ror: Some(1.1),
+                avoid: true,
+                foreign_features: vec!["country".into(), "size".into()],
+            }],
+            model: ServableModel::NaiveBayes(model),
+        })
+    }
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).unwrap()
+    }
+
+    #[test]
+    fn named_and_positional_rows_agree() {
+        let s = scorer();
+        let named = s
+            .predict_body(&parse(
+                r#"{"rows":[{"color":"blue","fk":1},{"color":"red","fk":0}]}"#,
+            ))
+            .unwrap();
+        let positional = s.predict_body(&parse(r#"[[1,1],[0,0]]"#)).unwrap();
+        assert_eq!(named, positional);
+        assert_eq!(named[0].class, 1);
+        assert_eq!(named[0].label.as_deref(), Some("yes"));
+        assert_eq!(named[1].class, 0);
+    }
+
+    #[test]
+    fn single_object_body_is_one_row() {
+        let s = scorer();
+        let preds = s
+            .predict_body(&parse(r#"{"color":"blue","fk":0}"#))
+            .unwrap();
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].scores.len(), 2);
+    }
+
+    #[test]
+    fn unseen_fk_routes_through_others() {
+        let s = scorer();
+        // Codes 2, 7, 1000 are all unseen entities; they must score
+        // exactly like the trained Others code 2.
+        let unseen = s.predict_body(&parse(r#"[[0,2],[0,7],[0,1000]]"#)).unwrap();
+        for p in &unseen {
+            assert_eq!(p, &unseen[0]);
+        }
+        // Unknown *labels* on a labelled FK would also route to Others;
+        // this FK is unlabelled, so strings are a BadValue instead.
+        let err = s.predict_body(&parse(r#"[[0,"acme"]]"#)).unwrap_err();
+        assert_eq!(err.kind(), "bad_value");
+    }
+
+    #[test]
+    fn unseen_category_on_non_fk_is_typed_422() {
+        let s = scorer();
+        let err = s
+            .predict_body(&parse(r#"[{"color":"green","fk":0}]"#))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScoreError::UnknownCategory {
+                feature: "color".into(),
+                value: "'green'".into(),
+                domain_size: 2,
+            }
+        );
+        assert_eq!(err.http_status(), 422);
+        let err = s.predict_body(&parse(r#"[[5,0]]"#)).unwrap_err();
+        assert_eq!(err.kind(), "unknown_category");
+    }
+
+    #[test]
+    fn avoided_foreign_feature_is_refused() {
+        let s = scorer();
+        let err = s
+            .predict_body(&parse(r#"[{"color":"red","fk":0,"country":"US"}]"#))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScoreError::AvoidedFeature {
+                name: "country".into(),
+                table: "R".into(),
+            }
+        );
+        assert_eq!(err.http_status(), 422);
+        assert!(err.to_string().contains("advisor avoided"));
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        let s = scorer();
+        for (body, kind) in [
+            (r#"42"#, "not_an_object"),
+            (r#"[[0]]"#, "wrong_arity"),
+            (r#"[[0,0,0]]"#, "wrong_arity"),
+            (r#"[[true,0]]"#, "bad_value"),
+            (r#"[[-1,0]]"#, "bad_value"),
+            (r#"[[0.5,0]]"#, "bad_value"),
+            (r#"{"rows":3}"#, "bad_value"),
+            (r#"[3]"#, "not_an_object"),
+        ] {
+            let err = s.predict_body(&parse(body)).unwrap_err();
+            assert_eq!(err.kind(), kind, "body {body}");
+            assert_eq!(err.http_status(), 400, "body {body}");
+        }
+        // Missing + unknown named features are 422.
+        let err = s.predict_body(&parse(r#"[{"color":"red"}]"#)).unwrap_err();
+        assert_eq!(err, ScoreError::MissingFeature { name: "fk".into() });
+        let err = s
+            .predict_body(&parse(r#"[{"color":"red","fk":0,"bogus":1}]"#))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScoreError::UnknownFeature {
+                name: "bogus".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let err = ScoreError::MissingFeature { name: "fk".into() };
+        let j = err.to_json();
+        let e = j.get("error").unwrap();
+        assert_eq!(
+            e.get("kind").and_then(Json::as_str),
+            Some("missing_feature")
+        );
+        assert!(e
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("fk"));
+    }
+
+    #[test]
+    fn predict_codes_matches_predict_body() {
+        let s = scorer();
+        let a = s.predict_codes(&[vec![1, 0], vec![0, 9]]).unwrap();
+        let b = s.predict_body(&parse(r#"[[1,0],[0,9]]"#)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,668 @@
+//! The inference server: a bounded worker pool over `std::net`, with
+//! backpressure, graceful drain, and full observability.
+//!
+//! Design points:
+//!
+//! * **Bounded everything.** `threads` workers pull connections from a
+//!   queue of at most `queue_capacity`; when the queue is full the
+//!   accept loop answers `503 Service Unavailable` immediately instead
+//!   of letting latency grow without bound (load-shedding
+//!   backpressure).
+//! * **Graceful drain.** [`ServerHandle::stop`] (or an external stop
+//!   flag, typically flipped by a SIGTERM/ctrl-c handler) stops the
+//!   accept loop, lets workers finish the queued requests, then joins
+//!   them and reports final [`ServerStats`].
+//! * **Observability.** Every request runs under a
+//!   `serve.request` span and bumps
+//!   `hamlet_serve_requests_total` / `hamlet_serve_errors_total` /
+//!   `hamlet_serve_rejected_total` counters plus the
+//!   `hamlet_serve_request_micros` histogram — all visible at
+//!   `/metrics` in Prometheus text format.
+//!
+//! Routes: `GET /healthz`, `GET /metrics`, `POST /predict`.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hamlet_obs::json::{obj, Json};
+use hamlet_obs::{counter_add, histogram_observe, span};
+
+use crate::http::{read_request, write_response, Request};
+use crate::score::Scorer;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port 0 asks the OS for a
+    /// free port (the tests do this); [`ServerHandle::port`] reports the
+    /// bound port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Maximum accepted-but-unhandled connections before the server
+    /// starts shedding load with 503s.
+    pub queue_capacity: usize,
+    /// Optional external stop flag (the CLI points this at the static
+    /// its SIGTERM handler flips). Checked alongside the handle's own
+    /// stop flag.
+    pub stop_signal: Option<&'static AtomicBool>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: resolve_threads(None),
+            queue_capacity: 64,
+            stop_signal: None,
+        }
+    }
+}
+
+/// Resolves the worker count: an explicit flag wins, then the
+/// `HAMLET_THREADS` convention, then available parallelism. An invalid
+/// `HAMLET_THREADS` falls back loudly (warning in the run journal), the
+/// same policy as the experiment runner.
+pub fn resolve_threads(flag: Option<usize>) -> usize {
+    if let Some(t) = flag {
+        return t.max(1);
+    }
+    let default_threads = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    hamlet_obs::env::var_where("HAMLET_THREADS", "a positive integer", |&t: &usize| t > 0)
+        .unwrap_or_else(|e| {
+            hamlet_obs::record_warning(format!("{e}; using available parallelism"));
+            None
+        })
+        .unwrap_or_else(default_threads)
+}
+
+/// Final request accounting, returned when the server drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests handled to completion (any status).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Connections shed with 503 because the queue was full.
+    pub rejected: u64,
+}
+
+struct Inner {
+    scorer: Scorer,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    draining: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Lock helper: a poisoned queue mutex only means another worker
+/// panicked mid-push/pop; the queue itself is still structurally sound,
+/// so serving beats aborting.
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::stop`] then [`ServerHandle::join`] (or
+/// [`ServerHandle::run_until_stopped`]) for a clean drain.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    port: u16,
+    accept: Option<std::thread::JoinHandle<ServerStats>>,
+}
+
+impl ServerHandle {
+    /// The bound port (useful with `addr: "127.0.0.1:0"`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests the server stop accepting and drain.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the drain to complete and returns final stats.
+    pub fn join(mut self) -> ServerStats {
+        match self.accept.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => ServerStats::default(),
+        }
+    }
+
+    /// Blocks until [`ServerHandle::stop`] is called (or the external
+    /// stop signal fires), then drains and returns final stats.
+    pub fn run_until_stopped(self) -> ServerStats {
+        self.join()
+    }
+}
+
+/// Starts the server: binds, spawns the accept loop and `threads`
+/// workers, and returns immediately.
+pub fn start(scorer: Scorer, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let port = listener.local_addr()?.port();
+
+    let inner = Arc::new(Inner {
+        scorer,
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        draining: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = config.threads.max(1);
+    let queue_capacity = config.queue_capacity.max(1);
+
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let inner = Arc::clone(&inner);
+        workers.push(std::thread::spawn(move || worker_loop(&inner)));
+    }
+
+    let accept_inner = Arc::clone(&inner);
+    let accept_stop = Arc::clone(&stop);
+    let stop_signal = config.stop_signal;
+    let accept = std::thread::spawn(move || {
+        accept_loop(
+            &listener,
+            &accept_inner,
+            &accept_stop,
+            stop_signal,
+            queue_capacity,
+        );
+        // Drain: stop handing out work, wake every worker, join them.
+        accept_inner.draining.store(true, Ordering::SeqCst);
+        accept_inner.available.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        ServerStats {
+            requests: accept_inner.requests.load(Ordering::SeqCst),
+            errors: accept_inner.errors.load(Ordering::SeqCst),
+            rejected: accept_inner.rejected.load(Ordering::SeqCst),
+        }
+    });
+
+    Ok(ServerHandle {
+        stop,
+        port,
+        accept: Some(accept),
+    })
+}
+
+fn should_stop(stop: &AtomicBool, external: Option<&'static AtomicBool>) -> bool {
+    stop.load(Ordering::SeqCst) || external.is_some_and(|s| s.load(Ordering::SeqCst))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Inner,
+    stop: &AtomicBool,
+    external: Option<&'static AtomicBool>,
+    queue_capacity: usize,
+) {
+    while !should_stop(stop, external) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let backlog = lock(&inner.queue).len();
+                if backlog >= queue_capacity {
+                    // Load shedding: answer 503 from the accept thread so
+                    // a saturated pool never queues unbounded latency.
+                    inner.rejected.fetch_add(1, Ordering::SeqCst);
+                    counter_add!("hamlet_serve_rejected_total", 1);
+                    // Consume whatever request bytes already arrived so
+                    // closing the socket does not RST the response away
+                    // before the client reads it.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                    let mut scratch = [0u8; 4096];
+                    let _ = std::io::Read::read(&mut stream, &mut scratch);
+                    let body = obj(vec![(
+                        "error",
+                        obj(vec![
+                            ("kind", Json::Str("overloaded".into())),
+                            (
+                                "message",
+                                Json::Str(format!(
+                                    "request queue is full ({queue_capacity}); retry later"
+                                )),
+                            ),
+                        ]),
+                    )])
+                    .to_string();
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "application/json",
+                        &body,
+                    );
+                    continue;
+                }
+                lock(&inner.queue).push_back(stream);
+                inner.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Nonblocking accept: nap briefly so the stop flag is
+                // observed within ~10ms of a signal.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if inner.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                queue = q;
+            }
+        };
+        match stream {
+            Some(mut s) => handle_connection(inner, &mut s),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
+    // A client that stops sending mid-request must not pin a worker.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let started = Instant::now();
+    let request = read_request(stream);
+    let (path, method) = match &request {
+        Ok(r) => (r.path.clone(), r.method.clone()),
+        Err(_) => ("<unreadable>".to_string(), "-".to_string()),
+    };
+    let _span = span!("serve.request", path = path, method = method);
+
+    let status = match request {
+        Ok(req) => route(inner, stream, &req),
+        Err(e) => {
+            let (status, reason) = e.status();
+            let body = obj(vec![(
+                "error",
+                obj(vec![
+                    ("kind", Json::Str("bad_request".into())),
+                    ("message", Json::Str(e.to_string())),
+                ]),
+            )])
+            .to_string();
+            let _ = write_response(stream, status, reason, "application/json", &body);
+            status
+        }
+    };
+
+    inner.requests.fetch_add(1, Ordering::SeqCst);
+    counter_add!("hamlet_serve_requests_total", 1);
+    if status >= 400 {
+        inner.errors.fetch_add(1, Ordering::SeqCst);
+        counter_add!("hamlet_serve_errors_total", 1);
+    }
+    histogram_observe!(
+        "hamlet_serve_request_micros",
+        started.elapsed().as_micros().min(u64::MAX as u128) as u64
+    );
+}
+
+/// Dispatches one request and returns the response status (for error
+/// accounting). Response-write failures are counted as errors by the
+/// caller via the returned status only when the route itself failed;
+/// a severed socket mid-write is logged into the journal.
+fn route(inner: &Inner, stream: &mut TcpStream, req: &Request) -> u16 {
+    let (status, reason, content_type, body) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let a = inner.scorer.artifact();
+            let body = obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("dataset", Json::Str(a.dataset.clone())),
+                ("family", Json::Str(a.model.family().into())),
+                ("n_classes", Json::Num(a.n_classes as f64)),
+                (
+                    "features",
+                    Json::Arr(
+                        a.features
+                            .iter()
+                            .map(|f| Json::Str(f.name.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "avoided_joins",
+                    Json::Num(a.decisions.iter().filter(|d| d.avoid).count() as f64),
+                ),
+            ])
+            .to_string();
+            (200, "OK", "application/json", body)
+        }
+        ("GET", "/metrics") => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            hamlet_obs::render_metrics(),
+        ),
+        ("POST", "/predict") => match Json::parse(&String::from_utf8_lossy(&req.body)) {
+            Err(e) => {
+                let body = obj(vec![(
+                    "error",
+                    obj(vec![
+                        ("kind", Json::Str("bad_json".into())),
+                        ("message", Json::Str(format!("request body: {e}"))),
+                    ]),
+                )])
+                .to_string();
+                (400, "Bad Request", "application/json", body)
+            }
+            Ok(doc) => match inner.scorer.predict_body(&doc) {
+                Ok(preds) => (
+                    200,
+                    "OK",
+                    "application/json",
+                    Scorer::render_predictions(&preds).to_string(),
+                ),
+                Err(e) => {
+                    let status = e.http_status();
+                    let reason = if status == 400 {
+                        "Bad Request"
+                    } else {
+                        "Unprocessable Entity"
+                    };
+                    (status, reason, "application/json", e.to_json().to_string())
+                }
+            },
+        },
+        (_, "/predict") | (_, "/healthz") | (_, "/metrics") => {
+            let body = obj(vec![(
+                "error",
+                obj(vec![
+                    ("kind", Json::Str("method_not_allowed".into())),
+                    (
+                        "message",
+                        Json::Str(format!("{} is not supported on {}", req.method, req.path)),
+                    ),
+                ]),
+            )])
+            .to_string();
+            (405, "Method Not Allowed", "application/json", body)
+        }
+        _ => {
+            let body = obj(vec![(
+                "error",
+                obj(vec![
+                    ("kind", Json::Str("not_found".into())),
+                    (
+                        "message",
+                        Json::Str(format!(
+                            "no route for '{}'; try /healthz, /metrics, or POST /predict",
+                            req.path
+                        )),
+                    ),
+                ]),
+            )])
+            .to_string();
+            (404, "Not Found", "application/json", body)
+        }
+    };
+    if let Err(e) = write_response(stream, status, reason, content_type, &body) {
+        // The response could not be delivered (peer gone, or the
+        // serve.response_write failpoint fired). The request itself was
+        // handled; record the delivery failure without tearing down the
+        // worker.
+        counter_add!("hamlet_serve_write_failures_total", 1);
+        hamlet_obs::record_warning(format!("response write on {} failed: {e}", req.path));
+    }
+    status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{FeatureSchema, FkColdStart, JoinDecision, ModelArtifact, ServableModel};
+    use hamlet_core::ExecStrategy;
+    use hamlet_ml::NaiveBayesModel;
+    use std::io::{Read, Write};
+
+    fn scorer() -> Scorer {
+        let model = NaiveBayesModel::from_parts(
+            vec![0, 1],
+            2,
+            vec![(0.5f64).ln(), (0.5f64).ln()],
+            vec![
+                vec![0.9f64.ln(), 0.1f64.ln(), 0.1f64.ln(), 0.9f64.ln()],
+                vec![
+                    0.5f64.ln(),
+                    0.3f64.ln(),
+                    0.2f64.ln(),
+                    0.2f64.ln(),
+                    0.3f64.ln(),
+                    0.5f64.ln(),
+                ],
+            ],
+            vec![2, 3],
+        );
+        Scorer::new(ModelArtifact {
+            dataset: "unit".into(),
+            n_classes: 2,
+            class_labels: Some(vec!["no".into(), "yes".into()]),
+            features: vec![
+                FeatureSchema {
+                    name: "color".into(),
+                    domain_size: 2,
+                    labels: Some(vec!["red".into(), "blue".into()]),
+                    fk: None,
+                },
+                FeatureSchema {
+                    name: "fk".into(),
+                    domain_size: 3,
+                    labels: None,
+                    fk: Some(FkColdStart {
+                        table: "R".into(),
+                        original_domain: 2,
+                        others_code: 2,
+                    }),
+                },
+            ],
+            decisions: vec![JoinDecision {
+                table: "R".into(),
+                fk: "fk".into(),
+                strategy: ExecStrategy::AvoidJoin,
+                tuple_ratio: 40.0,
+                ror: Some(1.1),
+                avoid: true,
+                foreign_features: vec!["country".into()],
+            }],
+            model: ServableModel::NaiveBayes(model),
+        })
+    }
+
+    fn start_test_server(threads: usize, queue: usize) -> ServerHandle {
+        start(
+            scorer(),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads,
+                queue_capacity: queue,
+                stop_signal: None,
+            },
+        )
+        .unwrap()
+    }
+
+    /// One-shot HTTP client: sends raw bytes, reads the full response.
+    fn roundtrip(port: u16, raw: &str) -> String {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        // Read until EOF, tolerating a late RST after the response bytes
+        // (the 503 shed path closes without reading the whole request).
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    fn post(port: u16, path: &str, body: &str) -> String {
+        roundtrip(
+            port,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn get(port: u16, path: &str) -> String {
+        roundtrip(port, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn healthz_metrics_predict_and_drain() {
+        let h = start_test_server(2, 16);
+        let port = h.port();
+
+        let health = get(port, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"family\":\"naive_bayes\""), "{health}");
+        assert!(
+            health.contains("\"features\":[\"color\",\"fk\"]"),
+            "{health}"
+        );
+
+        let pred = post(
+            port,
+            "/predict",
+            r#"{"rows":[{"color":"blue","fk":1},[0,9]]}"#,
+        );
+        assert!(pred.starts_with("HTTP/1.1 200"), "{pred}");
+        assert!(pred.contains("\"predictions\":["), "{pred}");
+        assert!(pred.contains("\"label\":\"yes\""), "{pred}");
+
+        // Typed 422 for an avoided foreign feature.
+        let refused = post(
+            port,
+            "/predict",
+            r#"[{"color":"red","fk":0,"country":"US"}]"#,
+        );
+        assert!(refused.starts_with("HTTP/1.1 422"), "{refused}");
+        assert!(refused.contains("avoided_feature"), "{refused}");
+
+        // Typed 400 for malformed JSON.
+        let bad = post(port, "/predict", "{nope");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("bad_json"), "{bad}");
+
+        // 404 and 405.
+        assert!(get(port, "/nope").starts_with("HTTP/1.1 404"));
+        assert!(get(port, "/predict").starts_with("HTTP/1.1 405"));
+
+        // Metrics expose the request counters.
+        let metrics = get(port, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("hamlet_serve_requests_total"), "{metrics}");
+
+        h.stop();
+        let stats = h.join();
+        assert!(stats.requests >= 7, "{stats:?}");
+        assert!(stats.errors >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn saturated_queue_sheds_load_with_503() {
+        // No workers draining the queue fast: one worker wedged by slow
+        // clients, capacity 1.
+        let h = start_test_server(1, 1);
+        let port = h.port();
+
+        // Wedge the worker with an idle connection (it blocks in read
+        // until the 5s timeout), then park a second idle connection in
+        // the queue so the backlog sits at capacity.
+        let _busy = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let _parked = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+
+        // The next request must be shed with 503 by the accept thread.
+        let resp = get(port, "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 503"), "not shed: {resp}");
+        assert!(resp.contains("overloaded"), "{resp}");
+
+        h.stop();
+        let stats = h.join();
+        assert!(stats.rejected >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn external_stop_signal_drains() {
+        static STOP: AtomicBool = AtomicBool::new(false);
+        STOP.store(false, Ordering::SeqCst);
+        let h = start(
+            scorer(),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                queue_capacity: 4,
+                stop_signal: Some(&STOP),
+            },
+        )
+        .unwrap();
+        let port = h.port();
+        assert!(get(port, "/healthz").starts_with("HTTP/1.1 200"));
+        STOP.store(true, Ordering::SeqCst);
+        let stats = h.run_until_stopped();
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn response_write_failpoint_does_not_kill_the_worker() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let h = start_test_server(1, 8);
+        let port = h.port();
+        hamlet_chaos::failpoint::set_failpoints("serve.response_write=io").unwrap();
+        // The response write fails server-side; the client sees a closed
+        // connection with no bytes. The worker must survive.
+        let resp = get(port, "/healthz");
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(resp.is_empty(), "unexpected bytes: {resp}");
+        // Worker still alive and serving.
+        let ok = get(port, "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        h.stop();
+        let stats = h.join();
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn resolve_threads_flag_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

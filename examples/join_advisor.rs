@@ -14,7 +14,8 @@ fn main() {
     let seed = 1;
     for spec in DatasetSpec::all() {
         let g = spec.generate(scale, seed);
-        let report = advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default());
+        let report =
+            advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default()).expect("valid catalog");
         println!("=== {} ===", spec.name);
         print!("{}", report.render());
         let plan = report.plan();

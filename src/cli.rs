@@ -40,6 +40,7 @@ use hamlet_relational::{
     lint_star, profile_star, read_csv, ColumnSpec, DirtyPolicy, FkPolicy, LintConfig, LoadPolicy,
     Manifest, StarLoad, StarSchema,
 };
+use hamlet_serve::{artifact, build_artifact, ModelKind, Scorer, ServerConfig};
 
 /// CLI error: a user-facing message (exit code 2 in the binary).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,8 +66,21 @@ USAGE:
   hamlet advise-files <schema.manifest> [--relaxed] [--on-dirty P] [--on-dangling-fk P]
   hamlet simulate [--scenario lone|all|entity-fk] [--n-s N] [--n-r N]
                   [--train-sets T] [--repeats R] [--seed S] [--resume] [--out FILE]
+  hamlet save-model --dataset <name> --out FILE [--scale S] [--model nb|logreg|tan] [--relaxed]
+  hamlet predict --model FILE --in FILE [--out FILE]
+  hamlet serve --model FILE [--port N] [--threads N] [--queue N]
   hamlet datasets
   hamlet help
+
+Model serving:
+  save-model runs the advisor, fits the chosen family over the advisor-
+  approved view (avoided joins stay avoided; unseen FK values get a
+  trained Others bucket), and writes a versioned, checksummed artifact.
+  predict scores a JSON file of rows offline. serve answers
+  GET /healthz, GET /metrics, and POST /predict over HTTP until
+  SIGTERM/ctrl-c, then drains in-flight requests and exits 0; a full
+  request queue is shed with 503. Worker count: --threads, else
+  HAMLET_THREADS, else available parallelism.
 
 Dirty-data policies (advise-files):
   --on-dirty abort|quarantine[:N]   bad CSV rows: fail fast (default) or set
@@ -320,17 +334,10 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let relaxed = args.iter().any(|a| a == "--relaxed");
             let recommend_factorize = strategy_arg(&args[1..])?.unwrap_or(false);
             let g = spec.generate(scale, 20_160_626);
-            let mut config = if relaxed {
-                AdvisorConfig {
-                    tr: TrRule::with_tau(RELAXED_TAU),
-                    ror: RorRule::with_rho(RELAXED_RHO),
-                    ..Default::default()
-                }
-            } else {
-                AdvisorConfig::default()
-            };
+            let mut config = advisor_config(relaxed);
             config.recommend_factorize = recommend_factorize;
-            let report = advise(&g.star, g.star.n_s() / 2, &config);
+            let report =
+                advise(&g.star, g.star.n_s() / 2, &config).map_err(|e| CliError(e.to_string()))?;
             let body = if args.iter().any(|a| a == "--markdown") {
                 report.render_markdown()
             } else {
@@ -384,16 +391,9 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError(e.to_string()))?;
             let degradations = render_degradations(&load);
             let star = load.star;
-            let config = if relaxed {
-                AdvisorConfig {
-                    tr: TrRule::with_tau(RELAXED_TAU),
-                    ror: RorRule::with_rho(RELAXED_RHO),
-                    ..Default::default()
-                }
-            } else {
-                AdvisorConfig::default()
-            };
-            let report = advise(&star, star.n_s() / 2, &config);
+            let config = advisor_config(relaxed);
+            let report =
+                advise(&star, star.n_s() / 2, &config).map_err(|e| CliError(e.to_string()))?;
             let lints = lint_star(&star, &LintConfig::default());
             let mut out = format!("{}\n{}", profile_star(&star).render(), report.render());
             if !lints.is_empty() {
@@ -406,6 +406,9 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         Some("simulate") => simulate_cmd(&args[1..]),
+        Some("save-model") => save_model_cmd(&args[1..]),
+        Some("predict") => predict_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("csv-advise") => {
             let rest = &args[1..];
             let file = rest
@@ -538,6 +541,158 @@ fn simulate_cmd(rest: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(out)
+}
+
+/// Process signal plumbing for `hamlet serve`: SIGTERM and SIGINT flip
+/// one static flag the server's accept loop polls, so shutdown is a
+/// graceful drain instead of a hard kill. Raw `signal(2)` against libc —
+/// the store is atomic and async-signal-safe, and no crate dependency is
+/// needed.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Flipped by the handler; read by the server via
+    /// [`ServerConfig::stop_signal`](hamlet_serve::ServerConfig).
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(15, on_signal);
+            signal(2, on_signal);
+        }
+    }
+}
+
+/// Shared `--relaxed`-aware advisor config.
+fn advisor_config(relaxed: bool) -> AdvisorConfig {
+    if relaxed {
+        AdvisorConfig {
+            tr: TrRule::with_tau(RELAXED_TAU),
+            ror: RorRule::with_rho(RELAXED_RHO),
+            ..Default::default()
+        }
+    } else {
+        AdvisorConfig::default()
+    }
+}
+
+/// The `save-model` pipeline: advise, fit, and write the artifact.
+fn save_model_cmd(rest: &[String]) -> Result<String, CliError> {
+    let (spec, scale) = dataset_arg(rest)?;
+    let model = parse_flag(rest, "--model")?.unwrap_or("nb");
+    let kind = ModelKind::from_name(model).ok_or_else(|| {
+        CliError(format!(
+            "--model must be 'nb', 'logreg', or 'tan', got '{model}'"
+        ))
+    })?;
+    let out_path =
+        parse_flag(rest, "--out")?.ok_or_else(|| CliError("missing --out <file>".into()))?;
+    let config = advisor_config(rest.iter().any(|a| a == "--relaxed"));
+    let g = spec.generate(scale, 20_160_626);
+    let built =
+        build_artifact(&g.star, kind, &config, spec.name).map_err(|e| CliError(e.to_string()))?;
+    artifact::save(&built.artifact, std::path::Path::new(out_path))
+        .map_err(|e| CliError(e.to_string()))?;
+    let avoided = built.artifact.decisions.iter().filter(|d| d.avoid).count();
+    Ok(format!(
+        "{} (scale {scale}), model {model}\n\
+         trained on {} rows, holdout error {:.4}\n\
+         {} of {} joins avoided; {} input features\n\
+         wrote {out_path}\n",
+        spec.name,
+        built.n_train,
+        built.holdout_error,
+        avoided,
+        built.artifact.decisions.len(),
+        built.artifact.features.len(),
+    ))
+}
+
+/// The `predict` pipeline: offline file-to-file scoring.
+fn predict_cmd(rest: &[String]) -> Result<String, CliError> {
+    let model_path =
+        parse_flag(rest, "--model")?.ok_or_else(|| CliError("missing --model <file>".into()))?;
+    let in_path =
+        parse_flag(rest, "--in")?.ok_or_else(|| CliError("missing --in <file>".into()))?;
+    let a =
+        artifact::load(std::path::Path::new(model_path)).map_err(|e| CliError(e.to_string()))?;
+    let scorer = Scorer::new(a);
+    let text = std::fs::read_to_string(in_path)
+        .map_err(|e| CliError(format!("cannot read {in_path}: {e}")))?;
+    let body = hamlet_obs::json::Json::parse(&text)
+        .map_err(|e| CliError(format!("{in_path}: not valid JSON: {e}")))?;
+    let preds = scorer
+        .predict_body(&body)
+        .map_err(|e| CliError(e.to_string()))?;
+    let rendered = Scorer::render_predictions(&preds).to_string();
+    match parse_flag(rest, "--out")? {
+        Some(out_path) => {
+            hamlet_obs::atomic_write(std::path::Path::new(out_path), rendered.as_bytes())
+                .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+            Ok(format!(
+                "wrote {} prediction(s) to {out_path}\n",
+                preds.len()
+            ))
+        }
+        None => Ok(format!("{rendered}\n")),
+    }
+}
+
+/// The `serve` pipeline: load the artifact, listen until SIGTERM/ctrl-c,
+/// drain, and report final stats.
+fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
+    let model_path =
+        parse_flag(rest, "--model")?.ok_or_else(|| CliError("missing --model <file>".into()))?;
+    let port: u16 = num_flag(rest, "--port", 7878)?;
+    let threads_flag: Option<usize> = parse_flag(rest, "--threads")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError(format!("bad --threads '{v}'")))
+        })
+        .transpose()?;
+    let queue: usize = num_flag(rest, "--queue", 64)?;
+    if queue == 0 || threads_flag == Some(0) {
+        return Err(CliError("--threads and --queue must be positive".into()));
+    }
+
+    let a =
+        artifact::load(std::path::Path::new(model_path)).map_err(|e| CliError(e.to_string()))?;
+    let family = a.model.family().to_string();
+    let dataset = a.dataset.clone();
+    let threads = hamlet_serve::resolve_threads(threads_flag);
+
+    signals::install();
+    let handle = hamlet_serve::start(
+        Scorer::new(a),
+        ServerConfig {
+            addr: format!("127.0.0.1:{port}"),
+            threads,
+            queue_capacity: queue,
+            stop_signal: Some(&signals::STOP),
+        },
+    )
+    .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    // Stderr so scripted callers can watch readiness without touching
+    // the stdout report.
+    eprintln!(
+        "serving {dataset} ({family}) on 127.0.0.1:{} — {threads} worker(s), queue {queue}; \
+         SIGTERM or ctrl-c to drain",
+        handle.port()
+    );
+    let port = handle.port();
+    let stats = handle.run_until_stopped();
+    Ok(format!(
+        "drained 127.0.0.1:{port}: served {} request(s), {} error(s), {} shed with 503\n",
+        stats.requests, stats.errors, stats.rejected
+    ))
 }
 
 /// The `train` pipeline: fits the requested classifier over `star`
@@ -680,7 +835,8 @@ pub fn csv_advise(
     }
     let star = decompose_star(&wide, &compatible)
         .map_err(|e| CliError(format!("decomposition failed: {e}")))?;
-    let report = advise(&star, star.n_s() / 2, &AdvisorConfig::default());
+    let report = advise(&star, star.n_s() / 2, &AdvisorConfig::default())
+        .map_err(|e| CliError(e.to_string()))?;
     out.push('\n');
     out.push_str(&report.render());
     Ok(out)
@@ -1135,6 +1291,201 @@ mod simulate_cli_tests {
             .unwrap_err()
             .0
             .contains("positive"));
+    }
+}
+
+#[cfg(test)]
+mod serving_cli_tests {
+    use super::*;
+    use hamlet_obs::json::Json;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn save_model_then_predict_offline() {
+        let dir = std::env::temp_dir().join("hamlet_cli_save_predict");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+
+        let out = run(&argv(&format!(
+            "save-model --dataset walmart --scale 0.01 --model nb --out {}",
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("holdout error"), "{out}");
+        assert!(out.contains("wrote "), "{out}");
+
+        // The artifact round-trips through the public loader.
+        let a = hamlet_serve::artifact::load(&model).unwrap();
+        assert_eq!(a.model.family(), "naive_bayes");
+        assert_eq!(a.dataset, "Walmart");
+
+        // Offline scoring: one all-zero positional row (code 0 is valid
+        // in every domain) plus one cold-start row with a huge FK code.
+        let zeros: Vec<String> = a.features.iter().map(|_| "0".to_string()).collect();
+        let cold: Vec<String> = a
+            .features
+            .iter()
+            .map(|f| {
+                if f.fk.is_some() {
+                    "999999".into()
+                } else {
+                    "0".into()
+                }
+            })
+            .collect();
+        let rows = dir.join("rows.json");
+        std::fs::write(
+            &rows,
+            format!("[[{}],[{}]]", zeros.join(","), cold.join(",")),
+        )
+        .unwrap();
+        let preds_path = dir.join("preds.json");
+        let out = run(&argv(&format!(
+            "predict --model {} --in {} --out {}",
+            model.display(),
+            rows.display(),
+            preds_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote 2 prediction(s)"), "{out}");
+        let preds = Json::parse(&std::fs::read_to_string(&preds_path).unwrap()).unwrap();
+        let arr = preds.get("predictions").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(arr[0].get("class").and_then(Json::as_f64).is_some());
+
+        // Without --out the predictions go to stdout.
+        let out = run(&argv(&format!(
+            "predict --model {} --in {}",
+            model.display(),
+            rows.display()
+        )))
+        .unwrap();
+        assert!(out.contains("\"predictions\":["), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_model_supports_all_three_families() {
+        let dir = std::env::temp_dir().join("hamlet_cli_save_families");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (kind, family) in [("logreg", "logistic_regression"), ("tan", "tan")] {
+            let model = dir.join(format!("{kind}.json"));
+            run(&argv(&format!(
+                "save-model --dataset walmart --scale 0.01 --model {kind} --out {}",
+                model.display()
+            )))
+            .unwrap();
+            let a = hamlet_serve::artifact::load(&model).unwrap();
+            assert_eq!(a.model.family(), family);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_typed_cli_error() {
+        let dir = std::env::temp_dir().join("hamlet_cli_corrupt_artifact");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&format!(
+            "save-model --dataset walmart --scale 0.01 --out {}",
+            model.display()
+        )))
+        .unwrap();
+
+        // Truncate the artifact; predict and serve must degrade with a
+        // typed error, not a panic.
+        let text = std::fs::read_to_string(&model).unwrap();
+        std::fs::write(&model, &text[..text.len() / 2]).unwrap();
+        let rows = dir.join("rows.json");
+        std::fs::write(&rows, "[[0,0]]").unwrap();
+        let err = run(&argv(&format!(
+            "predict --model {} --in {}",
+            model.display(),
+            rows.display()
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("not valid JSON"), "{}", err.0);
+        let err = run(&argv(&format!("serve --model {}", model.display()))).unwrap_err();
+        assert!(err.0.contains("not valid JSON"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_load_failpoint_degrades_with_a_typed_error() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let dir = std::env::temp_dir().join("hamlet_cli_serve_failpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        run(&argv(&format!(
+            "save-model --dataset walmart --scale 0.01 --out {}",
+            model.display()
+        )))
+        .unwrap();
+        let rows = dir.join("rows.json");
+        std::fs::write(&rows, "[[0,0]]").unwrap();
+
+        hamlet_chaos::failpoint::set_failpoints("serve.artifact_load=io").unwrap();
+        let err = run(&argv(&format!(
+            "predict --model {} --in {}",
+            model.display(),
+            rows.display()
+        )))
+        .unwrap_err();
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(err.0.contains("injected IO failure"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serving_bad_args_are_reported() {
+        assert!(run(&argv("save-model --dataset walmart"))
+            .unwrap_err()
+            .0
+            .contains("--out"));
+        assert!(run(&argv(
+            "save-model --dataset walmart --model svm --out /tmp/x"
+        ))
+        .unwrap_err()
+        .0
+        .contains("--model"));
+        assert!(run(&argv("predict --in /tmp/x"))
+            .unwrap_err()
+            .0
+            .contains("--model"));
+        assert!(run(&argv("predict --model /tmp/x"))
+            .unwrap_err()
+            .0
+            .contains("--in"));
+        assert!(run(&argv("serve")).unwrap_err().0.contains("--model"));
+        assert!(run(&argv("serve --model /tmp/x --queue 0"))
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(run(&argv("serve --model /no/such/artifact.json"))
+            .unwrap_err()
+            .0
+            .contains("model artifact"));
+        assert!(
+            run(&argv("predict --model /no/such/artifact.json --in /tmp/x"))
+                .unwrap_err()
+                .0
+                .contains("model artifact")
+        );
+    }
+
+    #[test]
+    fn usage_mentions_the_serving_commands() {
+        let usage = run(&argv("help")).unwrap();
+        for cmd in ["save-model", "predict", "serve"] {
+            assert!(usage.contains(cmd), "usage is missing {cmd}");
+        }
     }
 }
 

@@ -58,3 +58,4 @@ pub use hamlet_factorized as factorized;
 pub use hamlet_fs as fs;
 pub use hamlet_ml as ml;
 pub use hamlet_relational as relational;
+pub use hamlet_serve as serve;

@@ -21,7 +21,7 @@ const SEED: u64 = 77;
 fn advisor_matches_planner_and_is_conservative() {
     for spec in DatasetSpec::all() {
         let g = spec.generate(0.05, SEED);
-        let report = advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default());
+        let report = advise(&g.star, g.star.n_s() / 2, &AdvisorConfig::default()).unwrap();
         assert_eq!(report.joins.len(), spec.tables.len());
         for (advice, table_spec) in report.joins.iter().zip(&spec.tables) {
             if advice.avoid {

@@ -136,6 +136,32 @@ fn checkpoint_store_has_no_aborting_calls() {
 }
 
 #[test]
+fn serve_crate_has_no_aborting_calls() {
+    // The entire serving subsystem: corrupt artifacts, hostile requests,
+    // severed sockets, and poisoned locks all degrade with typed errors
+    // or logged warnings — a scoring server must never abort.
+    for rel in [
+        "crates/serve/src/lib.rs",
+        "crates/serve/src/artifact.rs",
+        "crates/serve/src/score.rs",
+        "crates/serve/src/export.rs",
+        "crates/serve/src/http.rs",
+        "crates/serve/src/server.rs",
+    ] {
+        let src = read(rel);
+        assert_no_aborts(rel, non_test(&src));
+    }
+}
+
+#[test]
+fn advisor_has_no_aborting_calls() {
+    // Regression: `advise` used to `.expect("validated at construction")`
+    // on the FK column lookup; it now returns AdvisorError.
+    let src = read("crates/core/src/advisor.rs");
+    assert_no_aborts("crates/core/src/advisor.rs", non_test(&src));
+}
+
+#[test]
 fn failpoint_spec_parsing_has_no_aborting_calls() {
     // `hit()` panics BY DESIGN when a panic-mode failpoint fires, so
     // only the spec parser is held to the no-abort rule: a bad spec

@@ -143,7 +143,7 @@ proptest! {
         let encoding = if enc_one_hot { Encoding::OneHot } else { Encoding::BinaryCoded };
         let e = Encoder::fit(&d, &[0, 1], encoding);
         for row in 0..n {
-            let active = e.encode_row(&d, row);
+            let active = e.encode_row(&d, row).expect("codes are in the fitted domain");
             if enc_one_hot {
                 prop_assert_eq!(active.len(), 2);
             } else {

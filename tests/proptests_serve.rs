@@ -1,0 +1,224 @@
+//! Property-based tests for the model serving subsystem: on arbitrary
+//! star instances and all three classifier families, a saved artifact
+//! reloads bit-for-bit, serves predictions identical to the in-memory
+//! model (including cold-start rows with unseen FK values), and every
+//! corruption of the document yields a typed error — never a panic.
+
+use proptest::prelude::*;
+
+use hamlet::core::advisor::AdvisorConfig;
+use hamlet::ml::classifier::Model;
+use hamlet::ml::dataset::Dataset;
+use hamlet::relational::{AttributeTable, Domain, StarSchema, TableBuilder};
+use hamlet::serve::artifact::{from_json_str, to_json_string};
+use hamlet::serve::{build_artifact, ModelKind, Scorer};
+
+/// Strategy: a random one-attribute-table star, large enough to survive
+/// the 50/25/25 split with a usable training set.
+fn star_instance() -> impl Strategy<Value = (usize, Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (2usize..8).prop_flat_map(|n_r| {
+        (
+            Just(n_r),
+            proptest::collection::vec(0..4u32, n_r), // X_R per RID
+            proptest::collection::vec(0..n_r as u32, 40..120), // FK codes
+        )
+            .prop_flat_map(|(n_r, xr, fks)| {
+                let n_s = fks.len();
+                (
+                    Just(n_r),
+                    Just(xr),
+                    Just(fks),
+                    proptest::collection::vec(0..3u32, n_s), // entity feature
+                    proptest::collection::vec(0..2u32, n_s), // labels
+                )
+            })
+    })
+}
+
+fn build_star(n_r: usize, xr: Vec<u32>, fks: Vec<u32>, xs: Vec<u32>, ys: Vec<u32>) -> StarSchema {
+    let rid = Domain::indexed("RID", n_r).shared();
+    let r = TableBuilder::new("R")
+        .primary_key("RID", rid.clone(), (0..n_r as u32).collect())
+        .feature("xr", Domain::indexed("xr", 4).shared(), xr)
+        .build()
+        .unwrap();
+    let s = TableBuilder::new("S")
+        .target("y", Domain::boolean("y").shared(), ys)
+        .feature("xs", Domain::indexed("xs", 3).shared(), xs)
+        .foreign_key("fk", "R", rid, fks)
+        .build()
+        .unwrap();
+    StarSchema::new(
+        s,
+        vec![AttributeTable {
+            fk: "fk".into(),
+            table: r,
+        }],
+    )
+    .unwrap()
+}
+
+const FAMILIES: [ModelKind; 3] = [
+    ModelKind::NaiveBayes,
+    ModelKind::LogisticRegression,
+    ModelKind::Tan,
+];
+
+proptest! {
+    /// save-model -> load -> predict is bit-for-bit identical to the
+    /// in-memory model for every family, on every entity row.
+    #[test]
+    fn reloaded_artifact_predicts_bit_for_bit((n_r, xr, fks, xs, ys) in star_instance()) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        for kind in FAMILIES {
+            let built =
+                build_artifact(&star, kind, &AdvisorConfig::default(), "prop").unwrap();
+            let text = to_json_string(&built.artifact);
+            let reloaded = from_json_str(&text).unwrap();
+            prop_assert_eq!(&built.artifact, &reloaded, "{} artifact drifted", kind.name());
+
+            // The reference: the in-memory model scoring the same view
+            // the artifact was built from (all FKs cold-start-revised,
+            // avoided joins not materialized).
+            let in_memory = Scorer::new(built.artifact);
+            let served = Scorer::new(reloaded);
+
+            // Rows drawn from the model's own input schema: code r % size
+            // per feature keeps everything in-domain.
+            let rows: Vec<Vec<u32>> = (0..star.n_s())
+                .map(|r| {
+                    in_memory
+                        .artifact()
+                        .features
+                        .iter()
+                        .map(|f| (r % f.domain_size) as u32)
+                        .collect()
+                })
+                .collect();
+            let a = in_memory.predict_codes(&rows).unwrap();
+            let b = served.predict_codes(&rows).unwrap();
+            // Bit-for-bit: classes, labels, AND float scores.
+            prop_assert_eq!(a, b, "{} served != in-memory", kind.name());
+        }
+    }
+
+    /// Unseen-FK rows route through the Others bucket: any out-of-domain
+    /// FK code predicts exactly like the trained Others code.
+    #[test]
+    fn cold_start_rows_score_like_others(
+        (n_r, xr, fks, xs, ys) in star_instance(),
+        unseen_offset in 1u32..1000
+    ) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        for kind in FAMILIES {
+            let built =
+                build_artifact(&star, kind, &AdvisorConfig::default(), "prop").unwrap();
+            let scorer = Scorer::new(built.artifact);
+            let a = scorer.artifact();
+            let fk_pos = a.features.iter().position(|f| f.fk.is_some()).unwrap();
+            let others = a.features[fk_pos].fk.as_ref().unwrap().others_code;
+            let original = a.features[fk_pos].fk.as_ref().unwrap().original_domain as u32;
+
+            let mut unseen_row: Vec<u32> = a.features.iter().map(|_| 0).collect();
+            unseen_row[fk_pos] = original + unseen_offset - 1;
+            let mut others_row = unseen_row.clone();
+            others_row[fk_pos] = others;
+
+            let preds = scorer.predict_codes(&[unseen_row, others_row]).unwrap();
+            prop_assert_eq!(&preds[0], &preds[1], "{}: unseen FK != Others", kind.name());
+        }
+    }
+
+    /// The scorer agrees with Model::predict_row on the materialized
+    /// avoid-view dataset (the training-side ground truth).
+    #[test]
+    fn scorer_matches_direct_model_prediction((n_r, xr, fks, xs, ys) in star_instance()) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let built = build_artifact(
+            &star,
+            ModelKind::NaiveBayes,
+            &AdvisorConfig::default(),
+            "prop",
+        )
+        .unwrap();
+        let scorer = Scorer::new(built.artifact.clone());
+
+        // Rebuild the serving view the way export does: avoided joins out,
+        // FKs revised. For this one-attribute star the advisor either
+        // avoided (view = entity) or joined (view = full join); either
+        // way the artifact's feature schema tells us which.
+        let avoided = built.artifact.decisions[0].avoid;
+        let wide = if avoided {
+            // Only entity columns; FK codes in the artifact's widened
+            // domain coincide with raw codes (all raw codes are seen).
+            star.materialize_none()
+        } else {
+            star.materialize_all().unwrap()
+        };
+        let data = Dataset::from_table(&wide);
+        let rows: Vec<Vec<u32>> = (0..data.n_examples())
+            .map(|r| {
+                (0..data.n_features())
+                    .map(|f| data.feature(f).codes[r])
+                    .collect()
+            })
+            .collect();
+        let preds = scorer.predict_codes(&rows).unwrap();
+        for (r, p) in preds.iter().enumerate() {
+            prop_assert_eq!(p.class, built.artifact.model.predict_row(&data, r), "row {}", r);
+        }
+    }
+
+    /// Truncation at ANY byte yields a typed error, never a panic.
+    #[test]
+    fn truncated_artifacts_never_panic(
+        (n_r, xr, fks, xs, ys) in star_instance(),
+        frac in 0.0f64..1.0
+    ) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let built = build_artifact(
+            &star,
+            ModelKind::NaiveBayes,
+            &AdvisorConfig::default(),
+            "prop",
+        )
+        .unwrap();
+        let text = to_json_string(&built.artifact);
+        let cut = ((text.len() as f64) * frac) as usize;
+        prop_assert!(from_json_str(&text[..cut.min(text.len() - 1)]).is_err());
+    }
+
+    /// Flipping any byte of the document to a different character yields
+    /// a typed error (checksum, schema, or parse), never a panic and
+    /// never a silently different model.
+    #[test]
+    fn bit_flipped_artifacts_never_panic(
+        (n_r, xr, fks, xs, ys) in star_instance(),
+        pos_frac in 0.0f64..1.0,
+        replacement in 0u8..=255
+    ) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let built = build_artifact(
+            &star,
+            ModelKind::NaiveBayes,
+            &AdvisorConfig::default(),
+            "prop",
+        )
+        .unwrap();
+        let text = to_json_string(&built.artifact);
+        let pos = (((text.len() - 1) as f64) * pos_frac) as usize;
+        let mut bytes = text.clone().into_bytes();
+        prop_assume!(bytes[pos] != replacement);
+        bytes[pos] = replacement;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        match from_json_str(&corrupted) {
+            // Typed error: fine, the corruption was caught.
+            Err(_) => {}
+            // A parse that still succeeds must mean the reload is
+            // byte-equivalent under canonical re-rendering (e.g. a
+            // whitespace byte outside any token changed to another
+            // whitespace byte) — the model itself cannot have drifted.
+            Ok(reloaded) => prop_assert_eq!(reloaded, built.artifact),
+        }
+    }
+}
