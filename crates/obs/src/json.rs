@@ -127,13 +127,19 @@ impl Json {
     }
 
     /// Parses one JSON document (trailing whitespace allowed).
+    ///
+    /// Nesting is capped at [`MAX_PARSE_DEPTH`] levels: the parser is
+    /// recursive descent, and without the cap a hostile document of a
+    /// few hundred thousand `[` characters overflows the thread stack —
+    /// an abort, not a catchable error. Beyond the cap parsing returns
+    /// a normal `Err`.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             chars: text.char_indices().peekable(),
             text,
         };
         p.skip_ws();
-        let v = p.value()?;
+        let v = p.value(0)?;
         p.skip_ws();
         match p.chars.next() {
             None => Ok(v),
@@ -141,6 +147,11 @@ impl Json {
         }
     }
 }
+
+/// Maximum container nesting [`Json::parse`] accepts. Deep enough for
+/// any document this workspace produces; shallow enough that the
+/// recursive parser stays well inside even a small thread stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 struct Parser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
@@ -169,7 +180,12 @@ impl Parser<'_> {
         Ok(value)
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth >= MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting exceeds {MAX_PARSE_DEPTH} levels; document rejected"
+            ));
+        }
         self.skip_ws();
         match self.chars.peek().copied() {
             None => Err("unexpected end of input".into()),
@@ -183,13 +199,13 @@ impl Parser<'_> {
                 }
                 loop {
                     self.skip_ws();
-                    let key = match self.value()? {
+                    let key = match self.value(depth + 1)? {
                         Json::Str(s) => s,
                         other => return Err(format!("object key must be a string, got {other}")),
                     };
                     self.skip_ws();
                     self.expect(':')?;
-                    let v = self.value()?;
+                    let v = self.value(depth + 1)?;
                     members.push((key, v));
                     self.skip_ws();
                     match self.chars.next() {
@@ -211,7 +227,7 @@ impl Parser<'_> {
                     return Ok(Json::Arr(items));
                 }
                 loop {
-                    items.push(self.value()?);
+                    items.push(self.value(depth + 1)?);
                     self.skip_ws();
                     match self.chars.next() {
                         Some((_, ',')) => continue,
@@ -348,6 +364,24 @@ mod tests {
             Some(-25.0)
         );
         assert_eq!(v.get("b").and_then(Json::as_str), Some("xA"));
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // A few hundred thousand '[' would overflow the stack without
+        // the depth cap — overflow is an abort, not a catchable panic,
+        // so this test existing and passing IS the regression check.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(500_000);
+            let err = Json::parse(&deep).unwrap_err();
+            assert!(err.contains("nesting exceeds"), "{err}");
+        }
+        // Balanced-but-too-deep documents are rejected too.
+        let balanced = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(Json::parse(&balanced).is_err());
+        // Documents at reasonable depth still parse.
+        let ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH - 1), "]".repeat(MAX_PARSE_DEPTH - 1));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub enum ArtifactError {
     /// The payload is structurally malformed (missing/ill-typed fields,
     /// inconsistent shapes, out-of-range indices).
     Schema(String),
+    /// A parameter is NaN or infinite. JSON cannot represent non-finite
+    /// numbers (they would render as `null` and fail `finite_of` on
+    /// load), so saving such a model would silently produce an artifact
+    /// that can never be loaded; the save is refused instead.
+    NonFinite {
+        /// JSON path of the offending value within the payload.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -103,6 +111,11 @@ impl std::fmt::Display for ArtifactError {
                  payload hashes to {actual} — the file is corrupt or was edited"
             ),
             ArtifactError::Schema(e) => write!(f, "malformed artifact payload: {e}"),
+            ArtifactError::NonFinite { path } => write!(
+                f,
+                "model parameter {path} is not finite (NaN or infinity); \
+                 the artifact would be unloadable, refusing to save it"
+            ),
         }
     }
 }
@@ -402,9 +415,36 @@ pub fn to_json_string(a: &ModelArtifact) -> String {
     .to_string()
 }
 
+/// Walks a rendered payload and reports the first non-finite number as
+/// a typed error with its JSON path. `Json::Num` renders NaN/Infinity
+/// as `null`, which `finite_of` rejects on load — so a non-finite
+/// parameter (e.g. a diverged logreg weight or a `-inf` log-prob from
+/// degenerate smoothing) must be caught at write time, not deploy time.
+fn check_finite(j: &Json, path: &str) -> Result<(), ArtifactError> {
+    match j {
+        Json::Num(n) if !n.is_finite() => Err(ArtifactError::NonFinite { path: path.into() }),
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .try_for_each(|(i, v)| check_finite(v, &format!("{path}[{i}]"))),
+        Json::Obj(members) => members
+            .iter()
+            .try_for_each(|(k, v)| check_finite(v, &format!("{path}.{k}"))),
+        _ => Ok(()),
+    }
+}
+
+/// Validates that every numeric parameter in the artifact is finite —
+/// the precondition for the artifact being loadable after rendering.
+pub fn validate_finite(a: &ModelArtifact) -> Result<(), ArtifactError> {
+    check_finite(&payload_json(a), "payload")
+}
+
 /// Writes an artifact atomically (tmp + fsync + rename via
-/// `hamlet_obs::atomic_write`).
+/// `hamlet_obs::atomic_write`), refusing models with non-finite
+/// parameters (see [`validate_finite`]).
 pub fn save(a: &ModelArtifact, path: &Path) -> Result<(), ArtifactError> {
+    validate_finite(a)?;
     hamlet_obs::atomic_write(path, to_json_string(a).as_bytes()).map_err(|e| ArtifactError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
@@ -1050,6 +1090,50 @@ mod tests {
             let b = from_json_str(&to_json_string(&a)).unwrap();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn non_finite_parameters_refuse_to_save() {
+        // A NaN log-prior: renders as `null`, which would fail
+        // finite_of on load — save must refuse up front.
+        let mut a = nb_artifact();
+        if let ServableModel::NaiveBayes(m) = &a.model {
+            let mut prior = m.log_prior().to_vec();
+            prior[1] = f64::NAN;
+            a.model = ServableModel::NaiveBayes(NaiveBayesModel::from_parts(
+                m.features().to_vec(),
+                m.n_classes(),
+                prior,
+                (0..m.features().len()).map(|i| m.log_cond(i).to_vec()).collect(),
+                m.domain_sizes().to_vec(),
+            ));
+        }
+        let dir = std::env::temp_dir().join("hamlet_nonfinite_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        match save(&a, &path) {
+            Err(ArtifactError::NonFinite { path }) => {
+                assert_eq!(path, "payload.model.log_prior[1]");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(!path.exists(), "refused save must not leave a file");
+
+        // Non-finite decision evidence is caught too.
+        let mut b = nb_artifact();
+        b.decisions[0].tuple_ratio = f64::INFINITY;
+        match validate_finite(&b) {
+            Err(ArtifactError::NonFinite { path }) => {
+                assert_eq!(path, "payload.decisions[0].tuple_ratio");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+
+        // A healthy artifact still saves and round-trips through disk.
+        let good = nb_artifact();
+        save(&good, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), good);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,12 +8,23 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Maximum bytes of request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Maximum request body bytes (a ~1k-row batch is well under this).
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Total wall-clock budget for reading one request. The per-read
+/// timeout alone does not bound the whole request: a slow-loris client
+/// trickling one byte every few seconds resets it on every read and
+/// could pin a worker for hours. The deadline caps the sum.
+pub const READ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Longest a single `read()` may block (sharpened near the deadline so
+/// the loop observes it promptly).
+const PER_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Failpoint armed while writing responses
 /// (`HAMLET_FAILPOINTS=serve.response_write=io`).
@@ -40,6 +51,9 @@ pub enum ReadError {
     Malformed(String),
     /// Head or body exceeded its cap.
     TooLarge(&'static str),
+    /// The client did not deliver the full request within the deadline
+    /// (slow-loris defense).
+    TooSlow,
 }
 
 impl std::fmt::Display for ReadError {
@@ -48,6 +62,7 @@ impl std::fmt::Display for ReadError {
             ReadError::Io(e) => write!(f, "socket error: {e}"),
             ReadError::Malformed(e) => write!(f, "malformed request: {e}"),
             ReadError::TooLarge(what) => write!(f, "{what} exceeds the server limit"),
+            ReadError::TooSlow => write!(f, "request was not fully received within the deadline"),
         }
     }
 }
@@ -59,13 +74,46 @@ impl ReadError {
             ReadError::Io(_) => (400, "Bad Request"),
             ReadError::Malformed(_) => (400, "Bad Request"),
             ReadError::TooLarge(_) => (413, "Payload Too Large"),
+            ReadError::TooSlow => (408, "Request Timeout"),
         }
     }
 }
 
+/// One deadline-aware read: blocks at most until the overall deadline
+/// (or [`PER_READ_TIMEOUT`], whichever is sooner). A stall past either
+/// bound is [`ReadError::TooSlow`].
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    started: Instant,
+    deadline: Duration,
+) -> Result<usize, ReadError> {
+    let remaining = deadline
+        .checked_sub(started.elapsed())
+        .filter(|r| !r.is_zero())
+        .ok_or(ReadError::TooSlow)?;
+    let _ = stream.set_read_timeout(Some(remaining.min(PER_READ_TIMEOUT)));
+    match stream.read(chunk) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(ReadError::TooSlow)
+        }
+        Err(e) => Err(ReadError::Io(e.to_string())),
+    }
+}
+
 /// Reads one request from the stream: head until `\r\n\r\n`, then a
-/// `Content-Length` body.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+/// `Content-Length` body. The whole request must arrive within
+/// `deadline` (the server passes [`READ_DEADLINE`]); the cap is total
+/// wall clock, not per read, so a byte-at-a-time client cannot pin a
+/// worker.
+pub fn read_request(stream: &mut TcpStream, deadline: Duration) -> Result<Request, ReadError> {
+    let started = Instant::now();
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
@@ -75,9 +123,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ReadError::TooLarge("request head"));
         }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| ReadError::Io(e.to_string()))?;
+        let n = read_some(stream, &mut chunk, started, deadline)?;
         if n == 0 {
             return Err(ReadError::Malformed(
                 "connection closed before the end of headers".into(),
@@ -116,9 +162,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
 
     let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| ReadError::Io(e.to_string()))?;
+        let n = read_some(stream, &mut chunk, started, deadline)?;
         if n == 0 {
             return Err(ReadError::Malformed(
                 "connection closed before the end of the body".into(),
@@ -169,7 +213,7 @@ mod tests {
         // instead of blocking.
         client.shutdown(std::net::Shutdown::Write).unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
-        read_request(&mut server_side)
+        read_request(&mut server_side, Duration::from_secs(5))
     }
 
     #[test]
@@ -219,6 +263,32 @@ mod tests {
             Err(e @ ReadError::TooLarge(_)) => assert_eq!(e.status().0, 413),
             other => panic!("expected TooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn slow_loris_hits_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A client trickling one byte at a time, each read well inside
+        // any per-read timeout, never finishing the head.
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            for b in b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".iter().cycle() {
+                if c.write_all(&[*b]).is_err() {
+                    return; // server gave up — expected
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let started = std::time::Instant::now();
+        let err = read_request(&mut server_side, Duration::from_millis(250)).unwrap_err();
+        assert_eq!(err, ReadError::TooSlow);
+        assert_eq!(err.status().0, 408);
+        // The worker was released promptly, not after hours.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        drop(server_side);
+        client.join().unwrap();
     }
 
     #[test]

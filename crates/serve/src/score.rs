@@ -397,9 +397,16 @@ impl Scorer {
     /// Scores a request body: `{"rows": [...]}`, a bare array of rows,
     /// or a single row object. Errors identify the first offending row
     /// or feature; on error nothing is predicted (all-or-nothing).
+    ///
+    /// Disambiguation: an object body is the batch envelope only when
+    /// `rows` is *not* a feature of the model's schema. A model trained
+    /// with a feature literally named `rows` is still scorable as a
+    /// single named row — its `rows` member is the feature value, and
+    /// batches must use the bare-array form.
     pub fn predict_body(&self, body: &Json) -> Result<Vec<Prediction>, ScoreError> {
+        let rows_is_feature = self.by_name.contains_key("rows");
         let rows: Vec<&Json> = match body {
-            Json::Obj(_) => match body.get("rows") {
+            Json::Obj(_) if !rows_is_feature => match body.get("rows") {
                 Some(Json::Arr(rows)) => rows.iter().collect(),
                 Some(_) => {
                     return Err(ScoreError::BadValue {
@@ -410,6 +417,8 @@ impl Scorer {
                 // A single named row.
                 None => vec![body],
             },
+            // A single named row (schema has a feature named "rows").
+            Json::Obj(_) => vec![body],
             Json::Arr(rows) => rows.iter().collect(),
             _ => return Err(ScoreError::NotAnObject),
         };
@@ -646,6 +655,44 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("fk"));
+    }
+
+    #[test]
+    fn feature_named_rows_is_not_mistaken_for_the_envelope() {
+        // One feature literally named "rows" (domain 3, integer-coded).
+        let model = NaiveBayesModel::from_parts(
+            vec![0],
+            2,
+            vec![(0.5f64).ln(), (0.5f64).ln()],
+            vec![vec![
+                0.2f64.ln(),
+                0.3f64.ln(),
+                0.5f64.ln(),
+                0.5f64.ln(),
+                0.3f64.ln(),
+                0.2f64.ln(),
+            ]],
+            vec![3],
+        );
+        let s = Scorer::new(ModelArtifact {
+            dataset: "unit".into(),
+            n_classes: 2,
+            class_labels: None,
+            features: vec![FeatureSchema {
+                name: "rows".into(),
+                domain_size: 3,
+                labels: None,
+                fk: None,
+            }],
+            decisions: vec![],
+            model: ServableModel::NaiveBayes(model),
+        });
+        // A single named row whose only member is the feature "rows".
+        let named = s.predict_body(&parse(r#"{"rows":2}"#)).unwrap();
+        let positional = s.predict_body(&parse(r#"[[2]]"#)).unwrap();
+        assert_eq!(named, positional);
+        // Batches still work via the bare-array form.
+        assert_eq!(s.predict_body(&parse(r#"[[0],[1]]"#)).unwrap().len(), 2);
     }
 
     #[test]

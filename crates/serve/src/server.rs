@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use hamlet_obs::json::{obj, Json};
 use hamlet_obs::{counter_add, histogram_observe, span};
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, Request, READ_DEADLINE};
 use crate::score::Scorer;
 
 /// Server configuration.
@@ -290,10 +290,10 @@ fn worker_loop(inner: &Inner) {
 }
 
 fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
-    // A client that stops sending mid-request must not pin a worker.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    // A client that stops sending (or trickles bytes) mid-request must
+    // not pin a worker: read_request enforces a total deadline.
     let started = Instant::now();
-    let request = read_request(stream);
+    let request = read_request(stream, READ_DEADLINE);
     let (path, method) = match &request {
         Ok(r) => (r.path.clone(), r.method.clone()),
         Err(_) => ("<unreadable>".to_string(), "-".to_string()),
@@ -592,6 +592,27 @@ mod tests {
         let stats = h.join();
         assert!(stats.requests >= 7, "{stats:?}");
         assert!(stats.errors >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn deeply_nested_predict_body_is_400_and_the_worker_survives() {
+        // Without the parser depth cap this body would overflow the
+        // worker's stack — a SIGSEGV/abort killing the whole process,
+        // not a catchable panic. It must instead be a typed 400.
+        let h = start_test_server(1, 8);
+        let port = h.port();
+        let bomb = "[".repeat(300_000);
+        let resp = post(port, "/predict", &bomb);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("bad_json"), "{resp}");
+        assert!(resp.contains("nesting exceeds"), "{resp}");
+        // The single worker is still alive and serving.
+        let ok = get(port, "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        h.stop();
+        let stats = h.join();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
     }
 
     #[test]
