@@ -125,7 +125,8 @@ pub fn skew_guard_report(opts: &MonteCarloOpts) -> String {
         // Diagnostics on one large sample.
         let world = cfg.build_world(opts.base_seed);
         let sample = world.sample(4_000, opts.base_seed + 1);
-        let data = Dataset::from_table(&sample.star.materialize_all().expect("materializes"));
+        let data =
+            Dataset::from_table_trusted(&sample.star.materialize_all().expect("materializes"));
         let fk = data.feature(data.feature_index("FK").expect("FK present"));
         let rows: Vec<usize> = (0..data.n_examples()).collect();
         let report = diagnose_skew(

@@ -8,7 +8,7 @@ use hamlet_datagen::realistic::DatasetSpec;
 use hamlet_fs::Method;
 use hamlet_ml::classifier::ErrorMetric;
 
-use crate::runner::{prepare_plan, run_method, PlanMethodRun};
+use crate::runner::{prepare_plan, run_methods, PlanMethodRun};
 use crate::table::{f2, f4, TextTable};
 
 /// All results for one dataset.
@@ -39,9 +39,10 @@ pub fn run_dataset(spec: &DatasetSpec, scale: f64, seed: u64) -> DatasetResults 
     let prepared_all = prepare_plan(&g.star, all_plan, seed).expect("synthetic star materializes");
     let prepared_opt = prepare_plan(&g.star, opt_plan, seed).expect("synthetic star materializes");
 
-    let runs = Method::ALL
-        .iter()
-        .map(|&m| (run_method(&prepared_all, m), run_method(&prepared_opt, m)))
+    // One statistics cache per plan, shared by all four methods.
+    let runs = run_methods(&prepared_all, &Method::ALL)
+        .into_iter()
+        .zip(run_methods(&prepared_opt, &Method::ALL))
         .collect();
 
     DatasetResults {

@@ -6,12 +6,13 @@ use std::time::{Duration, Instant};
 use hamlet_core::planner::{plan, JoinPlan, PlanKind};
 use hamlet_core::rules::TrRule;
 use hamlet_datagen::sim::SimulationConfig;
-use hamlet_fs::{Method, SelectionContext, SelectionResult};
+use hamlet_fs::{Method, SelectionContext, SelectionResult, SweepEngine};
 use hamlet_ml::bias_variance::{decompose, BiasVarianceReport};
-use hamlet_ml::classifier::{Classifier, ErrorMetric, Model};
+use hamlet_ml::classifier::{ErrorMetric, Model};
 use hamlet_ml::dataset::Dataset;
 use hamlet_ml::naive_bayes::NaiveBayes;
 use hamlet_ml::split::HoldoutSplit;
+use hamlet_ml::suffstats::{SuffStats, SweepFit};
 use hamlet_obs::env::{var_where, EnvError};
 use hamlet_relational::{RelationalError, StarSchema};
 
@@ -156,7 +157,7 @@ pub fn simulate(cfg: &SimulationConfig, n_s: usize, opts: &MonteCarloOpts) -> [S
 /// [`simulate`] generalized over the classifier — used by the
 /// future-work experiment to check whether the rules' behaviour
 /// transfers to models with non-linear VC dimensions (decision trees).
-pub fn simulate_with<C: Classifier + Sync>(
+pub fn simulate_with<C: SweepFit + Sync>(
     nb: &C,
     cfg: &SimulationConfig,
     n_s: usize,
@@ -189,7 +190,7 @@ pub fn simulate_with<C: Classifier + Sync>(
             .star
             .materialize_all()
             .expect("simulation star always materializes");
-        let test_data = Dataset::from_table(&test_table);
+        let test_data = Dataset::from_table_trusted(&test_table);
         let test_rows: Vec<usize> = (0..test_data.n_examples()).collect();
 
         // One (choice -> predictions) bundle per training set; the
@@ -204,12 +205,15 @@ pub fn simulate_with<C: Classifier + Sync>(
                 .star
                 .materialize_all()
                 .expect("simulation star always materializes");
-            let data = Dataset::from_table(&table);
+            let data = Dataset::from_table_trusted(&table);
             let rows: Vec<usize> = (0..data.n_examples()).collect();
+            // One statistics cache per training table: the three
+            // feature-set choices share every per-feature count table.
+            let stats = SuffStats::new(&data, &rows);
             let mut out: [Vec<u32>; 3] = Default::default();
             for (c, choice) in FeatureSetChoice::ALL.iter().enumerate() {
                 let feats = choice.features(&data);
-                let model = nb.fit(&data, &rows, &feats);
+                let model = nb.fit_swept(&stats, &feats, None);
                 out[c] = model.predict(&test_data, &test_rows);
             }
             // A failed cell write degrades to running without the
@@ -246,52 +250,19 @@ pub fn simulate_with<C: Classifier + Sync>(
     ]
 }
 
-/// Runs `job(0..n)` across scoped threads (up to `HAMLET_THREADS`,
-/// default `available_parallelism`), returning results in index order.
-/// Falls back to sequential execution for tiny workloads. An invalid
-/// `HAMLET_THREADS` cannot abort mid-experiment from here, so it is
-/// reported loudly (stderr + run journal) and the default is used.
+/// Runs `job(0..n)` across scoped threads, returning results in index
+/// order. The worker count is the once-per-process `HAMLET_THREADS`
+/// resolution ([`hamlet_obs::env::resolved_threads`]): it used to be
+/// re-read from the environment on every parallel region, which both
+/// repeated the parse/warn work mid-experiment and let a mid-run
+/// `set_var` change the worker count between regions. Now it is
+/// resolved and journalled exactly once.
 fn run_indexed_parallel<T, F>(n: usize, job: &F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let default_threads = || {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    };
-    let threads = var_where("HAMLET_THREADS", "a positive integer", |&t: &usize| t > 0)
-        .unwrap_or_else(|e| {
-            hamlet_obs::record_warning(format!("{e}; using available parallelism"));
-            None
-        })
-        .unwrap_or_else(default_threads)
-        .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(job).collect();
-    }
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = job(i);
-                **slots[i].lock().expect("slot lock never poisoned") = Some(value);
-            });
-        }
-    });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every index was produced"))
-        .collect()
+    hamlet_obs::parallel::run_indexed(n, hamlet_obs::env::resolved_threads(), job)
 }
 
 /// One end-to-end run: a dataset plan materialized, a feature-selection
@@ -352,10 +323,14 @@ pub fn prepare_plan(
     })
 }
 
-/// Runs one feature-selection method on a prepared plan with Naive Bayes
-/// and scores the selected subset on the holdout test rows.
-pub fn run_method(prepared: &PreparedPlan, method: Method) -> PlanMethodRun {
-    let _span = hamlet_obs::span!("experiments.run_method", method = method.name());
+/// Runs several feature-selection methods on one prepared plan with
+/// Naive Bayes, scoring each selected subset on the holdout test rows.
+///
+/// All methods share a single [`SweepEngine`] — one sufficient-statistics
+/// cache per (plan, fold), so the per-feature count tables built during
+/// the first method's sweep are reused by every later method and by the
+/// final-model fits (zero additional row scans).
+pub fn run_methods(prepared: &PreparedPlan, methods: &[Method]) -> Vec<PlanMethodRun> {
     let nb = NaiveBayes::default();
     let candidates: Vec<usize> = (0..prepared.data.n_features()).collect();
     let ctx = SelectionContext {
@@ -365,29 +340,45 @@ pub fn run_method(prepared: &PreparedPlan, method: Method) -> PlanMethodRun {
         classifier: &nb,
         metric: prepared.metric,
     };
-    let started = Instant::now();
-    let selection = method.run(&ctx, &candidates);
-    let selection_time = started.elapsed();
+    let engine = SweepEngine::new(&ctx);
+    methods
+        .iter()
+        .map(|&method| {
+            let _span = hamlet_obs::span!("experiments.run_method", method = method.name());
+            let started = Instant::now();
+            let selection = method.run_with(&engine, &candidates);
+            let selection_time = started.elapsed();
 
-    let final_model = nb.fit(&prepared.data, &prepared.split.train, &selection.features);
-    let test_error = prepared
-        .metric
-        .eval(&final_model, &prepared.data, &prepared.split.test);
+            let final_model = nb.fit_swept(engine.stats(), &selection.features, None);
+            let test_error =
+                prepared
+                    .metric
+                    .eval(&final_model, &prepared.data, &prepared.split.test);
 
-    PlanMethodRun {
-        plan_kind: prepared.plan.kind,
-        tables_in_input: 1 + prepared.plan.joined.len(),
-        candidate_features: candidates.len(),
-        method,
-        selected_names: selection
-            .feature_names(&prepared.data)
-            .into_iter()
-            .map(str::to_string)
-            .collect(),
-        selection,
-        test_error,
-        selection_time,
-    }
+            PlanMethodRun {
+                plan_kind: prepared.plan.kind,
+                tables_in_input: 1 + prepared.plan.joined.len(),
+                candidate_features: candidates.len(),
+                method,
+                selected_names: selection
+                    .feature_names(&prepared.data)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                selection,
+                test_error,
+                selection_time,
+            }
+        })
+        .collect()
+}
+
+/// Runs one feature-selection method on a prepared plan with Naive Bayes
+/// and scores the selected subset on the holdout test rows.
+pub fn run_method(prepared: &PreparedPlan, method: Method) -> PlanMethodRun {
+    run_methods(prepared, &[method])
+        .pop()
+        .expect("one method in, one run out")
 }
 
 /// Builds the paper's JoinOpt plan with the default TR rule (the ROR

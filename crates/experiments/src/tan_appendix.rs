@@ -44,8 +44,8 @@ pub fn compare(n_s: usize, n_r: usize, d_r: usize, seed: u64) -> TanComparison {
     let world = cfg.build_world(seed);
     let train = world.sample(n_s, seed + 1);
     let test = world.sample(n_s / 4, seed + 2);
-    let train_data = Dataset::from_table(&train.star.materialize_all().unwrap());
-    let test_data = Dataset::from_table(&test.star.materialize_all().unwrap());
+    let train_data = Dataset::from_table_trusted(&train.star.materialize_all().unwrap());
+    let test_data = Dataset::from_table_trusted(&test.star.materialize_all().unwrap());
     let rows: Vec<usize> = (0..train_data.n_examples()).collect();
     let test_rows: Vec<usize> = (0..test_data.n_examples()).collect();
     let feats: Vec<usize> = (0..train_data.n_features()).collect();

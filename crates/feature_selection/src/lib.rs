@@ -22,9 +22,10 @@ use hamlet_ml::classifier::{Classifier, ErrorMetric};
 use hamlet_ml::dataset::Dataset;
 use hamlet_ml::info::{information_gain_ratio, mutual_information};
 use hamlet_ml::logreg::LogisticRegression;
+use hamlet_ml::suffstats::{SuffStats, SweepFit};
 
 /// Everything a selection method needs to score candidate subsets.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct SelectionContext<'a, C: Classifier> {
     /// The single-table dataset (post- or pre-join).
     pub data: &'a Dataset,
@@ -37,6 +38,16 @@ pub struct SelectionContext<'a, C: Classifier> {
     /// Error metric (zero-one or RMSE per the paper's convention).
     pub metric: ErrorMetric,
 }
+
+// Manual impls: every field is a shared reference or `Copy`, and the
+// derives would demand `C: Clone + Copy` for no reason.
+impl<C: Classifier> Clone for SelectionContext<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C: Classifier> Copy for SelectionContext<'_, C> {}
 
 impl<'a, C: Classifier> SelectionContext<'a, C> {
     /// Trains on the training rows with `feats` and returns the
@@ -85,100 +96,333 @@ impl SelectionResult {
 /// Minimum improvement in validation error for a greedy step to be kept.
 const IMPROVEMENT_TOL: f64 = 1e-9;
 
+/// Candidate-sweep engine: a [`SuffStats`] cache over the context's
+/// `(data, train)` pair plus a worker count, shared by every selection
+/// method run against the same fold.
+///
+/// Each greedy step's candidate sweep runs in parallel across scoped
+/// threads ([`hamlet_obs::parallel::run_indexed`], following the
+/// `HAMLET_THREADS` convention via
+/// [`hamlet_obs::env::resolved_threads`]), then reduces **in candidate
+/// index order** with exactly the serial scan's comparison chain — so
+/// results, traces, and `model_fits` are bit-for-bit identical at any
+/// thread count, and identical to the uncached serial implementations in
+/// [`reference`] for deterministic-decomposable classifiers (Naive
+/// Bayes). Candidate fits warm-start from the current subset's model
+/// where the classifier supports it ([`SweepFit`]); warm starts never
+/// count toward `model_fits`, keeping the paper's fit accounting equal
+/// to the reference path.
+pub struct SweepEngine<'a, C: Classifier> {
+    ctx: SelectionContext<'a, C>,
+    stats: SuffStats<'a>,
+    threads: usize,
+}
+
+impl<'a, C> SweepEngine<'a, C>
+where
+    C: SweepFit + Sync,
+    C::Fitted: Sync,
+{
+    /// Builds the statistics cache for the context's `(data, train)`
+    /// pair. Worker count comes from the once-per-process
+    /// `HAMLET_THREADS` resolution.
+    pub fn new(ctx: &SelectionContext<'a, C>) -> Self {
+        Self {
+            ctx: *ctx,
+            stats: SuffStats::new(ctx.data, ctx.train),
+            threads: hamlet_obs::env::resolved_threads(),
+        }
+    }
+
+    /// Overrides the worker count (results do not depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// The shared statistics cache (one per fold; reusable across
+    /// methods and by final-model fits).
+    pub fn stats(&self) -> &SuffStats<'a> {
+        &self.stats
+    }
+
+    /// The selection context the engine sweeps over.
+    pub fn context(&self) -> &SelectionContext<'a, C> {
+        &self.ctx
+    }
+
+    /// Fits `feats` through the cache and returns the validation error.
+    fn evaluate(&self, feats: &[usize], warm: Option<&C::Fitted>) -> f64 {
+        hamlet_obs::counter_add!("hamlet_fs_evaluations_total", 1);
+        let model = self.ctx.classifier.fit_swept(&self.stats, feats, warm);
+        self.ctx
+            .classifier
+            .eval_swept(&model, self.ctx.data, self.ctx.validation, self.ctx.metric)
+    }
+
+    /// Fits the current subset as the warm-start parent of the next
+    /// sweep (not counted as a candidate evaluation).
+    fn fit_parent(&self, feats: &[usize]) -> C::Fitted {
+        self.ctx.classifier.fit_swept(&self.stats, feats, None)
+    }
+
+    /// Validation error of an already-fitted model.
+    fn eval_model(&self, model: &C::Fitted) -> f64 {
+        hamlet_obs::counter_add!("hamlet_fs_evaluations_total", 1);
+        self.ctx
+            .classifier
+            .eval_swept(model, self.ctx.data, self.ctx.validation, self.ctx.metric)
+    }
+
+    /// Errors of one forward sweep, through the classifier's batched
+    /// path when it has one ([`SweepFit::forward_sweep`], a single pass
+    /// over the validation rows per worker), else one fit + eval per
+    /// candidate across the worker pool. Both routes produce the same
+    /// floats in candidate order.
+    fn forward_sweep_errs(
+        &self,
+        selected: &[usize],
+        remaining: &[usize],
+        parent: &C::Fitted,
+    ) -> Vec<f64> {
+        if let Some(errs) = self.ctx.classifier.forward_sweep(
+            &self.stats,
+            selected,
+            remaining,
+            self.ctx.validation,
+            self.ctx.metric,
+            self.threads,
+        ) {
+            hamlet_obs::counter_add!("hamlet_fs_evaluations_total", errs.len() as u64);
+            return errs;
+        }
+        hamlet_obs::parallel::run_indexed(remaining.len(), self.threads, &|i| {
+            let mut trial = selected.to_vec();
+            trial.push(remaining[i]);
+            trial.sort_unstable();
+            self.evaluate(&trial, Some(parent))
+        })
+    }
+
+    /// Errors of one backward sweep (drop each position of the sorted
+    /// current subset); batched when available, per-candidate otherwise.
+    fn backward_sweep_errs(&self, selected: &[usize], parent: &C::Fitted) -> Vec<f64> {
+        if let Some(errs) = self.ctx.classifier.backward_sweep(
+            &self.stats,
+            selected,
+            self.ctx.validation,
+            self.ctx.metric,
+            self.threads,
+        ) {
+            hamlet_obs::counter_add!("hamlet_fs_evaluations_total", errs.len() as u64);
+            return errs;
+        }
+        hamlet_obs::parallel::run_indexed(selected.len(), self.threads, &|i| {
+            let mut trial = selected.to_vec();
+            trial.remove(i);
+            self.evaluate(&trial, Some(parent))
+        })
+    }
+
+    /// Greedy forward selection with parallel candidate sweeps; see
+    /// [`forward_selection`].
+    pub fn forward(&self, candidates: &[usize]) -> SelectionResult {
+        let mut selected: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> = candidates.to_vec();
+        let mut fits = 1usize;
+        let mut trace: Vec<SearchStep> = Vec::new();
+        let mut parent = self.fit_parent(&selected);
+        let mut best_err = self.eval_model(&parent); // majority-class baseline
+
+        loop {
+            let errs = self.forward_sweep_errs(&selected, &remaining, &parent);
+            fits += errs.len();
+            // Reduce in candidate index order: identical winner to the
+            // serial scan regardless of which worker finished first.
+            let mut best_step: Option<(usize, f64)> = None; // (position in remaining, err)
+            for (i, &err) in errs.iter().enumerate() {
+                if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
+                    best_step = Some((i, err));
+                }
+            }
+            match best_step {
+                Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
+                    let f = remaining.swap_remove(i);
+                    selected.push(f);
+                    best_err = err;
+                    trace.push(SearchStep {
+                        feature: f,
+                        validation_error: err,
+                    });
+                }
+                _ => break,
+            }
+            if remaining.is_empty() {
+                break;
+            }
+            parent = self.fit_parent(&selected);
+        }
+
+        selected.sort_unstable();
+        SelectionResult {
+            features: selected,
+            validation_error: best_err,
+            model_fits: fits,
+            trace,
+        }
+    }
+
+    /// Greedy backward selection with parallel candidate sweeps; see
+    /// [`backward_selection`].
+    pub fn backward(&self, candidates: &[usize]) -> SelectionResult {
+        let mut selected: Vec<usize> = candidates.to_vec();
+        selected.sort_unstable();
+        let mut fits = 1usize;
+        let mut trace: Vec<SearchStep> = Vec::new();
+        let mut parent = self.fit_parent(&selected);
+        let mut best_err = self.eval_model(&parent);
+
+        while selected.len() > 1 {
+            let errs = self.backward_sweep_errs(&selected, &parent);
+            fits += errs.len();
+            let mut best_step: Option<(usize, f64)> = None;
+            for (i, &err) in errs.iter().enumerate() {
+                if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
+                    best_step = Some((i, err));
+                }
+            }
+            match best_step {
+                Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
+                    let removed = selected.remove(i);
+                    best_err = err;
+                    trace.push(SearchStep {
+                        feature: removed,
+                        validation_error: err,
+                    });
+                    parent = self.fit_parent(&selected);
+                }
+                _ => break,
+            }
+        }
+
+        SelectionResult {
+            features: selected,
+            validation_error: best_err,
+            model_fits: fits,
+            trace,
+        }
+    }
+
+    /// Filter selection: ranks by cached scores, evaluates every top-`k`
+    /// prefix in parallel; see [`filter_selection`].
+    pub fn filter(&self, candidates: &[usize], score: FilterScore) -> SelectionResult {
+        let mut ranked: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&f| (f, score.score_cached(&self.stats, f)))
+            .collect();
+        // Descending by score; ties broken by feature position for determinism.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let errs = hamlet_obs::parallel::run_indexed(ranked.len(), self.threads, &|i| {
+            let mut prefix: Vec<usize> = ranked[..=i].iter().map(|&(f, _)| f).collect();
+            prefix.sort_unstable();
+            self.evaluate(&prefix, None)
+        });
+        let fits = errs.len();
+        let mut best: Option<(usize, f64)> = None; // (k, err)
+        for (i, &err) in errs.iter().enumerate() {
+            if best.is_none_or(|(_, e)| err + IMPROVEMENT_TOL < e) {
+                best = Some((i + 1, err));
+            }
+        }
+
+        let (k, err) = best.unwrap_or((0, f64::INFINITY));
+        let mut features: Vec<usize> = ranked[..k].iter().map(|&(f, _)| f).collect();
+        features.sort_unstable();
+        SelectionResult {
+            features,
+            validation_error: err,
+            model_fits: fits,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Exhaustive subset search over all `2^k` masks, evaluated in
+    /// parallel; see [`exhaustive_selection`].
+    ///
+    /// # Panics
+    /// Panics if more than 20 candidates are given (2^20 fits is the
+    /// sanity ceiling).
+    pub fn exhaustive(&self, candidates: &[usize]) -> SelectionResult {
+        assert!(
+            candidates.len() <= 20,
+            "exhaustive search over {} candidates is intractable",
+            candidates.len()
+        );
+        let subset_of = |mask: usize| -> Vec<usize> {
+            candidates
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect()
+        };
+        let n_masks = 1usize << candidates.len();
+        let errs = hamlet_obs::parallel::run_indexed(n_masks, self.threads, &|mask| {
+            self.evaluate(&subset_of(mask), None)
+        });
+        // Reduce in mask order with the serial tie-break: strictly
+        // better error, or equal error with fewer features.
+        let mut best: Option<(usize, f64)> = None; // (mask, err)
+        for (mask, &err) in errs.iter().enumerate() {
+            let better = match &best {
+                None => true,
+                Some((b, e)) => {
+                    err + IMPROVEMENT_TOL < *e
+                        || ((err - e).abs() <= IMPROVEMENT_TOL
+                            && mask.count_ones() < b.count_ones())
+                }
+            };
+            if better {
+                best = Some((mask, err));
+            }
+        }
+        let (mask, validation_error) = best.expect("at least the empty subset was evaluated");
+        SelectionResult {
+            features: subset_of(mask),
+            validation_error,
+            model_fits: n_masks,
+            trace: Vec::new(),
+        }
+    }
+}
+
 /// Sequential greedy **forward selection** (Sec 2.2): start from the empty
 /// set; at each step add the candidate that most reduces validation error;
 /// stop when no addition improves it.
-pub fn forward_selection<C: Classifier>(
-    ctx: &SelectionContext<'_, C>,
-    candidates: &[usize],
-) -> SelectionResult {
-    let mut selected: Vec<usize> = Vec::new();
-    let mut remaining: Vec<usize> = candidates.to_vec();
-    let mut fits = 1usize;
-    let mut trace: Vec<SearchStep> = Vec::new();
-    let mut best_err = ctx.evaluate(&selected); // majority-class baseline
-
-    loop {
-        let mut best_step: Option<(usize, f64)> = None; // (position in remaining, err)
-        for (i, &f) in remaining.iter().enumerate() {
-            let mut trial = selected.clone();
-            trial.push(f);
-            trial.sort_unstable();
-            let err = ctx.evaluate(&trial);
-            fits += 1;
-            if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
-                best_step = Some((i, err));
-            }
-        }
-        match best_step {
-            Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
-                let f = remaining.swap_remove(i);
-                selected.push(f);
-                best_err = err;
-                trace.push(SearchStep {
-                    feature: f,
-                    validation_error: err,
-                });
-            }
-            _ => break,
-        }
-        if remaining.is_empty() {
-            break;
-        }
-    }
-
-    selected.sort_unstable();
-    SelectionResult {
-        features: selected,
-        validation_error: best_err,
-        model_fits: fits,
-        trace,
-    }
+///
+/// Candidate sweeps run through a fresh [`SweepEngine`] (shared
+/// statistics, parallel candidates, deterministic reduce); to reuse one
+/// statistics cache across several methods on the same fold, build the
+/// engine once and call its methods directly.
+pub fn forward_selection<C>(ctx: &SelectionContext<'_, C>, candidates: &[usize]) -> SelectionResult
+where
+    C: SweepFit + Sync,
+    C::Fitted: Sync,
+{
+    SweepEngine::new(ctx).forward(candidates)
 }
 
 /// Sequential greedy **backward selection** (Sec 2.2): start from the full
 /// candidate set; at each step drop the feature whose removal most reduces
 /// validation error; stop when no removal improves it.
-pub fn backward_selection<C: Classifier>(
-    ctx: &SelectionContext<'_, C>,
-    candidates: &[usize],
-) -> SelectionResult {
-    let mut selected: Vec<usize> = candidates.to_vec();
-    selected.sort_unstable();
-    let mut fits = 1usize;
-    let mut trace: Vec<SearchStep> = Vec::new();
-    let mut best_err = ctx.evaluate(&selected);
-
-    while selected.len() > 1 {
-        let mut best_step: Option<(usize, f64)> = None;
-        for i in 0..selected.len() {
-            let mut trial = selected.clone();
-            trial.remove(i);
-            let err = ctx.evaluate(&trial);
-            fits += 1;
-            if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
-                best_step = Some((i, err));
-            }
-        }
-        match best_step {
-            Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
-                let removed = selected.remove(i);
-                best_err = err;
-                trace.push(SearchStep {
-                    feature: removed,
-                    validation_error: err,
-                });
-            }
-            _ => break,
-        }
-    }
-
-    SelectionResult {
-        features: selected,
-        validation_error: best_err,
-        model_fits: fits,
-        trace,
-    }
+pub fn backward_selection<C>(ctx: &SelectionContext<'_, C>, candidates: &[usize]) -> SelectionResult
+where
+    C: SweepFit + Sync,
+    C::Fitted: Sync,
+{
+    SweepEngine::new(ctx).backward(candidates)
 }
 
 /// Scoring function for filter methods.
@@ -214,6 +458,17 @@ impl FilterScore {
         }
     }
 
+    /// [`FilterScore::score`] served from a [`SuffStats`] cache:
+    /// bit-for-bit the same value, but the per-feature histogram and the
+    /// class counts (identical across every feature scored in one filter
+    /// pass) are computed once per `(fold, feature)` instead of per call.
+    pub fn score_cached(self, stats: &SuffStats<'_>, feat: usize) -> f64 {
+        match self {
+            Self::MutualInformation => stats.mutual_information(feat),
+            Self::InformationGainRatio => stats.information_gain_ratio(feat),
+        }
+    }
+
     /// Short name used in experiment output.
     pub fn name(self) -> &'static str {
         match self {
@@ -227,39 +482,16 @@ impl FilterScore {
 /// training rows, then choose the top-`k` prefix whose validation error is
 /// lowest ("the number of features filtered after ranking was actually
 /// tuned using holdout validation as a wrapper", Sec 5.1).
-pub fn filter_selection<C: Classifier>(
+pub fn filter_selection<C>(
     ctx: &SelectionContext<'_, C>,
     candidates: &[usize],
     score: FilterScore,
-) -> SelectionResult {
-    let mut ranked: Vec<(usize, f64)> = candidates
-        .iter()
-        .map(|&f| (f, score.score(ctx.data, ctx.train, f)))
-        .collect();
-    // Descending by score; ties broken by feature position for determinism.
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-
-    let mut fits = 0usize;
-    let mut best: Option<(usize, f64)> = None; // (k, err)
-    for k in 1..=ranked.len() {
-        let mut prefix: Vec<usize> = ranked[..k].iter().map(|&(f, _)| f).collect();
-        prefix.sort_unstable();
-        let err = ctx.evaluate(&prefix);
-        fits += 1;
-        if best.is_none_or(|(_, e)| err + IMPROVEMENT_TOL < e) {
-            best = Some((k, err));
-        }
-    }
-
-    let (k, err) = best.unwrap_or((0, f64::INFINITY));
-    let mut features: Vec<usize> = ranked[..k].iter().map(|&(f, _)| f).collect();
-    features.sort_unstable();
-    SelectionResult {
-        features,
-        validation_error: err,
-        model_fits: fits,
-        trace: Vec::new(),
-    }
+) -> SelectionResult
+where
+    C: SweepFit + Sync,
+    C::Fitted: Sync,
+{
+    SweepEngine::new(ctx).filter(candidates, score)
 }
 
 /// **Embedded L1** (Secs 2.2, 5.3): trains L1-regularized logistic
@@ -328,24 +560,33 @@ impl Method {
         Method::FilterIgr,
     ];
 
-    /// Runs the method.
-    pub fn run<C: Classifier>(
-        self,
-        ctx: &SelectionContext<'_, C>,
-        candidates: &[usize],
-    ) -> SelectionResult {
+    /// Runs the method through a fresh [`SweepEngine`]. Callers running
+    /// several methods over the same fold should build one engine and
+    /// use [`Method::run_with`] so the statistics cache is shared.
+    pub fn run<C>(self, ctx: &SelectionContext<'_, C>, candidates: &[usize]) -> SelectionResult
+    where
+        C: SweepFit + Sync,
+        C::Fitted: Sync,
+    {
+        self.run_with(&SweepEngine::new(ctx), candidates)
+    }
+
+    /// Runs the method on an existing engine (shared statistics cache).
+    pub fn run_with<C>(self, engine: &SweepEngine<'_, C>, candidates: &[usize]) -> SelectionResult
+    where
+        C: SweepFit + Sync,
+        C::Fitted: Sync,
+    {
         let _span = hamlet_obs::span!(
             "fs.method",
             name = self.name(),
             candidates = candidates.len()
         );
         match self {
-            Method::Forward => forward_selection(ctx, candidates),
-            Method::Backward => backward_selection(ctx, candidates),
-            Method::FilterMi => filter_selection(ctx, candidates, FilterScore::MutualInformation),
-            Method::FilterIgr => {
-                filter_selection(ctx, candidates, FilterScore::InformationGainRatio)
-            }
+            Method::Forward => engine.forward(candidates),
+            Method::Backward => engine.backward(candidates),
+            Method::FilterMi => engine.filter(candidates, FilterScore::MutualInformation),
+            Method::FilterIgr => engine.filter(candidates, FilterScore::InformationGainRatio),
         }
     }
 
@@ -669,45 +910,218 @@ mod fd_prefilter_tests {
 /// # Panics
 /// Panics if more than 20 candidates are given (2^20 fits is the sanity
 /// ceiling).
-pub fn exhaustive_selection<C: Classifier>(
+pub fn exhaustive_selection<C>(
     ctx: &SelectionContext<'_, C>,
     candidates: &[usize],
-) -> SelectionResult {
-    assert!(
-        candidates.len() <= 20,
-        "exhaustive search over {} candidates is intractable",
-        candidates.len()
-    );
-    let mut best: Option<(Vec<usize>, f64)> = None;
-    let mut fits = 0usize;
-    for mask in 0u32..(1 << candidates.len()) {
-        let subset: Vec<usize> = candidates
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &f)| f)
-            .collect();
-        let err = ctx.evaluate(&subset);
-        fits += 1;
-        let better = match &best {
-            None => true,
-            // Strictly better error, or equal error with fewer features
-            // (prefer parsimony, deterministic tie-break).
-            Some((b, e)) => {
-                err + IMPROVEMENT_TOL < *e
-                    || ((err - e).abs() <= IMPROVEMENT_TOL && subset.len() < b.len())
+) -> SelectionResult
+where
+    C: SweepFit + Sync,
+    C::Fitted: Sync,
+{
+    SweepEngine::new(ctx).exhaustive(candidates)
+}
+
+/// The seed implementations: serial scans, one full `classifier.fit`
+/// per candidate, no statistics cache, no warm starts.
+///
+/// Kept as the semantics oracle for the [`SweepEngine`] paths — the
+/// parity proptests assert that every engine-backed method returns the
+/// **identical** [`SelectionResult`] (features, errors, trace, and
+/// `model_fits`) for Naive Bayes at any thread count — and as the
+/// "uncached" arm of `BENCH_selection.json`.
+pub mod reference {
+    use super::*;
+
+    /// Serial, uncached [`forward_selection`](super::forward_selection).
+    pub fn forward_selection<C: Classifier>(
+        ctx: &SelectionContext<'_, C>,
+        candidates: &[usize],
+    ) -> SelectionResult {
+        let mut selected: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> = candidates.to_vec();
+        let mut fits = 1usize;
+        let mut trace: Vec<SearchStep> = Vec::new();
+        let mut best_err = ctx.evaluate(&selected); // majority-class baseline
+
+        loop {
+            let mut best_step: Option<(usize, f64)> = None; // (position in remaining, err)
+            for (i, &f) in remaining.iter().enumerate() {
+                let mut trial = selected.clone();
+                trial.push(f);
+                trial.sort_unstable();
+                let err = ctx.evaluate(&trial);
+                fits += 1;
+                if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
+                    best_step = Some((i, err));
+                }
             }
-        };
-        if better {
-            best = Some((subset, err));
+            match best_step {
+                Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
+                    let f = remaining.swap_remove(i);
+                    selected.push(f);
+                    best_err = err;
+                    trace.push(SearchStep {
+                        feature: f,
+                        validation_error: err,
+                    });
+                }
+                _ => break,
+            }
+            if remaining.is_empty() {
+                break;
+            }
+        }
+
+        selected.sort_unstable();
+        SelectionResult {
+            features: selected,
+            validation_error: best_err,
+            model_fits: fits,
+            trace,
         }
     }
-    let (features, validation_error) = best.expect("at least the empty subset was evaluated");
-    SelectionResult {
-        features,
-        validation_error,
-        model_fits: fits,
-        trace: Vec::new(),
+
+    /// Serial, uncached [`backward_selection`](super::backward_selection).
+    pub fn backward_selection<C: Classifier>(
+        ctx: &SelectionContext<'_, C>,
+        candidates: &[usize],
+    ) -> SelectionResult {
+        let mut selected: Vec<usize> = candidates.to_vec();
+        selected.sort_unstable();
+        let mut fits = 1usize;
+        let mut trace: Vec<SearchStep> = Vec::new();
+        let mut best_err = ctx.evaluate(&selected);
+
+        while selected.len() > 1 {
+            let mut best_step: Option<(usize, f64)> = None;
+            for i in 0..selected.len() {
+                let mut trial = selected.clone();
+                trial.remove(i);
+                let err = ctx.evaluate(&trial);
+                fits += 1;
+                if err + IMPROVEMENT_TOL < best_step.map_or(best_err, |(_, e)| e) {
+                    best_step = Some((i, err));
+                }
+            }
+            match best_step {
+                Some((i, err)) if err + IMPROVEMENT_TOL < best_err => {
+                    let removed = selected.remove(i);
+                    best_err = err;
+                    trace.push(SearchStep {
+                        feature: removed,
+                        validation_error: err,
+                    });
+                }
+                _ => break,
+            }
+        }
+
+        SelectionResult {
+            features: selected,
+            validation_error: best_err,
+            model_fits: fits,
+            trace,
+        }
+    }
+
+    /// Serial, uncached [`filter_selection`](super::filter_selection):
+    /// recomputes each feature's histogram (and the class counts) per
+    /// score call.
+    pub fn filter_selection<C: Classifier>(
+        ctx: &SelectionContext<'_, C>,
+        candidates: &[usize],
+        score: FilterScore,
+    ) -> SelectionResult {
+        let mut ranked: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&f| (f, score.score(ctx.data, ctx.train, f)))
+            .collect();
+        // Descending by score; ties broken by feature position for determinism.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut fits = 0usize;
+        let mut best: Option<(usize, f64)> = None; // (k, err)
+        for k in 1..=ranked.len() {
+            let mut prefix: Vec<usize> = ranked[..k].iter().map(|&(f, _)| f).collect();
+            prefix.sort_unstable();
+            let err = ctx.evaluate(&prefix);
+            fits += 1;
+            if best.is_none_or(|(_, e)| err + IMPROVEMENT_TOL < e) {
+                best = Some((k, err));
+            }
+        }
+
+        let (k, err) = best.unwrap_or((0, f64::INFINITY));
+        let mut features: Vec<usize> = ranked[..k].iter().map(|&(f, _)| f).collect();
+        features.sort_unstable();
+        SelectionResult {
+            features,
+            validation_error: err,
+            model_fits: fits,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Serial, uncached [`exhaustive_selection`](super::exhaustive_selection).
+    ///
+    /// # Panics
+    /// Panics if more than 20 candidates are given.
+    pub fn exhaustive_selection<C: Classifier>(
+        ctx: &SelectionContext<'_, C>,
+        candidates: &[usize],
+    ) -> SelectionResult {
+        assert!(
+            candidates.len() <= 20,
+            "exhaustive search over {} candidates is intractable",
+            candidates.len()
+        );
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut fits = 0usize;
+        for mask in 0u32..(1 << candidates.len()) {
+            let subset: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect();
+            let err = ctx.evaluate(&subset);
+            fits += 1;
+            let better = match &best {
+                None => true,
+                // Strictly better error, or equal error with fewer features
+                // (prefer parsimony, deterministic tie-break).
+                Some((b, e)) => {
+                    err + IMPROVEMENT_TOL < *e
+                        || ((err - e).abs() <= IMPROVEMENT_TOL && subset.len() < b.len())
+                }
+            };
+            if better {
+                best = Some((subset, err));
+            }
+        }
+        let (features, validation_error) = best.expect("at least the empty subset was evaluated");
+        SelectionResult {
+            features,
+            validation_error,
+            model_fits: fits,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Runs `method` through the serial, uncached implementations.
+    pub fn run_method<C: Classifier>(
+        method: Method,
+        ctx: &SelectionContext<'_, C>,
+        candidates: &[usize],
+    ) -> SelectionResult {
+        match method {
+            Method::Forward => forward_selection(ctx, candidates),
+            Method::Backward => backward_selection(ctx, candidates),
+            Method::FilterMi => filter_selection(ctx, candidates, FilterScore::MutualInformation),
+            Method::FilterIgr => {
+                filter_selection(ctx, candidates, FilterScore::InformationGainRatio)
+            }
+        }
     }
 }
 

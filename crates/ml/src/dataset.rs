@@ -59,6 +59,65 @@ impl Dataset {
         }
     }
 
+    /// [`Dataset::new`] for call sites whose inputs are **already
+    /// validated** — generators and the simulation loop, where the
+    /// O(n·d) full-domain re-check of `new` is measurable hot-path
+    /// waste. The invariants still hold (checked in debug builds);
+    /// external/ingest paths must keep using the panicking [`Dataset::new`].
+    pub fn from_trusted_parts(features: Vec<Feature>, labels: Vec<u32>, n_classes: usize) -> Self {
+        debug_assert!(n_classes > 0, "need at least one class");
+        for f in &features {
+            debug_assert_eq!(
+                f.codes.len(),
+                labels.len(),
+                "feature '{}' length mismatch",
+                f.name
+            );
+            debug_assert!(
+                f.codes.iter().all(|&c| (c as usize) < f.domain_size),
+                "feature '{}' has codes outside its domain",
+                f.name
+            );
+        }
+        debug_assert!(
+            labels.iter().all(|&y| (y as usize) < n_classes),
+            "labels outside class domain"
+        );
+        Self {
+            features,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// [`Dataset::from_table`] without the O(n·d) re-validation of
+    /// [`Dataset::new`], for tables produced inside this process (the
+    /// simulation and generator paths — a `Table` already enforces its
+    /// domains on construction).
+    ///
+    /// # Panics
+    /// Panics if the table has no target attribute, like
+    /// [`Dataset::from_table`].
+    pub fn from_table_trusted(table: &Table) -> Self {
+        let target_idx = table
+            .schema()
+            .target()
+            .expect("table must declare a target attribute");
+        let labels = table.column(target_idx).codes().to_vec();
+        let n_classes = table.column(target_idx).domain().size();
+        let mut features = Vec::new();
+        for (def, col) in table.schema().attributes().iter().zip(table.columns()) {
+            if matches!(def.role, Role::Feature | Role::ForeignKey { .. }) {
+                features.push(Feature {
+                    name: def.name.clone(),
+                    domain_size: col.domain().size(),
+                    codes: col.codes().to_vec(),
+                });
+            }
+        }
+        Self::from_trusted_parts(features, labels, n_classes)
+    }
+
     /// Extracts a dataset from a relational table: every feature and
     /// foreign-key attribute becomes an ML feature; the target becomes the
     /// label.
@@ -225,6 +284,27 @@ mod tests {
         assert_eq!(d.feature(1).name, "fk");
         assert_eq!(d.labels(), &[0, 2, 1]);
         assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    fn trusted_paths_agree_with_validated_paths() {
+        let d = toy();
+        let t =
+            Dataset::from_trusted_parts(d.features().to_vec(), d.labels().to_vec(), d.n_classes());
+        assert_eq!(d, t);
+
+        let rid = Domain::indexed("fk", 2).shared();
+        let table = TableBuilder::new("S")
+            .primary_key("sid", Domain::indexed("sid", 3).shared(), vec![0, 1, 2])
+            .target("y", Domain::indexed("y", 3).shared(), vec![0, 2, 1])
+            .feature("x", Domain::boolean("x").shared(), vec![1, 0, 1])
+            .foreign_key("fk", "R", rid, vec![0, 1, 0])
+            .build()
+            .unwrap();
+        assert_eq!(
+            Dataset::from_table(&table),
+            Dataset::from_table_trusted(&table)
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::classifier::{Classifier, ErrorMetric, Model};
+use crate::classifier::{ErrorMetric, Model};
 use crate::dataset::Dataset;
+use crate::suffstats::{SuffStats, SweepFit};
 
 /// Splits `0..n` into `k` folds of near-equal size (shuffled).
 pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
@@ -23,8 +24,11 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
 }
 
 /// k-fold cross-validation error of a learner on a feature subset:
-/// trains on `k-1` folds, scores the held-out fold, averages.
-pub fn cross_validate<C: Classifier>(
+/// trains on `k-1` folds, scores the held-out fold, averages. Each fold
+/// fits through its own [`SuffStats`] cache, so callers evaluating many
+/// subsets over the same folds (a CV-scored wrapper) pay one row scan
+/// per (fold, feature), not one per subset.
+pub fn cross_validate<C: SweepFit>(
     classifier: &C,
     data: &Dataset,
     rows: &[usize],
@@ -43,7 +47,8 @@ pub fn cross_validate<C: Classifier>(
             .flat_map(|(_, f)| f.iter().map(|&p| rows[p]))
             .collect();
         let test: Vec<usize> = folds[held_out].iter().map(|&p| rows[p]).collect();
-        let model = classifier.fit(data, &train, feats);
+        let stats = SuffStats::new(data, &train);
+        let model = classifier.fit_swept(&stats, feats, None);
         total += metric.eval(&model, data, &test);
     }
     total / k as f64
@@ -130,6 +135,7 @@ impl ConfusionMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classifier::Classifier;
     use crate::dataset::Feature;
     use crate::naive_bayes::NaiveBayes;
 

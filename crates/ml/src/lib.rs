@@ -14,6 +14,10 @@
 //! * [`HoldoutSplit`] — the 50%:25%:25% protocol (Sec 5);
 //! * [`ErrorMetric`] — zero-one for binary targets, RMSE for ordinal
 //!   multi-class targets (Sec 5.1);
+//! * [`SuffStats`] / [`SweepFit`] — per-(fold, feature) class-conditional
+//!   count tables cached for the lifetime of a selection run: NB models
+//!   assemble from them with zero row scans, filter scores read them, and
+//!   logreg fits warm-start from the parent subset's weights;
 //! * [`bias_variance`] — Domingos-style decomposition used by the
 //!   simulation study (Sec 4.1);
 //! * [`info`] — entropy / mutual information / information gain ratio /
@@ -32,6 +36,7 @@ pub mod naive_bayes;
 pub mod redundancy;
 pub mod source;
 pub mod split;
+pub mod suffstats;
 pub mod tan;
 pub mod tree;
 
@@ -47,5 +52,6 @@ pub use naive_bayes::{NaiveBayes, NaiveBayesModel};
 pub use redundancy::{is_markov_blanket, is_redundant_given_fk, is_weakly_relevant};
 pub use source::CodeSource;
 pub use split::{disjoint_train_sets, HoldoutSplit};
+pub use suffstats::{SuffStats, SweepFit};
 pub use tan::{Tan, TanModel};
 pub use tree::{DecisionTree, DecisionTreeModel};

@@ -120,6 +120,22 @@ impl LogisticRegression {
         rows: &[usize],
         feats: &[usize],
     ) -> LogisticRegressionModel {
+        self.fit_source_warm(data, rows, feats, None)
+    }
+
+    /// [`LogisticRegression::fit_source`] with an optional **warm start**:
+    /// weight blocks of features shared with `warm` (matched by dataset
+    /// position) and the intercepts are copied in before SGD runs, so a
+    /// candidate fit during greedy selection starts from the parent
+    /// subset's solution instead of from zero. With `warm = None` this is
+    /// exactly `fit_source` — same seed, same shuffle, same trajectory.
+    pub fn fit_source_warm<S: CodeSource>(
+        &self,
+        data: &S,
+        rows: &[usize],
+        feats: &[usize],
+        warm: Option<&LogisticRegressionModel>,
+    ) -> LogisticRegressionModel {
         let _span = hamlet_obs::span!("ml.logreg_fit", rows = rows.len(), feats = feats.len());
         hamlet_obs::counter_add!("hamlet_logreg_fits_total", 1);
         let n_classes = data.n_classes();
@@ -132,6 +148,26 @@ impl LogisticRegression {
 
         let mut weights = vec![0f64; n_classes * dim];
         let mut bias = vec![0f64; n_classes];
+        // Seed from the parent model where shapes agree; features the
+        // parent never saw keep their zero block.
+        if let Some(w) = warm.filter(|w| w.n_classes == n_classes) {
+            hamlet_obs::counter_add!("hamlet_logreg_warm_starts_total", 1);
+            bias.copy_from_slice(&w.bias);
+            for (i, &f) in feats.iter().enumerate() {
+                let Some(j) = w.feats.iter().position(|&wf| wf == f) else {
+                    continue;
+                };
+                let d = data.feature_domain_size(f);
+                if w.offsets[j] + d > w.dim {
+                    continue; // fitted over a different layout; skip block
+                }
+                for y in 0..n_classes {
+                    let src = y * w.dim + w.offsets[j];
+                    let dst = y * dim + offsets[i];
+                    weights[dst..dst + d].copy_from_slice(&w.weights[src..src + d]);
+                }
+            }
+        }
         // Lazy-regularization bookkeeping: global step at which each
         // coordinate was last regularized (shared across classes per
         // column for cache friendliness we track per (class, column)).
@@ -484,6 +520,52 @@ mod tests {
         for r in 0..6 {
             assert_eq!(m.predict_row(&d, r), 1);
         }
+    }
+
+    #[test]
+    fn warm_start_none_is_exactly_cold_start() {
+        let d = deterministic_data(100);
+        let rows: Vec<usize> = (0..100).collect();
+        let lr = LogisticRegression::l1(0.01).with_seed(11);
+        let cold = lr.fit(&d, &rows, &[0, 1]);
+        let warm = lr.fit_source_warm(&d, &rows, &[0, 1], None);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn warm_start_converges_to_the_cold_start_predictions() {
+        let d = deterministic_data(400);
+        let rows: Vec<usize> = (0..400).collect();
+        let lr = LogisticRegression::l2(0.05).with_seed(3);
+        let parent = lr.fit(&d, &rows, &[0]);
+        let warm = lr.fit_source_warm(&d, &rows, &[0, 1], Some(&parent));
+        let cold = lr.fit(&d, &rows, &[0, 1]);
+        for r in 0..400 {
+            assert_eq!(warm.predict_row(&d, r), cold.predict_row(&d, r));
+        }
+        assert_eq!(zero_one_error(&warm, &d, &rows), 0.0);
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_classes_is_ignored() {
+        let x: Vec<u32> = (0..200u32).map(|i| i % 4).collect();
+        let four = Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                domain_size: 4,
+                codes: x.clone(),
+            }],
+            x,
+            4,
+        );
+        let rows: Vec<usize> = (0..200).collect();
+        let lr = LogisticRegression::default().with_seed(7);
+        let parent = lr.fit(&four, &rows, &[0]);
+
+        let two = deterministic_data(200);
+        let cold = lr.fit(&two, &rows, &[0, 1]);
+        let warm = lr.fit_source_warm(&two, &rows, &[0, 1], Some(&parent));
+        assert_eq!(cold, warm, "a 4-class parent cannot seed a 2-class fit");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! smoothing, the "standard practice" the paper adopts to handle RID values
 //! absent from the training FK column (Sec 2.1, footnote 2).
 
-use crate::classifier::{Classifier, Model};
+use crate::classifier::{Classifier, ErrorMetric, Model};
 use crate::dataset::Dataset;
 use crate::source::CodeSource;
 
@@ -168,6 +168,80 @@ impl NaiveBayesModel {
         let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
         let z: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / z).collect()
+    }
+
+    /// Validation error on `rows`, **bitwise identical** to
+    /// `metric.eval(self, data, rows)` but allocation-free: one score
+    /// buffer reused across rows, and each selected feature's code
+    /// column resolved once instead of per `(row, feature)` access.
+    /// The float operations and their order are exactly those of
+    /// [`Model::predict_row`] composed with
+    /// [`crate::classifier::zero_one_error`] / [`crate::classifier::rmse`],
+    /// which is what lets the candidate sweeps in `hamlet-fs` score
+    /// through this path and still select the same subsets as the
+    /// row-at-a-time reference. Scoring dominates a sweep's cost once
+    /// fits assemble from cached count tables, so this is the other
+    /// half of the sweep speedup.
+    pub fn batch_error(&self, data: &Dataset, rows: &[usize], metric: ErrorMetric) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let labels = data.labels();
+        let cols: Vec<&[u32]> = self
+            .feats
+            .iter()
+            .map(|&f| data.feature(f).codes.as_slice())
+            .collect();
+        let c = self.n_classes;
+        // Transpose each log-conditional table from `[y * d + v]` to
+        // `[v * c + y]` once, so scoring a row reads `c` contiguous
+        // floats per feature instead of striding by the domain size.
+        // The per-class addends and their order are unchanged.
+        let t_tables: Vec<Vec<f64>> = self
+            .log_cond
+            .iter()
+            .zip(&self.domain_sizes)
+            .map(|(table, &d)| {
+                let mut t = vec![0f64; d * c];
+                for y in 0..c {
+                    for v in 0..d {
+                        t[v * c + y] = table[y * d + v];
+                    }
+                }
+                t
+            })
+            .collect();
+        let mut scores = vec![0f64; c];
+        let mut wrong = 0usize;
+        let mut sq_sum = 0.0;
+        for &r in rows {
+            scores.copy_from_slice(&self.log_prior);
+            for (col, tt) in cols.iter().zip(&t_tables) {
+                let v = col[r] as usize;
+                let block = &tt[v * c..v * c + c];
+                for (s, &l) in scores.iter_mut().zip(block) {
+                    *s += l;
+                }
+            }
+            // Deterministic tie-break: lowest class wins (as predict_row).
+            let mut best = 0usize;
+            for y in 1..self.n_classes {
+                if scores[y] > scores[best] {
+                    best = y;
+                }
+            }
+            match metric {
+                ErrorMetric::ZeroOne => wrong += usize::from(best as u32 != labels[r]),
+                ErrorMetric::Rmse => {
+                    let diff = best as f64 - labels[r] as f64;
+                    sq_sum += diff * diff;
+                }
+            }
+        }
+        match metric {
+            ErrorMetric::ZeroOne => wrong as f64 / rows.len() as f64,
+            ErrorMetric::Rmse => (sq_sum / rows.len() as f64).sqrt(),
+        }
     }
 }
 

@@ -63,6 +63,35 @@ pub fn var<T: std::str::FromStr>(key: &str, expected: &str) -> Result<Option<T>,
     var_where(key, expected, |_| true)
 }
 
+/// Worker count for every parallel region in the process, resolved from
+/// `HAMLET_THREADS` exactly once.
+///
+/// `HAMLET_THREADS` is the one deliberately non-strict knob: a thread
+/// count cannot change a result (parallel sweeps reduce in index order),
+/// so an invalid value is reported loudly (stderr + run journal) and the
+/// default — `available_parallelism` — is used instead of aborting a
+/// long experiment. Resolving once per process means a mid-run env
+/// mutation cannot make two parallel regions of one experiment disagree;
+/// the resolved value is journaled via the `hamlet_threads_resolved`
+/// gauge, which every run-journal metric snapshot includes.
+pub fn resolved_threads() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        let threads = var_where("HAMLET_THREADS", "a positive integer", |&t: &usize| t > 0)
+            .unwrap_or_else(|e| {
+                crate::journal::record_warning(format!("{e}; using available parallelism"));
+                None
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        crate::gauge_set!("hamlet_threads_resolved", threads);
+        threads
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

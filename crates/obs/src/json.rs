@@ -380,7 +380,11 @@ mod tests {
         let balanced = format!("{}1{}", "[".repeat(200), "]".repeat(200));
         assert!(Json::parse(&balanced).is_err());
         // Documents at reasonable depth still parse.
-        let ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH - 1), "]".repeat(MAX_PARSE_DEPTH - 1));
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH - 1),
+            "]".repeat(MAX_PARSE_DEPTH - 1)
+        );
         assert!(Json::parse(&ok).is_ok());
     }
 

@@ -32,6 +32,7 @@ pub mod fsio;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod parallel;
 pub mod span;
 
 pub use alloc::CountingAlloc;

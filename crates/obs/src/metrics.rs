@@ -178,6 +178,18 @@ macro_rules! counter_add {
     }};
 }
 
+/// Sets a gauge, caching the registry lookup at the call site.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {{
+        static CACHED: std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::metrics::gauge($name))
+            .set($v as u64);
+    }};
+}
+
 /// Records a histogram observation, caching the registry lookup.
 #[macro_export]
 macro_rules! histogram_observe {
@@ -323,6 +335,9 @@ mod tests {
         assert_eq!(counter("test_macro_total").get(), 8);
         crate::histogram_observe!("test_macro_hist", 42);
         assert_eq!(histogram("test_macro_hist").count(), 1);
+        crate::gauge_set!("test_macro_gauge", 17);
+        crate::gauge_set!("test_macro_gauge", 11);
+        assert_eq!(gauge("test_macro_gauge").get(), 11);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Deterministic scoped-thread fan-out.
+//!
+//! One shared primitive for every parallel region in the workspace
+//! (Monte-Carlo cells in `hamlet-experiments`, candidate sweeps in
+//! `hamlet-fs`): run `job(0..n)` across `threads` scoped workers pulling
+//! indices from an atomic counter, and return the results **in index
+//! order** regardless of completion order. Determinism is therefore the
+//! caller's only obligation: as long as `job(i)` itself is a pure
+//! function of `i`, the output of [`run_indexed`] is bit-for-bit
+//! identical at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job(0..n)` across up to `threads` scoped workers, returning the
+/// results in index order. Falls back to a sequential loop when either
+/// `threads` or `n` is at most 1, so tiny workloads pay no thread spawn.
+pub fn run_indexed<T, F>(n: usize, threads: usize, job: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = job(i);
+                **slots[i].lock().expect("slot lock never poisoned") = Some(value);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed(100, threads, &|i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_items_work() {
+        assert_eq!(run_indexed(0, 4, &|i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, &|i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let out = run_indexed(3, 64, &|i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

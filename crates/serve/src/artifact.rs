@@ -1104,7 +1104,9 @@ mod tests {
                 m.features().to_vec(),
                 m.n_classes(),
                 prior,
-                (0..m.features().len()).map(|i| m.log_cond(i).to_vec()).collect(),
+                (0..m.features().len())
+                    .map(|i| m.log_cond(i).to_vec())
+                    .collect(),
                 m.domain_sizes().to_vec(),
             ));
         }

@@ -273,7 +273,10 @@ mod tests {
         // any per-read timeout, never finishing the head.
         let client = std::thread::spawn(move || {
             let mut c = TcpStream::connect(addr).unwrap();
-            for b in b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".iter().cycle() {
+            for b in b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+                .iter()
+                .cycle()
+            {
                 if c.write_all(&[*b]).is_err() {
                     return; // server gave up — expected
                 }

@@ -139,10 +139,15 @@ fn decision_tree_contracts() {
 fn all_classifiers_drive_feature_selection() {
     use hamlet::fs::{forward_selection, SelectionContext};
     use hamlet::ml::classifier::ErrorMetric;
+    use hamlet::ml::suffstats::SweepFit;
 
     let d = train_data(240);
     let rows: Vec<usize> = (0..240).collect();
-    fn run<C: Classifier>(learner: &C, d: &Dataset, rows: &[usize]) -> Vec<usize> {
+    fn run<C>(learner: &C, d: &Dataset, rows: &[usize]) -> Vec<usize>
+    where
+        C: SweepFit + Sync,
+        C::Fitted: Sync,
+    {
         let ctx = SelectionContext {
             data: d,
             train: &rows[..120],

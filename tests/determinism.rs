@@ -103,6 +103,49 @@ fn experiment_estimates_are_reproducible() {
     }
 }
 
+/// The engine-backed selection paths must equal the seed serial
+/// implementations whatever `HAMLET_THREADS` resolves to for this
+/// process — CI runs this test once with `HAMLET_THREADS=1` and once
+/// with `HAMLET_THREADS=8` to pin the bit-for-bit determinism contract
+/// at the process level (the in-process sweep over worker counts lives
+/// in `proptests_selection.rs`).
+#[test]
+fn selection_at_resolved_threads_matches_reference() {
+    use hamlet::fs::{reference, Method, SelectionContext};
+    use hamlet::ml::classifier::ErrorMetric;
+    use hamlet::ml::dataset::Dataset;
+    use hamlet::ml::naive_bayes::NaiveBayes;
+    use hamlet::ml::split::HoldoutSplit;
+
+    let g = DatasetSpec::walmart().generate(0.004, 11);
+    let table = g
+        .star
+        .materialize_all()
+        .expect("synthetic star materializes");
+    let data = Dataset::from_table(&table);
+    let split = HoldoutSplit::paper_protocol(data.n_examples(), 11);
+    let nb = NaiveBayes::default();
+    let ctx = SelectionContext {
+        data: &data,
+        train: &split.train,
+        validation: &split.validation,
+        classifier: &nb,
+        metric: ErrorMetric::for_classes(data.n_classes()),
+    };
+    let candidates: Vec<usize> = (0..data.n_features()).collect();
+    for method in Method::ALL {
+        let engine_result = method.run(&ctx, &candidates);
+        let serial = reference::run_method(method, &ctx, &candidates);
+        assert_eq!(
+            engine_result,
+            serial,
+            "{} diverged from the serial reference at HAMLET_THREADS={:?}",
+            method.name(),
+            std::env::var("HAMLET_THREADS").ok()
+        );
+    }
+}
+
 #[test]
 fn splits_and_selection_are_reproducible() {
     use hamlet::experiments::{join_opt_plan, prepare_plan, run_method};
