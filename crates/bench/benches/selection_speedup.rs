@@ -154,7 +154,8 @@ fn emit_summary() {
     }
     let doc = format!(
         "{{\n\"bench\": \"selection\",\n\"dataset\": \"Walmart (scale {scale}, JoinAll)\",\n\
-         \"classifier\": \"NaiveBayes\",\n\"n_train\": {},\n\"threads\": {threads},\n\
+         \"classifier\": \"NaiveBayes\",\n\"model_family\": \"naive_bayes\",\n\
+         \"n_train\": {},\n\"threads\": {threads},\n\
          \"results\": [\n{}\n]\n}}\n",
         prepared.split.train.len(),
         entries.join(",\n")

@@ -1,9 +1,10 @@
 //! Serving-path latency: single-row and batch-1k scoring through the
 //! artifact `Scorer` for Naive Bayes and logistic regression on the
 //! bench-scale Walmart star (both joins avoided, so the served schema is
-//! the entity table's own features plus the two revised FKs).
+//! the entity table's own features plus the two revised FKs). The
+//! summary pass additionally times the tree and GBT families.
 //!
-//! Besides the criterion groups, a release run self-times the same four
+//! Besides the criterion groups, a release run self-times the same
 //! shapes with `Instant` and emits `BENCH_serve.json` at the repo root
 //! so CI and the docs can quote served-prediction latency without
 //! parsing criterion output. Emission is skipped under `--test` (the
@@ -85,7 +86,12 @@ fn time_micros(scorer: &Scorer, rows: &[Vec<u32>], reps: usize) -> f64 {
 /// the other BENCH_*.json emitters).
 fn emit_summary() {
     let mut entries = Vec::new();
-    for kind in [ModelKind::NaiveBayes, ModelKind::LogisticRegression] {
+    for kind in [
+        ModelKind::NaiveBayes,
+        ModelKind::LogisticRegression,
+        ModelKind::Tree,
+        ModelKind::Gbt,
+    ] {
         let scorer = scorer_for(kind);
         let one = rows_for(&scorer, 1);
         let batch = rows_for(&scorer, 1000);
@@ -105,7 +111,7 @@ fn emit_summary() {
     }
     let doc = format!(
         "{{\n\"bench\": \"serve\",\n\"dataset\": \"Walmart (bench scale)\",\n\
-         \"results\": [\n{}\n]\n}}\n",
+         \"model_family\": \"mixed\",\n\"results\": [\n{}\n]\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

@@ -12,6 +12,7 @@
 
 use hamlet_relational::{Role, StarSchema};
 
+use crate::family::{ModelFamily, ThresholdSource};
 use crate::planner::{join_stats, ExecStrategy, JoinPlan, PlanKind};
 use crate::rules::{Decision, DecisionRule, JoinReason, JoinStats, RorRule, TrRule};
 use crate::skew::{diagnose_skew, SkewReport, MALIGN_RETENTION_FLOOR};
@@ -19,6 +20,14 @@ use crate::skew::{diagnose_skew, SkewReport, MALIGN_RETENTION_FLOOR};
 /// Advisor configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdvisorConfig {
+    /// The classifier family the thresholds were tuned for. The rules
+    /// below stay authoritative for the decisions; the family names
+    /// which tuning the report should quote. Defaults to Naive Bayes —
+    /// the family the paper tuned `(rho, tau)` on.
+    pub family: ModelFamily,
+    /// Provenance of the thresholds in `tr`/`ror` (paper default vs.
+    /// Monte-Carlo re-tuned), quoted alongside them in every report.
+    pub threshold_source: ThresholdSource,
     /// TR rule to consult.
     pub tr: TrRule,
     /// ROR rule to consult.
@@ -44,10 +53,27 @@ pub struct AdvisorConfig {
 impl Default for AdvisorConfig {
     fn default() -> Self {
         Self {
+            family: ModelFamily::NaiveBayes,
+            threshold_source: ThresholdSource::PaperDefault,
             tr: TrRule::default(),
             ror: RorRule::default(),
             check_skew: true,
             recommend_factorize: false,
+        }
+    }
+}
+
+impl AdvisorConfig {
+    /// The configuration for a classifier family: its tuned `(rho, tau)`
+    /// (Monte-Carlo re-tuned for the tree families, paper defaults for
+    /// the linear ones) with the usual skew guard.
+    pub fn for_family(family: ModelFamily) -> Self {
+        Self {
+            family,
+            threshold_source: family.threshold_source(),
+            tr: family.tr_rule(),
+            ror: family.ror_rule(),
+            ..Self::default()
         }
     }
 }
@@ -86,6 +112,14 @@ pub struct JoinAdvice {
 pub struct AdvisorReport {
     /// Number of training examples assumed by the rules.
     pub n_train: usize,
+    /// The classifier family the quoted thresholds were tuned for.
+    pub family: ModelFamily,
+    /// Provenance of the thresholds (paper default vs. re-tuned).
+    pub threshold_source: ThresholdSource,
+    /// The worst-case-ROR threshold the verdicts used.
+    pub rho: f64,
+    /// The tuple-ratio threshold the verdicts used.
+    pub tau: f64,
     /// Per-join advice, in catalog order.
     pub joins: Vec<JoinAdvice>,
 }
@@ -120,8 +154,8 @@ impl AdvisorReport {
     /// descriptions, notebooks).
     pub fn render_markdown(&self) -> String {
         let mut out = format!(
-            "### Join advisory (n_train = {})\n\n| Table | FK | TR | ROR | Verdict | Why |\n|---|---|---|---|---|---|\n",
-            self.n_train
+            "### Join advisory (n_train = {})\n\n_Family {}: rho = {:.2}, tau = {:.1} ({})_\n\n| Table | FK | TR | ROR | Verdict | Why |\n|---|---|---|---|---|---|\n",
+            self.n_train, self.family, self.rho, self.tau, self.threshold_source
         );
         for j in &self.joins {
             let tr = j.n_train_over_n_r();
@@ -149,10 +183,15 @@ impl AdvisorReport {
     /// Renders the report as readable text.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "Join advisory (n_train = {}): avoid {} of {} joins\n",
+            "Join advisory (n_train = {}): avoid {} of {} joins\n\
+             Model family {}: thresholds rho = {:.2}, tau = {:.1} ({})\n",
             self.n_train,
             self.avoided_count(),
-            self.joins.len()
+            self.joins.len(),
+            self.family,
+            self.rho,
+            self.tau,
+            self.threshold_source
         );
         for j in &self.joins {
             out.push_str(&format!(
@@ -344,7 +383,14 @@ pub fn advise(
             explanation,
         });
     }
-    Ok(AdvisorReport { n_train, joins })
+    Ok(AdvisorReport {
+        n_train,
+        family: config.family,
+        threshold_source: config.threshold_source,
+        rho: config.ror.rho,
+        tau: config.tr.tau,
+        joins,
+    })
 }
 
 #[cfg(test)]
@@ -482,9 +528,38 @@ mod tests {
             .unwrap()
             .render_markdown();
         assert!(md.starts_with("### Join advisory"));
+        assert!(md.contains("_Family naive_bayes: rho = 2.60, tau = 20.0 (paper defaults"));
         assert!(md.contains("| R | fk |"));
         assert!(md.contains("**avoid**"));
-        assert_eq!(md.lines().count(), 5); // header x3 + 1 row + title spacing
+        assert_eq!(md.lines().count(), 7); // title, family line, header x3, 1 row, spacing
+    }
+
+    #[test]
+    fn family_config_changes_the_verdict_and_the_report() {
+        use crate::family::{ModelFamily, ThresholdSource};
+        // TR = 1500/50 = 30: safe for Naive Bayes (tau 20), unsafe for
+        // trees (tau 40) — the qualitative finding of arXiv 1704.00485.
+        let st = star(3000, 50, false);
+        let nb = advise(&st, 1500, &AdvisorConfig::default()).unwrap();
+        assert!(nb.joins[0].avoid);
+        let tree = advise(
+            &st,
+            1500,
+            &AdvisorConfig::for_family(ModelFamily::DecisionTree),
+        )
+        .unwrap();
+        assert!(
+            !tree.joins[0].avoid,
+            "tree thresholds must keep the join: {}",
+            tree.joins[0].explanation
+        );
+        assert_eq!(tree.family, ModelFamily::DecisionTree);
+        assert_eq!(tree.threshold_source, ThresholdSource::MonteCarloRetuned);
+        let text = tree.render();
+        assert!(
+            text.contains("Model family tree") && text.contains("Monte-Carlo re-tuned"),
+            "{text}"
+        );
     }
 
     #[test]

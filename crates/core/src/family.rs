@@ -1,0 +1,196 @@
+//! Classifier families and per-family join-avoidance thresholds.
+//!
+//! The paper tuned `(rho, tau)` on Naive Bayes simulations and argued
+//! the conclusions carry over to other *linear-capacity* models (Sec
+//! 4.4, logistic regression and TAN reuse the same thresholds). The
+//! follow-up "Are KFK Joins Safe to Avoid when Learning High-Capacity
+//! Classifiers?" (arXiv 1704.00485) shows the story changes for trees:
+//! a high-capacity learner can exploit fine FK partitions that a linear
+//! model cannot, so the foreign key is a *riskier* representative of
+//! the foreign features and the avoidance thresholds must be more
+//! conservative. [`ModelFamily`] names the family, and the per-family
+//! accessors return the thresholds the advisor should quote —
+//! Monte-Carlo re-tuned for the tree families
+//! (`hamlet_experiments::family` reproduces the tuning), paper defaults
+//! for the linear ones.
+
+use crate::ror::DEFAULT_DELTA;
+use crate::rules::{RorRule, TrRule, DEFAULT_RHO, DEFAULT_TAU};
+
+/// Tuple-ratio threshold for tree-based families (CART, GBT), from the
+/// Monte-Carlo revalidation over the simulation grid
+/// (`hamlet_experiments::family::revalidate_family`): trees keep
+/// overfitting the raw FK at tuple ratios where Naive Bayes has long
+/// converged, so `tau` doubles relative to the paper's 20.
+pub const TREE_TAU: f64 = 40.0;
+
+/// Worst-case-ROR threshold for tree-based families, from the same
+/// revalidation: the safety margin shrinks from the paper's 2.6.
+pub const TREE_RHO: f64 = 1.8;
+
+/// Where a quoted `(rho, tau)` pair comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdSource {
+    /// The paper's Sec 4.2 simulation-tuned defaults (Naive Bayes).
+    PaperDefault,
+    /// Re-tuned by this workspace's per-family Monte-Carlo revalidation.
+    MonteCarloRetuned,
+}
+
+impl ThresholdSource {
+    /// Human-readable provenance, as printed by the advisor CLI.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Self::PaperDefault => "paper defaults, Sec 4.2",
+            Self::MonteCarloRetuned => "Monte-Carlo re-tuned",
+        }
+    }
+}
+
+impl std::fmt::Display for ThresholdSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A classifier family the advisor can tailor its thresholds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Naive Bayes — the family the paper tuned on.
+    NaiveBayes,
+    /// Logistic regression (L1/L2): linear capacity, paper thresholds.
+    LogisticRegression,
+    /// Tree-augmented Naive Bayes: still linear-ish capacity.
+    Tan,
+    /// CART decision tree: high capacity, conservative thresholds.
+    DecisionTree,
+    /// Gradient-boosted trees: high capacity, conservative thresholds.
+    Gbt,
+}
+
+impl ModelFamily {
+    /// Every family, in stable display order.
+    pub const ALL: [ModelFamily; 5] = [
+        ModelFamily::NaiveBayes,
+        ModelFamily::LogisticRegression,
+        ModelFamily::Tan,
+        ModelFamily::DecisionTree,
+        ModelFamily::Gbt,
+    ];
+
+    /// Canonical name (the `--family` / artifact string).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NaiveBayes => "naive_bayes",
+            Self::LogisticRegression => "logistic_regression",
+            Self::Tan => "tan",
+            Self::DecisionTree => "tree",
+            Self::Gbt => "gbt",
+        }
+    }
+
+    /// Parses a canonical name (accepts the common short aliases).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "naive_bayes" | "nb" => Some(Self::NaiveBayes),
+            "logistic_regression" | "logreg" => Some(Self::LogisticRegression),
+            "tan" => Some(Self::Tan),
+            "tree" | "cart" => Some(Self::DecisionTree),
+            "gbt" | "boosted" => Some(Self::Gbt),
+            _ => None,
+        }
+    }
+
+    /// Whether the family is tree-based (high capacity — the regime
+    /// where arXiv 1704.00485 applies).
+    pub fn is_tree_based(self) -> bool {
+        matches!(self, Self::DecisionTree | Self::Gbt)
+    }
+
+    /// The tuple-ratio threshold `tau` the advisor quotes for this
+    /// family.
+    pub fn tau(self) -> f64 {
+        if self.is_tree_based() {
+            TREE_TAU
+        } else {
+            DEFAULT_TAU
+        }
+    }
+
+    /// The worst-case-ROR threshold `rho` the advisor quotes for this
+    /// family.
+    pub fn rho(self) -> f64 {
+        if self.is_tree_based() {
+            TREE_RHO
+        } else {
+            DEFAULT_RHO
+        }
+    }
+
+    /// Provenance of this family's `(rho, tau)`.
+    pub fn threshold_source(self) -> ThresholdSource {
+        if self.is_tree_based() {
+            ThresholdSource::MonteCarloRetuned
+        } else {
+            ThresholdSource::PaperDefault
+        }
+    }
+
+    /// The family-tuned TR rule.
+    pub fn tr_rule(self) -> TrRule {
+        TrRule::with_tau(self.tau())
+    }
+
+    /// The family-tuned ROR rule.
+    pub fn ror_rule(self) -> RorRule {
+        RorRule {
+            rho: self.rho(),
+            delta: DEFAULT_DELTA,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for fam in ModelFamily::ALL {
+            assert_eq!(ModelFamily::parse(fam.name()), Some(fam));
+        }
+        assert_eq!(ModelFamily::parse("nb"), Some(ModelFamily::NaiveBayes));
+        assert_eq!(ModelFamily::parse("cart"), Some(ModelFamily::DecisionTree));
+        assert_eq!(ModelFamily::parse("bogus"), None);
+    }
+
+    #[test]
+    fn tree_families_are_more_conservative() {
+        for fam in ModelFamily::ALL {
+            if fam.is_tree_based() {
+                assert!(fam.tau() > ModelFamily::NaiveBayes.tau());
+                assert!(fam.rho() < ModelFamily::NaiveBayes.rho());
+                assert_eq!(fam.threshold_source(), ThresholdSource::MonteCarloRetuned);
+            } else {
+                assert_eq!(fam.tau(), DEFAULT_TAU);
+                assert_eq!(fam.rho(), DEFAULT_RHO);
+                assert_eq!(fam.threshold_source(), ThresholdSource::PaperDefault);
+            }
+        }
+    }
+
+    #[test]
+    fn family_rules_carry_the_thresholds() {
+        let tr = ModelFamily::Gbt.tr_rule();
+        assert_eq!(tr.tau, TREE_TAU);
+        let ror = ModelFamily::DecisionTree.ror_rule();
+        assert_eq!(ror.rho, TREE_RHO);
+        assert_eq!(ror.delta, DEFAULT_DELTA);
+    }
+}

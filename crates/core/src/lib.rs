@@ -34,6 +34,7 @@
 //! ```
 
 pub mod advisor;
+pub mod family;
 pub mod hypothesis;
 pub mod multiclass;
 pub mod planner;
@@ -44,6 +45,7 @@ pub mod tuning;
 pub mod vc;
 
 pub use advisor::{advise, AdvisorConfig, AdvisorError, AdvisorReport, JoinAdvice};
+pub use family::{ModelFamily, ThresholdSource, TREE_RHO, TREE_TAU};
 pub use hypothesis::{check_prop_3_3, fk_partition, partition_by, xr_partition, RowPartition};
 pub use multiclass::{graph_dimension_bound, multiclass_worst_case_ror, natarajan_dimension_bound};
 pub use planner::{

@@ -28,6 +28,7 @@
 pub mod ablation;
 pub mod checkpoint;
 pub mod factorized;
+pub mod family;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -50,6 +51,7 @@ pub mod table;
 pub mod tan_appendix;
 
 pub use checkpoint::{config_key, CheckpointStore, CHECKPOINT_DIR_VAR, DEFAULT_CHECKPOINT_DIR};
+pub use family::{revalidate_all, revalidate_family, FamilyPoint, FamilyThresholds};
 pub use runner::{
     dataset_scale, join_opt_plan, monte_carlo_opts, prepare_plan, run_method, simulate,
     simulate_with, FeatureSetChoice, MonteCarloOpts, PlanMethodRun, PreparedPlan, SimEstimate,

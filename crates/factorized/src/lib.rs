@@ -6,11 +6,13 @@
 //! naive Bayes sufficient statistics are pushed down to per-table counts
 //! ([`naive_bayes`]).
 
+pub mod counts;
 pub mod execute;
 pub mod logreg;
 pub mod naive_bayes;
 pub mod view;
 
+pub use counts::{class_conditional_counts, fk_class_counts, fold_through_fk, foreign_fk};
 pub use execute::view_for_plan;
 pub use logreg::fit_factorized_logreg;
 pub use naive_bayes::fit_factorized_nb;

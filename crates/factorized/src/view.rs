@@ -215,6 +215,14 @@ impl<'a> FactorizedView<'a> {
         Some((&self.fk_indices[jc.fk], jc.codes, jc.domain_size))
     }
 
+    /// The FK slot (index into this view's join set) resolving feature
+    /// `f`, or `None` for base features. Slots are what the pushed-down
+    /// count aggregates in [`crate::counts`] are keyed by.
+    pub(crate) fn foreign_fk_slot(&self, f: usize) -> Option<usize> {
+        let j = f.checked_sub(self.base.len())?;
+        Some(self.joined.get(j)?.fk)
+    }
+
     /// Cells of the denormalized join output this view never allocates:
     /// `n_S × Σ d_Ri` over the joined tables. The advisor quotes this as
     /// the estimated memory saved by Factorize.

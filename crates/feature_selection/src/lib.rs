@@ -107,7 +107,7 @@ const IMPROVEMENT_TOL: f64 = 1e-9;
 /// index order** with exactly the serial scan's comparison chain — so
 /// results, traces, and `model_fits` are bit-for-bit identical at any
 /// thread count, and identical to the uncached serial implementations in
-/// [`reference`] for deterministic-decomposable classifiers (Naive
+/// [`mod@reference`] for deterministic-decomposable classifiers (Naive
 /// Bayes). Candidate fits warm-start from the current subset's model
 /// where the classifier supports it ([`SweepFit`]); warm starts never
 /// count toward `model_fits`, keeping the paper's fit accounting equal
@@ -771,6 +771,67 @@ mod tests {
         let r = forward_selection(&c, &[]);
         assert!(r.features.is_empty());
         assert_eq!(r.model_fits, 1);
+    }
+
+    #[test]
+    fn cart_sweeps_match_reference_and_are_thread_invariant() {
+        // Trees ride the engine through their `SweepFit` impl (a
+        // SuffStats-backed root table); the result must equal the
+        // uncached serial reference and be identical at any thread
+        // count.
+        let d = data();
+        let tree = hamlet_trees::CartTree::default();
+        let rows: Vec<usize> = (0..400).collect();
+        let half = rows.len() / 2;
+        let c = SelectionContext {
+            data: &d,
+            train: &rows[..half],
+            validation: &rows[half..],
+            classifier: &tree,
+            metric: ErrorMetric::ZeroOne,
+        };
+        let cands = [0usize, 1, 2];
+        let serial = SweepEngine::new(&c).with_threads(1);
+        let wide = SweepEngine::new(&c).with_threads(8);
+        for (lhs, rhs, oracle) in [
+            (
+                serial.forward(&cands),
+                wide.forward(&cands),
+                reference::forward_selection(&c, &cands),
+            ),
+            (
+                serial.backward(&cands),
+                wide.backward(&cands),
+                reference::backward_selection(&c, &cands),
+            ),
+        ] {
+            assert_eq!(lhs, rhs, "thread-count changed a tree sweep");
+            assert_eq!(lhs, oracle, "engine diverged from the reference");
+        }
+        assert!(serial.forward(&cands).features.contains(&0));
+    }
+
+    #[test]
+    fn gbt_forward_selection_runs_through_engine() {
+        let d = data();
+        let gbt = hamlet_trees::Gbt {
+            rounds: 5,
+            ..hamlet_trees::Gbt::default()
+        };
+        let rows: Vec<usize> = (0..400).collect();
+        let half = rows.len() / 2;
+        let c = SelectionContext {
+            data: &d,
+            train: &rows[..half],
+            validation: &rows[half..],
+            classifier: &gbt,
+            metric: ErrorMetric::ZeroOne,
+        };
+        let cands = [0usize, 1, 2];
+        let r = SweepEngine::new(&c).with_threads(4).forward(&cands);
+        assert_eq!(r, reference::forward_selection(&c, &cands));
+        assert!(r.features.contains(&0));
+        assert_eq!(r.validation_error, 0.0);
     }
 }
 

@@ -98,6 +98,28 @@ fn majority(counts: &[u64]) -> u32 {
     best as u32
 }
 
+/// Information gain of splitting `rows` multiway on feature `f`.
+fn split_gain(data: &Dataset, rows: &[usize], f: usize, parent_entropy: f64) -> f64 {
+    let feature = data.feature(f);
+    let d = feature.domain_size;
+    let mut child_counts = vec![0u64; d * data.n_classes()];
+    let mut child_sizes = vec![0u64; d];
+    for &r in rows {
+        let v = feature.codes[r] as usize;
+        child_counts[v * data.n_classes() + data.labels()[r] as usize] += 1;
+        child_sizes[v] += 1;
+    }
+    let mut cond = 0.0;
+    for v in 0..d {
+        if child_sizes[v] == 0 {
+            continue;
+        }
+        let slice = &child_counts[v * data.n_classes()..(v + 1) * data.n_classes()];
+        cond += (child_sizes[v] as f64 / rows.len() as f64) * entropy_of_counts(slice);
+    }
+    parent_entropy - cond
+}
+
 fn build(
     data: &Dataset,
     rows: &[usize],
@@ -114,28 +136,25 @@ fn build(
         return nodes.len() - 1;
     }
 
-    // Best split by information gain.
+    // Best split by information gain. Candidate gains are scored in
+    // parallel chunks (each gain is an independent count-then-entropy
+    // pass) and reduced serially in feature order, so the winning
+    // feature — and hence the whole tree — is identical at any thread
+    // count.
     let parent_entropy = entropy_of_counts(&counts);
+    let threads = hamlet_obs::env::resolved_threads().min(feats.len().max(1));
+    let chunk = feats.len().div_ceil(threads.max(1)).max(1);
+    let n_chunks = feats.len().div_ceil(chunk);
+    let per_chunk = hamlet_obs::parallel::run_indexed(n_chunks, threads, &|ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(feats.len());
+        feats[lo..hi]
+            .iter()
+            .map(|&f| split_gain(data, rows, f, parent_entropy))
+            .collect::<Vec<f64>>()
+    });
     let mut best: Option<(usize, f64)> = None;
-    for &f in feats {
-        let feature = data.feature(f);
-        let d = feature.domain_size;
-        let mut child_counts = vec![0u64; d * data.n_classes()];
-        let mut child_sizes = vec![0u64; d];
-        for &r in rows {
-            let v = feature.codes[r] as usize;
-            child_counts[v * data.n_classes() + data.labels()[r] as usize] += 1;
-            child_sizes[v] += 1;
-        }
-        let mut cond = 0.0;
-        for v in 0..d {
-            if child_sizes[v] == 0 {
-                continue;
-            }
-            let slice = &child_counts[v * data.n_classes()..(v + 1) * data.n_classes()];
-            cond += (child_sizes[v] as f64 / rows.len() as f64) * entropy_of_counts(slice);
-        }
-        let gain = parent_entropy - cond;
+    for (&f, &gain) in feats.iter().zip(per_chunk.iter().flatten()) {
         if gain > best.map_or(1e-12, |(_, g)| g) {
             best = Some((f, gain));
         }

@@ -56,6 +56,27 @@ pub fn take_warnings() -> Vec<String> {
     std::mem::take(&mut *warnings_buffer().lock().expect("warnings lock"))
 }
 
+fn model_family_cell() -> &'static Mutex<Option<String>> {
+    static FAMILY: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    FAMILY.get_or_init(|| Mutex::new(None))
+}
+
+/// Records the classifier family the current run trains or serves
+/// (`naive_bayes`, `tree`, `gbt`, ...). The next [`RunJournal::capture`]
+/// drains it into the entry's `model_family` field; the last setter
+/// before capture wins.
+pub fn set_model_family(family: impl Into<String>) {
+    *model_family_cell().lock().expect("model family lock") = Some(family.into());
+}
+
+/// Drains the recorded model family.
+pub fn take_model_family() -> Option<String> {
+    model_family_cell()
+        .lock()
+        .expect("model family lock")
+        .take()
+}
+
 /// Git-describe-style version: crate version plus the short commit hash
 /// read from `.git` (searched upward from the working directory), e.g.
 /// `0.1.0+gf8ab7d1`. Falls back to the bare version outside a checkout.
@@ -134,6 +155,9 @@ pub struct RunJournal {
     pub config: Vec<(String, String)>,
     /// `"ok"` or an error description.
     pub outcome: String,
+    /// Classifier family the run trained or served, when one applies
+    /// (set via [`set_model_family`]).
+    pub model_family: Option<String>,
     /// Configuration warnings raised during the run.
     pub warnings: Vec<String>,
     /// Per-span-name wall-clock rollups.
@@ -160,6 +184,7 @@ impl RunJournal {
             version: version(),
             config: capture_env_config(),
             outcome: outcome.into(),
+            model_family: take_model_family(),
             warnings: take_warnings(),
             spans,
             metrics: crate::metrics::snapshot(),
@@ -189,6 +214,13 @@ impl RunJournal {
                 ),
             ),
             ("outcome", Json::Str(self.outcome.clone())),
+            (
+                "model_family",
+                match &self.model_family {
+                    Some(f) => Json::Str(f.clone()),
+                    None => Json::Null,
+                },
+            ),
             (
                 "warnings",
                 Json::Arr(self.warnings.iter().cloned().map(Json::Str).collect()),
@@ -259,6 +291,7 @@ mod tests {
             version: "0.1.0+gabcdef0".into(),
             config: vec![("HAMLET_SCALE".into(), "0.05".into())],
             outcome: "ok".into(),
+            model_family: Some("naive_bayes".into()),
             warnings: vec!["invalid HAMLET_THREADS='x'".into()],
             spans: vec![SpanRollup {
                 name: "cli.train",
@@ -306,6 +339,27 @@ mod tests {
                 .map(<[Json]>::len),
             Some(1)
         );
+        assert_eq!(
+            parsed.get("model_family").and_then(Json::as_str),
+            Some("naive_bayes")
+        );
+    }
+
+    #[test]
+    fn model_family_is_recorded_and_drained() {
+        set_model_family("gbt");
+        let entry = RunJournal::capture("fam", "ok", Vec::new());
+        assert_eq!(entry.model_family.as_deref(), Some("gbt"));
+        assert!(Json::parse(&entry.to_json())
+            .unwrap()
+            .get("model_family")
+            .and_then(Json::as_str)
+            .is_some());
+        // Drained: a family-less run journals null.
+        let entry = RunJournal::capture("fam", "ok", Vec::new());
+        assert_eq!(entry.model_family, None);
+        let parsed = Json::parse(&entry.to_json()).unwrap();
+        assert_eq!(parsed.get("model_family"), Some(&Json::Null));
     }
 
     #[test]

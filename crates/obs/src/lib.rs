@@ -38,6 +38,6 @@ pub mod span;
 pub use alloc::CountingAlloc;
 pub use env::EnvError;
 pub use fsio::{atomic_append, atomic_write};
-pub use journal::{record_warning, RunJournal};
+pub use journal::{record_warning, set_model_family, RunJournal};
 pub use metrics::render_metrics;
 pub use span::{drain_spans, render_span_tree, rollup, set_tracing, tracing_enabled, SpanGuard};

@@ -5,8 +5,9 @@
 //! bundles everything prediction needs to honor the training-time
 //! decisions:
 //!
-//! * the fitted model parameters for one of the three classifier
-//!   families (Naive Bayes, logistic regression, TAN);
+//! * the fitted model parameters for one of the five classifier
+//!   families (Naive Bayes, logistic regression, TAN, CART decision
+//!   tree, gradient-boosted trees);
 //! * the feature schema — per-feature name, trained domain size, and the
 //!   label vocabulary for labelled domains;
 //! * the advisor's per-join [`ExecStrategy`] verdicts with their TR/ROR
@@ -19,9 +20,11 @@
 //! ## Versioning and integrity rules
 //!
 //! The envelope is `{magic, schema_version, checksum, payload}`. `magic`
-//! must equal [`MAGIC`]; `schema_version` must equal [`SCHEMA_VERSION`]
-//! exactly (no forward or backward reading — the format is too young for
-//! migration promises); `checksum` is an FNV-1a 64 hash of the
+//! must equal [`MAGIC`]; `schema_version` must lie in
+//! [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`] — v2 added the tree
+//! families as a pure extension, so every v1 artifact is also a valid v2
+//! payload and loads unchanged; versions *newer* than this build are
+//! rejected (no forward reading); `checksum` is an FNV-1a 64 hash of the
 //! *canonical re-rendering* of the parsed payload, so whitespace
 //! added by hand-editing does not invalidate an artifact but any content
 //! change does. Every load failure is a typed [`ArtifactError`];
@@ -33,12 +36,19 @@ use std::path::Path;
 use hamlet_core::ExecStrategy;
 use hamlet_ml::{CodeSource, LogisticRegressionModel, Model, NaiveBayesModel, TanModel};
 use hamlet_obs::json::{obj, Json};
+use hamlet_trees::{CartModel, CartNode, GbtModel, RegNode};
 
 /// First bytes of every artifact: identifies the file type.
 pub const MAGIC: &str = "hamlet-model";
 
-/// Artifact schema version this build reads and writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Artifact schema version this build writes (v2 added the `tree` and
+/// `gbt` model families).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version this build still reads. v1 artifacts are a
+/// strict subset of v2 (same envelope and payload shape, fewer model
+/// families), so they load without migration.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Failpoint armed at artifact load (`HAMLET_FAILPOINTS=serve.artifact_load=io`).
 pub const LOAD_FAILPOINT: &str = "serve.artifact_load";
@@ -103,7 +113,8 @@ impl std::fmt::Display for ArtifactError {
             ),
             ArtifactError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "artifact schema_version {found} is not supported (this build reads {supported})"
+                "artifact schema_version {found} is not supported \
+                 (this build reads {MIN_SCHEMA_VERSION}..={supported})"
             ),
             ArtifactError::ChecksumMismatch { expected, actual } => write!(
                 f,
@@ -172,7 +183,7 @@ pub struct JoinDecision {
     pub foreign_features: Vec<String>,
 }
 
-/// The fitted model, one of the three families the paper evaluates.
+/// The fitted model, one of the five servable families.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServableModel {
     /// Naive Bayes (Sec 2.1).
@@ -181,16 +192,22 @@ pub enum ServableModel {
     LogisticRegression(LogisticRegressionModel),
     /// Tree-augmented Naive Bayes (appendix E).
     Tan(TanModel),
+    /// CART decision tree (schema v2).
+    Tree(CartModel),
+    /// Gradient-boosted trees (schema v2).
+    Gbt(GbtModel),
 }
 
 impl ServableModel {
     /// Family tag used in the artifact (`naive_bayes`,
-    /// `logistic_regression`, `tan`).
+    /// `logistic_regression`, `tan`, `tree`, `gbt`).
     pub fn family(&self) -> &'static str {
         match self {
             ServableModel::NaiveBayes(_) => "naive_bayes",
             ServableModel::LogisticRegression(_) => "logistic_regression",
             ServableModel::Tan(_) => "tan",
+            ServableModel::Tree(_) => "tree",
+            ServableModel::Gbt(_) => "gbt",
         }
     }
 
@@ -200,16 +217,36 @@ impl ServableModel {
             ServableModel::NaiveBayes(m) => m.n_classes(),
             ServableModel::LogisticRegression(m) => m.n_classes(),
             ServableModel::Tan(m) => m.n_classes(),
+            ServableModel::Tree(m) => m.n_classes(),
+            ServableModel::Gbt(m) => m.n_classes(),
         }
     }
 
     /// Per-class scores on one row: the unnormalized log-posterior for
-    /// NB/TAN, the pre-softmax decision scores for logistic regression.
+    /// NB/TAN, the pre-softmax decision scores for logistic regression,
+    /// a one-hot indicator of the predicted leaf class for the tree,
+    /// and `-(F - y)^2` per class for GBT (whose argmax — strict
+    /// greater, ties to the lower class — is exactly its prediction).
     pub fn scores<S: CodeSource>(&self, data: &S, row: usize) -> Vec<f64> {
         match self {
             ServableModel::NaiveBayes(m) => m.log_posterior(data, row),
             ServableModel::LogisticRegression(m) => m.decision_scores(data, row),
             ServableModel::Tan(m) => m.log_posterior(data, row),
+            ServableModel::Tree(m) => {
+                let class = m.predict_row(data, row) as usize;
+                (0..m.n_classes())
+                    .map(|y| if y == class { 1.0 } else { 0.0 })
+                    .collect()
+            }
+            ServableModel::Gbt(m) => {
+                let f_val = m.raw_score(data, row);
+                (0..m.n_classes())
+                    .map(|y| {
+                        let d = f_val - y as f64;
+                        -(d * d)
+                    })
+                    .collect()
+            }
         }
     }
 }
@@ -220,6 +257,8 @@ impl Model for ServableModel {
             ServableModel::NaiveBayes(m) => m.predict_row(data, row),
             ServableModel::LogisticRegression(m) => m.predict_row(data, row),
             ServableModel::Tan(m) => m.predict_row(data, row),
+            ServableModel::Tree(m) => m.predict_row(data, row),
+            ServableModel::Gbt(m) => m.predict_row(data, row),
         }
     }
 
@@ -228,6 +267,8 @@ impl Model for ServableModel {
             ServableModel::NaiveBayes(m) => m.features(),
             ServableModel::LogisticRegression(m) => m.features(),
             ServableModel::Tan(m) => m.features(),
+            ServableModel::Tree(m) => m.features(),
+            ServableModel::Gbt(m) => m.features(),
         }
     }
 }
@@ -269,6 +310,43 @@ fn opt_str_arr(xs: &Option<Vec<String>>) -> Json {
     match xs {
         Some(v) => str_arr(v),
         None => Json::Null,
+    }
+}
+
+/// Renders one CART node. Leaves are `{"leaf": class}`; splits carry
+/// their routed feature/value and child arena indices.
+fn cart_node_json(n: &CartNode) -> Json {
+    match n {
+        CartNode::Leaf { class } => obj(vec![("leaf", Json::Num(*class as f64))]),
+        CartNode::Split {
+            feature,
+            value,
+            left,
+            right,
+        } => obj(vec![
+            ("feature", Json::Num(*feature as f64)),
+            ("value", Json::Num(*value as f64)),
+            ("left", Json::Num(*left as f64)),
+            ("right", Json::Num(*right as f64)),
+        ]),
+    }
+}
+
+/// Renders one regression-tree node; leaves hold a float value.
+fn reg_node_json(n: &RegNode) -> Json {
+    match n {
+        RegNode::Leaf { value } => obj(vec![("leaf", Json::Num(*value))]),
+        RegNode::Split {
+            feature,
+            value,
+            left,
+            right,
+        } => obj(vec![
+            ("feature", Json::Num(*feature as f64)),
+            ("value", Json::Num(*value as f64)),
+            ("left", Json::Num(*left as f64)),
+            ("right", Json::Num(*right as f64)),
+        ]),
     }
 }
 
@@ -324,6 +402,40 @@ fn model_json(model: &ServableModel) -> Json {
                 ),
             ),
             ("domain_sizes", usize_arr(m.domain_sizes())),
+        ]),
+        ServableModel::Tree(m) => obj(vec![
+            ("family", Json::Str("tree".into())),
+            ("feats", usize_arr(m.features())),
+            ("n_classes", Json::Num(m.n_classes() as f64)),
+            ("root", Json::Num(m.root() as f64)),
+            (
+                "nodes",
+                Json::Arr(m.nodes().iter().map(cart_node_json).collect()),
+            ),
+        ]),
+        ServableModel::Gbt(m) => obj(vec![
+            ("family", Json::Str("gbt".into())),
+            ("feats", usize_arr(m.features())),
+            ("n_classes", Json::Num(m.n_classes() as f64)),
+            ("base", Json::Num(m.base())),
+            ("learning_rate", Json::Num(m.learning_rate())),
+            (
+                "trees",
+                Json::Arr(
+                    m.trees()
+                        .iter()
+                        .map(|t| {
+                            obj(vec![
+                                ("root", Json::Num(t.root() as f64)),
+                                (
+                                    "nodes",
+                                    Json::Arr(t.nodes().iter().map(reg_node_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
     }
 }
@@ -827,10 +939,89 @@ fn parse_model(j: &Json, features: &[FeatureSchema], n_classes: usize) -> R<Serv
                 domain_sizes,
             )))
         }
+        "tree" => {
+            let feats = usizes_of(field(j, "feats", ctx)?, "model.feats")?;
+            check_model_feats(&feats, features, ctx)?;
+            let root = u32_of(field(j, "root", ctx)?, "model.root")?;
+            let nodes = arr_of(field(j, "nodes", ctx)?, "model.nodes")?
+                .iter()
+                .enumerate()
+                .map(|(i, n)| parse_cart_node(n, &format!("model.nodes[{i}]")))
+                .collect::<R<Vec<CartNode>>>()?;
+            CartModel::from_parts(feats, n_classes, features.len(), nodes, root)
+                .map(ServableModel::Tree)
+                .map_err(|e| schema_err(format!("model: {e}")))
+        }
+        "gbt" => {
+            let feats = usizes_of(field(j, "feats", ctx)?, "model.feats")?;
+            check_model_feats(&feats, features, ctx)?;
+            let base = finite_of(field(j, "base", ctx)?, "model.base")?;
+            let learning_rate = finite_of(field(j, "learning_rate", ctx)?, "model.learning_rate")?;
+            let trees = arr_of(field(j, "trees", ctx)?, "model.trees")?
+                .iter()
+                .enumerate()
+                .map(|(ti, t)| {
+                    let tctx = format!("model.trees[{ti}]");
+                    let root = u32_of(field(t, "root", &tctx)?, &format!("{tctx}.root"))?;
+                    let nodes = arr_of(field(t, "nodes", &tctx)?, &format!("{tctx}.nodes"))?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| parse_reg_node(n, &format!("{tctx}.nodes[{i}]")))
+                        .collect::<R<Vec<RegNode>>>()?;
+                    Ok((nodes, root))
+                })
+                .collect::<R<Vec<(Vec<RegNode>, u32)>>>()?;
+            GbtModel::from_parts(feats, n_classes, features.len(), base, learning_rate, trees)
+                .map(ServableModel::Gbt)
+                .map_err(|e| schema_err(format!("model: {e}")))
+        }
         other => Err(schema_err(format!(
             "model.family: unknown family '{other}' \
-             (expected naive_bayes|logistic_regression|tan)"
+             (expected naive_bayes|logistic_regression|tan|tree|gbt)"
         ))),
+    }
+}
+
+/// Bounds-checks a tree model's `feats` against the feature schema
+/// (tree arenas have no `domain_sizes` vector to cross-check).
+fn check_model_feats(feats: &[usize], features: &[FeatureSchema], ctx: &str) -> R<()> {
+    for (i, &f) in feats.iter().enumerate() {
+        if f >= features.len() {
+            return Err(schema_err(format!(
+                "{ctx}.feats[{i}]: feature position {f} is outside the schema \
+                 ({} features)",
+                features.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_cart_node(j: &Json, ctx: &str) -> R<CartNode> {
+    match j.get("leaf") {
+        Some(v) => Ok(CartNode::Leaf {
+            class: u32_of(v, &format!("{ctx}.leaf"))?,
+        }),
+        None => Ok(CartNode::Split {
+            feature: usize_of(field(j, "feature", ctx)?, &format!("{ctx}.feature"))?,
+            value: u32_of(field(j, "value", ctx)?, &format!("{ctx}.value"))?,
+            left: u32_of(field(j, "left", ctx)?, &format!("{ctx}.left"))?,
+            right: u32_of(field(j, "right", ctx)?, &format!("{ctx}.right"))?,
+        }),
+    }
+}
+
+fn parse_reg_node(j: &Json, ctx: &str) -> R<RegNode> {
+    match j.get("leaf") {
+        Some(v) => Ok(RegNode::Leaf {
+            value: finite_of(v, &format!("{ctx}.leaf"))?,
+        }),
+        None => Ok(RegNode::Split {
+            feature: usize_of(field(j, "feature", ctx)?, &format!("{ctx}.feature"))?,
+            value: u32_of(field(j, "value", ctx)?, &format!("{ctx}.value"))?,
+            left: u32_of(field(j, "left", ctx)?, &format!("{ctx}.left"))?,
+            right: u32_of(field(j, "right", ctx)?, &format!("{ctx}.right"))?,
+        }),
     }
 }
 
@@ -885,7 +1076,7 @@ pub fn from_json_str(text: &str) -> R<ModelArtifact> {
         field(&doc, "schema_version", "envelope")?,
         "envelope.schema_version",
     )? as u64;
-    if version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
         return Err(ArtifactError::UnsupportedVersion {
             found: version,
             supported: SCHEMA_VERSION,
@@ -982,15 +1173,28 @@ mod tests {
     }
 
     #[test]
-    fn version_gate_is_exact() {
-        let text =
-            to_json_string(&nb_artifact()).replace("\"schema_version\":1", "\"schema_version\":2");
-        match from_json_str(&text) {
+    fn version_gate_accepts_v1_rejects_newer() {
+        // A v1 artifact (written by an older build) still loads: the
+        // version lives in the envelope, outside the checksummed payload.
+        let v1 =
+            to_json_string(&nb_artifact()).replace("\"schema_version\":2", "\"schema_version\":1");
+        assert_eq!(from_json_str(&v1).unwrap(), nb_artifact());
+        // A version newer than this build is refused with a typed error.
+        let v3 =
+            to_json_string(&nb_artifact()).replace("\"schema_version\":2", "\"schema_version\":3");
+        match from_json_str(&v3) {
             Err(ArtifactError::UnsupportedVersion { found, supported }) => {
-                assert_eq!((found, supported), (2, SCHEMA_VERSION));
+                assert_eq!((found, supported), (3, SCHEMA_VERSION));
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+        // v0 predates the format entirely.
+        let v0 =
+            to_json_string(&nb_artifact()).replace("\"schema_version\":2", "\"schema_version\":0");
+        assert!(matches!(
+            from_json_str(&v0),
+            Err(ArtifactError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]
@@ -1090,6 +1294,157 @@ mod tests {
             let b = from_json_str(&to_json_string(&a)).unwrap();
             assert_eq!(a, b);
         }
+    }
+
+    fn tree_artifact() -> ModelArtifact {
+        // x == 1 predicts class 1, else class 0.
+        let model = CartModel::from_parts(
+            vec![0],
+            2,
+            1,
+            vec![
+                CartNode::Leaf { class: 1 },
+                CartNode::Leaf { class: 0 },
+                CartNode::Split {
+                    feature: 0,
+                    value: 1,
+                    left: 0,
+                    right: 1,
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        ModelArtifact {
+            dataset: "unit".into(),
+            n_classes: 2,
+            class_labels: None,
+            features: vec![FeatureSchema {
+                name: "x".into(),
+                domain_size: 3,
+                labels: None,
+                fk: None,
+            }],
+            decisions: vec![],
+            model: ServableModel::Tree(model),
+        }
+    }
+
+    #[test]
+    fn tree_and_gbt_round_trip() {
+        let gbt = ServableModel::Gbt(
+            GbtModel::from_parts(
+                vec![0],
+                2,
+                1,
+                0.5,
+                0.3,
+                vec![(
+                    vec![
+                        RegNode::Leaf { value: 0.25 },
+                        RegNode::Leaf { value: -0.75 },
+                        RegNode::Split {
+                            feature: 0,
+                            value: 2,
+                            left: 0,
+                            right: 1,
+                        },
+                    ],
+                    2,
+                )],
+            )
+            .unwrap(),
+        );
+        let tree = tree_artifact();
+        let mut gbt_artifact = tree_artifact();
+        gbt_artifact.model = gbt;
+        for a in [tree, gbt_artifact] {
+            let text = to_json_string(&a);
+            let b = from_json_str(&text).unwrap();
+            assert_eq!(a, b, "{}", a.model.family());
+            assert_eq!(text, to_json_string(&b));
+        }
+    }
+
+    #[test]
+    fn corrupt_tree_arena_is_schema_error_not_panic() {
+        // A self-cycling split (left == self) violates the
+        // children-precede-parent invariant; from_parts must reject it
+        // on load instead of serving an infinite walk.
+        let text = to_json_string(&tree_artifact());
+        let looped = text.replace("\"left\":0,\"right\":1", "\"left\":2,\"right\":1");
+        // Checksum protects against accidental corruption...
+        assert!(from_json_str(&looped).is_err());
+        // ...and a consistently re-rendered hostile arena is caught by
+        // the arena validation itself.
+        let mut a = tree_artifact();
+        if let ServableModel::Tree(m) = &a.model {
+            // Rebuild with an out-of-range feature — from_parts refuses.
+            let err = CartModel::from_parts(
+                m.features().to_vec(),
+                m.n_classes(),
+                1,
+                vec![
+                    CartNode::Leaf { class: 0 },
+                    CartNode::Split {
+                        feature: 9,
+                        value: 0,
+                        left: 0,
+                        right: 0,
+                    },
+                ],
+                1,
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("feature"), "{err}");
+        }
+        a.decisions.clear();
+        assert!(from_json_str(&to_json_string(&a)).is_ok());
+    }
+
+    #[test]
+    fn gbt_scores_argmax_matches_prediction() {
+        let m = GbtModel::from_parts(vec![0], 3, 1, 1.4, 1.0, vec![]).unwrap();
+        let model = ServableModel::Gbt(m);
+        let a = {
+            let mut a = tree_artifact();
+            a.n_classes = 3;
+            a.model = model;
+            a
+        };
+        // A constant F = 1.4 is nearest class 1; the per-class scores'
+        // argmax must agree with predict_row.
+        struct One;
+        impl CodeSource for One {
+            fn n_examples(&self) -> usize {
+                1
+            }
+            fn n_classes(&self) -> usize {
+                3
+            }
+            fn n_features(&self) -> usize {
+                1
+            }
+            fn feature_domain_size(&self, _f: usize) -> usize {
+                3
+            }
+            fn feature_name(&self, _f: usize) -> &str {
+                "x"
+            }
+            fn code(&self, _f: usize, _row: usize) -> u32 {
+                0
+            }
+            fn label(&self, _row: usize) -> u32 {
+                0
+            }
+        }
+        let scores = a.model.scores(&One, 0);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .fold(0usize, |b, (i, &s)| if s > scores[b] { i } else { b });
+        assert_eq!(argmax as u32, a.model.predict_row(&One, 0));
+        assert_eq!(argmax, 1);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum ModelKind {
     LogisticRegression,
     /// Tree-augmented Naive Bayes (`tan`).
     Tan,
+    /// CART decision tree (`tree`).
+    Tree,
+    /// Gradient-boosted trees (`gbt`).
+    Gbt,
 }
 
 impl ModelKind {
@@ -34,6 +38,8 @@ impl ModelKind {
             ModelKind::NaiveBayes => "nb",
             ModelKind::LogisticRegression => "logreg",
             ModelKind::Tan => "tan",
+            ModelKind::Tree => "tree",
+            ModelKind::Gbt => "gbt",
         }
     }
 
@@ -43,7 +49,21 @@ impl ModelKind {
             "nb" => Some(ModelKind::NaiveBayes),
             "logreg" => Some(ModelKind::LogisticRegression),
             "tan" => Some(ModelKind::Tan),
+            "tree" => Some(ModelKind::Tree),
+            "gbt" => Some(ModelKind::Gbt),
             _ => None,
+        }
+    }
+
+    /// The advisor family whose `(rho, tau)` thresholds apply to this
+    /// classifier.
+    pub fn family(&self) -> hamlet_core::ModelFamily {
+        match self {
+            ModelKind::NaiveBayes => hamlet_core::ModelFamily::NaiveBayes,
+            ModelKind::LogisticRegression => hamlet_core::ModelFamily::LogisticRegression,
+            ModelKind::Tan => hamlet_core::ModelFamily::Tan,
+            ModelKind::Tree => hamlet_core::ModelFamily::DecisionTree,
+            ModelKind::Gbt => hamlet_core::ModelFamily::Gbt,
         }
     }
 }
@@ -164,6 +184,14 @@ pub fn build_artifact(
             LogisticRegression::default().fit(&data, &split.train, &all_feats),
         ),
         ModelKind::Tan => ServableModel::Tan(Tan::default().fit(&data, &split.train, &all_feats)),
+        ModelKind::Tree => ServableModel::Tree(hamlet_trees::CartTree::default().fit(
+            &data,
+            &split.train,
+            &all_feats,
+        )),
+        ModelKind::Gbt => {
+            ServableModel::Gbt(hamlet_trees::Gbt::from_env().fit(&data, &split.train, &all_feats))
+        }
     };
     let holdout_error = zero_one_error(&model, &data, &split.test);
 
@@ -326,6 +354,8 @@ mod tests {
             ModelKind::NaiveBayes,
             ModelKind::LogisticRegression,
             ModelKind::Tan,
+            ModelKind::Tree,
+            ModelKind::Gbt,
         ] {
             let built = build_artifact(&star, kind, &AdvisorConfig::default(), "toy").unwrap();
             let text = artifact::to_json_string(&built.artifact);
@@ -362,10 +392,14 @@ mod tests {
             ModelKind::NaiveBayes,
             ModelKind::LogisticRegression,
             ModelKind::Tan,
+            ModelKind::Tree,
+            ModelKind::Gbt,
         ] {
             assert_eq!(ModelKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(ModelKind::from_name("svm"), None);
+        assert!(ModelKind::Tree.family().is_tree_based());
+        assert!(!ModelKind::Tan.family().is_tree_based());
     }
 
     #[test]

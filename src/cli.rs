@@ -2,14 +2,16 @@
 //!
 //! Subcommands:
 //!
-//! * `advise --dataset <name> [--scale S] [--relaxed]` — run the join
-//!   advisor on one of the seven built-in synthetic datasets
-//!   (`--strategy factorize` recommends factorized execution for joins
-//!   that must be kept);
-//! * `train --dataset <name> [--scale S] [--model nb|logreg]
+//! * `advise --dataset <name> [--scale S] [--family F] [--relaxed]` —
+//!   run the join advisor on one of the seven built-in synthetic
+//!   datasets with family-specific thresholds (`--strategy factorize`
+//!   recommends factorized execution for joins that must be kept);
+//! * `train --dataset <name> [--scale S] [--model nb|logreg|tree|gbt]
 //!   [--strategy factorize|materialize]` — train a classifier over the
 //!   star schema; the factorize path never materializes a join and
 //!   reports parity against the materialized reference;
+//! * `retune [--family F] [...]` — Monte-Carlo revalidation of the
+//!   per-family join-avoidance thresholds over the simulation grid;
 //! * `profile --dataset <name> [--scale S]` — print the star-schema
 //!   profile (row counts, domains, entropies, TR/q_R*);
 //! * `csv-advise <file.csv> --target <col> [--numeric col:bins]...
@@ -31,6 +33,7 @@ use std::time::Instant;
 
 use hamlet_core::advisor::{advise, AdvisorConfig};
 use hamlet_core::rules::{RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
+use hamlet_core::ModelFamily;
 use hamlet_datagen::realistic::DatasetSpec;
 use hamlet_factorized::{fit_factorized_logreg, fit_factorized_nb, FactorizedView};
 use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes};
@@ -41,6 +44,7 @@ use hamlet_relational::{
     Manifest, StarLoad, StarSchema,
 };
 use hamlet_serve::{artifact, build_artifact, ModelKind, Scorer, ServerConfig};
+use hamlet_trees::{fit_factorized_gbt, fit_factorized_tree, CartTree, Gbt};
 
 /// CLI error: a user-facing message (exit code 2 in the binary).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,14 +63,15 @@ pub const USAGE: &str = "\
 hamlet — join avoidance for feature selection over normalized data
 
 USAGE:
-  hamlet advise --dataset <name> [--scale S] [--relaxed] [--markdown] [--strategy factorize|materialize]
-  hamlet train --dataset <name> [--scale S] [--model nb|logreg] [--strategy factorize|materialize]
+  hamlet advise --dataset <name> [--scale S] [--family F] [--relaxed] [--markdown] [--strategy factorize|materialize]
+  hamlet train --dataset <name> [--scale S] [--model nb|logreg|tree|gbt] [--strategy factorize|materialize]
   hamlet profile --dataset <name> [--scale S]
   hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
-  hamlet advise-files <schema.manifest> [--relaxed] [--on-dirty P] [--on-dangling-fk P]
+  hamlet advise-files <schema.manifest> [--family F] [--relaxed] [--on-dirty P] [--on-dangling-fk P]
   hamlet simulate [--scenario lone|all|entity-fk] [--n-s N] [--n-r N]
                   [--train-sets T] [--repeats R] [--seed S] [--resume] [--out FILE]
-  hamlet save-model --dataset <name> --out FILE [--scale S] [--model nb|logreg|tan] [--relaxed]
+  hamlet retune [--family F] [--n-s N] [--train-sets T] [--repeats R] [--seed S]
+  hamlet save-model --dataset <name> --out FILE [--scale S] [--model nb|logreg|tan|tree|gbt] [--relaxed]
   hamlet predict --model FILE --in FILE [--out FILE]
   hamlet serve --model FILE [--port N] [--threads N] [--queue N]
   hamlet datasets
@@ -81,6 +86,14 @@ Model serving:
   SIGTERM/ctrl-c, then drains in-flight requests and exits 0; a full
   request queue is shed with 503. Worker count: --threads, else
   HAMLET_THREADS, else available parallelism.
+
+Model families (--family, --model):
+  naive_bayes (nb), logistic_regression (logreg), tan, tree (cart),
+  gbt (boosted). The advisor quotes family-specific (rho, tau)
+  thresholds — tree families carry Monte-Carlo re-tuned, more
+  conservative values; retune re-derives them from simulation and
+  prints the per-family evidence grid. GBT training reads
+  HAMLET_GBT_ROUNDS (default 20) for the boosting-round count.
 
 Dirty-data policies (advise-files):
   --on-dirty abort|quarantine[:N]   bad CSV rows: fail fast (default) or set
@@ -332,9 +345,11 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("advise") => {
             let (spec, scale) = dataset_arg(&args[1..])?;
             let relaxed = args.iter().any(|a| a == "--relaxed");
+            let family = family_arg(&args[1..])?;
             let recommend_factorize = strategy_arg(&args[1..])?.unwrap_or(false);
             let g = spec.generate(scale, 20_160_626);
-            let mut config = advisor_config(relaxed);
+            hamlet_obs::set_model_family(family.name());
+            let mut config = advisor_config(relaxed, family);
             config.recommend_factorize = recommend_factorize;
             let report =
                 advise(&g.star, g.star.n_s() / 2, &config).map_err(|e| CliError(e.to_string()))?;
@@ -354,13 +369,16 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let rest = &args[1..];
             let (spec, scale) = dataset_arg(rest)?;
             let model = parse_flag(rest, "--model")?.unwrap_or("nb");
-            if !matches!(model, "nb" | "logreg") {
+            if !matches!(model, "nb" | "logreg" | "tree" | "gbt") {
                 return Err(CliError(format!(
-                    "--model must be 'nb' or 'logreg', got '{model}'"
+                    "--model must be 'nb', 'logreg', 'tree', or 'gbt', got '{model}'"
                 )));
             }
             let factorize = strategy_arg(rest)?.unwrap_or(true);
             let g = spec.generate(scale, 20_160_626);
+            if let Some(f) = ModelFamily::parse(model) {
+                hamlet_obs::set_model_family(f.name());
+            }
             let body = train_star(&g.star, model, factorize)?;
             Ok(format!(
                 "{} (scale {scale}), model {model}\n{body}",
@@ -379,6 +397,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .find(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError("missing <schema.manifest>".into()))?;
             let relaxed = rest.iter().any(|a| a == "--relaxed");
+            let family = family_arg(rest)?;
             let policy = load_policy_args(rest)?;
             let text = std::fs::read_to_string(file)
                 .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
@@ -391,7 +410,8 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError(e.to_string()))?;
             let degradations = render_degradations(&load);
             let star = load.star;
-            let config = advisor_config(relaxed);
+            hamlet_obs::set_model_family(family.name());
+            let config = advisor_config(relaxed, family);
             let report =
                 advise(&star, star.n_s() / 2, &config).map_err(|e| CliError(e.to_string()))?;
             let lints = lint_star(&star, &LintConfig::default());
@@ -406,6 +426,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         Some("simulate") => simulate_cmd(&args[1..]),
+        Some("retune") => retune_cmd(&args[1..]),
         Some("save-model") => save_model_cmd(&args[1..]),
         Some("predict") => predict_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
@@ -572,16 +593,65 @@ mod signals {
 }
 
 /// Shared `--relaxed`-aware advisor config.
-fn advisor_config(relaxed: bool) -> AdvisorConfig {
+fn advisor_config(relaxed: bool, family: ModelFamily) -> AdvisorConfig {
+    let mut config = AdvisorConfig::for_family(family);
     if relaxed {
-        AdvisorConfig {
-            tr: TrRule::with_tau(RELAXED_TAU),
-            ror: RorRule::with_rho(RELAXED_RHO),
-            ..Default::default()
-        }
-    } else {
-        AdvisorConfig::default()
+        // An explicit user override: the relaxed thresholds replace the
+        // family-tuned ones whatever the family.
+        config.tr = TrRule::with_tau(RELAXED_TAU);
+        config.ror = RorRule::with_rho(RELAXED_RHO);
     }
+    config
+}
+
+/// Parses `--family` (canonical names or the short aliases), defaulting
+/// to Naive Bayes — the paper's primary model.
+fn family_arg(args: &[String]) -> Result<ModelFamily, CliError> {
+    match parse_flag(args, "--family")? {
+        None => Ok(ModelFamily::NaiveBayes),
+        Some(s) => ModelFamily::parse(s).ok_or_else(|| {
+            CliError(format!(
+                "--family must be one of naive_bayes|logistic_regression|tan|tree|gbt \
+                 (or nb|logreg|cart|boosted), got '{s}'"
+            ))
+        }),
+    }
+}
+
+/// The `retune` pipeline: Monte-Carlo revalidation of the per-family
+/// join-avoidance thresholds over the simulation grid.
+fn retune_cmd(rest: &[String]) -> Result<String, CliError> {
+    use hamlet_experiments::{revalidate_all, revalidate_family, MonteCarloOpts};
+    let n_s: usize = num_flag(rest, "--n-s", 400)?;
+    let opts = MonteCarloOpts {
+        train_sets: num_flag(rest, "--train-sets", 4)?,
+        repeats: num_flag(rest, "--repeats", 2)?,
+        base_seed: num_flag(rest, "--seed", 7)?,
+    };
+    if n_s == 0 || opts.train_sets == 0 || opts.repeats == 0 {
+        return Err(CliError(
+            "--n-s, --train-sets, and --repeats must be positive".into(),
+        ));
+    }
+    let reports = match parse_flag(rest, "--family")? {
+        Some(s) => {
+            let family = ModelFamily::parse(s).ok_or_else(|| {
+                CliError(format!(
+                    "--family must be one of naive_bayes|logistic_regression|tan|tree|gbt \
+                     (or nb|logreg|cart|boosted), got '{s}'"
+                ))
+            })?;
+            hamlet_obs::set_model_family(family.name());
+            vec![revalidate_family(family, n_s, &opts)]
+        }
+        None => revalidate_all(n_s, &opts),
+    };
+    let mut out = String::new();
+    for r in &reports {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// The `save-model` pipeline: advise, fit, and write the artifact.
@@ -590,12 +660,13 @@ fn save_model_cmd(rest: &[String]) -> Result<String, CliError> {
     let model = parse_flag(rest, "--model")?.unwrap_or("nb");
     let kind = ModelKind::from_name(model).ok_or_else(|| {
         CliError(format!(
-            "--model must be 'nb', 'logreg', or 'tan', got '{model}'"
+            "--model must be 'nb', 'logreg', 'tan', 'tree', or 'gbt', got '{model}'"
         ))
     })?;
+    hamlet_obs::set_model_family(kind.family().name());
     let out_path =
         parse_flag(rest, "--out")?.ok_or_else(|| CliError("missing --out <file>".into()))?;
-    let config = advisor_config(rest.iter().any(|a| a == "--relaxed"));
+    let config = advisor_config(rest.iter().any(|a| a == "--relaxed"), kind.family());
     let g = spec.generate(scale, 20_160_626);
     let built =
         build_artifact(&g.star, kind, &config, spec.name).map_err(|e| CliError(e.to_string()))?;
@@ -624,6 +695,7 @@ fn predict_cmd(rest: &[String]) -> Result<String, CliError> {
         parse_flag(rest, "--in")?.ok_or_else(|| CliError("missing --in <file>".into()))?;
     let a =
         artifact::load(std::path::Path::new(model_path)).map_err(|e| CliError(e.to_string()))?;
+    hamlet_obs::set_model_family(a.model.family());
     let scorer = Scorer::new(a);
     let text = std::fs::read_to_string(in_path)
         .map_err(|e| CliError(format!("cannot read {in_path}: {e}")))?;
@@ -666,6 +738,7 @@ fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
     let a =
         artifact::load(std::path::Path::new(model_path)).map_err(|e| CliError(e.to_string()))?;
     let family = a.model.family().to_string();
+    hamlet_obs::set_model_family(family.clone());
     let dataset = a.dataset.clone();
     let threads = hamlet_serve::resolve_threads(threads_flag);
 
@@ -705,6 +778,9 @@ fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
 /// float operations on the same codes.
 pub fn train_star(star: &StarSchema, model: &str, factorize: bool) -> Result<String, CliError> {
     let err = |e: hamlet_relational::RelationalError| CliError(e.to_string());
+    if matches!(model, "tree" | "gbt") {
+        return train_star_trees(star, model, factorize);
+    }
     let perm: Vec<usize> = (0..star.n_s()).collect();
     let split = star.split_rows(&perm, 0.5, 0.25);
 
@@ -759,6 +835,72 @@ pub fn train_star(star: &StarSchema, model: &str, factorize: bool) -> Result<Str
                 .map(|r| r.weights() == m.weights() && r.bias() == m.bias())
                 .unwrap_or(false);
         }
+    }
+    Ok(format!(
+        "factorize: trained in {:.1} ms, holdout error {fac_err:.4}\n\
+         materialized reference: trained in {:.1} ms, holdout error {mat_err:.4}\n\
+         parity: {}\n\
+         wide-table cells never allocated: {}\n",
+        fac_elapsed.as_secs_f64() * 1e3,
+        mat_elapsed.as_secs_f64() * 1e3,
+        if parity {
+            "exact (identical model)"
+        } else {
+            "MISMATCH"
+        },
+        view.cells_avoided()
+    ))
+}
+
+/// Tree-family `train` arms: CART via pushed-down count aggregates,
+/// GBT via the ordered factorized code stream — both asserted against
+/// the materialized reference with the fitted model's own `PartialEq`
+/// (the factorized tree is the identical arena, not merely close).
+fn train_star_trees(star: &StarSchema, model: &str, factorize: bool) -> Result<String, CliError> {
+    let err = |e: hamlet_relational::RelationalError| CliError(e.to_string());
+    let perm: Vec<usize> = (0..star.n_s()).collect();
+    let split = star.split_rows(&perm, 0.5, 0.25);
+    let t0 = Instant::now();
+    let wide = star.materialize_all().map_err(err)?;
+    let data = Dataset::from_table(&wide);
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let cart = CartTree::default();
+    let gbt = Gbt::from_env();
+
+    let (mat_err, mat_elapsed, cart_mat, gbt_mat);
+    if model == "tree" {
+        let m = cart.fit(&data, &split.train, &feats);
+        mat_elapsed = t0.elapsed();
+        mat_err = zero_one_error(&m, &data, &split.test);
+        cart_mat = Some(m);
+        gbt_mat = None;
+    } else {
+        let m = gbt.fit(&data, &split.train, &feats);
+        mat_elapsed = t0.elapsed();
+        mat_err = zero_one_error(&m, &data, &split.test);
+        cart_mat = None;
+        gbt_mat = Some(m);
+    }
+    if !factorize {
+        return Ok(format!(
+            "materialize: trained in {:.1} ms, holdout error {mat_err:.4}\n",
+            mat_elapsed.as_secs_f64() * 1e3
+        ));
+    }
+
+    let t1 = Instant::now();
+    let view = FactorizedView::new(star).map_err(err)?;
+    let (fac_err, fac_elapsed, parity);
+    if model == "tree" {
+        let m = fit_factorized_tree(&view, &cart, &split.train, &feats);
+        fac_elapsed = t1.elapsed();
+        fac_err = zero_one_error(&m, &view, &split.test);
+        parity = cart_mat.as_ref() == Some(&m);
+    } else {
+        let m = fit_factorized_gbt(&view, &gbt, &split.train, &feats);
+        fac_elapsed = t1.elapsed();
+        fac_err = zero_one_error(&m, &view, &split.test);
+        parity = gbt_mat.as_ref() == Some(&m);
     }
     Ok(format!(
         "factorize: trained in {:.1} ms, holdout error {fac_err:.4}\n\
@@ -1007,6 +1149,52 @@ mod tests {
         .unwrap();
         assert!(out.contains("model logreg"), "{out}");
         assert!(out.contains("parity: exact (identical model)"), "{out}");
+    }
+
+    #[test]
+    fn train_tree_factorized_parity() {
+        let out = run(&argv("train --dataset walmart --scale 0.01 --model tree")).unwrap();
+        assert!(out.contains("model tree"), "{out}");
+        assert!(out.contains("parity: exact (identical model)"), "{out}");
+        assert!(out.contains("wide-table cells never allocated"), "{out}");
+    }
+
+    #[test]
+    fn train_gbt_factorized_parity() {
+        std::env::set_var("HAMLET_GBT_ROUNDS", "3");
+        let out = run(&argv("train --dataset walmart --scale 0.01 --model gbt")).unwrap();
+        std::env::remove_var("HAMLET_GBT_ROUNDS");
+        assert!(out.contains("model gbt"), "{out}");
+        assert!(out.contains("parity: exact (identical model)"), "{out}");
+    }
+
+    #[test]
+    fn advise_family_tree_prints_retuned_thresholds() {
+        let out = run(&argv("advise --dataset walmart --scale 0.01 --family tree")).unwrap();
+        assert!(out.contains("Model family tree"), "{out}");
+        assert!(out.contains("Monte-Carlo re-tuned"), "{out}");
+        let nb = run(&argv("advise --dataset walmart --scale 0.01")).unwrap();
+        assert!(nb.contains("Model family naive_bayes"), "{nb}");
+        assert!(nb.contains("paper defaults"), "{nb}");
+        assert_ne!(out, nb, "family must change the advisor output");
+    }
+
+    #[test]
+    fn bad_family_is_reported() {
+        assert!(run(&argv("advise --dataset walmart --family svm"))
+            .unwrap_err()
+            .0
+            .contains("--family"));
+    }
+
+    #[test]
+    fn retune_smoke_prints_family_grid() {
+        let out = run(&argv(
+            "retune --family tree --n-s 200 --train-sets 2 --repeats 1 --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("tree"), "{out}");
+        assert!(out.contains("n_R"), "{out}");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`factorized`] — factorized learning: JoinAll accuracy at
 //!   NoJoins-like memory, training through FK indirection with zero
 //!   join materialization;
+//! * [`trees`] — CART decision trees and gradient boosting over
+//!   categorical codes, factorized over the star schema via
+//!   pushed-down count aggregates (the JoinBoost recipe);
 //! * [`datagen`] — simulation worlds, FK skew, and synthetic analogs of
 //!   the paper's seven datasets;
 //! * [`experiments`] — one module per paper table/figure, with
@@ -57,5 +60,7 @@ pub use hamlet_experiments as experiments;
 pub use hamlet_factorized as factorized;
 pub use hamlet_fs as fs;
 pub use hamlet_ml as ml;
+pub use hamlet_obs as obs;
 pub use hamlet_relational as relational;
 pub use hamlet_serve as serve;
+pub use hamlet_trees as trees;

@@ -146,6 +146,48 @@ fn selection_at_resolved_threads_matches_reference() {
     }
 }
 
+/// Tree-based selection under the same contract: CART sweeps through
+/// the engine must equal the serial reference whatever `HAMLET_THREADS`
+/// resolves to — CI's `trees-smoke` job runs this once at
+/// `HAMLET_THREADS=1` and once at `HAMLET_THREADS=8`, so equality with
+/// the (thread-free) reference at both pins the sweep bit-for-bit.
+#[test]
+fn tree_selection_at_resolved_threads_matches_reference() {
+    use hamlet::fs::{reference, Method, SelectionContext};
+    use hamlet::ml::classifier::ErrorMetric;
+    use hamlet::ml::dataset::Dataset;
+    use hamlet::ml::split::HoldoutSplit;
+    use hamlet::trees::CartTree;
+
+    let g = DatasetSpec::walmart().generate(0.004, 11);
+    let table = g
+        .star
+        .materialize_all()
+        .expect("synthetic star materializes");
+    let data = Dataset::from_table(&table);
+    let split = HoldoutSplit::paper_protocol(data.n_examples(), 11);
+    let cart = CartTree::default();
+    let ctx = SelectionContext {
+        data: &data,
+        train: &split.train,
+        validation: &split.validation,
+        classifier: &cart,
+        metric: ErrorMetric::for_classes(data.n_classes()),
+    };
+    let candidates: Vec<usize> = (0..data.n_features()).collect();
+    for method in [Method::Forward, Method::Backward] {
+        let engine_result = method.run(&ctx, &candidates);
+        let serial = reference::run_method(method, &ctx, &candidates);
+        assert_eq!(
+            engine_result,
+            serial,
+            "tree {} diverged from the serial reference at HAMLET_THREADS={:?}",
+            method.name(),
+            std::env::var("HAMLET_THREADS").ok()
+        );
+    }
+}
+
 #[test]
 fn splits_and_selection_are_reproducible() {
     use hamlet::experiments::{join_opt_plan, prepare_plan, run_method};

@@ -93,9 +93,11 @@ fn cli_arg_parsing_has_no_aborting_calls() {
         "parse_multi",
         "dataset_arg",
         "strategy_arg",
+        "family_arg",
         "load_policy_args",
         "num_flag",
         "simulate_cmd",
+        "retune_cmd",
     ] {
         assert_no_aborts(&format!("src/cli.rs::{f}"), function_body(src, f));
     }
@@ -147,6 +149,23 @@ fn serve_crate_has_no_aborting_calls() {
         "crates/serve/src/export.rs",
         "crates/serve/src/http.rs",
         "crates/serve/src/server.rs",
+    ] {
+        let src = read(rel);
+        assert_no_aborts(rel, non_test(&src));
+    }
+}
+
+#[test]
+fn trees_crate_has_no_aborting_calls() {
+    // The entire tree-learning subsystem: corrupt arenas, non-finite
+    // leaf values, and out-of-domain codes all degrade with typed
+    // errors or clamped walks — training and prediction never abort.
+    for rel in [
+        "crates/trees/src/lib.rs",
+        "crates/trees/src/cart.rs",
+        "crates/trees/src/gbt.rs",
+        "crates/trees/src/factorized.rs",
+        "crates/trees/src/sweep.rs",
     ] {
         let src = read(rel);
         assert_no_aborts(rel, non_test(&src));

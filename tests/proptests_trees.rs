@@ -1,0 +1,232 @@
+//! Property-based parity tests for the tree-learning subsystem: on
+//! arbitrary star instances, factorized training (pushed-down count
+//! aggregates, no join) must produce the *same object* — identical
+//! splits, leaves, and predictions — as training on the materialized
+//! join, and parallel split scoring must not depend on the thread
+//! count. Dirty corpora (seeded chaos faults) must never panic tree
+//! training.
+
+use proptest::prelude::*;
+
+use hamlet::chaos::corrupt::{corrupt_corpus, ChaosPlan, Corpus, FaultKind, FileProfile};
+use hamlet::factorized::FactorizedView;
+use hamlet::ml::classifier::{Classifier, Model};
+use hamlet::ml::dataset::Dataset;
+use hamlet::relational::{
+    AttributeTable, DirtyPolicy, Domain, FkPolicy, LoadPolicy, Manifest, StarSchema, TableBuilder,
+};
+use hamlet::trees::{fit_factorized_gbt, fit_factorized_tree, CartTree, Gbt};
+
+/// Strategy: a random one-attribute-table star — `n_r` attribute rows
+/// with one foreign feature, `n_s` entity rows with an entity feature,
+/// FKs, and ternary labels (mirrors `proptests_factorized.rs`).
+fn star_instance() -> impl Strategy<Value = (usize, Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (2usize..10).prop_flat_map(|n_r| {
+        (
+            Just(n_r),
+            proptest::collection::vec(0..5u32, n_r), // X_R per RID
+            proptest::collection::vec(0..n_r as u32, 20..150), // FK codes
+        )
+            .prop_flat_map(|(n_r, xr, fks)| {
+                let n_s = fks.len();
+                (
+                    Just(n_r),
+                    Just(xr),
+                    Just(fks),
+                    proptest::collection::vec(0..3u32, n_s), // entity feature
+                    proptest::collection::vec(0..3u32, n_s), // labels
+                )
+            })
+    })
+}
+
+fn build_star(n_r: usize, xr: Vec<u32>, fks: Vec<u32>, xs: Vec<u32>, ys: Vec<u32>) -> StarSchema {
+    let rid = Domain::indexed("RID", n_r).shared();
+    let r = TableBuilder::new("R")
+        .primary_key("RID", rid.clone(), (0..n_r as u32).collect())
+        .feature("xr", Domain::indexed("xr", 5).shared(), xr)
+        .build()
+        .unwrap();
+    let s = TableBuilder::new("S")
+        .target("y", Domain::indexed("y", 3).shared(), ys)
+        .feature("xs", Domain::indexed("xs", 3).shared(), xs)
+        .foreign_key("fk", "R", rid, fks)
+        .build()
+        .unwrap();
+    StarSchema::new(
+        s,
+        vec![AttributeTable {
+            fk: "fk".into(),
+            table: r,
+        }],
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// CART: the pushed-down class-conditional counts are the exact
+    /// integers a scan of the join would produce, so the factorized
+    /// tree is the *identical arena* — same splits, same leaves — and
+    /// therefore predicts identically on every row.
+    #[test]
+    fn factorized_cart_is_bitwise_identical((n_r, xr, fks, xs, ys) in star_instance()) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let wide = star.materialize_all().unwrap();
+        let data = Dataset::from_table(&wide);
+        let view = FactorizedView::new(&star).unwrap();
+        let train: Vec<usize> = (0..star.n_s()).step_by(2).collect();
+        let feats: Vec<usize> = (0..data.n_features()).collect();
+        let tree = CartTree::default();
+        let m_mat = tree.fit(&data, &train, &feats);
+        let m_fac = fit_factorized_tree(&view, &tree, &train, &feats);
+        prop_assert_eq!(&m_mat, &m_fac);
+        for row in 0..star.n_s() {
+            prop_assert_eq!(m_mat.predict_row(&data, row), m_fac.predict_row(&view, row));
+        }
+    }
+
+    /// GBT: the factorized path streams codes in the same row order the
+    /// materialized scan uses, so the float program — and thus every
+    /// leaf value and raw score — is bitwise equal.
+    #[test]
+    fn factorized_gbt_is_bitwise_identical((n_r, xr, fks, xs, ys) in star_instance()) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let wide = star.materialize_all().unwrap();
+        let data = Dataset::from_table(&wide);
+        let view = FactorizedView::new(&star).unwrap();
+        let train: Vec<usize> = (0..star.n_s()).collect();
+        let feats: Vec<usize> = (0..data.n_features()).collect();
+        let gbt = Gbt { rounds: 4, ..Gbt::default() };
+        let m_mat = gbt.fit(&data, &train, &feats);
+        let m_fac = fit_factorized_gbt(&view, &gbt, &train, &feats);
+        prop_assert_eq!(&m_mat, &m_fac);
+        for row in 0..star.n_s() {
+            prop_assert!(
+                m_mat.raw_score(&data, row).to_bits() == m_fac.raw_score(&view, row).to_bits(),
+                "row {} raw scores diverge", row
+            );
+        }
+    }
+
+    /// Thread invariance: split gains are computed in parallel chunks
+    /// but reduced serially in feature order, so the fitted model is
+    /// bitwise identical at 1 and 8 threads (`threads` is exactly what
+    /// `HAMLET_THREADS` resolves into) — for CART and GBT both.
+    #[test]
+    fn tree_models_are_thread_count_invariant((n_r, xr, fks, xs, ys) in star_instance()) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let wide = star.materialize_all().unwrap();
+        let data = Dataset::from_table(&wide);
+        let train: Vec<usize> = (0..star.n_s()).collect();
+        let feats: Vec<usize> = (0..data.n_features()).collect();
+        let cart_1 = CartTree { threads: Some(1), ..CartTree::default() };
+        let cart_8 = CartTree { threads: Some(8), ..CartTree::default() };
+        prop_assert_eq!(
+            cart_1.fit(&data, &train, &feats),
+            cart_8.fit(&data, &train, &feats)
+        );
+        let gbt_1 = Gbt { rounds: 3, threads: Some(1), ..Gbt::default() };
+        let gbt_8 = Gbt { rounds: 3, threads: Some(8), ..Gbt::default() };
+        prop_assert_eq!(
+            gbt_1.fit(&data, &train, &feats),
+            gbt_8.fit(&data, &train, &feats)
+        );
+    }
+}
+
+const MANIFEST: &str = "\
+entity customers.csv
+target Churn
+numeric Age 8
+fk EmployerID employers.csv closed
+
+table employers.csv
+key EmployerID
+feature Country
+";
+
+/// A clean two-table star corpus: 60 customers over 6 employers
+/// (mirrors `tests/chaos.rs`).
+fn clean_corpus() -> Corpus {
+    let mut corpus = Corpus::new();
+    let mut customers = String::from("Churn,Age,EmployerID\n");
+    for i in 0..60 {
+        customers.push_str(&format!("{},{},e{}\n", i % 2, 20 + i % 30, i % 6));
+    }
+    let mut employers = String::from("EmployerID,Country\n");
+    for e in 0..6 {
+        employers.push_str(&format!("e{},c{}\n", e, e % 3));
+    }
+    corpus.insert("customers.csv".into(), customers);
+    corpus.insert("employers.csv".into(), employers);
+    corpus
+}
+
+fn chaos_plan(seed: u64, faults_per_file: usize) -> ChaosPlan {
+    ChaosPlan {
+        seed,
+        faults_per_file,
+        kinds: FaultKind::ALL.to_vec(),
+        profiles: std::collections::BTreeMap::new(),
+    }
+    .with_profile(
+        "customers.csv",
+        FileProfile {
+            numeric_cols: vec![1],
+            pk_col: None,
+            fk_cols: vec![2],
+        },
+    )
+    .with_profile(
+        "employers.csv",
+        FileProfile {
+            numeric_cols: vec![],
+            pk_col: Some(0),
+            fk_cols: vec![],
+        },
+    )
+}
+
+proptest! {
+    /// Tree training over whatever survives a lenient load of a
+    /// corrupted corpus never panics: either the load fails with a
+    /// typed error, or CART and GBT both fit and predict in-range
+    /// classes on every surviving row.
+    #[test]
+    fn tree_training_on_dirty_corpora_never_panics(
+        seed in 0u64..100,
+        faults in 1usize..6,
+    ) {
+        let (dirty, _) = corrupt_corpus(&clean_corpus(), &chaos_plan(seed, faults));
+        let dir = std::env::temp_dir()
+            .join("hamlet_trees_it")
+            .join(format!("dirty_{seed}_{faults}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (file, text) in &dirty {
+            std::fs::write(dir.join(file), text).unwrap();
+        }
+        std::fs::write(dir.join("schema.manifest"), MANIFEST).unwrap();
+        let text = std::fs::read_to_string(dir.join("schema.manifest")).unwrap();
+        let manifest = Manifest::parse(&text).unwrap();
+        let policy = LoadPolicy {
+            on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 1000 },
+            on_dangling_fk: FkPolicy::DropRow,
+        };
+        if let Ok(load) = manifest.load_policy(&dir, &policy) {
+            if let Ok(wide) = load.star.materialize_all() {
+                let data = Dataset::from_table(&wide);
+                let rows: Vec<usize> = (0..data.n_examples()).collect();
+                let feats: Vec<usize> = (0..data.n_features()).collect();
+                let n_classes = data.n_classes() as u32;
+                let cart = CartTree::default().fit(&data, &rows, &feats);
+                let gbt = Gbt { rounds: 2, ..Gbt::default() }.fit(&data, &rows, &feats);
+                for &r in &rows {
+                    prop_assert!(cart.predict_row(&data, r) < n_classes.max(1));
+                    prop_assert!(gbt.predict_row(&data, r) < n_classes.max(1));
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
