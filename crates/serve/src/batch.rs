@@ -1,0 +1,231 @@
+//! Request micro-batching: coalesce concurrent single-row `/predict`
+//! calls onto the batch-scorer path.
+//!
+//! At fleet traffic the server sees many *tiny* requests at once, and
+//! the batch path (`Scorer::predict_coded_rows`) amortizes model and
+//! schema accesses across rows. The [`MicroBatcher`] exploits that
+//! without changing a single answer: single-row requests landing within
+//! one collection window are scored as one batch and the predictions
+//! fanned back out to their callers.
+//!
+//! **Bit-for-bit identity.** Rows are validated and decoded on their
+//! own worker *before* entering the batcher, and every model scores a
+//! row from that row's codes alone (`CodeSource::code(f, row)`), so a
+//! coalesced batch produces exactly the floats the same rows would
+//! produce scored one by one — property-tested in
+//! `tests/proptests_serve.rs`.
+//!
+//! **Protocol.** The first row to arrive while no batch is collecting
+//! becomes the *leader*: it sleeps the window (lock released), then
+//! takes everything that queued behind it, scores the combined batch,
+//! and delivers each prediction into its submitter's slot. Followers
+//! block on their slot. A follower whose leader died (worker panic)
+//! falls back to scoring its own row directly after a bounded wait —
+//! batching is an optimization, never a liveness hazard.
+//!
+//! The window comes from `--batch-window-us` / `HAMLET_BATCH_WINDOW_US`;
+//! zero (the default) disables coalescing entirely and scores inline.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::score::{Prediction, Scorer};
+
+/// How long past the window a follower waits for its leader before
+/// concluding the leader died and scoring its own row directly.
+const ORPHAN_GRACE: Duration = Duration::from_secs(2);
+
+/// Lock helper: a poisoned mutex only means a peer panicked mid-update;
+/// the protected state is still structurally sound, and a scoring
+/// server must keep serving.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One submitter's result mailbox.
+struct Slot {
+    result: Mutex<Option<Prediction>>,
+    ready: Condvar,
+}
+
+/// A queued row waiting for the current leader.
+struct Pending {
+    row: Vec<u32>,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct State {
+    /// A leader is currently sleeping its collection window.
+    collecting: bool,
+    /// Rows queued for that leader (including the leader's own).
+    pending: Vec<Pending>,
+}
+
+/// Windowed coalescer for single-row predictions against one scorer.
+/// One batcher per registry entry, so batches never mix models.
+pub struct MicroBatcher {
+    window: Duration,
+    state: Mutex<State>,
+}
+
+impl MicroBatcher {
+    /// A batcher with the given collection window; zero disables
+    /// coalescing ([`MicroBatcher::predict_one`] scores inline).
+    pub fn new(window: Duration) -> Self {
+        MicroBatcher {
+            window,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The configured collection window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Scores one validated row, coalescing it with concurrent peers
+    /// when a window is configured. `row` must come from
+    /// `Scorer::decode_body` against the same `scorer`.
+    pub fn predict_one(&self, scorer: &Scorer, row: Vec<u32>) -> Prediction {
+        if self.window.is_zero() {
+            return score_single(scorer, &row);
+        }
+        // Kept for the orphaned-follower fallback; a few u32s.
+        let own_row = row.clone();
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let is_leader = {
+            let mut st = lock(&self.state);
+            st.pending.push(Pending {
+                row,
+                slot: Arc::clone(&slot),
+            });
+            if st.collecting {
+                false
+            } else {
+                st.collecting = true;
+                true
+            }
+        };
+
+        if is_leader {
+            // Collection window: lock released, peers queue up behind us.
+            std::thread::sleep(self.window);
+            let batch = {
+                let mut st = lock(&self.state);
+                st.collecting = false;
+                std::mem::take(&mut st.pending)
+            };
+            let rows: Vec<Vec<u32>> = batch.iter().map(|p| p.row.clone()).collect();
+            let preds = scorer.predict_coded_rows(&rows);
+            for (pending, pred) in batch.into_iter().zip(preds) {
+                *lock(&pending.slot.result) = Some(pred);
+                pending.slot.ready.notify_all();
+            }
+        }
+
+        // Wait for the mailbox (the leader filled its own synchronously
+        // above, so this returns immediately for leaders).
+        let mut result = lock(&slot.result);
+        loop {
+            if let Some(pred) = result.take() {
+                return pred;
+            }
+            let (guard, timed_out) = slot
+                .ready
+                .wait_timeout(result, self.window + ORPHAN_GRACE)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            result = guard;
+            if timed_out.timed_out() {
+                // Leader died before delivering. Check once more, then
+                // score our own row — identical result by construction.
+                if let Some(pred) = result.take() {
+                    return pred;
+                }
+                drop(result);
+                return score_single(scorer, &own_row);
+            }
+        }
+    }
+}
+
+fn score_single(scorer: &Scorer, row: &[u32]) -> Prediction {
+    let rows = [row.to_vec()];
+    // predict_coded_rows returns exactly one prediction per input row.
+    scorer.predict_coded_rows(&rows).remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{FeatureSchema, ModelArtifact, ServableModel};
+    use hamlet_ml::NaiveBayesModel;
+
+    fn scorer() -> Scorer {
+        let model = NaiveBayesModel::from_parts(
+            vec![0],
+            2,
+            vec![(0.4f64).ln(), (0.6f64).ln()],
+            vec![vec![
+                0.9f64.ln(),
+                0.1f64.ln(),
+                0.2f64.ln(),
+                0.8f64.ln(),
+            ]],
+            vec![2],
+        );
+        Scorer::new(ModelArtifact {
+            dataset: "unit".into(),
+            n_classes: 2,
+            class_labels: None,
+            features: vec![FeatureSchema {
+                name: "x".into(),
+                domain_size: 2,
+                labels: None,
+                fk: None,
+            }],
+            decisions: vec![],
+            model: ServableModel::NaiveBayes(model),
+        })
+    }
+
+    #[test]
+    fn zero_window_scores_inline() {
+        let s = scorer();
+        let b = MicroBatcher::new(Duration::ZERO);
+        let direct = s.predict_coded_rows(&[vec![1]]);
+        assert_eq!(b.predict_one(&s, vec![1]), direct[0]);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_agree_with_unbatched() {
+        let s = std::sync::Arc::new(scorer());
+        let b = std::sync::Arc::new(MicroBatcher::new(Duration::from_millis(5)));
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let row = vec![(i % 2) as u32];
+                    (row.clone(), b.predict_one(&s, row))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (row, pred) = h.join().unwrap();
+            let direct = s.predict_coded_rows(&[row]);
+            assert_eq!(pred, direct[0], "batched prediction drifted");
+        }
+    }
+
+    #[test]
+    fn a_lone_request_still_completes() {
+        let s = scorer();
+        let b = MicroBatcher::new(Duration::from_millis(2));
+        let direct = s.predict_coded_rows(&[vec![0]]);
+        assert_eq!(b.predict_one(&s, vec![0]), direct[0]);
+    }
+}

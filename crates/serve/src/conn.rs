@@ -1,0 +1,239 @@
+//! Buffered per-connection request framing for HTTP/1.1 keep-alive and
+//! pipelining.
+//!
+//! A [`ConnReader`] lives for the whole life of one accepted socket and
+//! owns every byte read from it. That is the property that makes
+//! pipelining safe: a read that pulls in the tail of request *n* plus
+//! the head of request *n+1* leaves the surplus in the buffer for the
+//! next [`ConnReader::next_request`] call instead of dropping it on the
+//! floor (the one-request-per-connection reader simply discarded
+//! anything after `Content-Length` bytes).
+//!
+//! Timeout semantics distinguish two very different kinds of silence:
+//!
+//! * **Idle at a request boundary** — the client holds the connection
+//!   open but has nothing to say. After `idle` with zero buffered
+//!   bytes this is a *clean close* (`Ok(None)`), not an error: that is
+//!   how keep-alive connections end.
+//! * **Stalled mid-request** — the first byte arrived, so the client
+//!   owes us a complete request within `deadline`. A stall here is the
+//!   slow-loris case and stays a typed [`ReadError::TooSlow`] (408).
+//!
+//! The head-terminator scan tracks how far it has already looked
+//! ([`http::find_head_end_from`]), so a head trickled in N reads costs
+//! O(head), not the O(head²) rescan the old loop paid.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{
+    find_head_end_from, parse_head, read_some, ReadError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
+
+/// Default keep-alive idle deadline between requests on one connection.
+pub const IDLE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Read chunk size; also bounds how far one read can over-run into
+/// pipelined follow-up requests (the surplus is kept, not dropped).
+const CHUNK: usize = 4096;
+
+/// Per-connection buffered reader. See the module docs for the framing
+/// and timeout contract.
+#[derive(Debug, Default)]
+pub struct ConnReader {
+    /// Bytes read but not yet consumed by a framed request. Starts with
+    /// any pipelined surplus from the previous request.
+    buf: Vec<u8>,
+    /// How far `buf` has been scanned for the head terminator.
+    scanned: usize,
+}
+
+impl ConnReader {
+    /// A fresh reader for a newly accepted connection.
+    pub fn new() -> Self {
+        ConnReader::default()
+    }
+
+    /// Bytes buffered ahead of the next request (pipelined surplus).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frames the next request off the connection.
+    ///
+    /// * `Ok(Some(req))` — one complete request; surplus bytes stay
+    ///   buffered for the next call.
+    /// * `Ok(None)` — clean end of the connection: EOF or `idle`
+    ///   elapsed with no buffered bytes at a request boundary.
+    /// * `Err(_)` — malformed framing, an over-limit head/body, a
+    ///   mid-request stall (`TooSlow`), or a socket error. The
+    ///   connection is unusable for further requests after any error.
+    pub fn next_request(
+        &mut self,
+        stream: &mut TcpStream,
+        deadline: Duration,
+        idle: Duration,
+    ) -> Result<Option<Request>, ReadError> {
+        let mut chunk = [0u8; CHUNK];
+        // Wait for the first byte of the request (or use pipelined
+        // surplus). Only this wait runs under the idle deadline; once a
+        // byte exists the request deadline governs.
+        if self.buf.is_empty() {
+            let idle_started = Instant::now();
+            match read_some(stream, &mut chunk, idle_started, idle) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(ReadError::TooSlow) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+
+        let started = Instant::now();
+        let head_end = loop {
+            if let Some(pos) = find_head_end_from(&self.buf, self.scanned) {
+                break pos;
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::TooLarge("request head"));
+            }
+            let n = read_some(stream, &mut chunk, started, deadline)?;
+            if n == 0 {
+                return Err(ReadError::Malformed(
+                    "connection closed before the end of headers".into(),
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+
+        let head = parse_head(&self.buf[..head_end])?;
+        if head.content_length > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge("request body"));
+        }
+
+        let body_start = head_end + 4;
+        let total = body_start + head.content_length;
+        while self.buf.len() < total {
+            let n = read_some(stream, &mut chunk, started, deadline)?;
+            if n == 0 {
+                return Err(ReadError::Malformed(
+                    "connection closed before the end of the body".into(),
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+
+        let body = self.buf[body_start..total].to_vec();
+        // Keep any pipelined surplus; reset the head scan for it.
+        self.buf.drain(..total);
+        self.scanned = 0;
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            body,
+            close: head.close,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        (client, server_side)
+    }
+
+    const SECOND: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn pipelined_requests_are_framed_without_bleeding() {
+        let (mut client, mut server) = pair();
+        // Three pipelined requests in one write; the middle body contains
+        // bytes that look like a request head, which must stay body.
+        client
+            .write_all(
+                b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+                  POST /b HTTP/1.1\r\nContent-Length: 18\r\n\r\nGET /x HTTP/1.1\r\n\r\
+                  GET /c HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+
+        let mut r = ConnReader::new();
+        let a = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"abc"[..]));
+        assert!(!a.close);
+        let b = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"GET /x HTTP/1.1\r\n\r");
+        let c = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(c.close);
+        // EOF at the boundary is a clean close.
+        assert_eq!(r.next_request(&mut server, SECOND, SECOND).unwrap(), None);
+    }
+
+    #[test]
+    fn idle_at_a_boundary_is_a_clean_close_but_a_stall_mid_request_is_408() {
+        let (mut client, mut server) = pair();
+        let mut r = ConnReader::new();
+        // Nothing sent: idle deadline elapses -> clean close, fast.
+        let t = Instant::now();
+        assert_eq!(
+            r.next_request(&mut server, SECOND, Duration::from_millis(80))
+                .unwrap(),
+            None
+        );
+        assert!(t.elapsed() < Duration::from_millis(500));
+
+        // Half a head then silence: that is a stalled request, not idleness.
+        client.write_all(b"GET /slow HTT").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let err = r
+            .next_request(&mut server, Duration::from_millis(120), SECOND)
+            .unwrap_err();
+        assert_eq!(err, ReadError::TooSlow);
+    }
+
+    #[test]
+    fn trickled_head_is_scanned_incrementally() {
+        let (mut client, mut server) = pair();
+        let raw = b"POST /t HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let h = std::thread::spawn(move || {
+            for byte in raw.iter() {
+                client.write_all(&[*byte]).unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            client
+        });
+        let mut r = ConnReader::new();
+        let req = r
+            .next_request(&mut server, Duration::from_secs(5), Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/t");
+        assert_eq!(req.body, b"ok");
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn surplus_is_reported() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n")
+            .unwrap();
+        // Give the kernel a beat so one read sees both requests.
+        std::thread::sleep(Duration::from_millis(30));
+        let mut r = ConnReader::new();
+        let first = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        assert_eq!(first.path, "/1");
+        assert!(r.buffered() > 0, "pipelined bytes must stay buffered");
+    }
+}

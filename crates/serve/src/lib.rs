@@ -26,13 +26,23 @@
 //! * [`score`] — the scoring engine: named- or positional-row requests,
 //!   label vocabulary lookup, `Others` routing, and typed
 //!   [`ScoreError`]s with HTTP status mapping.
-//! * [`http`] / [`server`] — a bounded-worker, bounded-queue HTTP
-//!   server with 503 backpressure, graceful drain on SIGTERM/ctrl-c,
-//!   and `hamlet_obs` spans + metrics on every request.
+//! * [`http`] / [`conn`] / [`server`] — a bounded-worker, bounded-queue
+//!   HTTP/1.1 server with keep-alive + pipelining-safe framing, 503
+//!   backpressure, graceful drain on SIGTERM/ctrl-c, and `hamlet_obs`
+//!   spans + metrics on every request.
+//! * [`batch`] — request micro-batching: concurrent single-row predicts
+//!   within `HAMLET_BATCH_WINDOW_US` are coalesced onto the batch
+//!   scorer, bit-for-bit identical to unbatched scoring.
+//! * [`registry`] — the multi-model table behind `/models/<id>/…`
+//!   routing, with atomic hot-swap reload (`POST /reload` or SIGHUP)
+//!   that never drops an in-flight request.
 
 pub mod artifact;
+pub mod batch;
+pub mod conn;
 pub mod export;
 pub mod http;
+pub mod registry;
 pub mod score;
 pub mod server;
 
@@ -40,6 +50,12 @@ pub use artifact::{
     ArtifactError, FeatureSchema, FkColdStart, JoinDecision, ModelArtifact, ServableModel, MAGIC,
     SCHEMA_VERSION,
 };
+pub use batch::MicroBatcher;
+pub use conn::ConnReader;
 pub use export::{build_artifact, BuildError, BuiltModel, ModelKind};
+pub use registry::{ModelEntry, Registry, RegistryError, ReloadReport};
 pub use score::{Prediction, ScoreError, Scorer};
-pub use server::{resolve_threads, start, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    resolve_batch_window, resolve_threads, start, start_with_registry, ServerConfig, ServerHandle,
+    ServerStats,
+};

@@ -350,9 +350,9 @@ impl Scorer {
         }
     }
 
-    /// Decodes one row (named object or positional array) into
-    /// per-feature codes appended to `codes`.
-    fn push_row(&self, row: &Json, codes: &mut [Vec<u32>]) -> Result<(), ScoreError> {
+    /// Decodes one row (named object or positional array) into the
+    /// model's per-feature codes, in schema order.
+    fn decode_row(&self, row: &Json) -> Result<Vec<u32>, ScoreError> {
         let d = self.artifact.features.len();
         match row {
             Json::Obj(members) => {
@@ -369,14 +369,14 @@ impl Scorer {
                         return Err(ScoreError::UnknownFeature { name: name.clone() });
                     }
                 }
-                for (f, column) in codes.iter_mut().enumerate() {
-                    let name = &self.artifact.features[f].name;
-                    let value = row
-                        .get(name)
-                        .ok_or_else(|| ScoreError::MissingFeature { name: name.clone() })?;
-                    column.push(self.code_for(f, value)?);
+                let mut codes = Vec::with_capacity(d);
+                for (f, fs) in self.artifact.features.iter().enumerate() {
+                    let value = row.get(&fs.name).ok_or_else(|| ScoreError::MissingFeature {
+                        name: fs.name.clone(),
+                    })?;
+                    codes.push(self.code_for(f, value)?);
                 }
-                Ok(())
+                Ok(codes)
             }
             Json::Arr(values) => {
                 if values.len() != d {
@@ -385,25 +385,25 @@ impl Scorer {
                         expected: d,
                     });
                 }
-                for (f, value) in values.iter().enumerate() {
-                    codes[f].push(self.code_for(f, value)?);
-                }
-                Ok(())
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(f, value)| self.code_for(f, value))
+                    .collect()
             }
             _ => Err(ScoreError::NotAnObject),
         }
     }
 
-    /// Scores a request body: `{"rows": [...]}`, a bare array of rows,
-    /// or a single row object. Errors identify the first offending row
-    /// or feature; on error nothing is predicted (all-or-nothing).
+    /// Decodes a request body into fully validated row-major codes
+    /// (`rows[i][f]` in schema order) without scoring them. This is the
+    /// first half of [`Scorer::predict_body`], split out so the server's
+    /// micro-batcher can validate each request on its own worker and
+    /// coalesce only the (infallible) scoring step across requests.
     ///
-    /// Disambiguation: an object body is the batch envelope only when
-    /// `rows` is *not* a feature of the model's schema. A model trained
-    /// with a feature literally named `rows` is still scorable as a
-    /// single named row — its `rows` member is the feature value, and
-    /// batches must use the bare-array form.
-    pub fn predict_body(&self, body: &Json) -> Result<Vec<Prediction>, ScoreError> {
+    /// Body shapes and the `rows`-feature disambiguation rule are
+    /// documented on [`Scorer::predict_body`].
+    pub fn decode_body(&self, body: &Json) -> Result<Vec<Vec<u32>>, ScoreError> {
         let rows_is_feature = self.by_name.contains_key("rows");
         let rows: Vec<&Json> = match body {
             Json::Obj(_) if !rows_is_feature => match body.get("rows") {
@@ -422,16 +422,28 @@ impl Scorer {
             Json::Arr(rows) => rows.iter().collect(),
             _ => return Err(ScoreError::NotAnObject),
         };
-        let mut codes = vec![Vec::with_capacity(rows.len()); self.artifact.features.len()];
-        for row in &rows {
-            self.push_row(row, &mut codes)?;
+        rows.iter().map(|row| self.decode_row(row)).collect()
+    }
+
+    /// Scores already-validated row-major codes (each row produced by
+    /// [`Scorer::decode_body`], in schema order). Scoring a coalesced
+    /// batch is bit-for-bit identical to scoring each row alone: every
+    /// model reads only its own row's codes through [`CodeSource`].
+    pub fn predict_coded_rows(&self, rows: &[Vec<u32>]) -> Vec<Prediction> {
+        let d = self.artifact.features.len();
+        let mut codes = vec![Vec::with_capacity(rows.len()); d];
+        for row in rows {
+            debug_assert_eq!(row.len(), d, "decode_body guarantees arity");
+            for (f, &code) in row.iter().enumerate() {
+                codes[f].push(code);
+            }
         }
         let batch = RowBatch {
             artifact: &self.artifact,
             codes,
             n_rows: rows.len(),
         };
-        Ok((0..batch.n_rows)
+        (0..batch.n_rows)
             .map(|r| {
                 let class = self.artifact.model.predict_row(&batch, r);
                 Prediction {
@@ -444,7 +456,20 @@ impl Scorer {
                     scores: self.artifact.model.scores(&batch, r),
                 }
             })
-            .collect())
+            .collect()
+    }
+
+    /// Scores a request body: `{"rows": [...]}`, a bare array of rows,
+    /// or a single row object. Errors identify the first offending row
+    /// or feature; on error nothing is predicted (all-or-nothing).
+    ///
+    /// Disambiguation: an object body is the batch envelope only when
+    /// `rows` is *not* a feature of the model's schema. A model trained
+    /// with a feature literally named `rows` is still scorable as a
+    /// single named row — its `rows` member is the feature value, and
+    /// batches must use the bare-array form.
+    pub fn predict_body(&self, body: &Json) -> Result<Vec<Prediction>, ScoreError> {
+        Ok(self.predict_coded_rows(&self.decode_body(body)?))
     }
 
     /// Scores pre-coded rows (`rows[i][f]` in schema order), routing

@@ -73,7 +73,9 @@ USAGE:
   hamlet retune [--family F] [--n-s N] [--train-sets T] [--repeats R] [--seed S]
   hamlet save-model --dataset <name> --out FILE [--scale S] [--model nb|logreg|tan|tree|gbt] [--relaxed]
   hamlet predict --model FILE --in FILE [--out FILE]
-  hamlet serve --model FILE [--port N] [--threads N] [--queue N]
+  hamlet serve --model FILE [--model ID=FILE]... [--port N] [--threads N] [--queue N]
+               [--max-requests-per-conn N] [--idle-ms MS] [--batch-window-us US]
+  hamlet reload [--port N]
   hamlet datasets
   hamlet help
 
@@ -82,10 +84,18 @@ Model serving:
   approved view (avoided joins stay avoided; unseen FK values get a
   trained Others bucket), and writes a versioned, checksummed artifact.
   predict scores a JSON file of rows offline. serve answers
-  GET /healthz, GET /metrics, and POST /predict over HTTP until
-  SIGTERM/ctrl-c, then drains in-flight requests and exits 0; a full
-  request queue is shed with 503. Worker count: --threads, else
-  HAMLET_THREADS, else available parallelism.
+  GET /healthz, GET /metrics, GET /models, POST /predict, POST /reload,
+  and per-model /models/<id>/predict + /models/<id>/healthz over
+  HTTP/1.1 keep-alive (pipelining-safe; --max-requests-per-conn caps one
+  connection, 0 = unlimited; --idle-ms closes silent keep-alive
+  connections) until SIGTERM/ctrl-c, then drains in-flight requests and
+  exits 0; a full request queue is shed with 503. SIGHUP or
+  `hamlet reload` hot-swaps every disk-backed model atomically — a
+  failed reload keeps the old models serving. Concurrent single-row
+  predicts within --batch-window-us (else HAMLET_BATCH_WINDOW_US, else
+  0 = off) are micro-batched, bit-for-bit identical to unbatched
+  scoring. Worker count: --threads, else HAMLET_THREADS, else available
+  parallelism.
 
 Model families (--family, --model):
   naive_bayes (nb), logistic_regression (logreg), tan, tree (cart),
@@ -430,6 +440,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("save-model") => save_model_cmd(&args[1..]),
         Some("predict") => predict_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("reload") => reload_cmd(&args[1..]),
         Some("csv-advise") => {
             let rest = &args[1..];
             let file = rest
@@ -565,10 +576,10 @@ fn simulate_cmd(rest: &[String]) -> Result<String, CliError> {
 }
 
 /// Process signal plumbing for `hamlet serve`: SIGTERM and SIGINT flip
-/// one static flag the server's accept loop polls, so shutdown is a
-/// graceful drain instead of a hard kill. Raw `signal(2)` against libc —
-/// the store is atomic and async-signal-safe, and no crate dependency is
-/// needed.
+/// a stop flag the server's accept loop polls (graceful drain instead
+/// of a hard kill); SIGHUP flips a reload flag (atomic registry
+/// hot-swap from disk). Raw `signal(2)` against libc — the stores are
+/// atomic and async-signal-safe, and no crate dependency is needed.
 mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -576,11 +587,21 @@ mod signals {
     /// [`ServerConfig::stop_signal`](hamlet_serve::ServerConfig).
     pub static STOP: AtomicBool = AtomicBool::new(false);
 
+    /// Flipped by SIGHUP; read by the server via
+    /// [`ServerConfig::reload_signal`](hamlet_serve::ServerConfig),
+    /// which clears it and re-reads every disk-backed model.
+    pub static RELOAD: AtomicBool = AtomicBool::new(false);
+
     extern "C" fn on_signal(_signum: i32) {
         STOP.store(true, Ordering::SeqCst);
     }
 
-    /// Installs the handler for SIGTERM (15) and SIGINT (2).
+    extern "C" fn on_reload(_signum: i32) {
+        RELOAD.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers: SIGTERM (15) and SIGINT (2) stop, SIGHUP
+    /// (1) reloads.
     pub fn install() {
         extern "C" {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
@@ -588,6 +609,7 @@ mod signals {
         unsafe {
             signal(15, on_signal);
             signal(2, on_signal);
+            signal(1, on_reload);
         }
     }
 }
@@ -718,11 +740,48 @@ fn predict_cmd(rest: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// The `serve` pipeline: load the artifact, listen until SIGTERM/ctrl-c,
-/// drain, and report final stats.
+/// Parses the repeatable `--model` flag into `(id, path)` registry
+/// sources. One entry may be a bare `PATH` (it becomes the default
+/// model, id `default`); every other entry must be `ID=PATH` so routing
+/// ids are explicit.
+fn parse_model_sources(rest: &[String]) -> Result<Vec<(String, std::path::PathBuf)>, CliError> {
+    let entries = parse_multi(rest, "--model");
+    if entries.is_empty() {
+        return Err(CliError("missing --model <file> (or --model ID=FILE)".into()));
+    }
+    let mut sources: Vec<(String, std::path::PathBuf)> = Vec::with_capacity(entries.len());
+    let mut bare_seen = false;
+    for entry in entries {
+        match entry.split_once('=') {
+            Some((id, path)) if !id.is_empty() && !path.is_empty() => {
+                sources.push((id.to_string(), std::path::PathBuf::from(path)));
+            }
+            Some(_) => {
+                return Err(CliError(format!(
+                    "bad --model '{entry}': expected ID=PATH (or a bare PATH for the default model)"
+                )))
+            }
+            None => {
+                if bare_seen {
+                    return Err(CliError(format!(
+                        "--model '{entry}': only one bare PATH is allowed (it becomes the \
+                         default model); give additional models explicit ids with ID=PATH"
+                    )));
+                }
+                bare_seen = true;
+                // The default model routes first; keep it at the front.
+                sources.insert(0, ("default".to_string(), std::path::PathBuf::from(entry)));
+            }
+        }
+    }
+    Ok(sources)
+}
+
+/// The `serve` pipeline: load the model registry, listen until
+/// SIGTERM/ctrl-c (SIGHUP hot-swaps the registry from disk), drain, and
+/// report final stats.
 fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
-    let model_path =
-        parse_flag(rest, "--model")?.ok_or_else(|| CliError("missing --model <file>".into()))?;
+    let sources = parse_model_sources(rest)?;
     let port: u16 = num_flag(rest, "--port", 7878)?;
     let threads_flag: Option<usize> = parse_flag(rest, "--threads")?
         .map(|v| {
@@ -731,41 +790,99 @@ fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
         })
         .transpose()?;
     let queue: usize = num_flag(rest, "--queue", 64)?;
-    if queue == 0 || threads_flag == Some(0) {
-        return Err(CliError("--threads and --queue must be positive".into()));
+    let max_requests_per_conn: usize = num_flag(rest, "--max-requests-per-conn", 0)?;
+    let idle_ms: u64 = num_flag(rest, "--idle-ms", 5_000)?;
+    if queue == 0 || threads_flag == Some(0) || idle_ms == 0 {
+        return Err(CliError(
+            "--threads, --queue, and --idle-ms must be positive".into(),
+        ));
     }
+    let window_flag: Option<u64> = parse_flag(rest, "--batch-window-us")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError(format!("bad --batch-window-us '{v}'")))
+        })
+        .transpose()?;
+    let batch_window = hamlet_serve::resolve_batch_window(window_flag);
 
-    let a =
-        artifact::load(std::path::Path::new(model_path)).map_err(|e| CliError(e.to_string()))?;
-    let family = a.model.family().to_string();
+    let registry = std::sync::Arc::new(
+        hamlet_serve::Registry::from_sources(&sources, batch_window)
+            .map_err(|e| CliError(e.to_string()))?,
+    );
+    let (dataset, family) = match registry.default_entry() {
+        Some(entry) => {
+            let a = entry.scorer.artifact();
+            (a.dataset.clone(), a.model.family().to_string())
+        }
+        None => ("?".to_string(), "?".to_string()),
+    };
     hamlet_obs::set_model_family(family.clone());
-    let dataset = a.dataset.clone();
     let threads = hamlet_serve::resolve_threads(threads_flag);
+    let n_models = sources.len();
 
     signals::install();
-    let handle = hamlet_serve::start(
-        Scorer::new(a),
+    let handle = hamlet_serve::start_with_registry(
+        registry,
         ServerConfig {
             addr: format!("127.0.0.1:{port}"),
             threads,
             queue_capacity: queue,
             stop_signal: Some(&signals::STOP),
+            reload_signal: Some(&signals::RELOAD),
+            max_requests_per_conn,
+            idle_timeout: std::time::Duration::from_millis(idle_ms),
+            batch_window,
         },
     )
     .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
     // Stderr so scripted callers can watch readiness without touching
     // the stdout report.
     eprintln!(
-        "serving {dataset} ({family}) on 127.0.0.1:{} — {threads} worker(s), queue {queue}; \
-         SIGTERM or ctrl-c to drain",
-        handle.port()
+        "serving {n_models} model(s), default {dataset} ({family}) on 127.0.0.1:{} — \
+         {threads} worker(s), queue {queue}, batch window {}µs; \
+         SIGTERM or ctrl-c to drain, SIGHUP or POST /reload to hot-swap",
+        handle.port(),
+        batch_window.as_micros(),
     );
     let port = handle.port();
-    let stats = handle.run_until_stopped();
+    // An accept-thread panic surfaces here as a nonzero exit with the
+    // panic text, not a silent zero-stats success.
+    let stats = handle.run_until_stopped().map_err(CliError)?;
     Ok(format!(
-        "drained 127.0.0.1:{port}: served {} request(s), {} error(s), {} shed with 503\n",
-        stats.requests, stats.errors, stats.rejected
+        "drained 127.0.0.1:{port}: served {} request(s), {} error(s), {} shed with 503, \
+         {} reload(s)\n",
+        stats.requests, stats.errors, stats.rejected, stats.reloads
     ))
+}
+
+/// The `reload` subcommand: asks a running server to hot-swap its
+/// registry by POSTing `/reload` (the scripted alternative to SIGHUP).
+fn reload_cmd(rest: &[String]) -> Result<String, CliError> {
+    use std::io::{Read, Write};
+    let port: u16 = num_flag(rest, "--port", 7878)?;
+    let addr = format!("127.0.0.1:{port}");
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| CliError(format!("cannot reach {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    stream
+        .write_all(
+            b"POST /reload HTTP/1.1\r\nHost: hamlet\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+        )
+        .map_err(|e| CliError(format!("{addr}: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| CliError(format!("{addr}: {e}")))?;
+    let resp = String::from_utf8_lossy(&raw);
+    let body = resp.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    if resp.starts_with("HTTP/1.1 200") {
+        Ok(format!("{addr} reloaded: {body}\n"))
+    } else {
+        Err(CliError(format!(
+            "{addr} refused the reload: {}",
+            if body.is_empty() { &resp } else { body }
+        )))
+    }
 }
 
 /// The `train` pipeline: fits the requested classifier over `star`
@@ -1671,9 +1788,43 @@ mod serving_cli_tests {
     #[test]
     fn usage_mentions_the_serving_commands() {
         let usage = run(&argv("help")).unwrap();
-        for cmd in ["save-model", "predict", "serve"] {
+        for cmd in ["save-model", "predict", "serve", "reload"] {
             assert!(usage.contains(cmd), "usage is missing {cmd}");
         }
+        for flag in ["--max-requests-per-conn", "--batch-window-us", "--idle-ms"] {
+            assert!(usage.contains(flag), "usage is missing {flag}");
+        }
+    }
+
+    #[test]
+    fn multi_model_flag_parsing() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_string).collect() };
+        // One bare path becomes the default model, ids stay explicit.
+        let sources = parse_model_sources(&args("--model a.json --model canary=b.json")).unwrap();
+        assert_eq!(
+            sources,
+            vec![
+                ("default".into(), std::path::PathBuf::from("a.json")),
+                ("canary".into(), std::path::PathBuf::from("b.json")),
+            ]
+        );
+        // The bare path routes as the default even when listed second.
+        let sources = parse_model_sources(&args("--model canary=b.json --model a.json")).unwrap();
+        assert_eq!(sources[0].0, "default");
+        // Two bare paths are ambiguous.
+        let err = parse_model_sources(&args("--model a.json --model b.json")).unwrap_err();
+        assert!(err.0.contains("ID=PATH"), "{}", err.0);
+        // Empty id or path is malformed.
+        let err = parse_model_sources(&args("--model =b.json")).unwrap_err();
+        assert!(err.0.contains("expected ID=PATH"), "{}", err.0);
+        assert!(parse_model_sources(&[]).unwrap_err().0.contains("--model"));
+    }
+
+    #[test]
+    fn reload_against_no_server_is_a_typed_error() {
+        // Port 1 is never bound in the test environment.
+        let err = run(&argv("reload --port 1")).unwrap_err();
+        assert!(err.0.contains("cannot reach"), "{}", err.0);
     }
 }
 

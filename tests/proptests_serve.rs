@@ -1,8 +1,14 @@
 //! Property-based tests for the model serving subsystem: on arbitrary
 //! star instances and all three classifier families, a saved artifact
 //! reloads bit-for-bit, serves predictions identical to the in-memory
-//! model (including cold-start rows with unseen FK values), and every
-//! corruption of the document yields a typed error — never a panic.
+//! model (including cold-start rows with unseen FK values), every
+//! corruption of the document yields a typed error — never a panic —
+//! pipelined request framing never bleeds bytes between requests, and
+//! micro-batched scoring is bit-for-bit identical to direct scoring.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
@@ -11,7 +17,7 @@ use hamlet::ml::classifier::Model;
 use hamlet::ml::dataset::Dataset;
 use hamlet::relational::{AttributeTable, Domain, StarSchema, TableBuilder};
 use hamlet::serve::artifact::{from_json_str, to_json_string};
-use hamlet::serve::{build_artifact, ModelKind, Scorer};
+use hamlet::serve::{build_artifact, ConnReader, MicroBatcher, ModelKind, Scorer};
 
 /// Strategy: a random one-attribute-table star, large enough to survive
 /// the 50/25/25 split with a usable training set.
@@ -220,5 +226,122 @@ proptest! {
             // whitespace byte) — the model itself cannot have drifted.
             Ok(reloaded) => prop_assert_eq!(reloaded, built.artifact),
         }
+    }
+}
+
+/// A request body for the framing property: arbitrary bytes, optionally
+/// with a complete fake request head spliced into the middle — the
+/// adversarial case where naive framing would treat body bytes as the
+/// start of the next pipelined request.
+fn adversarial_body() -> impl Strategy<Value = Vec<u8>> {
+    (
+        proptest::collection::vec(0u8..=255, 0..120),
+        any_bool(),
+        0usize..120,
+    )
+        .prop_map(|(mut bytes, inject, at)| {
+            if inject {
+                let fake = b"POST /evil HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+                let at = at.min(bytes.len());
+                bytes.splice(at..at, fake.iter().copied());
+            }
+            bytes
+        })
+}
+
+proptest! {
+    /// Pipelined framing never bleeds: N requests written back-to-back
+    /// (split across writes at an arbitrary byte) come back from
+    /// `ConnReader` with exactly the paths and bodies that were sent —
+    /// even when bodies contain complete fake request heads — followed
+    /// by a clean end-of-connection.
+    #[test]
+    fn pipelined_requests_never_bleed(
+        bodies in proptest::collection::vec(adversarial_body(), 1..4),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            wire.extend_from_slice(
+                format!(
+                    "POST /p{i} HTTP/1.1\r\nHost: prop\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(body);
+        }
+        let split = ((wire.len() as f64) * split_frac) as usize;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = std::net::TcpStream::connect(addr).unwrap();
+            client.write_all(&wire[..split]).unwrap();
+            client.flush().unwrap();
+            // A beat between the two segments forces the reader through
+            // its partial-buffer path, not just the all-at-once path.
+            std::thread::sleep(Duration::from_millis(2));
+            client.write_all(&wire[split..]).unwrap();
+            // Dropping the client closes the connection cleanly.
+        });
+
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut reader = ConnReader::new();
+        let deadline = Duration::from_secs(5);
+        for (i, body) in bodies.iter().enumerate() {
+            let req = reader
+                .next_request(&mut stream, deadline, deadline)
+                .unwrap()
+                .expect("request vanished");
+            prop_assert_eq!(&req.path, &format!("/p{i}"), "request {} path bled", i);
+            prop_assert_eq!(&req.body, body, "request {} body bled", i);
+        }
+        prop_assert!(
+            reader.next_request(&mut stream, deadline, deadline).unwrap().is_none(),
+            "phantom request after the last pipelined one"
+        );
+        writer.join().unwrap();
+    }
+
+    /// Micro-batched scoring is bit-for-bit identical to direct batch
+    /// scoring: concurrent single-row `predict_one` calls through one
+    /// `MicroBatcher` return exactly what `predict_codes` returns for
+    /// the same rows — classes, labels, AND float scores.
+    #[test]
+    fn micro_batched_equals_direct_bit_for_bit(
+        (n_r, xr, fks, xs, ys) in star_instance(),
+        row_seeds in proptest::collection::vec(0u32..1_000_000, 1..6),
+    ) {
+        let star = build_star(n_r, xr, fks, xs, ys);
+        let built =
+            build_artifact(&star, ModelKind::NaiveBayes, &AdvisorConfig::default(), "prop")
+                .unwrap();
+        let scorer = Scorer::new(built.artifact);
+        let rows: Vec<Vec<u32>> = row_seeds
+            .iter()
+            .map(|seed| {
+                scorer
+                    .artifact()
+                    .features
+                    .iter()
+                    .map(|f| seed % f.domain_size as u32)
+                    .collect()
+            })
+            .collect();
+        let direct = scorer.predict_codes(&rows).unwrap();
+
+        let batcher = MicroBatcher::new(Duration::from_micros(500));
+        let batched: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = rows
+                .iter()
+                .map(|row| {
+                    let (batcher, scorer, row) = (&batcher, &scorer, row.clone());
+                    s.spawn(move || batcher.predict_one(scorer, row))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        prop_assert_eq!(direct, batched);
     }
 }
