@@ -104,7 +104,9 @@ fn parse_opts() -> Result<Opts, String> {
         requests,
         threads: num("--threads", 4)?.max(1),
         mode,
-        out: flag("--out")?.map(PathBuf::from).unwrap_or_else(|| PathBuf::from(default_out)),
+        out: flag("--out")?
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(default_out)),
         emit: !args.iter().any(|a| a == "--no-emit"),
     })
 }
@@ -225,11 +227,13 @@ fn run_mode(
                     let t = Instant::now();
                     let status = if keep_alive {
                         let s = stream.as_mut().ok_or("no stream")?;
-                        s.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
+                        s.write_all(raw.as_bytes())
+                            .map_err(|e| format!("write: {e}"))?;
                         read_one_response(s, &mut scratch)?
                     } else {
                         let mut s = connect()?;
-                        s.write_all(raw.as_bytes()).map_err(|e| format!("write: {e}"))?;
+                        s.write_all(raw.as_bytes())
+                            .map_err(|e| format!("write: {e}"))?;
                         let status = read_one_response(&mut s, &mut scratch)?;
                         drop(s);
                         status
@@ -282,7 +286,12 @@ impl ModeReport {
     fn render_line(&self) -> String {
         format!(
             "{:>9}: {} requests ({} errors), p50 {:.0}µs, p99 {:.0}µs, p999 {:.0}µs, {:.0} req/s",
-            self.mode, self.requests, self.errors, self.p50_us, self.p99_us, self.p999_us,
+            self.mode,
+            self.requests,
+            self.errors,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
             self.throughput_rps
         )
     }
@@ -315,7 +324,9 @@ fn merge_into_bench_json(path: &Path, load: Json) -> Result<(), String> {
     for (i, (k, v)) in members.iter().enumerate() {
         let rendered = match v {
             // Arrays of objects (the results table) keep one entry per line.
-            Json::Arr(items) if items.iter().all(|j| matches!(j, Json::Obj(_))) && !items.is_empty() => {
+            Json::Arr(items)
+                if items.iter().all(|j| matches!(j, Json::Obj(_))) && !items.is_empty() =>
+            {
                 let lines: Vec<String> = items.iter().map(|j| format!("  {j}")).collect();
                 format!("[\n{}\n]", lines.join(",\n"))
             }
@@ -328,7 +339,8 @@ fn merge_into_bench_json(path: &Path, load: Json) -> Result<(), String> {
         out.push('\n');
     }
     out.push_str("}\n");
-    hamlet_obs::atomic_write(path, out.as_bytes()).map_err(|e| format!("write {}: {e}", path.display()))
+    hamlet_obs::atomic_write(path, out.as_bytes())
+        .map_err(|e| format!("write {}: {e}", path.display()))
 }
 
 fn main() {
@@ -350,8 +362,13 @@ fn run(opts: &Opts) -> Result<(), String> {
     // way; against an external server they exercise whatever model is
     // mounted at /predict (positional rows must match its arity).
     let g = hamlet_bench::walmart();
-    let built = build_artifact(&g.star, ModelKind::NaiveBayes, &AdvisorConfig::default(), "Walmart")
-        .map_err(|e| format!("bench artifact build failed: {e}"))?;
+    let built = build_artifact(
+        &g.star,
+        ModelKind::NaiveBayes,
+        &AdvisorConfig::default(),
+        "Walmart",
+    )
+    .map_err(|e| format!("bench artifact build failed: {e}"))?;
     let scorer = Scorer::new(built.artifact);
     let bodies = Arc::new(bodies_for(&scorer, 64));
 

@@ -1,0 +1,12 @@
+//! Runs the chaos-degrade scenario (absent tables, scoring faults,
+//! serving fallback chain); exits nonzero on any violated assertion.
+fn main() {
+    let dir = std::env::temp_dir().join("hamlet_chaos_degrade");
+    match hamlet_experiments::degrade::report(&dir) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("chaos-degrade FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`fig13`] | Foreign-key skew (benign Zipf / malign needle-and-thread) |
 //! | [`tan_appendix`] | Appendix E: TAN on KFK-joined data |
 //! | [`ablation`] | Exact-vs-worst-case ROR, skew guards, threshold sweep |
+//! | [`degrade`] | Chaos scenario: absent tables, scoring faults, serving fallback chain |
 //!
 //! Environment knobs: `HAMLET_SCALE` (dataset scale, default 0.1),
 //! `HAMLET_TRAIN_SETS` / `HAMLET_REPEATS` (Monte-Carlo replication),
@@ -27,6 +28,7 @@
 
 pub mod ablation;
 pub mod checkpoint;
+pub mod degrade;
 pub mod factorized;
 pub mod family;
 pub mod fig1;

@@ -425,4 +425,64 @@ pub(crate) mod tests {
         let star = two_table_star();
         assert!(FactorizedView::with_join_set(&star, &[7]).is_err());
     }
+
+    /// The degraded-load fallback replaces an unreadable attribute
+    /// table with a key-only surrogate (see
+    /// `hamlet_relational::availability`). A full view over that star
+    /// must be indistinguishable — layout, codes, and fitted model —
+    /// from a view over the intact star that simply excludes the
+    /// table's join: zero features joined either way.
+    #[test]
+    fn fk_only_surrogate_trains_identically_to_excluding_the_join() {
+        use crate::fit_factorized_nb;
+        use hamlet_ml::NaiveBayes;
+
+        let star = two_table_star();
+        let without_b = FactorizedView::with_join_set(&star, &[0]).unwrap();
+
+        let entity = star.entity().clone();
+        let a = star.attributes()[0].table.clone();
+        let rid_b = entity.column_by_name("fk_b").unwrap().domain().clone();
+        let b_surrogate = TableBuilder::new("B")
+            .primary_key("BID", rid_b, vec![0, 1])
+            .build()
+            .unwrap();
+        let degraded_star = StarSchema::new(
+            entity,
+            vec![
+                AttributeTable {
+                    fk: "fk_a".into(),
+                    table: a,
+                },
+                AttributeTable {
+                    fk: "fk_b".into(),
+                    table: b_surrogate,
+                },
+            ],
+        )
+        .unwrap();
+        let degraded = FactorizedView::new(&degraded_star).unwrap();
+
+        assert_eq!(
+            CodeSource::n_features(&degraded),
+            CodeSource::n_features(&without_b)
+        );
+        for f in 0..CodeSource::n_features(&degraded) {
+            assert_eq!(degraded.feature_name(f), without_b.feature_name(f));
+            assert_eq!(
+                degraded.feature_domain_size(f),
+                without_b.feature_domain_size(f)
+            );
+            for r in 0..CodeSource::n_examples(&degraded) {
+                assert_eq!(degraded.code(f, r), without_b.code(f, r));
+            }
+        }
+
+        let rows: Vec<usize> = (0..CodeSource::n_examples(&degraded)).collect();
+        let feats: Vec<usize> = (0..CodeSource::n_features(&degraded)).collect();
+        let nb = NaiveBayes::default();
+        let m_degraded = fit_factorized_nb(&degraded, &nb, &rows, &feats).unwrap();
+        let m_without = fit_factorized_nb(&without_b, &nb, &rows, &feats).unwrap();
+        assert_eq!(format!("{m_degraded:?}"), format!("{m_without:?}"));
+    }
 }

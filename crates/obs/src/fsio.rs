@@ -35,15 +35,34 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     parent_dir(path).join(format!(".{name}.tmp.{}.{seq}", std::process::id()))
 }
 
+/// Runs `op` and, if it fails with an `EINTR`/`EAGAIN`-class error
+/// (`Interrupted`/`WouldBlock` — a signal landing mid-syscall, not a
+/// real write failure), retries exactly once. Anything else, including
+/// injected failpoint errors, propagates immediately so chaos runs keep
+/// observing their first fault.
+fn retry_interrupted<T>(site: &str, op: impl Fn() -> std::io::Result<T>) -> std::io::Result<T> {
+    use std::io::ErrorKind::{Interrupted, WouldBlock};
+    match op() {
+        Err(e) if matches!(e.kind(), Interrupted | WouldBlock) => {
+            crate::counter_add!("hamlet_fsio_transient_retries_total", 1);
+            crate::journal::record_warning(format!("{site}: transient {e}; retrying once"));
+            op()
+        }
+        r => r,
+    }
+}
+
 /// Replaces `path` with `bytes` atomically: the content is written to a
 /// tmp sibling, fsynced, renamed over `path`, and the directory entry
-/// is fsynced. Creates parent directories as needed. On any error the
-/// destination is untouched (the tmp file is cleaned up best-effort).
+/// is fsynced. Creates parent directories as needed. A transient
+/// `EINTR`/`EAGAIN` gets one bounded retry of the whole tmp-write +
+/// rename sequence. On any error the destination is untouched (the tmp
+/// file is cleaned up best-effort).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = parent_dir(path);
     fs::create_dir_all(&dir)?;
     let tmp = tmp_sibling(path);
-    let result = (|| {
+    let result = retry_interrupted("obs.atomic_write", || {
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(bytes)?;
@@ -58,7 +77,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         #[cfg(unix)]
         fs::File::open(&dir)?.sync_all()?;
         Ok(())
-    })();
+    });
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
@@ -117,6 +136,39 @@ mod tests {
         atomic_append(&p, "two\n").unwrap();
         assert_eq!(fs::read_to_string(&p).unwrap(), "one\ntwo\n");
         fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn interrupted_write_retries_once_then_propagates() {
+        use std::cell::Cell;
+        use std::io::{Error, ErrorKind};
+        // One EINTR, then success: the retry absorbs it.
+        let calls = Cell::new(0u32);
+        let r = retry_interrupted("test.fsio", || {
+            calls.set(calls.get() + 1);
+            if calls.get() == 1 {
+                Err(Error::new(ErrorKind::Interrupted, "EINTR"))
+            } else {
+                Ok(calls.get())
+            }
+        });
+        assert_eq!(r.unwrap(), 2);
+        // Persistent EINTR: exactly one retry, then the error surfaces.
+        let calls = Cell::new(0u32);
+        let r: std::io::Result<()> = retry_interrupted("test.fsio", || {
+            calls.set(calls.get() + 1);
+            Err(Error::new(ErrorKind::WouldBlock, "EAGAIN"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.get(), 2, "retry must be bounded to one");
+        // Non-transient errors are never retried.
+        let calls = Cell::new(0u32);
+        let r: std::io::Result<()> = retry_interrupted("test.fsio", || {
+            calls.set(calls.get() + 1);
+            Err(Error::other("injected IO failure"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.get(), 1);
     }
 
     #[test]

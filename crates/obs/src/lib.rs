@@ -33,6 +33,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod parallel;
+pub mod retry;
 pub mod span;
 
 pub use alloc::CountingAlloc;
@@ -40,4 +41,5 @@ pub use env::EnvError;
 pub use fsio::{atomic_append, atomic_write};
 pub use journal::{record_warning, set_model_family, RunJournal};
 pub use metrics::render_metrics;
+pub use retry::RetryPolicy;
 pub use span::{drain_spans, render_span_tree, rollup, set_tracing, tracing_enabled, SpanGuard};

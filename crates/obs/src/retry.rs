@@ -1,0 +1,271 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Artifact loads and registry hot-reloads race external writers: a
+//! deployer may still be renaming the new model file, or an NFS mount
+//! may return a transient error for one read. A [`RetryPolicy`] turns
+//! those races into a short, *bounded* wait instead of a hard failure,
+//! while leaving permanent faults (corrupt payloads, bad checksums)
+//! untouched — the caller decides which errors are transient via the
+//! predicate passed to [`RetryPolicy::run_if`].
+//!
+//! Backoff doubles per attempt from `base_delay` up to `max_delay`;
+//! "equal jitter" keeps at least half of each delay and randomizes the
+//! rest. The jitter source is a deterministic hash of the site name and
+//! attempt number (this workspace forbids nondeterminism on any path
+//! that can influence results), so a given site always sleeps the same
+//! schedule — it decorrelates *across* sites, not across runs.
+//!
+//! Knobs (resolved loudly, like `HAMLET_THREADS`):
+//!
+//! * `HAMLET_RETRY_ATTEMPTS` — total attempts, >= 1 (default 3;
+//!   1 disables retrying);
+//! * `HAMLET_RETRY_BASE_MS` — first backoff delay (default 25 ms);
+//! * `HAMLET_RETRY_MAX_MS` — backoff ceiling (default 1000 ms).
+//!
+//! Every performed retry bumps `hamlet_retry_attempts_total` and lands
+//! a run-journal warning naming the site and the error being retried.
+
+use std::time::Duration;
+
+/// A bounded exponential-backoff retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); `1` means no retries.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (exactly one attempt).
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Resolves the policy from `HAMLET_RETRY_*`, starting from the
+    /// defaults. Invalid values are reported loudly (stderr + run
+    /// journal) and the default keeps serving — a bad retry knob must
+    /// not take down a server that was asked to be resilient.
+    pub fn resolve() -> Self {
+        let mut policy = Self::default();
+        match crate::env::var_where("HAMLET_RETRY_ATTEMPTS", "an integer >= 1", |&n: &u32| {
+            n >= 1
+        }) {
+            Ok(Some(n)) => policy.attempts = n,
+            Ok(None) => {}
+            Err(e) => crate::journal::record_warning(format!("{e}; using default attempts")),
+        }
+        match crate::env::var_where("HAMLET_RETRY_BASE_MS", "an integer >= 1", |&n: &u64| n >= 1) {
+            Ok(Some(ms)) => policy.base_delay = Duration::from_millis(ms),
+            Ok(None) => {}
+            Err(e) => crate::journal::record_warning(format!("{e}; using default base delay")),
+        }
+        match crate::env::var_where("HAMLET_RETRY_MAX_MS", "an integer >= 1", |&n: &u64| n >= 1) {
+            Ok(Some(ms)) => policy.max_delay = Duration::from_millis(ms),
+            Ok(None) => {}
+            Err(e) => crate::journal::record_warning(format!("{e}; using default max delay")),
+        }
+        policy
+    }
+
+    /// Backoff before attempt `attempt + 1` (0-based failed attempt):
+    /// exponential from `base_delay` capped at `max_delay`, with equal
+    /// jitter from a deterministic per-(site, attempt) hash.
+    pub fn delay(&self, site: &str, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let half = exp / 2;
+        // splitmix64 over an FNV-1a seed of (site, attempt): cheap,
+        // deterministic, well-mixed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in site.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ attempt as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        half + Duration::from_secs_f64(half.as_secs_f64() * frac)
+    }
+
+    /// Runs `op` up to [`RetryPolicy::attempts`] times, sleeping the
+    /// backoff schedule between attempts, but only while `transient`
+    /// holds for the error — a permanent fault (corrupt payload, bad
+    /// checksum) returns immediately. The final error is returned
+    /// unchanged.
+    pub fn run_if<T, E: std::fmt::Display>(
+        &self,
+        site: &str,
+        mut op: impl FnMut() -> Result<T, E>,
+        transient: impl Fn(&E) -> bool,
+    ) -> Result<T, E> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < self.attempts.max(1) && transient(&e) => {
+                    let delay = self.delay(site, attempt);
+                    crate::counter_add!("hamlet_retry_attempts_total", 1);
+                    crate::journal::record_warning(format!(
+                        "{site}: transient failure (attempt {} of {}), retrying in {} ms: {e}",
+                        attempt + 1,
+                        self.attempts,
+                        delay.as_millis()
+                    ));
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`RetryPolicy::run_if`] treating every error as transient.
+    pub fn run<T, E: std::fmt::Display>(
+        &self,
+        site: &str,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_if(site, op, |_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A policy with zero delays so tests never sleep.
+    fn instant(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn succeeds_without_retry() {
+        let mut calls = 0;
+        let r: Result<i32, String> = instant(3).run("t.ok", || {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let mut calls = 0;
+        let r: Result<i32, String> = instant(3).run("t.flaky", || {
+            calls += 1;
+            if calls < 3 {
+                Err("flaky".to_string())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn attempts_bound_is_total_not_extra() {
+        let mut calls = 0;
+        let r: Result<i32, String> = instant(3).run("t.dead", || {
+            calls += 1;
+            Err(format!("always ({calls})"))
+        });
+        assert_eq!(r, Err("always (3)".to_string()));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut calls = 0;
+        let r: Result<i32, String> = instant(5).run_if(
+            "t.perm",
+            || {
+                calls += 1;
+                Err("corrupt payload".to_string())
+            },
+            |e| !e.contains("corrupt"),
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "a permanent error must not be retried");
+    }
+
+    #[test]
+    fn one_attempt_means_no_retry() {
+        let mut calls = 0;
+        let _: Result<(), String> = instant(1).run("t.once", || {
+            calls += 1;
+            Err("nope".into())
+        });
+        assert_eq!(calls, 1);
+        // Degenerate zero-attempt policies still run the op once.
+        let mut calls = 0;
+        let _: Result<(), String> = instant(0).run("t.zero", || {
+            calls += 1;
+            Err("nope".into())
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_with_jitter_in_range() {
+        let p = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(250),
+        };
+        // Uncapped exponential midpoints: 100, 200; then capped at 250.
+        let d0 = p.delay("site", 0);
+        let d1 = p.delay("site", 1);
+        let d2 = p.delay("site", 2);
+        assert!(d0 >= Duration::from_millis(50) && d0 <= Duration::from_millis(100));
+        assert!(d1 >= Duration::from_millis(100) && d1 <= Duration::from_millis(200));
+        assert!(d2 >= Duration::from_millis(125) && d2 <= Duration::from_millis(250));
+        // Deterministic: same (site, attempt) gives the same delay.
+        assert_eq!(d0, p.delay("site", 0));
+        // Distinct sites decorrelate.
+        assert_ne!(p.delay("a", 3), p.delay("b", 3));
+    }
+
+    #[test]
+    fn resolve_reads_env_and_survives_garbage() {
+        std::env::set_var("HAMLET_RETRY_ATTEMPTS", "4");
+        std::env::set_var("HAMLET_RETRY_BASE_MS", "7");
+        std::env::set_var("HAMLET_RETRY_MAX_MS", "90");
+        let p = RetryPolicy::resolve();
+        assert_eq!(p.attempts, 4);
+        assert_eq!(p.base_delay, Duration::from_millis(7));
+        assert_eq!(p.max_delay, Duration::from_millis(90));
+        // Garbage degrades loudly to the default instead of aborting.
+        std::env::set_var("HAMLET_RETRY_ATTEMPTS", "many");
+        let p = RetryPolicy::resolve();
+        assert_eq!(p.attempts, RetryPolicy::default().attempts);
+        std::env::remove_var("HAMLET_RETRY_ATTEMPTS");
+        std::env::remove_var("HAMLET_RETRY_BASE_MS");
+        std::env::remove_var("HAMLET_RETRY_MAX_MS");
+    }
+}

@@ -1,0 +1,104 @@
+//! Table availability: degraded loads when an attribute table is gone.
+//!
+//! The paper's core observation is that an attribute table R_i often
+//! adds nothing a model needs (TR/ROR, Sec 3) — so a *missing* R_i
+//! should degrade accuracy predictably, not crash the pipeline. "Model
+//! Joins" (arXiv 2206.10434) answers join queries over an absent base
+//! table with a per-table surrogate; we mirror the cheapest safe
+//! instance of that idea: when a declared attribute table cannot be
+//! read, substitute the **FK-only representation** — a key-only
+//! surrogate table whose primary key spans exactly the entity's FK
+//! domain and which carries zero features.
+//!
+//! That surrogate is not a hack; it is the paper's "avoid the join"
+//! arm made literal. Downstream, the advisor sees a table with no
+//! features, `min_feature_domain()` falls back to `q_R* = 1`, and the
+//! worst-case ROR bound for the substitution comes out of the standard
+//! machinery — maximally conservative, journaled as evidence wherever
+//! the advisor report is journaled. Training over the surrogate is
+//! bit-for-bit the cold-start `Others` path with every foreign feature
+//! absent.
+//!
+//! The layer is opt-in: [`TablePolicy::Require`] (the default)
+//! preserves the strict pre-existing behaviour, byte for byte.
+//! Chaos runs arm the [`TABLE_OPEN_FAILPOINT`] to withhold tables
+//! mid-load and prove both arms.
+
+/// Failpoint armed on every attribute-table open during a manifest
+/// load (`HAMLET_FAILPOINTS=relational.table_open=io@N`).
+pub const TABLE_OPEN_FAILPOINT: &str = "relational.table_open";
+
+/// What a manifest load does when a declared attribute table cannot be
+/// opened or read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TablePolicy {
+    /// Fail the load (strict pre-existing behaviour).
+    #[default]
+    Require,
+    /// Substitute the FK-only surrogate and record a
+    /// [`TableSubstitution`] — the load degrades instead of failing.
+    AllowDegraded,
+}
+
+/// Evidence record for one attribute table replaced by its FK-only
+/// surrogate during a degraded load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSubstitution {
+    /// Table name (file stem), matching the surrogate's name in the
+    /// star schema.
+    pub table: String,
+    /// Entity FK column referencing the table.
+    pub fk: String,
+    /// File reference as written in the manifest.
+    pub file: String,
+    /// Surrogate primary-key domain size (= the entity FK's own
+    /// observed domain).
+    pub n_entities: usize,
+    /// Feature columns the manifest declared for the table — absent in
+    /// the surrogate, listed so serving can refuse rows that supply
+    /// them and explain why.
+    pub declared_features: Vec<String>,
+    /// The read error that triggered the substitution.
+    pub reason: String,
+}
+
+impl TableSubstitution {
+    /// One-line evidence string for journals and warnings.
+    pub fn evidence(&self) -> String {
+        format!(
+            "table '{}' (fk '{}', {} key(s), {} declared feature(s)) replaced by FK-only \
+             surrogate: {}",
+            self.table,
+            self.fk,
+            self.n_entities,
+            self.declared_features.len(),
+            self.reason
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_defaults_to_strict() {
+        assert_eq!(TablePolicy::default(), TablePolicy::Require);
+    }
+
+    #[test]
+    fn evidence_names_the_substitution() {
+        let sub = TableSubstitution {
+            table: "employers".to_string(),
+            fk: "EmployerID".to_string(),
+            file: "employers.csv".to_string(),
+            n_entities: 2,
+            declared_features: vec!["Country".to_string(), "Revenue".to_string()],
+            reason: "cannot read /data/employers.csv: gone".to_string(),
+        };
+        let e = sub.evidence();
+        assert!(e.contains("employers"), "{e}");
+        assert!(e.contains("FK-only"), "{e}");
+        assert!(e.contains("2 declared feature(s)"), "{e}");
+    }
+}

@@ -41,6 +41,7 @@
 //! assert_eq!(t.column_by_name("Country").unwrap().codes(), &[0, 1, 0]);
 //! ```
 
+pub mod availability;
 pub mod binning;
 pub mod catalog;
 pub mod coldstart;
@@ -58,6 +59,7 @@ pub mod query;
 pub mod schema;
 pub mod table;
 
+pub use availability::{TablePolicy, TableSubstitution, TABLE_OPEN_FAILPOINT};
 pub use binning::{EqualFrequencyBinner, EqualWidthBinner};
 pub use catalog::{AttributeTable, SplitIndices, StarSchema};
 pub use coldstart::{with_others_record, DomainRevision};

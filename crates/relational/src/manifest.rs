@@ -33,6 +33,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 
+use crate::availability::{TablePolicy, TableSubstitution, TABLE_OPEN_FAILPOINT};
 use crate::catalog::{AttributeTable, StarSchema};
 use crate::coldstart::with_others_record;
 use crate::column::Column;
@@ -53,6 +54,8 @@ pub struct LoadPolicy {
     pub on_dirty: DirtyPolicy,
     /// Entity rows whose FK label has no row in the referenced table.
     pub on_dangling_fk: FkPolicy,
+    /// Declared attribute tables that cannot be opened or read.
+    pub on_missing_table: TablePolicy,
 }
 
 /// Quarantine report for one table loaded leniently.
@@ -78,13 +81,18 @@ pub struct StarLoad {
     pub dropped_rows: Vec<usize>,
     /// Entity rows (0-based, post-quarantine) remapped to `Others`.
     pub others_rows: Vec<usize>,
+    /// Attribute tables replaced by FK-only surrogates (empty under
+    /// [`TablePolicy::Require`]).
+    pub substitutions: Vec<TableSubstitution>,
 }
 
 impl StarLoad {
-    /// Whether any degradation (quarantine, drop, remap) was applied.
+    /// Whether any degradation (quarantine, drop, remap, substitution)
+    /// was applied.
     pub fn degraded(&self) -> bool {
         !self.dropped_rows.is_empty()
             || !self.others_rows.is_empty()
+            || !self.substitutions.is_empty()
             || self.quarantine.iter().any(|q| !q.rows.is_empty())
     }
 }
@@ -262,13 +270,66 @@ impl Manifest {
         };
         let mut quarantine: Vec<TableQuarantine> = Vec::new();
 
+        // A declared attribute table whose file could not be read under
+        // `TablePolicy::AllowDegraded`: the manifest directives survive
+        // (key + declared feature names) even though the data is gone.
+        struct WithheldTable {
+            key: String,
+            features: Vec<String>,
+            reason: String,
+        }
+
         // Load attribute tables first (keyed by file name) as raw nominal
         // tables; keys stay labelled domains for FK matching.
         let mut attr_tables: HashMap<String, (Table, String)> = HashMap::new(); // file -> (table, key col)
+        let mut withheld: HashMap<String, WithheldTable> = HashMap::new(); // file -> evidence
         for section in self.sections.iter().filter(|s| !s.is_entity) {
-            let text = read(&section.file)?;
-            let specs = section_specs(section, None)?;
             let name = file_stem(&section.file);
+            let key = section
+                .directives
+                .iter()
+                .find_map(|d| match d {
+                    Directive::Key(k) => Some(k.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| RelationalError::Manifest {
+                    reason: format!("table section '{}' has no key directive", section.file),
+                })?;
+            let text = match hamlet_chaos::fail_at!(TABLE_OPEN_FAILPOINT)
+                .map_err(|e| RelationalError::Manifest {
+                    reason: format!("cannot read {}: {e}", base.join(&section.file).display()),
+                })
+                .and_then(|()| read(&section.file))
+            {
+                Ok(text) => text,
+                Err(e) if policy.on_missing_table == TablePolicy::AllowDegraded => {
+                    let features: Vec<String> = section
+                        .directives
+                        .iter()
+                        .filter_map(|d| match d {
+                            Directive::Feature(c) | Directive::Numeric(c, _) => Some(c.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    hamlet_obs::counter_add!("hamlet_degraded_tables_total", 1);
+                    hamlet_obs::record_warning(format!(
+                        "table '{name}': unreadable, loading degraded with FK-only surrogate \
+                         ({} declared feature(s) absent): {e}",
+                        features.len()
+                    ));
+                    withheld.insert(
+                        section.file.clone(),
+                        WithheldTable {
+                            key,
+                            features,
+                            reason: e.to_string(),
+                        },
+                    );
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let specs = section_specs(section, None)?;
             let load = read_csv_lenient(&name, &text, &to_spec_refs(&specs), ',', policy.on_dirty)?;
             if !load.quarantined.is_empty() {
                 hamlet_obs::record_warning(format!(
@@ -282,16 +343,6 @@ impl Manifest {
                 rows: load.quarantined,
                 total_rows: load.total_rows,
             });
-            let key = section
-                .directives
-                .iter()
-                .find_map(|d| match d {
-                    Directive::Key(k) => Some(k.clone()),
-                    _ => None,
-                })
-                .ok_or_else(|| RelationalError::Manifest {
-                    reason: format!("table section '{}' has no key directive", section.file),
-                })?;
             attr_tables.insert(section.file.clone(), (load.table, key));
         }
 
@@ -333,6 +384,7 @@ impl Manifest {
         let mut attributes: Vec<AttributeTable> = Vec::new();
         let mut drop_set: BTreeSet<usize> = BTreeSet::new();
         let mut others_rows: Vec<usize> = Vec::new();
+        let mut substitutions: Vec<TableSubstitution> = Vec::new();
         for (def, col) in raw_entity
             .schema()
             .attributes()
@@ -353,6 +405,45 @@ impl Manifest {
                     cols.push(col.clone());
                 }
                 Some((file, closed)) => {
+                    if let Some(gone) = withheld.get(&file) {
+                        // FK-only surrogate: a key-only table whose PK
+                        // spans exactly the FK column's observed domain,
+                        // so the FK codes pass through unrecoded and
+                        // referential integrity holds by construction.
+                        // Zero features means the advisor's q_R* falls
+                        // back to 1 — the worst-case ROR bound for the
+                        // substitution.
+                        let name = file_stem(&file);
+                        let dom = col.domain().clone();
+                        let codes: Vec<u32> = (0..dom.size() as u32).collect();
+                        let surrogate = Table::new(
+                            name.clone(),
+                            Schema::new(&name, vec![AttributeDef::primary_key(&gone.key)])?,
+                            vec![Column::new_unchecked(dom, codes)],
+                        )?;
+                        let attr_def = if closed {
+                            AttributeDef::foreign_key(&def.name, &name)
+                        } else {
+                            AttributeDef::open_foreign_key(&def.name, &name)
+                        };
+                        let sub = TableSubstitution {
+                            table: name,
+                            fk: def.name.clone(),
+                            file: file.clone(),
+                            n_entities: surrogate.n_rows(),
+                            declared_features: gone.features.clone(),
+                            reason: gone.reason.clone(),
+                        };
+                        hamlet_obs::record_warning(sub.evidence());
+                        substitutions.push(sub);
+                        defs.push(attr_def);
+                        cols.push(col.clone());
+                        attributes.push(AttributeTable {
+                            fk: def.name.clone(),
+                            table: surrogate,
+                        });
+                        continue;
+                    }
                     let (attr_table, key_col) = attr_tables
                         .get(&file)
                         .ok_or_else(|| RelationalError::UnknownTable { name: file.clone() })?;
@@ -475,6 +566,7 @@ impl Manifest {
             quarantine,
             dropped_rows,
             others_rows,
+            substitutions,
         })
     }
 
@@ -703,6 +795,7 @@ numeric  Revenue 2
         let load = load_dirty(&LoadPolicy {
             on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
             on_dangling_fk: FkPolicy::DropRow,
+            ..LoadPolicy::default()
         })
         .unwrap();
         assert!(load.degraded());
@@ -725,6 +818,7 @@ numeric  Revenue 2
         let load = load_dirty(&LoadPolicy {
             on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
             on_dangling_fk: FkPolicy::MapToOthers,
+            ..LoadPolicy::default()
         })
         .unwrap();
         // No entity rows lost: the e99 row maps onto the Others record.
@@ -771,12 +865,101 @@ numeric  Revenue 2
                 &LoadPolicy {
                     on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 10 },
                     on_dangling_fk: FkPolicy::DropRow,
+                    ..LoadPolicy::default()
                 },
             )
             .unwrap();
         // Two customers referenced e2; both were dropped.
         assert_eq!(load.star.n_s(), 2);
         assert_eq!(load.dropped_rows, vec![0, 2]);
+    }
+
+    fn load_without_employers(policy: &LoadPolicy) -> Result<StarLoad> {
+        let manifest = Manifest::parse(MANIFEST).unwrap();
+        let mut files = files();
+        files.remove(&PathBuf::from("/data/employers.csv"));
+        manifest.load_with_policy(
+            Path::new("/data"),
+            |p| {
+                files
+                    .get(p)
+                    .cloned()
+                    .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+            },
+            policy,
+        )
+    }
+
+    #[test]
+    fn missing_table_still_errors_by_default() {
+        let err = load_without_employers(&LoadPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn missing_table_degrades_to_fk_only_surrogate() {
+        let load = load_without_employers(&LoadPolicy {
+            on_missing_table: TablePolicy::AllowDegraded,
+            ..LoadPolicy::default()
+        })
+        .unwrap();
+        assert!(load.degraded());
+        assert_eq!(load.substitutions.len(), 1);
+        let sub = &load.substitutions[0];
+        assert_eq!(sub.table, "employers");
+        assert_eq!(sub.fk, "EmployerID");
+        assert_eq!(
+            sub.declared_features,
+            vec!["Country".to_string(), "Revenue".to_string()]
+        );
+        // The surrogate is key-only over the FK's observed domain.
+        let attr = &load.star.attributes()[0];
+        assert_eq!(attr.table.schema().features().len(), 0);
+        assert_eq!(sub.n_entities, attr.n_rows());
+        assert_eq!(load.star.n_s(), 4);
+        // Zero-feature tables have no min feature domain: downstream the
+        // advisor falls back to the worst-case q_R* = 1.
+        assert_eq!(attr.min_feature_domain(), None);
+        // The star still materializes (the join adds no columns).
+        let t = load.star.materialize_all().unwrap();
+        assert_eq!(t.n_rows(), 4);
+        assert!(t.column_by_name("Country").is_err());
+    }
+
+    #[test]
+    fn table_open_failpoint_degrades_or_errors_by_policy() {
+        use hamlet_chaos::failpoint;
+        let _guard = failpoint::serial();
+        let manifest = Manifest::parse(MANIFEST).unwrap();
+        let files = files();
+        let read = |p: &Path| {
+            files
+                .get(p)
+                .cloned()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+        };
+        // Strict: the injected open failure fails the whole load.
+        failpoint::set_failpoints("relational.table_open=io").unwrap();
+        let err = manifest
+            .load_with_policy(Path::new("/data"), read, &LoadPolicy::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("injected IO failure"), "{err}");
+        // Degraded: the same fault yields a surrogate substitution.
+        failpoint::set_failpoints("relational.table_open=io@1").unwrap();
+        let load = manifest
+            .load_with_policy(
+                Path::new("/data"),
+                read,
+                &LoadPolicy {
+                    on_missing_table: TablePolicy::AllowDegraded,
+                    ..LoadPolicy::default()
+                },
+            )
+            .unwrap();
+        failpoint::clear_failpoints();
+        assert_eq!(load.substitutions.len(), 1);
+        assert!(load.substitutions[0].reason.contains("injected IO failure"));
+        assert_eq!(load.star.n_s(), 4);
     }
 
     #[test]

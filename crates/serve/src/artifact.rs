@@ -181,6 +181,11 @@ pub struct JoinDecision {
     /// avoided join these are exactly the columns a prediction request
     /// must *not* carry.
     pub foreign_features: Vec<String>,
+    /// Whether the table was unavailable at train time and replaced by
+    /// its FK-only surrogate (degraded-mode training). Rendered in the
+    /// payload only when `true`, so artifacts from non-degraded builds
+    /// are byte-identical to the pre-degraded format.
+    pub degraded: bool,
 }
 
 /// The fitted model, one of the five servable families.
@@ -477,7 +482,7 @@ fn payload_json(a: &ModelArtifact) -> Json {
                 a.decisions
                     .iter()
                     .map(|d| {
-                        obj(vec![
+                        let mut fields = vec![
                             ("table", Json::Str(d.table.clone())),
                             ("fk", Json::Str(d.fk.clone())),
                             ("strategy", Json::Str(d.strategy.name().into())),
@@ -491,7 +496,11 @@ fn payload_json(a: &ModelArtifact) -> Json {
                             ),
                             ("avoid", Json::Bool(d.avoid)),
                             ("foreign_features", str_arr(&d.foreign_features)),
-                        ])
+                        ];
+                        if d.degraded {
+                            fields.push(("degraded", Json::Bool(true)));
+                        }
+                        obj(fields)
                     })
                     .collect(),
             ),
@@ -729,6 +738,13 @@ fn parse_decision(j: &Json, ctx: &str) -> R<JoinDecision> {
         &format!("{ctx}.foreign_features"),
     )?
     .ok_or_else(|| schema_err(format!("{ctx}.foreign_features: expected an array")))?;
+    // Optional: absent in artifacts from non-degraded builds (and in
+    // every pre-degraded artifact).
+    let degraded = match j.get("degraded") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(schema_err(format!("{ctx}.degraded: expected a boolean"))),
+    };
     Ok(JoinDecision {
         table: str_of(field(j, "table", ctx)?, &format!("{ctx}.table"))?,
         fk: str_of(field(j, "fk", ctx)?, &format!("{ctx}.fk"))?,
@@ -737,6 +753,7 @@ fn parse_decision(j: &Json, ctx: &str) -> R<JoinDecision> {
         ror,
         avoid,
         foreign_features,
+        degraded,
     })
 }
 
@@ -1144,6 +1161,7 @@ mod tests {
                 ror: Some(1.02),
                 avoid: true,
                 foreign_features: vec!["country".into()],
+                degraded: false,
             }],
             model: ServableModel::NaiveBayes(model),
         }

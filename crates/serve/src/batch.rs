@@ -169,12 +169,7 @@ mod tests {
             vec![0],
             2,
             vec![(0.4f64).ln(), (0.6f64).ln()],
-            vec![vec![
-                0.9f64.ln(),
-                0.1f64.ln(),
-                0.2f64.ln(),
-                0.8f64.ln(),
-            ]],
+            vec![vec![0.9f64.ln(), 0.1f64.ln(), 0.2f64.ln(), 0.8f64.ln()]],
             vec![2],
         );
         Scorer::new(ModelArtifact {

@@ -20,7 +20,7 @@
 //!   slow-loris case and stays a typed [`ReadError::TooSlow`] (408).
 //!
 //! The head-terminator scan tracks how far it has already looked
-//! ([`http::find_head_end_from`]), so a head trickled in N reads costs
+//! (`http::find_head_end_from`), so a head trickled in N reads costs
 //! O(head), not the O(head²) rescan the old loop paid.
 
 use std::net::TcpStream;
@@ -167,13 +167,22 @@ mod tests {
         client.shutdown(std::net::Shutdown::Write).unwrap();
 
         let mut r = ConnReader::new();
-        let a = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        let a = r
+            .next_request(&mut server, SECOND, SECOND)
+            .unwrap()
+            .unwrap();
         assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"abc"[..]));
         assert!(!a.close);
-        let b = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        let b = r
+            .next_request(&mut server, SECOND, SECOND)
+            .unwrap()
+            .unwrap();
         assert_eq!(b.path, "/b");
         assert_eq!(b.body, b"GET /x HTTP/1.1\r\n\r");
-        let c = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        let c = r
+            .next_request(&mut server, SECOND, SECOND)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.path, "/c");
         assert!(c.close);
         // EOF at the boundary is a clean close.
@@ -232,7 +241,10 @@ mod tests {
         // Give the kernel a beat so one read sees both requests.
         std::thread::sleep(Duration::from_millis(30));
         let mut r = ConnReader::new();
-        let first = r.next_request(&mut server, SECOND, SECOND).unwrap().unwrap();
+        let first = r
+            .next_request(&mut server, SECOND, SECOND)
+            .unwrap()
+            .unwrap();
         assert_eq!(first.path, "/1");
         assert!(r.buffered() > 0, "pipelined bytes must stay buffered");
     }

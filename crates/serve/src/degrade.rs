@@ -1,0 +1,208 @@
+//! Per-model circuit breaker for the serving fallback chain.
+//!
+//! A model whose scoring path keeps faulting (panicking kernels, poison
+//! rows, injected chaos) should not take every request down with it.
+//! The breaker watches consecutive scoring faults; after
+//! [`BreakerPolicy::threshold`] of them it *opens* and the server stops
+//! attempting full scoring, answering from the prior-only surrogate
+//! (`Scorer::surrogate_prediction`) instead. While open, every
+//! [`BreakerPolicy::probe_every`]-th request is let through as a probe;
+//! one probe success closes the breaker and full scoring resumes.
+//!
+//! States are the classic three, collapsed to two bits of atomics:
+//! closed (faults below threshold), open (surrogate + probes), and
+//! half-open exists only as the instant a probe is in flight. All
+//! transitions are lock-free; the breaker sits on the hot path and
+//! costs one relaxed load when closed.
+//!
+//! Knobs (resolved loudly, like `HAMLET_THREADS`):
+//!
+//! * `HAMLET_BREAKER_THRESHOLD` — consecutive faults that open the
+//!   breaker (default 5, >= 1);
+//! * `HAMLET_BREAKER_PROBE` — while open, attempt full scoring on every
+//!   Nth request (default 8, >= 1; 1 probes on every request).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Breaker thresholds, resolved once per server from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive scoring faults that open the breaker.
+    pub threshold: u32,
+    /// While open, probe full scoring on every Nth request.
+    pub probe_every: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            threshold: 5,
+            probe_every: 8,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Resolves the policy from `HAMLET_BREAKER_*`, defaulting loudly on
+    /// invalid values (a bad knob must not take down the server).
+    pub fn resolve() -> Self {
+        let mut policy = Self::default();
+        match hamlet_obs::env::var_where(
+            "HAMLET_BREAKER_THRESHOLD",
+            "an integer >= 1",
+            |&n: &u32| n >= 1,
+        ) {
+            Ok(Some(n)) => policy.threshold = n,
+            Ok(None) => {}
+            Err(e) => hamlet_obs::record_warning(format!("{e}; using default breaker threshold")),
+        }
+        match hamlet_obs::env::var_where("HAMLET_BREAKER_PROBE", "an integer >= 1", |&n: &u64| {
+            n >= 1
+        }) {
+            Ok(Some(n)) => policy.probe_every = n,
+            Ok(None) => {}
+            Err(e) => {
+                hamlet_obs::record_warning(format!("{e}; using default breaker probe cadence"))
+            }
+        }
+        policy
+    }
+}
+
+/// Lock-free consecutive-fault circuit breaker (one per served model).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    /// Consecutive faults since the last success.
+    consecutive: AtomicU32,
+    /// Whether the breaker is open (serving the surrogate).
+    open: AtomicBool,
+    /// Requests seen while open, for the probe cadence.
+    open_seen: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            consecutive: AtomicU32::new(0),
+            open: AtomicBool::new(false),
+            open_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the breaker is open (full scoring suspended).
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// Decides whether this request should attempt full scoring: always
+    /// when closed; while open, only on every `probe_every`-th request
+    /// (the probe whose success re-closes the breaker).
+    pub fn admit_full(&self) -> bool {
+        if !self.is_open() {
+            return true;
+        }
+        let seen = self.open_seen.fetch_add(1, Ordering::AcqRel) + 1;
+        seen.is_multiple_of(self.policy.probe_every)
+    }
+
+    /// Records a successful full scoring pass; closes the breaker.
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Release);
+        if self.open.swap(false, Ordering::AcqRel) {
+            hamlet_obs::record_warning(
+                "circuit breaker closed: a probe scored successfully, resuming full scoring",
+            );
+        }
+    }
+
+    /// Records a scoring fault; returns `true` if this fault opened the
+    /// breaker (the trip edge, for logging).
+    pub fn record_fault(&self) -> bool {
+        let faults = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        if faults >= self.policy.threshold && !self.open.swap(true, Ordering::AcqRel) {
+            self.open_seen.store(0, Ordering::Release);
+            hamlet_obs::counter_add!("hamlet_breaker_trips_total", 1);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, probe_every: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            threshold,
+            probe_every,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_faults() {
+        let b = breaker(3, 4);
+        assert!(!b.record_fault());
+        assert!(!b.record_fault());
+        assert!(!b.is_open());
+        assert!(b.record_fault(), "third consecutive fault trips");
+        assert!(b.is_open());
+        // Further faults keep it open without re-reporting the trip.
+        assert!(!b.record_fault());
+    }
+
+    #[test]
+    fn success_resets_the_fault_run() {
+        let b = breaker(3, 4);
+        b.record_fault();
+        b.record_fault();
+        b.record_success();
+        b.record_fault();
+        b.record_fault();
+        assert!(!b.is_open(), "non-consecutive faults must not trip");
+    }
+
+    #[test]
+    fn open_breaker_admits_only_probes() {
+        let b = breaker(1, 4);
+        assert!(b.admit_full(), "closed breaker admits everything");
+        b.record_fault();
+        assert!(b.is_open());
+        let admitted: Vec<bool> = (0..8).map(|_| b.admit_full()).collect();
+        assert_eq!(
+            admitted,
+            vec![false, false, false, true, false, false, false, true],
+            "every 4th request while open is a probe"
+        );
+    }
+
+    #[test]
+    fn probe_success_closes_and_restores_full_scoring() {
+        let b = breaker(1, 2);
+        b.record_fault();
+        assert!(b.is_open());
+        // The probe turn arrives, scores fine, breaker closes.
+        while !b.admit_full() {}
+        b.record_success();
+        assert!(!b.is_open());
+        assert!(b.admit_full());
+        // It takes a full threshold run to trip again.
+        assert!(b.record_fault());
+    }
+
+    #[test]
+    fn policy_resolves_from_env_and_survives_garbage() {
+        std::env::set_var("HAMLET_BREAKER_THRESHOLD", "2");
+        std::env::set_var("HAMLET_BREAKER_PROBE", "16");
+        let p = BreakerPolicy::resolve();
+        assert_eq!((p.threshold, p.probe_every), (2, 16));
+        std::env::set_var("HAMLET_BREAKER_THRESHOLD", "0");
+        let p = BreakerPolicy::resolve();
+        assert_eq!(p.threshold, BreakerPolicy::default().threshold);
+        std::env::remove_var("HAMLET_BREAKER_THRESHOLD");
+        std::env::remove_var("HAMLET_BREAKER_PROBE");
+    }
+}

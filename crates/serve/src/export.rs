@@ -12,7 +12,7 @@
 use hamlet_core::advisor::{advise, AdvisorConfig, AdvisorError};
 use hamlet_core::rules::Decision;
 use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes, Tan};
-use hamlet_relational::{DomainRevision, Role, StarSchema, Table};
+use hamlet_relational::{DomainRevision, Role, StarSchema, Table, TableSubstitution};
 
 use crate::artifact::{FeatureSchema, FkColdStart, JoinDecision, ModelArtifact, ServableModel};
 
@@ -131,9 +131,40 @@ pub fn build_artifact(
     config: &AdvisorConfig,
     dataset_name: &str,
 ) -> Result<BuiltModel, BuildError> {
+    build_artifact_with_availability(star, kind, config, dataset_name, &[])
+}
+
+/// [`build_artifact`] over a star that may contain FK-only surrogate
+/// tables from a degraded load (see `hamlet_relational::availability`).
+///
+/// Each substituted table's decision is marked `degraded` and carries
+/// the manifest-declared foreign features (the surrogate itself has
+/// none), so the scorer can refuse — or, under `--fallback`, ignore —
+/// requests that supply columns the model never saw. The worst-case ROR
+/// bound the advisor computed for the substitution (`q_R* = 1`, since a
+/// key-only table has no feature domains) is journaled as evidence.
+/// With no substitutions this is exactly [`build_artifact`].
+pub fn build_artifact_with_availability(
+    star: &StarSchema,
+    kind: ModelKind,
+    config: &AdvisorConfig,
+    dataset_name: &str,
+    substitutions: &[TableSubstitution],
+) -> Result<BuiltModel, BuildError> {
     let _span = hamlet_obs::span!("serve.build_artifact", kind = kind.name());
     let n_train = star.n_s() / 2;
     let report = advise(star, n_train, config)?;
+    for j in &report.joins {
+        if let Some(sub) = substitutions.iter().find(|s| s.table == j.table) {
+            hamlet_obs::record_warning(format!(
+                "degraded build: {} — worst-case ROR bound {} for the FK-only substitution",
+                sub.evidence(),
+                evidence(&j.ror_decision)
+                    .map(|v| format!("{v:.6}"))
+                    .unwrap_or_else(|| "n/a".to_string())
+            ));
+        }
+    }
 
     // Cold-start revision of every FK: append the Others record to each
     // attribute table and remap entity FKs into the widened domain. The
@@ -238,22 +269,31 @@ pub fn build_artifact(
         .joins
         .iter()
         .enumerate()
-        .map(|(i, j)| JoinDecision {
-            table: j.table.clone(),
-            fk: j.fk.clone(),
-            strategy: j.strategy,
-            tuple_ratio: if j.stats.n_r == 0 {
-                0.0
-            } else {
-                j.stats.n_train as f64 / j.stats.n_r as f64
-            },
-            ror: evidence(&j.ror_decision),
-            avoid: j.avoid,
-            foreign_features: star.attributes()[i]
-                .feature_names()
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+        .map(|(i, j)| {
+            let sub = substitutions.iter().find(|s| s.table == j.table);
+            JoinDecision {
+                table: j.table.clone(),
+                fk: j.fk.clone(),
+                strategy: j.strategy,
+                tuple_ratio: if j.stats.n_r == 0 {
+                    0.0
+                } else {
+                    j.stats.n_train as f64 / j.stats.n_r as f64
+                },
+                ror: evidence(&j.ror_decision),
+                avoid: j.avoid,
+                // A surrogate table has no features; ship the declared
+                // ones so serving can name what is missing.
+                foreign_features: match sub {
+                    Some(s) => s.declared_features.clone(),
+                    None => star.attributes()[i]
+                        .feature_names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                },
+                degraded: sub.is_some(),
+            }
         })
         .collect();
 

@@ -238,15 +238,38 @@ pub fn write_response(
     body: &str,
     keep_open: bool,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, reason, content_type, body, keep_open, &[])
+}
+
+/// [`write_response`] plus caller-supplied response headers (e.g.
+/// `X-Hamlet-Degraded: true` on surrogate answers). Header names and
+/// values are emitted verbatim; callers pass static, known-safe pairs.
+#[allow(clippy::too_many_arguments)]
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_open: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     hamlet_chaos::fail_at!(WRITE_FAILPOINT)?;
     let connection = if keep_open { "keep-alive" } else { "close" };
     // Head and body go out in ONE write: a separate small body write
     // after the head trips Nagle + delayed-ACK on keep-alive
     // connections, turning a microsecond response into a ~40ms stall.
     let mut response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
     response.push_str(body);
     stream.write_all(response.as_bytes())?;
     stream.flush()
@@ -331,10 +354,9 @@ mod tests {
 
     #[test]
     fn transfer_encoding_is_rejected() {
-        let err = read_from_bytes(
-            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
-        )
-        .unwrap_err();
+        let err =
+            read_from_bytes(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+                .unwrap_err();
         assert!(matches!(err, ReadError::Malformed(_)), "{err:?}");
     }
 
@@ -431,5 +453,30 @@ mod tests {
         std::io::Read::read_to_string(&mut c, &mut out).unwrap();
         assert!(out.contains("Connection: keep-alive"), "{out}");
         assert!(out.contains("Connection: close"), "{out}");
+    }
+
+    #[test]
+    fn extra_headers_land_in_the_head_not_the_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        write_response_with(
+            &mut server_side,
+            200,
+            "OK",
+            "application/json",
+            "{}",
+            true,
+            &[("X-Hamlet-Degraded", "true")],
+        )
+        .unwrap();
+        drop(server_side);
+        let mut out = String::new();
+        let mut c = client;
+        std::io::Read::read_to_string(&mut c, &mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("X-Hamlet-Degraded: true"), "{head}");
+        assert_eq!(body, "{}");
     }
 }

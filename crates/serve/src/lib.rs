@@ -33,6 +33,10 @@
 //! * [`batch`] — request micro-batching: concurrent single-row predicts
 //!   within `HAMLET_BATCH_WINDOW_US` are coalesced onto the batch
 //!   scorer, bit-for-bit identical to unbatched scoring.
+//! * [`degrade`] — the serving fallback chain: a per-model circuit
+//!   breaker that answers from the prior-only surrogate after repeated
+//!   scoring faults, plus the `degraded` response contract
+//!   (`X-Hamlet-Degraded` header, `"degraded"` JSON field).
 //! * [`registry`] — the multi-model table behind `/models/<id>/…`
 //!   routing, with atomic hot-swap reload (`POST /reload` or SIGHUP)
 //!   that never drops an in-flight request.
@@ -40,6 +44,7 @@
 pub mod artifact;
 pub mod batch;
 pub mod conn;
+pub mod degrade;
 pub mod export;
 pub mod http;
 pub mod registry;
@@ -52,7 +57,10 @@ pub use artifact::{
 };
 pub use batch::MicroBatcher;
 pub use conn::ConnReader;
-pub use export::{build_artifact, BuildError, BuiltModel, ModelKind};
+pub use degrade::{BreakerPolicy, CircuitBreaker};
+pub use export::{
+    build_artifact, build_artifact_with_availability, BuildError, BuiltModel, ModelKind,
+};
 pub use registry::{ModelEntry, Registry, RegistryError, ReloadReport};
 pub use score::{Prediction, ScoreError, Scorer};
 pub use server::{

@@ -26,15 +26,31 @@
 //! CLI flips a flag the accept loop polls). Each entry owns its own
 //! [`MicroBatcher`], so coalesced batches never mix models *or*
 //! generations.
+//!
+//! Artifact reads go through [`RetryPolicy`]: transient IO failures get
+//! a bounded, jittered exponential backoff before the load is declared
+//! dead, while corrupt artifacts (bad magic, checksum mismatch, schema
+//! errors) fail fast — no retry can fix bad bytes, and the old
+//! generation must resume serving immediately. The [`RELOAD_FAILPOINT`]
+//! at the top of [`Registry::reload`] lets chaos runs prove a faulted
+//! reload leaves every old generation serving.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::artifact::{self, ArtifactError};
+use hamlet_obs::RetryPolicy;
+
+use crate::artifact::{self, ArtifactError, ModelArtifact};
 use crate::batch::MicroBatcher;
+use crate::degrade::{BreakerPolicy, CircuitBreaker};
 use crate::score::Scorer;
+
+/// Failpoint hit at the top of [`Registry::reload`], before any
+/// artifact is read — a faulted reload must leave the registry (and
+/// every old generation) untouched.
+pub const RELOAD_FAILPOINT: &str = "registry.reload";
 
 /// Why the registry could not be built or reloaded. Carries the model
 /// id and path so a fleet operator knows *which* artifact is bad.
@@ -53,6 +69,9 @@ pub enum RegistryError {
     DuplicateId(String),
     /// The registry would be empty.
     Empty,
+    /// The reload was aborted before any artifact was read (injected
+    /// fault or other environmental failure); the registry is untouched.
+    Aborted(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -63,6 +82,7 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::DuplicateId(id) => write!(f, "model id '{id}' given more than once"),
             RegistryError::Empty => write!(f, "no models to serve"),
+            RegistryError::Aborted(reason) => write!(f, "reload aborted: {reason}"),
         }
     }
 }
@@ -83,6 +103,10 @@ pub struct ModelEntry {
     pub scorer: Scorer,
     /// Coalesces this model's single-row requests.
     pub batcher: MicroBatcher,
+    /// This model's scoring circuit breaker. Entries are rebuilt on
+    /// every swap/reload, so a hot-swap always starts with a fresh
+    /// (closed) breaker — reloading is the operator's reset lever.
+    pub breaker: CircuitBreaker,
 }
 
 /// Outcome of a successful [`Registry::reload`].
@@ -98,6 +122,29 @@ pub struct ReloadReport {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Loads one artifact with bounded retry + backoff on *transient* IO
+/// failures only. Corrupt artifacts (parse/checksum/schema errors)
+/// fail fast: retrying cannot fix bad bytes, and a failed load must
+/// hand control back — with the old generation still serving — as
+/// quickly as possible.
+fn load_with_retry(
+    retry: &RetryPolicy,
+    id: &str,
+    path: &Path,
+) -> Result<ModelArtifact, RegistryError> {
+    retry
+        .run_if(
+            "serve.artifact_load",
+            || artifact::load(path),
+            |e| matches!(e, ArtifactError::Io { .. }),
+        )
+        .map_err(|source| RegistryError::Load {
+            id: id.to_string(),
+            path: path.to_path_buf(),
+            source,
+        })
 }
 
 /// The model table. Insertion order is preserved; the first entry is
@@ -126,6 +173,7 @@ impl Registry {
             source: None,
             scorer,
             batcher: MicroBatcher::new(batch_window),
+            breaker: CircuitBreaker::new(BreakerPolicy::resolve()),
         });
         Registry {
             models: Mutex::new(vec![entry]),
@@ -144,22 +192,20 @@ impl Registry {
         if sources.is_empty() {
             return Err(RegistryError::Empty);
         }
+        let retry = RetryPolicy::resolve();
         let mut models: Vec<Arc<ModelEntry>> = Vec::with_capacity(sources.len());
         for (id, path) in sources {
             if models.iter().any(|e| &e.id == id) {
                 return Err(RegistryError::DuplicateId(id.clone()));
             }
-            let loaded = artifact::load(path).map_err(|source| RegistryError::Load {
-                id: id.clone(),
-                path: path.clone(),
-                source,
-            })?;
+            let loaded = load_with_retry(&retry, id, path)?;
             models.push(Arc::new(ModelEntry {
                 id: id.clone(),
                 generation: 1,
                 source: Some(path.clone()),
                 scorer: Scorer::new(loaded),
                 batcher: MicroBatcher::new(batch_window),
+                breaker: CircuitBreaker::new(BreakerPolicy::resolve()),
             }));
         }
         Ok(Registry {
@@ -208,6 +254,7 @@ impl Registry {
             source: source.map(Path::to_path_buf),
             scorer,
             batcher: MicroBatcher::new(self.batch_window),
+            breaker: CircuitBreaker::new(BreakerPolicy::resolve()),
         });
         match models.iter_mut().find(|e| e.id == id) {
             Some(slot) => *slot = entry,
@@ -224,6 +271,9 @@ impl Registry {
     /// entries; the old artifacts are freed when the last request
     /// drops its `Arc` — never mid-request.
     pub fn reload(&self) -> Result<ReloadReport, RegistryError> {
+        hamlet_chaos::fail_at!(RELOAD_FAILPOINT)
+            .map_err(|e| RegistryError::Aborted(e.to_string()))?;
+        let retry = RetryPolicy::resolve();
         let snapshot: Vec<Arc<ModelEntry>> = lock(&self.models).clone();
         let generation = self.generation.load(Ordering::SeqCst) + 1;
         let mut replacements: Vec<(String, Arc<ModelEntry>)> = Vec::new();
@@ -233,11 +283,7 @@ impl Registry {
             match &entry.source {
                 None => kept.push(entry.id.clone()),
                 Some(path) => {
-                    let loaded = artifact::load(path).map_err(|source| RegistryError::Load {
-                        id: entry.id.clone(),
-                        path: path.clone(),
-                        source,
-                    })?;
+                    let loaded = load_with_retry(&retry, &entry.id, path)?;
                     replacements.push((
                         entry.id.clone(),
                         Arc::new(ModelEntry {
@@ -246,6 +292,7 @@ impl Registry {
                             source: Some(path.clone()),
                             scorer: Scorer::new(loaded),
                             batcher: MicroBatcher::new(self.batch_window),
+                            breaker: CircuitBreaker::new(BreakerPolicy::resolve()),
                         }),
                     ));
                     reloaded.push(entry.id.clone());
@@ -308,7 +355,10 @@ mod tests {
         let r = Registry::single(Scorer::new(artifact_with_prior(0.5)), Duration::ZERO);
         assert!(r.get("default").is_some());
         assert!(r.get("nope").is_none());
-        assert_eq!(r.default_entry().map(|e| e.id.clone()), Some("default".into()));
+        assert_eq!(
+            r.default_entry().map(|e| e.id.clone()),
+            Some("default".into())
+        );
         assert_eq!(r.ids(), vec![("default".into(), 1)]);
     }
 
@@ -331,7 +381,10 @@ mod tests {
         // The old artifact is only released when the last request ends.
         assert!(weak.upgrade().is_some());
         drop(in_flight);
-        assert!(weak.upgrade().is_none(), "old artifact must drain, then free");
+        assert!(
+            weak.upgrade().is_none(),
+            "old artifact must drain, then free"
+        );
     }
 
     #[test]
@@ -361,11 +414,68 @@ mod tests {
         std::fs::write(&b, b"{not an artifact").unwrap();
         let before = r.ids();
         let err = r.reload().unwrap_err();
-        assert!(matches!(err, RegistryError::Load { ref id, .. } if id == "b"), "{err}");
-        assert_eq!(r.ids(), before, "failed reload must leave the registry untouched");
+        assert!(
+            matches!(err, RegistryError::Load { ref id, .. } if id == "b"),
+            "{err}"
+        );
+        assert_eq!(
+            r.ids(),
+            before,
+            "failed reload must leave the registry untouched"
+        );
         assert_eq!(r.get("b").unwrap().scorer.artifact().dataset, "prior0.8");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_artifact_io_is_retried_on_reload() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let dir =
+            std::env::temp_dir().join(format!("hamlet_registry_retry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.model");
+        artifact::save(&artifact_with_prior(0.5), &a).unwrap();
+        let r = Registry::from_sources(&[("a".into(), a.clone())], Duration::ZERO).unwrap();
+
+        // The first load attempt faults; the retry (attempt 2) succeeds,
+        // so the reload as a whole must too.
+        hamlet_chaos::failpoint::set_failpoints("serve.artifact_load=io@1").unwrap();
+        let report = r.reload();
+        hamlet_chaos::failpoint::clear_failpoints();
+        let report = report.unwrap();
+        assert_eq!(report.reloaded, vec!["a".to_string()]);
+        assert_eq!(r.generation(), 2);
+
+        // A *persistent* IO fault exhausts the retry budget and fails
+        // typed, leaving the registry untouched.
+        hamlet_chaos::failpoint::set_failpoints("serve.artifact_load=io").unwrap();
+        let err = r.reload();
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(
+            matches!(err.unwrap_err(), RegistryError::Load { ref id, .. } if id == "a"),
+            "persistent IO must fail typed after the retry budget"
+        );
+        assert_eq!(
+            r.generation(),
+            2,
+            "failed reload must not bump the generation"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_failpoint_aborts_with_the_registry_untouched() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let r = Registry::single(Scorer::new(artifact_with_prior(0.5)), Duration::ZERO);
+        let before = r.ids();
+        hamlet_chaos::failpoint::set_failpoints("registry.reload=io").unwrap();
+        let err = r.reload();
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(matches!(err.unwrap_err(), RegistryError::Aborted(_)));
+        assert_eq!(r.ids(), before);
+        assert_eq!(r.generation(), 1);
     }
 
     #[test]

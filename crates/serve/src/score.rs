@@ -23,7 +23,7 @@ use hamlet_core::ExecStrategy;
 use hamlet_ml::{CodeSource, Model};
 use hamlet_obs::json::{obj, Json};
 
-use crate::artifact::ModelArtifact;
+use crate::artifact::{ModelArtifact, ServableModel};
 
 /// A typed scoring failure. [`ScoreError::http_status`] maps each
 /// variant onto the HTTP plane: 400 for malformed requests, 422 for
@@ -73,6 +73,19 @@ pub enum ScoreError {
         /// Features the model expects.
         expected: usize,
     },
+    /// The feature belongs to a table that was unavailable at train
+    /// time (degraded build): the model never saw it and has no
+    /// encoding for it. The refuse-with-evidence terminal of the
+    /// fallback chain — carries the worst-case ROR bound the advisor
+    /// computed for the FK-only substitution.
+    DegradedFeature {
+        /// The offending feature name.
+        name: String,
+        /// The substituted attribute table it was declared in.
+        table: String,
+        /// Worst-case ROR bound for the substitution, when computed.
+        ror: Option<f64>,
+    },
 }
 
 impl ScoreError {
@@ -87,7 +100,8 @@ impl ScoreError {
             ScoreError::UnknownFeature { .. }
             | ScoreError::AvoidedFeature { .. }
             | ScoreError::MissingFeature { .. }
-            | ScoreError::UnknownCategory { .. } => 422,
+            | ScoreError::UnknownCategory { .. }
+            | ScoreError::DegradedFeature { .. } => 422,
         }
     }
 
@@ -101,6 +115,7 @@ impl ScoreError {
             ScoreError::MissingFeature { .. } => "missing_feature",
             ScoreError::UnknownCategory { .. } => "unknown_category",
             ScoreError::WrongArity { .. } => "wrong_arity",
+            ScoreError::DegradedFeature { .. } => "degraded_feature",
         }
     }
 
@@ -151,6 +166,17 @@ impl std::fmt::Display for ScoreError {
             ScoreError::WrongArity { got, expected } => write!(
                 f,
                 "positional row has {got} values but the model expects {expected} features"
+            ),
+            ScoreError::DegradedFeature { name, table, ror } => write!(
+                f,
+                "'{name}' belongs to attribute table '{table}', which was unavailable \
+                 when this model was trained — the model predicts from the foreign key \
+                 alone (worst-case ROR bound for the substitution: {}); drop the feature \
+                 or retrain with the table restored",
+                match ror {
+                    Some(v) => format!("{v:.6}"),
+                    None => "not computed".to_string(),
+                }
             ),
         }
     }
@@ -241,6 +267,9 @@ pub struct Scorer {
     label_codes: Vec<Option<HashMap<String, u32>>>,
     /// Foreign feature name -> avoided table, for avoid-join refusal.
     avoided_of: HashMap<String, String>,
+    /// Foreign feature name -> decision index, for features of tables
+    /// that were unavailable at train time (degraded build).
+    degraded_of: HashMap<String, usize>,
 }
 
 impl Scorer {
@@ -274,12 +303,26 @@ impl Scorer {
                     .map(move |f| (f.clone(), d.table.clone()))
             })
             .collect();
+        let degraded_of = artifact
+            .decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.degraded)
+            .flat_map(|(i, d)| d.foreign_features.iter().map(move |f| (f.clone(), i)))
+            .collect();
         Scorer {
             artifact,
             by_name,
             label_codes,
             avoided_of,
+            degraded_of,
         }
+    }
+
+    /// Whether the artifact was built with any attribute table replaced
+    /// by its FK-only surrogate.
+    pub fn trained_degraded(&self) -> bool {
+        self.artifact.decisions.iter().any(|d| d.degraded)
     }
 
     /// The artifact being served.
@@ -351,13 +394,37 @@ impl Scorer {
     }
 
     /// Decodes one row (named object or positional array) into the
-    /// model's per-feature codes, in schema order.
-    fn decode_row(&self, row: &Json) -> Result<Vec<u32>, ScoreError> {
+    /// model's per-feature codes, in schema order. The flag reports
+    /// whether a degraded-table feature was ignored (`allow_degraded`
+    /// only; otherwise such a feature is a typed refusal).
+    fn decode_row_allow(
+        &self,
+        row: &Json,
+        allow_degraded: bool,
+    ) -> Result<(Vec<u32>, bool), ScoreError> {
         let d = self.artifact.features.len();
         match row {
             Json::Obj(members) => {
+                let mut row_degraded = false;
                 for (name, _) in members {
                     if !self.by_name.contains_key(name) {
+                        // Features of degraded (train-time-absent)
+                        // tables: ignored under the fallback chain,
+                        // refused with ROR evidence otherwise. Checked
+                        // before the avoid-join refusal — a degraded
+                        // table's decision may also be an avoid.
+                        if let Some(&di) = self.degraded_of.get(name) {
+                            if allow_degraded {
+                                row_degraded = true;
+                                continue;
+                            }
+                            let dec = &self.artifact.decisions[di];
+                            return Err(ScoreError::DegradedFeature {
+                                name: name.clone(),
+                                table: dec.table.clone(),
+                                ror: dec.ror,
+                            });
+                        }
                         // Refuse foreign features of avoided joins with a
                         // specific error before the generic unknown one.
                         if let Some(table) = self.avoided_of.get(name) {
@@ -371,12 +438,14 @@ impl Scorer {
                 }
                 let mut codes = Vec::with_capacity(d);
                 for (f, fs) in self.artifact.features.iter().enumerate() {
-                    let value = row.get(&fs.name).ok_or_else(|| ScoreError::MissingFeature {
-                        name: fs.name.clone(),
-                    })?;
+                    let value = row
+                        .get(&fs.name)
+                        .ok_or_else(|| ScoreError::MissingFeature {
+                            name: fs.name.clone(),
+                        })?;
                     codes.push(self.code_for(f, value)?);
                 }
-                Ok(codes)
+                Ok((codes, row_degraded))
             }
             Json::Arr(values) => {
                 if values.len() != d {
@@ -389,7 +458,8 @@ impl Scorer {
                     .iter()
                     .enumerate()
                     .map(|(f, value)| self.code_for(f, value))
-                    .collect()
+                    .collect::<Result<Vec<u32>, ScoreError>>()
+                    .map(|codes| (codes, false))
             }
             _ => Err(ScoreError::NotAnObject),
         }
@@ -404,6 +474,19 @@ impl Scorer {
     /// Body shapes and the `rows`-feature disambiguation rule are
     /// documented on [`Scorer::predict_body`].
     pub fn decode_body(&self, body: &Json) -> Result<Vec<Vec<u32>>, ScoreError> {
+        self.decode_body_degraded(body, false).map(|(rows, _)| rows)
+    }
+
+    /// [`Scorer::decode_body`] with the degraded-mode fallback chain:
+    /// when `allow_degraded`, named values for features of
+    /// train-time-absent tables are ignored instead of refused, and the
+    /// returned flag reports whether any row was downgraded that way.
+    /// With `allow_degraded = false` this is exactly `decode_body`.
+    pub fn decode_body_degraded(
+        &self,
+        body: &Json,
+        allow_degraded: bool,
+    ) -> Result<(Vec<Vec<u32>>, bool), ScoreError> {
         let rows_is_feature = self.by_name.contains_key("rows");
         let rows: Vec<&Json> = match body {
             Json::Obj(_) if !rows_is_feature => match body.get("rows") {
@@ -422,7 +505,16 @@ impl Scorer {
             Json::Arr(rows) => rows.iter().collect(),
             _ => return Err(ScoreError::NotAnObject),
         };
-        rows.iter().map(|row| self.decode_row(row)).collect()
+        let mut any_degraded = false;
+        let decoded = rows
+            .iter()
+            .map(|row| {
+                let (codes, row_degraded) = self.decode_row_allow(row, allow_degraded)?;
+                any_degraded |= row_degraded;
+                Ok(codes)
+            })
+            .collect::<Result<Vec<Vec<u32>>, ScoreError>>()?;
+        Ok((decoded, any_degraded))
     }
 
     /// Scores already-validated row-major codes (each row produced by
@@ -482,6 +574,62 @@ impl Scorer {
                 .collect(),
         );
         self.predict_body(&body)
+    }
+
+    /// The prior-only surrogate prediction: what the model knows before
+    /// reading any feature. Served (once per row) when the full scoring
+    /// path faulted and the fallback chain is on — deterministic,
+    /// input-independent, never panics.
+    ///
+    /// Per family: class log-priors for NB/TAN, the bias vector for
+    /// logistic regression, the cold-start walk (every split routes to
+    /// its not-equal branch, the path an entity matching nothing takes)
+    /// for CART, and the base score for GBT.
+    pub fn surrogate_prediction(&self) -> Prediction {
+        let scores: Vec<f64> = match &self.artifact.model {
+            ServableModel::NaiveBayes(m) => m.log_prior().to_vec(),
+            ServableModel::Tan(m) => m.log_prior().to_vec(),
+            ServableModel::LogisticRegression(m) => m.bias().to_vec(),
+            ServableModel::Tree(m) => {
+                let mut at = m.root() as usize;
+                let class = loop {
+                    match &m.nodes()[at] {
+                        hamlet_trees::CartNode::Leaf { class } => break *class as usize,
+                        hamlet_trees::CartNode::Split { right, .. } => at = *right as usize,
+                    }
+                };
+                (0..m.n_classes())
+                    .map(|y| if y == class { 1.0 } else { 0.0 })
+                    .collect()
+            }
+            ServableModel::Gbt(m) => {
+                let base = m.base();
+                (0..m.n_classes())
+                    .map(|y| {
+                        let d = base - y as f64;
+                        -(d * d)
+                    })
+                    .collect()
+            }
+        };
+        // Argmax with ties to the lower class — the serving convention.
+        let mut class = 0u32;
+        let mut best = f64::NEG_INFINITY;
+        for (y, &s) in scores.iter().enumerate() {
+            if s > best {
+                best = s;
+                class = y as u32;
+            }
+        }
+        Prediction {
+            class,
+            label: self
+                .artifact
+                .class_labels
+                .as_ref()
+                .and_then(|ls| ls.get(class as usize).cloned()),
+            scores,
+        }
     }
 
     /// Renders the response body `{"predictions": [...]}`.
@@ -550,6 +698,7 @@ mod tests {
                 ror: Some(1.1),
                 avoid: true,
                 foreign_features: vec!["country".into(), "size".into()],
+                degraded: false,
             }],
             model: ServableModel::NaiveBayes(model),
         })
@@ -726,5 +875,68 @@ mod tests {
         let a = s.predict_codes(&[vec![1, 0], vec![0, 9]]).unwrap();
         let b = s.predict_body(&parse(r#"[[1,0],[0,9]]"#)).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// The `scorer()` fixture with its decision marked degraded, as a
+    /// degraded-mode build would produce.
+    fn degraded_scorer() -> Scorer {
+        let mut artifact = scorer().artifact;
+        artifact.decisions[0].degraded = true;
+        Scorer::new(artifact)
+    }
+
+    #[test]
+    fn degraded_feature_is_refused_with_ror_evidence() {
+        let s = degraded_scorer();
+        assert!(s.trained_degraded());
+        let err = s
+            .predict_body(&parse(r#"[{"color":"red","fk":0,"country":"US"}]"#))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScoreError::DegradedFeature {
+                name: "country".into(),
+                table: "R".into(),
+                ror: Some(1.1),
+            }
+        );
+        assert_eq!(err.http_status(), 422);
+        assert_eq!(err.kind(), "degraded_feature");
+        assert!(err.to_string().contains("ROR"), "{err}");
+        assert!(err.to_string().contains("1.1"), "{err}");
+    }
+
+    #[test]
+    fn allow_degraded_ignores_the_feature_and_flags_the_batch() {
+        let s = degraded_scorer();
+        let (rows, degraded) = s
+            .decode_body_degraded(&parse(r#"[{"color":"red","fk":0,"country":"US"}]"#), true)
+            .unwrap();
+        assert!(degraded);
+        // The surviving codes are exactly the schema features.
+        let (clean, clean_degraded) = s
+            .decode_body_degraded(&parse(r#"[{"color":"red","fk":0}]"#), true)
+            .unwrap();
+        assert!(!clean_degraded);
+        assert_eq!(rows, clean);
+        // decode_body (no fallback) still refuses.
+        assert!(s
+            .decode_body(&parse(r#"[{"color":"red","fk":0,"country":"US"}]"#))
+            .is_err());
+        // Unknown features stay unknown even under the fallback.
+        let err = s
+            .decode_body_degraded(&parse(r#"[{"color":"red","fk":0,"bogus":1}]"#), true)
+            .unwrap_err();
+        assert_eq!(err.kind(), "unknown_feature");
+    }
+
+    #[test]
+    fn surrogate_prediction_is_the_class_prior() {
+        let s = scorer();
+        let p = s.surrogate_prediction();
+        // Equal priors tie to the lower class.
+        assert_eq!(p.class, 0);
+        assert_eq!(p.label.as_deref(), Some("no"));
+        assert_eq!(p.scores, vec![(0.5f64).ln(), (0.5f64).ln()]);
     }
 }

@@ -12,7 +12,7 @@
 //!   backpressure).
 //! * **Connection lifecycle.** A worker owns a connection for its whole
 //!   life and answers requests off a per-connection
-//!   [`ConnReader`](crate::conn::ConnReader): keep-alive by default,
+//!   [`crate::conn::ConnReader`]: keep-alive by default,
 //!   pipelining-safe framing, `Connection: close` honored, an optional
 //!   `max_requests_per_conn` cap, and an idle deadline after which a
 //!   silent connection is closed cleanly (distinct from the 408 a
@@ -22,7 +22,7 @@
 //!   scorer and fanned back out ([`crate::batch::MicroBatcher`]),
 //!   bit-for-bit identical to unbatched scoring.
 //! * **Multi-model.** Requests route through a
-//!   [`Registry`](crate::registry::Registry): `/models/<id>/predict`
+//!   [`crate::registry::Registry`]: `/models/<id>/predict`
 //!   per model, legacy routes on the default model, `POST /reload` (or
 //!   SIGHUP via `reload_signal`) for atomic hot-swap with zero dropped
 //!   requests.
@@ -47,15 +47,22 @@ use hamlet_obs::json::{obj, Json};
 use hamlet_obs::{counter_add, histogram_observe, span};
 
 use crate::conn::{ConnReader, IDLE_DEADLINE};
-use crate::http::{write_response, Request, READ_DEADLINE};
+use crate::http::{write_response, write_response_with, Request, READ_DEADLINE};
 use crate::registry::{ModelEntry, Registry};
-use crate::score::Scorer;
+use crate::score::{Prediction, Scorer};
 
 /// Failpoint armed in the accept loop
 /// (`HAMLET_FAILPOINTS=serve.accept=panic` for the join-surfacing
 /// regression test; `=io` drops the accepted connection with a
 /// journaled warning).
 pub const ACCEPT_FAILPOINT: &str = "serve.accept";
+
+/// Failpoint hit at the top of full scoring
+/// (`HAMLET_FAILPOINTS=serve.model_score=panic@3` in the chaos-degrade
+/// scenario). With `--fallback` the fault is absorbed by the surrogate
+/// chain; without it, an injected panic keeps the legacy
+/// connection-drop semantics.
+pub const MODEL_SCORE_FAILPOINT: &str = "serve.model_score";
 
 /// Total wall-clock budget for draining request bytes before a 503
 /// refusal is written (so the client can read it instead of an RST).
@@ -95,6 +102,13 @@ pub struct ServerConfig {
     /// Micro-batch collection window for concurrent single-row predicts
     /// (zero disables coalescing). See [`resolve_batch_window`].
     pub batch_window: Duration,
+    /// Enables the serving fallback chain (`serve --fallback`): rows
+    /// naming degraded-build features are scored with those features
+    /// ignored instead of refused, and a scoring fault answers from the
+    /// prior-only surrogate (2xx with the degraded marker) instead of
+    /// dropping the connection. Off by default: a non-degraded server
+    /// answers bit-for-bit as before.
+    pub fallback: bool,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +122,7 @@ impl Default for ServerConfig {
             max_requests_per_conn: 0,
             idle_timeout: IDLE_DEADLINE,
             batch_window: Duration::ZERO,
+            fallback: false,
         }
     }
 }
@@ -178,6 +193,7 @@ struct Inner {
     reloads: AtomicU64,
     max_requests_per_conn: usize,
     idle_timeout: Duration,
+    fallback: bool,
 }
 
 /// Lock helper: a poisoned queue mutex only means another worker
@@ -276,6 +292,7 @@ pub fn start_with_registry(
         reloads: AtomicU64::new(0),
         max_requests_per_conn: config.max_requests_per_conn,
         idle_timeout: config.idle_timeout,
+        fallback: config.fallback,
     });
     let stop = Arc::new(AtomicBool::new(false));
     let threads = config.threads.max(1);
@@ -466,7 +483,9 @@ fn apply_reload(inner: &Inner) -> Result<crate::registry::ReloadReport, String> 
         Err(e) => {
             counter_add!("hamlet_serve_reload_failures_total", 1);
             let msg = e.to_string();
-            hamlet_obs::record_warning(format!("registry reload failed, keeping old models: {msg}"));
+            hamlet_obs::record_warning(format!(
+                "registry reload failed, keeping old models: {msg}"
+            ));
             Err(msg)
         }
     }
@@ -531,11 +550,13 @@ fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
                 served += 1;
                 let cap_reached =
                     inner.max_requests_per_conn != 0 && served >= inner.max_requests_per_conn;
-                let close =
-                    req.close || cap_reached || inner.draining.load(Ordering::SeqCst);
+                let close = req.close || cap_reached || inner.draining.load(Ordering::SeqCst);
                 let status = {
-                    let _span =
-                        span!("serve.request", path = req.path.clone(), method = req.method.clone());
+                    let _span = span!(
+                        "serve.request",
+                        path = req.path.clone(),
+                        method = req.method.clone()
+                    );
                     route(inner, stream, &req, !close)
                 };
                 finish_request(inner, status, started);
@@ -615,9 +636,89 @@ fn health_body(entry: &ModelEntry) -> String {
     .to_string()
 }
 
+/// Renders the `{"predictions": [...]}` body, appending the
+/// `"degraded": true` member only on degraded answers so non-degraded
+/// responses stay byte-identical to the pre-fallback format.
+fn render_predictions_marked(preds: &[Prediction], degraded: bool) -> String {
+    let mut rendered = Scorer::render_predictions(preds);
+    if degraded {
+        if let Json::Obj(members) = &mut rendered {
+            members.push(("degraded".into(), Json::Bool(true)));
+        }
+    }
+    rendered.to_string()
+}
+
+/// Why one full-scoring attempt did not produce predictions.
+enum ScoreFault {
+    /// The `serve.model_score` failpoint (or a future IO-backed scorer)
+    /// failed before scoring ran.
+    Io(String),
+    /// Scoring itself panicked; the payload is kept so the no-fallback
+    /// path can resume the unwind with legacy semantics.
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+impl ScoreFault {
+    fn text(&self) -> String {
+        match self {
+            ScoreFault::Io(m) => m.clone(),
+            ScoreFault::Panic(payload) => format!("panic: {}", panic_text(payload.as_ref())),
+        }
+    }
+}
+
+/// One attempt at full scoring: the `serve.model_score` failpoint, then
+/// the (possibly micro-batched) scorer under `catch_unwind` so a
+/// scoring panic is a recordable fault, not a torn connection.
+fn score_full(entry: &ModelEntry, mut rows: Vec<Vec<u32>>) -> Result<Vec<Prediction>, ScoreFault> {
+    // The failpoint lives *inside* the unwind guard so its panic mode
+    // exercises the same recovery path as a real scoring panic.
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<Vec<Prediction>, String> {
+            hamlet_chaos::fail_at!(MODEL_SCORE_FAILPOINT).map_err(|e| e.to_string())?;
+            Ok(if rows.len() == 1 && !entry.batcher.window().is_zero() {
+                counter_add!("hamlet_serve_batched_rows_total", 1);
+                let row = rows.pop().unwrap_or_default();
+                vec![entry.batcher.predict_one(&entry.scorer, row)]
+            } else {
+                entry.scorer.predict_coded_rows(&rows)
+            })
+        },
+    ));
+    match attempt {
+        Ok(Ok(preds)) => Ok(preds),
+        Ok(Err(message)) => Err(ScoreFault::Io(message)),
+        Err(payload) => Err(ScoreFault::Panic(payload)),
+    }
+}
+
+/// The degraded terminal of the fallback chain: every row answered from
+/// the prior-only surrogate, marked degraded.
+fn surrogate_response(entry: &ModelEntry, n_rows: usize) -> (u16, &'static str, String, bool) {
+    counter_add!("hamlet_serve_degraded_total", 1);
+    let preds = vec![entry.scorer.surrogate_prediction(); n_rows];
+    (200, "OK", render_predictions_marked(&preds, true), true)
+}
+
 /// Scores one `/predict` body against an entry, micro-batching lone
 /// rows when a window is configured.
-fn predict_body_for(entry: &ModelEntry, req: &Request) -> (u16, &'static str, String) {
+///
+/// With `fallback` the answer walks the chain *full → surrogate*:
+/// degraded-build features in named rows are ignored (not refused), an
+/// open circuit breaker answers from the surrogate immediately, and a
+/// scoring fault records into the breaker and falls back. Without
+/// `fallback`, degraded features are refused with evidence (422) and a
+/// scoring panic resumes its unwind — the pre-fallback behavior,
+/// bit-for-bit.
+///
+/// The returned bool marks a degraded answer (`"degraded": true` body
+/// member + `X-Hamlet-Degraded` header at the write site).
+fn predict_body_for(
+    entry: &ModelEntry,
+    req: &Request,
+    fallback: bool,
+) -> (u16, &'static str, String, bool) {
     let doc = match Json::parse(&String::from_utf8_lossy(&req.body)) {
         Ok(doc) => doc,
         Err(e) => {
@@ -625,10 +726,11 @@ fn predict_body_for(entry: &ModelEntry, req: &Request) -> (u16, &'static str, St
                 400,
                 "Bad Request",
                 error_body("bad_json", format!("request body: {e}")),
+                false,
             )
         }
     };
-    match entry.scorer.decode_body(&doc) {
+    match entry.scorer.decode_body_degraded(&doc, fallback) {
         Err(e) => {
             let status = e.http_status();
             let reason = if status == 400 {
@@ -636,17 +738,60 @@ fn predict_body_for(entry: &ModelEntry, req: &Request) -> (u16, &'static str, St
             } else {
                 "Unprocessable Entity"
             };
-            (status, reason, e.to_json().to_string())
+            (status, reason, e.to_json().to_string(), false)
         }
-        Ok(mut rows) => {
-            let preds = if rows.len() == 1 && !entry.batcher.window().is_zero() {
-                counter_add!("hamlet_serve_batched_rows_total", 1);
-                let row = rows.pop().unwrap_or_default();
-                vec![entry.batcher.predict_one(&entry.scorer, row)]
-            } else {
-                entry.scorer.predict_coded_rows(&rows)
-            };
-            (200, "OK", Scorer::render_predictions(&preds).to_string())
+        Ok((rows, rows_degraded)) => {
+            let n_rows = rows.len();
+            if !entry.breaker.admit_full() {
+                // Open breaker, not a probe turn: straight to the
+                // surrogate without touching the faulting score path.
+                return surrogate_response(entry, n_rows);
+            }
+            match score_full(entry, rows) {
+                Ok(preds) => {
+                    entry.breaker.record_success();
+                    if rows_degraded {
+                        counter_add!("hamlet_serve_degraded_total", 1);
+                    }
+                    (
+                        200,
+                        "OK",
+                        render_predictions_marked(&preds, rows_degraded),
+                        rows_degraded,
+                    )
+                }
+                Err(fault) => {
+                    counter_add!("hamlet_serve_score_faults_total", 1);
+                    if entry.breaker.record_fault() {
+                        hamlet_obs::record_warning(format!(
+                            "circuit breaker opened for model '{}': repeated scoring \
+                             faults (latest: {})",
+                            entry.id,
+                            fault.text()
+                        ));
+                    }
+                    if fallback {
+                        hamlet_obs::record_warning(format!(
+                            "scoring fault on model '{}' absorbed by the surrogate \
+                             fallback: {}",
+                            entry.id,
+                            fault.text()
+                        ));
+                        return surrogate_response(entry, n_rows);
+                    }
+                    match fault {
+                        // Legacy semantics without --fallback: the panic
+                        // travels to the worker's connection guard.
+                        ScoreFault::Panic(payload) => std::panic::resume_unwind(payload),
+                        ScoreFault::Io(m) => (
+                            500,
+                            "Internal Server Error",
+                            error_body("scoring_fault", m),
+                            false,
+                        ),
+                    }
+                }
+            }
         }
     }
 }
@@ -669,6 +814,7 @@ fn model_route(path: &str) -> Option<(&str, &str)> {
 fn route(inner: &Inner, stream: &mut TcpStream, req: &Request, keep_open: bool) -> u16 {
     let method = req.method.as_str();
     let path = req.path.as_str();
+    let mut degraded = false;
 
     // Per-model routes: /models, /models/<id>, /models/<id>/<endpoint>.
     let resolved: Option<(u16, &'static str, &'static str, String)> = if path == "/models" {
@@ -717,7 +863,8 @@ fn route(inner: &Inner, stream: &mut TcpStream, req: &Request, keep_open: bool) 
             )),
             Some(entry) => match (method, tail) {
                 ("POST", "predict") => {
-                    let (status, reason, body) = predict_body_for(&entry, req);
+                    let (status, reason, body, deg) = predict_body_for(&entry, req, inner.fallback);
+                    degraded = deg;
                     Some((status, reason, "application/json", body))
                 }
                 ("GET", "healthz") | ("GET", "") => {
@@ -760,7 +907,8 @@ fn route(inner: &Inner, stream: &mut TcpStream, req: &Request, keep_open: bool) 
         ),
         ("POST", "/predict") => match inner.registry.default_entry() {
             Some(entry) => {
-                let (status, reason, body) = predict_body_for(&entry, req);
+                let (status, reason, body, deg) = predict_body_for(&entry, req, inner.fallback);
+                degraded = deg;
                 (status, reason, "application/json", body)
             }
             None => (
@@ -811,7 +959,20 @@ fn route(inner: &Inner, stream: &mut TcpStream, req: &Request, keep_open: bool) 
             ),
         ),
     });
-    if let Err(e) = write_response(stream, status, reason, content_type, &body, keep_open) {
+    let extra_headers: &[(&str, &str)] = if degraded {
+        &[("X-Hamlet-Degraded", "true")]
+    } else {
+        &[]
+    };
+    if let Err(e) = write_response_with(
+        stream,
+        status,
+        reason,
+        content_type,
+        &body,
+        keep_open,
+        extra_headers,
+    ) {
         // The response could not be delivered (peer gone, or the
         // serve.response_write failpoint fired). The request itself was
         // handled; record the delivery failure without tearing down the
@@ -891,6 +1052,7 @@ mod tests {
                 ror: Some(1.1),
                 avoid: true,
                 foreign_features: vec!["country".into()],
+                degraded: false,
             }],
             model: ServableModel::NaiveBayes(model),
         }
@@ -1167,9 +1329,7 @@ mod tests {
         let plain = start_test_server(2, 32);
         let (bp, pp) = (batched.port(), plain.port());
 
-        let bodies: Vec<String> = (0..8)
-            .map(|i| format!("[[{},{}]]", i % 2, i % 3))
-            .collect();
+        let bodies: Vec<String> = (0..8).map(|i| format!("[[{},{}]]", i % 2, i % 3)).collect();
         // Fire the batched requests concurrently so the window coalesces
         // them, then compare each against the unbatched server.
         let handles: Vec<_> = bodies
@@ -1424,6 +1584,143 @@ mod tests {
         h.stop();
         let stats = h.join().unwrap();
         assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn scoring_fault_with_fallback_serves_the_surrogate_marked_degraded() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let h = start(
+            scorer(),
+            ServerConfig {
+                fallback: true,
+                ..test_config(1, 8)
+            },
+        )
+        .unwrap();
+        let port = h.port();
+
+        // Fault the first scoring attempt only: 2xx from the surrogate,
+        // marked degraded in both the body and the response head.
+        hamlet_chaos::failpoint::set_failpoints("serve.model_score=io@1").unwrap();
+        let resp = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("X-Hamlet-Degraded: true"), "{resp}");
+        assert!(resp.contains("\"degraded\":true"), "{resp}");
+        // The surrogate is the class prior — uniform here, so class 0.
+        assert!(resp.contains("\"class\":0"), "{resp}");
+
+        // With the fault cleared, full scoring resumes unmarked.
+        let ok = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(!ok.contains("X-Hamlet-Degraded"), "{ok}");
+        assert!(!ok.contains("degraded"), "{ok}");
+        assert!(ok.contains("\"label\":\"yes\""), "{ok}");
+
+        h.stop();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn scoring_panic_with_fallback_answers_2xx_and_trips_the_breaker() {
+        let _g = hamlet_chaos::failpoint::serial();
+        std::env::set_var("HAMLET_BREAKER_THRESHOLD", "2");
+        std::env::set_var("HAMLET_BREAKER_PROBE", "1");
+        let h = start(
+            scorer(),
+            ServerConfig {
+                fallback: true,
+                ..test_config(1, 8)
+            },
+        )
+        .unwrap();
+        std::env::remove_var("HAMLET_BREAKER_THRESHOLD");
+        std::env::remove_var("HAMLET_BREAKER_PROBE");
+        let port = h.port();
+
+        // Two consecutive panicking scores: both absorbed as 2xx
+        // surrogate answers, and the second trips the breaker.
+        hamlet_chaos::failpoint::set_failpoints("serve.model_score=panic").unwrap();
+        for _ in 0..2 {
+            let resp = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            assert!(resp.contains("\"degraded\":true"), "{resp}");
+        }
+        hamlet_chaos::failpoint::clear_failpoints();
+
+        // Breaker open with probe cadence 1: the next request probes,
+        // scores cleanly, and closes the breaker — full scoring is back.
+        let probe = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(probe.starts_with("HTTP/1.1 200"), "{probe}");
+        let after = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(after.starts_with("HTTP/1.1 200"), "{after}");
+        assert!(!after.contains("degraded"), "{after}");
+        assert!(after.contains("\"label\":\"yes\""), "{after}");
+
+        h.stop();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn scoring_panic_without_fallback_keeps_legacy_connection_drop() {
+        let _g = hamlet_chaos::failpoint::serial();
+        let h = start_test_server(1, 8);
+        let port = h.port();
+        hamlet_chaos::failpoint::set_failpoints("serve.model_score=panic@1").unwrap();
+        // Legacy semantics: the panic reaches the worker's connection
+        // guard, so the client sees a dropped connection, not a 2xx.
+        let dropped = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        hamlet_chaos::failpoint::clear_failpoints();
+        assert!(dropped.is_empty(), "unexpected bytes: {dropped}");
+        // The worker survives and serves the next request normally.
+        let ok = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(!ok.contains("degraded"), "{ok}");
+        h.stop();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_reload_keeps_the_old_generation_serving() {
+        let dir = std::env::temp_dir().join(format!("hamlet_srv_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.model");
+        crate::artifact::save(&artifact_with_labels("yes", "no"), &path).unwrap();
+        let registry = Arc::new(
+            crate::registry::Registry::from_sources(
+                &[("default".into(), path.clone())],
+                Duration::ZERO,
+            )
+            .unwrap(),
+        );
+        let h = start_with_registry(Arc::clone(&registry), test_config(1, 8)).unwrap();
+        let port = h.port();
+        let before = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(before.starts_with("HTTP/1.1 200"), "{before}");
+
+        // Bit-flip the artifact on disk, then hot-reload over HTTP: the
+        // reload must fail typed and the old generation keep serving.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let reload = post(port, "/reload", "");
+        assert!(reload.starts_with("HTTP/1.1 500"), "{reload}");
+        assert!(reload.contains("reload_failed"), "{reload}");
+
+        let list = get(port, "/models");
+        assert!(list.contains("\"registry_generation\":1"), "{list}");
+        let after = post(port, "/predict", r#"[{"color":"blue","fk":1}]"#);
+        assert!(after.starts_with("HTTP/1.1 200"), "{after}");
+        assert_eq!(
+            before.lines().last(),
+            after.lines().last(),
+            "old generation must answer identically after the failed reload"
+        );
+
+        h.stop();
+        h.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,9 +41,11 @@ use hamlet_obs::RunJournal;
 use hamlet_relational::decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 use hamlet_relational::{
     lint_star, profile_star, read_csv, ColumnSpec, DirtyPolicy, FkPolicy, LintConfig, LoadPolicy,
-    Manifest, StarLoad, StarSchema,
+    Manifest, StarLoad, StarSchema, TablePolicy,
 };
-use hamlet_serve::{artifact, build_artifact, ModelKind, Scorer, ServerConfig};
+use hamlet_serve::{
+    artifact, build_artifact, build_artifact_with_availability, ModelKind, Scorer, ServerConfig,
+};
 use hamlet_trees::{fit_factorized_gbt, fit_factorized_tree, CartTree, Gbt};
 
 /// CLI error: a user-facing message (exit code 2 in the binary).
@@ -67,14 +69,15 @@ USAGE:
   hamlet train --dataset <name> [--scale S] [--model nb|logreg|tree|gbt] [--strategy factorize|materialize]
   hamlet profile --dataset <name> [--scale S]
   hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
-  hamlet advise-files <schema.manifest> [--family F] [--relaxed] [--on-dirty P] [--on-dangling-fk P]
+  hamlet advise-files <schema.manifest> [--family F] [--relaxed] [--on-dirty P] [--on-dangling-fk P] [--allow-degraded]
   hamlet simulate [--scenario lone|all|entity-fk] [--n-s N] [--n-r N]
                   [--train-sets T] [--repeats R] [--seed S] [--resume] [--out FILE]
   hamlet retune [--family F] [--n-s N] [--train-sets T] [--repeats R] [--seed S]
-  hamlet save-model --dataset <name> --out FILE [--scale S] [--model nb|logreg|tan|tree|gbt] [--relaxed]
+  hamlet save-model (--dataset <name> [--scale S] | --manifest FILE [--allow-degraded])
+                    --out FILE [--model nb|logreg|tan|tree|gbt] [--relaxed]
   hamlet predict --model FILE --in FILE [--out FILE]
   hamlet serve --model FILE [--model ID=FILE]... [--port N] [--threads N] [--queue N]
-               [--max-requests-per-conn N] [--idle-ms MS] [--batch-window-us US]
+               [--max-requests-per-conn N] [--idle-ms MS] [--batch-window-us US] [--fallback]
   hamlet reload [--port N]
   hamlet datasets
   hamlet help
@@ -105,12 +108,28 @@ Model families (--family, --model):
   prints the per-family evidence grid. GBT training reads
   HAMLET_GBT_ROUNDS (default 20) for the boosting-round count.
 
-Dirty-data policies (advise-files):
+Dirty-data policies (advise-files, save-model --manifest):
   --on-dirty abort|quarantine[:N]   bad CSV rows: fail fast (default) or set
                                     aside up to N rows per table
   --on-dangling-fk abort|drop|others  entity rows whose FK matches no row:
                                     fail fast (default), drop them, or map
                                     them to an injected Others record
+  --allow-degraded                  a declared-but-unreadable attribute table
+                                    becomes an FK-only surrogate (cold-start
+                                    Others semantics) instead of aborting; the
+                                    worst-case ROR bound is journaled and the
+                                    artifact decision is marked degraded
+
+Degraded-mode serving:
+  serve --fallback answers scoring faults (and requests against degraded
+  artifacts) from the model's prior-only surrogate instead of 5xx: responses
+  carry an X-Hamlet-Degraded: true header and a \"degraded\":true field, and
+  hamlet_serve_degraded_total counts them. A per-model circuit breaker trips
+  after HAMLET_BREAKER_THRESHOLD consecutive faults (default 5) and probes
+  full scoring every HAMLET_BREAKER_PROBE-th request (default 8) until one
+  succeeds. Artifact loads retry transient IO errors with exponential backoff
+  (HAMLET_RETRY_ATTEMPTS / HAMLET_RETRY_BASE_MS / HAMLET_RETRY_MAX_MS).
+  Without --fallback a scoring fault keeps the legacy fail-fast behavior.
 
 Checkpointing (simulate):
   --resume   persist each completed (repeat, train-set) cell atomically under
@@ -190,8 +209,10 @@ fn dataset_arg(args: &[String]) -> Result<(DatasetSpec, f64), CliError> {
 }
 
 /// Parses the degradation-policy flags shared by file-loading
-/// subcommands: `--on-dirty abort|quarantine[:N]` and
-/// `--on-dangling-fk abort|drop|others`. Both default to strict abort.
+/// subcommands: `--on-dirty abort|quarantine[:N]`,
+/// `--on-dangling-fk abort|drop|others`, and `--allow-degraded`
+/// (tolerate unreadable attribute tables via FK-only surrogates).
+/// Everything defaults to strict abort.
 fn load_policy_args(args: &[String]) -> Result<LoadPolicy, CliError> {
     let on_dirty = match parse_flag(args, "--on-dirty")? {
         None => DirtyPolicy::Abort,
@@ -209,9 +230,15 @@ fn load_policy_args(args: &[String]) -> Result<LoadPolicy, CliError> {
             ))
         })?,
     };
+    let on_missing_table = if args.iter().any(|a| a == "--allow-degraded") {
+        TablePolicy::AllowDegraded
+    } else {
+        TablePolicy::Require
+    };
     Ok(LoadPolicy {
         on_dirty,
         on_dangling_fk,
+        on_missing_table,
     })
 }
 
@@ -677,8 +704,13 @@ fn retune_cmd(rest: &[String]) -> Result<String, CliError> {
 }
 
 /// The `save-model` pipeline: advise, fit, and write the artifact.
+///
+/// The star comes from either a built-in dataset (`--dataset`, possibly
+/// scaled) or a CSV manifest (`--manifest`, with the same dirty-data
+/// policy flags as `advise-files`; `--allow-degraded` tolerates
+/// unreadable attribute tables via FK-only surrogates and marks the
+/// affected decisions `degraded` in the artifact).
 fn save_model_cmd(rest: &[String]) -> Result<String, CliError> {
-    let (spec, scale) = dataset_arg(rest)?;
     let model = parse_flag(rest, "--model")?.unwrap_or("nb");
     let kind = ModelKind::from_name(model).ok_or_else(|| {
         CliError(format!(
@@ -689,18 +721,65 @@ fn save_model_cmd(rest: &[String]) -> Result<String, CliError> {
     let out_path =
         parse_flag(rest, "--out")?.ok_or_else(|| CliError("missing --out <file>".into()))?;
     let config = advisor_config(rest.iter().any(|a| a == "--relaxed"), kind.family());
-    let g = spec.generate(scale, 20_160_626);
-    let built =
-        build_artifact(&g.star, kind, &config, spec.name).map_err(|e| CliError(e.to_string()))?;
+    let (built, headline) = match parse_flag(rest, "--manifest")? {
+        Some(file) => {
+            if parse_flag(rest, "--dataset")?.is_some() {
+                return Err(CliError(
+                    "--manifest and --dataset are mutually exclusive".into(),
+                ));
+            }
+            let policy = load_policy_args(rest)?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let manifest = Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
+            let base = std::path::Path::new(file)
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("."));
+            let load = manifest
+                .load_policy(base, &policy)
+                .map_err(|e| CliError(e.to_string()))?;
+            let name = std::path::Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("manifest")
+                .to_string();
+            let built = build_artifact_with_availability(
+                &load.star,
+                kind,
+                &config,
+                &name,
+                &load.substitutions,
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            let mut headline = format!("{name} (from {file}), model {model}");
+            if !load.substitutions.is_empty() {
+                let _ = write!(
+                    headline,
+                    "\n{} table(s) replaced by FK-only surrogates (degraded build)",
+                    load.substitutions.len()
+                );
+            }
+            (built, headline)
+        }
+        None => {
+            let (spec, scale) = dataset_arg(rest)?;
+            let g = spec.generate(scale, 20_160_626);
+            let built = build_artifact(&g.star, kind, &config, spec.name)
+                .map_err(|e| CliError(e.to_string()))?;
+            (
+                built,
+                format!("{} (scale {scale}), model {model}", spec.name),
+            )
+        }
+    };
     artifact::save(&built.artifact, std::path::Path::new(out_path))
         .map_err(|e| CliError(e.to_string()))?;
     let avoided = built.artifact.decisions.iter().filter(|d| d.avoid).count();
     Ok(format!(
-        "{} (scale {scale}), model {model}\n\
+        "{headline}\n\
          trained on {} rows, holdout error {:.4}\n\
          {} of {} joins avoided; {} input features\n\
          wrote {out_path}\n",
-        spec.name,
         built.n_train,
         built.holdout_error,
         avoided,
@@ -747,7 +826,9 @@ fn predict_cmd(rest: &[String]) -> Result<String, CliError> {
 fn parse_model_sources(rest: &[String]) -> Result<Vec<(String, std::path::PathBuf)>, CliError> {
     let entries = parse_multi(rest, "--model");
     if entries.is_empty() {
-        return Err(CliError("missing --model <file> (or --model ID=FILE)".into()));
+        return Err(CliError(
+            "missing --model <file> (or --model ID=FILE)".into(),
+        ));
     }
     let mut sources: Vec<(String, std::path::PathBuf)> = Vec::with_capacity(entries.len());
     let mut bare_seen = false;
@@ -804,6 +885,7 @@ fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
         })
         .transpose()?;
     let batch_window = hamlet_serve::resolve_batch_window(window_flag);
+    let fallback = rest.iter().any(|a| a == "--fallback");
 
     let registry = std::sync::Arc::new(
         hamlet_serve::Registry::from_sources(&sources, batch_window)
@@ -832,6 +914,7 @@ fn serve_cmd(rest: &[String]) -> Result<String, CliError> {
             max_requests_per_conn,
             idle_timeout: std::time::Duration::from_millis(idle_ms),
             batch_window,
+            fallback,
         },
     )
     .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
@@ -1791,9 +1874,96 @@ mod serving_cli_tests {
         for cmd in ["save-model", "predict", "serve", "reload"] {
             assert!(usage.contains(cmd), "usage is missing {cmd}");
         }
-        for flag in ["--max-requests-per-conn", "--batch-window-us", "--idle-ms"] {
+        for flag in [
+            "--max-requests-per-conn",
+            "--batch-window-us",
+            "--idle-ms",
+            "--fallback",
+            "--allow-degraded",
+            "--manifest",
+        ] {
             assert!(usage.contains(flag), "usage is missing {flag}");
         }
+    }
+
+    #[test]
+    fn save_model_from_a_manifest_tolerates_a_missing_table_when_allowed() {
+        use std::fmt::Write;
+        let dir = std::env::temp_dir().join("hamlet_cli_save_manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut customers = String::from("Churn,Age,EmployerID\n");
+        for i in 0..3000 {
+            let e = i % 30;
+            let _ = writeln!(customers, "{},{},e{}", (e + i / 30) % 2, 20 + i % 40, e);
+        }
+        let mut employers = String::from("EmployerID,Country\n");
+        for e in 0..30 {
+            let _ = writeln!(employers, "e{},c{}", e, e % 8);
+        }
+        std::fs::write(dir.join("customers.csv"), customers).unwrap();
+        std::fs::write(dir.join("employers.csv"), employers).unwrap();
+        let manifest = "\
+entity customers.csv
+target Churn
+numeric Age 8
+fk EmployerID employers.csv closed
+
+table employers.csv
+key EmployerID
+feature Country
+";
+        let mpath = dir.join("churn.manifest");
+        std::fs::write(&mpath, manifest).unwrap();
+        let model = dir.join("model.json");
+
+        // Clean corpus: a normal (non-degraded) manifest build.
+        let out = run(&argv(&format!(
+            "save-model --manifest {} --out {}",
+            mpath.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("churn (from "), "{out}");
+        assert!(!out.contains("FK-only surrogates"), "{out}");
+        let a = hamlet_serve::artifact::load(&model).unwrap();
+        assert_eq!(a.dataset, "churn");
+        assert!(a.decisions.iter().all(|d| !d.degraded));
+
+        // Withhold the attribute table: the strict default aborts...
+        std::fs::remove_file(dir.join("employers.csv")).unwrap();
+        let err = run(&argv(&format!(
+            "save-model --manifest {} --out {}",
+            mpath.display(),
+            model.display()
+        )))
+        .unwrap_err();
+        assert!(err.0.contains("employers"), "{}", err.0);
+
+        // ...and --allow-degraded ships an FK-only surrogate artifact
+        // whose decision is marked degraded.
+        let out = run(&argv(&format!(
+            "save-model --manifest {} --allow-degraded --out {}",
+            mpath.display(),
+            model.display()
+        )))
+        .unwrap();
+        assert!(out.contains("FK-only surrogates"), "{out}");
+        let a = hamlet_serve::artifact::load(&model).unwrap();
+        assert!(
+            a.decisions.iter().any(|d| d.degraded),
+            "degraded decision recorded in the artifact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_model_rejects_manifest_plus_dataset() {
+        let err = run(&argv(
+            "save-model --manifest /tmp/x --dataset walmart --out /tmp/y",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{}", err.0);
     }
 
     #[test]

@@ -117,6 +117,7 @@ proptest! {
         let policy = LoadPolicy {
             on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 1000 },
             on_dangling_fk: FkPolicy::DropRow,
+            ..LoadPolicy::default()
         };
         match load_with(&dir, &policy) {
             Ok(load) => {
@@ -186,6 +187,7 @@ fn quarantine_budget_overflow_names_the_last_row() {
     let policy = LoadPolicy {
         on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 0 },
         on_dangling_fk: FkPolicy::Abort,
+        ..LoadPolicy::default()
     };
     let err = load_with(&dir, &policy).unwrap_err();
     match &err {

@@ -150,6 +150,7 @@ fn serve_crate_has_no_aborting_calls() {
         "crates/serve/src/http.rs",
         "crates/serve/src/conn.rs",
         "crates/serve/src/batch.rs",
+        "crates/serve/src/degrade.rs",
         "crates/serve/src/registry.rs",
         "crates/serve/src/server.rs",
     ] {
@@ -173,6 +174,23 @@ fn trees_crate_has_no_aborting_calls() {
         let src = read(rel);
         assert_no_aborts(rel, non_test(&src));
     }
+}
+
+#[test]
+fn availability_layer_has_no_aborting_calls() {
+    // An absent or unreadable attribute table must degrade into an
+    // FK-only surrogate (or a typed error under the strict policy),
+    // never a panic — the whole point of degraded-mode analytics.
+    let src = read("crates/relational/src/availability.rs");
+    assert_no_aborts("crates/relational/src/availability.rs", non_test(&src));
+}
+
+#[test]
+fn retry_policy_has_no_aborting_calls() {
+    // Exhausted retries surface the last typed error; the backoff loop
+    // itself must never abort.
+    let src = read("crates/obs/src/retry.rs");
+    assert_no_aborts("crates/obs/src/retry.rs", non_test(&src));
 }
 
 #[test]

@@ -212,6 +212,7 @@ proptest! {
         let policy = LoadPolicy {
             on_dirty: DirtyPolicy::Quarantine { max_bad_rows: 1000 },
             on_dangling_fk: FkPolicy::DropRow,
+            ..LoadPolicy::default()
         };
         if let Ok(load) = manifest.load_policy(&dir, &policy) {
             if let Ok(wide) = load.star.materialize_all() {
