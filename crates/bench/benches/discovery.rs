@@ -1,0 +1,137 @@
+//! Schema-discovery throughput: mining the bench-scale Walmart corpus
+//! (raw CSVs, no manifest) end to end — sketches, FK-edge proposal,
+//! factorized FD verification, manifest synthesis. The headline claim is
+//! the subsystem's join-avoidance discipline: mining cost scales with
+//! per-table bytes, never with the joined width, so discovery stays
+//! cheap exactly where materialized profiling would blow up.
+//!
+//! A release run also emits `BENCH_discovery.json` at the repo root
+//! with the end-to-end wall-clock and a parity gate (the advisor verdict
+//! over the discovered star must equal the declared-metadata verdict —
+//! the bench aborts rather than record numbers for a wrong answer).
+//! `HAMLET_BENCH_QUICK=1` drops repetitions; emission is skipped under
+//! `--test` (the shim runs bodies once, timings would be nonsense).
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_bench::walmart;
+use hamlet_core::advisor::{advise, AdvisorConfig};
+use hamlet_discovery::{discover_corpus, DiscoveryConfig};
+use hamlet_experiments::discovery::corpus_of;
+use hamlet_obs::atomic_write;
+
+fn config() -> DiscoveryConfig {
+    DiscoveryConfig {
+        target: Some("SalesLevel".to_string()),
+        ..DiscoveryConfig::default()
+    }
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let g = walmart();
+    let corpus = corpus_of(&g.star);
+    let cfg = config();
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    group.bench_function("walmart_end_to_end", |b| {
+        b.iter(|| {
+            let d = discover_corpus(black_box(&corpus), &cfg).unwrap();
+            black_box(d)
+        })
+    });
+    group.finish();
+}
+
+/// Median-of-runs wall-clock of `f`, in seconds.
+fn time_secs<T, F: FnMut() -> T>(mut f: F, reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Advisor verdicts keyed by FK column (table names change case across
+/// the CSV round-trip; FK names do not).
+fn verdicts(star: &hamlet_relational::StarSchema) -> Vec<(String, bool)> {
+    let report = advise(star, star.n_s() / 2, &AdvisorConfig::default()).unwrap();
+    let mut rows: Vec<(String, bool)> = report
+        .joins
+        .iter()
+        .map(|j| (j.fk.clone(), j.avoid))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Emit BENCH_discovery.json at the repo root (hand-rolled JSON,
+/// matching the other BENCH_*.json emitters).
+fn emit_summary() {
+    let quick = std::env::var("HAMLET_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let reps = if quick { 3 } else { 7 };
+    let g = walmart();
+    let corpus = corpus_of(&g.star);
+    let cfg = config();
+
+    // Parity gate: never record numbers for a wrong answer.
+    let d = discover_corpus(&corpus, &cfg).unwrap();
+    assert_eq!(
+        d.report.accepted_fks().count(),
+        g.star.k(),
+        "discovery bench: edge recall broke"
+    );
+    let discovered_star = d
+        .manifest
+        .load_with(Path::new(""), |p| {
+            corpus
+                .get(&p.to_string_lossy().into_owned())
+                .cloned()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+        })
+        .unwrap();
+    assert_eq!(
+        verdicts(&g.star),
+        verdicts(&discovered_star),
+        "discovery bench: advisor parity broke"
+    );
+
+    let corpus_bytes: usize = corpus.values().map(String::len).sum();
+    let end_to_end_s = time_secs(|| discover_corpus(&corpus, &cfg).unwrap(), reps);
+    let doc = format!(
+        "{{\n\"bench\": \"discovery\",\n\"dataset\": \"Walmart (bench scale)\",\n\
+         \"model_family\": \"naive_bayes\",\n\
+         \"tables\": {},\n\"corpus_bytes\": {corpus_bytes},\n\
+         \"entity_rows\": {},\n\
+         \"results\": [\n  {{\"stage\": \"end_to_end\", \"median_s\": {end_to_end_s:.4}, \
+         \"mb_per_s\": {:.1}, \"edges_recovered\": {}, \"fds_verified\": {}, \
+         \"advisor_parity\": \"exact\"}}\n]\n}}\n",
+        corpus.len(),
+        g.star.n_s(),
+        corpus_bytes as f64 / 1e6 / end_to_end_s,
+        d.report.accepted_fks().count(),
+        d.report.accepted_fds().count(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_discovery.json");
+    if let Err(e) = atomic_write(Path::new(path), doc.as_bytes()) {
+        eprintln!("BENCH_discovery.json not written: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+fn bench_discovery_and_emit(c: &mut Criterion) {
+    bench_discovery(c);
+    if !std::env::args().any(|a| a == "--test") {
+        emit_summary();
+    }
+}
+
+criterion_group!(benches, bench_discovery_and_emit);
+criterion_main!(benches);

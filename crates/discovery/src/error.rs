@@ -1,0 +1,87 @@
+//! Typed errors for schema discovery.
+
+use std::fmt;
+
+use hamlet_obs::EnvError;
+use hamlet_relational::RelationalError;
+
+/// An error raised while mining a corpus. Every failure mode is typed:
+/// chaos-corrupted corpora must surface as one of these (or as
+/// tolerance-journaled evidence), never as a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryError {
+    /// The corpus holds no CSV files.
+    EmptyCorpus {
+        /// Directory (or logical source) that was scanned.
+        source: String,
+    },
+    /// A corpus file could not be read.
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+    /// A relational-layer failure (CSV parse, schema validation, dirty
+    /// budget, manifest synthesis).
+    Relational(RelationalError),
+    /// An invalid discovery knob (`HAMLET_FD_MAX_VIOLATIONS`, ...).
+    Env(EnvError),
+    /// The corpus has several tables but no star shape could be mined.
+    NoStar {
+        /// Why no entity table could be chosen.
+        reason: String,
+    },
+    /// No usable target column (bad `--target`, or no candidate).
+    Target {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCorpus { source } => {
+                write!(f, "discovery: no CSV files found in '{source}'")
+            }
+            Self::Io { path, message } => write!(f, "discovery: cannot read {path}: {message}"),
+            Self::Relational(e) => write!(f, "discovery: {e}"),
+            Self::Env(e) => write!(f, "discovery: {e}"),
+            Self::NoStar { reason } => write!(f, "discovery: no star schema found: {reason}"),
+            Self::Target { reason } => write!(f, "discovery: no target: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<RelationalError> for DiscoveryError {
+    fn from(e: RelationalError) -> Self {
+        Self::Relational(e)
+    }
+}
+
+impl From<EnvError> for DiscoveryError {
+    fn from(e: EnvError) -> Self {
+        Self::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = DiscoveryError::NoStar {
+            reason: "no edge met containment 1.00".into(),
+        };
+        assert!(e.to_string().contains("no star schema"));
+        let e = DiscoveryError::Io {
+            path: "/x/a.csv".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/x/a.csv"));
+    }
+}

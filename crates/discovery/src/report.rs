@@ -1,0 +1,416 @@
+//! Discovery evidence: every candidate the miner accepted or rejected.
+//!
+//! The subsystem's contract is that no decision is silent: each key
+//! candidate, FK edge, and FD carries its evidence (distinct ratios,
+//! containment, violation counts with examples) whether it was accepted
+//! or not, so an analyst can audit why the synthesized manifest looks
+//! the way it does. The report renders to JSON via `hamlet_obs::json`
+//! and is written with `hamlet_obs::atomic_write`; the rendered bytes
+//! are bit-identical at any `HAMLET_THREADS` (the thread-invariance
+//! proptest compares them directly), so nothing thread- or time-
+//! dependent may enter these structures.
+
+use std::path::Path;
+
+use hamlet_obs::json::{obj, Json};
+
+use crate::verify::FdViolation;
+
+/// One loaded CSV file, pre-mining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSummary {
+    /// File name within the corpus (manifest file reference).
+    pub file: String,
+    /// Table name (file stem).
+    pub table: String,
+    /// Clean rows loaded.
+    pub rows: usize,
+    /// Columns in the header.
+    pub columns: usize,
+    /// Rows quarantined by the dirty policy during the mining load.
+    pub quarantined: usize,
+    /// Data rows present in the file (clean + quarantined).
+    pub total_rows: usize,
+}
+
+/// A column examined as a candidate key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyCandidate {
+    /// Table the column belongs to.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Rows in the column.
+    pub rows: usize,
+    /// Exact distinct labels.
+    pub distinct: usize,
+    /// `rows - distinct` — duplicate-carrying rows.
+    pub duplicates: usize,
+    /// Whether the column qualifies as a key under the tolerance.
+    pub accepted: bool,
+}
+
+/// A proposed inclusion dependency `fk_table.fk_column ⊆ key_table.key_column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FkCandidate {
+    /// Referencing table.
+    pub fk_table: String,
+    /// Referencing column.
+    pub fk_column: String,
+    /// Referenced table.
+    pub key_table: String,
+    /// Referenced table's file name.
+    pub key_file: String,
+    /// Referenced key column.
+    pub key_column: String,
+    /// Estimated containment of the FK's values in the key's.
+    pub containment: f64,
+    /// Whether the containment is exact (neither sketch truncated).
+    pub exact: bool,
+    /// Distinct values on the FK side.
+    pub fk_distinct: usize,
+    /// Distinct values on the key side.
+    pub key_distinct: usize,
+    /// Closed-domain flag inferred for the edge (full containment).
+    pub closed: bool,
+    /// Whether the edge made it into the manifest.
+    pub accepted: bool,
+    /// Why it was accepted or rejected.
+    pub reason: String,
+}
+
+/// Where an FD was verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdScope {
+    /// `key -> feature` inside an attribute table (the paper's
+    /// `FK -> X_R` after factorization through the join).
+    AttributeTable,
+    /// `FK -> X_S` on the entity table (appendix-C redundancy evidence).
+    Entity,
+}
+
+impl FdScope {
+    fn as_str(&self) -> &'static str {
+        match self {
+            FdScope::AttributeTable => "attribute_table",
+            FdScope::Entity => "entity",
+        }
+    }
+}
+
+/// A verified FD with its full evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdEvidence {
+    /// Verification scope.
+    pub scope: FdScope,
+    /// Table the check ran in.
+    pub table: String,
+    /// Determinant attribute.
+    pub determinant: String,
+    /// Dependent attribute.
+    pub dependent: String,
+    /// Rows scanned.
+    pub rows: usize,
+    /// Distinct determinant values.
+    pub groups: usize,
+    /// Rows disagreeing with their group majority.
+    pub violations: u64,
+    /// Example violations (row order, capped).
+    pub examples: Vec<FdViolation>,
+    /// Whether the FD qualified under `HAMLET_FD_MAX_VIOLATIONS`.
+    pub accepted: bool,
+}
+
+/// Appendix-C analysis of the accepted entity-side FDs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EntityFdAnalysis {
+    /// Entity attributes functionally determined by some FK (candidates
+    /// for omission under the decision rules).
+    pub redundant_attributes: Vec<String>,
+    /// The star-compatible FD subset, as `determinant -> dep1,dep2`.
+    pub compatible_fds: Vec<String>,
+    /// Outcome of feeding the compatible subset to `decompose_star` on
+    /// the mined entity table.
+    pub decompose_outcome: String,
+}
+
+/// A table left out of the synthesized manifest, with the reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnplacedTable {
+    /// Table name.
+    pub table: String,
+    /// Why it could not be placed in the star.
+    pub reason: String,
+}
+
+/// Full evidence for one discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryReport {
+    /// Containment threshold the run used.
+    pub min_containment: f64,
+    /// FD violation tolerance the run used.
+    pub max_violations: u64,
+    /// Sketch cap the run used.
+    pub sketch_size: usize,
+    /// Loaded tables, in file-name order.
+    pub tables: Vec<TableSummary>,
+    /// Chosen entity table.
+    pub entity: String,
+    /// Why that table was chosen as the star center.
+    pub entity_reason: String,
+    /// Chosen target column.
+    pub target: String,
+    /// Why that column was chosen as the target.
+    pub target_reason: String,
+    /// Every key candidate examined.
+    pub keys: Vec<KeyCandidate>,
+    /// Every FK edge proposed, accepted or not.
+    pub fks: Vec<FkCandidate>,
+    /// Every FD verified, accepted or not.
+    pub fds: Vec<FdEvidence>,
+    /// Appendix-C analysis over the entity-side FDs.
+    pub entity_analysis: EntityFdAnalysis,
+    /// Tables excluded from the manifest.
+    pub unplaced: Vec<UnplacedTable>,
+}
+
+fn violation_json(v: &FdViolation) -> Json {
+    obj(vec![
+        ("row", Json::Num(v.row as f64)),
+        ("determinant", Json::Str(v.determinant_label.clone())),
+        ("expected", Json::Str(v.expected_label.clone())),
+        ("found", Json::Str(v.found_label.clone())),
+    ])
+}
+
+impl DiscoveryReport {
+    /// Renders the full evidence as a JSON object.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("kind", Json::Str("hamlet-discovery-report".to_string())),
+            ("min_containment", Json::Num(self.min_containment)),
+            ("max_violations", Json::Num(self.max_violations as f64)),
+            ("sketch_size", Json::Num(self.sketch_size as f64)),
+            ("entity", Json::Str(self.entity.clone())),
+            ("entity_reason", Json::Str(self.entity_reason.clone())),
+            ("target", Json::Str(self.target.clone())),
+            ("target_reason", Json::Str(self.target_reason.clone())),
+            (
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|t| {
+                            obj(vec![
+                                ("file", Json::Str(t.file.clone())),
+                                ("table", Json::Str(t.table.clone())),
+                                ("rows", Json::Num(t.rows as f64)),
+                                ("columns", Json::Num(t.columns as f64)),
+                                ("quarantined", Json::Num(t.quarantined as f64)),
+                                ("total_rows", Json::Num(t.total_rows as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "keys",
+                Json::Arr(
+                    self.keys
+                        .iter()
+                        .map(|k| {
+                            obj(vec![
+                                ("table", Json::Str(k.table.clone())),
+                                ("column", Json::Str(k.column.clone())),
+                                ("rows", Json::Num(k.rows as f64)),
+                                ("distinct", Json::Num(k.distinct as f64)),
+                                ("duplicates", Json::Num(k.duplicates as f64)),
+                                ("accepted", Json::Bool(k.accepted)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fks",
+                Json::Arr(
+                    self.fks
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("fk_table", Json::Str(e.fk_table.clone())),
+                                ("fk_column", Json::Str(e.fk_column.clone())),
+                                ("key_table", Json::Str(e.key_table.clone())),
+                                ("key_column", Json::Str(e.key_column.clone())),
+                                ("containment", Json::Num(e.containment)),
+                                ("exact", Json::Bool(e.exact)),
+                                ("fk_distinct", Json::Num(e.fk_distinct as f64)),
+                                ("key_distinct", Json::Num(e.key_distinct as f64)),
+                                ("closed", Json::Bool(e.closed)),
+                                ("accepted", Json::Bool(e.accepted)),
+                                ("reason", Json::Str(e.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fds",
+                Json::Arr(
+                    self.fds
+                        .iter()
+                        .map(|fd| {
+                            obj(vec![
+                                ("scope", Json::Str(fd.scope.as_str().to_string())),
+                                ("table", Json::Str(fd.table.clone())),
+                                ("determinant", Json::Str(fd.determinant.clone())),
+                                ("dependent", Json::Str(fd.dependent.clone())),
+                                ("rows", Json::Num(fd.rows as f64)),
+                                ("groups", Json::Num(fd.groups as f64)),
+                                ("violations", Json::Num(fd.violations as f64)),
+                                (
+                                    "examples",
+                                    Json::Arr(fd.examples.iter().map(violation_json).collect()),
+                                ),
+                                ("accepted", Json::Bool(fd.accepted)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "entity_analysis",
+                obj(vec![
+                    (
+                        "redundant_attributes",
+                        Json::Arr(
+                            self.entity_analysis
+                                .redundant_attributes
+                                .iter()
+                                .map(|a| Json::Str(a.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "compatible_fds",
+                        Json::Arr(
+                            self.entity_analysis
+                                .compatible_fds
+                                .iter()
+                                .map(|a| Json::Str(a.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "decompose_outcome",
+                        Json::Str(self.entity_analysis.decompose_outcome.clone()),
+                    ),
+                ]),
+            ),
+            (
+                "unplaced",
+                Json::Arr(
+                    self.unplaced
+                        .iter()
+                        .map(|u| {
+                            obj(vec![
+                                ("table", Json::Str(u.table.clone())),
+                                ("reason", Json::Str(u.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the rendered report atomically (tmp + fsync + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        hamlet_obs::atomic_write(path, text.as_bytes())
+    }
+
+    /// Accepted FK edges, in report order.
+    pub fn accepted_fks(&self) -> impl Iterator<Item = &FkCandidate> {
+        self.fks.iter().filter(|e| e.accepted)
+    }
+
+    /// Accepted FDs, in report order.
+    pub fn accepted_fds(&self) -> impl Iterator<Item = &FdEvidence> {
+        self.fds.iter().filter(|fd| fd.accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_reparses() {
+        let report = DiscoveryReport {
+            min_containment: 1.0,
+            max_violations: 0,
+            sketch_size: 64,
+            tables: vec![TableSummary {
+                file: "s.csv".into(),
+                table: "s".into(),
+                rows: 3,
+                columns: 2,
+                quarantined: 1,
+                total_rows: 4,
+            }],
+            entity: "s".into(),
+            entity_reason: "covers 1 table".into(),
+            target: "y".into(),
+            target_reason: "smallest distinct".into(),
+            keys: vec![KeyCandidate {
+                table: "r".into(),
+                column: "k".into(),
+                rows: 3,
+                distinct: 3,
+                duplicates: 0,
+                accepted: true,
+            }],
+            fks: vec![FkCandidate {
+                fk_table: "s".into(),
+                fk_column: "k".into(),
+                key_table: "r".into(),
+                key_file: "r.csv".into(),
+                key_column: "k".into(),
+                containment: 1.0,
+                exact: true,
+                fk_distinct: 3,
+                key_distinct: 3,
+                closed: true,
+                accepted: true,
+                reason: "containment 1".into(),
+            }],
+            fds: vec![FdEvidence {
+                scope: FdScope::AttributeTable,
+                table: "r".into(),
+                determinant: "k".into(),
+                dependent: "f".into(),
+                rows: 3,
+                groups: 3,
+                violations: 0,
+                examples: vec![],
+                accepted: true,
+            }],
+            entity_analysis: EntityFdAnalysis::default(),
+            unplaced: vec![UnplacedTable {
+                table: "orphan".into(),
+                reason: "no edge".into(),
+            }],
+        };
+        let text = report.to_json().to_string();
+        let parsed = hamlet_obs::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(|k| k.as_str()),
+            Some("hamlet-discovery-report")
+        );
+        assert_eq!(parsed.get("fks").and_then(|a| a.as_arr()).unwrap().len(), 1);
+        assert_eq!(report.accepted_fks().count(), 1);
+        assert_eq!(report.accepted_fds().count(), 1);
+    }
+}

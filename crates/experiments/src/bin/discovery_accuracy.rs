@@ -1,0 +1,12 @@
+//! Runs the discovery-accuracy scenario (schema discovery vs datagen
+//! ground truth over every built-in dataset); exits nonzero on any
+//! violated assertion.
+fn main() {
+    match hamlet_experiments::discovery::report(hamlet_experiments::DEFAULT_SEED) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("discovery-accuracy FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod ablation;
 pub mod checkpoint;
 pub mod degrade;
+pub mod discovery;
 pub mod factorized;
 pub mod family;
 pub mod fig1;

@@ -87,6 +87,16 @@ fn split_record(line: &str, delimiter: char) -> Vec<String> {
     fields
 }
 
+/// Parses the header row of a CSV (the first non-blank line), honouring
+/// the same quoting rules as the record reader. Returns `None` for an
+/// empty input. Schema miners use this to enumerate columns before they
+/// know any roles.
+pub fn csv_header(text: &str, delimiter: char) -> Option<Vec<String>> {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .map(|l| split_record(l, delimiter))
+}
+
 /// Quotes one field if it contains the delimiter, a quote, or leading /
 /// trailing whitespace.
 fn quote_field(field: &str, delimiter: char) -> String {
@@ -665,6 +675,20 @@ c4,no,M,44.0,e2
         );
         assert_eq!(DirtyPolicy::parse("lenient"), None);
         assert_eq!(DirtyPolicy::parse("quarantine:x"), None);
+    }
+
+    #[test]
+    fn header_helper_honours_quoting() {
+        assert_eq!(
+            csv_header("a,\"b,c\",d\n1,2,3\n", ','),
+            Some(vec!["a".to_string(), "b,c".to_string(), "d".to_string()])
+        );
+        assert_eq!(
+            csv_header("\n\nx|y\n", '|'),
+            Some(vec!["x".into(), "y".into()])
+        );
+        assert_eq!(csv_header("", ','), None);
+        assert_eq!(csv_header("  \n\t\n", ','), None);
     }
 
     #[test]

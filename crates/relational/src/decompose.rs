@@ -168,6 +168,11 @@ pub fn decompose_star(table: &Table, fds: &[FunctionalDependency]) -> Result<Sta
 /// Only attributes with at least `min_distinct` distinct values are
 /// considered determinants (a near-constant column trivially "determines"
 /// nothing useful), and the target/primary key are never dependents.
+///
+/// The result is canonical regardless of attribute order: dependents are
+/// sorted and deduplicated within each FD, and the FDs themselves are
+/// ordered by determinant name, so downstream decomposition is stable
+/// under column permutations of the input table.
 pub fn infer_single_fds(table: &Table, min_distinct: usize) -> Vec<FunctionalDependency> {
     let schema = table.schema();
     let candidates: Vec<usize> = schema
@@ -202,12 +207,15 @@ pub fn infer_single_fds(table: &Table, min_distinct: usize) -> Vec<FunctionalDep
             }
         }
         if !dependents.is_empty() {
+            dependents.sort();
+            dependents.dedup();
             fds.push(FunctionalDependency {
                 determinant: vec![schema.attributes()[det].name.clone()],
                 dependents,
             });
         }
     }
+    fds.sort_by(|a, b| a.determinant.cmp(&b.determinant));
     fds
 }
 
@@ -219,7 +227,10 @@ pub fn infer_single_fds(table: &Table, min_distinct: usize) -> Vec<FunctionalDep
 ///
 /// Inferred FD sets (e.g. from [`infer_single_fds`]) routinely overlap —
 /// two keys can each determine a shared column — and [`decompose_star`]
-/// rejects such sets; this picks the subset to keep.
+/// rejects such sets; this picks the subset to keep. Duplicate
+/// determinants are collapsed (the largest claim wins) and the selection
+/// is returned ordered by determinant name, so the output is canonical
+/// regardless of the order candidates were supplied in.
 pub fn select_compatible_fds(fds: &[FunctionalDependency]) -> Vec<FunctionalDependency> {
     let mut candidates: Vec<&FunctionalDependency> =
         fds.iter().filter(|fd| fd.determinant.len() == 1).collect();
@@ -236,6 +247,9 @@ pub fn select_compatible_fds(fds: &[FunctionalDependency]) -> Vec<FunctionalDepe
         let det = &fd.determinant[0];
         if taken_dependents.contains(det) {
             continue; // would become a snowflake level
+        }
+        if taken_determinants.contains(det) {
+            continue; // duplicate determinant: an earlier, larger claim won
         }
         let mut clean_deps: Vec<String> = fd
             .dependents
@@ -256,6 +270,7 @@ pub fn select_compatible_fds(fds: &[FunctionalDependency]) -> Vec<FunctionalDepe
             dependents: clean_deps,
         });
     }
+    out.sort_by(|a, b| a.determinant.cmp(&b.determinant));
     out
 }
 
@@ -375,6 +390,53 @@ mod tests {
     }
 
     #[test]
+    fn inference_is_column_order_invariant() {
+        // The same instance with its feature columns permuted must yield
+        // byte-identical FDs: dependents sorted, FDs ordered by determinant.
+        let t = wide();
+        let emp = Domain::indexed("emp", 3).shared();
+        let permuted = TableBuilder::new("T")
+            .feature(
+                "revenue",
+                Domain::indexed("revenue", 5).shared(),
+                vec![4, 2, 0, 4, 2, 0],
+            )
+            .feature(
+                "country",
+                Domain::indexed("country", 2).shared(),
+                vec![0, 1, 1, 0, 1, 1],
+            )
+            .target("y", Domain::boolean("y").shared(), vec![0, 1, 0, 1, 1, 0])
+            .feature("emp", emp, vec![0, 1, 2, 0, 1, 2])
+            .feature(
+                "age",
+                Domain::indexed("age", 4).shared(),
+                vec![0, 1, 2, 3, 0, 1],
+            )
+            .build()
+            .unwrap();
+        let a = infer_single_fds(&t, 2);
+        let b = infer_single_fds(&permuted, 2);
+        assert_eq!(a, b);
+        for fd in &a {
+            let mut sorted = fd.dependents.clone();
+            sorted.sort();
+            assert_eq!(fd.dependents, sorted, "dependents not canonically ordered");
+        }
+        // And the stability propagates through selection + decomposition.
+        let star_a = decompose_star(&t, &select_compatible_fds(&a)).unwrap();
+        let star_b = decompose_star(&permuted, &select_compatible_fds(&b)).unwrap();
+        assert_eq!(star_a.k(), star_b.k());
+        for i in 0..star_a.k() {
+            assert_eq!(star_a.attributes()[i].fk, star_b.attributes()[i].fk);
+            assert_eq!(
+                star_a.attributes()[i].feature_names(),
+                star_b.attributes()[i].feature_names()
+            );
+        }
+    }
+
+    #[test]
     fn infer_then_decompose_roundtrip() {
         let t = wide();
         // Keep only the emp FD (inference may also find accidental FDs on
@@ -406,7 +468,33 @@ mod select_tests {
         let fds = vec![fd("u", &["age", "country"]), fd("b", &["year"])];
         let sel = select_compatible_fds(&fds);
         assert_eq!(sel.len(), 2);
-        assert_eq!(sel[0].determinant, vec!["u".to_string()]);
+        // Canonical order: by determinant name, not by claim size.
+        assert_eq!(sel[0].determinant, vec!["b".to_string()]);
+        assert_eq!(sel[1].determinant, vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn selection_is_input_order_invariant() {
+        let a = vec![
+            fd("u", &["age", "country", "shared"]),
+            fd("b", &["shared", "x"]),
+        ];
+        let b = vec![
+            fd("b", &["shared", "x"]),
+            fd("u", &["age", "country", "shared"]),
+        ];
+        assert_eq!(select_compatible_fds(&a), select_compatible_fds(&b));
+    }
+
+    #[test]
+    fn duplicate_determinants_collapse_to_largest_claim() {
+        let fds = vec![fd("u", &["age"]), fd("u", &["country", "revenue"])];
+        let sel = select_compatible_fds(&fds);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(
+            sel[0].dependents,
+            vec!["country".to_string(), "revenue".to_string()]
+        );
     }
 
     #[test]

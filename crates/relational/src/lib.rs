@@ -65,7 +65,8 @@ pub use catalog::{AttributeTable, SplitIndices, StarSchema};
 pub use coldstart::{with_others_record, DomainRevision};
 pub use column::Column;
 pub use csv::{
-    read_csv, read_csv_lenient, write_csv, ColumnSpec, CsvLoad, DirtyPolicy, QuarantinedRow,
+    csv_header, read_csv, read_csv_lenient, write_csv, ColumnSpec, CsvLoad, DirtyPolicy,
+    QuarantinedRow,
 };
 pub use decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 pub use domain::Domain;

@@ -572,14 +572,110 @@ pub fn save(a: &ModelArtifact, path: &Path) -> Result<(), ArtifactError> {
     })
 }
 
+/// Minimal `mmap(2)` wrapper for read-only artifact loading: reload
+/// latency on big artifacts is dominated by copying the file into a
+/// `String` before a single validation pass, so the fast path checksums
+/// and parses directly over the kernel mapping instead. Raw
+/// `extern "C"` (no libc crate), matching the CLI's `signal(2)` shim.
+#[cfg(unix)]
+mod mapped {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    /// A read-only private mapping of a whole file, unmapped on drop.
+    pub struct Mapped {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl Mapped {
+        /// Maps the first `len` bytes of `file`. `None` on any failure
+        /// (including `len == 0`, which `mmap` rejects) — the caller
+        /// falls back to buffered reads.
+        pub fn of(file: &File, len: usize) -> Option<Mapped> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1; treat null defensively too.
+            if ptr.is_null() || ptr as isize == -1 {
+                return None;
+            }
+            Some(Mapped { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapped {
+        fn drop(&mut self) {
+            unsafe { munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+/// The mmap fast path. `Ok(None)` means "mapping unavailable — use the
+/// buffered path" (open/stat/map/UTF-8 trouble; the buffered read then
+/// reports its own typed error for the real faults). A file that maps
+/// cleanly but fails checksum or schema validation is a genuine error,
+/// never a fallback trigger — the two paths must agree on verdicts.
+#[cfg(unix)]
+fn load_mapped(path: &Path) -> Result<Option<ModelArtifact>, ArtifactError> {
+    let Ok(file) = std::fs::File::open(path) else {
+        return Ok(None);
+    };
+    let Ok(meta) = file.metadata() else {
+        return Ok(None);
+    };
+    let len = meta.len() as usize;
+    let Some(map) = mapped::Mapped::of(&file, len) else {
+        return Ok(None);
+    };
+    let Ok(text) = std::str::from_utf8(map.bytes()) else {
+        return Ok(None);
+    };
+    hamlet_obs::counter_add!("hamlet_artifact_mmap_loads_total", 1);
+    from_json_str(text).map(Some)
+}
+
 /// Reads and validates an artifact. Carries the `serve.artifact_load`
 /// failpoint so the chaos harness can exercise the degraded path.
+///
+/// On unix the file is `mmap`ed and the checksum verified over the
+/// mapped bytes (no heap copy of the envelope); any mapping failure
+/// falls back to the buffered read below, bit-for-bit equivalent.
+/// `hamlet_artifact_mmap_loads_total` / `_fallbacks_total` count which
+/// path served each load.
 pub fn load(path: &Path) -> Result<ModelArtifact, ArtifactError> {
     let io_err = |e: std::io::Error| ArtifactError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     };
     hamlet_chaos::fail_at!(LOAD_FAILPOINT).map_err(io_err)?;
+    #[cfg(unix)]
+    if let Some(a) = load_mapped(path)? {
+        return Ok(a);
+    }
+    hamlet_obs::counter_add!("hamlet_artifact_mmap_fallbacks_total", 1);
     let text = std::fs::read_to_string(path).map_err(io_err)?;
     from_json_str(&text)
 }
@@ -1175,6 +1271,61 @@ mod tests {
         assert_eq!(a, b);
         // Idempotent: re-rendering the reloaded artifact is byte-identical.
         assert_eq!(text, to_json_string(&b));
+    }
+
+    #[test]
+    fn mmap_and_buffered_loads_agree() {
+        let a = nb_artifact();
+        let path = std::env::temp_dir().join("hamlet_artifact_mmap_test.json");
+        save(&a, &path).unwrap();
+        // `load` takes the mmap fast path on unix; the buffered parse of
+        // the same bytes must yield the identical artifact.
+        let via_load = load(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(via_load, from_json_str(&text).unwrap());
+        assert_eq!(via_load, a);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_path_verifies_checksum_over_mapped_bytes() {
+        let a = nb_artifact();
+        let path = std::env::temp_dir().join("hamlet_artifact_mmap_tamper_test.json");
+        save(&a, &path).unwrap();
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("31.5", "99.9");
+        std::fs::write(&path, tampered).unwrap();
+        // The mapping succeeds, so the fault must surface as the same
+        // typed checksum error the buffered path raises — not a fallback.
+        assert!(matches!(
+            load_mapped(&path),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_byte_artifact_is_typed_error() {
+        let path = std::env::temp_dir().join("hamlet_artifact_mmap_empty_test.json");
+        std::fs::write(&path, b"").unwrap();
+        // mmap rejects len 0; the buffered fallback reports the typed
+        // parse error instead of panicking.
+        assert!(matches!(load(&path), Err(ArtifactError::Parse(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_artifact_falls_back_without_panicking() {
+        let path = std::env::temp_dir().join("hamlet_artifact_mmap_utf8_test.json");
+        std::fs::write(&path, [0xff, 0xfe, 0x00]).unwrap();
+        // Mapped bytes are not UTF-8: the fast path declines, and the
+        // buffered read surfaces its own typed IO error.
+        assert!(matches!(load_mapped(&path), Ok(None)));
+        assert!(matches!(load(&path), Err(ArtifactError::Io { .. })));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

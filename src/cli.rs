@@ -35,6 +35,7 @@ use hamlet_core::advisor::{advise, AdvisorConfig};
 use hamlet_core::rules::{RorRule, TrRule, RELAXED_RHO, RELAXED_TAU};
 use hamlet_core::ModelFamily;
 use hamlet_datagen::realistic::DatasetSpec;
+use hamlet_discovery::{discover_dir, DiscoveryConfig, DiscoveryReport, FdScope};
 use hamlet_factorized::{fit_factorized_logreg, fit_factorized_nb, FactorizedView};
 use hamlet_ml::{zero_one_error, Classifier, Dataset, LogisticRegression, NaiveBayes};
 use hamlet_obs::RunJournal;
@@ -66,14 +67,17 @@ hamlet — join avoidance for feature selection over normalized data
 
 USAGE:
   hamlet advise --dataset <name> [--scale S] [--family F] [--relaxed] [--markdown] [--strategy factorize|materialize]
-  hamlet train --dataset <name> [--scale S] [--model nb|logreg|tree|gbt] [--strategy factorize|materialize]
+  hamlet train (--dataset <name> [--scale S] | --discover DIR) [--model nb|logreg|tree|gbt] [--strategy factorize|materialize]
   hamlet profile --dataset <name> [--scale S]
   hamlet csv-advise <file.csv> --target <col> [--numeric col:bins]... [--skip col]... [--min-distinct N]
-  hamlet advise-files <schema.manifest> [--family F] [--relaxed] [--on-dirty P] [--on-dangling-fk P] [--allow-degraded]
+  hamlet advise-files (<schema.manifest> | --discover DIR) [--family F] [--relaxed] [--on-dirty P] [--on-dangling-fk P] [--allow-degraded]
+  hamlet discover <dir> [--target col] [--family F] [--relaxed] [--strategy factorize|materialize]
+                  [--min-containment X] [--max-violations N] [--sketch-size N] [--on-dirty P]
+                  [--out FILE] [--report FILE]
   hamlet simulate [--scenario lone|all|entity-fk] [--n-s N] [--n-r N]
                   [--train-sets T] [--repeats R] [--seed S] [--resume] [--out FILE]
   hamlet retune [--family F] [--n-s N] [--train-sets T] [--repeats R] [--seed S]
-  hamlet save-model (--dataset <name> [--scale S] | --manifest FILE [--allow-degraded])
+  hamlet save-model (--dataset <name> [--scale S] | --manifest FILE [--allow-degraded] | --discover DIR)
                     --out FILE [--model nb|logreg|tan|tree|gbt] [--relaxed]
   hamlet predict --model FILE --in FILE [--out FILE]
   hamlet serve --model FILE [--model ID=FILE]... [--port N] [--threads N] [--queue N]
@@ -107,6 +111,23 @@ Model families (--family, --model):
   conservative values; retune re-derives them from simulation and
   prints the per-family evidence grid. GBT training reads
   HAMLET_GBT_ROUNDS (default 20) for the boosting-round count.
+
+Schema discovery (discover; --discover DIR on advise-files, train, save-model):
+  discover mines a directory of raw CSVs with no manifest: per-column
+  fingerprint sketches propose FK edges by containment, the implied FDs
+  FK -> X_R are verified factorized (count tables over per-table
+  partitions — no join is ever materialized), and a validated manifest
+  plus a JSON evidence report (every accepted AND rejected candidate)
+  are written next to the corpus (--out / --report override).
+  --min-containment (else HAMLET_FD_MIN_CONTAINMENT, default 1.0) sets
+  the FK inclusion threshold; --max-violations (else
+  HAMLET_FD_MAX_VIOLATIONS, default 0) tolerates dirty rows — FDs
+  holding on all but that many rows still qualify, each exception
+  journaled; --sketch-size (else HAMLET_SKETCH_SIZE, default 65536)
+  caps per-column sketch memory. --discover DIR on advise-files, train,
+  and save-model runs the same mining inline, so
+  `discover` -> `advise` -> `train --strategy factorize` works with
+  zero declared metadata.
 
 Dirty-data policies (advise-files, save-model --manifest):
   --on-dirty abort|quarantine[:N]   bad CSV rows: fail fast (default) or set
@@ -294,6 +315,195 @@ fn strategy_arg(args: &[String]) -> Result<Option<bool>, CliError> {
     }
 }
 
+/// Parses the discovery knobs shared by `discover` and the `--discover`
+/// variants of `advise-files`/`train`/`save-model`: the environment is
+/// read first (strict — a malformed knob is an error), then explicit
+/// flags override it.
+fn discovery_args(rest: &[String]) -> Result<DiscoveryConfig, CliError> {
+    let mut cfg = DiscoveryConfig::from_env().map_err(|e| CliError(e.to_string()))?;
+    if let Some(v) = parse_flag(rest, "--min-containment")? {
+        let x: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("bad --min-containment '{v}'")))?;
+        if !(x > 0.0 && x <= 1.0) {
+            return Err(CliError(format!(
+                "--min-containment must be in (0, 1], got {x}"
+            )));
+        }
+        cfg.min_containment = x;
+    }
+    if let Some(v) = parse_flag(rest, "--max-violations")? {
+        cfg.max_violations = v
+            .parse()
+            .map_err(|_| CliError(format!("bad --max-violations '{v}'")))?;
+    }
+    if let Some(v) = parse_flag(rest, "--sketch-size")? {
+        let n: usize = v
+            .parse()
+            .map_err(|_| CliError(format!("bad --sketch-size '{v}'")))?;
+        if n == 0 {
+            return Err(CliError("--sketch-size must be positive".into()));
+        }
+        cfg.sketch_size = n;
+    }
+    if let Some(v) = parse_flag(rest, "--on-dirty")? {
+        cfg.on_dirty = DirtyPolicy::parse(v).ok_or_else(|| {
+            CliError(format!(
+                "--on-dirty must be 'abort', 'quarantine', or 'quarantine:N', got '{v}'"
+            ))
+        })?;
+    }
+    if let Some(t) = parse_flag(rest, "--target")? {
+        cfg.target = Some(t.to_string());
+    }
+    Ok(cfg)
+}
+
+/// Mines `dir` and loads the discovered star back from the same corpus;
+/// the star the advisor sees is exactly what the synthesized manifest
+/// describes, not a private in-memory variant. The load reuses the
+/// mining dirty-row policy: a schema accepted within the violation
+/// tolerance (e.g. a duplicated key row) must survive its own load, with
+/// the offending rows quarantined and any FKs they strand mapped to the
+/// paper's `Others` record rather than aborting.
+fn discover_star(
+    dir: &std::path::Path,
+    rest: &[String],
+) -> Result<(hamlet_discovery::Discovery, StarSchema), CliError> {
+    let cfg = discovery_args(rest)?;
+    let d = discover_dir(dir, &cfg).map_err(|e| CliError(e.to_string()))?;
+    let policy = LoadPolicy {
+        on_dirty: cfg.on_dirty,
+        on_dangling_fk: match cfg.on_dirty {
+            DirtyPolicy::Abort => FkPolicy::Abort,
+            DirtyPolicy::Quarantine { .. } => FkPolicy::MapToOthers,
+        },
+        on_missing_table: TablePolicy::Require,
+    };
+    let load = d
+        .manifest
+        .load_policy(dir, &policy)
+        .map_err(|e| CliError(e.to_string()))?;
+    for q in load.quarantine.iter().filter(|q| !q.rows.is_empty()) {
+        hamlet_obs::record_warning(format!(
+            "discover: table '{}': quarantined {} of {} rows loading the discovered star",
+            q.table,
+            q.rows.len(),
+            q.total_rows
+        ));
+    }
+    if !load.others_rows.is_empty() {
+        hamlet_obs::record_warning(format!(
+            "discover: {} entity row(s) remapped to Others (FKs stranded by quarantined key rows)",
+            load.others_rows.len()
+        ));
+    }
+    Ok((d, load.star))
+}
+
+/// Renders a human summary of a discovery report: the mined star shape
+/// plus candidate counts, so the console shows where the evidence lives
+/// without dumping the full JSON.
+fn render_discovery(report: &DiscoveryReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Discovered star over {} table(s): entity '{}', target '{}'",
+        report.tables.len(),
+        report.entity,
+        report.target
+    );
+    let _ = writeln!(out, "  ({})", report.entity_reason);
+    for e in report.accepted_fks() {
+        let _ = writeln!(
+            out,
+            "  fk {} -> {} (containment {:.4}, {})",
+            e.fk_column,
+            e.key_file,
+            e.containment,
+            if e.closed { "closed" } else { "open" }
+        );
+    }
+    let (fd_ok, fd_no) = report
+        .fds
+        .iter()
+        .fold((0usize, 0usize), |(a, r), f| match f.accepted {
+            true => (a + 1, r),
+            false => (a, r + 1),
+        });
+    let _ = writeln!(
+        out,
+        "FDs verified without joins: {fd_ok} accepted, {fd_no} rejected (tolerance {})",
+        report.max_violations
+    );
+    for f in report.accepted_fds().filter(|f| f.violations > 0) {
+        let _ = writeln!(
+            out,
+            "  {}: {} -> {} held with {} violation(s) journaled",
+            f.table, f.determinant, f.dependent, f.violations
+        );
+    }
+    if report
+        .fds
+        .iter()
+        .any(|f| f.scope == FdScope::Entity && f.accepted)
+    {
+        let _ = writeln!(
+            out,
+            "  entity-side: {}",
+            report.entity_analysis.decompose_outcome
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Candidates examined: {} key(s), {} FK edge(s), {} FD check(s); all evidence in the report",
+        report.keys.len(),
+        report.fks.len(),
+        report.fds.len()
+    );
+    for u in &report.unplaced {
+        let _ = writeln!(out, "  warning: table '{}' left out: {}", u.table, u.reason);
+    }
+    out
+}
+
+/// The `discover` subcommand: mine a manifest-less directory of CSVs,
+/// persist the synthesized manifest and the evidence report, then run
+/// the advisor over the discovered star.
+fn discover_cmd(rest: &[String]) -> Result<String, CliError> {
+    let dir_arg = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError("missing <dir> with the corpus CSVs".into()))?;
+    let dir = std::path::Path::new(dir_arg);
+    let (d, star) = discover_star(dir, rest)?;
+    let manifest_path = parse_flag(rest, "--out")?
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.join("discovered.manifest"));
+    hamlet_obs::atomic_write(&manifest_path, d.manifest_text.as_bytes())
+        .map_err(|e| CliError(format!("cannot write {}: {e}", manifest_path.display())))?;
+    let report_path = parse_flag(rest, "--report")?
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.join("discovery-report.json"));
+    d.report
+        .write(&report_path)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", report_path.display())))?;
+
+    let relaxed = rest.iter().any(|a| a == "--relaxed");
+    let family = family_arg(rest)?;
+    hamlet_obs::set_model_family(family.name());
+    let mut config = advisor_config(relaxed, family);
+    config.recommend_factorize = strategy_arg(rest)?.unwrap_or(false);
+    let report = advise(&star, star.n_s() / 2, &config).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "{}\n{}\nwrote {} and {}\n",
+        render_discovery(&d.report),
+        report.render(),
+        manifest_path.display(),
+        report_path.display()
+    ))
+}
+
 /// Runs one CLI invocation; `args` excludes the program name.
 ///
 /// `--trace` and `--metrics` work on every subcommand: they append the
@@ -404,7 +614,6 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         }
         Some("train") => {
             let rest = &args[1..];
-            let (spec, scale) = dataset_arg(rest)?;
             let model = parse_flag(rest, "--model")?.unwrap_or("nb");
             if !matches!(model, "nb" | "logreg" | "tree" | "gbt") {
                 return Err(CliError(format!(
@@ -412,10 +621,24 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 )));
             }
             let factorize = strategy_arg(rest)?.unwrap_or(true);
-            let g = spec.generate(scale, 20_160_626);
             if let Some(f) = ModelFamily::parse(model) {
                 hamlet_obs::set_model_family(f.name());
             }
+            if let Some(dir) = parse_flag(rest, "--discover")? {
+                if parse_flag(rest, "--dataset")?.is_some() {
+                    return Err(CliError(
+                        "--discover and --dataset are mutually exclusive".into(),
+                    ));
+                }
+                let (d, star) = discover_star(std::path::Path::new(dir), rest)?;
+                let body = train_star(&star, model, factorize)?;
+                return Ok(format!(
+                    "{} (discovered from {dir}), model {model}\n{body}",
+                    d.report.entity
+                ));
+            }
+            let (spec, scale) = dataset_arg(rest)?;
+            let g = spec.generate(scale, 20_160_626);
             let body = train_star(&g.star, model, factorize)?;
             Ok(format!(
                 "{} (scale {scale}), model {model}\n{body}",
@@ -429,24 +652,29 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         }
         Some("advise-files") => {
             let rest = &args[1..];
-            let file = rest
-                .iter()
-                .find(|a| !a.starts_with("--"))
-                .ok_or_else(|| CliError("missing <schema.manifest>".into()))?;
             let relaxed = rest.iter().any(|a| a == "--relaxed");
             let family = family_arg(rest)?;
-            let policy = load_policy_args(rest)?;
-            let text = std::fs::read_to_string(file)
-                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
-            let manifest = Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
-            let base = std::path::Path::new(file)
-                .parent()
-                .unwrap_or_else(|| std::path::Path::new("."));
-            let load = manifest
-                .load_policy(base, &policy)
-                .map_err(|e| CliError(e.to_string()))?;
-            let degradations = render_degradations(&load);
-            let star = load.star;
+            let (star, degradations) = if let Some(dir) = parse_flag(rest, "--discover")? {
+                let (d, star) = discover_star(std::path::Path::new(dir), rest)?;
+                (star, format!("\n{}", render_discovery(&d.report)))
+            } else {
+                let file = rest
+                    .iter()
+                    .find(|a| !a.starts_with("--"))
+                    .ok_or_else(|| CliError("missing <schema.manifest>".into()))?;
+                let policy = load_policy_args(rest)?;
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+                let manifest = Manifest::parse(&text).map_err(|e| CliError(e.to_string()))?;
+                let base = std::path::Path::new(file)
+                    .parent()
+                    .unwrap_or_else(|| std::path::Path::new("."));
+                let load = manifest
+                    .load_policy(base, &policy)
+                    .map_err(|e| CliError(e.to_string()))?;
+                let degradations = render_degradations(&load);
+                (load.star, degradations)
+            };
             hamlet_obs::set_model_family(family.name());
             let config = advisor_config(relaxed, family);
             let report =
@@ -462,6 +690,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             out.push_str(&degradations);
             Ok(out)
         }
+        Some("discover") => discover_cmd(&args[1..]),
         Some("simulate") => simulate_cmd(&args[1..]),
         Some("retune") => retune_cmd(&args[1..]),
         Some("save-model") => save_model_cmd(&args[1..]),
@@ -721,6 +950,31 @@ fn save_model_cmd(rest: &[String]) -> Result<String, CliError> {
     let out_path =
         parse_flag(rest, "--out")?.ok_or_else(|| CliError("missing --out <file>".into()))?;
     let config = advisor_config(rest.iter().any(|a| a == "--relaxed"), kind.family());
+    if let Some(dir) = parse_flag(rest, "--discover")? {
+        if parse_flag(rest, "--manifest")?.is_some() || parse_flag(rest, "--dataset")?.is_some() {
+            return Err(CliError(
+                "--discover is mutually exclusive with --manifest and --dataset".into(),
+            ));
+        }
+        let (d, star) = discover_star(std::path::Path::new(dir), rest)?;
+        let built = build_artifact(&star, kind, &config, &d.report.entity)
+            .map_err(|e| CliError(e.to_string()))?;
+        artifact::save(&built.artifact, std::path::Path::new(out_path))
+            .map_err(|e| CliError(e.to_string()))?;
+        let avoided = built.artifact.decisions.iter().filter(|d| d.avoid).count();
+        return Ok(format!(
+            "{} (discovered from {dir}), model {model}\n\
+             trained on {} rows, holdout error {:.4}\n\
+             {} of {} joins avoided; {} input features\n\
+             wrote {out_path}\n",
+            d.report.entity,
+            built.n_train,
+            built.holdout_error,
+            avoided,
+            built.artifact.decisions.len(),
+            built.artifact.features.len(),
+        ));
+    }
     let (built, headline) = match parse_flag(rest, "--manifest")? {
         Some(file) => {
             if parse_flag(rest, "--dataset")?.is_some() {

@@ -24,6 +24,9 @@
 //! * [`trees`] — CART decision trees and gradient boosting over
 //!   categorical codes, factorized over the star schema via
 //!   pushed-down count aggregates (the JoinBoost recipe);
+//! * [`discovery`] — schema discovery: mine FK edges and multi-table
+//!   FDs from raw CSVs via per-column sketches and factorized FD
+//!   verification, synthesizing the manifest the advisor consumes;
 //! * [`datagen`] — simulation worlds, FK skew, and synthetic analogs of
 //!   the paper's seven datasets;
 //! * [`experiments`] — one module per paper table/figure, with
@@ -56,6 +59,7 @@ pub mod cli;
 pub use hamlet_chaos as chaos;
 pub use hamlet_core as core;
 pub use hamlet_datagen as datagen;
+pub use hamlet_discovery as discovery;
 pub use hamlet_experiments as experiments;
 pub use hamlet_factorized as factorized;
 pub use hamlet_fs as fs;

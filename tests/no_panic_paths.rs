@@ -98,6 +98,10 @@ fn cli_arg_parsing_has_no_aborting_calls() {
         "num_flag",
         "simulate_cmd",
         "retune_cmd",
+        "discovery_args",
+        "discover_star",
+        "render_discovery",
+        "discover_cmd",
     ] {
         assert_no_aborts(&format!("src/cli.rs::{f}"), function_body(src, f));
     }
@@ -170,6 +174,24 @@ fn trees_crate_has_no_aborting_calls() {
         "crates/trees/src/gbt.rs",
         "crates/trees/src/factorized.rs",
         "crates/trees/src/sweep.rs",
+    ] {
+        let src = read(rel);
+        assert_no_aborts(rel, non_test(&src));
+    }
+}
+
+#[test]
+fn discovery_crate_has_no_aborting_calls() {
+    // The entire schema-discovery subsystem: chaos-corrupted corpora
+    // (dangling FKs, duplicate keys, ragged rows) must surface as typed
+    // errors or tolerance-journaled evidence, never as a panic.
+    for rel in [
+        "crates/discovery/src/lib.rs",
+        "crates/discovery/src/error.rs",
+        "crates/discovery/src/miner.rs",
+        "crates/discovery/src/report.rs",
+        "crates/discovery/src/sketch.rs",
+        "crates/discovery/src/verify.rs",
     ] {
         let src = read(rel);
         assert_no_aborts(rel, non_test(&src));
