@@ -546,12 +546,15 @@ impl DatasetSpec {
         var.sqrt()
     }
 
-    /// Generates the dataset at the given scale. Deterministic in `seed`.
+    /// Generates the dataset at the given scale. Deterministic in
+    /// `seed`. Scales above 1 grow the star past the paper's full size
+    /// — the out-of-core stress regime where the dense working set can
+    /// exceed a configured `HAMLET_MEM_BUDGET_MB`.
     ///
     /// # Panics
-    /// Panics if `scale` is not in `(0, 1]`.
+    /// Panics if `scale` is not in `(0, 100]`.
     pub fn generate(&self, scale: f64, seed: u64) -> GeneratedDataset {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        assert!(scale > 0.0 && scale <= 100.0, "scale must be in (0, 100]");
         let mut rng = StdRng::seed_from_u64(seed ^ hash_name(self.name));
 
         let n_s = self.scaled_n_s(scale);
@@ -913,7 +916,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scale must be in (0, 1]")]
+    #[should_panic(expected = "scale must be in (0, 100]")]
     fn bad_scale_panics() {
         DatasetSpec::walmart().generate(0.0, 1);
     }

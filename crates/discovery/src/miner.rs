@@ -27,8 +27,9 @@ use std::path::Path;
 use hamlet_obs::counter_add;
 use hamlet_obs::parallel::run_indexed;
 use hamlet_relational::{
-    csv_header, decompose_star, read_csv_lenient, redundant_attributes, select_compatible_fds,
-    DirtyPolicy, FunctionalDependency, Manifest, Table,
+    csv_header, csv_header_path, decompose_star, read_csv_file_lenient, read_csv_lenient,
+    redundant_attributes, select_compatible_fds, CsvLoad, DirtyPolicy, FunctionalDependency,
+    Manifest, Table,
 };
 
 use crate::error::DiscoveryError;
@@ -135,13 +136,44 @@ fn stem(file: &str) -> String {
         .to_string()
 }
 
-/// Mines a directory of raw CSVs from the filesystem.
+/// All-nominal feature specs for every header column — the role-free
+/// mining load shared by the file and in-memory paths.
+fn mining_specs(header: &[String]) -> Vec<(String, hamlet_relational::ColumnSpec)> {
+    header
+        .iter()
+        .map(|h| (h.clone(), hamlet_relational::ColumnSpec::feature(h)))
+        .collect()
+}
+
+/// Wraps one mining load into its [`Mined`] record, warning about
+/// quarantined rows exactly as the legacy in-memory path did.
+fn mined_from_load(file: &str, name: String, load: CsvLoad) -> Mined {
+    if !load.quarantined.is_empty() {
+        hamlet_obs::record_warning(format!(
+            "discovery: table '{name}': quarantined {} of {} rows during the mining load",
+            load.quarantined.len(),
+            load.total_rows
+        ));
+    }
+    Mined {
+        file: file.to_string(),
+        name,
+        quarantined: load.quarantined.len(),
+        total_rows: load.total_rows,
+        table: load.table,
+    }
+}
+
+/// Mines a directory of raw CSVs from the filesystem. Each file is
+/// **streamed** through the chunked ingester (header sniffed from the
+/// first line only, rows decoded incrementally under any
+/// `HAMLET_MEM_BUDGET_MB` in force) — the corpus is never slurped into
+/// memory as strings.
 pub fn discover_dir(dir: &Path, cfg: &DiscoveryConfig) -> Result<Discovery, DiscoveryError> {
     let entries = std::fs::read_dir(dir).map_err(|e| DiscoveryError::Io {
         path: dir.display().to_string(),
         message: e.to_string(),
     })?;
-    let mut corpus: BTreeMap<String, String> = BTreeMap::new();
     let mut names: Vec<String> = Vec::new();
     for entry in entries {
         let entry = entry.map_err(|e| DiscoveryError::Io {
@@ -154,20 +186,27 @@ pub fn discover_dir(dir: &Path, cfg: &DiscoveryConfig) -> Result<Discovery, Disc
         }
     }
     names.sort();
-    for name in names {
-        let path = dir.join(&name);
-        let text = std::fs::read_to_string(&path).map_err(|e| DiscoveryError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        corpus.insert(name, text);
-    }
-    if corpus.is_empty() {
+    if names.is_empty() {
         return Err(DiscoveryError::EmptyCorpus {
             source: dir.display().to_string(),
         });
     }
-    discover_corpus(&corpus, cfg)
+    let mut tables: Vec<Mined> = Vec::new();
+    for file in &names {
+        let path = dir.join(file);
+        let name = stem(file);
+        let header = csv_header_path(&path, ',')?.ok_or_else(|| {
+            DiscoveryError::Relational(hamlet_relational::RelationalError::EmptyTable {
+                table: name.clone(),
+            })
+        })?;
+        let specs = mining_specs(&header);
+        let spec_refs: Vec<(&str, hamlet_relational::ColumnSpec)> =
+            specs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
+        let load = read_csv_file_lenient(&name, &path, &spec_refs, ',', cfg.on_dirty)?;
+        tables.push(mined_from_load(file, name, load));
+    }
+    discover_tables(tables, cfg)
 }
 
 /// Mines an in-memory corpus (file name -> CSV text). The entry point
@@ -193,28 +232,20 @@ pub fn discover_corpus(
                 table: name.clone(),
             })
         })?;
-        let specs: Vec<(String, hamlet_relational::ColumnSpec)> = header
-            .iter()
-            .map(|h| (h.clone(), hamlet_relational::ColumnSpec::feature(h)))
-            .collect();
+        let specs = mining_specs(&header);
         let spec_refs: Vec<(&str, hamlet_relational::ColumnSpec)> =
             specs.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
         let load = read_csv_lenient(&name, text, &spec_refs, ',', cfg.on_dirty)?;
-        if !load.quarantined.is_empty() {
-            hamlet_obs::record_warning(format!(
-                "discovery: table '{name}': quarantined {} of {} rows during the mining load",
-                load.quarantined.len(),
-                load.total_rows
-            ));
-        }
-        tables.push(Mined {
-            file: file.clone(),
-            name,
-            quarantined: load.quarantined.len(),
-            total_rows: load.total_rows,
-            table: load.table,
-        });
+        tables.push(mined_from_load(file, name, load));
     }
+    discover_tables(tables, cfg)
+}
+
+/// Stages 2–5 over already-mined tables: sketches, edge proposals, FD
+/// verification, and manifest synthesis. Shared by [`discover_dir`]
+/// (streamed loads) and [`discover_corpus`] (in-memory loads), so both
+/// entry points produce bit-identical output for identical logical data.
+fn discover_tables(tables: Vec<Mined>, cfg: &DiscoveryConfig) -> Result<Discovery, DiscoveryError> {
     counter_add!("hamlet_discovery_tables_total", tables.len());
 
     // Stage 2: per-column fingerprint sketches, in parallel. The job is

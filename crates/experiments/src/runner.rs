@@ -20,15 +20,17 @@ use hamlet_relational::{RelationalError, StarSchema};
 pub const DEFAULT_SEED: u64 = 20_160_626; // SIGMOD'16 opening day
 
 /// Scale factor for the realistic datasets, read from `HAMLET_SCALE`
-/// (default 0.1). `n_S` and all `n_Ri` shrink jointly, preserving tuple
-/// ratios; see DESIGN.md §3. An invalid value is a typed error — it
-/// used to silently fall back to 0.1, so `HAMLET_SCALE=1.5` quietly ran
-/// a tiny experiment.
+/// (default 0.1). `n_S` and all `n_Ri` shrink (or grow, for the
+/// out-of-core stress scales above 1) jointly, preserving tuple ratios;
+/// see DESIGN.md §3. An invalid value is a typed error — it used to
+/// silently fall back to 0.1, so a typo quietly ran a tiny experiment.
 pub fn try_dataset_scale() -> Result<f64, EnvError> {
-    Ok(var_where("HAMLET_SCALE", "a float in (0, 1]", |&s: &f64| {
-        s > 0.0 && s <= 1.0
-    })?
-    .unwrap_or(0.1))
+    Ok(
+        var_where("HAMLET_SCALE", "a float in (0, 100]", |&s: &f64| {
+            s > 0.0 && s <= 100.0
+        })?
+        .unwrap_or(0.1),
+    )
 }
 
 /// [`try_dataset_scale`] for the figure binaries: an invalid value
@@ -487,13 +489,15 @@ mod tests {
         // Serialized in one test (set/check/unset) because other tests
         // read the same variable; `dataset_scale` itself is not called
         // here since it exits the process on the error path.
-        std::env::set_var("HAMLET_SCALE", "1.5");
+        std::env::set_var("HAMLET_SCALE", "150");
         let e = try_dataset_scale().unwrap_err();
         assert_eq!(e.key, "HAMLET_SCALE");
-        assert_eq!(e.value, "1.5");
-        assert!(e.to_string().contains("(0, 1]"), "{e}");
+        assert_eq!(e.value, "150");
+        assert!(e.to_string().contains("(0, 100]"), "{e}");
         std::env::set_var("HAMLET_SCALE", "not-a-number");
         assert!(try_dataset_scale().is_err());
+        std::env::set_var("HAMLET_SCALE", "10");
+        assert_eq!(try_dataset_scale(), Ok(10.0));
         std::env::remove_var("HAMLET_SCALE");
         assert_eq!(try_dataset_scale(), Ok(0.1));
     }

@@ -1,0 +1,236 @@
+//! Cache-blocked, morsel-parallel count kernels.
+//!
+//! Every decomposable statistic in this crate reduces to the same
+//! primitive: the class-conditional count table
+//! `counts[y * d + v] += 1` over `(label, code)` pairs. The naive form
+//! (`for &r in train { counts[labels[r] * d + codes[r]] += 1 }`)
+//! performs **two dependent gathers per row** through the `train`
+//! permutation, which defeats both the prefetcher and
+//! auto-vectorization of the address computation. These kernels
+//! restructure the scan:
+//!
+//! * **gather-free path** — when the row set is a contiguous range, the
+//!   inner loop walks two contiguous `u32` slices (`labels`, `codes`)
+//!   directly, a pure streaming access pattern the compiler unrolls and
+//!   the hardware prefetches;
+//! * **blocked-gather path** — for an arbitrary row set, rows are
+//!   gathered block-by-block (a few KiB of `(label, code)` pairs at a
+//!   time) into small stack-resident buffers, then counted from the
+//!   contiguous buffers — the random access is confined to the gather,
+//!   and the count loop is the same streaming form;
+//! * **morsel parallelism** — large inputs split into morsels
+//!   ([`hamlet_obs::resolved_morsel_rows`] rows); each morsel fills its
+//!   own local table and the locals merge **in morsel order**. Counts
+//!   are integers, so the merged table is bit-for-bit the sequential
+//!   one at any thread count (`HAMLET_THREADS` invariance).
+//!
+//! Nested parallelism is handled explicitly: callers like
+//! [`crate::suffstats::SuffStats::table`] run *inside* `run_indexed`
+//! workers during candidate sweeps, and a kernel that spawned its own
+//! workers there would oversubscribe the machine. Each kernel consults
+//! [`hamlet_obs::parallel::in_parallel_region`] and degrades to the
+//! sequential scan when nested — same counts either way.
+
+use hamlet_obs::parallel::{in_parallel_region, run_morsels};
+
+/// Rows per gather block: 4K `(label, code)` pairs = 32 KiB of staging,
+/// comfortably L1/L2-resident alongside the count table.
+const GATHER_BLOCK: usize = 4096;
+
+/// Below this many rows the morsel fan-out costs more than the scan.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// Accumulates `counts[label * d + code] += 1` over two contiguous
+/// slices — the gather-free streaming inner loop every other kernel
+/// bottoms out in. `counts` must have `c * d` entries for codes in
+/// `[0, d)` and labels in `[0, c)`.
+#[inline]
+pub fn class_count_into(counts: &mut [u64], d: usize, labels: &[u32], codes: &[u32]) {
+    for (&y, &v) in labels.iter().zip(codes) {
+        counts[y as usize * d + v as usize] += 1;
+    }
+}
+
+/// Effective worker count for a kernel invocation: sequential when the
+/// input is small or we are already inside a parallel region.
+fn effective_threads(n: usize, threads: usize) -> usize {
+    if n < PAR_THRESHOLD || in_parallel_region() {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
+/// Class-conditional count table `[y * d + v]` over a contiguous row
+/// range (`labels` and `codes` already sliced to the rows of interest).
+/// Morsel-parallel with in-order merge: bit-identical at any `threads`.
+pub fn class_count_table(
+    c: usize,
+    d: usize,
+    labels: &[u32],
+    codes: &[u32],
+    threads: usize,
+) -> Vec<u64> {
+    let n = labels.len().min(codes.len());
+    let threads = effective_threads(n, threads);
+    let morsel = hamlet_obs::resolved_morsel_rows();
+    if threads <= 1 {
+        let mut counts = vec![0u64; c * d];
+        class_count_into(&mut counts, d, &labels[..n], &codes[..n]);
+        return counts;
+    }
+    let partials = run_morsels(n, morsel, threads, &|_, range| {
+        let mut local = vec![0u64; c * d];
+        class_count_into(&mut local, d, &labels[range.clone()], &codes[range]);
+        local
+    });
+    merge_in_order(c * d, partials)
+}
+
+/// Class-conditional count table `[y * d + v]` over an arbitrary row
+/// set, gathering `(label, code)` pairs block-by-block into contiguous
+/// staging buffers before counting. Morsel-parallel with in-order
+/// merge: bit-identical at any `threads`.
+pub fn class_count_table_gather(
+    c: usize,
+    d: usize,
+    labels: &[u32],
+    codes: &[u32],
+    rows: &[usize],
+    threads: usize,
+) -> Vec<u64> {
+    let threads = effective_threads(rows.len(), threads);
+    let morsel = hamlet_obs::resolved_morsel_rows();
+    let count_morsel = |rows: &[usize]| -> Vec<u64> {
+        let mut local = vec![0u64; c * d];
+        let mut ybuf = [0u32; GATHER_BLOCK];
+        let mut vbuf = [0u32; GATHER_BLOCK];
+        for block in rows.chunks(GATHER_BLOCK) {
+            for (i, &r) in block.iter().enumerate() {
+                ybuf[i] = labels[r];
+                vbuf[i] = codes[r];
+            }
+            class_count_into(&mut local, d, &ybuf[..block.len()], &vbuf[..block.len()]);
+        }
+        local
+    };
+    if threads <= 1 {
+        return count_morsel(rows);
+    }
+    let partials = run_morsels(rows.len(), morsel, threads, &|_, range| {
+        count_morsel(&rows[range])
+    });
+    merge_in_order(c * d, partials)
+}
+
+/// Folds per-morsel tables into one, first morsel first — the fixed
+/// merge order the determinism discipline requires (u64 adds make it
+/// order-insensitive anyway, but fixed order costs nothing and keeps
+/// the invariant auditable).
+fn merge_in_order(len: usize, partials: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut total = vec![0u64; len];
+    for p in partials {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    total
+}
+
+/// Whether `rows` is the contiguous range `rows[0]..rows[0]+len` — the
+/// common case for full-table statistics, where the gather-free kernel
+/// applies. Empty row sets count as contiguous.
+pub fn contiguous_range(rows: &[usize]) -> Option<std::ops::Range<usize>> {
+    let first = match rows.first() {
+        Some(&f) => f,
+        None => return Some(0..0),
+    };
+    for (i, &r) in rows.iter().enumerate() {
+        if r != first + i {
+            return None;
+        }
+    }
+    Some(first..first + rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(c: usize, d: usize, labels: &[u32], codes: &[u32], rows: &[usize]) -> Vec<u64> {
+        let mut counts = vec![0u64; c * d];
+        for &r in rows {
+            counts[labels[r] as usize * d + codes[r] as usize] += 1;
+        }
+        counts
+    }
+
+    fn fixture(n: usize, c: u32, d: u32) -> (Vec<u32>, Vec<u32>) {
+        let labels: Vec<u32> = (0..n).map(|i| (i as u32 * 13 + 5) % c).collect();
+        let codes: Vec<u32> = (0..n).map(|i| (i as u32 * 31 + 7) % d).collect();
+        (labels, codes)
+    }
+
+    #[test]
+    fn contiguous_kernel_matches_naive_at_any_thread_count() {
+        let (labels, codes) = fixture(100_000, 3, 7);
+        let rows: Vec<usize> = (0..100_000).collect();
+        let want = naive(3, 7, &labels, &codes, &rows);
+        for threads in [1, 2, 8] {
+            assert_eq!(class_count_table(3, 7, &labels, &codes, threads), want);
+        }
+    }
+
+    #[test]
+    fn gather_kernel_matches_naive_on_scattered_rows() {
+        let (labels, codes) = fixture(100_000, 4, 5);
+        // A strided, shuffled-ish subset exercises the gather path.
+        let rows: Vec<usize> = (0..100_000).filter(|r| r % 3 != 1).rev().collect();
+        let want = naive(4, 5, &labels, &codes, &rows);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                class_count_table_gather(4, 5, &labels, &codes, &rows, threads),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let (labels, codes) = fixture(10, 2, 3);
+        assert_eq!(
+            class_count_table(2, 3, &labels, &codes, 8),
+            naive(2, 3, &labels, &codes, &(0..10).collect::<Vec<_>>())
+        );
+        assert_eq!(class_count_table(2, 3, &[], &[], 8), vec![0u64; 6]);
+        assert_eq!(
+            class_count_table_gather(2, 3, &labels, &codes, &[], 8),
+            vec![0u64; 6]
+        );
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        assert_eq!(contiguous_range(&[]), Some(0..0));
+        assert_eq!(contiguous_range(&[5]), Some(5..6));
+        assert_eq!(contiguous_range(&[3, 4, 5, 6]), Some(3..7));
+        assert_eq!(contiguous_range(&[3, 5, 6]), None);
+        assert_eq!(contiguous_range(&[4, 3]), None);
+    }
+
+    #[test]
+    fn nested_region_degrades_to_sequential_but_same_counts() {
+        let (labels, codes) = fixture(200_000, 2, 4);
+        let rows: Vec<usize> = (0..200_000).collect();
+        let outside = class_count_table(2, 4, &labels, &codes, 8);
+        // Two real workers: each nested kernel call must see the region
+        // flag and go sequential, producing the same table.
+        let inside = hamlet_obs::parallel::run_indexed(2, 2, &|_| {
+            assert!(hamlet_obs::parallel::in_parallel_region());
+            class_count_table(2, 4, &labels, &codes, 8)
+        });
+        assert_eq!(outside, inside[0]);
+        assert_eq!(outside, inside[1]);
+        assert_eq!(outside, naive(2, 4, &labels, &codes, &rows));
+    }
+}

@@ -30,6 +30,7 @@ pub mod encoding;
 pub mod evaluation;
 pub mod incremental;
 pub mod info;
+pub mod kernels;
 pub mod logreg;
 pub mod model_selection;
 pub mod naive_bayes;
@@ -46,6 +47,7 @@ pub use dataset::{Dataset, Feature};
 pub use encoding::{EncodeError, Encoder, Encoding};
 pub use evaluation::{cross_validate, kfold_indices, ConfusionMatrix};
 pub use incremental::{fit_incremental, IncrementalNaiveBayes};
+pub use kernels::{class_count_into, class_count_table, class_count_table_gather};
 pub use logreg::{LogisticRegression, LogisticRegressionModel, Penalty};
 pub use model_selection::{grid_search, grid_search_test_error, GridSearchResult};
 pub use naive_bayes::{NaiveBayes, NaiveBayesModel};

@@ -47,6 +47,11 @@ pub struct SuffStats<'a> {
     train: &'a [usize],
     /// `class_counts[y]` = training rows with label `y`.
     class_counts: Vec<u64>,
+    /// When `train` is a contiguous range (the common full-table case),
+    /// its bounds — table builds then take the gather-free blocked
+    /// kernel over two contiguous `u32` slices instead of the
+    /// double-gather row loop.
+    train_range: Option<std::ops::Range<usize>>,
     /// Per feature, the flattened `n_classes × domain_size` count table
     /// `counts[y * d + v]`, built on first use.
     tables: Vec<OnceLock<Box<[u64]>>>,
@@ -66,6 +71,7 @@ impl<'a> SuffStats<'a> {
             data,
             train,
             class_counts,
+            train_range: crate::kernels::contiguous_range(train),
             tables: (0..data.n_features()).map(|_| OnceLock::new()).collect(),
         }
     }
@@ -86,8 +92,12 @@ impl<'a> SuffStats<'a> {
     }
 
     /// The class-conditional count table for feature `f`, flattened
-    /// `[y * |D_F| + v]`, computing it on first call (one pass over the
-    /// training rows) and serving it from cache afterwards.
+    /// `[y * |D_F| + v]`, computing it on first call (one morsel-driven
+    /// pass over the training rows through [`crate::kernels`]) and
+    /// serving it from cache afterwards. Builds go parallel only for
+    /// large inputs outside an existing parallel region — a build
+    /// triggered from inside a candidate-sweep worker runs sequentially
+    /// — and either way the counts are the row-loop's exactly.
     pub fn table(&self, f: usize) -> &[u64] {
         let mut missed = false;
         let table = self.tables[f].get_or_init(|| {
@@ -96,13 +106,26 @@ impl<'a> SuffStats<'a> {
             let _span = hamlet_obs::span!("ml.suffstats_build", feature = f);
             let feature = self.data.feature(f);
             let d = feature.domain_size;
+            let c = self.data.n_classes();
             let labels = self.data.labels();
-            let mut counts = vec![0u64; self.data.n_classes() * d];
-            for &r in self.train {
-                let y = labels[r] as usize;
-                let v = feature.codes[r] as usize;
-                counts[y * d + v] += 1;
-            }
+            let threads = hamlet_obs::env::resolved_threads();
+            let counts = match &self.train_range {
+                Some(range) => crate::kernels::class_count_table(
+                    c,
+                    d,
+                    &labels[range.clone()],
+                    &feature.codes[range.clone()],
+                    threads,
+                ),
+                None => crate::kernels::class_count_table_gather(
+                    c,
+                    d,
+                    labels,
+                    &feature.codes,
+                    self.train,
+                    threads,
+                ),
+            };
             hamlet_obs::counter_add!(
                 "hamlet_suffstats_build_us_total",
                 started.elapsed().as_micros() as u64
@@ -115,6 +138,20 @@ impl<'a> SuffStats<'a> {
             hamlet_obs::counter_add!("hamlet_suffstats_hits_total", 1);
         }
         table
+    }
+
+    /// Pre-builds the count tables of `feats` across up to `threads`
+    /// workers (one feature per worker; each inner build sees the
+    /// parallel-region flag and scans sequentially). Later
+    /// [`table`](Self::table) calls are all cache hits, so a selection
+    /// run's statistics phase is one parallel pass instead of k lazy
+    /// scans. Building a table twice is impossible — `OnceLock` keeps
+    /// the first result — so warming is always safe.
+    pub fn warm(&self, feats: &[usize], threads: usize) {
+        let _span = hamlet_obs::span!("ml.suffstats_warm", feats = feats.len());
+        hamlet_obs::parallel::run_indexed(feats.len(), threads, &|i| {
+            let _ = self.table(feats[i]);
+        });
     }
 
     /// Assembles a Naive Bayes model for `feats` from the cached tables
@@ -835,6 +872,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn warm_prebuilds_every_table_and_counts_match_lazy_builds() {
+        let d = data();
+        // Scattered train rows: the gather kernel path.
+        let train: Vec<usize> = (0..240).filter(|r| r % 7 != 2).collect();
+        let warmed = SuffStats::new(&d, &train);
+        warmed.warm(&[0, 1, 2], 4);
+        let lazy = SuffStats::new(&d, &train);
+        let before = hamlet_obs::metrics::counter("hamlet_suffstats_misses_total").get();
+        for f in 0..3 {
+            assert_eq!(warmed.table(f), lazy.table(f), "feature {f}");
+        }
+        // The warmed cache served hits only: its three reads above added
+        // no misses (lazy added exactly three).
+        let misses = hamlet_obs::metrics::counter("hamlet_suffstats_misses_total").get() - before;
+        assert_eq!(misses, 3);
+        // Contiguous train rows: the gather-free kernel path, same counts.
+        let contiguous: Vec<usize> = (30..210).collect();
+        let fast = SuffStats::new(&d, &contiguous);
+        let mut naive = vec![0u64; 2 * d.feature(1).domain_size];
+        let dim = d.feature(1).domain_size;
+        for &r in &contiguous {
+            naive[d.labels()[r] as usize * dim + d.feature(1).codes[r] as usize] += 1;
+        }
+        assert_eq!(fast.table(1), naive.as_slice());
     }
 
     #[test]

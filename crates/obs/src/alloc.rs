@@ -83,6 +83,48 @@ pub fn peak_bytes() -> Option<usize> {
     METER.get().map(|m| m.peak())
 }
 
+/// Live bytes right now from the installed allocator, or `None` when
+/// the running binary did not install one.
+pub fn current_bytes() -> Option<usize> {
+    METER.get().map(|m| m.current())
+}
+
+/// Resets the installed allocator's peak watermark to the current live
+/// bytes, so a subsequent [`peak_bytes`] reports the peak of one phase
+/// (e.g. a budgeted out-of-core ingest) rather than process lifetime.
+/// No-op when no allocator is installed.
+pub fn reset_peak() {
+    if let Some(m) = METER.get() {
+        m.reset_peak();
+    }
+}
+
+/// Peak resident-set size of this process in bytes: the kernel's
+/// `VmHWM` high-water mark where `/proc` exists, else the installed
+/// allocator's peak (heap-only, an underestimate of true RSS), else
+/// `None`. Unlike [`reset_peak`]-scoped heap peaks this is monotone
+/// over the process lifetime — the honest number for "did the run fit
+/// the memory budget".
+pub fn peak_rss_bytes() -> Option<usize> {
+    match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => parse_vm_hwm(&status).or_else(peak_bytes),
+        Err(_) => peak_bytes(),
+    }
+}
+
+/// Extracts `VmHWM:  <n> kB` from `/proc/self/status` text as bytes.
+fn parse_vm_hwm(status: &str) -> Option<usize> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: usize = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +143,21 @@ mod tests {
         assert_eq!(a.current(), 0);
         a.reset_peak();
         assert_eq!(a.peak(), 0);
+    }
+
+    #[test]
+    fn vm_hwm_parses_and_rss_is_plausible() {
+        assert_eq!(
+            parse_vm_hwm("VmPeak:\t  999 kB\nVmHWM:\t    1024 kB\nVmRSS:\t 512 kB\n"),
+            Some(1024 * 1024)
+        );
+        assert_eq!(parse_vm_hwm("VmRSS:\t 512 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+        // On Linux the live reading exists and a test process certainly
+        // holds at least a page.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes().unwrap_or(0) > 4096);
+        }
     }
 
     #[test]

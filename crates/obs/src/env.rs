@@ -92,6 +92,38 @@ pub fn resolved_threads() -> usize {
     })
 }
 
+/// Default rows per morsel for chunked columnar scans and streaming
+/// ingest: 64K `u32` codes = 256 KiB per chunk, small enough that a
+/// (codes, labels) chunk pair stays cache-friendly and large enough to
+/// amortize per-morsel bookkeeping.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// Rows per morsel for every chunked scan in the process, resolved from
+/// `HAMLET_MORSEL_ROWS` exactly once.
+///
+/// Like `HAMLET_THREADS`, this is a deliberately non-strict knob: the
+/// morsel size cannot change any result (chunked aggregates merge
+/// per-morsel integer tables in fixed order, so they are bit-for-bit
+/// identical at any chunk size — `tests/proptests_dataplane.rs` pins
+/// this), so an invalid value is reported loudly and the default is
+/// used instead of aborting. The resolved value is journaled via the
+/// `hamlet_morsel_rows_resolved` gauge.
+pub fn resolved_morsel_rows() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        let rows = var_where("HAMLET_MORSEL_ROWS", "a positive integer", |&r: &usize| {
+            r > 0
+        })
+        .unwrap_or_else(|e| {
+            crate::journal::record_warning(format!("{e}; using the default morsel size"));
+            None
+        })
+        .unwrap_or(DEFAULT_MORSEL_ROWS);
+        crate::gauge_set!("hamlet_morsel_rows_resolved", rows);
+        rows
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +165,17 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(e.value, "1.5");
+    }
+
+    #[test]
+    fn morsel_rows_resolve_once_with_a_sane_default() {
+        // The var is unset in the test environment, so the default wins;
+        // the OnceLock means later env mutations cannot change it.
+        let first = resolved_morsel_rows();
+        assert_eq!(first, DEFAULT_MORSEL_ROWS);
+        std::env::set_var("HAMLET_MORSEL_ROWS", "17");
+        assert_eq!(resolved_morsel_rows(), first);
+        std::env::remove_var("HAMLET_MORSEL_ROWS");
     }
 
     #[cfg(unix)]

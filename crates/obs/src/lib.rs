@@ -37,7 +37,7 @@ pub mod retry;
 pub mod span;
 
 pub use alloc::CountingAlloc;
-pub use env::EnvError;
+pub use env::{resolved_morsel_rows, EnvError, DEFAULT_MORSEL_ROWS};
 pub use fsio::{atomic_append, atomic_write};
 pub use journal::{record_warning, set_model_family, RunJournal};
 pub use metrics::render_metrics;

@@ -9,8 +9,25 @@
 //! function of `i`, the output of [`run_indexed`] is bit-for-bit
 //! identical at any thread count.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Whether the current thread is a [`run_indexed`] worker. Nested
+    /// fan-out from inside a worker is *correct* (determinism does not
+    /// depend on the thread count) but oversubscribes the machine, so
+    /// inner kernels consult [`in_parallel_region`] and run their
+    /// morsels sequentially when a level above already went wide.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a [`run_indexed`] worker thread. Count
+/// kernels use this to pick `threads = 1` for nested scans instead of
+/// spawning `threads x threads` workers.
+pub fn in_parallel_region() -> bool {
+    IN_WORKER.with(Cell::get)
+}
 
 /// Runs `job(0..n)` across up to `threads` scoped workers, returning the
 /// results in index order. Falls back to a sequential loop when either
@@ -29,13 +46,16 @@ where
     let slots: Vec<Mutex<&mut Option<T>>> = results.iter_mut().map(Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = job(i);
+                    **slots[i].lock().expect("slot lock never poisoned") = Some(value);
                 }
-                let value = job(i);
-                **slots[i].lock().expect("slot lock never poisoned") = Some(value);
             });
         }
     });
@@ -44,6 +64,26 @@ where
         .into_iter()
         .map(|r| r.expect("every index was produced"))
         .collect()
+}
+
+/// Splits `0..n_rows` into morsels of `morsel_rows` and runs
+/// `job(morsel_index, lo..hi)` across up to `threads` workers, returning
+/// the per-morsel results **in morsel order** — the building block of
+/// every morsel-driven scan. Reduction discipline is the caller's: fold
+/// the returned vector left-to-right and the aggregate is bit-for-bit
+/// identical at any thread count.
+pub fn run_morsels<T, F>(n_rows: usize, morsel_rows: usize, threads: usize, job: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let morsel = morsel_rows.max(1);
+    let n_morsels = n_rows.div_ceil(morsel);
+    run_indexed(n_morsels, threads, &|i| {
+        let lo = i * morsel;
+        let hi = (lo + morsel).min(n_rows);
+        job(i, lo..hi)
+    })
 }
 
 #[cfg(test)]
@@ -68,5 +108,24 @@ mod tests {
     fn oversubscribed_thread_count_is_clamped() {
         let out = run_indexed(3, 64, &|i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_region_flag_is_visible_to_workers() {
+        assert!(!in_parallel_region());
+        let flags = run_indexed(8, 4, &|_| in_parallel_region());
+        assert!(flags.iter().all(|&f| f), "workers must see the flag");
+        assert!(!in_parallel_region(), "flag never leaks to the caller");
+    }
+
+    #[test]
+    fn morsel_ranges_cover_rows_in_order() {
+        for threads in [1, 4] {
+            let ranges = run_morsels(10, 3, threads, &|i, r| (i, r.start, r.end));
+            assert_eq!(ranges, vec![(0, 0, 3), (1, 3, 6), (2, 6, 9), (3, 9, 10)]);
+        }
+        assert!(run_morsels(0, 3, 2, &|i, _| i).is_empty());
+        // A zero morsel size is clamped to 1 instead of dividing by zero.
+        assert_eq!(run_morsels(2, 0, 1, &|i, _| i), vec![0, 1]);
     }
 }

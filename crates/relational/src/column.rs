@@ -60,6 +60,12 @@ impl Column {
         &self.codes
     }
 
+    /// Consumes the column, yielding its code vector (used by the
+    /// chunked plane to re-chunk a dense column without copying).
+    pub fn into_codes(self) -> Vec<u32> {
+        self.codes
+    }
+
     /// Value at `row`.
     pub fn get(&self, row: usize) -> u32 {
         self.codes[row]

@@ -7,14 +7,11 @@
 //! header row, a configurable delimiter, double-quote quoting with `""`
 //! escapes, no embedded newlines.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::io::BufRead;
 
-use crate::binning::EqualWidthBinner;
-use crate::column::Column;
-use crate::domain::Domain;
 use crate::error::{RelationalError, Result};
-use crate::schema::{AttributeDef, Role, Schema};
+use crate::schema::{AttributeDef, Role};
 use crate::table::Table;
 
 /// How one CSV column should be interpreted.
@@ -58,7 +55,7 @@ impl ColumnSpec {
 }
 
 /// Splits one CSV record, honouring double-quote quoting.
-fn split_record(line: &str, delimiter: char) -> Vec<String> {
+pub(crate) fn split_record(line: &str, delimiter: char) -> Vec<String> {
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
@@ -95,6 +92,24 @@ pub fn csv_header(text: &str, delimiter: char) -> Option<Vec<String>> {
     text.lines()
         .find(|l| !l.trim().is_empty())
         .map(|l| split_record(l, delimiter))
+}
+
+/// [`csv_header`] for a file on disk: reads only up to the first
+/// non-blank line through a buffered reader instead of loading the whole
+/// file. `Ok(None)` means the file exists but holds no non-blank line.
+pub fn csv_header_path(path: &std::path::Path, delimiter: char) -> Result<Option<Vec<String>>> {
+    let io_err = |e: std::io::Error| RelationalError::Io {
+        context: format!("read header of {}", path.display()),
+        message: e.to_string(),
+    };
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.map_err(io_err)?;
+        if !line.trim().is_empty() {
+            return Ok(Some(split_record(&line, delimiter)));
+        }
+    }
+    Ok(None)
 }
 
 /// Quotes one field if it contains the delimiter, a quote, or leading /
@@ -190,6 +205,11 @@ pub fn read_csv(
 /// [`read_csv`]'s error types) or quarantined up to the policy's budget.
 /// File-level faults (missing header, unknown columns, empty table) are
 /// always fatal: there is no sensible degraded interpretation.
+///
+/// Since the out-of-core PR this is a thin wrapper over the streaming
+/// chunked ingester ([`crate::ingest::read_csv_chunked`]) with no memory
+/// budget: one code path implements the validation rules, and the
+/// in-memory and out-of-core loads agree by construction.
 pub fn read_csv_lenient(
     name: &str,
     text: &str,
@@ -197,182 +217,18 @@ pub fn read_csv_lenient(
     delimiter: char,
     policy: DirtyPolicy,
 ) -> Result<CsvLoad> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| RelationalError::EmptyTable {
-        table: name.to_string(),
-    })?;
-    let header_fields = split_record(header, delimiter);
-
-    // Map CSV column position -> spec.
-    let spec_of: HashMap<&str, &ColumnSpec> = specs.iter().map(|(n, s)| (*n, s)).collect();
-    let mut col_specs: Vec<&ColumnSpec> = Vec::with_capacity(header_fields.len());
-    for h in &header_fields {
-        let spec = spec_of
-            .get(h.as_str())
-            .ok_or_else(|| RelationalError::UnknownAttribute {
-                table: name.to_string(),
-                attribute: h.clone(),
-            })?;
-        col_specs.push(spec);
-    }
-    for (n, _) in specs {
-        if !header_fields.iter().any(|h| h == n) {
-            return Err(RelationalError::UnknownAttribute {
-                table: name.to_string(),
-                attribute: n.to_string(),
-            });
-        }
-    }
-
-    // Positions that need per-row validation beyond the field count.
-    let numeric_cols: Vec<(usize, &str)> = col_specs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| match s {
-            ColumnSpec::Numeric(def, _) => Some((i, def.name.as_str())),
-            _ => None,
-        })
-        .collect();
-    let pk_col: Option<(usize, &str)> = col_specs.iter().enumerate().find_map(|(i, s)| match s {
-        ColumnSpec::Nominal(def) if matches!(def.role, Role::PrimaryKey) => {
-            Some((i, def.name.as_str()))
-        }
-        _ => None,
-    });
-
-    // Stream rows, validating each; clean rows feed the column builders,
-    // bad rows hit the policy.
-    let mut raw: Vec<Vec<String>> = vec![Vec::new(); header_fields.len()];
-    let mut quarantined: Vec<QuarantinedRow> = Vec::new();
-    let mut seen_pks: HashSet<String> = HashSet::new();
-    let mut total_rows = 0usize;
-    for (lineno, line) in lines.enumerate() {
-        total_rows += 1;
-        let fields = split_record(line, delimiter);
-        let fault: Option<(String, RelationalError)> = if fields.len() != header_fields.len() {
-            Some((
-                format!(
-                    "expected {} fields, found {}",
-                    header_fields.len(),
-                    fields.len()
-                ),
-                RelationalError::ColumnLengthMismatch {
-                    table: name.to_string(),
-                    column: format!("<record {}>", lineno + 2),
-                    expected: header_fields.len(),
-                    actual: fields.len(),
-                },
-            ))
-        } else if let Some((i, col)) = numeric_cols
-            .iter()
-            .find(|(i, _)| fields[*i].trim().parse::<f64>().is_err())
-        {
-            Some((
-                format!(
-                    "column '{}': unparseable numeric value '{}'",
-                    col, fields[*i]
-                ),
-                RelationalError::InvalidBinning {
-                    reason: format!("column '{col}' has non-numeric data"),
-                },
-            ))
-        } else if let Some((i, col)) = pk_col.filter(|(i, _)| seen_pks.contains(&fields[*i])) {
-            Some((
-                format!("duplicate primary key '{}' in column '{}'", fields[i], col),
-                RelationalError::PrimaryKeyNotUnique {
-                    table: name.to_string(),
-                    attribute: col.to_string(),
-                },
-            ))
-        } else {
-            None
-        };
-        match fault {
-            None => {
-                if let Some((i, _)) = pk_col {
-                    seen_pks.insert(fields[i].clone());
-                }
-                for (col, f) in raw.iter_mut().zip(fields) {
-                    col.push(f);
-                }
-            }
-            Some((reason, err)) => match policy {
-                DirtyPolicy::Abort => return Err(err),
-                DirtyPolicy::Quarantine { max_bad_rows } => {
-                    if quarantined.len() >= max_bad_rows {
-                        return Err(RelationalError::DirtyBudgetExceeded {
-                            table: name.to_string(),
-                            quarantined: quarantined.len() + 1,
-                            budget: max_bad_rows,
-                            last_row: lineno,
-                            last_reason: reason,
-                        });
-                    }
-                    quarantined.push(QuarantinedRow {
-                        row: lineno,
-                        reason,
-                        raw: line.to_string(),
-                    });
-                }
-            },
-        }
-    }
-    if !quarantined.is_empty() {
-        hamlet_obs::counter_add!("hamlet_dirty_rows_quarantined_total", quarantined.len());
-    }
-
-    // Build columns per spec.
-    let mut defs = Vec::new();
-    let mut cols = Vec::new();
-    for (i, spec) in col_specs.iter().enumerate() {
-        match spec {
-            ColumnSpec::Skip => {}
-            ColumnSpec::Nominal(def) => {
-                let mut labels: Vec<String> = Vec::new();
-                let mut code_of: HashMap<&str, u32> = HashMap::new();
-                let mut codes = Vec::with_capacity(raw[i].len());
-                for v in &raw[i] {
-                    let code = match code_of.get(v.as_str()) {
-                        Some(&c) => c,
-                        None => {
-                            let c = labels.len() as u32;
-                            labels.push(v.clone());
-                            // Safe: `labels` owns the string; we only keep
-                            // borrows within this loop's scope via raw[i].
-                            code_of.insert(v.as_str(), c);
-                            c
-                        }
-                    };
-                    codes.push(code);
-                }
-                if labels.is_empty() {
-                    return Err(RelationalError::EmptyTable {
-                        table: name.to_string(),
-                    });
-                }
-                let domain = Domain::labelled(&def.name, labels).shared();
-                defs.push(def.clone());
-                cols.push(Column::new_unchecked(domain, codes));
-            }
-            ColumnSpec::Numeric(def, bins) => {
-                let values: std::result::Result<Vec<f64>, _> =
-                    raw[i].iter().map(|v| v.trim().parse::<f64>()).collect();
-                let values = values.map_err(|_| RelationalError::InvalidBinning {
-                    reason: format!("column '{}' has non-numeric data", def.name),
-                })?;
-                let binner = EqualWidthBinner::fit(&def.name, &values, *bins)?;
-                defs.push(def.clone());
-                cols.push(binner.bin_column(&values));
-            }
-        }
-    }
-
-    let schema = Schema::new(name, defs)?;
-    let table = Table::new(name, schema, cols)?;
+    let load = crate::ingest::read_csv_chunked(
+        name,
+        std::io::Cursor::new(text.as_bytes()),
+        specs,
+        delimiter,
+        policy,
+        &crate::ingest::IngestOptions::dense(),
+    )?;
     Ok(CsvLoad {
-        table,
-        quarantined,
-        total_rows,
+        table: load.table.to_table()?,
+        quarantined: load.quarantined,
+        total_rows: load.total_rows,
     })
 }
 

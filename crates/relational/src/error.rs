@@ -61,6 +61,24 @@ pub enum RelationalError {
     Decomposition { reason: String },
     /// The table has no rows where at least one was required.
     EmptyTable { table: String },
+    /// An IO fault while streaming or spilling chunked column data
+    /// (ingest reads, spill-file writes, chunk reads from disk).
+    Io {
+        /// What was being read or written (a path or a description).
+        context: String,
+        /// The underlying OS error rendered as text (kept as a string so
+        /// the error type stays `Clone + PartialEq`).
+        message: String,
+    },
+    /// A spilled chunk file failed structural validation on read-back
+    /// (truncated, wrong length, or byte count not a multiple of the
+    /// element width) — the spill directory was tampered with or the
+    /// disk is corrupting data.
+    SpillCorrupt { file: String, reason: String },
+    /// An invalid `HAMLET_*` environment value reached the data plane
+    /// (e.g. an unparsable `HAMLET_MEM_BUDGET_MB`); strict per the
+    /// observability sweep — never a silent default.
+    Env { reason: String },
     /// Lenient ingest quarantined more rows than the error budget
     /// allows; the table is too dirty to degrade gracefully.
     DirtyBudgetExceeded {
@@ -133,6 +151,11 @@ impl fmt::Display for RelationalError {
             Self::NotAForeignKey { table, attribute } => {
                 write!(f, "table '{table}': attribute '{attribute}' is not a foreign key")
             }
+            Self::Io { context, message } => write!(f, "io error ({context}): {message}"),
+            Self::SpillCorrupt { file, reason } => {
+                write!(f, "spill file '{file}' is corrupt: {reason}")
+            }
+            Self::Env { reason } => write!(f, "environment: {reason}"),
             Self::InvalidBinning { reason } => write!(f, "invalid binning: {reason}"),
             Self::Manifest { reason } => write!(f, "manifest: {reason}"),
             Self::Decomposition { reason } => write!(f, "decomposition: {reason}"),

@@ -44,6 +44,7 @@
 pub mod availability;
 pub mod binning;
 pub mod catalog;
+pub mod chunk;
 pub mod coldstart;
 pub mod column;
 pub mod csv;
@@ -51,6 +52,7 @@ pub mod decompose;
 pub mod domain;
 pub mod error;
 pub mod fd;
+pub mod ingest;
 pub mod join;
 pub mod lint;
 pub mod manifest;
@@ -62,16 +64,23 @@ pub mod table;
 pub use availability::{TablePolicy, TableSubstitution, TABLE_OPEN_FAILPOINT};
 pub use binning::{EqualFrequencyBinner, EqualWidthBinner};
 pub use catalog::{AttributeTable, SplitIndices, StarSchema};
+pub use chunk::{
+    default_chunk_rows, gather_chunks, Chunk, ChunkedColumn, ChunkedTable, ColumnChunks,
+    DenseChunks, SpillDir,
+};
 pub use coldstart::{with_others_record, DomainRevision};
 pub use column::Column;
 pub use csv::{
-    csv_header, read_csv, read_csv_lenient, write_csv, ColumnSpec, CsvLoad, DirtyPolicy,
-    QuarantinedRow,
+    csv_header, csv_header_path, read_csv, read_csv_lenient, write_csv, ColumnSpec, CsvLoad,
+    DirtyPolicy, QuarantinedRow,
 };
 pub use decompose::{decompose_star, infer_single_fds, select_compatible_fds};
 pub use domain::Domain;
 pub use error::{RelationalError, Result};
 pub use fd::{is_acyclic, redundant_attributes, FunctionalDependency};
+pub use ingest::{
+    read_csv_chunked, read_csv_file_chunked, read_csv_file_lenient, ChunkedCsvLoad, IngestOptions,
+};
 pub use join::{kfk_join, kfk_join_all, kfk_join_policy, FkPolicy, JoinOutcome};
 pub use lint::{lint_star, Lint, LintConfig};
 pub use manifest::{LoadPolicy, Manifest, StarLoad, TableQuarantine};

@@ -31,14 +31,16 @@
 //! and both are recoded onto the key's domain.
 
 use std::collections::{BTreeSet, HashMap};
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
 use crate::availability::{TablePolicy, TableSubstitution, TABLE_OPEN_FAILPOINT};
 use crate::catalog::{AttributeTable, StarSchema};
 use crate::coldstart::with_others_record;
 use crate::column::Column;
-use crate::csv::{read_csv_lenient, ColumnSpec, DirtyPolicy, QuarantinedRow};
+use crate::csv::{ColumnSpec, DirtyPolicy, QuarantinedRow};
 use crate::error::{RelationalError, Result};
+use crate::ingest::{read_csv_chunked, IngestOptions};
 use crate::join::FkPolicy;
 use crate::schema::{AttributeDef, Schema};
 use crate::table::Table;
@@ -240,6 +242,28 @@ impl Manifest {
             .map(|load| load.star)
     }
 
+    /// Loads under a policy from any in-memory string source — the
+    /// legacy injection point, now a wrapper that feeds each string
+    /// through the streaming chunked ingester.
+    pub fn load_with_policy<F>(
+        &self,
+        base: &Path,
+        mut read_file: F,
+        policy: &LoadPolicy,
+    ) -> Result<StarLoad>
+    where
+        F: FnMut(&Path) -> std::io::Result<String>,
+    {
+        self.load_from_source(
+            base,
+            &mut |path: &Path| {
+                read_file(path)
+                    .map(|s| Box::new(std::io::Cursor::new(s.into_bytes())) as Box<dyn BufRead>)
+            },
+            policy,
+        )
+    }
+
     /// Loads the star schema under a degradation policy, returning the
     /// schema together with a report of everything that was set aside,
     /// dropped, or remapped.
@@ -251,19 +275,22 @@ impl Manifest {
     /// code 0, see [`with_others_record`]) and dangling rows map onto it.
     /// Row indices in the report are 0-based data rows *after* dirty-row
     /// quarantine.
-    pub fn load_with_policy<F>(
+    ///
+    /// Each table streams through the chunked ingester
+    /// ([`crate::ingest::read_csv_chunked`]); with `HAMLET_MEM_BUDGET_MB`
+    /// set, the encode phase of every load spills chunks instead of
+    /// growing past the budget.
+    fn load_from_source(
         &self,
         base: &Path,
-        mut read_file: F,
+        open_file: &mut dyn FnMut(&Path) -> std::io::Result<Box<dyn BufRead>>,
         policy: &LoadPolicy,
-    ) -> Result<StarLoad>
-    where
-        F: FnMut(&Path) -> std::io::Result<String>,
-    {
-        let mut read = |file: &str| -> Result<String> {
+    ) -> Result<StarLoad> {
+        let ingest_opts = IngestOptions::from_env()?;
+        let mut read = |file: &str| -> Result<Box<dyn BufRead>> {
             let path: PathBuf = base.join(file);
             hamlet_chaos::fail_at!("manifest.read")
-                .and_then(|()| read_file(&path))
+                .and_then(|()| open_file(&path))
                 .map_err(|e| RelationalError::Manifest {
                     reason: format!("cannot read {}: {e}", path.display()),
                 })
@@ -295,13 +322,13 @@ impl Manifest {
                 .ok_or_else(|| RelationalError::Manifest {
                     reason: format!("table section '{}' has no key directive", section.file),
                 })?;
-            let text = match hamlet_chaos::fail_at!(TABLE_OPEN_FAILPOINT)
+            let reader = match hamlet_chaos::fail_at!(TABLE_OPEN_FAILPOINT)
                 .map_err(|e| RelationalError::Manifest {
                     reason: format!("cannot read {}: {e}", base.join(&section.file).display()),
                 })
                 .and_then(|()| read(&section.file))
             {
-                Ok(text) => text,
+                Ok(reader) => reader,
                 Err(e) if policy.on_missing_table == TablePolicy::AllowDegraded => {
                     let features: Vec<String> = section
                         .directives
@@ -330,7 +357,14 @@ impl Manifest {
                 Err(e) => return Err(e),
             };
             let specs = section_specs(section, None)?;
-            let load = read_csv_lenient(&name, &text, &to_spec_refs(&specs), ',', policy.on_dirty)?;
+            let load = read_csv_chunked(
+                &name,
+                reader,
+                &to_spec_refs(&specs),
+                ',',
+                policy.on_dirty,
+                &ingest_opts,
+            )?;
             if !load.quarantined.is_empty() {
                 hamlet_obs::record_warning(format!(
                     "table '{name}': quarantined {} of {} rows during lenient load",
@@ -343,7 +377,7 @@ impl Manifest {
                 rows: load.quarantined,
                 total_rows: load.total_rows,
             });
-            attr_tables.insert(section.file.clone(), (load.table, key));
+            attr_tables.insert(section.file.clone(), (load.table.to_table()?, key));
         }
 
         // Load the entity; FK columns come in as plain nominal features
@@ -353,15 +387,16 @@ impl Manifest {
                 reason: "manifest has no entity section".to_string(),
             }
         })?;
-        let text = read(&entity_section.file)?;
+        let reader = read(&entity_section.file)?;
         let specs = section_specs(entity_section, Some(&attr_tables))?;
         let entity_name = file_stem(&entity_section.file);
-        let entity_load = read_csv_lenient(
+        let entity_load = read_csv_chunked(
             &entity_name,
-            &text,
+            reader,
             &to_spec_refs(&specs),
             ',',
             policy.on_dirty,
+            &ingest_opts,
         )?;
         if !entity_load.quarantined.is_empty() {
             hamlet_obs::record_warning(format!(
@@ -375,7 +410,7 @@ impl Manifest {
             rows: entity_load.quarantined,
             total_rows: entity_load.total_rows,
         });
-        let raw_entity = entity_load.table;
+        let raw_entity = entity_load.table.to_table()?;
 
         // Recode FK columns by label onto the referenced key domains,
         // applying the dangling-FK policy per column.
@@ -571,13 +606,24 @@ impl Manifest {
     }
 
     /// Loads from the real filesystem, resolving relative to `base`.
+    /// Files stream through buffered readers — the whole-file
+    /// `read_to_string` is gone from every file-backed load path.
     pub fn load(&self, base: &Path) -> Result<StarSchema> {
-        self.load_with(base, |p: &Path| std::fs::read_to_string(p))
+        self.load_policy(base, &LoadPolicy::default())
+            .map(|l| l.star)
     }
 
-    /// Loads from the real filesystem under a degradation policy.
+    /// Loads from the real filesystem under a degradation policy,
+    /// streaming each CSV instead of reading it into one `String`.
     pub fn load_policy(&self, base: &Path, policy: &LoadPolicy) -> Result<StarLoad> {
-        self.load_with_policy(base, |p: &Path| std::fs::read_to_string(p), policy)
+        self.load_from_source(
+            base,
+            &mut |p: &Path| {
+                std::fs::File::open(p)
+                    .map(|f| Box::new(std::io::BufReader::new(f)) as Box<dyn BufRead>)
+            },
+            policy,
+        )
     }
 }
 

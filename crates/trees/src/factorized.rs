@@ -46,6 +46,9 @@ impl SplitCounts for PushdownCounts<'_, '_> {
     }
 
     fn count_table(&self, f: usize, rows: &[usize]) -> Vec<u64> {
+        // Morsel-parallel on large nodes, sequential inside sweep
+        // workers — either way the counts are integers, so split
+        // scores stay bit-identical at any HAMLET_THREADS.
         class_conditional_counts(self.view, f, rows)
     }
 }

@@ -528,12 +528,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         obs.push_str(&hamlet_obs::render_span_tree(&spans));
         obs.push('\n');
     }
-    if metrics {
-        // Reads 0 when the running binary did not install the counting
-        // allocator (e.g. the test harness); `hamlet` itself does.
-        let peak = hamlet_obs::alloc::peak_bytes().unwrap_or(0);
-        hamlet_obs::metrics::gauge("hamlet_peak_alloc_bytes").set_max(peak as u64);
-    }
+    // Peak-memory gauges are set unconditionally so they land in the
+    // run journal's metric snapshot even without --metrics.
+    // `peak_alloc` reads 0 when the running binary did not install the
+    // counting allocator (e.g. the test harness); `hamlet` itself does.
+    let peak = hamlet_obs::alloc::peak_bytes().unwrap_or(0);
+    hamlet_obs::metrics::gauge("hamlet_peak_alloc_bytes").set_max(peak as u64);
+    // Kernel-reported high-water RSS: the honest number for "did the
+    // run fit HAMLET_MEM_BUDGET_MB" (heap + stacks + mapped).
+    let rss = hamlet_obs::alloc::peak_rss_bytes().unwrap_or(0);
+    hamlet_obs::metrics::gauge("hamlet_peak_rss_bytes").set_max(rss as u64);
 
     // The journal is appended before metrics render so a write failure
     // shows up as hamlet_journal_write_failures_total in this very

@@ -116,6 +116,23 @@ fn lenient_csv_reader_has_no_aborting_calls() {
 }
 
 #[test]
+fn dataplane_modules_have_no_aborting_calls() {
+    // The out-of-core data plane: chunk storage/spill, the streaming
+    // ingester, and the count kernels. Truncated spill files, exhausted
+    // budgets, and corrupt streams surface as typed errors (or
+    // quarantine entries) — never a panic — and spill files go through
+    // `atomic_write` with RAII cleanup.
+    for rel in [
+        "crates/relational/src/chunk.rs",
+        "crates/relational/src/ingest.rs",
+        "crates/ml/src/kernels.rs",
+    ] {
+        let src = read(rel);
+        assert_no_aborts(rel, non_test(&src));
+    }
+}
+
+#[test]
 fn manifest_policy_load_has_no_aborting_calls() {
     let src = read("crates/relational/src/manifest.rs");
     let src = non_test(&src);
